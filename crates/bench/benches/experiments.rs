@@ -1,0 +1,180 @@
+//! One benchmark group per paper artifact: measures the cost of
+//! regenerating each table/figure pipeline at reduced scale. The artifact
+//! *contents* are produced by `cargo run -p sbomdiff-experiments`; these
+//! benches track the pipelines' performance.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sbomdiff_attack::evaluate::evaluate_catalog;
+use sbomdiff_benchx as benchx;
+use sbomdiff_corpus::{Corpus, CorpusConfig, CorpusStats};
+use sbomdiff_diff::{duplicate_rate, jaccard, key_set, PrecisionRecall};
+use sbomdiff_generators::{studied_tools, SbomGenerator, ToolEmulator};
+use sbomdiff_registry::Registries;
+use sbomdiff_resolver::{dry_run, Platform};
+use sbomdiff_types::{Ecosystem, Sbom};
+
+struct Fixture {
+    regs: Registries,
+    repos: Vec<sbomdiff_metadata::RepoFs>,
+    sboms: Vec<Vec<Sbom>>,
+}
+
+fn fixture(eco: Ecosystem, n: usize) -> Fixture {
+    let regs = Registries::generate(1001);
+    let repos = Corpus::build_language(
+        &regs,
+        &CorpusConfig {
+            repos_per_language: n,
+            seed: 77,
+        },
+        eco,
+    );
+    let tools = studied_tools(&regs, 0.15);
+    let sboms = repos
+        .iter()
+        .map(|r| tools.iter().map(|t| t.generate(r)).collect())
+        .collect();
+    Fixture { regs, repos, sboms }
+}
+
+/// Fig. 1 pipeline: corpus → 4 tools → per-repo counts.
+fn fig1_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::Python, 10);
+    c.bench_function("fig1_counts_pipeline", |b| {
+        let tools = studied_tools(&f.regs, 0.15);
+        b.iter(|| {
+            let mut totals = [0usize; 4];
+            for repo in &f.repos {
+                for (i, t) in tools.iter().enumerate() {
+                    totals[i] += t.generate(black_box(repo)).len();
+                }
+            }
+            totals
+        })
+    });
+}
+
+/// Fig. 2 pipeline: pairwise Jaccard over generated SBOMs.
+fn fig2_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::JavaScript, 10);
+    c.bench_function("fig2_jaccard_pipeline", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for sboms in &f.sboms {
+                for a in 0..4 {
+                    for bx in (a + 1)..4 {
+                        if let Some(j) =
+                            jaccard(&key_set(&sboms[a]), &key_set(&sboms[bx]))
+                        {
+                            sum += j;
+                        }
+                    }
+                }
+            }
+            sum
+        })
+    });
+}
+
+/// Table I pipeline: duplicate rates.
+fn table1_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::Java, 10);
+    c.bench_function("table1_duplicates_pipeline", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|i| duplicate_rate(f.sboms.iter().map(|s| &s[i])))
+                .collect::<Vec<f64>>()
+        })
+    });
+}
+
+/// Table III pipeline: pip dry run + precision/recall scoring.
+fn table3_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::Python, 10);
+    let platform = Platform::default();
+    c.bench_function("table3_accuracy_pipeline", |b| {
+        let registry = f.regs.for_ecosystem(Ecosystem::Python);
+        b.iter(|| {
+            let mut total = PrecisionRecall::default();
+            for (repo, sboms) in f.repos.iter().zip(&f.sboms) {
+                let truth: std::collections::BTreeSet<(String, String)> =
+                    dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
+                        .keys()
+                        .collect();
+                let reported: std::collections::BTreeSet<(String, String)> = sboms[0]
+                    .components()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.version.clone().unwrap_or_default()))
+                    .collect();
+                total.merge(PrecisionRecall::score(&reported, &truth));
+            }
+            total
+        })
+    });
+}
+
+/// Table IV pipeline: the full attack catalog evaluation.
+fn table4_pipeline(c: &mut Criterion) {
+    let regs = Registries::generate(1001);
+    c.bench_function("table4_attack_pipeline", |b| {
+        b.iter(|| evaluate_catalog(black_box(&regs), true))
+    });
+}
+
+/// §V stats pipeline: corpus introspection.
+fn stats_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::Python, 10);
+    c.bench_function("stats_pipeline", |b| {
+        b.iter(|| CorpusStats::compute(Ecosystem::Python, black_box(&f.repos)))
+    });
+}
+
+/// §VII benchmark pipeline: grade one tool on all crafted cases.
+fn benchscore_pipeline(c: &mut Criterion) {
+    let cases = benchx::cases::all_cases();
+    c.bench_function("benchscore_pipeline", |b| {
+        let tool = ToolEmulator::github_dg();
+        b.iter(|| benchx::score_generator(&tool, black_box(&cases)))
+    });
+}
+
+/// Vulnerability-impact pipeline: advisory DB + SBOM scan vs ground truth.
+fn vulnimpact_pipeline(c: &mut Criterion) {
+    let f = fixture(Ecosystem::Python, 10);
+    let db = sbomdiff_vuln::AdvisoryDb::generate(&f.regs, 1, 0.25);
+    let platform = Platform::default();
+    c.bench_function("vulnimpact_pipeline", |b| {
+        let registry = f.regs.for_ecosystem(Ecosystem::Python);
+        b.iter(|| {
+            let mut missed = 0usize;
+            for (repo, sboms) in f.repos.iter().zip(&f.sboms) {
+                let truth =
+                    dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
+                for sbom in sboms {
+                    missed += sbomdiff_vuln::assess(&db, sbom, &truth.installed)
+                        .missed
+                        .len();
+                }
+            }
+            missed
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets =
+    fig1_pipeline,
+    fig2_pipeline,
+    table1_pipeline,
+    table3_pipeline,
+    table4_pipeline,
+    stats_pipeline,
+    benchscore_pipeline,
+    vulnimpact_pipeline
+);
+criterion_main!(benches);

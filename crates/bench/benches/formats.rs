@@ -1,0 +1,110 @@
+//! Benchmarks of the text-format substrate (JSON/TOML/YAML/XML) and the
+//! CycloneDX / SPDX document layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_textformats::{json, toml, xml, yaml};
+use sbomdiff_types::{Component, Ecosystem, Purl, Sbom};
+
+fn big_json(entries: usize) -> String {
+    let mut s = String::from("{\"items\": [");
+    for i in 0..entries {
+        s.push_str(&format!(
+            "{{\"name\": \"pkg-{i}\", \"version\": \"1.{}.{}\", \"dev\": {}, \"deps\": [\"a\", \"b\"]}},",
+            i % 30,
+            i % 7,
+            i % 2 == 0
+        ));
+    }
+    s.pop();
+    s.push_str("]}");
+    s
+}
+
+fn bench_container_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_formats");
+
+    let json_doc = big_json(500);
+    group.throughput(Throughput::Bytes(json_doc.len() as u64));
+    group.bench_function("json_parse", |b| {
+        b.iter(|| json::parse(black_box(&json_doc)).unwrap())
+    });
+    let parsed = json::parse(&json_doc).unwrap();
+    group.bench_function("json_emit_pretty", |b| {
+        b.iter(|| json::to_string_pretty(black_box(&parsed)))
+    });
+
+    let mut toml_doc = String::from("version = 3\n");
+    for i in 0..300 {
+        toml_doc.push_str(&format!(
+            "\n[[package]]\nname = \"p{i}\"\nversion = \"1.{}.0\"\ndependencies = [\"a\", \"b\"]\n",
+            i % 9
+        ));
+    }
+    group.bench_function("toml_parse", |b| {
+        b.iter(|| toml::parse(black_box(&toml_doc)).unwrap())
+    });
+
+    let mut yaml_doc = String::from("packages:\n\n");
+    for i in 0..300 {
+        yaml_doc.push_str(&format!(
+            "  /pkg-{i}@2.{}.{}:\n    resolution: {{integrity: sha512-x}}\n    dev: false\n\n",
+            i % 12,
+            i % 5
+        ));
+    }
+    group.bench_function("yaml_parse", |b| {
+        b.iter(|| yaml::parse(black_box(&yaml_doc)).unwrap())
+    });
+
+    let mut xml_doc = String::from("<root>");
+    for i in 0..300 {
+        xml_doc.push_str(&format!(
+            "<item attr=\"v{i}\"><name>n{i}</name><version>3.{}</version></item>",
+            i % 8
+        ));
+    }
+    xml_doc.push_str("</root>");
+    group.bench_function("xml_parse", |b| {
+        b.iter(|| xml::parse(black_box(&xml_doc)).unwrap())
+    });
+    group.finish();
+}
+
+fn sample_sbom(components: usize) -> Sbom {
+    let mut sbom = Sbom::new("bench-tool", "1.0").with_subject("bench-repo");
+    for i in 0..components {
+        let name = format!("pkg-{i}");
+        let version = format!("1.{}.{}", i % 30, i % 7);
+        sbom.push(
+            Component::new(Ecosystem::Python, &name, Some(version.clone()))
+                .with_found_in("requirements.txt")
+                .with_purl(Purl::for_package(Ecosystem::Python, &name, Some(&version))),
+        );
+    }
+    sbom
+}
+
+fn bench_sbom_documents(c: &mut Criterion) {
+    let sbom = sample_sbom(400);
+    let mut group = c.benchmark_group("sbom_documents");
+    for format in [SbomFormat::CycloneDx, SbomFormat::Spdx] {
+        let label = match format {
+            SbomFormat::CycloneDx => "cyclonedx",
+            SbomFormat::Spdx => "spdx",
+        };
+        group.bench_function(format!("{label}_serialize"), |b| {
+            b.iter(|| format.serialize(black_box(&sbom)))
+        });
+        let text = format.serialize(&sbom);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(format!("{label}_parse"), |b| {
+            b.iter(|| format.parse(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_container_formats, bench_sbom_documents);
+criterion_main!(benches);

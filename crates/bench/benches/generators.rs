@@ -1,0 +1,92 @@
+//! End-to-end SBOM generation benchmarks: one repository per ecosystem,
+//! scanned by each emulated tool and by the best-practice generator.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sbomdiff_corpus::{Corpus, CorpusConfig};
+use sbomdiff_generators::{
+    BestPracticeGenerator, SbomGenerator, ToolEmulator,
+};
+use sbomdiff_registry::Registries;
+use sbomdiff_types::Ecosystem;
+
+fn bench_tools_per_language(c: &mut Criterion) {
+    let regs = Registries::generate(33);
+    let config = CorpusConfig {
+        repos_per_language: 1,
+        seed: 8,
+    };
+    let mut group = c.benchmark_group("generate_sbom");
+    for eco in [
+        Ecosystem::Python,
+        Ecosystem::JavaScript,
+        Ecosystem::Go,
+        Ecosystem::Rust,
+    ] {
+        let repos = Corpus::build_language(&regs, &config, eco);
+        let repo = &repos[0];
+        let label = eco.label().to_lowercase();
+        group.bench_function(format!("trivy_{label}"), |b| {
+            let tool = ToolEmulator::trivy();
+            b.iter(|| tool.generate(black_box(repo)))
+        });
+        group.bench_function(format!("syft_{label}"), |b| {
+            let tool = ToolEmulator::syft();
+            b.iter(|| tool.generate(black_box(repo)))
+        });
+        group.bench_function(format!("sbom_tool_{label}"), |b| {
+            let tool = ToolEmulator::sbom_tool(&regs, 0.15);
+            b.iter(|| tool.generate(black_box(repo)))
+        });
+        group.bench_function(format!("github_dg_{label}"), |b| {
+            let tool = ToolEmulator::github_dg();
+            b.iter(|| tool.generate(black_box(repo)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_practice(c: &mut Criterion) {
+    let regs = Registries::generate(33);
+    let repos = Corpus::build_language(
+        &regs,
+        &CorpusConfig {
+            repos_per_language: 1,
+            seed: 8,
+        },
+        Ecosystem::Python,
+    );
+    let repo = &repos[0];
+    c.bench_function("best_practice_python", |b| {
+        let generator = BestPracticeGenerator::new(&regs);
+        b.iter(|| generator.generate(black_box(repo)))
+    });
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let regs = Registries::generate(33);
+    c.bench_function("corpus_python_10_repos", |b| {
+        b.iter(|| {
+            Corpus::build_language(
+                &regs,
+                &CorpusConfig {
+                    repos_per_language: 10,
+                    seed: 3,
+                },
+                Ecosystem::Python,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets =
+    bench_tools_per_language,
+    bench_best_practice,
+    bench_corpus_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the metadata parsers (the per-file cost every SBOM
+//! generator pays).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sbomdiff_metadata::python::ReqStyle;
+use sbomdiff_metadata::{dotnet, golang, java, javascript, php, python, ruby, rust_lang};
+
+fn requirements_input(lines: usize) -> String {
+    let mut out = String::new();
+    for i in 0..lines {
+        match i % 5 {
+            0 => out.push_str(&format!("package-{i}==1.{}.{}\n", i % 20, i % 7)),
+            1 => out.push_str(&format!("package-{i}>={}.0\n", i % 9)),
+            2 => out.push_str(&format!("package-{i}\n")),
+            3 => out.push_str(&format!("package-{i}[extra]~=2.{}\n", i % 5)),
+            _ => out.push_str(&format!(
+                "package-{i}>=1.0,<2.0; python_version >= '3.8'\n"
+            )),
+        }
+    }
+    out
+}
+
+fn bench_requirements(c: &mut Criterion) {
+    let input = requirements_input(200);
+    let mut group = c.benchmark_group("requirements_txt");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for (label, style) in [
+        ("pip_reference", ReqStyle::Pip),
+        ("trivy_syft", ReqStyle::TrivySyft),
+        ("sbom_tool", ReqStyle::SbomTool),
+        ("github_dg", ReqStyle::GithubDg),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| python::parse_requirements(black_box(&input), style))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lockfiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lockfiles");
+
+    let mut package_lock =
+        String::from("{\"lockfileVersion\": 3, \"packages\": {\"\": {},");
+    for i in 0..300 {
+        package_lock.push_str(&format!(
+            "\"node_modules/pkg-{i}\": {{\"version\": \"1.{}.{}\", \"dev\": {}}},",
+            i % 30,
+            i % 11,
+            i % 3 == 0
+        ));
+    }
+    package_lock.pop();
+    package_lock.push_str("}}");
+    group.throughput(Throughput::Bytes(package_lock.len() as u64));
+    group.bench_function("package_lock_json", |b| {
+        b.iter(|| javascript::parse_package_lock(black_box(&package_lock)))
+    });
+
+    let mut cargo_lock = String::from("version = 3\n");
+    for i in 0..300 {
+        cargo_lock.push_str(&format!(
+            "\n[[package]]\nname = \"crate-{i}\"\nversion = \"0.{}.{}\"\n",
+            i % 40,
+            i % 13
+        ));
+    }
+    group.bench_function("cargo_lock", |b| {
+        b.iter(|| rust_lang::parse_cargo_lock(black_box(&cargo_lock)))
+    });
+
+    let mut gemfile_lock = String::from("GEM\n  remote: https://rubygems.org/\n  specs:\n");
+    for i in 0..300 {
+        gemfile_lock.push_str(&format!("    gem-{i} (2.{}.{})\n", i % 25, i % 9));
+    }
+    gemfile_lock.push_str("\nDEPENDENCIES\n  gem-0\n");
+    group.bench_function("gemfile_lock", |b| {
+        b.iter(|| ruby::parse_gemfile_lock(black_box(&gemfile_lock)))
+    });
+
+    let mut go_sum = String::new();
+    for i in 0..300 {
+        go_sum.push_str(&format!(
+            "github.com/org{}/mod-{i} v1.{}.{} h1:hash=\n",
+            i % 50,
+            i % 20,
+            i % 7
+        ));
+    }
+    group.bench_function("go_sum", |b| {
+        b.iter(|| golang::parse_go_sum(black_box(&go_sum)))
+    });
+    group.finish();
+}
+
+fn bench_raw_metadata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw_metadata");
+
+    let mut pom = String::from("<project><groupId>g</groupId><artifactId>a</artifactId><version>1.0</version><dependencies>");
+    for i in 0..120 {
+        pom.push_str(&format!(
+            "<dependency><groupId>org.g{}</groupId><artifactId>art-{i}</artifactId><version>3.{}.{}</version></dependency>",
+            i % 15, i % 10, i % 6
+        ));
+    }
+    pom.push_str("</dependencies></project>");
+    group.bench_function("pom_xml", |b| {
+        b.iter(|| java::parse_pom_xml(black_box(&pom)))
+    });
+
+    let mut composer = String::from("{\"require\": {");
+    for i in 0..120 {
+        composer.push_str(&format!("\"vendor{}/pkg-{i}\": \"^{}.0\",", i % 20, i % 8));
+    }
+    composer.pop();
+    composer.push_str("}}");
+    group.bench_function("composer_json", |b| {
+        b.iter(|| php::parse_composer_json(black_box(&composer)))
+    });
+
+    let mut csproj = String::from("<Project><ItemGroup>");
+    for i in 0..120 {
+        csproj.push_str(&format!(
+            "<PackageReference Include=\"Pkg.Number{i}\" Version=\"4.{}.{}\" />",
+            i % 12,
+            i % 5
+        ));
+    }
+    csproj.push_str("</ItemGroup></Project>");
+    group.bench_function("csproj", |b| {
+        b.iter(|| dotnet::parse_csproj(black_box(&csproj)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_requirements,
+    bench_lockfiles,
+    bench_raw_metadata
+);
+criterion_main!(benches);

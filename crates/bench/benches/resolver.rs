@@ -1,0 +1,80 @@
+//! Benchmarks of the registry substrate and dependency resolution,
+//! including the pip dry-run ground-truth engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbomdiff_registry::{PackageUniverse, Registries, UniverseConfig};
+use sbomdiff_resolver::{
+    dry_run,
+    engine::{resolve, DedupPolicy, RootDep},
+    Platform,
+};
+use sbomdiff_types::Ecosystem;
+
+fn bench_universe_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_generation");
+    for count in [100usize, 400, 800] {
+        group.bench_with_input(BenchmarkId::new("python", count), &count, |b, &count| {
+            b.iter(|| {
+                PackageUniverse::generate(&UniverseConfig {
+                    package_count: count,
+                    ..UniverseConfig::for_ecosystem(Ecosystem::Python, 9)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let uni = PackageUniverse::generate(&UniverseConfig::for_ecosystem(
+        Ecosystem::JavaScript,
+        7,
+    ));
+    let names: Vec<String> = uni.package_names().map(str::to_string).collect();
+    let roots: Vec<RootDep> = names
+        .iter()
+        .rev()
+        .take(20)
+        .map(|n| RootDep::new(n.clone(), None))
+        .collect();
+    let mut group = c.benchmark_group("resolution");
+    for policy in [
+        DedupPolicy::HighestWins,
+        DedupPolicy::FirstWins,
+        DedupPolicy::PerMajor,
+    ] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| resolve(black_box(&uni), black_box(&roots), policy, true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dry_run(c: &mut Criterion) {
+    let regs = Registries::generate(5);
+    let uni = regs.for_ecosystem(Ecosystem::Python);
+    let names: Vec<String> = uni.package_names().map(str::to_string).collect();
+    let mut requirements = String::new();
+    for (i, n) in names.iter().rev().take(25).enumerate() {
+        match i % 3 {
+            0 => requirements.push_str(&format!("{n}\n")),
+            1 => requirements.push_str(&format!("{n}>=0.1\n")),
+            _ => requirements.push_str(&format!("{n}; python_version >= '3.8'\n")),
+        }
+    }
+    let files: std::collections::BTreeMap<String, String> =
+        [("requirements.txt".to_string(), requirements)].into();
+    let platform = Platform::default();
+    c.bench_function("pip_dry_run_ground_truth", |b| {
+        b.iter(|| dry_run(uni, black_box(&files), "requirements.txt", &platform))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_universe_generation,
+    bench_resolution,
+    bench_dry_run
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Criterion benchmark harness crate. All content lives in `benches/`:
+//! `parsers`, `formats`, `resolver`, `generators`, and `experiments` (one
+//! group per paper table/figure pipeline).

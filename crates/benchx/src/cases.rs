@@ -1,0 +1,421 @@
+//! Crafted benchmark metadata files with ground truth.
+
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_types::Ecosystem;
+
+/// One expected finding for a benchmark case.
+#[derive(Debug, Clone)]
+pub struct GroundTruthEntry {
+    /// Package name (registry spelling).
+    pub name: &'static str,
+    /// The exact version a correct tool should report, when determinable
+    /// from the file alone (pinned); `None` for ranges/bare names.
+    pub version: Option<&'static str>,
+}
+
+impl GroundTruthEntry {
+    const fn pinned(name: &'static str, version: &'static str) -> Self {
+        GroundTruthEntry {
+            name,
+            version: Some(version),
+        }
+    }
+
+    const fn name_only(name: &'static str) -> Self {
+        GroundTruthEntry {
+            name,
+            version: None,
+        }
+    }
+}
+
+/// One benchmark case: a crafted metadata file (possibly with companions)
+/// and its ground truth.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCase {
+    /// Identifier (mirrors a file in the published benchmark).
+    pub id: &'static str,
+    /// Ecosystem under test.
+    pub ecosystem: Ecosystem,
+    /// Files of the case: (path, content).
+    pub files: Vec<(&'static str, &'static str)>,
+    /// What a correct generator must find.
+    pub ground_truth: Vec<GroundTruthEntry>,
+}
+
+impl BenchmarkCase {
+    /// Materializes the case as a repository.
+    pub fn repo(&self) -> RepoFs {
+        let mut repo = RepoFs::new(format!("bench-{}", self.id));
+        for (path, content) in &self.files {
+            repo.add_text(*path, *content);
+        }
+        repo
+    }
+}
+
+/// The Python cases (the deepest coverage, as in the published benchmark).
+pub fn python_cases() -> Vec<BenchmarkCase> {
+    vec![
+        BenchmarkCase {
+            id: "py-pinned-basic",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "numpy==1.19.2\nrequests==2.31.0\nflask==2.3.2\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+                GroundTruthEntry::pinned("flask", "2.3.2"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-ranges",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "requests>=2.8.1\nflask>=1.0,<3.0\nnumpy~=1.24\nclick!=7.0,>=6.0\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::name_only("flask"),
+                GroundTruthEntry::name_only("numpy"),
+                GroundTruthEntry::name_only("click"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-bare-names",
+            ecosystem: Ecosystem::Python,
+            files: vec![("requirements.txt", "requests\nnumpy\npytest\n")],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::name_only("numpy"),
+                GroundTruthEntry::name_only("pytest"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-extras",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "requests[security]==2.31.0\nrequests [socks] >= 2.8.1\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+                GroundTruthEntry::name_only("requests"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-markers",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "numpy==1.19.2; python_version >= '3.8'\npywin32==306; sys_platform == 'win32'\n",
+            )],
+            // Both declarations should be *reported* (the SBOM documents
+            // the source); installation-time filtering is the resolver's
+            // concern.
+            ground_truth: vec![
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+                GroundTruthEntry::pinned("pywin32", "306"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-continuation",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "numpy \\\n==\\\n1.19.2\nrequests==\\\n2.31.0\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-includes",
+            ecosystem: Ecosystem::Python,
+            files: vec![
+                ("requirements.txt", "-r requirements-base.txt\nflask==2.3.2\n"),
+                ("requirements-base.txt", "numpy==1.19.2\n"),
+            ],
+            // A correct tool reports both files' contents; note the
+            // included file is itself metadata, so scanning both files
+            // without following `-r` still finds numpy (once).
+            ground_truth: vec![
+                GroundTruthEntry::pinned("flask", "2.3.2"),
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-exotic-sources",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "urllib3 @ git+https://github.com/urllib3/urllib3@2a7eb51\n./vendor/local_pkg-1.0.0-py3-none-any.whl\nhttps://files.example.net/remote_pkg-2.0.0.tar.gz\n-e ./src/editable_pkg\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("urllib3"),
+                GroundTruthEntry::pinned("local_pkg", "1.0.0"),
+                GroundTruthEntry::pinned("remote_pkg", "2.0.0"),
+                GroundTruthEntry::name_only("editable_pkg"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-comments-whitespace",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "# header comment\n\n  numpy==1.19.2   # inline comment\n\t\nrequests==2.31.0\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-hashes",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "requirements.txt",
+                "numpy==1.19.2 --hash=sha256:0000000000000000000000000000000000000000000000000000000000000000\n",
+            )],
+            ground_truth: vec![GroundTruthEntry::pinned("numpy", "1.19.2")],
+        },
+        BenchmarkCase {
+            id: "py-parenthesized",
+            ecosystem: Ecosystem::Python,
+            files: vec![("requirements.txt", "requests (>=2.8.1)\nnumpy (==1.19.2)\n")],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-setup-py",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "setup.py",
+                "from setuptools import setup\nsetup(\n    name='demo',\n    install_requires=[\n        'requests>=2.8.1',\n        'numpy==1.19.2',\n    ],\n)\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-poetry-lock",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "poetry.lock",
+                "[[package]]\nname = \"requests\"\nversion = \"2.31.0\"\ncategory = \"main\"\n\n[[package]]\nname = \"pytest\"\nversion = \"7.4.0\"\ncategory = \"dev\"\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+                GroundTruthEntry::pinned("pytest", "7.4.0"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-pipfile-lock",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "Pipfile.lock",
+                "{\"default\": {\"requests\": {\"version\": \"==2.31.0\"}}, \"develop\": {\"pytest\": {\"version\": \"==7.4.0\"}}}",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("requests", "2.31.0"),
+                GroundTruthEntry::pinned("pytest", "7.4.0"),
+            ],
+        },
+    ]
+}
+
+/// Additional Python cases for formats outside Table II (reference-layer
+/// coverage: none of the studied tools read these in the evaluated
+/// versions, so only the best-practice generator scores).
+pub fn python_extension_cases() -> Vec<BenchmarkCase> {
+    vec![
+        BenchmarkCase {
+            id: "py-pyproject-pep621",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "pyproject.toml",
+                "[project]\nname = \"demo\"\ndependencies = [\n  \"requests>=2.8.1\",\n  \"numpy==1.19.2\",\n]\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+            ],
+        },
+        BenchmarkCase {
+            id: "py-pyproject-poetry",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "pyproject.toml",
+                "[tool.poetry]\nname = \"demo\"\n\n[tool.poetry.dependencies]\npython = \"^3.11\"\nrequests = \"^2.28\"\n",
+            )],
+            ground_truth: vec![GroundTruthEntry::name_only("requests")],
+        },
+        BenchmarkCase {
+            id: "py-setup-cfg",
+            ecosystem: Ecosystem::Python,
+            files: vec![(
+                "setup.cfg",
+                "[metadata]\nname = demo\n\n[options]\ninstall_requires =\n    requests>=2.8.1\n    numpy==1.19.2\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("requests"),
+                GroundTruthEntry::pinned("numpy", "1.19.2"),
+            ],
+        },
+    ]
+}
+
+/// Cases for the other studied languages (one or two per ecosystem, as the
+/// published benchmark grows beyond Python).
+pub fn other_language_cases() -> Vec<BenchmarkCase> {
+    vec![
+        BenchmarkCase {
+            id: "js-package-json",
+            ecosystem: Ecosystem::JavaScript,
+            files: vec![(
+                "package.json",
+                "{\"dependencies\": {\"lodash\": \"^4.17.21\", \"express\": \"4.18.2\"}, \"devDependencies\": {\"jest\": \"~29.6.2\"}}",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("lodash"),
+                GroundTruthEntry::pinned("express", "4.18.2"),
+                GroundTruthEntry::name_only("jest"),
+            ],
+        },
+        BenchmarkCase {
+            id: "js-package-lock",
+            ecosystem: Ecosystem::JavaScript,
+            files: vec![(
+                "package-lock.json",
+                "{\"lockfileVersion\": 3, \"packages\": {\"\": {}, \"node_modules/lodash\": {\"version\": \"4.17.21\"}, \"node_modules/ms\": {\"version\": \"2.1.3\", \"dev\": true}}}",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("lodash", "4.17.21"),
+                GroundTruthEntry::pinned("ms", "2.1.3"),
+            ],
+        },
+        BenchmarkCase {
+            id: "ruby-gemfile",
+            ecosystem: Ecosystem::Ruby,
+            files: vec![(
+                "Gemfile",
+                "source 'https://rubygems.org'\ngem 'rails', '~> 7.0.4'\ngem 'rake'\ngem 'rspec', group: :development\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("rails"),
+                GroundTruthEntry::name_only("rake"),
+                GroundTruthEntry::name_only("rspec"),
+            ],
+        },
+        BenchmarkCase {
+            id: "php-composer-json",
+            ecosystem: Ecosystem::Php,
+            files: vec![(
+                "composer.json",
+                "{\"require\": {\"php\": \">=8.0\", \"monolog/monolog\": \"^3.0\"}, \"require-dev\": {\"phpunit/phpunit\": \"^10.0\"}}",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("monolog/monolog"),
+                GroundTruthEntry::name_only("phpunit/phpunit"),
+            ],
+        },
+        BenchmarkCase {
+            id: "java-pom-properties",
+            ecosystem: Ecosystem::Java,
+            files: vec![(
+                "pom.xml",
+                "<project><groupId>g</groupId><artifactId>a</artifactId><version>1.0</version><properties><slf4j.version>2.0.7</slf4j.version></properties><dependencies><dependency><groupId>org.slf4j</groupId><artifactId>slf4j-api</artifactId><version>${slf4j.version}</version></dependency></dependencies></project>",
+            )],
+            ground_truth: vec![GroundTruthEntry::pinned("org.slf4j:slf4j-api", "2.0.7")],
+        },
+        BenchmarkCase {
+            id: "go-mod-replace",
+            ecosystem: Ecosystem::Go,
+            files: vec![(
+                "go.mod",
+                "module m\n\ngo 1.21\n\nrequire (\n\tgithub.com/stretchr/testify v1.8.4\n\tgolang.org/x/sync v0.3.0 // indirect\n)\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::pinned("github.com/stretchr/testify", "v1.8.4"),
+                GroundTruthEntry::pinned("golang.org/x/sync", "v0.3.0"),
+            ],
+        },
+        BenchmarkCase {
+            id: "rust-cargo-toml",
+            ecosystem: Ecosystem::Rust,
+            files: vec![(
+                "Cargo.toml",
+                "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = { version = \"1.0\", features = [\"derive\"] }\nrand = \"0.8\"\n\n[dev-dependencies]\nproptest = \"1\"\n",
+            )],
+            ground_truth: vec![
+                GroundTruthEntry::name_only("serde"),
+                GroundTruthEntry::name_only("rand"),
+                GroundTruthEntry::name_only("proptest"),
+            ],
+        },
+        BenchmarkCase {
+            id: "swift-package",
+            ecosystem: Ecosystem::Swift,
+            files: vec![(
+                "Package.swift",
+                "// swift-tools-version:5.7\nimport PackageDescription\nlet package = Package(\n    name: \"Demo\",\n    dependencies: [\n        .package(url: \"https://github.com/synthetic/SnapKit.git\", exact: \"5.6.0\"),\n    ]\n)\n",
+            )],
+            ground_truth: vec![GroundTruthEntry::pinned("SnapKit", "5.6.0")],
+        },
+        BenchmarkCase {
+            id: "dotnet-csproj",
+            ecosystem: Ecosystem::DotNet,
+            files: vec![(
+                "App.csproj",
+                "<Project Sdk=\"Microsoft.NET.Sdk\"><ItemGroup><PackageReference Include=\"Newtonsoft.Json\" Version=\"13.0.3\" /></ItemGroup></Project>",
+            )],
+            ground_truth: vec![GroundTruthEntry::pinned("Newtonsoft.Json", "13.0.3")],
+        },
+    ]
+}
+
+/// Every case (Python plus other languages).
+pub fn all_cases() -> Vec<BenchmarkCase> {
+    let mut cases = python_cases();
+    cases.extend(python_extension_cases());
+    cases.extend(other_language_cases());
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_ids_are_unique() {
+        let cases = all_cases();
+        let ids: std::collections::BTreeSet<&str> = cases.iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), cases.len());
+    }
+
+    #[test]
+    fn every_case_has_ground_truth_and_files() {
+        for case in all_cases() {
+            assert!(!case.files.is_empty(), "{}", case.id);
+            assert!(!case.ground_truth.is_empty(), "{}", case.id);
+            let repo = case.repo();
+            assert!(
+                !repo.metadata_files().is_empty(),
+                "{}: files not detected as metadata",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn python_has_the_deepest_coverage() {
+        assert!(python_cases().len() >= 10);
+    }
+}

@@ -1,0 +1,175 @@
+//! Scoring harness: grades a generator's output against a case's ground
+//! truth — name-level completeness and version-level accuracy.
+
+use sbomdiff_generators::SbomGenerator;
+use sbomdiff_types::name::normalize;
+
+use crate::cases::BenchmarkCase;
+
+/// Score for one case.
+#[derive(Debug, Clone)]
+pub struct CaseScore {
+    /// Case id.
+    pub id: &'static str,
+    /// Ground-truth entries whose *name* was reported.
+    pub names_found: usize,
+    /// Total ground-truth entries.
+    pub names_total: usize,
+    /// Pinned ground-truth entries reported with the exact version.
+    pub versions_correct: usize,
+    /// Total pinned ground-truth entries.
+    pub versions_total: usize,
+}
+
+impl CaseScore {
+    /// True when every name and pinned version was found.
+    pub fn is_perfect(&self) -> bool {
+        self.names_found == self.names_total && self.versions_correct == self.versions_total
+    }
+}
+
+/// Aggregate over many cases (micro-averaged).
+#[derive(Debug, Clone, Default)]
+pub struct BenchmarkScore {
+    /// Per-case scores.
+    pub cases: Vec<CaseScore>,
+}
+
+impl BenchmarkScore {
+    /// Fraction of ground-truth names detected across all cases.
+    pub fn name_recall(&self) -> f64 {
+        let total: usize = self.cases.iter().map(|c| c.names_total).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let found: usize = self.cases.iter().map(|c| c.names_found).sum();
+        found as f64 / total as f64
+    }
+
+    /// Fraction of pinned versions reported exactly.
+    pub fn version_accuracy(&self) -> f64 {
+        let total: usize = self.cases.iter().map(|c| c.versions_total).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = self.cases.iter().map(|c| c.versions_correct).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Number of cases fully passed.
+    pub fn perfect_cases(&self) -> usize {
+        self.cases.iter().filter(|c| c.is_perfect()).count()
+    }
+}
+
+/// Scores one generator on one case.
+pub fn score_case<G: SbomGenerator + ?Sized>(generator: &G, case: &BenchmarkCase) -> CaseScore {
+    let repo = case.repo();
+    let sbom = generator.generate(&repo);
+    let reported: Vec<(String, Option<String>)> = sbom
+        .components()
+        .iter()
+        .map(|c| {
+            (
+                normalize(c.ecosystem, &c.name),
+                c.version.clone(),
+            )
+        })
+        .collect();
+    let mut names_found = 0;
+    let mut versions_correct = 0;
+    let mut versions_total = 0;
+    for gt in &case.ground_truth {
+        let want_name = normalize(case.ecosystem, gt.name);
+        let name_hits: Vec<&(String, Option<String>)> = reported
+            .iter()
+            .filter(|(n, _)| {
+                *n == want_name
+                    // Tools with artifact-only naming (§V-E) still count as
+                    // *finding* the package for Java compound names.
+                    || (case.ecosystem == sbomdiff_types::Ecosystem::Java
+                        && want_name.ends_with(&format!(":{n}")))
+            })
+            .collect();
+        if !name_hits.is_empty() {
+            names_found += 1;
+        }
+        if let Some(want_version) = gt.version {
+            versions_total += 1;
+            let canonical_want = want_version.trim_start_matches('v');
+            if name_hits.iter().any(|(_, v)| {
+                v.as_deref()
+                    .map(|v| v.trim_start_matches('v') == canonical_want)
+                    .unwrap_or(false)
+            }) {
+                versions_correct += 1;
+            }
+        }
+    }
+    CaseScore {
+        id: case.id,
+        names_found,
+        names_total: case.ground_truth.len(),
+        versions_correct,
+        versions_total,
+    }
+}
+
+/// Scores a generator on a case list.
+pub fn score_generator<G: SbomGenerator + ?Sized>(
+    generator: &G,
+    cases: &[BenchmarkCase],
+) -> BenchmarkScore {
+    BenchmarkScore {
+        cases: cases.iter().map(|c| score_case(generator, c)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use sbomdiff_generators::ToolEmulator;
+
+    #[test]
+    fn trivy_fails_continuation_case() {
+        let cases = cases::python_cases();
+        let case = cases.iter().find(|c| c.id == "py-continuation").unwrap();
+        let score = score_case(&ToolEmulator::trivy(), case);
+        assert_eq!(score.names_found, 0);
+        assert!(!score.is_perfect());
+    }
+
+    #[test]
+    fn trivy_passes_pinned_basic() {
+        let cases = cases::python_cases();
+        let case = cases.iter().find(|c| c.id == "py-pinned-basic").unwrap();
+        let score = score_case(&ToolEmulator::trivy(), case);
+        assert!(score.is_perfect(), "{score:?}");
+    }
+
+    #[test]
+    fn github_passes_ranges_but_not_exotics() {
+        let all = cases::python_cases();
+        let ranges = all.iter().find(|c| c.id == "py-ranges").unwrap();
+        let github = ToolEmulator::github_dg();
+        assert!(score_case(&github, ranges).names_found == 4);
+        let exotic = all.iter().find(|c| c.id == "py-exotic-sources").unwrap();
+        assert_eq!(score_case(&github, exotic).names_found, 0);
+    }
+
+    #[test]
+    fn aggregate_scores_bounded() {
+        let score = score_generator(&ToolEmulator::syft(), &cases::all_cases());
+        assert!((0.0..=1.0).contains(&score.name_recall()));
+        assert!((0.0..=1.0).contains(&score.version_accuracy()));
+        assert!(score.perfect_cases() <= score.cases.len());
+    }
+
+    #[test]
+    fn empty_benchmark_scores_zero() {
+        let score = score_generator(&ToolEmulator::trivy(), &[]);
+        assert_eq!(score.name_recall(), 0.0);
+        assert_eq!(score.version_accuracy(), 0.0);
+    }
+}

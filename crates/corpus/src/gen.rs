@@ -1,0 +1,995 @@
+//! Per-ecosystem repository synthesis, calibrated to §V's population
+//! statistics (see the crate docs for the targets).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_registry::PackageUniverse;
+use sbomdiff_resolver::engine::{resolve, DedupPolicy, RootDep};
+use sbomdiff_types::{ConstraintFlavor, DepScope, Ecosystem, Version, VersionReq};
+
+use crate::render::{self, GemLockSpec, LockRow};
+
+/// Corpus-level configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Repositories generated per ecosystem.
+    pub repos_per_language: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            repos_per_language: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// Shape descriptor of one generated repository (returned for tests and
+/// stats; the repository content itself is the [`RepoFs`]).
+#[derive(Debug, Clone, Default)]
+pub struct RepoProfile {
+    /// Whether any lockfile was generated.
+    pub has_lockfile: bool,
+}
+
+/// Generates one repository for an ecosystem.
+pub fn gen_repo(
+    eco: Ecosystem,
+    registry: &PackageUniverse,
+    rng: &mut StdRng,
+    index: usize,
+) -> RepoFs {
+    let name = format!("{}-repo-{index:04}", eco.label().to_lowercase().replace('.', ""));
+    let mut repo = RepoFs::new(name);
+    match eco {
+        Ecosystem::Python => gen_python(registry, rng, &mut repo),
+        Ecosystem::JavaScript => gen_javascript(registry, rng, &mut repo),
+        Ecosystem::Ruby => gen_ruby(registry, rng, &mut repo),
+        Ecosystem::Php => gen_php(registry, rng, &mut repo),
+        Ecosystem::Java => gen_java(registry, rng, &mut repo),
+        Ecosystem::Go => gen_go(registry, rng, &mut repo),
+        Ecosystem::Rust => gen_rust(registry, rng, &mut repo),
+        Ecosystem::Swift => gen_swift(registry, rng, &mut repo),
+        Ecosystem::DotNet => gen_dotnet(registry, rng, &mut repo),
+    }
+    repo
+}
+
+/// Picks `n` distinct package entries from the registry.
+fn pick<'r>(
+    registry: &'r PackageUniverse,
+    rng: &mut StdRng,
+    n: usize,
+) -> Vec<(&'r str, Vec<&'r Version>)> {
+    let names: Vec<&str> = registry.package_names().collect();
+    let mut chosen = Vec::new();
+    let mut tried = 0;
+    while chosen.len() < n && tried < n * 10 {
+        tried += 1;
+        let name = names[rng.gen_range(0..names.len())];
+        if chosen.iter().any(|(c, _)| *c == name) {
+            continue;
+        }
+        let versions = registry.versions(name);
+        if versions.is_empty() {
+            continue;
+        }
+        chosen.push((name, versions));
+    }
+    chosen
+}
+
+fn pick_version<'a>(versions: &[&'a Version], rng: &mut StdRng) -> &'a Version {
+    versions[rng.gen_range(0..versions.len())]
+}
+
+/// Resolves roots to lockfile rows (transitives included, dev propagated).
+fn resolve_rows(
+    registry: &PackageUniverse,
+    roots: &[(String, Option<VersionReq>, bool)],
+    policy: DedupPolicy,
+) -> Vec<LockRow> {
+    let root_deps: Vec<RootDep> = roots
+        .iter()
+        .map(|(name, req, dev)| RootDep {
+            name: name.clone(),
+            req: req.clone(),
+            scope: if *dev { DepScope::Dev } else { DepScope::Runtime },
+            extras: Vec::new(),
+        })
+        .collect();
+    let resolution = resolve(registry, &root_deps, policy, true);
+    resolution
+        .packages
+        .into_iter()
+        .map(|p| LockRow::new(p.name, p.version.to_string(), p.scope == DepScope::Dev))
+        .collect()
+}
+
+fn parse_req(text: &str, flavor: ConstraintFlavor) -> Option<VersionReq> {
+    VersionReq::parse(text, flavor).ok()
+}
+
+// ---------------------------------------------------------------- Python
+
+/// One requirements.txt line and the root it declares.
+struct PyLine {
+    text: String,
+    root: Option<(String, Option<VersionReq>)>,
+}
+
+/// Renders the name in a non-canonical spelling (case flips, `-`/`_`
+/// swaps) with some probability — developers write `Flask_SQLAlchemy`,
+/// pip canonicalizes, and tools report verbatim (§V-E).
+fn display_spelling(name: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.45) {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    let capitalize_all = rng.gen_bool(0.3);
+    let mut at_word_start = true;
+    for ch in name.chars() {
+        match ch {
+            '-' | '_' | '.' => {
+                out.push(if rng.gen_bool(0.5) { '_' } else { '-' });
+                at_word_start = true;
+            }
+            c => {
+                if at_word_start && (capitalize_all || rng.gen_bool(0.4)) {
+                    out.extend(c.to_uppercase());
+                } else {
+                    out.push(c);
+                }
+                at_word_start = false;
+            }
+        }
+    }
+    out
+}
+
+fn python_dep_line(
+    name: &str,
+    versions: &[&Version],
+    rng: &mut StdRng,
+) -> PyLine {
+    let display = display_spelling(name, rng);
+    let name = display.as_str();
+    let v = pick_version(versions, rng);
+    let style = rng.gen_range(0..100);
+    // 46% pinned (§V-D), ~19% bare, rest ranges.
+    let (text, req_text) = if style < 46 {
+        if rng.gen_bool(0.2) {
+            // Spaced pin: GitHub DG reports these verbatim (quirk).
+            (format!("{name} == {v}"), format!("== {v}"))
+        } else {
+            (format!("{name}=={v}"), format!("=={v}"))
+        }
+    } else if style < 65 {
+        (name.to_string(), String::new())
+    } else if style < 85 {
+        (format!("{name}>={v}"), format!(">={v}"))
+    } else if style < 95 {
+        (
+            format!("{name}>={v},<{}", v.bump_major()),
+            format!(">={v},<{}", v.bump_major()),
+        )
+    } else {
+        (
+            format!("{name}~={}.{}", v.segment(0), v.segment(1)),
+            format!("~={}.{}", v.segment(0), v.segment(1)),
+        )
+    };
+    let mut line = text;
+    let mut included = true;
+    // Environment markers (§V-H): some always-true, some excluding.
+    if rng.gen_bool(0.10) {
+        if rng.gen_bool(0.4) {
+            line.push_str("; sys_platform == 'win32'");
+            included = false;
+        } else {
+            line.push_str("; python_version >= '3.8'");
+        }
+    }
+    let req = if req_text.is_empty() {
+        None
+    } else {
+        parse_req(&req_text, ConstraintFlavor::Pep440)
+    };
+    PyLine {
+        text: line,
+        root: included.then(|| (name.to_string(), req)),
+    }
+}
+
+fn gen_requirements(
+    registry: &PackageUniverse,
+    rng: &mut StdRng,
+    n: usize,
+    allow_exotic: bool,
+) -> (String, Vec<(String, Option<VersionReq>, bool)>) {
+    let mut lines = vec!["# synthetic requirements".to_string()];
+    let mut roots = Vec::new();
+    for (name, versions) in pick(registry, rng, n) {
+        let line = python_dep_line(name, &versions, rng);
+        lines.push(line.text);
+        if let Some((n, r)) = line.root {
+            roots.push((n, r, false));
+        }
+    }
+    if allow_exotic {
+        // Exotic sources that all four tools miss (Table IV); each in ~10%
+        // of repositories per the paper's dataset observations (§VI).
+        if rng.gen_bool(0.10) {
+            lines.push("urllib3 @ git+https://github.com/urllib3/urllib3@2a7eb51".into());
+        }
+        if rng.gen_bool(0.05) {
+            lines.push("./vendor/local_pkg-1.0.0-py3-none-any.whl".into());
+        }
+        if rng.gen_bool(0.03) {
+            lines.push("https://files.example.net/remote_pkg-2.0.0.tar.gz".into());
+        }
+    }
+    (lines.join("\n") + "\n", roots)
+}
+
+fn gen_python(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n_1 = rng.gen_range(3..18);
+    let (mut main_text, mut roots) = gen_requirements(registry, rng, n_1, true);
+
+    // ~1.8% of repositories use backslash continuations (§V-B).
+    if rng.gen_bool(0.018) {
+        if let Some((name, versions)) = pick(registry, rng, 1).pop() {
+            let v = pick_version(&versions, rng);
+            main_text.push_str(&format!("{name} \\\n==\\\n{v}\n"));
+            roots.push((
+                name.to_string(),
+                parse_req(&format!("=={v}"), ConstraintFlavor::Pep440),
+                false,
+            ));
+        }
+    }
+    // ~10% use -r includes (§VI).
+    if rng.gen_bool(0.10) {
+        let n_2 = rng.gen_range(2..5);
+        let (base_text, base_roots) = gen_requirements(registry, rng, n_2, false);
+        repo.add_text("requirements-base.txt", base_text);
+        main_text.push_str("-r requirements-base.txt\n");
+        roots.extend(base_roots);
+    }
+    repo.add_text("requirements.txt", main_text.clone());
+
+    // Variant requirement files (dev/test/docs/ci/examples) push the
+    // average metadata-file count toward the paper's 5.7.
+    let variants: [(&str, f64, bool); 9] = [
+        ("requirements-dev.txt", 0.75, true),
+        ("requirements-test.txt", 0.55, true),
+        ("requirements-ci.txt", 0.50, true),
+        ("requirements-docs.txt", 0.35, true),
+        ("requirements-lint.txt", 0.30, true),
+        ("requirements-test-extra.txt", 0.40, true),
+        ("requirements-optional.txt", 0.30, true),
+        ("docs/requirements.txt", 0.25, true),
+        ("examples/requirements.txt", 0.15, false),
+    ];
+    let main_dep_lines: Vec<String> = main_text
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with(['#', '-']) && !t.ends_with('\\')
+        })
+        .map(str::to_string)
+        .collect();
+    for (path, prob, _dev) in variants {
+        if rng.gen_bool(prob) {
+            let n_3 = rng.gen_range(2..8);
+            let (mut text, _) = gen_requirements(registry, rng, n_3, false);
+            // Dev/test requirement files commonly repeat the main pins
+            // (§V-G duplicates).
+            for line in &main_dep_lines {
+                if rng.gen_bool(0.12) {
+                    text.push_str(line);
+                    text.push('\n');
+                }
+            }
+            repo.add_text(path, text);
+        }
+    }
+    // setup.py (GitHub DG only reads it, Table II).
+    if rng.gen_bool(0.45) {
+        let reqs: Vec<String> = roots
+            .iter()
+            .take(5)
+            .map(|(n, r, _)| match r {
+                Some(r) => format!("{n}{}", r.raw()),
+                None => n.clone(),
+            })
+            .collect();
+        repo.add_text("setup.py", render::setup_py(&reqs));
+    }
+    // Subprojects sharing dependencies (→ Table I duplicates).
+    let n_sub = if rng.gen_bool(0.35) { rng.gen_range(1..3) } else { 0 };
+    for s in 0..n_sub {
+        let n_4 = rng.gen_range(2..9);
+        let (text, _) = gen_requirements(registry, rng, n_4, false);
+        repo.add_text(format!("services/svc{s}/requirements.txt"), text);
+    }
+    // 7% of Python repositories carry a lockfile (≈ 93% raw-only, §V-A).
+    if rng.gen_bool(0.07) {
+        let lock_roots: Vec<(String, Option<VersionReq>, bool)> = roots.clone();
+        let rows = resolve_rows(registry, &lock_roots, DedupPolicy::HighestWins);
+        if rng.gen_bool(0.6) {
+            repo.add_text("poetry.lock", render::poetry_lock(&rows));
+        } else {
+            repo.add_text("Pipfile.lock", render::pipfile_lock(&rows));
+        }
+    }
+}
+
+// ------------------------------------------------------------ JavaScript
+
+fn js_spec(v: &Version, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..100) {
+        0..=59 => format!("^{v}"),
+        60..=74 => format!("~{v}"),
+        75..=89 => v.to_string(),
+        90..=95 => format!(">={v}"),
+        _ => "*".to_string(),
+    }
+}
+
+fn gen_package_json(
+    registry: &PackageUniverse,
+    rng: &mut StdRng,
+    n_runtime: usize,
+    n_dev: usize,
+) -> (String, Vec<(String, Option<VersionReq>, bool)>) {
+    let mut runtime = Vec::new();
+    let mut dev = Vec::new();
+    let mut roots = Vec::new();
+    for (i, (name, versions)) in pick(registry, rng, n_runtime + n_dev).into_iter().enumerate()
+    {
+        let v = pick_version(&versions, rng);
+        let spec = js_spec(v, rng);
+        let is_dev = i >= n_runtime;
+        let req = parse_req(&spec, ConstraintFlavor::Npm);
+        roots.push((name.to_string(), req, is_dev));
+        if is_dev {
+            dev.push((name.to_string(), spec));
+        } else {
+            runtime.push((name.to_string(), spec));
+        }
+    }
+    (render::package_json(&runtime, &dev), roots)
+}
+
+fn gen_javascript(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    // 76% of package.json dependencies are dev (§V-F): dev ≈ 3× runtime.
+    let n_runtime = rng.gen_range(2..7);
+    let n_dev = n_runtime * 3 + rng.gen_range(0..4);
+    let (text, mut roots) = gen_package_json(registry, rng, n_runtime, n_dev);
+    repo.add_text("package.json", text);
+    // 53% of JavaScript repositories have a lockfile (47% raw-only, §V-A).
+    let has_lockfile = rng.gen_bool(0.53);
+
+    // Monorepo workspaces and example/test package.jsons push the average
+    // metadata-file count toward the paper's 12.8. Workspace packages share
+    // the root lockfile, so their dependencies join the lockfile roots.
+    if rng.gen_bool(0.55) {
+        for p in 0..rng.gen_range(5..15) {
+            let n_5 = rng.gen_range(1..3);
+            let n_6 = rng.gen_range(2..8);
+            let (sub, sub_roots) = gen_package_json(registry, rng, n_5, n_6);
+            repo.add_text(format!("packages/pkg{p}/package.json"), sub);
+            // Messy monorepos: some packages carry their own stale
+            // package-lock.json alongside the root one (§V-G).
+            if has_lockfile && rng.gen_bool(0.06) {
+                let rows = resolve_rows(registry, &sub_roots, DedupPolicy::HighestWins);
+                repo.add_text(
+                    format!("packages/pkg{p}/package-lock.json"),
+                    render::package_lock(&rows),
+                );
+            }
+            roots.extend(sub_roots);
+        }
+    }
+    for e in 0..rng.gen_range(2..9) {
+        let n_7 = rng.gen_range(1..3);
+        let n_8 = rng.gen_range(0..3);
+        let (sub, _) = gen_package_json(registry, rng, n_7, n_8);
+        repo.add_text(format!("examples/ex{e}/package.json"), sub);
+    }
+
+    if has_lockfile {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
+        let add_lock = |repo: &mut RepoFs, kind: u32, prefix: &str, rows: &[LockRow]| {
+            match kind {
+                0 => repo.add_text(
+                    format!("{prefix}package-lock.json"),
+                    render::package_lock(rows),
+                ),
+                1 => {
+                    let yarn_rows: Vec<(String, String, String)> = rows
+                        .iter()
+                        .map(|r| {
+                            (r.name.clone(), format!("^{}", r.version), r.version.clone())
+                        })
+                        .collect();
+                    repo.add_text(format!("{prefix}yarn.lock"), render::yarn_lock(&yarn_rows));
+                }
+                _ => repo.add_text(
+                    format!("{prefix}pnpm-lock.yaml"),
+                    render::pnpm_lock(rows),
+                ),
+            }
+        };
+        let primary = match rng.gen_range(0..100) {
+            0..=44 => 0,
+            45..=64 => 1,
+            _ => 2,
+        };
+        add_lock(repo, primary, "", &rows);
+        // ~10% of lockfile repos carry a stale second lockfile of another
+        // kind (npm→yarn migrations) — a prime §V-G duplicate source.
+        if rng.gen_bool(0.10) {
+            let other = (primary + 1 + rng.gen_range(0..2)) % 3;
+            add_lock(repo, other, "", &rows);
+        }
+        // Example apps sometimes commit their own lockfile.
+        if rng.gen_bool(0.20) {
+            let sample: Vec<LockRow> = rows
+                .iter()
+                .take(rows.len().min(12))
+                .cloned()
+                .collect();
+            add_lock(repo, primary, "examples/ex0/", &sample);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Ruby
+
+fn gen_ruby(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n = rng.gen_range(4..14);
+    let mut entries = Vec::new();
+    let mut roots = Vec::new();
+    for (name, versions) in pick(registry, rng, n) {
+        let v = pick_version(&versions, rng);
+        let dev = rng.gen_bool(0.25);
+        let req_text = match rng.gen_range(0..100) {
+            0..=54 => Some(format!("~> {}.{}", v.segment(0), v.segment(1))),
+            55..=74 => Some(format!(">= {v}")),
+            _ => None,
+        };
+        let req = req_text
+            .as_deref()
+            .and_then(|t| parse_req(t, ConstraintFlavor::RubyGems));
+        roots.push((name.to_string(), req, dev));
+        entries.push((name.to_string(), req_text, dev));
+    }
+    repo.add_text("Gemfile", render::gemfile(&entries));
+
+    if rng.gen_bool(0.70) {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
+        let specs: Vec<GemLockSpec> = rows
+            .iter()
+            .map(|r| (r.name.clone(), r.version.clone(), Vec::new()))
+            .collect();
+        let direct: Vec<(String, Option<String>)> = entries
+            .iter()
+            .map(|(n, r, _)| (n.clone(), r.clone()))
+            .collect();
+        repo.add_text("Gemfile.lock", render::gemfile_lock(&specs, &direct));
+    }
+    if rng.gen_bool(0.30) {
+        let spec_entries: Vec<(String, Option<String>, bool)> = entries
+            .iter()
+            .take(5)
+            .map(|(n, r, d)| (n.clone(), r.clone(), *d))
+            .collect();
+        repo.add_text("synthetic.gemspec", render::gemspec("synthetic", &spec_entries));
+    }
+    // Engine/subgem layouts repeat a subset of the gems (§V-G duplicates).
+    if rng.gen_bool(0.20) {
+        let take = entries.len().clamp(1, 4);
+        let sub_entries: Vec<(String, Option<String>, bool)> =
+            entries.iter().take(take).cloned().collect();
+        repo.add_text("engines/core/Gemfile", render::gemfile(&sub_entries));
+        if rng.gen_bool(0.70) {
+            let sub_roots: Vec<(String, Option<VersionReq>, bool)> =
+                roots.iter().take(take).cloned().collect();
+            let rows = resolve_rows(registry, &sub_roots, DedupPolicy::HighestWins);
+            let specs: Vec<GemLockSpec> = rows
+                .iter()
+                .map(|r| (r.name.clone(), r.version.clone(), Vec::new()))
+                .collect();
+            let direct: Vec<(String, Option<String>)> = sub_entries
+                .iter()
+                .map(|(n, r, _)| (n.clone(), r.clone()))
+                .collect();
+            repo.add_text(
+                "engines/core/Gemfile.lock",
+                render::gemfile_lock(&specs, &direct),
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ PHP
+
+fn gen_php(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n = rng.gen_range(4..12);
+    let mut require = Vec::new();
+    let mut require_dev = Vec::new();
+    let mut roots = Vec::new();
+    for (name, versions) in pick(registry, rng, n) {
+        let v = pick_version(&versions, rng);
+        let dev = rng.gen_bool(0.3);
+        let spec = match rng.gen_range(0..100) {
+            0..=59 => format!("^{v}"),
+            60..=74 => format!("~{v}"),
+            75..=89 => v.to_string(),
+            _ => format!("^{} || ^{}", v, v.bump_major()),
+        };
+        roots.push((
+            name.to_string(),
+            parse_req(&spec, ConstraintFlavor::Composer),
+            dev,
+        ));
+        if dev {
+            require_dev.push((name.to_string(), spec));
+        } else {
+            require.push((name.to_string(), spec));
+        }
+    }
+    repo.add_text("composer.json", render::composer_json(&require, &require_dev));
+    let has_lock = rng.gen_bool(0.60);
+    if has_lock {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
+        repo.add_text("composer.lock", render::composer_lock(&rows));
+    }
+    // Subpackage with overlapping dependencies (§V-G duplicates).
+    if rng.gen_bool(0.25) {
+        let take = require.len().clamp(1, 4);
+        let sub_req: Vec<(String, String)> = require.iter().take(take).cloned().collect();
+        repo.add_text(
+            "packages/core/composer.json",
+            render::composer_json(&sub_req, &[]),
+        );
+        if has_lock {
+            let sub_roots: Vec<(String, Option<VersionReq>, bool)> = roots
+                .iter()
+                .take(take)
+                .cloned()
+                .collect();
+            let rows = resolve_rows(registry, &sub_roots, DedupPolicy::HighestWins);
+            repo.add_text("packages/core/composer.lock", render::composer_lock(&rows));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Java
+
+fn gen_java(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n_9 = rng.gen_range(4..14);
+    let picked = pick(registry, rng, n_9);
+    let mut deps = Vec::new();
+    let mut properties = Vec::new();
+    let mut roots = Vec::new();
+    for (name, versions) in &picked {
+        let v = pick_version(versions, rng);
+        let (group, artifact) = name.split_once(':').unwrap_or(("synthetic", name));
+        let test = rng.gen_bool(0.25);
+        let version_text = if rng.gen_bool(0.15) {
+            // property indirection
+            let key = format!("{}.version", artifact.replace([':', '.'], "-"));
+            properties.push((key.clone(), v.to_string()));
+            format!("${{{key}}}")
+        } else if rng.gen_bool(0.08) {
+            String::new() // version omitted (managed elsewhere / missing)
+        } else {
+            v.to_string()
+        };
+        roots.push((
+            name.to_string(),
+            parse_req(&v.to_string(), ConstraintFlavor::Maven),
+            test,
+        ));
+        deps.push((group.to_string(), artifact.to_string(), version_text, test));
+    }
+    repo.add_text(
+        "pom.xml",
+        render::pom_xml("com.synthetic", "app", &deps, &properties),
+    );
+    // Multi-module layouts (§V-G duplicates).
+    if rng.gen_bool(0.35) {
+        for m in 0..rng.gen_range(1..4) {
+            let sub: Vec<(String, String, String, bool)> = deps
+                .iter()
+                .take(rng.gen_range(1..deps.len().max(2)))
+                .cloned()
+                .collect();
+            repo.add_text(
+                format!("module{m}/pom.xml"),
+                render::pom_xml("com.synthetic", &format!("module{m}"), &sub, &properties),
+            );
+        }
+    }
+    if rng.gen_bool(0.25) {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::FirstWins);
+        let coords: Vec<(String, String)> = rows
+            .iter()
+            .map(|r| (r.name.clone(), r.version.clone()))
+            .collect();
+        repo.add_text("gradle.lockfile", render::gradle_lockfile(&coords));
+    }
+    if rng.gen_bool(0.15) {
+        repo.add_text(
+            "META-INF/MANIFEST.MF",
+            "Manifest-Version: 1.0\nBundle-SymbolicName: com.synthetic.app\nBundle-Version: 1.0.0\n",
+        );
+    }
+    if rng.gen_bool(0.15) {
+        repo.add_text(
+            "META-INF/maven/com.synthetic/app/pom.properties",
+            "groupId=com.synthetic\nartifactId=app\nversion=1.0.0\n",
+        );
+    }
+}
+
+// ------------------------------------------------------------------- Go
+
+fn gen_go(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    gen_go_module(registry, rng, repo, "");
+    // Multi-module repositories (§V-G duplicates).
+    if rng.gen_bool(0.20) {
+        for m in 0..rng.gen_range(1..3) {
+            gen_go_module(registry, rng, repo, &format!("cmd/tool{m}/"));
+        }
+    }
+}
+
+fn gen_go_module(
+    registry: &PackageUniverse,
+    rng: &mut StdRng,
+    repo: &mut RepoFs,
+    prefix: &str,
+) {
+    let n = rng.gen_range(3..12);
+    let picked = pick(registry, rng, n);
+    let mut direct = Vec::new();
+    let mut roots = Vec::new();
+    for (name, versions) in &picked {
+        let v = pick_version(versions, rng);
+        direct.push((name.to_string(), v.to_v_prefixed(), false));
+        roots.push((
+            name.to_string(),
+            Some(VersionReq::exact((*v).clone())),
+            false,
+        ));
+    }
+    // The full transitive closure: go.sum carries all of it; `go mod tidy`
+    // records only the indirect modules the build actually needs (a
+    // subset), which is why go.sum-reading tools find more (Fig. 1d).
+    let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
+    let mut requires = direct.clone();
+    let mut sum_rows: Vec<(String, String)> = Vec::new();
+    for row in &rows {
+        let v = Version::parse(&row.version)
+            .map(|v| v.to_v_prefixed())
+            .unwrap_or_else(|_| row.version.clone());
+        sum_rows.push((row.name.clone(), v.clone()));
+        if !direct.iter().any(|(n, _, _)| *n == row.name) && rng.gen_bool(0.40) {
+            requires.push((row.name.clone(), v, true));
+        }
+    }
+    repo.add_text(
+        format!("{prefix}go.mod"),
+        render::go_mod("github.com/synthetic/app", &requires),
+    );
+    if rng.gen_bool(0.70) {
+        repo.add_text(format!("{prefix}go.sum"), render::go_sum(&sum_rows));
+    }
+    if prefix.is_empty() && rng.gen_bool(0.12) {
+        let modules: Vec<(&str, &str)> = sum_rows
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
+        repo.add_bytes(
+            "bin/app.gobin",
+            sbomdiff_metadata::golang::render_go_binary(&modules),
+        );
+    }
+}
+
+// ----------------------------------------------------------------- Rust
+
+fn gen_rust(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n_11 = rng.gen_range(4..14);
+    let picked = pick(registry, rng, n_11);
+    let mut deps = Vec::new();
+    let mut roots = Vec::new();
+    for (name, versions) in &picked {
+        let v = pick_version(versions, rng);
+        let dev = rng.gen_bool(0.25);
+        let spec = match rng.gen_range(0..100) {
+            0..=69 => {
+                if rng.gen_bool(0.5) {
+                    format!("{}.{}", v.segment(0), v.segment(1))
+                } else {
+                    v.to_string()
+                }
+            }
+            70..=79 => format!("={v}"),
+            _ => format!(">={v}"),
+        };
+        roots.push((
+            name.to_string(),
+            parse_req(&spec, ConstraintFlavor::Cargo),
+            dev,
+        ));
+        deps.push((name.to_string(), spec, dev));
+    }
+    repo.add_text("Cargo.toml", render::cargo_toml("synthetic-app", &deps));
+    if rng.gen_bool(0.40) {
+        for c in 0..rng.gen_range(1..4) {
+            let sub: Vec<(String, String, bool)> = deps
+                .iter()
+                .take(rng.gen_range(1..deps.len().max(2)))
+                .cloned()
+                .collect();
+            repo.add_text(
+                format!("crates/sub{c}/Cargo.toml"),
+                render::cargo_toml(&format!("sub{c}"), &sub),
+            );
+        }
+    }
+    // 44% of Rust repositories carry Cargo.lock (56% raw-only, §V-A).
+    if rng.gen_bool(0.44) {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::PerMajor);
+        let mut lock_rows: Vec<(String, String)> = rows
+            .iter()
+            .map(|r| (r.name.clone(), r.version.clone()))
+            .collect();
+        lock_rows.push(("synthetic-app".to_string(), "0.1.0".to_string()));
+        repo.add_text("Cargo.lock", render::cargo_lock(&lock_rows));
+    }
+    if rng.gen_bool(0.05) {
+        let rows = resolve_rows(registry, &roots, DedupPolicy::PerMajor);
+        let bins: Vec<(&str, &str)> = rows
+            .iter()
+            .map(|r| (r.name.as_str(), r.version.as_str()))
+            .collect();
+        repo.add_bytes(
+            "target/release/app.rustbin",
+            sbomdiff_metadata::rust_lang::render_rust_binary(&bins),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Swift
+
+const SUBSPECS: [&str; 4] = ["Core", "Auth", "Network", "UI"];
+
+fn gen_swift(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    if rng.gen_bool(0.60) {
+        // CocoaPods project.
+        let n_12 = rng.gen_range(3..10);
+        let picked = pick(registry, rng, n_12);
+        let mut pods = Vec::new();
+        let mut roots = Vec::new();
+        for (name, versions) in &picked {
+            let v = pick_version(versions, rng);
+            let display = if rng.gen_bool(0.30) {
+                format!("{name}/{}", SUBSPECS[rng.gen_range(0..SUBSPECS.len())])
+            } else {
+                name.to_string()
+            };
+            let req_text = rng
+                .gen_bool(0.55)
+                .then(|| format!("~> {}.{}", v.segment(0), v.segment(1)));
+            pods.push((display, req_text.clone()));
+            roots.push((
+                name.to_string(),
+                req_text
+                    .as_deref()
+                    .and_then(|t| parse_req(t, ConstraintFlavor::RubyGems)),
+                false,
+            ));
+        }
+        repo.add_text("Podfile", render::podfile(&pods));
+        if rng.gen_bool(0.85) {
+            let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
+            let mut lock_pods: Vec<(String, String, Vec<String>)> = Vec::new();
+            // Subspec pods list the subspec entry plus its base pod.
+            for (display, _) in &pods {
+                if display.contains('/') {
+                    let base = display.split('/').next().unwrap_or(display);
+                    if let Some(row) = rows.iter().find(|r| r.name == base) {
+                        lock_pods.push((
+                            display.clone(),
+                            row.version.clone(),
+                            vec![format!("{base} (= {})", row.version)],
+                        ));
+                    }
+                }
+            }
+            for row in &rows {
+                lock_pods.push((row.name.clone(), row.version.clone(), Vec::new()));
+            }
+            repo.add_text("Podfile.lock", render::podfile_lock(&lock_pods, &pods));
+            // Pod libraries ship an Example app with its own Podfile.lock
+            // repeating the pods (§V-G; Table I's small Swift rates).
+            if rng.gen_bool(0.20) {
+                let take = lock_pods.len().clamp(1, 3);
+                let sample: Vec<(String, String, Vec<String>)> =
+                    lock_pods.iter().take(take).cloned().collect();
+                let sample_direct: Vec<(String, Option<String>)> =
+                    pods.iter().take(1).cloned().collect();
+                repo.add_text(
+                    "Example/Podfile.lock",
+                    render::podfile_lock(&sample, &sample_direct),
+                );
+            }
+        }
+    } else {
+        // SwiftPM project.
+        let n_13 = rng.gen_range(3..10);
+        let picked = pick(registry, rng, n_13);
+        let mut deps = Vec::new();
+        let mut pins = Vec::new();
+        for (name, versions) in &picked {
+            let v = pick_version(versions, rng);
+            let url = format!("https://github.com/synthetic/{name}.git");
+            let req = match rng.gen_range(0..100) {
+                0..=69 => format!("from: \"{v}\""),
+                70..=84 => format!("exact: \"{v}\""),
+                _ => format!(".upToNextMinor(from: \"{v}\")"),
+            };
+            deps.push((url, req));
+            pins.push((name.to_string(), v.to_string()));
+        }
+        repo.add_text("Package.swift", render::package_swift(&deps));
+        if rng.gen_bool(0.60) {
+            repo.add_text("Package.resolved", render::package_resolved(&pins));
+        }
+    }
+}
+
+// --------------------------------------------------------------- .NET
+
+fn gen_dotnet(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
+    let n_projects = rng.gen_range(1..3);
+    let mut all_roots = Vec::new();
+    let mut shared: Vec<(String, String)> = Vec::new();
+    let has_lockfiles = rng.gen_bool(0.10);
+    for p in 0..n_projects {
+        let n = rng.gen_range(3..10);
+        let picked = pick(registry, rng, n);
+        let mut refs = Vec::new();
+        // Projects in one solution share a common core of references
+        // (§V-G duplicates).
+        for (name, version) in shared.iter().take(2) {
+            refs.push((name.clone(), version.clone()));
+        }
+        for (name, versions) in &picked {
+            let v = pick_version(versions, rng);
+            refs.push((name.to_string(), v.to_string()));
+        }
+        for (name, version) in &refs {
+            all_roots.push((
+                name.clone(),
+                parse_req(version, ConstraintFlavor::Maven),
+                false,
+            ));
+        }
+        if p == 0 {
+            shared = refs.iter().take(3).cloned().collect();
+        }
+        let dir = if p == 0 {
+            "App".to_string()
+        } else {
+            format!("Lib{p}")
+        };
+        repo.add_text(format!("{dir}/{dir}.csproj"), render::csproj(&refs));
+        if has_lockfiles {
+            let roots: Vec<(String, Option<VersionReq>, bool)> = refs
+                .iter()
+                .map(|(n, v)| (n.clone(), parse_req(v, ConstraintFlavor::Maven), false))
+                .collect();
+            let rows = resolve_rows(registry, &roots, DedupPolicy::FirstWins);
+            let lock: Vec<(String, String, bool)> = rows
+                .iter()
+                .map(|r| {
+                    let direct = refs.iter().any(|(n, _)| *n == r.name);
+                    (r.name.clone(), r.version.clone(), direct)
+                })
+                .collect();
+            repo.add_text(
+                format!("{dir}/packages.lock.json"),
+                render::packages_lock_json(&lock),
+            );
+        }
+    }
+    if rng.gen_bool(0.20) {
+        let rows: Vec<LockRow> = all_roots
+            .iter()
+            .take(6)
+            .filter_map(|(n, r, _)| {
+                r.as_ref()
+                    .and_then(|r| r.pinned())
+                    .map(|v| LockRow::new(n.clone(), v.to_string(), false))
+            })
+            .collect();
+        repo.add_text("legacy/packages.config", render::packages_config(&rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sbomdiff_registry::Registries;
+
+    #[test]
+    fn python_repo_has_requirements() {
+        let regs = Registries::generate(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let repo = gen_repo(Ecosystem::Python, regs.for_ecosystem(Ecosystem::Python), &mut rng, 0);
+        assert!(repo.text("requirements.txt").is_some());
+    }
+
+    #[test]
+    fn lockfiles_are_consistent_with_registry() {
+        // Every lockfile row the corpus writes must name a version that
+        // actually exists in the registry.
+        let regs = Registries::generate(7);
+        for eco in [Ecosystem::JavaScript, Ecosystem::Ruby, Ecosystem::Php] {
+            let registry = regs.for_ecosystem(eco);
+            for i in 0..10 {
+                let mut rng = StdRng::seed_from_u64(100 + i);
+                let repo = gen_repo(eco, registry, &mut rng, i as usize);
+                for (path, kind) in repo.metadata_files() {
+                    if !kind.is_lockfile() {
+                        continue;
+                    }
+                    let deps = match kind {
+                        sbomdiff_metadata::MetadataKind::PackageLockJson => {
+                            sbomdiff_metadata::javascript::parse_package_lock(
+                                repo.text(path).unwrap(),
+                            )
+                        }
+                        sbomdiff_metadata::MetadataKind::GemfileLock => {
+                            sbomdiff_metadata::ruby::parse_gemfile_lock(repo.text(path).unwrap())
+                        }
+                        sbomdiff_metadata::MetadataKind::ComposerLock => {
+                            sbomdiff_metadata::php::parse_composer_lock(repo.text(path).unwrap())
+                        }
+                        _ => continue,
+                    };
+                    for dep in deps {
+                        let versions = registry.versions(dep.name.raw());
+                        assert!(
+                            !versions.is_empty(),
+                            "{eco}: lockfile {path} references unknown package {}",
+                            dep.name.raw()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn go_mod_marks_transitives_indirect() {
+        let regs = Registries::generate(7);
+        let mut rng = StdRng::seed_from_u64(5);
+        let repo = gen_repo(Ecosystem::Go, regs.for_ecosystem(Ecosystem::Go), &mut rng, 0);
+        let text = repo.text("go.mod").unwrap();
+        assert!(text.contains("require ("));
+    }
+}

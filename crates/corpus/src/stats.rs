@@ -1,0 +1,210 @@
+//! Corpus introspection: recomputes the §V population statistics from a
+//! generated corpus so calibration can be asserted and reported
+//! (`experiments stats`).
+
+use sbomdiff_metadata::python::{parse_requirements, ReqStyle};
+use sbomdiff_metadata::{MetadataKind, RepoFs};
+use sbomdiff_types::{DepScope, DependencySource, Ecosystem};
+
+/// Population statistics of one language's corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Repositories analyzed.
+    pub repo_count: usize,
+    /// Share of repositories with raw metadata only (no lockfile), §V-A.
+    pub raw_only_share: f64,
+    /// Mean number of metadata files per repository, §V-G.
+    pub avg_metadata_files: f64,
+    /// Share of `requirements.txt` registry dependencies that are pinned
+    /// (`==`), §V-D. Python only; 0 elsewhere.
+    pub pinned_requirements_share: f64,
+    /// Share of `package.json` dependencies that are dev-scoped, §V-F.
+    /// JavaScript only; 0 elsewhere.
+    pub dev_dep_share: f64,
+    /// Share of repositories containing backslash line continuations in a
+    /// requirements file, §V-B. Python only.
+    pub backslash_repo_share: f64,
+    /// Share of repositories using `-r` includes, §VI. Python only.
+    pub include_repo_share: f64,
+    /// Share of repositories with VCS/path/URL installs, §VI. Python only.
+    pub exotic_source_repo_share: f64,
+}
+
+impl CorpusStats {
+    /// Computes statistics over one language's repositories.
+    pub fn compute(eco: Ecosystem, repos: &[RepoFs]) -> Self {
+        let mut stats = CorpusStats {
+            repo_count: repos.len(),
+            ..CorpusStats::default()
+        };
+        if repos.is_empty() {
+            return stats;
+        }
+        let mut raw_only = 0usize;
+        let mut total_files = 0usize;
+        let mut pinned = 0usize;
+        let mut req_total = 0usize;
+        let mut dev = 0usize;
+        let mut pkg_total = 0usize;
+        let mut backslash = 0usize;
+        let mut includes = 0usize;
+        let mut exotic = 0usize;
+        for repo in repos {
+            let metadata = repo.metadata_files();
+            total_files += metadata.len();
+            if !metadata.iter().any(|(_, k)| k.is_lockfile()) {
+                raw_only += 1;
+            }
+            let mut saw_backslash = false;
+            let mut saw_include = false;
+            let mut saw_exotic = false;
+            for (path, kind) in &metadata {
+                match kind {
+                    MetadataKind::RequirementsTxt => {
+                        let Some(text) = repo.text(path) else { continue };
+                        if text.lines().any(|l| l.trim_end().ends_with('\\')) {
+                            saw_backslash = true;
+                        }
+                        for dep in parse_requirements(text, ReqStyle::Pip) {
+                            match &dep.source {
+                                DependencySource::Registry => {
+                                    req_total += 1;
+                                    if dep.pinned_version().is_some() {
+                                        pinned += 1;
+                                    }
+                                }
+                                DependencySource::IncludeFile(_) => saw_include = true,
+                                DependencySource::ConstraintsFile(_) => {}
+                                _ => saw_exotic = true,
+                            }
+                        }
+                    }
+                    MetadataKind::PackageJson => {
+                        let Some(text) = repo.text(path) else { continue };
+                        for dep in
+                            sbomdiff_metadata::javascript::parse_package_json(text)
+                        {
+                            pkg_total += 1;
+                            if dep.scope == DepScope::Dev {
+                                dev += 1;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            backslash += saw_backslash as usize;
+            includes += saw_include as usize;
+            exotic += saw_exotic as usize;
+        }
+        let n = repos.len() as f64;
+        stats.raw_only_share = raw_only as f64 / n;
+        stats.avg_metadata_files = total_files as f64 / n;
+        stats.pinned_requirements_share = if req_total > 0 {
+            pinned as f64 / req_total as f64
+        } else {
+            0.0
+        };
+        stats.dev_dep_share = if pkg_total > 0 {
+            dev as f64 / pkg_total as f64
+        } else {
+            0.0
+        };
+        stats.backslash_repo_share = backslash as f64 / n;
+        stats.include_repo_share = includes as f64 / n;
+        stats.exotic_source_repo_share = exotic as f64 / n;
+        let _ = eco;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corpus, CorpusConfig};
+    use sbomdiff_registry::Registries;
+
+    fn corpus() -> Corpus {
+        let regs = Registries::generate(2024);
+        Corpus::build(
+            &regs,
+            &CorpusConfig {
+                repos_per_language: 150,
+                seed: 31,
+            },
+        )
+    }
+
+    /// The generated corpus must land near the paper's §V statistics.
+    #[test]
+    fn python_calibration() {
+        let c = corpus();
+        let stats = CorpusStats::compute(Ecosystem::Python, c.language(Ecosystem::Python));
+        // Paper: 93% raw-only.
+        assert!(
+            (0.85..=0.99).contains(&stats.raw_only_share),
+            "python raw-only {:.2}",
+            stats.raw_only_share
+        );
+        // Paper: 5.7 metadata files per repository.
+        assert!(
+            (4.0..=8.0).contains(&stats.avg_metadata_files),
+            "python files/repo {:.2}",
+            stats.avg_metadata_files
+        );
+        // Paper: 46% pinned.
+        assert!(
+            (0.36..=0.56).contains(&stats.pinned_requirements_share),
+            "python pinned {:.2}",
+            stats.pinned_requirements_share
+        );
+        // Paper: ~1.8% backslash; ~10% -r includes.
+        assert!(
+            stats.backslash_repo_share <= 0.08,
+            "backslash {:.3}",
+            stats.backslash_repo_share
+        );
+        assert!(
+            (0.03..=0.20).contains(&stats.include_repo_share),
+            "includes {:.2}",
+            stats.include_repo_share
+        );
+    }
+
+    #[test]
+    fn javascript_calibration() {
+        let c = corpus();
+        let stats =
+            CorpusStats::compute(Ecosystem::JavaScript, c.language(Ecosystem::JavaScript));
+        // Paper: 47% raw-only.
+        assert!(
+            (0.35..=0.60).contains(&stats.raw_only_share),
+            "js raw-only {:.2}",
+            stats.raw_only_share
+        );
+        // Paper: 12.8 metadata files per repository.
+        assert!(
+            (8.0..=17.0).contains(&stats.avg_metadata_files),
+            "js files/repo {:.2}",
+            stats.avg_metadata_files
+        );
+        // Paper: 76% dev dependencies in package.json.
+        assert!(
+            (0.66..=0.86).contains(&stats.dev_dep_share),
+            "js dev share {:.2}",
+            stats.dev_dep_share
+        );
+    }
+
+    #[test]
+    fn rust_calibration() {
+        let c = corpus();
+        let stats = CorpusStats::compute(Ecosystem::Rust, c.language(Ecosystem::Rust));
+        // Paper: 56% raw-only.
+        assert!(
+            (0.44..=0.68).contains(&stats.raw_only_share),
+            "rust raw-only {:.2}",
+            stats.raw_only_share
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Set extraction, Jaccard similarity, duplicate rates, precision/recall.
+
+use std::collections::BTreeSet;
+
+use sbomdiff_types::{ComponentKey, Sbom};
+
+/// The exact `(name, version)` set of an SBOM (Eq. 1's A and B).
+pub fn key_set(sbom: &Sbom) -> BTreeSet<ComponentKey> {
+    sbom.keys().collect()
+}
+
+/// The normalized `(name, version)` set: ecosystem name normalization and
+/// `v`-prefix stripping applied, isolating *semantic* disagreement from the
+/// purely cosmetic convention differences of §V-E.
+pub fn key_set_canonical(sbom: &Sbom) -> BTreeSet<ComponentKey> {
+    sbom.components()
+        .iter()
+        .map(|c| c.canonical_key())
+        .collect()
+}
+
+/// Jaccard similarity |A∩B| / |A∪B| (Eq. 1). `None` when both sets are
+/// empty (the paper excludes repositories where tools found nothing).
+pub fn jaccard(a: &BTreeSet<ComponentKey>, b: &BTreeSet<ComponentKey>) -> Option<f64> {
+    let union = a.union(b).count();
+    if union == 0 {
+        return None;
+    }
+    let intersection = a.intersection(b).count();
+    Some(intersection as f64 / union as f64)
+}
+
+/// Jaccard over the canonical key sets of two SBOMs.
+pub fn jaccard_canonical(a: &Sbom, b: &Sbom) -> Option<f64> {
+    jaccard(&key_set_canonical(a), &key_set_canonical(b))
+}
+
+/// Duplicate-package rate (Table I): duplicate entries / total entries,
+/// over the repositories where the tool found at least one package.
+pub fn duplicate_rate<'a, I>(sboms: I) -> f64
+where
+    I: IntoIterator<Item = &'a Sbom>,
+{
+    let mut duplicates = 0usize;
+    let mut total = 0usize;
+    for sbom in sboms {
+        if sbom.is_empty() {
+            continue; // §IV-C: repositories with no findings excluded
+        }
+        duplicates += sbom.duplicate_entries();
+        total += sbom.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        duplicates as f64 / total as f64
+    }
+}
+
+/// Precision/recall of a reported set against ground truth (Table III).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrecisionRecall {
+    /// Correct `(name, version)` matches.
+    pub true_positives: usize,
+    /// Reported pairs not in the ground truth.
+    pub false_positives: usize,
+    /// Ground-truth pairs not reported.
+    pub false_negatives: usize,
+}
+
+impl PrecisionRecall {
+    /// Scores `reported` against `truth` (both as `(name, version)` pairs;
+    /// the caller normalizes names).
+    pub fn score(
+        reported: &BTreeSet<(String, String)>,
+        truth: &BTreeSet<(String, String)>,
+    ) -> Self {
+        let tp = reported.intersection(truth).count();
+        PrecisionRecall {
+            true_positives: tp,
+            false_positives: reported.len() - tp,
+            false_negatives: truth.len() - tp,
+        }
+    }
+
+    /// Merges counts from another measurement (micro-averaging).
+    pub fn merge(&mut self, other: PrecisionRecall) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// TP / (TP + FP); 0 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// TP / (TP + FN); 0 when the truth set is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_types::{Component, Ecosystem};
+
+    fn sbom(entries: &[(&str, Option<&str>)]) -> Sbom {
+        let mut s = Sbom::new("t", "1");
+        for (name, version) in entries {
+            s.push(Component::new(
+                Ecosystem::Python,
+                *name,
+                version.map(str::to_string),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn jaccard_basic_properties() {
+        let a = key_set(&sbom(&[("x", Some("1")), ("y", Some("2"))]));
+        let b = key_set(&sbom(&[("x", Some("1")), ("z", Some("3"))]));
+        let j = jaccard(&a, &b).unwrap();
+        assert!((j - 1.0 / 3.0).abs() < 1e-9);
+        // Symmetry and identity.
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+        assert_eq!(jaccard(&a, &a), Some(1.0));
+        // Both empty → excluded.
+        let empty = key_set(&sbom(&[]));
+        assert_eq!(jaccard(&empty, &empty), None);
+        // One empty → 0.
+        assert_eq!(jaccard(&a, &empty), Some(0.0));
+    }
+
+    #[test]
+    fn version_mismatch_counts_as_disagreement() {
+        let a = key_set(&sbom(&[("x", Some("1.0"))]));
+        let b = key_set(&sbom(&[("x", Some("2.0"))]));
+        assert_eq!(jaccard(&a, &b), Some(0.0));
+    }
+
+    #[test]
+    fn canonical_jaccard_forgives_v_prefix() {
+        let mut a = Sbom::new("syft", "1");
+        a.push(Component::new(Ecosystem::Go, "github.com/a/b", Some("v1.0.0".into())));
+        let mut b = Sbom::new("trivy", "1");
+        b.push(Component::new(Ecosystem::Go, "github.com/a/b", Some("1.0.0".into())));
+        // Exact keys disagree...
+        assert_eq!(jaccard(&key_set(&a), &key_set(&b)), Some(0.0));
+        // ...canonical keys agree (§V-E is purely cosmetic).
+        assert_eq!(jaccard_canonical(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_rate_excludes_empty() {
+        let sboms = vec![
+            sbom(&[("x", Some("1")), ("x", Some("2")), ("y", Some("1"))]),
+            sbom(&[]),
+            sbom(&[("z", Some("1"))]),
+        ];
+        let rate = duplicate_rate(&sboms);
+        assert!((rate - 0.25).abs() < 1e-9); // 1 duplicate over 4 entries
+    }
+
+    #[test]
+    fn precision_recall_table_iii_shape() {
+        let reported: BTreeSet<(String, String)> = [
+            ("numpy".to_string(), "1.19.2".to_string()),
+            ("ghost".to_string(), "0.1".to_string()),
+        ]
+        .into();
+        let truth: BTreeSet<(String, String)> = [
+            ("numpy".to_string(), "1.19.2".to_string()),
+            ("urllib3".to_string(), "2.0.4".to_string()),
+            ("idna".to_string(), "3.4".to_string()),
+        ]
+        .into();
+        let pr = PrecisionRecall::score(&reported, &truth);
+        assert_eq!(pr.true_positives, 1);
+        assert_eq!(pr.false_positives, 1);
+        assert_eq!(pr.false_negatives, 2);
+        assert!((pr.precision() - 0.5).abs() < 1e-9);
+        assert!((pr.recall() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(pr.f1() > 0.0);
+    }
+
+    #[test]
+    fn precision_recall_merge() {
+        let mut total = PrecisionRecall::default();
+        total.merge(PrecisionRecall {
+            true_positives: 3,
+            false_positives: 1,
+            false_negatives: 2,
+        });
+        total.merge(PrecisionRecall {
+            true_positives: 1,
+            false_positives: 3,
+            false_negatives: 0,
+        });
+        assert_eq!(total.true_positives, 4);
+        assert!((total.precision() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let pr = PrecisionRecall::default();
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+        assert_eq!(pr.f1(), 0.0);
+        assert_eq!(duplicate_rate(&[] as &[Sbom]), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Report primitives: histograms (Fig. 2) and aligned text tables
+//! (Tables I–IV), with CSV export for plotting.
+
+use std::fmt;
+
+/// A fixed-width histogram over `[0, 1]` (the Jaccard domain of Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: Vec<usize>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram bounds must be increasing");
+        Histogram {
+            bins: vec![0; bins],
+            lo,
+            hi,
+        }
+    }
+
+    /// A 20-bin histogram over the unit interval (Fig. 2's layout).
+    pub fn unit() -> Self {
+        Histogram::new(20, 0.0, 1.0)
+    }
+
+    /// Records one sample (values outside the range clamp to the end bins).
+    pub fn add(&mut self, value: f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((value - self.lo) / width).floor() as i64;
+        let idx = idx.clamp(0, self.bins.len() as i64 - 1) as usize;
+        self.bins[idx] += 1;
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.bins.iter().sum()
+    }
+
+    /// Share of samples in bins whose upper edge is ≤ `threshold`.
+    pub fn share_below(&self, threshold: f64) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut count = 0;
+        for (i, &n) in self.bins.iter().enumerate() {
+            let upper = self.lo + (i as f64 + 1.0) * width;
+            if upper <= threshold + 1e-12 {
+                count += n;
+            }
+        }
+        count as f64 / self.total() as f64
+    }
+
+    /// Renders an ASCII bar chart (one row per bin).
+    pub fn ascii(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::new();
+        for (i, &n) in self.bins.iter().enumerate() {
+            let lo = self.lo + i as f64 * width;
+            let hi = lo + width;
+            let bar = "#".repeat(n * max_width / peak);
+            out.push_str(&format!("{lo:>5.2}-{hi:<5.2} |{bar} {n}\n"));
+        }
+        out
+    }
+
+    /// CSV rows: `bin_lo,bin_hi,count`.
+    pub fn to_csv(&self) -> String {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::from("bin_lo,bin_hi,count\n");
+        for (i, &n) in self.bins.iter().enumerate() {
+            let lo = self.lo + i as f64 * width;
+            out.push_str(&format!("{:.4},{:.4},{}\n", lo, lo + width, n));
+        }
+        out
+    }
+}
+
+/// A simple aligned text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &String| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.header).trim_end())?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row).trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::unit();
+        h.add(0.0);
+        h.add(0.04);
+        h.add(0.5);
+        h.add(1.0); // clamps into the last bin
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[10], 1);
+        assert_eq!(h.bins()[19], 1);
+    }
+
+    #[test]
+    fn histogram_share_below() {
+        let mut h = Histogram::unit();
+        for _ in 0..8 {
+            h.add(0.01);
+        }
+        h.add(0.9);
+        h.add(0.95);
+        assert!((h.share_below(0.5) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_csv_and_ascii() {
+        let mut h = Histogram::new(4, 0.0, 1.0);
+        h.add(0.1);
+        h.add(0.6);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("bin_lo,bin_hi,count\n"));
+        assert_eq!(csv.lines().count(), 5);
+        let art = h.ascii(10);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Language", "Trivy", "Syft"]);
+        t.row(["Python", "14.05%", "12.56%"]);
+        t.row(["Go", "6.69%", "9.97%"]);
+        let s = t.to_string();
+        assert!(s.contains("Language"));
+        assert!(s.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("Language,Trivy,Syft\n"));
+    }
+
+    #[test]
+    fn table_csv_escaping() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x,y\"z"]);
+        assert!(t.to_csv().contains("\"x,y\"\"z\""));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains("only-one"));
+    }
+}

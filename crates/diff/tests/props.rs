@@ -1,0 +1,115 @@
+//! Property tests for the differential metrics.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use sbomdiff_diff::{duplicate_rate, jaccard, Histogram, PrecisionRecall};
+use sbomdiff_types::{Component, ComponentKey, Ecosystem, Sbom};
+
+fn key_set_strategy() -> impl Strategy<Value = BTreeSet<ComponentKey>> {
+    prop::collection::btree_set(
+        ("[a-e]{1,3}", "[0-9]{1,2}").prop_map(|(name, version)| ComponentKey {
+            name,
+            version,
+        }),
+        0..12,
+    )
+}
+
+proptest! {
+    /// Jaccard: bounded, symmetric, 1 on identity, monotone under
+    /// intersection containment.
+    #[test]
+    fn jaccard_axioms(a in key_set_strategy(), b in key_set_strategy()) {
+        match jaccard(&a, &b) {
+            None => {
+                prop_assert!(a.is_empty() && b.is_empty());
+            }
+            Some(j) => {
+                prop_assert!((0.0..=1.0).contains(&j));
+                prop_assert_eq!(Some(j), jaccard(&b, &a));
+                if a == b {
+                    prop_assert!((j - 1.0).abs() < 1e-12);
+                }
+                if a.is_disjoint(&b) {
+                    prop_assert!(j.abs() < 1e-12);
+                }
+            }
+        }
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &a), Some(1.0));
+        }
+    }
+
+    /// Adding a common element never decreases Jaccard for disjoint sets.
+    #[test]
+    fn jaccard_grows_with_shared_elements(a in key_set_strategy(), b in key_set_strategy()) {
+        let (Some(j0), true) = (jaccard(&a, &b), !(a.is_empty() && b.is_empty())) else {
+            return Ok(());
+        };
+        let shared = ComponentKey { name: "shared-zz".into(), version: "1".into() };
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.insert(shared.clone());
+        b2.insert(shared);
+        let j1 = jaccard(&a2, &b2).unwrap();
+        prop_assert!(j1 >= j0 - 1e-12, "{j1} < {j0}");
+    }
+
+    /// Duplicate rate is a proportion; single-entry SBOMs contribute none.
+    #[test]
+    fn duplicate_rate_bounds(names in prop::collection::vec("[a-c]{1,2}", 0..20)) {
+        let mut sbom = Sbom::new("t", "1");
+        for n in &names {
+            sbom.push(Component::new(Ecosystem::Rust, n.clone(), Some("1".into())));
+        }
+        let rate = duplicate_rate([&sbom]);
+        prop_assert!((0.0..=1.0).contains(&rate));
+        if names.len() <= 1 {
+            prop_assert_eq!(rate, 0.0);
+        }
+        let distinct: BTreeSet<&String> = names.iter().collect();
+        if distinct.len() == names.len() {
+            prop_assert_eq!(rate, 0.0);
+        }
+    }
+
+    /// Precision/recall stay in range and respect the confusion-matrix
+    /// identities.
+    #[test]
+    fn precision_recall_identities(
+        reported in prop::collection::btree_set(("[a-d]{1,2}", "[0-9]"), 0..10),
+        truth in prop::collection::btree_set(("[a-d]{1,2}", "[0-9]"), 0..10),
+    ) {
+        let reported: BTreeSet<(String, String)> = reported.into_iter().collect();
+        let truth: BTreeSet<(String, String)> = truth.into_iter().collect();
+        let pr = PrecisionRecall::score(&reported, &truth);
+        prop_assert_eq!(pr.true_positives + pr.false_positives, reported.len());
+        prop_assert_eq!(pr.true_positives + pr.false_negatives, truth.len());
+        prop_assert!((0.0..=1.0).contains(&pr.precision()));
+        prop_assert!((0.0..=1.0).contains(&pr.recall()));
+        prop_assert!((0.0..=1.0).contains(&pr.f1()));
+        if reported == truth && !truth.is_empty() {
+            prop_assert_eq!(pr.f1(), 1.0);
+        }
+    }
+
+    /// Histograms conserve their samples and share_below is monotone.
+    #[test]
+    fn histogram_conservation(samples in prop::collection::vec(0.0f64..=1.0, 0..60)) {
+        let mut h = Histogram::unit();
+        for s in &samples {
+            h.add(*s);
+        }
+        prop_assert_eq!(h.total(), samples.len());
+        prop_assert_eq!(h.bins().iter().sum::<usize>(), samples.len());
+        let mut prev = 0.0;
+        for t in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let share = h.share_below(t);
+            prop_assert!(share >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&share));
+            prev = share;
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <fig1|fig2|table1|table2|table3|table4|stats|benchscore|all>
+//!             [--repos N] [--seed S] [--out DIR] [--campaign] [--paper-weights]
+//! ```
+//!
+//! Outputs go to `--out` (default `results/`): one CSV per artifact plus a
+//! textual rendition printed to stdout with the paper's reported values
+//! alongside for comparison.
+
+mod experiments;
+
+use experiments::Config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut config = Config::default();
+    let mut campaign = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repos" => {
+                i += 1;
+                config.repos_per_language = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.repos_per_language);
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(config.seed);
+            }
+            "--out" => {
+                i += 1;
+                if let Some(dir) = args.get(i) {
+                    config.out_dir = dir.clone();
+                }
+            }
+            "--campaign" => campaign = true,
+            "--paper-weights" => config.paper_weights = true,
+            other if !other.starts_with('-') => command = other.to_string(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ctx = experiments::Context::prepare(&config);
+    match command.as_str() {
+        "fig1" => experiments::fig1(&ctx),
+        "fig2" => experiments::fig2(&ctx),
+        "table1" => experiments::table1(&ctx),
+        "table2" => experiments::table2(&ctx),
+        "table3" => experiments::table3(&ctx),
+        "table4" => experiments::table4(&ctx, campaign),
+        "stats" => experiments::stats(&ctx),
+        "benchscore" => experiments::benchscore(&ctx),
+        "ablate" => experiments::ablate(&ctx),
+        "ranking" => experiments::ranking(&ctx),
+        "vulnimpact" => experiments::vulnimpact(&ctx),
+        "stability" => experiments::stability(&ctx),
+        "all" => {
+            experiments::fig1(&ctx);
+            experiments::fig2(&ctx);
+            experiments::table1(&ctx);
+            experiments::table2(&ctx);
+            experiments::table3(&ctx);
+            experiments::table4(&ctx, true);
+            experiments::stats(&ctx);
+            experiments::benchscore(&ctx);
+            experiments::ablate(&ctx);
+            experiments::ranking(&ctx);
+            experiments::vulnimpact(&ctx);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore ablate ranking vulnimpact stability all");
+            std::process::exit(2);
+        }
+    }
+}

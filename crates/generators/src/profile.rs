@@ -1,0 +1,233 @@
+//! Tool behavior profiles: every root cause §V identifies, as an explicit
+//! field.
+
+use sbomdiff_metadata::python::ReqStyle;
+
+use crate::support::SupportMatrix;
+use crate::ToolId;
+
+/// How a tool renders Java compound names (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JavaNaming {
+    /// Artifact ID only (Syft).
+    ArtifactOnly,
+    /// `group:artifact` (Trivy, GitHub DG).
+    GroupColonArtifact,
+    /// `group.artifact` (Microsoft SBOM Tool).
+    GroupDotArtifact,
+}
+
+/// How a tool spells Go module versions (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoVersionStyle {
+    /// Keep the leading `v` (Syft, Microsoft SBOM Tool).
+    KeepV,
+    /// Strip the leading `v` (Trivy, GitHub DG).
+    StripV,
+}
+
+/// How a tool reports CocoaPods subspecs (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubspecNaming {
+    /// Report the subspec (`Firebase/Auth`) — Syft, Trivy.
+    Subspec,
+    /// Report the main pod (`Firebase`) — Microsoft SBOM Tool.
+    MainPod,
+}
+
+/// What a tool does with unpinned version requirements in raw metadata
+/// (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionPolicy {
+    /// Silently drop the dependency (Trivy, Syft).
+    DropUnpinned,
+    /// Report the range text verbatim as the version (GitHub DG).
+    Verbatim,
+    /// Query the registry and pin the latest version in range, validating
+    /// the package name; drop on failure (Microsoft SBOM Tool).
+    ResolveLatest,
+}
+
+/// The full behavior profile of one emulated tool.
+#[derive(Debug, Clone)]
+pub struct ToolProfile {
+    /// Which tool this profile models.
+    pub id: ToolId,
+    /// Actually-extracting file types (Table II).
+    pub support: SupportMatrix,
+    /// `requirements.txt` parsing dialect (§V-B, Table IV).
+    pub req_style: ReqStyle,
+    /// Unpinned-version handling (§V-D).
+    pub version_policy: VersionPolicy,
+    /// Whether dev-scoped dependencies are reported (§V-F).
+    pub include_dev: bool,
+    /// Java naming convention (§V-E).
+    pub java_naming: JavaNaming,
+    /// Go version spelling (§V-E).
+    pub go_version: GoVersionStyle,
+    /// CocoaPods subspec naming (§V-E).
+    pub subspec: SubspecNaming,
+    /// Whether the tool resolves transitive dependencies of raw metadata
+    /// by querying the registry (§V-C: only the Microsoft SBOM Tool).
+    pub resolve_transitive: bool,
+    /// Whether duplicate (name, version) entries across metadata files are
+    /// merged (§V-G: none of the studied tools merge).
+    pub merge_duplicates: bool,
+    /// Whether only files named exactly `requirements.txt` are scanned
+    /// (sbom-tool's component detector keys on the exact file name, while
+    /// Trivy/Syft/GitHub DG match `requirements*.txt` variants).
+    pub requirements_exact_name_only: bool,
+    /// Whether `go.mod` is skipped when a sibling `go.sum` exists (Trivy
+    /// reads the richer go.sum and would otherwise double-report).
+    pub prefer_gosum_over_gomod: bool,
+}
+
+impl ToolProfile {
+    /// Trivy 0.43.0 (§V): production-only, `==`-keyed requirements parsing,
+    /// drops unpinned, strips Go `v`, `group:artifact`.
+    pub fn trivy() -> Self {
+        ToolProfile {
+            id: ToolId::Trivy,
+            support: SupportMatrix::for_tool(ToolId::Trivy),
+            req_style: ReqStyle::TrivySyft,
+            version_policy: VersionPolicy::DropUnpinned,
+            include_dev: false,
+            java_naming: JavaNaming::GroupColonArtifact,
+            go_version: GoVersionStyle::StripV,
+            subspec: SubspecNaming::Subspec,
+            resolve_transitive: false,
+            merge_duplicates: false,
+            requirements_exact_name_only: false,
+            prefer_gosum_over_gomod: true,
+        }
+    }
+
+    /// Syft 0.84.1 (§V): includes dev deps, artifact-only Java names,
+    /// keeps Go `v`.
+    pub fn syft() -> Self {
+        ToolProfile {
+            id: ToolId::Syft,
+            support: SupportMatrix::for_tool(ToolId::Syft),
+            req_style: ReqStyle::TrivySyft,
+            version_policy: VersionPolicy::DropUnpinned,
+            include_dev: true,
+            java_naming: JavaNaming::ArtifactOnly,
+            go_version: GoVersionStyle::KeepV,
+            subspec: SubspecNaming::Subspec,
+            resolve_transitive: false,
+            merge_duplicates: false,
+            requirements_exact_name_only: false,
+            prefer_gosum_over_gomod: false,
+        }
+    }
+
+    /// Microsoft SBOM Tool 1.1.6 (§V): registry-backed latest-in-range
+    /// pinning and transitive resolution (unreliable), `group.artifact`,
+    /// main-pod subspec names, markers/extras ignored.
+    pub fn sbom_tool() -> Self {
+        ToolProfile {
+            id: ToolId::SbomTool,
+            support: SupportMatrix::for_tool(ToolId::SbomTool),
+            req_style: ReqStyle::SbomTool,
+            version_policy: VersionPolicy::ResolveLatest,
+            include_dev: false,
+            java_naming: JavaNaming::GroupDotArtifact,
+            go_version: GoVersionStyle::KeepV,
+            subspec: SubspecNaming::MainPod,
+            resolve_transitive: true,
+            merge_duplicates: false,
+            requirements_exact_name_only: true,
+            prefer_gosum_over_gomod: false,
+        }
+    }
+
+    /// GitHub Dependency Graph (§V): best raw-metadata coverage, ranges
+    /// verbatim, includes dev deps, strips Go `v`.
+    pub fn github_dg() -> Self {
+        ToolProfile {
+            id: ToolId::GithubDg,
+            support: SupportMatrix::for_tool(ToolId::GithubDg),
+            req_style: ReqStyle::GithubDg,
+            version_policy: VersionPolicy::Verbatim,
+            include_dev: true,
+            java_naming: JavaNaming::GroupColonArtifact,
+            go_version: GoVersionStyle::StripV,
+            subspec: SubspecNaming::Subspec,
+            resolve_transitive: false,
+            merge_duplicates: false,
+            requirements_exact_name_only: false,
+            prefer_gosum_over_gomod: false,
+        }
+    }
+
+    /// The profile for a tool id.
+    pub fn for_tool(id: ToolId) -> Self {
+        match id {
+            ToolId::Trivy => ToolProfile::trivy(),
+            ToolId::Syft => ToolProfile::syft(),
+            ToolId::SbomTool => ToolProfile::sbom_tool(),
+            ToolId::GithubDg => ToolProfile::github_dg(),
+            ToolId::BestPractice => {
+                // The best-practice generator has its own implementation;
+                // this profile is only used for support-matrix queries.
+                ToolProfile {
+                    id: ToolId::BestPractice,
+                    support: SupportMatrix::for_tool(ToolId::BestPractice),
+                    req_style: ReqStyle::Pip,
+                    version_policy: VersionPolicy::ResolveLatest,
+                    include_dev: true,
+                    java_naming: JavaNaming::GroupColonArtifact,
+                    go_version: GoVersionStyle::KeepV,
+                    subspec: SubspecNaming::Subspec,
+                    resolve_transitive: true,
+                    merge_duplicates: true,
+                    requirements_exact_name_only: false,
+                    prefer_gosum_over_gomod: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_encode_section_v_findings() {
+        let trivy = ToolProfile::trivy();
+        let syft = ToolProfile::syft();
+        let sbom_tool = ToolProfile::sbom_tool();
+        let github = ToolProfile::github_dg();
+
+        // §V-D: Trivy and Syft silently drop unpinned versions.
+        assert_eq!(trivy.version_policy, VersionPolicy::DropUnpinned);
+        assert_eq!(syft.version_policy, VersionPolicy::DropUnpinned);
+        // §V-D: GitHub reports ranges verbatim; sbom-tool pins via registry.
+        assert_eq!(github.version_policy, VersionPolicy::Verbatim);
+        assert_eq!(sbom_tool.version_policy, VersionPolicy::ResolveLatest);
+        // §V-F: Trivy production-only; Syft and GitHub include dev.
+        assert!(!trivy.include_dev);
+        assert!(syft.include_dev);
+        assert!(github.include_dev);
+        // §V-E naming conventions.
+        assert_eq!(syft.java_naming, JavaNaming::ArtifactOnly);
+        assert_eq!(sbom_tool.java_naming, JavaNaming::GroupDotArtifact);
+        assert_eq!(trivy.java_naming, JavaNaming::GroupColonArtifact);
+        assert_eq!(github.java_naming, JavaNaming::GroupColonArtifact);
+        assert_eq!(trivy.go_version, GoVersionStyle::StripV);
+        assert_eq!(github.go_version, GoVersionStyle::StripV);
+        assert_eq!(syft.go_version, GoVersionStyle::KeepV);
+        assert_eq!(sbom_tool.go_version, GoVersionStyle::KeepV);
+        assert_eq!(sbom_tool.subspec, SubspecNaming::MainPod);
+        // §V-C: only sbom-tool attempts transitive resolution.
+        assert!(sbom_tool.resolve_transitive);
+        assert!(!trivy.resolve_transitive);
+        assert!(!syft.resolve_transitive);
+        assert!(!github.resolve_transitive);
+        // §V-G: none of the studied tools merge duplicates.
+        for p in [&trivy, &syft, &sbom_tool, &github] {
+            assert!(!p.merge_duplicates);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-tool supported-file-type matrices (Table II), extended with the
+//! Swift and .NET formats the paper's Fig. 1 implies but does not tabulate
+//! (assumptions recorded in DESIGN.md).
+
+use std::collections::BTreeSet;
+
+use sbomdiff_metadata::MetadataKind;
+
+use crate::ToolId;
+
+/// The set of metadata file types a tool actually extracts dependencies
+/// from.
+///
+/// Table II distinguishes *claimed* support from actual extraction (Trivy
+/// and Syft claim `package.json` but extract nothing from it, §V-A); this
+/// matrix encodes actual behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportMatrix {
+    supported: BTreeSet<MetadataKind>,
+    /// Kinds the tool's documentation *claims* but the tool extracts
+    /// nothing from (§V-A: Trivy and Syft on package.json).
+    claimed_only: BTreeSet<MetadataKind>,
+}
+
+impl SupportMatrix {
+    /// Builds a matrix from a list of supported kinds.
+    pub fn from_kinds(kinds: &[MetadataKind]) -> Self {
+        SupportMatrix {
+            supported: kinds.iter().copied().collect(),
+            claimed_only: BTreeSet::new(),
+        }
+    }
+
+    /// Adds claimed-but-non-extracting kinds.
+    pub fn with_claimed_only(mut self, kinds: &[MetadataKind]) -> Self {
+        self.claimed_only = kinds.iter().copied().collect();
+        self
+    }
+
+    /// Whether the tool's documentation claims support for a kind
+    /// (extracting or not).
+    pub fn claims(&self, kind: MetadataKind) -> bool {
+        self.supported.contains(&kind) || self.claimed_only.contains(&kind)
+    }
+
+    /// Kinds claimed but not actually extracted from (§V-A).
+    pub fn claimed_only(&self) -> impl Iterator<Item = MetadataKind> + '_ {
+        self.claimed_only.iter().copied()
+    }
+
+    /// Table II (+ extensions) for one of the studied tools.
+    pub fn for_tool(tool: ToolId) -> Self {
+        use MetadataKind::*;
+        let kinds: &[MetadataKind] = match tool {
+            ToolId::Trivy => &[
+                GoMod, GoSum, GoBinary, PomXml, GradleLockfile, ManifestMf, PomProperties,
+                PackageLockJson, ComposerLock, RequirementsTxt, PoetryLock, PipfileLock,
+                GemfileLock, Gemspec, CargoLock, RustBinary, PackageResolved, PodfileLock,
+                PackagesLockJson,
+            ],
+            ToolId::Syft => &[
+                GoMod, GoBinary, PomXml, GradleLockfile, ManifestMf, PomProperties,
+                PackageLockJson, YarnLock, PnpmLock, ComposerLock, RequirementsTxt,
+                PoetryLock, PipfileLock, GemfileLock, Gemspec, CargoLock, RustBinary,
+                PodfileLock, PackagesConfig, PackagesLockJson,
+            ],
+            ToolId::SbomTool => &[
+                GoMod, PomXml, GradleLockfile, PackageLockJson, YarnLock, PnpmLock,
+                RequirementsTxt, PoetryLock, PipfileLock, GemfileLock, Gemspec, CargoLock,
+                PackageResolved, PodfileLock, Csproj, PackagesConfig, PackagesLockJson,
+            ],
+            ToolId::GithubDg => &[
+                GoMod, PomXml, GradleLockfile, PackageJson, PackageLockJson, YarnLock,
+                ComposerJson, ComposerLock, RequirementsTxt, PoetryLock, PipfileLock,
+                SetupPy, Gemfile, GemfileLock, Gemspec, CargoToml, CargoLock, PackageSwift,
+                PackageResolved, Csproj, PackagesConfig, PackagesLockJson,
+            ],
+            ToolId::BestPractice => return SupportMatrix::from_kinds(&MetadataKind::ALL),
+        };
+        let matrix = SupportMatrix::from_kinds(kinds);
+        match tool {
+            // §V-A: "Despite claims by Trivy and Syft to support
+            // package.json, they do not extract dependencies from the JSON
+            // file."
+            ToolId::Trivy | ToolId::Syft => {
+                matrix.with_claimed_only(&[PackageJson])
+            }
+            _ => matrix,
+        }
+    }
+
+    /// Whether the tool extracts dependencies from this file type.
+    pub fn supports(&self, kind: MetadataKind) -> bool {
+        self.supported.contains(&kind)
+    }
+
+    /// Iterates over supported kinds.
+    pub fn kinds(&self) -> impl Iterator<Item = MetadataKind> + '_ {
+        self.supported.iter().copied()
+    }
+}
+
+/// The exact rows of the paper's Table II: (file type, Trivy, Syft,
+/// sbom-tool, GitHub DG). Used to verify the profiles stay faithful and to
+/// regenerate the table in `experiments table2`.
+pub const TABLE_II: [(MetadataKind, bool, bool, bool, bool); 22] = {
+    use MetadataKind::*;
+    [
+        (GoMod, true, true, true, true),
+        (GoBinary, true, true, false, false),
+        (PomXml, true, true, true, true),
+        (GradleLockfile, true, true, true, true),
+        (ManifestMf, true, true, false, false),
+        (PomProperties, true, true, false, false),
+        (PackageJson, false, false, false, true),
+        (PackageLockJson, true, true, true, true),
+        (YarnLock, false, true, true, true),
+        (PnpmLock, false, true, true, false),
+        (ComposerJson, false, false, false, true),
+        (ComposerLock, true, true, false, true),
+        (RequirementsTxt, true, true, true, true),
+        (PoetryLock, true, true, true, true),
+        (PipfileLock, true, true, true, true),
+        (SetupPy, false, false, false, true),
+        (Gemfile, false, false, false, true),
+        (GemfileLock, true, true, true, true),
+        (Gemspec, true, true, true, true),
+        (CargoToml, false, false, false, true),
+        (CargoLock, true, true, true, true),
+        (RustBinary, true, true, false, false),
+    ]
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The profiles must reproduce the paper's Table II cell-for-cell.
+    #[test]
+    fn matrices_match_table_ii() {
+        let trivy = SupportMatrix::for_tool(ToolId::Trivy);
+        let syft = SupportMatrix::for_tool(ToolId::Syft);
+        let sbom_tool = SupportMatrix::for_tool(ToolId::SbomTool);
+        let github = SupportMatrix::for_tool(ToolId::GithubDg);
+        for (kind, t, s, m, g) in TABLE_II {
+            assert_eq!(trivy.supports(kind), t, "Trivy vs Table II on {kind:?}");
+            assert_eq!(syft.supports(kind), s, "Syft vs Table II on {kind:?}");
+            assert_eq!(
+                sbom_tool.supports(kind),
+                m,
+                "sbom-tool vs Table II on {kind:?}"
+            );
+            assert_eq!(github.supports(kind), g, "GitHub DG vs Table II on {kind:?}");
+        }
+    }
+
+    #[test]
+    fn best_practice_supports_everything() {
+        let bp = SupportMatrix::for_tool(ToolId::BestPractice);
+        for kind in MetadataKind::ALL {
+            assert!(bp.supports(kind));
+        }
+    }
+
+    #[test]
+    fn trivy_and_syft_claim_package_json_but_extract_nothing() {
+        for tool in [ToolId::Trivy, ToolId::Syft] {
+            let m = SupportMatrix::for_tool(tool);
+            assert!(m.claims(MetadataKind::PackageJson), "{tool}");
+            assert!(!m.supports(MetadataKind::PackageJson), "{tool}");
+            assert_eq!(m.claimed_only().count(), 1);
+        }
+        let github = SupportMatrix::for_tool(ToolId::GithubDg);
+        assert!(github.claims(MetadataKind::PackageJson));
+        assert!(github.supports(MetadataKind::PackageJson));
+    }
+
+    #[test]
+    fn github_has_best_raw_metadata_support() {
+        use MetadataKind::*;
+        let github = SupportMatrix::for_tool(ToolId::GithubDg);
+        // §V-A: "The GitHub Dependency Graph has the best support for raw
+        // metadata such as Gemfile and Cargo.toml".
+        for raw in [Gemfile, CargoToml, PackageJson, ComposerJson, SetupPy] {
+            assert!(github.supports(raw), "{raw:?}");
+            for tool in [ToolId::Trivy, ToolId::Syft, ToolId::SbomTool] {
+                assert!(!SupportMatrix::for_tool(tool).supports(raw), "{tool} {raw:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! .NET/NuGet metadata parsing: `*.csproj` `PackageReference` items,
+//! `packages.config` and `packages.lock.json`.
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
+};
+
+use sbomdiff_textformats::{json, xml, Value};
+
+/// Parses SDK-style `*.csproj` `<PackageReference Include=... Version=...>`
+/// items (both attribute and child-element version spellings).
+pub fn parse_csproj(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(root) = xml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    collect_package_refs(&root, &mut out);
+    out
+}
+
+fn collect_package_refs(el: &xml::Element, out: &mut Vec<DeclaredDependency>) {
+    for child in &el.children {
+        if child.name == "PackageReference" {
+            let Some(name) = child.attr("Include").or_else(|| child.attr("Update")) else {
+                continue;
+            };
+            let version = child
+                .attr("Version")
+                .map(str::to_string)
+                .or_else(|| child.child_text("Version").map(str::to_string));
+            let dev = child
+                .attr("PrivateAssets")
+                .map(|v| v.eq_ignore_ascii_case("all"))
+                .unwrap_or(false)
+                || child
+                    .child_text("PrivateAssets")
+                    .map(|v| v.eq_ignore_ascii_case("all"))
+                    .unwrap_or(false);
+            let req = version
+                .as_deref()
+                .and_then(|v| VersionReq::parse(v, ConstraintFlavor::Maven).ok());
+            let scope = if dev { DepScope::Dev } else { DepScope::Runtime };
+            let mut dep =
+                DeclaredDependency::new(Ecosystem::DotNet, name, req).with_scope(scope);
+            dep.req_text = version.unwrap_or_default();
+            out.push(dep);
+        } else {
+            collect_package_refs(child, out);
+        }
+    }
+}
+
+/// Parses legacy `packages.config` `<package id=... version=... />` entries.
+pub fn parse_packages_config(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(root) = xml::parse(text) else {
+        return Vec::new();
+    };
+    if root.name != "packages" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for pkg in root.children_named("package") {
+        let Some(id) = pkg.attr("id") else { continue };
+        let version = pkg.attr("version");
+        let dev = pkg
+            .attr("developmentDependency")
+            .map(|v| v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        let req = version
+            .and_then(|v| sbomdiff_types::Version::parse(v).ok())
+            .map(VersionReq::exact);
+        let scope = if dev { DepScope::Dev } else { DepScope::Runtime };
+        let mut dep = DeclaredDependency::new(Ecosystem::DotNet, id, req).with_scope(scope);
+        dep.req_text = version.unwrap_or_default().to_string();
+        out.push(dep);
+    }
+    out
+}
+
+/// Parses `packages.lock.json`: per-framework resolved entries with
+/// `Direct` / `Transitive` types.
+pub fn parse_packages_lock_json(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let Some(frameworks) = doc.get("dependencies").and_then(Value::as_object) else {
+        return Vec::new();
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for (_framework, entries) in frameworks {
+        let Some(entries) = entries.as_object() else {
+            continue;
+        };
+        for (name, info) in entries {
+            let Some(resolved) = info.get("resolved").and_then(Value::as_str) else {
+                continue;
+            };
+            if !seen.insert((name.clone(), resolved.to_string())) {
+                continue;
+            }
+            let req = sbomdiff_types::Version::parse(resolved)
+                .ok()
+                .map(VersionReq::exact);
+            let mut dep = DeclaredDependency::new(Ecosystem::DotNet, name.clone(), req);
+            dep.req_text = resolved.to_string();
+            out.push(dep);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csproj_package_references() {
+        let deps = parse_csproj(
+            r#"<Project Sdk="Microsoft.NET.Sdk">
+  <PropertyGroup>
+    <TargetFramework>net7.0</TargetFramework>
+  </PropertyGroup>
+  <ItemGroup>
+    <PackageReference Include="Newtonsoft.Json" Version="13.0.3" />
+    <PackageReference Include="Serilog">
+      <Version>3.0.1</Version>
+    </PackageReference>
+    <PackageReference Include="StyleCop.Analyzers" Version="1.1.118" PrivateAssets="all" />
+    <PackageReference Include="Unversioned" />
+  </ItemGroup>
+</Project>"#,
+        );
+        assert_eq!(deps.len(), 4);
+        assert_eq!(deps[0].name.raw(), "Newtonsoft.Json");
+        assert_eq!(deps[0].req_text, "13.0.3");
+        assert_eq!(deps[1].req_text, "3.0.1");
+        assert_eq!(deps[2].scope, DepScope::Dev);
+        assert!(deps[3].req.is_none());
+    }
+
+    #[test]
+    fn csproj_range_version() {
+        let deps = parse_csproj(
+            r#"<Project><ItemGroup><PackageReference Include="A" Version="[1.0,2.0)" /></ItemGroup></Project>"#,
+        );
+        assert_eq!(deps.len(), 1);
+        assert!(deps[0].pinned_version().is_none());
+        assert!(deps[0].req.is_some());
+    }
+
+    #[test]
+    fn packages_config_entries() {
+        let deps = parse_packages_config(
+            r#"<?xml version="1.0" encoding="utf-8"?>
+<packages>
+  <package id="Newtonsoft.Json" version="12.0.3" targetFramework="net48" />
+  <package id="NUnit" version="3.13.3" developmentDependency="true" />
+</packages>"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "12.0.3");
+        assert_eq!(deps[1].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn packages_lock_json_entries() {
+        let deps = parse_packages_lock_json(
+            r#"{
+  "version": 1,
+  "dependencies": {
+    "net7.0": {
+      "Newtonsoft.Json": {"type": "Direct", "requested": "[13.0.3, )", "resolved": "13.0.3"},
+      "System.Memory": {"type": "Transitive", "resolved": "4.5.5"}
+    },
+    "net48": {
+      "Newtonsoft.Json": {"type": "Direct", "resolved": "13.0.3"}
+    }
+  }
+}"#,
+        );
+        assert_eq!(deps.len(), 2); // cross-framework duplicate removed
+        assert_eq!(deps[0].name.raw(), "Newtonsoft.Json");
+        assert_eq!(deps[1].name.raw(), "System.Memory");
+    }
+
+    #[test]
+    fn malformed_empty() {
+        assert!(parse_csproj("<broken").is_empty());
+        assert!(parse_packages_config("<project/>").is_empty());
+        assert!(parse_packages_lock_json("{}").is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Go metadata parsing: `go.mod`, `go.sum` and Go executables with
+//! embedded build info.
+//!
+//! The executable support simulates `go version -m`-style buildinfo (see
+//! DESIGN.md substitutions): our corpus embeds a marker section listing the
+//! modules compiled into the binary, which mirrors what Trivy and Syft read
+//! from real Go binaries (Table II "Go executable").
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
+};
+
+/// Magic marker introducing the simulated Go buildinfo section.
+pub const GO_BUILDINFO_MAGIC: &str = "\u{1}SBOMDIFF-GO-BUILDINFO\n";
+
+/// Parses `go.mod`: module directive, single-line and block `require`
+/// directives, `// indirect` markers, and `replace` directives (replaced
+/// modules are reported under their replacement, as `go mod` resolves them).
+pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
+    let mut out: Vec<DeclaredDependency> = Vec::new();
+    let mut in_require = false;
+    let mut in_other_block = false;
+    let mut replaces: Vec<(String, String, String)> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        let comment = raw.split_once("//").map(|(_, c)| c.trim()).unwrap_or("");
+        if line.is_empty() {
+            continue;
+        }
+        if in_require || in_other_block {
+            if line == ")" {
+                in_require = false;
+                in_other_block = false;
+                continue;
+            }
+            if in_require {
+                if let Some(dep) = require_line(line, comment) {
+                    out.push(dep);
+                }
+            }
+            continue;
+        }
+        if line == "require (" || line.starts_with("require(") {
+            in_require = true;
+            continue;
+        }
+        if line.starts_with("exclude (") || line.starts_with("replace (") || line.starts_with("retract (") {
+            in_other_block = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("require ") {
+            if let Some(dep) = require_line(rest.trim(), comment) {
+                out.push(dep);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("replace ") {
+            if let Some((from, to)) = rest.split_once("=>") {
+                let from_mod = from.split_whitespace().next().unwrap_or("");
+                let mut to_parts = to.split_whitespace();
+                let to_mod = to_parts.next().unwrap_or("");
+                let to_ver = to_parts.next().unwrap_or("");
+                replaces.push((
+                    from_mod.to_string(),
+                    to_mod.to_string(),
+                    to_ver.to_string(),
+                ));
+            }
+        }
+    }
+    // Apply replace directives.
+    for (from, to, to_ver) in replaces {
+        for dep in out.iter_mut() {
+            if dep.name.raw() == from && !to.starts_with("./") && !to.starts_with("../") {
+                let req = if to_ver.is_empty() {
+                    dep.req.clone()
+                } else {
+                    VersionReq::parse(&to_ver, ConstraintFlavor::Go).ok()
+                };
+                let mut replacement = DeclaredDependency::new(Ecosystem::Go, to.clone(), req);
+                replacement.scope = dep.scope;
+                replacement.req_text = if to_ver.is_empty() {
+                    dep.req_text.clone()
+                } else {
+                    to_ver.clone()
+                };
+                *dep = replacement;
+            }
+        }
+    }
+    out
+}
+
+fn require_line(line: &str, comment: &str) -> Option<DeclaredDependency> {
+    let mut parts = line.split_whitespace();
+    let module = parts.next()?;
+    let version = parts.next()?;
+    if !module.contains('.') && !module.contains('/') {
+        return None;
+    }
+    let req = VersionReq::parse(version, ConstraintFlavor::Go).ok();
+    let mut dep = DeclaredDependency::new(Ecosystem::Go, module, req);
+    dep.req_text = version.to_string();
+    if comment.contains("indirect") {
+        // Indirect requires are transitively-needed modules; mark them
+        // optional so profiles can distinguish direct declarations.
+        dep = dep.with_scope(DepScope::Optional);
+    }
+    Some(dep)
+}
+
+/// Parses `go.sum`: `module version[/go.mod] hash` lines, deduplicating the
+/// `/go.mod` entries. The result is the full transitive closure the module
+/// has ever downloaded — a superset of what's compiled in.
+pub fn parse_go_sum(text: &str) -> Vec<DeclaredDependency> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let mut parts = raw.split_whitespace();
+        let (Some(module), Some(version)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let version = version.trim_end_matches("/go.mod");
+        if !seen.insert((module.to_string(), version.to_string())) {
+            continue;
+        }
+        let req = VersionReq::parse(version, ConstraintFlavor::Go).ok();
+        let mut dep = DeclaredDependency::new(Ecosystem::Go, module, req);
+        dep.req_text = version.to_string();
+        out.push(dep);
+    }
+    out
+}
+
+/// Scans binary content for the simulated buildinfo section and parses the
+/// embedded module table (`dep <module> <version>` lines).
+pub fn parse_go_binary(bytes: &[u8]) -> Vec<DeclaredDependency> {
+    let Some(start) = find_subslice(bytes, GO_BUILDINFO_MAGIC.as_bytes()) else {
+        return Vec::new();
+    };
+    let section = &bytes[start + GO_BUILDINFO_MAGIC.len()..];
+    let end = find_subslice(section, b"\x01END\n").unwrap_or(section.len());
+    let Ok(table) = std::str::from_utf8(&section[..end]) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in table.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("dep") {
+            continue;
+        }
+        let (Some(module), Some(version)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let req = VersionReq::parse(version, ConstraintFlavor::Go).ok();
+        let mut dep = DeclaredDependency::new(Ecosystem::Go, module, req);
+        dep.req_text = version.to_string();
+        out.push(dep);
+    }
+    out
+}
+
+/// Renders a simulated Go binary containing the given module table
+/// (used by the corpus generator).
+pub fn render_go_binary(modules: &[(&str, &str)]) -> Vec<u8> {
+    let mut bytes = vec![0x7f, b'E', b'L', b'F', 2, 1, 1, 0];
+    bytes.extend_from_slice(&[0u8; 24]);
+    bytes.extend_from_slice(GO_BUILDINFO_MAGIC.as_bytes());
+    for (module, version) in modules {
+        bytes.extend_from_slice(format!("dep {module} {version}\n").as_bytes());
+    }
+    bytes.extend_from_slice(b"\x01END\n");
+    bytes.extend_from_slice(&[0u8; 16]);
+    bytes
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn go_mod_block_and_single() {
+        let deps = parse_go_mod(
+            r#"module github.com/example/app
+
+go 1.21
+
+require (
+    github.com/stretchr/testify v1.8.4
+    golang.org/x/sync v0.3.0 // indirect
+)
+
+require github.com/pkg/errors v0.9.1
+"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "github.com/stretchr/testify");
+        assert_eq!(deps[0].req_text, "v1.8.4");
+        assert_eq!(deps[1].scope, DepScope::Optional); // indirect
+        assert_eq!(deps[2].name.raw(), "github.com/pkg/errors");
+    }
+
+    #[test]
+    fn go_mod_replace_rewrites() {
+        let deps = parse_go_mod(
+            "module m\nrequire example.com/old v1.0.0\nreplace example.com/old => example.com/new v2.0.0\n",
+        );
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name.raw(), "example.com/new");
+        assert_eq!(deps[0].req_text, "v2.0.0");
+    }
+
+    #[test]
+    fn go_mod_local_replace_kept() {
+        let deps = parse_go_mod(
+            "module m\nrequire example.com/x v1.0.0\nreplace example.com/x => ./local\n",
+        );
+        assert_eq!(deps[0].name.raw(), "example.com/x");
+    }
+
+    #[test]
+    fn go_sum_dedupe() {
+        let deps = parse_go_sum(
+            "github.com/a/b v1.0.0 h1:abc=\ngithub.com/a/b v1.0.0/go.mod h1:def=\ngolang.org/x/text v0.9.0/go.mod h1:ghi=\n",
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "github.com/a/b");
+        assert_eq!(deps[1].name.raw(), "golang.org/x/text");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let bin = render_go_binary(&[
+            ("github.com/a/b", "v1.2.3"),
+            ("golang.org/x/net", "v0.12.0"),
+        ]);
+        let deps = parse_go_binary(&bin);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "github.com/a/b");
+        assert_eq!(deps[1].req_text, "v0.12.0");
+    }
+
+    #[test]
+    fn binary_without_magic_empty() {
+        assert!(parse_go_binary(b"\x7fELF plain binary").is_empty());
+        assert!(parse_go_binary(b"").is_empty());
+    }
+}

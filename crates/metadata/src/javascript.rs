@@ -1,0 +1,319 @@
+//! JavaScript/npm metadata parsing: `package.json`, `package-lock.json`
+//! (v1–v3), `yarn.lock` (v1) and `pnpm-lock.yaml` (v5/v6 key styles).
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
+};
+
+use sbomdiff_textformats::{json, yaml, Value};
+
+/// Parses `package.json` dependency sections.
+///
+/// §V-F: 76% of `package.json` dependencies are dev dependencies; scope is
+/// recorded so generators can include or exclude them per policy.
+pub fn parse_package_json(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (section, scope) in [
+        ("dependencies", DepScope::Runtime),
+        ("devDependencies", DepScope::Dev),
+        ("optionalDependencies", DepScope::Optional),
+        ("peerDependencies", DepScope::Optional),
+    ] {
+        if let Some(entries) = doc.get(section).and_then(Value::as_object) {
+            for (name, spec) in entries {
+                let spec_text = spec.as_str().unwrap_or_default().to_string();
+                let req = VersionReq::parse(&spec_text, ConstraintFlavor::Npm).ok();
+                let mut dep =
+                    DeclaredDependency::new(Ecosystem::JavaScript, name.clone(), req)
+                        .with_scope(scope);
+                dep.req_text = spec_text;
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+/// Parses `package-lock.json`, handling both the v1 recursive
+/// `dependencies` layout and the v2/v3 flat `packages` layout.
+pub fn parse_package_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(packages) = doc.get("packages").and_then(Value::as_object) {
+        // v2/v3: keys like "node_modules/@scope/name".
+        for (path, info) in packages {
+            if path.is_empty() {
+                continue; // the root project itself
+            }
+            let name = match path.rfind("node_modules/") {
+                Some(i) => &path[i + "node_modules/".len()..],
+                None => path.as_str(),
+            };
+            let Some(version) = info.get("version").and_then(Value::as_str) else {
+                continue;
+            };
+            let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
+            out.push(lock_entry(name, version, dev));
+        }
+    } else if let Some(deps) = doc.get("dependencies").and_then(Value::as_object) {
+        collect_v1(deps, &mut out);
+    }
+    out
+}
+
+fn collect_v1(deps: &[(String, Value)], out: &mut Vec<DeclaredDependency>) {
+    for (name, info) in deps {
+        if let Some(version) = info.get("version").and_then(Value::as_str) {
+            let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
+            out.push(lock_entry(name, version, dev));
+        }
+        if let Some(nested) = info.get("dependencies").and_then(Value::as_object) {
+            collect_v1(nested, out);
+        }
+    }
+}
+
+fn lock_entry(name: &str, version: &str, dev: bool) -> DeclaredDependency {
+    let req = VersionReq::parse(version, ConstraintFlavor::Npm).ok().and_then(|r| {
+        r.pinned().cloned().map(VersionReq::exact)
+    });
+    let req = req.or_else(|| {
+        sbomdiff_types::Version::parse(version)
+            .ok()
+            .map(VersionReq::exact)
+    });
+    let mut dep = DeclaredDependency::new(Ecosystem::JavaScript, name, req);
+    dep.req_text = version.to_string();
+    if dev {
+        dep = dep.with_scope(DepScope::Dev);
+    }
+    dep
+}
+
+/// Parses `yarn.lock` v1 (the custom indented format).
+///
+/// ```text
+/// "@babel/core@^7.0.0", "@babel/core@^7.1.0":
+///   version "7.22.9"
+/// ```
+pub fn parse_yarn_lock(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut current_names: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        if !line.starts_with(' ') && line.ends_with(':') {
+            // Header line: comma-separated "name@range" descriptors.
+            current_names.clear();
+            let header = &line[..line.len() - 1];
+            for part in header.split(',') {
+                let desc = part.trim().trim_matches('"');
+                if let Some(name) = descriptor_name(desc) {
+                    if !current_names.contains(&name) {
+                        current_names.push(name);
+                    }
+                }
+            }
+        } else if let Some(vline) = line.trim_start().strip_prefix("version") {
+            let version = vline.trim().trim_matches('"');
+            for name in &current_names {
+                let req = sbomdiff_types::Version::parse(version)
+                    .ok()
+                    .map(VersionReq::exact);
+                let mut dep = DeclaredDependency::new(Ecosystem::JavaScript, name.clone(), req);
+                dep.req_text = version.to_string();
+                out.push(dep);
+            }
+            current_names.clear();
+        }
+    }
+    out
+}
+
+/// Extracts the package name from a `name@range` descriptor, handling
+/// scoped `@scope/name@range`.
+fn descriptor_name(desc: &str) -> Option<String> {
+    if desc.is_empty() {
+        return None;
+    }
+    let at = if let Some(rest) = desc.strip_prefix('@') {
+        rest.find('@').map(|i| i + 1)
+    } else {
+        desc.find('@')
+    };
+    match at {
+        Some(i) => Some(desc[..i].to_string()),
+        None => Some(desc.to_string()),
+    }
+}
+
+/// Parses `pnpm-lock.yaml`. Handles both the v5 path style
+/// (`/name/1.0.0:`) and the v6 style (`/name@1.0.0:`), plus scoped names.
+pub fn parse_pnpm_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = yaml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(packages) = doc.get("packages").and_then(Value::as_object) {
+        for (key, info) in packages {
+            let Some((name, version)) = pnpm_key_parts(key) else {
+                continue;
+            };
+            let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
+            out.push(lock_entry(&name, &version, dev));
+        }
+    }
+    out
+}
+
+fn pnpm_key_parts(key: &str) -> Option<(String, String)> {
+    let key = key.strip_prefix('/')?;
+    // Strip peer-dependency suffix in parens: /a@1.0.0(b@2.0.0)
+    let key = key.split('(').next().unwrap_or(key);
+    // v6: name@version (name may itself start with @scope/)
+    if let Some(at) = key.rfind('@') {
+        if at > 0 {
+            let (name, version) = (&key[..at], &key[at + 1..]);
+            if version.starts_with(|c: char| c.is_ascii_digit()) {
+                return Some((name.to_string(), version.to_string()));
+            }
+        }
+    }
+    // v5: name/version
+    if let Some(slash) = key.rfind('/') {
+        let (name, version) = (&key[..slash], &key[slash + 1..]);
+        if version.starts_with(|c: char| c.is_ascii_digit()) {
+            return Some((name.to_string(), version.to_string()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_json_sections_and_scopes() {
+        let deps = parse_package_json(
+            r#"{
+  "name": "demo",
+  "dependencies": {"lodash": "^4.17.21", "@babel/core": "~7.22.0"},
+  "devDependencies": {"jest": "^29.0.0"},
+  "optionalDependencies": {"fsevents": "*"}
+}"#,
+        );
+        assert_eq!(deps.len(), 4);
+        assert_eq!(deps[0].name.raw(), "lodash");
+        assert_eq!(deps[0].req_text, "^4.17.21");
+        assert_eq!(deps[1].name.namespace(), Some("@babel"));
+        assert_eq!(deps[2].scope, DepScope::Dev);
+        assert_eq!(deps[3].scope, DepScope::Optional);
+    }
+
+    #[test]
+    fn package_lock_v3() {
+        let deps = parse_package_lock(
+            r#"{
+  "lockfileVersion": 3,
+  "packages": {
+    "": {"name": "root"},
+    "node_modules/lodash": {"version": "4.17.21"},
+    "node_modules/@babel/core": {"version": "7.22.9", "dev": true},
+    "node_modules/a/node_modules/b": {"version": "1.0.0"}
+  }
+}"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "lodash");
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "4.17.21");
+        assert_eq!(deps[1].scope, DepScope::Dev);
+        assert_eq!(deps[2].name.raw(), "b");
+    }
+
+    #[test]
+    fn package_lock_v1_recursive() {
+        let deps = parse_package_lock(
+            r#"{
+  "lockfileVersion": 1,
+  "dependencies": {
+    "a": {"version": "1.0.0", "dependencies": {"b": {"version": "2.0.0", "dev": true}}}
+  }
+}"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[1].name.raw(), "b");
+        assert_eq!(deps[1].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn yarn_lock_groups() {
+        let deps = parse_yarn_lock(
+            r#"# yarn lockfile v1
+
+"@babel/core@^7.0.0", "@babel/core@^7.1.0":
+  version "7.22.9"
+  dependencies:
+    json5 "^2.2.2"
+
+lodash@^4.17.20:
+  version "4.17.21"
+"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "@babel/core");
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "7.22.9");
+        assert_eq!(deps[1].name.raw(), "lodash");
+    }
+
+    #[test]
+    fn pnpm_lock_v6_and_v5_keys() {
+        let deps = parse_pnpm_lock(
+            r#"
+lockfileVersion: '6.0'
+
+packages:
+
+  /lodash@4.17.21:
+    resolution: {integrity: sha512-abc}
+    dev: false
+
+  /@babel/core@7.22.9:
+    resolution: {integrity: sha512-def}
+    dev: true
+
+  /cliui/8.0.1:
+    resolution: {integrity: sha512-ghi}
+"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "lodash");
+        assert_eq!(deps[1].name.raw(), "@babel/core");
+        assert_eq!(deps[1].scope, DepScope::Dev);
+        assert_eq!(deps[2].name.raw(), "cliui");
+        assert_eq!(deps[2].pinned_version().unwrap().to_string(), "8.0.1");
+    }
+
+    #[test]
+    fn pnpm_peer_suffix_stripped() {
+        assert_eq!(
+            pnpm_key_parts("/a@1.0.0(b@2.0.0)"),
+            Some(("a".to_string(), "1.0.0".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_empty() {
+        assert!(parse_package_json("{oops").is_empty());
+        assert!(parse_package_lock("[]").is_empty());
+        assert!(parse_pnpm_lock(":::").is_empty());
+        assert!(parse_yarn_lock("").is_empty());
+    }
+}

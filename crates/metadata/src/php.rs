@@ -1,0 +1,136 @@
+//! PHP/Composer metadata parsing: `composer.json` and `composer.lock`.
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
+};
+
+use sbomdiff_textformats::{json, Value};
+
+/// Parses `composer.json` `require` / `require-dev` sections. Platform
+/// requirements (`php`, `ext-*`, `lib-*`, `composer-*`) are not packages and
+/// are skipped, matching Packagist semantics.
+pub fn parse_composer_json(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (section, scope) in [
+        ("require", DepScope::Runtime),
+        ("require-dev", DepScope::Dev),
+    ] {
+        if let Some(entries) = doc.get(section).and_then(Value::as_object) {
+            for (name, spec) in entries {
+                if is_platform_package(name) {
+                    continue;
+                }
+                let spec_text = spec.as_str().unwrap_or_default().to_string();
+                let req = VersionReq::parse(&spec_text, ConstraintFlavor::Composer).ok();
+                let mut dep =
+                    DeclaredDependency::new(Ecosystem::Php, name.clone(), req).with_scope(scope);
+                dep.req_text = spec_text;
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+fn is_platform_package(name: &str) -> bool {
+    name == "php"
+        || name.starts_with("ext-")
+        || name.starts_with("lib-")
+        || name.starts_with("composer-")
+        || name == "composer"
+}
+
+/// Parses `composer.lock` `packages` / `packages-dev` arrays (all pinned,
+/// transitive-inclusive).
+pub fn parse_composer_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (section, scope) in [
+        ("packages", DepScope::Runtime),
+        ("packages-dev", DepScope::Dev),
+    ] {
+        if let Some(entries) = doc.get(section).and_then(Value::as_array) {
+            for pkg in entries {
+                let Some(name) = pkg.get("name").and_then(Value::as_str) else {
+                    continue;
+                };
+                let Some(version) = pkg.get("version").and_then(Value::as_str) else {
+                    continue;
+                };
+                // Composer versions frequently carry a leading 'v'.
+                let req = sbomdiff_types::Version::parse(version)
+                    .ok()
+                    .map(VersionReq::exact);
+                let mut dep =
+                    DeclaredDependency::new(Ecosystem::Php, name, req).with_scope(scope);
+                dep.req_text = version.to_string();
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composer_json_sections() {
+        let deps = parse_composer_json(
+            r#"{
+  "name": "acme/app",
+  "require": {
+    "php": ">=8.0",
+    "ext-json": "*",
+    "monolog/monolog": "^3.0",
+    "guzzlehttp/guzzle": "~7.5"
+  },
+  "require-dev": {
+    "phpunit/phpunit": "^10.0"
+  }
+}"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "monolog/monolog");
+        assert_eq!(deps[0].req_text, "^3.0");
+        assert_eq!(deps[2].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn composer_lock_pins() {
+        let deps = parse_composer_lock(
+            r#"{
+  "packages": [
+    {"name": "monolog/monolog", "version": "3.4.0"},
+    {"name": "psr/log", "version": "v3.0.0"}
+  ],
+  "packages-dev": [
+    {"name": "phpunit/phpunit", "version": "10.2.1"}
+  ]
+}"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "3.4.0");
+        assert_eq!(deps[1].req_text, "v3.0.0");
+        assert_eq!(deps[2].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn platform_packages_skipped() {
+        assert!(is_platform_package("php"));
+        assert!(is_platform_package("ext-mbstring"));
+        assert!(!is_platform_package("vendor/php-helper"));
+    }
+
+    #[test]
+    fn malformed_is_empty() {
+        assert!(parse_composer_json("nope").is_empty());
+        assert!(parse_composer_lock("[1,2]").is_empty());
+    }
+}

@@ -1,0 +1,1177 @@
+//! Python metadata parsing: `requirements.txt` (PEP 508/PEP 440),
+//! `setup.py`, `poetry.lock` and `Pipfile.lock`.
+//!
+//! `requirements.txt` is the format at the center of the paper's accuracy
+//! study (§V-H, Table III) and parser-confusion attack (§VI, Table IV), so
+//! its parser is *dialect-parameterized*: [`ReqStyle::Pip`] is the faithful
+//! reference (ground truth), while the other styles reproduce the documented
+//! behaviors of each studied SBOM tool, including the exact Table IV
+//! outcomes.
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
+    VersionReq,
+};
+
+use sbomdiff_textformats::{json, toml, Value};
+
+/// Which tool's `requirements.txt` reading behavior to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqStyle {
+    /// Reference pip semantics: full PEP 508 syntax, line continuations,
+    /// `-r`/`-c` includes, URL/path/VCS sources, extras and markers.
+    Pip,
+    /// Trivy/Syft behavior (§V-B, §V-D): custom parser keyed on the `==`
+    /// separator; every unpinned, exotic, or continuation-using declaration
+    /// is silently dropped.
+    TrivySyft,
+    /// Microsoft sbom-tool behavior: anchored `name [op version]` lines
+    /// only; trailing backslashes treated as stray whitespace (which is how
+    /// `numpy \` + `==\` + `1.19.2` becomes bare `numpy` resolved to the
+    /// registry's latest, Table IV); extras and environment markers ignored.
+    SbomTool,
+    /// GitHub Dependency Graph behavior: good raw-metadata syntax coverage,
+    /// but version ranges are reported verbatim (§V-D), includes and
+    /// URL/path/VCS installs are skipped, and continuations are unsupported.
+    GithubDg,
+}
+
+/// Parses `requirements.txt` content in the given dialect.
+///
+/// The reference dialect emits [`DependencySource::IncludeFile`] /
+/// [`DependencySource::ConstraintsFile`] entries for `-r`/`-c` lines so the
+/// caller (the ground-truth resolver) can follow them; the tool dialects
+/// skip them, as the tools do.
+pub fn parse_requirements(text: &str, style: ReqStyle) -> Vec<DeclaredDependency> {
+    match style {
+        ReqStyle::Pip => parse_requirements_pip(text),
+        ReqStyle::TrivySyft => text
+            .lines()
+            .filter_map(parse_line_trivy_syft)
+            .collect(),
+        ReqStyle::SbomTool => text.lines().filter_map(parse_line_sbom_tool).collect(),
+        ReqStyle::GithubDg => text.lines().filter_map(parse_line_github).collect(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // pip: '#' starts a comment at line start or preceded by whitespace.
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(is_name_char)
+        && s.starts_with(|c: char| c.is_ascii_alphanumeric())
+}
+
+/// Reference pip parsing with logical-line continuation handling.
+fn parse_requirements_pip(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut logical = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw);
+        let trimmed_end = line.trim_end();
+        if let Some(stripped) = trimmed_end.strip_suffix('\\') {
+            logical.push_str(stripped);
+            continue;
+        }
+        logical.push_str(line);
+        let complete = std::mem::take(&mut logical);
+        if let Some(dep) = parse_line_pip(&complete) {
+            out.push(dep);
+        }
+    }
+    if !logical.is_empty() {
+        if let Some(dep) = parse_line_pip(&logical) {
+            out.push(dep);
+        }
+    }
+    out
+}
+
+fn parse_line_pip(line: &str) -> Option<DeclaredDependency> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    // Option lines.
+    if let Some(rest) = option_value(line, &["-r", "--requirement"]) {
+        return Some(
+            DeclaredDependency::new(Ecosystem::Python, rest.clone(), None)
+                .with_source(DependencySource::IncludeFile(rest)),
+        );
+    }
+    if let Some(rest) = option_value(line, &["-c", "--constraint"]) {
+        return Some(
+            DeclaredDependency::new(Ecosystem::Python, rest.clone(), None)
+                .with_source(DependencySource::ConstraintsFile(rest)),
+        );
+    }
+    if let Some(rest) = option_value(line, &["-e", "--editable"]) {
+        return parse_url_or_path(&rest);
+    }
+    if line.starts_with('-') {
+        // Index options, hashes, etc. — no dependency.
+        return None;
+    }
+    // Strip per-requirement --hash options.
+    let line = match line.find(" --hash") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    // Direct URL / VCS / path installs.
+    if looks_like_url_or_path(line) {
+        return parse_url_or_path(line);
+    }
+    // PEP 508: name [extras] (@ url | specifier)? (; marker)?
+    let (req_part, marker) = match line.split_once(';') {
+        Some((r, m)) => (r.trim(), Some(m.trim().to_string())),
+        None => (line, None),
+    };
+    // name @ url form
+    if let Some((name_part, url_part)) = split_at_url_separator(req_part) {
+        let (name, extras) = split_extras(&name_part)?;
+        if !valid_name(&name) {
+            return None;
+        }
+        let mut dep = parse_url_or_path(url_part.trim())?;
+        dep.name = sbomdiff_types::PackageName::new(Ecosystem::Python, name);
+        dep.extras = extras;
+        if let Some(m) = marker {
+            dep = dep.with_marker(m);
+        }
+        return Some(dep);
+    }
+    // Find where the name+extras end and the specifier begins.
+    let spec_start = req_part
+        .char_indices()
+        .scan(0i32, |bracket_depth, (i, c)| {
+            match c {
+                '[' => *bracket_depth += 1,
+                ']' => *bracket_depth -= 1,
+                '(' | '<' | '>' | '=' | '!' | '~' if *bracket_depth == 0 => {
+                    return Some(Some(i));
+                }
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next();
+    let (name_part, spec_part) = match spec_start {
+        Some(i) => (req_part[..i].trim(), req_part[i..].trim()),
+        None => (req_part.trim(), ""),
+    };
+    let (name, extras) = split_extras(name_part)?;
+    if !valid_name(&name) {
+        return None;
+    }
+    let spec_text = spec_part
+        .trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .trim()
+        .to_string();
+    let req = if spec_text.is_empty() {
+        None
+    } else {
+        VersionReq::parse(&spec_text, ConstraintFlavor::Pep440).ok()
+    };
+    let mut dep = DeclaredDependency::new(Ecosystem::Python, name, req).with_extras(extras);
+    dep.req_text = spec_text;
+    if let Some(m) = marker {
+        dep = dep.with_marker(m);
+    }
+    Some(dep)
+}
+
+fn option_value(line: &str, options: &[&str]) -> Option<String> {
+    for opt in options {
+        if let Some(rest) = line.strip_prefix(opt) {
+            if rest.starts_with([' ', '\t', '=']) {
+                return Some(rest.trim_start_matches(['=', ' ', '\t']).trim().to_string());
+            }
+        }
+    }
+    None
+}
+
+fn looks_like_url_or_path(s: &str) -> bool {
+    let lower = s.to_ascii_lowercase();
+    lower.starts_with("http://")
+        || lower.starts_with("https://")
+        || lower.starts_with("ftp://")
+        || lower.starts_with("file://")
+        || lower.starts_with("git+")
+        || lower.starts_with("hg+")
+        || lower.starts_with("svn+")
+        || lower.starts_with("./")
+        || lower.starts_with("../")
+        || lower.starts_with('/')
+        || lower.ends_with(".whl")
+        || lower.ends_with(".tar.gz")
+        || lower.ends_with(".zip")
+}
+
+/// Splits `name @ url` — PEP 508 direct references.
+fn split_at_url_separator(s: &str) -> Option<(String, &str)> {
+    let idx = s.find('@')?;
+    let (left, right) = (s[..idx].trim(), s[idx + 1..].trim());
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    // Only treat as a direct reference when the right side looks like a URL
+    // or path (otherwise '@' may be part of something else).
+    if looks_like_url_or_path(right) {
+        Some((left.to_string(), &s[idx + 1..]))
+    } else {
+        None
+    }
+}
+
+/// Splits `name[extra1,extra2]` (spaces tolerated, as pip allows).
+fn split_extras(s: &str) -> Option<(String, Vec<String>)> {
+    let s = s.trim();
+    match s.find('[') {
+        Some(i) => {
+            let name = s[..i].trim().to_string();
+            let rest = &s[i + 1..];
+            let close = rest.find(']')?;
+            if !rest[close + 1..].trim().is_empty() {
+                return None;
+            }
+            let extras = rest[..close]
+                .split(',')
+                .map(|e| e.trim().to_string())
+                .filter(|e| !e.is_empty())
+                .collect();
+            Some((name, extras))
+        }
+        None => Some((s.to_string(), Vec::new())),
+    }
+}
+
+fn parse_url_or_path(s: &str) -> Option<DeclaredDependency> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let lower = s.to_ascii_lowercase();
+    let source = if lower.starts_with("git+") {
+        vcs_source(VcsKind::Git, s)
+    } else if lower.starts_with("hg+") {
+        vcs_source(VcsKind::Hg, s)
+    } else if lower.starts_with("svn+") {
+        vcs_source(VcsKind::Svn, s)
+    } else if lower.starts_with("http") || lower.starts_with("ftp") || lower.starts_with("file")
+    {
+        DependencySource::Url(s.to_string())
+    } else {
+        DependencySource::Path(s.to_string())
+    };
+    // Derive a name from a wheel/sdist filename when possible:
+    // name-1.2.3-py3-none-any.whl
+    let file = s.rsplit('/').next().unwrap_or(s);
+    let name = wheel_name(file).unwrap_or_else(|| derive_name_from_target(s));
+    let version = wheel_version(file);
+    let req = version.map(|v| {
+        VersionReq::parse(&format!("=={v}"), ConstraintFlavor::Pep440)
+            .unwrap_or_else(|_| VersionReq::any())
+    });
+    Some(DeclaredDependency::new(Ecosystem::Python, name, req).with_source(source))
+}
+
+fn vcs_source(kind: VcsKind, s: &str) -> DependencySource {
+    let body = &s[s.find('+').map(|i| i + 1).unwrap_or(0)..];
+    let (url, reference) = match body.rsplit_once('@') {
+        Some((u, r)) if !r.contains('/') => (u.to_string(), Some(r.to_string())),
+        _ => (body.to_string(), None),
+    };
+    DependencySource::Vcs {
+        kind,
+        url,
+        reference,
+    }
+}
+
+fn wheel_name(file: &str) -> Option<String> {
+    let stem = file
+        .strip_suffix(".whl")
+        .or_else(|| file.strip_suffix(".tar.gz"))
+        .or_else(|| file.strip_suffix(".zip"))?;
+    let first = stem.split('-').next()?;
+    if valid_name(first) {
+        Some(first.to_string())
+    } else {
+        None
+    }
+}
+
+fn wheel_version(file: &str) -> Option<String> {
+    let stem = file
+        .strip_suffix(".whl")
+        .or_else(|| file.strip_suffix(".tar.gz"))
+        .or_else(|| file.strip_suffix(".zip"))?;
+    let second = stem.split('-').nth(1)?;
+    if second.starts_with(|c: char| c.is_ascii_digit()) {
+        Some(second.to_string())
+    } else {
+        None
+    }
+}
+
+fn derive_name_from_target(s: &str) -> String {
+    let tail = s
+        .trim_end_matches('/')
+        .rsplit('/')
+        .next()
+        .unwrap_or(s)
+        .split('@')
+        .next()
+        .unwrap_or(s);
+    let tail = tail.trim_end_matches(".git");
+    if tail.is_empty() {
+        s.to_string()
+    } else {
+        tail.to_string()
+    }
+}
+
+/// Trivy/Syft: only `name==version` survives; everything else is silently
+/// dropped (§V-D "silently discarding dependencies without pinned versions").
+fn parse_line_trivy_syft(raw: &str) -> Option<DeclaredDependency> {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() || line.starts_with('-') {
+        return None;
+    }
+    // Markers are stripped (common syntax they do support).
+    let line = line.split(';').next().unwrap_or(line).trim();
+    let (name, version) = line.split_once("==")?;
+    let name = name.trim();
+    let version = version.trim();
+    if !valid_name(name) || version.is_empty() || !version_token_ok(version) {
+        return None;
+    }
+    let req = VersionReq::parse(&format!("=={version}"), ConstraintFlavor::Pep440).ok()?;
+    Some(DeclaredDependency::new(Ecosystem::Python, name, Some(req)))
+}
+
+fn version_token_ok(v: &str) -> bool {
+    !v.is_empty()
+        && v.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '*' | '+' | '!' | '-'))
+}
+
+/// sbom-tool: anchored `name [op version]` lines. Trailing backslashes are
+/// discarded as stray whitespace — the root of the Table IV `numpy` row: the
+/// name survives alone, and the generator later pins the registry's latest.
+/// Extras attached without a space are ignored; a space before `[` breaks the
+/// anchor and drops the line. Environment markers are ignored entirely
+/// (§V-H), i.e. the dependency is included unconditionally.
+fn parse_line_sbom_tool(raw: &str) -> Option<DeclaredDependency> {
+    let mut line = strip_comment(raw).trim();
+    if line.is_empty() || line.starts_with('-') {
+        return None;
+    }
+    // Markers dropped (the dependency itself is kept).
+    line = line.split(';').next().unwrap_or(line).trim();
+    // Trailing backslash treated as whitespace.
+    let cleaned = line.trim_end_matches('\\').trim();
+    if cleaned.is_empty() {
+        return None;
+    }
+    // Anchored shape: NAME[extras]? (OP VERSION)? with nothing else.
+    let mut rest = cleaned;
+    let name_end = rest
+        .char_indices()
+        .find(|(_, c)| !is_name_char(*c))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if !valid_name(name) {
+        return None;
+    }
+    rest = &rest[name_end..];
+    // Directly attached extras are skipped (ignored, not fatal).
+    if rest.starts_with('[') {
+        let close = rest.find(']')?;
+        rest = &rest[close + 1..];
+    }
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Some(DeclaredDependency::new(Ecosystem::Python, name, None));
+    }
+    // Operator + version, nothing trailing.
+    let ops = ["==", ">=", "<=", "!=", "~=", ">", "<"];
+    let op = ops.iter().find(|op| rest.starts_with(**op))?;
+    let version = rest[op.len()..].trim();
+    if version.is_empty() || !version_token_ok(version) || version.contains(char::is_whitespace) {
+        return None;
+    }
+    let req = VersionReq::parse(&format!("{op}{version}"), ConstraintFlavor::Pep440).ok()?;
+    Some(DeclaredDependency::new(Ecosystem::Python, name, Some(req)))
+}
+
+/// GitHub Dependency Graph: broad syntax coverage for plain requirements,
+/// ranges reported verbatim, but option lines, URL/path/VCS installs and
+/// continuations yield nothing.
+fn parse_line_github(raw: &str) -> Option<DeclaredDependency> {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() || line.starts_with('-') {
+        return None;
+    }
+    // A continuation backslash anywhere breaks its parser: the fragment
+    // lines do not form a valid requirement.
+    if line.ends_with('\\') {
+        return None;
+    }
+    if looks_like_url_or_path(line) || split_at_url_separator(line).is_some() {
+        return None;
+    }
+    // pip-compile hash options are common; GitHub's parser strips them.
+    let line = match line.find(" --hash") {
+        Some(i) => line[..i].trim_end(),
+        None => line,
+    };
+    let (req_part, marker) = match line.split_once(';') {
+        Some((r, m)) => (r.trim(), Some(m.trim().to_string())),
+        None => (line, None),
+    };
+    // Name must be directly followed by extras or specifier (no space before
+    // '[' — Table IV row 1).
+    let name_end = req_part
+        .char_indices()
+        .find(|(_, c)| !is_name_char(*c))
+        .map(|(i, _)| i)
+        .unwrap_or(req_part.len());
+    let name = &req_part[..name_end];
+    // GitHub's grammar requires names to start with a letter, which is why
+    // the `1.19.2` fragment of the Table IV continuation sample yields
+    // nothing.
+    if !valid_name(name) || !name.starts_with(|c: char| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    let mut rest = &req_part[name_end..];
+    let mut extras = Vec::new();
+    if rest.starts_with('[') {
+        let close = rest.find(']')?;
+        extras = rest[1..close]
+            .split(',')
+            .map(|e| e.trim().to_string())
+            .filter(|e| !e.is_empty())
+            .collect();
+        rest = &rest[close + 1..];
+    } else if rest.trim_start().starts_with('[') {
+        // space before '[' — unsupported
+        return None;
+    }
+    let spec_text = rest.trim().to_string();
+    let req = if spec_text.is_empty() {
+        None
+    } else {
+        VersionReq::parse(&spec_text, ConstraintFlavor::Pep440).ok()
+    };
+    if !spec_text.is_empty() && req.is_none() {
+        return None;
+    }
+    let mut dep = DeclaredDependency::new(Ecosystem::Python, name, req).with_extras(extras);
+    dep.req_text = spec_text;
+    if let Some(m) = marker {
+        dep = dep.with_marker(m);
+    }
+    Some(dep)
+}
+
+/// Extracts `install_requires` and `extras_require` entries from `setup.py`
+/// without executing Python: bracket-matched literal scanning, the approach
+/// GitHub DG's best-effort setup.py support takes (Table II).
+pub fn parse_setup_py(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    for dep in extract_list_strings(text, "install_requires") {
+        if let Some(d) = parse_line_pip(&dep) {
+            out.push(d);
+        }
+    }
+    for dep in extract_list_strings(text, "tests_require") {
+        if let Some(d) = parse_line_pip(&dep) {
+            out.push(d.with_scope(DepScope::Dev));
+        }
+    }
+    for dep in extract_dict_list_strings(text, "extras_require") {
+        if let Some(d) = parse_line_pip(&dep) {
+            out.push(d.with_scope(DepScope::Optional));
+        }
+    }
+    out
+}
+
+/// Collects string literals inside `key = [ ... ]` / `key=[...]`.
+fn extract_list_strings(text: &str, key: &str) -> Vec<String> {
+    let Some(kidx) = text.find(key) else {
+        return Vec::new();
+    };
+    let after = &text[kidx + key.len()..];
+    let Some(open_rel) = after.find('[') else {
+        return Vec::new();
+    };
+    // Only an '=' (possibly spaced) may sit between key and '['.
+    if !after[..open_rel].trim().trim_start_matches('=').trim().is_empty() {
+        return Vec::new();
+    }
+    collect_strings_until_close(&after[open_rel..], '[', ']')
+}
+
+/// Collects string literals inside the *values* of `key = { ... }`.
+fn extract_dict_list_strings(text: &str, key: &str) -> Vec<String> {
+    let Some(kidx) = text.find(key) else {
+        return Vec::new();
+    };
+    let after = &text[kidx + key.len()..];
+    let Some(open_rel) = after.find('{') else {
+        return Vec::new();
+    };
+    if !after[..open_rel].trim().trim_start_matches('=').trim().is_empty() {
+        return Vec::new();
+    }
+    // Every string in the dict that is inside a nested list is a requirement;
+    // strings that are dict keys sit before ':' and outside brackets.
+    let body = &after[open_rel..];
+    let mut depth = 0i32;
+    let mut list_depth = 0i32;
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            '[' => list_depth += 1,
+            ']' => list_depth -= 1,
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                for q in chars.by_ref() {
+                    if q == quote {
+                        break;
+                    }
+                    s.push(q);
+                }
+                if list_depth > 0 {
+                    out.push(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn collect_strings_until_close(body: &str, open: char, close: char) -> Vec<String> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                for q in chars.by_ref() {
+                    if q == quote {
+                        break;
+                    }
+                    s.push(q);
+                }
+                out.push(s);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses `poetry.lock` (TOML `[[package]]` entries, all pinned).
+pub fn parse_poetry_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = toml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(packages) = doc.get("package").and_then(Value::as_array) {
+        for pkg in packages {
+            let Some(name) = pkg.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(version) = pkg.get("version").and_then(Value::as_str) else {
+                continue;
+            };
+            let scope = match pkg.get("category").and_then(Value::as_str) {
+                Some("dev") => DepScope::Dev,
+                _ => DepScope::Runtime,
+            };
+            let req = VersionReq::parse(&format!("=={version}"), ConstraintFlavor::Pep440).ok();
+            out.push(
+                DeclaredDependency::new(Ecosystem::Python, name, req).with_scope(scope),
+            );
+        }
+    }
+    out
+}
+
+/// Parses `Pipfile.lock` (JSON `default` / `develop` sections).
+pub fn parse_pipfile_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (section, scope) in [("default", DepScope::Runtime), ("develop", DepScope::Dev)] {
+        if let Some(entries) = doc.get(section).and_then(Value::as_object) {
+            for (name, info) in entries {
+                if let Some(vstr) = info.get("version").and_then(Value::as_str) {
+                    let spec = vstr.trim();
+                    let req = VersionReq::parse(spec, ConstraintFlavor::Pep440).ok();
+                    let mut dep = DeclaredDependency::new(Ecosystem::Python, name.clone(), req)
+                        .with_scope(scope);
+                    dep.req_text = spec.to_string();
+                    out.push(dep);
+                } else if let Some(git) = info.get("git").and_then(Value::as_str) {
+                    let reference = info
+                        .get("ref")
+                        .and_then(Value::as_str)
+                        .map(|s| s.to_string());
+                    out.push(
+                        DeclaredDependency::new(Ecosystem::Python, name.clone(), None)
+                            .with_scope(scope)
+                            .with_source(DependencySource::Vcs {
+                                kind: VcsKind::Git,
+                                url: git.to_string(),
+                                reference,
+                            }),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pinned(dep: &DeclaredDependency) -> Option<String> {
+        dep.pinned_version().map(|v| v.to_string())
+    }
+
+    // ---------- reference (pip) dialect ----------
+
+    #[test]
+    fn pip_basic_forms() {
+        let deps = parse_requirements(
+            "requests>=2.8.1\nnumpy==1.19.2\nflask\npandas>=1.0,<2.0  # pinned later\n",
+            ReqStyle::Pip,
+        );
+        assert_eq!(deps.len(), 4);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert_eq!(pinned(&deps[1]).as_deref(), Some("1.19.2"));
+        assert!(deps[2].req.is_none());
+        assert_eq!(deps[3].req_text, ">=1.0,<2.0");
+    }
+
+    #[test]
+    fn pip_line_continuation() {
+        let deps = parse_requirements("numpy \\\n==\\\n1.19.2\n", ReqStyle::Pip);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name.raw(), "numpy");
+        assert_eq!(pinned(&deps[0]).as_deref(), Some("1.19.2"));
+    }
+
+    #[test]
+    fn pip_extras_with_and_without_space() {
+        let deps = parse_requirements(
+            "requests [security]>=2.8.1\ncelery[redis,msgpack]==5.3.0\n",
+            ReqStyle::Pip,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert_eq!(deps[0].extras, vec!["security"]);
+        assert_eq!(deps[1].extras, vec!["redis", "msgpack"]);
+    }
+
+    #[test]
+    fn pip_includes_and_options() {
+        let deps = parse_requirements(
+            "-r common.txt\n-c constraints.txt\n--index-url https://pypi.example\nrequests\n",
+            ReqStyle::Pip,
+        );
+        assert_eq!(deps.len(), 3);
+        assert!(matches!(
+            deps[0].source,
+            DependencySource::IncludeFile(ref f) if f == "common.txt"
+        ));
+        assert!(matches!(
+            deps[1].source,
+            DependencySource::ConstraintsFile(_)
+        ));
+        assert_eq!(deps[2].name.raw(), "requests");
+    }
+
+    #[test]
+    fn pip_url_path_vcs() {
+        let deps = parse_requirements(
+            "./path/to/local_pkg-1.0.0-py3-none-any.whl\nhttps://host/remote_pkg-2.1.0.tar.gz\nurllib3 @ git+https://github.com/urllib3/urllib3@abc123\n",
+            ReqStyle::Pip,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "local_pkg");
+        assert_eq!(pinned(&deps[0]).as_deref(), Some("1.0.0"));
+        assert!(matches!(deps[0].source, DependencySource::Path(_)));
+        assert_eq!(deps[1].name.raw(), "remote_pkg");
+        assert!(matches!(deps[1].source, DependencySource::Url(_)));
+        assert_eq!(deps[2].name.raw(), "urllib3");
+        match &deps[2].source {
+            DependencySource::Vcs {
+                kind,
+                url,
+                reference,
+            } => {
+                assert_eq!(*kind, VcsKind::Git);
+                assert!(url.contains("github.com/urllib3"));
+                assert_eq!(reference.as_deref(), Some("abc123"));
+            }
+            other => panic!("expected vcs source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pip_markers_preserved() {
+        let deps = parse_requirements(
+            "pywin32>=1.0; sys_platform == 'win32'\n",
+            ReqStyle::Pip,
+        );
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].marker.as_deref(), Some("sys_platform == 'win32'"));
+    }
+
+    #[test]
+    fn pip_editable_install() {
+        let deps = parse_requirements("-e ./src/mylib\n", ReqStyle::Pip);
+        assert_eq!(deps.len(), 1);
+        assert!(matches!(deps[0].source, DependencySource::Path(_)));
+    }
+
+    #[test]
+    fn pip_parenthesized_spec() {
+        let deps = parse_requirements("requests (>=2.8.1)\n", ReqStyle::Pip);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].req_text, ">=2.8.1");
+    }
+
+    // ---------- Trivy/Syft dialect ----------
+
+    #[test]
+    fn trivy_syft_only_double_equals() {
+        let deps = parse_requirements(
+            "numpy==1.19.2\nrequests>=2.8.1\nflask\npandas~=1.5\n",
+            ReqStyle::TrivySyft,
+        );
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name.raw(), "numpy");
+    }
+
+    #[test]
+    fn trivy_syft_table_iv_rows_all_dropped() {
+        for sample in [
+            "requests [security]>=2.8.1",
+            "numpy \\\n==\\\n1.19.2",
+            "-r SOME_REQS.txt",
+            "./path/to/local_pkg.whl",
+            "https://remote_pkg.whl",
+            "urlib3 @ git+https://github.com/urllib3/urllib3@abc123",
+        ] {
+            let deps = parse_requirements(sample, ReqStyle::TrivySyft);
+            assert!(deps.is_empty(), "sample should be missed: {sample}");
+        }
+    }
+
+    #[test]
+    fn trivy_syft_extras_break_name() {
+        let deps = parse_requirements("celery[redis]==5.3.0\n", ReqStyle::TrivySyft);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn trivy_syft_marker_stripped() {
+        let deps = parse_requirements("x==1.0; python_version<'3'\n", ReqStyle::TrivySyft);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(pinned(&deps[0]).as_deref(), Some("1.0"));
+    }
+
+    // ---------- sbom-tool dialect ----------
+
+    #[test]
+    fn sbom_tool_salvages_backslash_name() {
+        // Table IV row 2: the three physical lines of the attack sample.
+        let deps = parse_requirements("numpy \\\n==\\\n1.19.2\n", ReqStyle::SbomTool);
+        // "numpy \" → bare name (resolved later to latest);
+        // "==\" → dropped; "1.19.2" → *looks* like a name, kept for registry
+        // validation (which will fail, as §VIII describes).
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "numpy");
+        assert!(deps[0].req.is_none());
+        assert_eq!(deps[1].name.raw(), "1.19.2");
+    }
+
+    #[test]
+    fn sbom_tool_space_before_extras_drops_line() {
+        let deps = parse_requirements("requests [security]>=2.8.1\n", ReqStyle::SbomTool);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn sbom_tool_attached_extras_ignored() {
+        let deps = parse_requirements("requests[security]>=2.8.1\n", ReqStyle::SbomTool);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert!(deps[0].extras.is_empty());
+    }
+
+    #[test]
+    fn sbom_tool_marker_ignored_dep_kept() {
+        let deps = parse_requirements(
+            "pywin32>=1.0; sys_platform == 'win32'\n",
+            ReqStyle::SbomTool,
+        );
+        assert_eq!(deps.len(), 1);
+        assert!(deps[0].marker.is_none());
+    }
+
+    #[test]
+    fn sbom_tool_ranges_kept_for_resolution() {
+        let deps = parse_requirements("requests>=2.8.1\n", ReqStyle::SbomTool);
+        assert_eq!(deps.len(), 1);
+        assert!(deps[0].req.is_some());
+        assert!(deps[0].pinned_version().is_none());
+    }
+
+    #[test]
+    fn sbom_tool_urls_and_options_dropped() {
+        let deps = parse_requirements(
+            "-r other.txt\n./pkg.whl\nhttps://remote.whl\nu3 @ git+https://x@h\n",
+            ReqStyle::SbomTool,
+        );
+        // "./pkg.whl" fails the name anchor; url contains ':'; "u3 @ ..."
+        // has a space-separated '@' that breaks the anchor.
+        assert!(deps.is_empty());
+    }
+
+    // ---------- GitHub DG dialect ----------
+
+    #[test]
+    fn github_reports_ranges_verbatim() {
+        let deps = parse_requirements("requests>=2.8.1,<3\n", ReqStyle::GithubDg);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].req_text, ">=2.8.1,<3");
+        assert!(deps[0].pinned_version().is_none());
+    }
+
+    #[test]
+    fn github_table_iv_rows_all_dropped() {
+        for sample in [
+            "requests [security]>=2.8.1",
+            "numpy \\\n==\\\n1.19.2",
+            "-r SOME_REQS.txt",
+            "./path/to/local_pkg.whl",
+            "https://remote_pkg.whl",
+            "urlib3 @ git+https://github.com/urllib3/urllib3@abc123",
+        ] {
+            let deps = parse_requirements(sample, ReqStyle::GithubDg);
+            assert!(deps.is_empty(), "sample should be missed: {sample}");
+        }
+    }
+
+    #[test]
+    fn github_attached_extras_ok() {
+        let deps = parse_requirements("celery[redis]>=5.0\n", ReqStyle::GithubDg);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].extras, vec!["redis"]);
+    }
+
+    #[test]
+    fn github_bare_names_reported() {
+        let deps = parse_requirements("flask\n", ReqStyle::GithubDg);
+        assert_eq!(deps.len(), 1);
+        assert!(deps[0].req.is_none());
+        assert!(deps[0].req_text.is_empty());
+    }
+
+    // ---------- setup.py ----------
+
+    #[test]
+    fn setup_py_install_requires() {
+        let deps = parse_setup_py(
+            r#"
+from setuptools import setup
+setup(
+    name="demo",
+    install_requires=[
+        "requests>=2.8.1",
+        'click==8.0.0',
+    ],
+    extras_require={
+        "dev": ["pytest>=7.0"],
+        "docs": ["sphinx"],
+    },
+    tests_require=["nose"],
+)
+"#,
+        );
+        assert_eq!(deps.len(), 5);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert_eq!(deps[1].name.raw(), "click");
+        assert_eq!(deps[2].scope, DepScope::Dev); // tests_require
+        assert_eq!(deps[3].scope, DepScope::Optional);
+        assert_eq!(deps[4].name.raw(), "sphinx");
+    }
+
+    #[test]
+    fn setup_py_without_requires_is_empty() {
+        assert!(parse_setup_py("from setuptools import setup\nsetup(name='x')\n").is_empty());
+    }
+
+    // ---------- poetry.lock / Pipfile.lock ----------
+
+    #[test]
+    fn poetry_lock_entries() {
+        let deps = parse_poetry_lock(
+            r#"
+[[package]]
+name = "requests"
+version = "2.31.0"
+category = "main"
+
+[[package]]
+name = "pytest"
+version = "7.4.0"
+category = "dev"
+"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(pinned(&deps[0]).as_deref(), Some("2.31.0"));
+        assert_eq!(deps[1].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn pipfile_lock_entries() {
+        let deps = parse_pipfile_lock(
+            r#"{
+  "default": {
+    "requests": {"version": "==2.31.0"},
+    "mylib": {"git": "https://github.com/a/mylib", "ref": "deadbeef"}
+  },
+  "develop": {
+    "pytest": {"version": "==7.4.0"}
+  }
+}"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(pinned(&deps[0]).as_deref(), Some("2.31.0"));
+        assert!(matches!(deps[1].source, DependencySource::Vcs { .. }));
+        assert_eq!(deps[2].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn malformed_lockfiles_return_empty() {
+        assert!(parse_poetry_lock("not toml [").is_empty());
+        assert!(parse_pipfile_lock("{broken").is_empty());
+    }
+}
+
+/// Parses `pyproject.toml`: PEP 621 `[project]` dependencies and
+/// optional-dependencies, plus the `[tool.poetry]` dialect.
+///
+/// Not in Table II (none of the studied tools read it in the evaluated
+/// versions); used by the reference/best-practice layer.
+pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = toml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // PEP 621: [project] dependencies = ["requests>=2.8", ...]
+    if let Some(deps) = doc.pointer("project/dependencies").and_then(Value::as_array) {
+        for d in deps {
+            if let Some(line) = d.as_str() {
+                if let Some(dep) = parse_line_pip(line) {
+                    out.push(dep);
+                }
+            }
+        }
+    }
+    if let Some(groups) = doc
+        .pointer("project/optional-dependencies")
+        .and_then(Value::as_object)
+    {
+        for (_group, deps) in groups {
+            if let Some(deps) = deps.as_array() {
+                for d in deps {
+                    if let Some(line) = d.as_str() {
+                        if let Some(dep) = parse_line_pip(line) {
+                            out.push(dep.with_scope(DepScope::Optional));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Poetry: [tool.poetry.dependencies] requests = "^2.28" / { version = .. }
+    for (section, scope) in [
+        ("tool/poetry/dependencies", DepScope::Runtime),
+        ("tool/poetry/dev-dependencies", DepScope::Dev),
+        ("tool/poetry/group/dev/dependencies", DepScope::Dev),
+    ] {
+        if let Some(table) = doc.pointer(section).and_then(Value::as_object) {
+            for (name, spec) in table {
+                if name == "python" {
+                    continue; // interpreter constraint, not a package
+                }
+                let spec_text = match spec {
+                    Value::Str(s) => s.clone(),
+                    other => other
+                        .get("version")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                };
+                // Poetry uses caret/tilde npm-style constraints.
+                let req = if spec_text.is_empty() || spec_text == "*" {
+                    None
+                } else {
+                    VersionReq::parse(&spec_text, ConstraintFlavor::Npm).ok()
+                };
+                let mut dep =
+                    DeclaredDependency::new(Ecosystem::Python, name.clone(), req)
+                        .with_scope(scope);
+                dep.req_text = spec_text;
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+/// Parses `setup.cfg` `[options] install_requires` (INI-style, indented
+/// continuation list).
+pub fn parse_setup_cfg(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut in_options = false;
+    let mut in_install_requires = false;
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with(['#', ';']) {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_options = line.trim() == "[options]";
+            in_install_requires = false;
+            continue;
+        }
+        if !in_options {
+            continue;
+        }
+        if !line.starts_with([' ', '\t']) {
+            // new key
+            if let Some((key, value)) = line.split_once('=') {
+                in_install_requires = key.trim() == "install_requires";
+                if in_install_requires {
+                    if let Some(dep) = parse_line_pip(value.trim()) {
+                        out.push(dep);
+                    }
+                }
+            } else {
+                in_install_requires = false;
+            }
+            continue;
+        }
+        if in_install_requires {
+            if let Some(dep) = parse_line_pip(line.trim()) {
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod pyproject_tests {
+    use super::*;
+
+    #[test]
+    fn pep621_dependencies() {
+        let deps = parse_pyproject_toml(
+            "[project]\nname = \"demo\"\ndependencies = [\n  \"requests>=2.8.1\",\n  \"numpy==1.19.2\",\n]\n\n[project.optional-dependencies]\ndev = [\"pytest>=7\"]\n",
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert_eq!(deps[1].pinned_version().unwrap().to_string(), "1.19.2");
+        assert_eq!(deps[2].scope, DepScope::Optional);
+    }
+
+    #[test]
+    fn poetry_dependencies() {
+        let deps = parse_pyproject_toml(
+            "[tool.poetry]\nname = \"demo\"\n\n[tool.poetry.dependencies]\npython = \"^3.11\"\nrequests = \"^2.28\"\nflask = { version = \"~2.3\", extras = [\"async\"] }\n\n[tool.poetry.dev-dependencies]\npytest = \"*\"\n",
+        );
+        assert_eq!(deps.len(), 3); // python excluded
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert!(deps[0]
+            .req
+            .as_ref()
+            .unwrap()
+            .matches(&sbomdiff_types::Version::parse("2.99.0").unwrap()));
+        assert_eq!(deps[1].req_text, "~2.3");
+        assert_eq!(deps[2].scope, DepScope::Dev);
+        assert!(deps[2].req.is_none());
+    }
+
+    #[test]
+    fn setup_cfg_install_requires() {
+        let deps = parse_setup_cfg(
+            "[metadata]\nname = demo\n\n[options]\npackages = find:\ninstall_requires =\n    requests>=2.8.1\n    numpy==1.19.2\n\n[options.extras_require]\ndev = pytest\n",
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "requests");
+        assert_eq!(deps[1].name.raw(), "numpy");
+    }
+
+    #[test]
+    fn setup_cfg_inline_value() {
+        let deps = parse_setup_cfg("[options]\ninstall_requires = requests>=2.0\n");
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn pyproject_malformed_empty() {
+        assert!(parse_pyproject_toml("[[broken").is_empty());
+        assert!(parse_setup_cfg("").is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Ruby metadata parsing: `Gemfile` (bundler DSL subset), `Gemfile.lock`
+//! and `*.gemspec`.
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
+    VersionReq,
+};
+
+/// Parses the bundler `Gemfile` DSL: `gem` declarations, `group` blocks,
+/// inline `group:`/`git:`/`path:` options.
+pub fn parse_gemfile(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut group_stack: Vec<DepScope> = Vec::new();
+    for raw in text.lines() {
+        let line = strip_ruby_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("group") {
+            let scope = if line.contains(":development") || line.contains(":test") {
+                DepScope::Dev
+            } else {
+                DepScope::Runtime
+            };
+            if line.ends_with("do") {
+                group_stack.push(scope);
+            }
+            continue;
+        }
+        if line == "end" {
+            group_stack.pop();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("gem ").or_else(|| line.strip_prefix("gem(")) {
+            if let Some(dep) = parse_gem_call(rest, group_stack.last().copied()) {
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+fn strip_ruby_comment(line: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_gem_call(args: &str, group_scope: Option<DepScope>) -> Option<DeclaredDependency> {
+    let args = args.trim().trim_end_matches(')');
+    let parts = split_ruby_args(args);
+    let name = unquote(parts.first()?)?;
+    let mut reqs = Vec::new();
+    let mut scope = group_scope.unwrap_or(DepScope::Runtime);
+    let mut source = DependencySource::Registry;
+    for part in parts.iter().skip(1) {
+        let part = part.trim();
+        if let Some(q) = unquote(part) {
+            reqs.push(q);
+        } else if let Some(rest) = part
+            .strip_prefix("group:")
+            .or_else(|| part.strip_prefix(":group =>"))
+        {
+            if rest.contains("development") || rest.contains("test") {
+                scope = DepScope::Dev;
+            }
+        } else if let Some(rest) = part.strip_prefix("git:") {
+            source = DependencySource::Vcs {
+                kind: VcsKind::Git,
+                url: unquote(rest.trim()).unwrap_or_default(),
+                reference: None,
+            };
+        } else if let Some(rest) = part.strip_prefix("path:") {
+            source = DependencySource::Path(unquote(rest.trim()).unwrap_or_default());
+        } else if part.starts_with("github:") {
+            source = DependencySource::Vcs {
+                kind: VcsKind::Git,
+                url: format!(
+                    "https://github.com/{}",
+                    unquote(part.trim_start_matches("github:").trim()).unwrap_or_default()
+                ),
+                reference: None,
+            };
+        } else if part.contains("require:") || part.contains("platforms:") {
+            // irrelevant options
+        }
+    }
+    let req_text = reqs.join(", ");
+    let req = if req_text.is_empty() {
+        None
+    } else {
+        VersionReq::parse(&req_text, ConstraintFlavor::RubyGems).ok()
+    };
+    let mut dep = DeclaredDependency::new(Ecosystem::Ruby, name, req)
+        .with_scope(scope)
+        .with_source(source);
+    dep.req_text = req_text;
+    Some(dep)
+}
+
+fn split_ruby_args(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_single = false;
+    let mut in_double = false;
+    for c in s.chars() {
+        match c {
+            '\'' if !in_double => {
+                in_single = !in_single;
+                cur.push(c);
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                cur.push(c);
+            }
+            ',' if !in_single && !in_double => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts.into_iter().map(|p| p.trim().to_string()).collect()
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    if (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+        || (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+    {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+/// Parses `Gemfile.lock`: the `GEM > specs:` section (all resolved gems,
+/// including transitives) and `PATH`/`GIT` sections.
+pub fn parse_gemfile_lock(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut in_specs = false;
+    for raw in text.lines() {
+        let indent = raw.len() - raw.trim_start().len();
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if indent == 0 {
+            in_specs = false;
+            continue;
+        }
+        if line == "specs:" {
+            in_specs = true;
+            continue;
+        }
+        if !in_specs {
+            continue;
+        }
+        // Resolved gems at indent 4: `name (1.2.3)`; their requirements at
+        // indent 6 (skipped — they are ranges, not resolved entries).
+        if indent == 4 {
+            if let Some((name, version)) = name_paren_version(line) {
+                let req = sbomdiff_types::Version::parse(&version)
+                    .ok()
+                    .map(VersionReq::exact);
+                let mut dep = DeclaredDependency::new(Ecosystem::Ruby, name, req);
+                dep.req_text = version;
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+/// Splits `name (1.2.3)` / `name (~> 1.2)` lines used by Gemfile.lock and
+/// Podfile.lock.
+pub(crate) fn name_paren_version(line: &str) -> Option<(String, String)> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let name = line[..open].trim().to_string();
+    let version = line[open + 1..close].trim().to_string();
+    if name.is_empty() || version.is_empty() {
+        return None;
+    }
+    Some((name, version))
+}
+
+/// Parses `*.gemspec` dependency declarations:
+/// `spec.add_dependency 'name', '~> 1.0'` and the development/runtime
+/// variants.
+pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = strip_ruby_comment(raw).trim();
+        let (call, scope) = if let Some(i) = line.find("add_development_dependency") {
+            (&line[i + "add_development_dependency".len()..], DepScope::Dev)
+        } else if let Some(i) = line.find("add_runtime_dependency") {
+            (&line[i + "add_runtime_dependency".len()..], DepScope::Runtime)
+        } else if let Some(i) = line.find("add_dependency") {
+            (&line[i + "add_dependency".len()..], DepScope::Runtime)
+        } else {
+            continue;
+        };
+        let call = call.trim().trim_start_matches('(').trim_end_matches(')');
+        let parts = split_ruby_args(call);
+        let Some(name) = parts.first().and_then(|p| unquote(p)) else {
+            continue;
+        };
+        let reqs: Vec<String> = parts
+            .iter()
+            .skip(1)
+            .filter_map(|p| unquote(p))
+            .collect();
+        let req_text = reqs.join(", ");
+        let req = if req_text.is_empty() {
+            None
+        } else {
+            VersionReq::parse(&req_text, ConstraintFlavor::RubyGems).ok()
+        };
+        let mut dep = DeclaredDependency::new(Ecosystem::Ruby, name, req).with_scope(scope);
+        dep.req_text = req_text;
+        out.push(dep);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemfile_basics() {
+        let deps = parse_gemfile(
+            r#"
+source 'https://rubygems.org'
+
+gem 'rails', '~> 7.0.4'
+gem 'pg', '>= 0.18', '< 2.0'
+gem 'puma' # server
+gem 'debug', group: :development
+group :test do
+  gem 'rspec-rails'
+end
+gem 'mylib', git: 'https://github.com/me/mylib'
+"#,
+        );
+        assert_eq!(deps.len(), 6);
+        assert_eq!(deps[0].name.raw(), "rails");
+        assert_eq!(deps[0].req_text, "~> 7.0.4");
+        assert_eq!(deps[1].req_text, ">= 0.18, < 2.0");
+        assert!(deps[2].req.is_none());
+        assert_eq!(deps[3].scope, DepScope::Dev);
+        assert_eq!(deps[4].scope, DepScope::Dev);
+        assert!(matches!(deps[5].source, DependencySource::Vcs { .. }));
+    }
+
+    #[test]
+    fn gemfile_lock_specs() {
+        let deps = parse_gemfile_lock(
+            r#"GEM
+  remote: https://rubygems.org/
+  specs:
+    actionpack (7.0.4)
+      actionview (= 7.0.4)
+      rack (~> 2.0, >= 2.2.0)
+    actionview (7.0.4)
+    rack (2.2.6)
+
+PLATFORMS
+  x86_64-linux
+
+DEPENDENCIES
+  rails (~> 7.0.4)
+
+BUNDLED WITH
+   2.3.26
+"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "actionpack");
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "7.0.4");
+        assert_eq!(deps[2].name.raw(), "rack");
+    }
+
+    #[test]
+    fn gemspec_declarations() {
+        let deps = parse_gemspec(
+            r#"
+Gem::Specification.new do |spec|
+  spec.name = "mylib"
+  spec.add_dependency 'activesupport', '~> 7.0'
+  spec.add_runtime_dependency("thor", ">= 1.0", "< 2.0")
+  spec.add_development_dependency 'rspec', '~> 3.12'
+end
+"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "activesupport");
+        assert_eq!(deps[1].req_text, ">= 1.0, < 2.0");
+        assert_eq!(deps[2].scope, DepScope::Dev);
+    }
+
+    #[test]
+    fn comment_with_quote_chars() {
+        let deps = parse_gemfile("gem 'a' # don't break\n");
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs() {
+        assert!(parse_gemfile("").is_empty());
+        assert!(parse_gemfile_lock("random text\n").is_empty());
+        assert!(parse_gemspec("no deps here").is_empty());
+    }
+}

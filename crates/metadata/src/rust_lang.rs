@@ -1,0 +1,264 @@
+//! Rust metadata parsing: `Cargo.toml`, `Cargo.lock` and Rust executables
+//! with embedded dependency audit data (simulating `cargo auditable`, see
+//! DESIGN.md substitutions).
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
+    VersionReq,
+};
+
+use sbomdiff_textformats::{json, toml, Value};
+
+/// Magic marker introducing the simulated audit section in Rust binaries.
+pub const RUST_AUDIT_MAGIC: &str = "\u{1}SBOMDIFF-RUST-AUDIT\n";
+
+/// Parses `Cargo.toml` dependency tables: `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]` and
+/// `[target.'cfg'.dependencies]`.
+pub fn parse_cargo_toml(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = toml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    collect_dep_table(doc.get("dependencies"), DepScope::Runtime, &mut out);
+    collect_dep_table(doc.get("dev-dependencies"), DepScope::Dev, &mut out);
+    collect_dep_table(doc.get("build-dependencies"), DepScope::Dev, &mut out);
+    if let Some(targets) = doc.get("target").and_then(Value::as_object) {
+        for (_, tbl) in targets {
+            collect_dep_table(tbl.get("dependencies"), DepScope::Runtime, &mut out);
+            collect_dep_table(tbl.get("dev-dependencies"), DepScope::Dev, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_dep_table(table: Option<&Value>, scope: DepScope, out: &mut Vec<DeclaredDependency>) {
+    let Some(entries) = table.and_then(Value::as_object) else {
+        return;
+    };
+    for (name, spec) in entries {
+        let mut dep_name = name.clone();
+        let mut req_text = String::new();
+        let mut source = DependencySource::Registry;
+        let mut optional = false;
+        match spec {
+            Value::Str(s) => req_text = s.clone(),
+            Value::Object(_) => {
+                if let Some(v) = spec.get("version").and_then(Value::as_str) {
+                    req_text = v.to_string();
+                }
+                if let Some(p) = spec.get("package").and_then(Value::as_str) {
+                    dep_name = p.to_string();
+                }
+                if let Some(path) = spec.get("path").and_then(Value::as_str) {
+                    source = DependencySource::Path(path.to_string());
+                }
+                if let Some(git) = spec.get("git").and_then(Value::as_str) {
+                    source = DependencySource::Vcs {
+                        kind: VcsKind::Git,
+                        url: git.to_string(),
+                        reference: spec
+                            .get("rev")
+                            .or_else(|| spec.get("tag"))
+                            .or_else(|| spec.get("branch"))
+                            .and_then(Value::as_str)
+                            .map(String::from),
+                    };
+                }
+                if spec.get("workspace").and_then(Value::as_bool) == Some(true) {
+                    // workspace deps inherit elsewhere; keep without version
+                }
+                optional = spec.get("optional").and_then(Value::as_bool) == Some(true);
+            }
+            _ => continue,
+        }
+        let req = if req_text.is_empty() {
+            None
+        } else {
+            VersionReq::parse(&req_text, ConstraintFlavor::Cargo).ok()
+        };
+        let scope = if optional { DepScope::Optional } else { scope };
+        let mut dep = DeclaredDependency::new(Ecosystem::Rust, dep_name, req)
+            .with_scope(scope)
+            .with_source(source);
+        dep.req_text = req_text;
+        out.push(dep);
+    }
+}
+
+/// Parses `Cargo.lock` `[[package]]` entries (all pinned, transitive-
+/// inclusive; the workspace's own crates are included, as real tools report
+/// them).
+pub fn parse_cargo_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = toml::parse(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(packages) = doc.get("package").and_then(Value::as_array) {
+        for pkg in packages {
+            let (Some(name), Some(version)) = (
+                pkg.get("name").and_then(Value::as_str),
+                pkg.get("version").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            let req = sbomdiff_types::Version::parse(version)
+                .ok()
+                .map(VersionReq::exact);
+            let mut dep = DeclaredDependency::new(Ecosystem::Rust, name, req);
+            dep.req_text = version.to_string();
+            out.push(dep);
+        }
+    }
+    out
+}
+
+/// Scans binary content for the simulated audit section (JSON array of
+/// `{"name", "version"}` objects).
+pub fn parse_rust_binary(bytes: &[u8]) -> Vec<DeclaredDependency> {
+    let Some(start) = find_subslice(bytes, RUST_AUDIT_MAGIC.as_bytes()) else {
+        return Vec::new();
+    };
+    let section = &bytes[start + RUST_AUDIT_MAGIC.len()..];
+    let end = find_subslice(section, b"\x01END\n").unwrap_or(section.len());
+    let Ok(payload) = std::str::from_utf8(&section[..end]) else {
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(payload.trim()) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(items) = doc.as_array() {
+        for item in items {
+            let (Some(name), Some(version)) = (
+                item.get("name").and_then(Value::as_str),
+                item.get("version").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            let req = sbomdiff_types::Version::parse(version)
+                .ok()
+                .map(VersionReq::exact);
+            let mut dep = DeclaredDependency::new(Ecosystem::Rust, name, req);
+            dep.req_text = version.to_string();
+            out.push(dep);
+        }
+    }
+    out
+}
+
+/// Renders a simulated Rust binary with embedded audit data (used by the
+/// corpus generator).
+pub fn render_rust_binary(crates: &[(&str, &str)]) -> Vec<u8> {
+    let mut bytes = vec![0x7f, b'E', b'L', b'F', 2, 1, 1, 0];
+    bytes.extend_from_slice(&[0u8; 24]);
+    bytes.extend_from_slice(RUST_AUDIT_MAGIC.as_bytes());
+    let items: Vec<String> = crates
+        .iter()
+        .map(|(n, v)| format!("{{\"name\":\"{n}\",\"version\":\"{v}\"}}"))
+        .collect();
+    bytes.extend_from_slice(format!("[{}]", items.join(",")).as_bytes());
+    bytes.extend_from_slice(b"\x01END\n");
+    bytes.extend_from_slice(&[0u8; 16]);
+    bytes
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cargo_toml_tables() {
+        let deps = parse_cargo_toml(
+            r#"
+[package]
+name = "demo"
+version = "0.1.0"
+
+[dependencies]
+serde = { version = "1.0", features = ["derive"] }
+rand = "0.8"
+mylib = { path = "../mylib" }
+gitdep = { git = "https://github.com/a/b", rev = "abc" }
+renamed = { package = "actual-name", version = "2" }
+maybe = { version = "0.3", optional = true }
+
+[dev-dependencies]
+proptest = "1"
+
+[build-dependencies]
+cc = "1.0"
+
+[target.'cfg(windows)'.dependencies]
+winapi = "0.3"
+"#,
+        );
+        assert_eq!(deps.len(), 9);
+        assert_eq!(deps[0].name.raw(), "serde");
+        assert_eq!(deps[0].req_text, "1.0");
+        assert!(matches!(deps[2].source, DependencySource::Path(_)));
+        assert!(matches!(deps[3].source, DependencySource::Vcs { .. }));
+        assert_eq!(deps[4].name.raw(), "actual-name");
+        assert_eq!(deps[5].scope, DepScope::Optional);
+        assert_eq!(deps[6].scope, DepScope::Dev);
+        assert_eq!(deps[7].scope, DepScope::Dev);
+        assert_eq!(deps[8].name.raw(), "winapi");
+    }
+
+    #[test]
+    fn cargo_toml_unpinned_is_range() {
+        let deps = parse_cargo_toml("[dependencies]\nserde = \"1.0\"\n");
+        assert!(deps[0].pinned_version().is_none());
+        assert!(deps[0].req.is_some());
+    }
+
+    #[test]
+    fn cargo_lock_packages() {
+        let deps = parse_cargo_lock(
+            r#"
+version = 3
+
+[[package]]
+name = "autocfg"
+version = "1.1.0"
+
+[[package]]
+name = "serde"
+version = "1.0.188"
+dependencies = [
+ "serde_derive",
+]
+"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[1].name.raw(), "serde");
+        assert_eq!(deps[1].pinned_version().unwrap().to_string(), "1.0.188");
+    }
+
+    #[test]
+    fn rust_binary_roundtrip() {
+        let bin = render_rust_binary(&[("serde", "1.0.188"), ("rand", "0.8.5")]);
+        let deps = parse_rust_binary(&bin);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].name.raw(), "serde");
+        assert_eq!(deps[1].pinned_version().unwrap().to_string(), "0.8.5");
+    }
+
+    #[test]
+    fn plain_binary_empty() {
+        assert!(parse_rust_binary(b"\x7fELFnothing here").is_empty());
+    }
+
+    #[test]
+    fn malformed_empty() {
+        assert!(parse_cargo_toml("[[broken").is_empty());
+        assert!(parse_cargo_lock("nope = [").is_empty());
+    }
+}

@@ -1,0 +1,399 @@
+//! Swift metadata parsing: `Package.swift` (SwiftPM manifest subset),
+//! `Package.resolved`, `Podfile` and `Podfile.lock` (CocoaPods).
+//!
+//! CocoaPods subspecs (`Firebase/Auth`) are kept structurally — §V-E shows
+//! Syft/Trivy report the subspec while sbom-tool reports the main pod.
+
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, Ecosystem, VersionReq,
+};
+
+use sbomdiff_textformats::{json, yaml, Value};
+
+/// Parses `.package(...)` declarations out of `Package.swift`.
+///
+/// Recognized requirement spellings: `from: "1.2.3"`, `exact: "1.2.3"`,
+/// `.upToNextMajor(from: "1.2.3")`, `.upToNextMinor(from: "1.2.3")`,
+/// `branch:`/`revision:` (reported without version), and the
+/// `"1.0.0"..<"2.0.0"` range form.
+pub fn parse_package_swift(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(idx) = rest.find(".package(") {
+        rest = &rest[idx + ".package(".len()..];
+        let Some(close) = find_balanced_close(rest) else {
+            break;
+        };
+        let call = &rest[..close];
+        rest = &rest[close..];
+        let Some(url) = extract_labeled_string(call, "url:") else {
+            continue;
+        };
+        let name = url
+            .trim_end_matches('/')
+            .rsplit('/')
+            .next()
+            .unwrap_or(&url)
+            .trim_end_matches(".git")
+            .to_string();
+        if name.is_empty() {
+            continue;
+        }
+        let (req_text, req) = swift_requirement(call);
+        let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
+        dep.req_text = req_text;
+        out.push(dep);
+    }
+    out
+}
+
+fn find_balanced_close(s: &str) -> Option<usize> {
+    let mut depth = 1i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn extract_labeled_string(call: &str, label: &str) -> Option<String> {
+    let idx = call.find(label)?;
+    let after = &call[idx + label.len()..];
+    let start = after.find('"')?;
+    let rest = &after[start + 1..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn swift_requirement(call: &str) -> (String, Option<VersionReq>) {
+    if let Some(v) = extract_labeled_string(call, "exact:") {
+        let req = sbomdiff_types::Version::parse(&v).ok().map(VersionReq::exact);
+        return (format!("exact: {v}"), req);
+    }
+    if call.contains(".upToNextMinor") {
+        if let Some(v) = extract_labeled_string(call, "from:") {
+            let req = VersionReq::parse(&format!("~> {v}"), ConstraintFlavor::RubyGems).ok();
+            return (format!("upToNextMinor(from: {v})"), req);
+        }
+    }
+    if let Some(v) = extract_labeled_string(call, "from:") {
+        // from: / .upToNextMajor — caret semantics.
+        let req = VersionReq::parse(&format!("^{v}"), ConstraintFlavor::Npm).ok();
+        return (format!("from: {v}"), req);
+    }
+    // "1.0.0"..<"2.0.0"
+    if let Some(range_idx) = call.find("..<") {
+        let before = &call[..range_idx];
+        let after = &call[range_idx + 3..];
+        let lo = before.rfind('"').and_then(|e| {
+            before[..e].rfind('"').map(|s| before[s + 1..e].to_string())
+        });
+        let hi = after.find('"').and_then(|s| {
+            after[s + 1..].find('"').map(|e| after[s + 1..s + 1 + e].to_string())
+        });
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            let text = format!("{lo}..<{hi}");
+            let req =
+                VersionReq::parse(&format!(">={lo}, <{hi}"), ConstraintFlavor::Pep440).ok();
+            return (text, req);
+        }
+    }
+    if let Some(b) = extract_labeled_string(call, "branch:") {
+        return (format!("branch: {b}"), None);
+    }
+    if let Some(r) = extract_labeled_string(call, "revision:") {
+        return (format!("revision: {r}"), None);
+    }
+    (String::new(), None)
+}
+
+/// Parses `Package.resolved` (v1 `object.pins[].package` and v2/v3
+/// `pins[].identity` layouts).
+pub fn parse_package_resolved(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = json::parse(text) else {
+        return Vec::new();
+    };
+    let pins = doc
+        .get("pins")
+        .or_else(|| doc.pointer("object/pins"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    let mut out = Vec::new();
+    for pin in pins {
+        let name = pin
+            .get("identity")
+            .or_else(|| pin.get("package"))
+            .and_then(Value::as_str);
+        let Some(name) = name else { continue };
+        let version = pin
+            .pointer("state/version")
+            .and_then(Value::as_str)
+            .filter(|v| *v != "null");
+        let req = version
+            .and_then(|v| sbomdiff_types::Version::parse(v).ok())
+            .map(VersionReq::exact);
+        let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
+        dep.req_text = version.unwrap_or_default().to_string();
+        out.push(dep);
+    }
+    out
+}
+
+/// Parses `Podfile` `pod 'Name', '~> 1.0'` declarations (target blocks are
+/// flattened; CocoaPods installs the union).
+pub fn parse_podfile(text: &str) -> Vec<DeclaredDependency> {
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = strip_ruby_comment(raw).trim();
+        let Some(rest) = line
+            .strip_prefix("pod ")
+            .or_else(|| line.strip_prefix("pod("))
+        else {
+            continue;
+        };
+        let parts: Vec<&str> = split_top_commas(rest.trim_end_matches(')'));
+        let Some(name) = parts.first().and_then(|p| unquote(p)) else {
+            continue;
+        };
+        let reqs: Vec<String> = parts
+            .iter()
+            .skip(1)
+            .filter(|p| !p.contains(':'))
+            .filter_map(|p| unquote(p))
+            .collect();
+        let req_text = reqs.join(", ");
+        let req = if req_text.is_empty() {
+            None
+        } else {
+            VersionReq::parse(&req_text, ConstraintFlavor::RubyGems).ok()
+        };
+        let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
+        dep.req_text = req_text;
+        out.push(dep);
+    }
+    out
+}
+
+fn strip_ruby_comment(line: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ',' if !in_single && !in_double => {
+                parts.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(s[start..].trim());
+    parts
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    if (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+        || (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+    {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+/// Parses `Podfile.lock`'s `PODS:` section — the full resolved set
+/// including transitive pods and subspecs, each `Name (version)`.
+pub fn parse_podfile_lock(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = yaml::parse(text) else {
+        return Vec::new();
+    };
+    let Some(pods) = doc.get("PODS").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for pod in pods {
+        let entry = match pod {
+            Value::Str(s) => Some(s.clone()),
+            Value::Object(entries) => entries.first().map(|(k, _)| k.clone()),
+            _ => None,
+        };
+        let Some(entry) = entry else { continue };
+        if let Some((name, version)) = crate::ruby::name_paren_version(&entry) {
+            let req = sbomdiff_types::Version::parse(&version)
+                .ok()
+                .map(VersionReq::exact);
+            let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
+            dep.req_text = version;
+            out.push(dep);
+        }
+    }
+    out
+}
+
+/// Parses the `DEPENDENCIES:` section of `Podfile.lock` (the directly
+/// declared pods with their raw requirements).
+pub fn parse_podfile_lock_dependencies(text: &str) -> Vec<DeclaredDependency> {
+    let Ok(doc) = yaml::parse(text) else {
+        return Vec::new();
+    };
+    let Some(deps) = doc.get("DEPENDENCIES").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for d in deps {
+        let Some(s) = d.as_str() else { continue };
+        match crate::ruby::name_paren_version(s) {
+            Some((name, reqs)) => {
+                let req = VersionReq::parse(&reqs, ConstraintFlavor::RubyGems).ok();
+                let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
+                dep.req_text = reqs;
+                out.push(dep);
+            }
+            None => {
+                out.push(DeclaredDependency::new(
+                    Ecosystem::Swift,
+                    s.trim().to_string(),
+                    None,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_types::Version;
+
+    #[test]
+    fn package_swift_requirements() {
+        let deps = parse_package_swift(
+            r#"
+// swift-tools-version:5.7
+import PackageDescription
+
+let package = Package(
+    name: "Demo",
+    dependencies: [
+        .package(url: "https://github.com/apple/swift-nio.git", from: "2.58.0"),
+        .package(url: "https://github.com/apple/swift-log.git", exact: "1.5.2"),
+        .package(url: "https://github.com/vapor/vapor.git", .upToNextMinor(from: "4.76.0")),
+        .package(url: "https://github.com/me/dev.git", branch: "main"),
+        .package(url: "https://github.com/x/y", "1.0.0"..<"2.0.0"),
+    ]
+)
+"#,
+        );
+        assert_eq!(deps.len(), 5);
+        assert_eq!(deps[0].name.raw(), "swift-nio");
+        assert!(deps[0].req.as_ref().unwrap().matches(&Version::parse("2.99.0").unwrap()));
+        assert_eq!(deps[1].pinned_version().unwrap().to_string(), "1.5.2");
+        assert!(deps[2].req.as_ref().unwrap().matches(&Version::parse("4.76.5").unwrap()));
+        assert!(!deps[2].req.as_ref().unwrap().matches(&Version::parse("4.77.0").unwrap()));
+        assert!(deps[3].req.is_none());
+        assert!(deps[4].req.as_ref().unwrap().matches(&Version::parse("1.5.0").unwrap()));
+    }
+
+    #[test]
+    fn package_resolved_v2() {
+        let deps = parse_package_resolved(
+            r#"{
+  "pins": [
+    {"identity": "swift-nio", "state": {"revision": "abc", "version": "2.58.0"}},
+    {"identity": "swift-log", "state": {"branch": "main", "version": "null"}}
+  ],
+  "version": 2
+}"#,
+        );
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].pinned_version().unwrap().to_string(), "2.58.0");
+        assert!(deps[1].req.is_none());
+    }
+
+    #[test]
+    fn package_resolved_v1() {
+        let deps = parse_package_resolved(
+            r#"{"object": {"pins": [{"package": "SwiftyJSON", "state": {"version": "5.0.1"}}]}, "version": 1}"#,
+        );
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name.raw(), "SwiftyJSON");
+    }
+
+    #[test]
+    fn podfile_pods() {
+        let deps = parse_podfile(
+            r#"
+platform :ios, '13.0'
+target 'App' do
+  pod 'Firebase/Auth', '~> 10.0'
+  pod 'SnapKit'
+  pod 'Custom', :git => 'https://github.com/a/b'
+end
+"#,
+        );
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].name.raw(), "Firebase/Auth");
+        assert_eq!(deps[0].name.subspec(), Some("Auth"));
+        assert_eq!(deps[0].req_text, "~> 10.0");
+        assert!(deps[1].req.is_none());
+    }
+
+    #[test]
+    fn podfile_lock_pods_and_deps() {
+        let text = r#"
+PODS:
+  - Firebase/Auth (10.12.0):
+    - FirebaseAuth (~> 10.12.0)
+  - FirebaseAuth (10.12.0)
+  - GoogleUtilities (7.11.0)
+
+DEPENDENCIES:
+  - Firebase/Auth (~> 10.0)
+  - SnapKit
+
+COCOAPODS: 1.12.1
+"#;
+        let pods = parse_podfile_lock(text);
+        assert_eq!(pods.len(), 3);
+        assert_eq!(pods[0].name.raw(), "Firebase/Auth");
+        assert_eq!(pods[0].pinned_version().unwrap().to_string(), "10.12.0");
+        let deps = parse_podfile_lock_dependencies(text);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].req_text, "~> 10.0");
+        assert_eq!(deps[1].name.raw(), "SnapKit");
+    }
+
+    #[test]
+    fn malformed_empty() {
+        assert!(parse_package_swift("no packages").is_empty());
+        assert!(parse_package_resolved("{]").is_empty());
+        assert!(parse_podfile_lock("PODS: broken").is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Registry client abstraction with failure injection.
+//!
+//! §V-C: the Microsoft SBOM Tool "attempts to resolve transitive
+//! dependencies by querying package managers ... but this functionality is
+//! not well-implemented and often fails". [`FlakyRegistry`] models that
+//! unreliability deterministically so experiments are reproducible.
+
+use std::cell::Cell;
+
+use sbomdiff_types::{Version, VersionReq};
+
+use crate::universe::{PackageUniverse, RegistryDep};
+
+/// Read-only registry operations used by resolvers and tool emulators.
+pub trait RegistryClient {
+    /// All published versions of a package (ascending), or `None` when the
+    /// package is unknown *or the query failed*.
+    fn versions(&self, name: &str) -> Option<Vec<Version>>;
+
+    /// The newest non-yanked version.
+    fn latest(&self, name: &str) -> Option<Version>;
+
+    /// The newest version matching a requirement.
+    fn latest_matching(&self, name: &str, req: &VersionReq) -> Option<Version>;
+
+    /// Dependency edges of a concrete version. `honor_markers` controls
+    /// whether platform-excluded edges are filtered.
+    fn deps_of(
+        &self,
+        name: &str,
+        version: &Version,
+        extras: &[String],
+        honor_markers: bool,
+    ) -> Option<Vec<RegistryDep>>;
+}
+
+impl RegistryClient for PackageUniverse {
+    fn versions(&self, name: &str) -> Option<Vec<Version>> {
+        self.lookup(name)
+            .map(|p| p.versions.iter().map(|v| v.version.clone()).collect())
+    }
+
+    fn latest(&self, name: &str) -> Option<Version> {
+        PackageUniverse::latest(self, name).cloned()
+    }
+
+    fn latest_matching(&self, name: &str, req: &VersionReq) -> Option<Version> {
+        PackageUniverse::latest_matching(self, name, req).cloned()
+    }
+
+    fn deps_of(
+        &self,
+        name: &str,
+        version: &Version,
+        extras: &[String],
+        honor_markers: bool,
+    ) -> Option<Vec<RegistryDep>> {
+        self.lookup(name)?;
+        Some(
+            PackageUniverse::deps_of(self, name, version, extras, honor_markers)
+                .into_iter()
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// A registry wrapper that deterministically fails a fraction of queries.
+///
+/// Failures are a pure function of the query name and an internal counter,
+/// so a given run is reproducible while still spreading failures across
+/// different queries.
+#[derive(Debug)]
+pub struct FlakyRegistry<'a> {
+    inner: &'a PackageUniverse,
+    /// Failure probability in [0, 1].
+    failure_rate: f64,
+    seed: u64,
+    counter: Cell<u64>,
+}
+
+impl<'a> FlakyRegistry<'a> {
+    /// Wraps a universe with the given failure rate.
+    pub fn new(inner: &'a PackageUniverse, failure_rate: f64, seed: u64) -> Self {
+        FlakyRegistry {
+            inner,
+            failure_rate: failure_rate.clamp(0.0, 1.0),
+            seed,
+            counter: Cell::new(0),
+        }
+    }
+
+    /// A reliable (never-failing) wrapper.
+    pub fn reliable(inner: &'a PackageUniverse) -> Self {
+        FlakyRegistry::new(inner, 0.0, 0)
+    }
+
+    fn fails(&self, name: &str) -> bool {
+        if self.failure_rate <= 0.0 {
+            return false;
+        }
+        let c = self.counter.get();
+        self.counter.set(c.wrapping_add(1));
+        let mut h = self.seed ^ c.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100_0000_01b3) ^ b as u64;
+        }
+        // Map to [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.failure_rate
+    }
+}
+
+impl RegistryClient for FlakyRegistry<'_> {
+    fn versions(&self, name: &str) -> Option<Vec<Version>> {
+        if self.fails(name) {
+            return None;
+        }
+        RegistryClient::versions(self.inner, name)
+    }
+
+    fn latest(&self, name: &str) -> Option<Version> {
+        if self.fails(name) {
+            return None;
+        }
+        RegistryClient::latest(self.inner, name)
+    }
+
+    fn latest_matching(&self, name: &str, req: &VersionReq) -> Option<Version> {
+        if self.fails(name) {
+            return None;
+        }
+        RegistryClient::latest_matching(self.inner, name, req)
+    }
+
+    fn deps_of(
+        &self,
+        name: &str,
+        version: &Version,
+        extras: &[String],
+        honor_markers: bool,
+    ) -> Option<Vec<RegistryDep>> {
+        if self.fails(name) {
+            return None;
+        }
+        RegistryClient::deps_of(self.inner, name, version, extras, honor_markers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniverseConfig;
+    use sbomdiff_types::Ecosystem;
+
+    fn uni() -> PackageUniverse {
+        PackageUniverse::generate(&UniverseConfig {
+            package_count: 50,
+            ..UniverseConfig::for_ecosystem(Ecosystem::Python, 77)
+        })
+    }
+
+    #[test]
+    fn universe_implements_client() {
+        let uni = uni();
+        let versions = RegistryClient::versions(&uni, "numpy").unwrap();
+        assert!(!versions.is_empty());
+        assert!(RegistryClient::versions(&uni, "definitely-not-a-package").is_none());
+    }
+
+    #[test]
+    fn reliable_never_fails() {
+        let uni = uni();
+        let client = FlakyRegistry::reliable(&uni);
+        for _ in 0..100 {
+            assert!(client.latest("numpy").is_some());
+        }
+    }
+
+    #[test]
+    fn flaky_fails_roughly_at_rate() {
+        let uni = uni();
+        let client = FlakyRegistry::new(&uni, 0.3, 9);
+        let mut failures = 0;
+        let total = 1000;
+        for i in 0..total {
+            let name = if i % 2 == 0 { "numpy" } else { "requests" };
+            if client.latest(name).is_none() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / total as f64;
+        assert!((0.2..0.4).contains(&rate), "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn flaky_is_deterministic_per_run() {
+        let uni = uni();
+        let a = FlakyRegistry::new(&uni, 0.5, 42);
+        let b = FlakyRegistry::new(&uni, 0.5, 42);
+        let seq_a: Vec<bool> = (0..50).map(|_| a.latest("numpy").is_some()).collect();
+        let seq_b: Vec<bool> = (0..50).map(|_| b.latest("numpy").is_some()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for registry query invariants.
+
+use proptest::prelude::*;
+
+use sbomdiff_registry::{
+    FlakyRegistry, PackageUniverse, RegistryClient, UniverseConfig,
+};
+use sbomdiff_types::{ConstraintFlavor, Ecosystem, VersionReq};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Versions are published ascending; `latest` is a published, non-
+    /// prerelease maximum; `latest_matching` respects its requirement.
+    #[test]
+    fn universe_query_invariants(seed in 0u64..40, eco_idx in 0usize..9) {
+        let eco = Ecosystem::ALL[eco_idx];
+        let uni = PackageUniverse::generate(&UniverseConfig {
+            package_count: 60,
+            ..UniverseConfig::for_ecosystem(eco, seed)
+        });
+        for name in uni.package_names().take(30) {
+            let versions = uni.versions(name);
+            prop_assert!(!versions.is_empty());
+            for w in versions.windows(2) {
+                prop_assert!(w[0] <= w[1], "{name}: {} > {}", w[0], w[1]);
+            }
+            if let Some(latest) = uni.latest(name) {
+                prop_assert!(versions.contains(&latest));
+                prop_assert!(!latest.is_prerelease());
+            }
+            let req = VersionReq::parse(">=0", ConstraintFlavor::Pep440).unwrap();
+            if let Some(m) = uni.latest_matching(name, &req) {
+                prop_assert!(req.matches(m));
+                prop_assert!(versions.contains(&m));
+            }
+        }
+    }
+
+    /// The flaky wrapper never fabricates data: every successful answer
+    /// equals the underlying universe's answer.
+    #[test]
+    fn flaky_registry_is_truthful(seed in 0u64..40, rate in 0.0f64..1.0) {
+        let uni = PackageUniverse::generate(&UniverseConfig {
+            package_count: 40,
+            ..UniverseConfig::for_ecosystem(Ecosystem::Python, seed)
+        });
+        let flaky = FlakyRegistry::new(&uni, rate, seed);
+        for name in uni.package_names().take(20) {
+            if let Some(latest) = RegistryClient::latest(&flaky, name) {
+                prop_assert_eq!(Some(latest), RegistryClient::latest(&uni, name));
+            }
+            if let Some(versions) = RegistryClient::versions(&flaky, name) {
+                prop_assert_eq!(Some(versions), RegistryClient::versions(&uni, name));
+            }
+        }
+        // Unknown names fail regardless of flakiness.
+        prop_assert!(RegistryClient::latest(&flaky, "no-such-package-xyz").is_none());
+    }
+
+    /// Lookup is closed under the ecosystem's name normalization.
+    #[test]
+    fn lookup_normalization_closed(seed in 0u64..40) {
+        let uni = PackageUniverse::generate(&UniverseConfig {
+            package_count: 50,
+            ..UniverseConfig::for_ecosystem(Ecosystem::Python, seed)
+        });
+        for name in uni.package_names().take(30) {
+            let upper = name.to_uppercase();
+            let swapped = name.replace('-', "_");
+            prop_assert!(uni.lookup(&upper).is_some(), "{upper}");
+            prop_assert!(uni.lookup(&swapped).is_some(), "{swapped}");
+        }
+    }
+}

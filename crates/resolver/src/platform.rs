@@ -1,0 +1,177 @@
+//! PEP 508 environment-marker evaluation.
+//!
+//! §V-H: sbom-tool "ignores ... OS and Python requirements", inflating its
+//! reported set with packages that would never be installed on the
+//! evaluation platform. The ground-truth dry run evaluates markers against
+//! this fixed platform, exactly as pip would.
+
+use sbomdiff_types::Version;
+
+/// The evaluation platform (paper §V-H: Python 3.11, Linux).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Platform {
+    /// `sys_platform` (e.g. `linux`, `win32`, `darwin`).
+    pub sys_platform: String,
+    /// `platform_system` (e.g. `Linux`, `Windows`, `Darwin`).
+    pub platform_system: String,
+    /// `os_name` (`posix` / `nt`).
+    pub os_name: String,
+    /// `python_version` (major.minor).
+    pub python_version: String,
+    /// `implementation_name` (`cpython`).
+    pub implementation_name: String,
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform {
+            sys_platform: "linux".into(),
+            platform_system: "Linux".into(),
+            os_name: "posix".into(),
+            python_version: "3.11".into(),
+            implementation_name: "cpython".into(),
+        }
+    }
+}
+
+impl Platform {
+    fn lookup(&self, key: &str) -> Option<&str> {
+        Some(match key {
+            "sys_platform" => &self.sys_platform,
+            "platform_system" => &self.platform_system,
+            "os_name" => &self.os_name,
+            "python_version" | "python_full_version" => &self.python_version,
+            "implementation_name" | "platform_python_implementation" => {
+                &self.implementation_name
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Evaluates a marker expression; `true` means the dependency applies.
+///
+/// Supports `and` / `or` conjunctions of `variable op 'literal'`
+/// comparisons. Unknown variables or unparseable clauses evaluate to `true`
+/// (pip is conservative about including).
+pub fn marker_allows(marker: &str, platform: &Platform) -> bool {
+    // Lowest precedence: or.
+    marker
+        .split(" or ")
+        .any(|clause| clause.split(" and ").all(|c| eval_comparison(c, platform)))
+}
+
+fn eval_comparison(clause: &str, platform: &Platform) -> bool {
+    let clause = clause.trim().trim_start_matches('(').trim_end_matches(')').trim();
+    if clause.is_empty() {
+        return true;
+    }
+    let ops = ["==", "!=", "<=", ">=", "<", ">", " not in ", " in "];
+    for op in ops {
+        if let Some(idx) = clause.find(op) {
+            let lhs = clause[..idx].trim();
+            let rhs = clause[idx + op.len()..]
+                .trim()
+                .trim_matches(['\'', '"'])
+                .to_string();
+            let Some(actual) = platform.lookup(lhs) else {
+                return true; // unknown variable — include
+            };
+            return compare(actual, op.trim(), &rhs);
+        }
+    }
+    true
+}
+
+fn compare(actual: &str, op: &str, expected: &str) -> bool {
+    // Version-like operands compare as versions; otherwise as strings.
+    let as_versions = (Version::parse(actual), Version::parse(expected));
+    match op {
+        "==" => match as_versions {
+            (Ok(a), Ok(b)) => a == b,
+            _ => actual == expected,
+        },
+        "!=" => match as_versions {
+            (Ok(a), Ok(b)) => a != b,
+            _ => actual != expected,
+        },
+        "<" | "<=" | ">" | ">=" => {
+            let (Ok(a), Ok(b)) = as_versions else {
+                return match op {
+                    "<" => actual < expected,
+                    "<=" => actual <= expected,
+                    ">" => actual > expected,
+                    _ => actual >= expected,
+                };
+            };
+            match op {
+                "<" => a < b,
+                "<=" => a <= b,
+                ">" => a > b,
+                _ => a >= b,
+            }
+        }
+        "in" => expected.contains(actual),
+        "not in" => !expected.contains(actual),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_markers() {
+        let p = Platform::default();
+        assert!(!marker_allows("sys_platform == 'win32'", &p));
+        assert!(marker_allows("sys_platform == 'linux'", &p));
+        assert!(marker_allows("sys_platform != 'win32'", &p));
+        assert!(!marker_allows("platform_system == 'Windows'", &p));
+        assert!(!marker_allows("os_name == 'nt'", &p));
+    }
+
+    #[test]
+    fn python_version_markers() {
+        let p = Platform::default();
+        assert!(marker_allows("python_version >= '3.8'", &p));
+        assert!(!marker_allows("python_version < '3.8'", &p));
+        assert!(marker_allows("python_version == '3.11'", &p));
+        assert!(!marker_allows("python_version < '3'", &p));
+        // Version comparison, not string comparison: 3.9 < 3.11 numerically.
+        assert!(marker_allows("python_version >= '3.9'", &p));
+    }
+
+    #[test]
+    fn conjunctions() {
+        let p = Platform::default();
+        assert!(marker_allows(
+            "python_version >= '3.8' and sys_platform == 'linux'",
+            &p
+        ));
+        assert!(!marker_allows(
+            "python_version >= '3.8' and sys_platform == 'win32'",
+            &p
+        ));
+        assert!(marker_allows(
+            "sys_platform == 'win32' or sys_platform == 'linux'",
+            &p
+        ));
+    }
+
+    #[test]
+    fn unknown_variables_included() {
+        let p = Platform::default();
+        assert!(marker_allows("extra == 'test'", &p));
+        assert!(marker_allows("some_unknown_var == 'x'", &p));
+        assert!(marker_allows("", &p));
+        assert!(marker_allows("garbage without operator", &p));
+    }
+
+    #[test]
+    fn in_operator() {
+        let p = Platform::default();
+        assert!(marker_allows("sys_platform in 'linux darwin'", &p));
+        assert!(!marker_allows("sys_platform not in 'linux darwin'", &p));
+    }
+}

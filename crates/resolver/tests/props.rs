@@ -1,0 +1,128 @@
+//! Property tests for resolution invariants.
+
+use proptest::prelude::*;
+
+use sbomdiff_registry::{PackageUniverse, UniverseConfig};
+use sbomdiff_resolver::engine::{resolve, DedupPolicy, RootDep};
+use sbomdiff_resolver::{dry_run, Platform};
+use sbomdiff_types::Ecosystem;
+
+fn universe(seed: u64) -> PackageUniverse {
+    PackageUniverse::generate(&UniverseConfig {
+        package_count: 80,
+        ..UniverseConfig::for_ecosystem(Ecosystem::Python, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Resolution is deterministic and every resolved version exists in the
+    /// registry; roots are never marked transitive.
+    #[test]
+    fn resolution_invariants(seed in 0u64..50, n_roots in 1usize..8) {
+        let uni = universe(seed);
+        let names: Vec<String> = uni.package_names().map(str::to_string).collect();
+        let roots: Vec<RootDep> = names
+            .iter()
+            .rev()
+            .take(n_roots)
+            .map(|n| RootDep::new(n.clone(), None))
+            .collect();
+        for policy in [DedupPolicy::HighestWins, DedupPolicy::FirstWins, DedupPolicy::PerMajor] {
+            let a = resolve(&uni, &roots, policy, true);
+            let b = resolve(&uni, &roots, policy, true);
+            prop_assert_eq!(a.packages.len(), b.packages.len());
+            for (pa, pb) in a.packages.iter().zip(&b.packages) {
+                prop_assert_eq!(pa, pb);
+            }
+            for p in &a.packages {
+                let published = uni.versions(&p.name);
+                prop_assert!(
+                    published.iter().any(|v| **v == p.version),
+                    "{}@{} not published",
+                    p.name,
+                    p.version
+                );
+                if !p.transitive {
+                    prop_assert!(roots.iter().any(|r| r.name == p.name));
+                }
+            }
+            // Single-version policies never report a package twice.
+            if policy != DedupPolicy::PerMajor {
+                let mut names: Vec<&str> =
+                    a.packages.iter().map(|p| p.name.as_str()).collect();
+                names.sort_unstable();
+                let before = names.len();
+                names.dedup();
+                prop_assert_eq!(before, names.len());
+            }
+        }
+    }
+
+    /// The direct roots always appear in the dry-run install set when they
+    /// resolve, and marker-excluded lines never do.
+    #[test]
+    fn dry_run_invariants(seed in 0u64..50) {
+        let uni = universe(seed);
+        let names: Vec<String> = uni.package_names().map(str::to_string).collect();
+        let included = &names[names.len() - 1];
+        let excluded = &names[names.len() - 2];
+        let content = format!(
+            "{included}\n{excluded}; sys_platform == 'win32'\n"
+        );
+        let files: std::collections::BTreeMap<String, String> =
+            [("requirements.txt".to_string(), content)].into();
+        let report = dry_run(&uni, &files, "requirements.txt", &Platform::default());
+        let installed: Vec<&str> =
+            report.installed.iter().map(|p| p.name.as_str()).collect();
+        let canon_inc = sbomdiff_types::name::normalize(Ecosystem::Python, included);
+        let canon_exc = sbomdiff_types::name::normalize(Ecosystem::Python, excluded);
+        prop_assert!(installed.contains(&canon_inc.as_str()));
+        prop_assert!(!installed.contains(&canon_exc.as_str()));
+        // Direct roots are flagged non-transitive.
+        let direct = report
+            .installed
+            .iter()
+            .find(|p| p.name == canon_inc)
+            .unwrap();
+        prop_assert!(!direct.transitive);
+        // Transitive share stays within [0, 1].
+        let share = report.transitive_share();
+        prop_assert!((0.0..=1.0).contains(&share));
+    }
+
+    /// Requirement satisfaction: every transitively resolved package
+    /// version satisfies at least the registry's edge requirement from one
+    /// of its dependents (spot-check via re-resolution stability).
+    #[test]
+    fn resolution_is_stable_under_reresolution(seed in 0u64..30) {
+        let uni = universe(seed);
+        let names: Vec<String> = uni.package_names().map(str::to_string).collect();
+        let roots: Vec<RootDep> = names
+            .iter()
+            .rev()
+            .take(4)
+            .map(|n| RootDep::new(n.clone(), None))
+            .collect();
+        let first = resolve(&uni, &roots, DedupPolicy::HighestWins, true);
+        // Re-resolving with the resolved pins as roots reproduces the set.
+        let pinned_roots: Vec<RootDep> = first
+            .packages
+            .iter()
+            .map(|p| RootDep::new(
+                p.name.clone(),
+                Some(sbomdiff_types::VersionReq::exact(p.version.clone())),
+            ))
+            .collect();
+        let second = resolve(&uni, &pinned_roots, DedupPolicy::HighestWins, true);
+        prop_assert!(second.packages.len() >= first.packages.len());
+        for p in &first.packages {
+            prop_assert!(
+                second.packages.iter().any(|q| q.name == p.name),
+                "{} lost on re-resolution",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! CycloneDX 1.5 JSON serialization and parsing.
+
+use sbomdiff_textformats::{json, TextError, Value};
+use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
+
+const PROP_ECOSYSTEM: &str = "sbomdiff:ecosystem";
+const PROP_FOUND_IN: &str = "sbomdiff:found_in";
+const PROP_DEP_SCOPE: &str = "sbomdiff:dependency_scope";
+
+/// Serializes an SBOM as a CycloneDX 1.5 JSON [`Value`].
+pub fn to_value(sbom: &Sbom) -> Value {
+    let mut doc = Value::object();
+    doc.set("bomFormat", Value::from("CycloneDX"));
+    doc.set("specVersion", Value::from("1.5"));
+    doc.set(
+        "serialNumber",
+        Value::from(format!(
+            "urn:uuid:{}",
+            deterministic_uuid(&sbom.meta.tool_name, &sbom.meta.subject)
+        )),
+    );
+    doc.set("version", Value::from(1i64));
+
+    let mut metadata = Value::object();
+    let mut tool = Value::object();
+    tool.set("vendor", Value::from("sbomdiff"));
+    tool.set("name", Value::from(sbom.meta.tool_name.clone()));
+    tool.set("version", Value::from(sbom.meta.tool_version.clone()));
+    metadata.set("tools", Value::Array(vec![tool]));
+    if !sbom.meta.subject.is_empty() {
+        let mut subject = Value::object();
+        subject.set("type", Value::from("application"));
+        subject.set("name", Value::from(sbom.meta.subject.clone()));
+        metadata.set("component", subject);
+    }
+    doc.set("metadata", metadata);
+
+    let components: Vec<Value> = sbom
+        .components()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut v = component_to_value(c);
+            v.set("bom-ref", Value::from(format!("component-{i}")));
+            v
+        })
+        .collect();
+    doc.set("components", Value::Array(components));
+
+    // Dependency graph: flat SBOMs relate the subject to every component
+    // (the shape real metadata-based tools emit; §II's "hierarchical
+    // relationships" need resolution data the tools don't have).
+    let mut root_dep = Value::object();
+    root_dep.set("ref", Value::from("root"));
+    root_dep.set(
+        "dependsOn",
+        Value::Array(
+            (0..sbom.len())
+                .map(|i| Value::from(format!("component-{i}")))
+                .collect(),
+        ),
+    );
+    doc.set("dependencies", Value::Array(vec![root_dep]));
+    doc
+}
+
+fn component_to_value(c: &Component) -> Value {
+    let mut out = Value::object();
+    out.set("type", Value::from("library"));
+    out.set("name", Value::from(c.name.clone()));
+    if let Some(v) = &c.version {
+        out.set("version", Value::from(v.clone()));
+    }
+    if let Some(p) = &c.purl {
+        out.set("purl", Value::from(p.to_string()));
+    }
+    if let Some(cpe) = &c.cpe {
+        out.set("cpe", Value::from(cpe.to_string()));
+    }
+    let mut props = vec![prop(PROP_ECOSYSTEM, c.ecosystem.label())];
+    if !c.found_in.is_empty() {
+        props.push(prop(PROP_FOUND_IN, &c.found_in));
+    }
+    if let Some(scope) = c.scope {
+        props.push(prop(PROP_DEP_SCOPE, scope.label()));
+    }
+    out.set("properties", Value::Array(props));
+    out
+}
+
+fn prop(name: &str, value: &str) -> Value {
+    let mut p = Value::object();
+    p.set("name", Value::from(name));
+    p.set("value", Value::from(value));
+    p
+}
+
+/// Serializes an SBOM as pretty-printed CycloneDX JSON.
+pub fn to_string_pretty(sbom: &Sbom) -> String {
+    json::to_string_pretty(&to_value(sbom))
+}
+
+/// Parses a CycloneDX JSON document.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on malformed JSON or a non-CycloneDX document.
+pub fn from_str(text: &str) -> Result<Sbom, TextError> {
+    let doc = json::parse(text)?;
+    if doc.get("bomFormat").and_then(Value::as_str) != Some("CycloneDX") {
+        return Err(TextError::new(0, "not a CycloneDX document"));
+    }
+    let tool_name = doc
+        .pointer("metadata/tools/0/name")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let tool_version = doc
+        .pointer("metadata/tools/0/version")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let subject = doc
+        .pointer("metadata/component/name")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+    if let Some(components) = doc.get("components").and_then(Value::as_array) {
+        for comp in components {
+            let Some(name) = comp.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let version = comp
+                .get("version")
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            let purl = comp
+                .get("purl")
+                .and_then(Value::as_str)
+                .and_then(|p| p.parse::<Purl>().ok());
+            let cpe = comp
+                .get("cpe")
+                .and_then(Value::as_str)
+                .and_then(|c| c.parse::<Cpe>().ok());
+            let mut ecosystem = purl
+                .as_ref()
+                .and_then(|p| p.ptype().parse::<Ecosystem>().ok());
+            let mut found_in = String::new();
+            let mut scope = None;
+            if let Some(props) = comp.get("properties").and_then(Value::as_array) {
+                for p in props {
+                    let (Some(pname), Some(pvalue)) = (
+                        p.get("name").and_then(Value::as_str),
+                        p.get("value").and_then(Value::as_str),
+                    ) else {
+                        continue;
+                    };
+                    match pname {
+                        PROP_ECOSYSTEM => {
+                            ecosystem = ecosystem.or_else(|| pvalue.parse().ok())
+                        }
+                        PROP_FOUND_IN => found_in = pvalue.to_string(),
+                        PROP_DEP_SCOPE => {
+                            scope = match pvalue {
+                                "runtime" => Some(DepScope::Runtime),
+                                "dev" => Some(DepScope::Dev),
+                                "optional" => Some(DepScope::Optional),
+                                _ => None,
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let mut c = Component::new(
+                ecosystem.unwrap_or(Ecosystem::Python),
+                name,
+                version,
+            )
+            .with_found_in(found_in);
+            c.purl = purl;
+            c.cpe = cpe;
+            c.scope = scope;
+            sbom.push(c);
+        }
+    }
+    Ok(sbom)
+}
+
+/// Deterministic pseudo-UUID from tool and subject (FNV-1a based), so
+/// repeated runs produce identical documents.
+fn deterministic_uuid(tool: &str, subject: &str) -> String {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tool.bytes().chain(subject.bytes()) {
+        h1 = (h1 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut h2 = h1.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h2 ^= h2 >> 29;
+    format!(
+        "{:08x}-{:04x}-4{:03x}-8{:03x}-{:012x}",
+        (h1 >> 32) as u32,
+        (h1 >> 16) as u16,
+        (h1 & 0xfff) as u16,
+        (h2 & 0xfff) as u16,
+        h2 >> 16 & 0xffff_ffff_ffff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sbom {
+        let mut sbom = Sbom::new("syft", "0.84.1").with_subject("demo-repo");
+        sbom.push(
+            Component::new(Ecosystem::Python, "requests", Some("2.31.0".into()))
+                .with_found_in("requirements.txt")
+                .with_scope(DepScope::Runtime)
+                .with_purl(Purl::for_package(
+                    Ecosystem::Python,
+                    "requests",
+                    Some("2.31.0"),
+                ))
+                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0")),
+        );
+        sbom.push(Component::new(Ecosystem::Go, "github.com/a/b", None));
+        sbom
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = sample();
+        let text = to_string_pretty(&original);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.meta.tool_name, "syft");
+        assert_eq!(back.meta.subject, "demo-repo");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.components()[0].name, "requests");
+        assert_eq!(back.components()[0].found_in, "requirements.txt");
+        assert_eq!(back.components()[0].scope, Some(DepScope::Runtime));
+        assert!(back.components()[0].purl.is_some());
+        assert!(back.components()[0].cpe.is_some());
+        assert_eq!(back.components()[1].ecosystem, Ecosystem::Go);
+        assert_eq!(back.components()[1].version, None);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = to_string_pretty(&sample());
+        let b = to_string_pretty(&sample());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn document_shape() {
+        let text = to_string_pretty(&sample());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("bomFormat").and_then(Value::as_str), Some("CycloneDX"));
+        assert_eq!(doc.get("specVersion").and_then(Value::as_str), Some("1.5"));
+        assert!(doc
+            .get("serialNumber")
+            .and_then(Value::as_str)
+            .unwrap()
+            .starts_with("urn:uuid:"));
+        assert_eq!(
+            doc.pointer("components/0/type").and_then(Value::as_str),
+            Some("library")
+        );
+        assert_eq!(
+            doc.pointer("components/0/bom-ref").and_then(Value::as_str),
+            Some("component-0")
+        );
+        assert_eq!(
+            doc.pointer("dependencies/0/dependsOn/1").and_then(Value::as_str),
+            Some("component-1")
+        );
+    }
+
+    #[test]
+    fn rejects_non_cyclonedx() {
+        assert!(from_str("{\"spdxVersion\": \"SPDX-2.3\"}").is_err());
+        assert!(from_str("broken").is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! SBOM document formats: CycloneDX 1.5 JSON and SPDX 2.3 JSON.
+//!
+//! The studied tools emit one of these two formats (§III-B); the
+//! differential engine extracts dependencies back out of them. Both
+//! serializers are deterministic (no timestamps or random serials — document
+//! identity derives from tool + subject) so experiment outputs are
+//! reproducible byte-for-byte.
+//!
+//! §V-F notes current SBOM formats lack a dependency-scope field; we carry
+//! scope through a vendor property (CycloneDX `properties`, SPDX
+//! `sourceInfo`) exactly because the standard schema cannot express it —
+//! mirroring the paper's best-practice discussion.
+
+pub mod cyclonedx;
+pub mod spdx;
+pub mod vex;
+
+pub use vex::{VexDocument, VexStatement, VexStatus};
+
+use sbomdiff_types::Sbom;
+use sbomdiff_textformats::TextError;
+
+/// The two SBOM interchange formats supported by the studied tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbomFormat {
+    /// OWASP CycloneDX 1.5 (JSON).
+    CycloneDx,
+    /// ISO/IEC 5962 SPDX 2.3 (JSON).
+    Spdx,
+}
+
+impl SbomFormat {
+    /// Serializes an SBOM in this format (pretty JSON).
+    pub fn serialize(self, sbom: &Sbom) -> String {
+        match self {
+            SbomFormat::CycloneDx => cyclonedx::to_string_pretty(sbom),
+            SbomFormat::Spdx => spdx::to_string_pretty(sbom),
+        }
+    }
+
+    /// Parses a document in this format back into an SBOM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextError`] when the JSON is malformed or the document is
+    /// not of this format.
+    pub fn parse(self, text: &str) -> Result<Sbom, TextError> {
+        match self {
+            SbomFormat::CycloneDx => cyclonedx::from_str(text),
+            SbomFormat::Spdx => spdx::from_str(text),
+        }
+    }
+
+    /// Sniffs the format of a document.
+    pub fn detect(text: &str) -> Option<SbomFormat> {
+        let doc = sbomdiff_textformats::json::parse(text).ok()?;
+        if doc.get("bomFormat").and_then(|v| v.as_str()) == Some("CycloneDX") {
+            Some(SbomFormat::CycloneDx)
+        } else if doc
+            .get("spdxVersion")
+            .and_then(|v| v.as_str())
+            .is_some_and(|v| v.starts_with("SPDX-"))
+        {
+            Some(SbomFormat::Spdx)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_types::{Component, Ecosystem};
+
+    fn sample() -> Sbom {
+        let mut sbom = Sbom::new("demo-tool", "1.0").with_subject("repo-x");
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "requests",
+            Some("2.31.0".into()),
+        ));
+        sbom
+    }
+
+    #[test]
+    fn detect_formats() {
+        let s = sample();
+        let cdx = SbomFormat::CycloneDx.serialize(&s);
+        let spdx = SbomFormat::Spdx.serialize(&s);
+        assert_eq!(SbomFormat::detect(&cdx), Some(SbomFormat::CycloneDx));
+        assert_eq!(SbomFormat::detect(&spdx), Some(SbomFormat::Spdx));
+        assert_eq!(SbomFormat::detect("{}"), None);
+        assert_eq!(SbomFormat::detect("not json"), None);
+    }
+
+    #[test]
+    fn cross_parse_errors() {
+        let s = sample();
+        let cdx = SbomFormat::CycloneDx.serialize(&s);
+        assert!(SbomFormat::Spdx.parse(&cdx).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! SPDX 2.3 JSON serialization and parsing.
+
+use sbomdiff_textformats::{json, TextError, Value};
+use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
+
+/// Serializes an SBOM as an SPDX 2.3 JSON [`Value`].
+pub fn to_value(sbom: &Sbom) -> Value {
+    let mut doc = Value::object();
+    doc.set("spdxVersion", Value::from("SPDX-2.3"));
+    doc.set("dataLicense", Value::from("CC0-1.0"));
+    doc.set("SPDXID", Value::from("SPDXRef-DOCUMENT"));
+    doc.set(
+        "name",
+        Value::from(format!(
+            "{}-{}",
+            sbom.meta.subject,
+            sbom.meta.tool_name
+        )),
+    );
+    doc.set(
+        "documentNamespace",
+        Value::from(format!(
+            "https://sbomdiff.example/spdx/{}/{}",
+            sbom.meta.tool_name, sbom.meta.subject
+        )),
+    );
+    let mut creation = Value::object();
+    creation.set(
+        "creators",
+        Value::Array(vec![Value::from(format!(
+            "Tool: {}-{}",
+            sbom.meta.tool_name, sbom.meta.tool_version
+        ))]),
+    );
+    doc.set("creationInfo", creation);
+
+    let mut packages = Vec::new();
+    let mut relationships = Vec::new();
+    for (i, c) in sbom.components().iter().enumerate() {
+        let spdx_id = format!("SPDXRef-Package-{i}");
+        packages.push(component_to_value(c, &spdx_id));
+        let mut rel = Value::object();
+        rel.set("spdxElementId", Value::from("SPDXRef-DOCUMENT"));
+        rel.set("relationshipType", Value::from("DESCRIBES"));
+        rel.set("relatedSpdxElement", Value::from(spdx_id));
+        relationships.push(rel);
+    }
+    doc.set("packages", Value::Array(packages));
+    doc.set("relationships", Value::Array(relationships));
+    doc
+}
+
+fn component_to_value(c: &Component, spdx_id: &str) -> Value {
+    let mut pkg = Value::object();
+    pkg.set("name", Value::from(c.name.clone()));
+    pkg.set("SPDXID", Value::from(spdx_id));
+    if let Some(v) = &c.version {
+        pkg.set("versionInfo", Value::from(v.clone()));
+    }
+    pkg.set("downloadLocation", Value::from("NOASSERTION"));
+    // SPDX has no dependency-scope field (§V-F); sourceInfo carries our
+    // structured annotation.
+    let mut source_info = format!("ecosystem: {}", c.ecosystem.label());
+    if !c.found_in.is_empty() {
+        source_info.push_str(&format!("; found_in: {}", c.found_in));
+    }
+    if let Some(scope) = c.scope {
+        source_info.push_str(&format!("; scope: {}", scope.label()));
+    }
+    pkg.set("sourceInfo", Value::from(source_info));
+    let mut refs = Vec::new();
+    if let Some(p) = &c.purl {
+        let mut r = Value::object();
+        r.set("referenceCategory", Value::from("PACKAGE-MANAGER"));
+        r.set("referenceType", Value::from("purl"));
+        r.set("referenceLocator", Value::from(p.to_string()));
+        refs.push(r);
+    }
+    if let Some(cpe) = &c.cpe {
+        let mut r = Value::object();
+        r.set("referenceCategory", Value::from("SECURITY"));
+        r.set("referenceType", Value::from("cpe23Type"));
+        r.set("referenceLocator", Value::from(cpe.to_string()));
+        refs.push(r);
+    }
+    if !refs.is_empty() {
+        pkg.set("externalRefs", Value::Array(refs));
+    }
+    pkg
+}
+
+/// Serializes an SBOM as pretty-printed SPDX JSON.
+pub fn to_string_pretty(sbom: &Sbom) -> String {
+    json::to_string_pretty(&to_value(sbom))
+}
+
+/// Parses an SPDX JSON document.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on malformed JSON or a non-SPDX document.
+pub fn from_str(text: &str) -> Result<Sbom, TextError> {
+    let doc = json::parse(text)?;
+    let spdx_version = doc.get("spdxVersion").and_then(Value::as_str);
+    if !spdx_version.is_some_and(|v| v.starts_with("SPDX-")) {
+        return Err(TextError::new(0, "not an SPDX document"));
+    }
+    let creator = doc
+        .pointer("creationInfo/creators/0")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    let (tool_name, tool_version) = creator
+        .strip_prefix("Tool: ")
+        .and_then(|t| t.rsplit_once('-'))
+        .map(|(n, v)| (n.to_string(), v.to_string()))
+        .unwrap_or_else(|| ("unknown".to_string(), String::new()));
+    let subject = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .and_then(|n| n.strip_suffix(&format!("-{tool_name}")))
+        .unwrap_or("")
+        .to_string();
+    let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+    if let Some(packages) = doc.get("packages").and_then(Value::as_array) {
+        for pkg in packages {
+            let Some(name) = pkg.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let version = pkg
+                .get("versionInfo")
+                .and_then(Value::as_str)
+                .map(str::to_string);
+            let mut purl = None;
+            let mut cpe = None;
+            if let Some(refs) = pkg.get("externalRefs").and_then(Value::as_array) {
+                for r in refs {
+                    let locator = r.get("referenceLocator").and_then(Value::as_str);
+                    match r.get("referenceType").and_then(Value::as_str) {
+                        Some("purl") => purl = locator.and_then(|l| l.parse::<Purl>().ok()),
+                        Some("cpe23Type") => {
+                            cpe = locator.and_then(|l| l.parse::<Cpe>().ok())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let mut ecosystem = purl
+                .as_ref()
+                .and_then(|p| p.ptype().parse::<Ecosystem>().ok());
+            let mut found_in = String::new();
+            let mut scope = None;
+            if let Some(info) = pkg.get("sourceInfo").and_then(Value::as_str) {
+                for part in info.split(';') {
+                    let part = part.trim();
+                    if let Some(v) = part.strip_prefix("ecosystem:") {
+                        ecosystem = ecosystem.or_else(|| v.trim().parse().ok());
+                    } else if let Some(v) = part.strip_prefix("found_in:") {
+                        found_in = v.trim().to_string();
+                    } else if let Some(v) = part.strip_prefix("scope:") {
+                        scope = match v.trim() {
+                            "runtime" => Some(DepScope::Runtime),
+                            "dev" => Some(DepScope::Dev),
+                            "optional" => Some(DepScope::Optional),
+                            _ => None,
+                        };
+                    }
+                }
+            }
+            let mut c = Component::new(
+                ecosystem.unwrap_or(Ecosystem::Python),
+                name,
+                version,
+            )
+            .with_found_in(found_in);
+            c.purl = purl;
+            c.cpe = cpe;
+            c.scope = scope;
+            sbom.push(c);
+        }
+    }
+    Ok(sbom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sbom {
+        let mut sbom = Sbom::new("trivy", "0.43.0").with_subject("demo-repo");
+        sbom.push(
+            Component::new(Ecosystem::Rust, "serde", Some("1.0.188".into()))
+                .with_found_in("Cargo.lock")
+                .with_scope(DepScope::Runtime)
+                .with_purl(Purl::for_package(Ecosystem::Rust, "serde", Some("1.0.188")))
+                .with_cpe(Cpe::for_package(Ecosystem::Rust, "serde", "1.0.188")),
+        );
+        sbom.push(Component::new(
+            Ecosystem::Java,
+            "com.google.guava:guava",
+            Some("32.1.2".into()),
+        ));
+        sbom
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = sample();
+        let text = to_string_pretty(&original);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.meta.tool_name, "trivy");
+        assert_eq!(back.meta.tool_version, "0.43.0");
+        assert_eq!(back.meta.subject, "demo-repo");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.components()[0].name, "serde");
+        assert_eq!(back.components()[0].found_in, "Cargo.lock");
+        assert_eq!(back.components()[0].scope, Some(DepScope::Runtime));
+        assert_eq!(back.components()[1].ecosystem, Ecosystem::Java);
+    }
+
+    #[test]
+    fn document_shape() {
+        let text = to_string_pretty(&sample());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("spdxVersion").and_then(Value::as_str),
+            Some("SPDX-2.3")
+        );
+        assert_eq!(
+            doc.pointer("packages/0/SPDXID").and_then(Value::as_str),
+            Some("SPDXRef-Package-0")
+        );
+        assert_eq!(
+            doc.pointer("relationships/0/relationshipType")
+                .and_then(Value::as_str),
+            Some("DESCRIBES")
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(to_string_pretty(&sample()), to_string_pretty(&sample()));
+    }
+
+    #[test]
+    fn rejects_non_spdx() {
+        assert!(from_str("{\"bomFormat\": \"CycloneDX\"}").is_err());
+        assert!(from_str("[]").is_err());
+    }
+}

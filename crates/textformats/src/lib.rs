@@ -1,0 +1,73 @@
+//! From-scratch parsers and writers for the container formats that package
+//! metadata is written in: JSON, a TOML subset, a YAML subset, an XML subset,
+//! and Java-style properties / MANIFEST files.
+//!
+//! These are deliberately first-party (not `serde_json` et al.): the paper's
+//! parser-confusion attack (§VI) exploits *differences between parsers*, so
+//! the parsing layer is part of the system under study, and the tool
+//! emulators need precise control over its behavior.
+//!
+//! All parsers are tolerant of malformed input in the sense that they return
+//! errors and never panic — verified by fuzz-style property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbomdiff_textformats::{json, Value};
+//!
+//! let v = json::parse(r#"{"name": "demo", "deps": ["a", "b"]}"#)?;
+//! assert_eq!(v.get("name").and_then(Value::as_str), Some("demo"));
+//! assert_eq!(v.get("deps").and_then(Value::as_array).map(|a| a.len()), Some(2));
+//! # Ok::<(), sbomdiff_textformats::TextError>(())
+//! ```
+
+pub mod json;
+pub mod properties;
+pub mod toml;
+pub mod value;
+pub mod xml;
+pub mod yaml;
+
+pub use value::Value;
+pub use xml::Element;
+
+use std::fmt;
+
+/// Error raised by the text-format parsers, with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    line: usize,
+    message: String,
+}
+
+impl TextError {
+    /// Creates an error at a 1-based line number (0 when unknown).
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        TextError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line the error occurred on (0 when unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for TextError {}

@@ -1,0 +1,511 @@
+//! A TOML subset parser sufficient for Cargo.toml, Cargo.lock,
+//! pyproject.toml and Pipfile: tables, arrays of tables, dotted keys, basic
+//! and literal strings, multiline basic strings, arrays, inline tables,
+//! integers, floats and booleans.
+
+use crate::value::Value;
+use crate::TextError;
+
+/// Parses a TOML document into a [`Value::Object`].
+///
+/// # Errors
+///
+/// Returns a [`TextError`] with line information on syntax errors.
+pub fn parse(input: &str) -> Result<Value, TextError> {
+    let mut root = Value::object();
+    // Path of the table currently being filled.
+    let mut current_path: Vec<String> = Vec::new();
+    let mut lines = input.lines().enumerate().peekable();
+
+    while let Some((lineno, raw_line)) = lines.next() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| TextError::new(lineno + 1, "unterminated table array header"))?;
+            let path = parse_key_path(header, lineno + 1)?;
+            push_table_array(&mut root, &path, lineno + 1)?;
+            current_path = path;
+            current_path.push("\u{0}last".into()); // sentinel: fill the last array element
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| TextError::new(lineno + 1, "unterminated table header"))?;
+            current_path = parse_key_path(header, lineno + 1)?;
+            ensure_table(&mut root, &current_path, lineno + 1)?;
+        } else {
+            // key = value (value may span lines for multiline strings/arrays)
+            let eq = find_unquoted_eq(line)
+                .ok_or_else(|| TextError::new(lineno + 1, "expected 'key = value'"))?;
+            let key_part = &line[..eq];
+            let mut value_part = line[eq + 1..].trim().to_string();
+            // Multiline basic string
+            if value_part.starts_with("\"\"\"") && !closed_multiline(&value_part) {
+                for (_, next) in lines.by_ref() {
+                    value_part.push('\n');
+                    value_part.push_str(next);
+                    if closed_multiline(&value_part) {
+                        break;
+                    }
+                }
+            }
+            // Multi-line array: keep consuming until brackets balance.
+            while !brackets_balanced(&value_part) {
+                match lines.next() {
+                    Some((_, next)) => {
+                        value_part.push(' ');
+                        value_part.push_str(strip_comment(next).trim());
+                    }
+                    None => {
+                        return Err(TextError::new(lineno + 1, "unterminated array"));
+                    }
+                }
+            }
+            let keys = parse_key_path(key_part, lineno + 1)?;
+            let value = parse_value(value_part.trim(), lineno + 1)?;
+            let mut full_path = current_path.clone();
+            full_path.extend(keys);
+            set_path(&mut root, &full_path, value, lineno + 1)?;
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escape = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn find_unquoted_eq(line: &str) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '=' if !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn closed_multiline(s: &str) -> bool {
+    s.len() >= 6 && s.trim_end().ends_with("\"\"\"")
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escape = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth += 1,
+            ']' | '}' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Parses `a.b."c.d"` into path segments.
+fn parse_key_path(s: &str, line: usize) -> Result<Vec<String>, TextError> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut chars = s.trim().chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' | '\'' => {
+                let quote = c;
+                for q in chars.by_ref() {
+                    if q == quote {
+                        break;
+                    }
+                    cur.push(q);
+                }
+            }
+            '.' => {
+                parts.push(std::mem::take(&mut cur).trim().to_string());
+            }
+            c => cur.push(c),
+        }
+    }
+    parts.push(cur.trim().to_string());
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(TextError::new(line, "empty key segment"));
+    }
+    Ok(parts)
+}
+
+fn ensure_table<'a>(
+    root: &'a mut Value,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Value, TextError> {
+    let mut cur = root;
+    for key in path {
+        if key.starts_with('\u{0}') {
+            // sentinel: descend into last element of array
+            match cur {
+                Value::Array(items) => {
+                    cur = items
+                        .last_mut()
+                        .ok_or_else(|| TextError::new(line, "empty table array"))?;
+                }
+                _ => return Err(TextError::new(line, "expected table array")),
+            }
+            continue;
+        }
+        let obj = cur
+            .as_object_mut()
+            .ok_or_else(|| TextError::new(line, "key collides with non-table"))?;
+        let idx = match obj.iter().position(|(k, _)| k == key) {
+            Some(i) => i,
+            None => {
+                obj.push((key.clone(), Value::object()));
+                obj.len() - 1
+            }
+        };
+        cur = &mut obj[idx].1;
+    }
+    Ok(cur)
+}
+
+fn push_table_array(root: &mut Value, path: &[String], line: usize) -> Result<(), TextError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| TextError::new(line, "empty table array path"))?;
+    let parent = ensure_table(root, parents, line)?;
+    let obj = parent
+        .as_object_mut()
+        .ok_or_else(|| TextError::new(line, "table array parent is not a table"))?;
+    match obj.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Array(items))) => items.push(Value::object()),
+        Some(_) => return Err(TextError::new(line, "table array collides with value")),
+        None => obj.push((last.clone(), Value::Array(vec![Value::object()]))),
+    }
+    Ok(())
+}
+
+fn set_path(root: &mut Value, path: &[String], value: Value, line: usize) -> Result<(), TextError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| TextError::new(line, "empty key"))?;
+    let parent = ensure_table(root, parents, line)?;
+    match parent.as_object_mut() {
+        Some(obj) => {
+            if let Some(slot) = obj.iter_mut().find(|(k, _)| k == last) {
+                slot.1 = value;
+            } else {
+                obj.push((last.clone(), value));
+            }
+            Ok(())
+        }
+        None => Err(TextError::new(line, "cannot assign into non-table")),
+    }
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, TextError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(TextError::new(line, "missing value"));
+    }
+    if let Some(rest) = s.strip_prefix("\"\"\"") {
+        let body = rest
+            .strip_suffix("\"\"\"")
+            .ok_or_else(|| TextError::new(line, "unterminated multiline string"))?;
+        return Ok(Value::Str(unescape_basic(body.strip_prefix('\n').unwrap_or(body))));
+    }
+    if s.starts_with('"') {
+        let body = s
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| TextError::new(line, "unterminated string"))?;
+        return Ok(Value::Str(unescape_basic(body)));
+    }
+    if s.starts_with('\'') {
+        let body = s
+            .strip_prefix('\'')
+            .and_then(|r| r.strip_suffix('\''))
+            .ok_or_else(|| TextError::new(line, "unterminated literal string"))?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.starts_with('[') {
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| TextError::new(line, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, line)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if s.starts_with('{') {
+        let inner = s
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| TextError::new(line, "unterminated inline table"))?;
+        let mut table = Value::object();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = find_unquoted_eq(part)
+                .ok_or_else(|| TextError::new(line, "expected 'key = value' in inline table"))?;
+            let keys = parse_key_path(&part[..eq], line)?;
+            let v = parse_value(part[eq + 1..].trim(), line)?;
+            set_path(&mut table, &keys, v, line)?;
+        }
+        return Ok(table);
+    }
+    // Numbers (with underscores), dates fall back to strings.
+    let cleaned: String = s.chars().filter(|c| *c != '_').collect();
+    if let Ok(n) = cleaned.parse::<i64>() {
+        return Ok(Value::Num(n as f64));
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        return Ok(Value::Num(f));
+    }
+    // TOML dates and bare values: keep as string (tolerant).
+    Ok(Value::Str(s.to_string()))
+}
+
+fn unescape_basic(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Ok(n) = u32::from_str_radix(&hex, 16) {
+                    out.push(char::from_u32(n).unwrap_or('\u{FFFD}'));
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Splits on commas not inside quotes/brackets.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut start = 0;
+    let mut escape = false;
+    for (i, c) in s.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escape = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth += 1,
+            ']' | '}' if !in_basic && !in_literal => depth -= 1,
+            ',' if depth == 0 && !in_basic && !in_literal => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cargo_toml_shape() {
+        let doc = parse(
+            r#"
+[package]
+name = "demo"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+serde = { version = "1.0", features = ["derive"] }
+rand = "0.8"
+
+[dependencies.tokio]
+version = "1"
+features = ["full"]
+
+[dev-dependencies]
+proptest = "1"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.pointer("package/name").and_then(Value::as_str),
+            Some("demo")
+        );
+        assert_eq!(
+            doc.pointer("dependencies/serde/version").and_then(Value::as_str),
+            Some("1.0")
+        );
+        assert_eq!(
+            doc.pointer("dependencies/rand").and_then(Value::as_str),
+            Some("0.8")
+        );
+        assert_eq!(
+            doc.pointer("dependencies/tokio/features/0").and_then(Value::as_str),
+            Some("full")
+        );
+        assert_eq!(
+            doc.pointer("dev-dependencies/proptest").and_then(Value::as_str),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn cargo_lock_table_arrays() {
+        let doc = parse(
+            r#"
+version = 3
+
+[[package]]
+name = "autocfg"
+version = "1.1.0"
+
+[[package]]
+name = "bitflags"
+version = "2.4.0"
+dependencies = [
+ "autocfg",
+]
+"#,
+        )
+        .unwrap();
+        let pkgs = doc.get("package").and_then(Value::as_array).unwrap();
+        assert_eq!(pkgs.len(), 2);
+        assert_eq!(pkgs[1].get("name").and_then(Value::as_str), Some("bitflags"));
+        assert_eq!(
+            pkgs[1].pointer("dependencies/0").and_then(Value::as_str),
+            Some("autocfg")
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let doc = parse("# header\nkey = \"v\" # trailing\n\n[t] # table\nx = 1\n").unwrap();
+        assert_eq!(doc.get("key").and_then(Value::as_str), Some("v"));
+        assert_eq!(doc.pointer("t/x").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let doc = parse("k = \"a#b\"").unwrap();
+        assert_eq!(doc.get("k").and_then(Value::as_str), Some("a#b"));
+    }
+
+    #[test]
+    fn numbers_booleans_underscores() {
+        let doc = parse("a = 1_000\nb = -2.5\nc = true\nd = false").unwrap();
+        assert_eq!(doc.get("a").and_then(Value::as_i64), Some(1000));
+        assert_eq!(doc.get("b").and_then(Value::as_f64), Some(-2.5));
+        assert_eq!(doc.get("c").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("d").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn dotted_and_quoted_keys() {
+        let doc = parse("a.b = 1\n\"x.y\" = 2").unwrap();
+        assert_eq!(doc.pointer("a/b").and_then(Value::as_i64), Some(1));
+        assert_eq!(doc.get("x.y").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn multiline_basic_string() {
+        let doc = parse("s = \"\"\"\nline1\nline2\"\"\"").unwrap();
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn multiline_array() {
+        let doc = parse("deps = [\n  \"a\",\n  \"b\",\n]\n").unwrap();
+        let arr = doc.get("deps").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 2);
+    }
+
+    #[test]
+    fn literal_strings_keep_backslashes() {
+        let doc = parse(r"p = 'C:\path\to'").unwrap();
+        assert_eq!(doc.get("p").and_then(Value::as_str), Some(r"C:\path\to"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("[unterminated").is_err());
+        assert!(parse("novalue =").is_err());
+        assert!(parse("just a line").is_err());
+    }
+
+    #[test]
+    fn pipfile_shape() {
+        let doc = parse(
+            "[packages]\nrequests = \"*\"\nnumpy = \">=1.20\"\n\n[dev-packages]\npytest = \"*\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc.pointer("packages/requests").and_then(Value::as_str), Some("*"));
+        assert_eq!(doc.pointer("dev-packages/pytest").and_then(Value::as_str), Some("*"));
+    }
+}

@@ -1,0 +1,257 @@
+//! A dynamically-typed document value shared by the JSON, TOML and YAML
+//! parsers. Object key order is preserved (lockfiles are order-sensitive for
+//! reporting).
+
+use std::fmt;
+
+/// A parsed document value.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// `null` / `~` / missing.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Numeric (all numbers are held as `f64`; see [`Value::as_i64`]).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array / sequence.
+    Array(Vec<Value>),
+    /// Object / mapping with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an array value.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// Walks a `/`-separated path of object keys and array indices.
+    ///
+    /// ```
+    /// use sbomdiff_textformats::{json, Value};
+    /// let v = json::parse(r#"{"a": {"b": [10, 20]}}"#).unwrap();
+    /// assert_eq!(v.pointer("a/b/1").and_then(Value::as_i64), Some(20));
+    /// ```
+    pub fn pointer(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for part in path.split('/') {
+            if part.is_empty() {
+                continue;
+            }
+            cur = match cur {
+                Value::Object(_) => cur.get(part)?,
+                Value::Array(_) => cur.idx(part.parse().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Floating-point view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view (numbers with no fractional part).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && n.is_finite() => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object-entries view.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Mutable object-entries view.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces a key in an object value (no-op on non-objects).
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        if let Value::Object(entries) = self {
+            let key = key.into();
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key, value));
+            }
+        }
+    }
+
+    /// True when this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<(String, V)> for Value {
+    fn from_iter<T: IntoIterator<Item = (String, V)>>(iter: T) -> Self {
+        Value::Object(iter.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays as compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_idx() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::from(1i64)),
+            ("b".into(), Value::Array(vec![Value::from("x")])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            v.get("b").and_then(|b| b.idx(0)).and_then(Value::as_str),
+            Some("x")
+        );
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("a").is_none());
+    }
+
+    #[test]
+    fn pointer_walks_mixed_paths() {
+        let v: Value = vec![("k".to_string(), Value::Array(vec![Value::from(5i64)]))]
+            .into_iter()
+            .collect();
+        assert_eq!(v.pointer("k/0").and_then(Value::as_i64), Some(5));
+        assert!(v.pointer("k/1").is_none());
+        assert!(v.pointer("k/x").is_none());
+    }
+
+    #[test]
+    fn set_replaces_and_inserts() {
+        let mut v = Value::object();
+        v.set("a", Value::from(1i64));
+        v.set("a", Value::from(2i64));
+        v.set("b", Value::from(3i64));
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn as_i64_rejects_fractions() {
+        assert_eq!(Value::Num(2.5).as_i64(), None);
+        assert_eq!(Value::Num(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Num(f64::NAN).as_i64(), None);
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let mut v = Value::object();
+        for k in ["z", "a", "m"] {
+            v.set(k, Value::Null);
+        }
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+}

@@ -1,0 +1,437 @@
+//! An XML subset parser sufficient for pom.xml, *.csproj and *.vcxproj:
+//! elements, attributes, text content, comments, CDATA, processing
+//! instructions and the XML declaration. No DTDs, no namespaces resolution
+//! (prefixes are kept as part of the name).
+
+use std::fmt;
+
+use crate::TextError;
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name (namespace prefix retained).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated direct text content (entity-decoded, trimmed).
+    pub text: String,
+}
+
+impl Element {
+    /// Creates an empty element.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text of the first child with the given name, if present and non-empty.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name)
+            .map(|c| c.text.as_str())
+            .filter(|t| !t.is_empty())
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth-first search for the first descendant with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        for c in &self.children {
+            if c.name == name {
+                return Some(c);
+            }
+            if let Some(found) = c.find(name) {
+                return Some(found);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Serializes an element tree (no declaration, two-space indent).
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, 0, &mut out);
+    out
+}
+
+fn write_element(e: &Element, level: usize, out: &mut String) {
+    let pad = "  ".repeat(level);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape(v));
+        out.push('"');
+    }
+    if e.children.is_empty() && e.text.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if e.children.is_empty() {
+        out.push_str(&escape(&e.text));
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push('\n');
+    if !e.text.is_empty() {
+        out.push_str(&pad);
+        out.push_str("  ");
+        out.push_str(&escape(&e.text));
+        out.push('\n');
+    }
+    for c in &e.children {
+        write_element(c, level + 1, out);
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        if let Some(semi) = rest.find(';') {
+            let entity = &rest[1..semi];
+            let decoded = match entity {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                e if e.starts_with("#x") || e.starts_with("#X") => {
+                    u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
+                }
+                e if e.starts_with('#') => {
+                    e[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            match decoded {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[semi + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            }
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parses an XML document, returning the root element.
+///
+/// # Errors
+///
+/// Returns a [`TextError`] on mismatched tags, unterminated constructs, or
+/// missing root element.
+pub fn parse(input: &str) -> Result<Element, TextError> {
+    let mut p = XmlParser {
+        s: input,
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos < p.s.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, msg: &str) -> TextError {
+        let line = self.s[..self.pos.min(self.s.len())]
+            .chars()
+            .filter(|&c| c == '\n')
+            .count()
+            + 1;
+        TextError::new(line, msg)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.s.len() - trimmed.len();
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), TextError> {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                match self.rest().find('>') {
+                    Some(i) => self.pos += i + 1,
+                    None => return Err(self.err("unterminated doctype")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, TextError> {
+        if !self.rest().starts_with('<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = Element::new(name.clone());
+        // Attributes
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("/>") {
+                self.pos += 2;
+                return Ok(el);
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            let attr_name = self.name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('=') {
+                return Err(self.err("expected '=' in attribute"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = self
+                .rest()
+                .chars()
+                .next()
+                .filter(|c| *c == '"' || *c == '\'')
+                .ok_or_else(|| self.err("expected quoted attribute value"))?;
+            self.pos += 1;
+            let end = self
+                .rest()
+                .find(quote)
+                .ok_or_else(|| self.err("unterminated attribute value"))?;
+            let value = unescape(&self.rest()[..end]);
+            self.pos += end + 1;
+            el.attrs.push((attr_name, value));
+        }
+        // Content
+        let mut text = String::new();
+        loop {
+            if self.pos >= self.s.len() {
+                return Err(self.err("unterminated element"));
+            }
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                self.skip_ws();
+                if !self.rest().starts_with('>') {
+                    return Err(self.err("malformed closing tag"));
+                }
+                self.pos += 1;
+                if close != el.name {
+                    return Err(self.err("mismatched closing tag"));
+                }
+                el.text = text.trim().to_string();
+                return Ok(el);
+            }
+            if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+                continue;
+            }
+            if self.rest().starts_with("<![CDATA[") {
+                let after = &self.rest()[9..];
+                match after.find("]]>") {
+                    Some(i) => {
+                        text.push_str(&after[..i]);
+                        self.pos += 9 + i + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA")),
+                }
+                continue;
+            }
+            if self.rest().starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+                continue;
+            }
+            if self.rest().starts_with('<') {
+                el.children.push(self.element()?);
+                continue;
+            }
+            // Text run
+            let next = self.rest().find('<').unwrap_or(self.rest().len());
+            text.push_str(&unescape(&self.rest()[..next]));
+            self.pos += next;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, TextError> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| {
+                c.is_whitespace() || matches!(c, '>' | '/' | '=' | '<')
+            })
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected name"));
+        }
+        let name = rest[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pom_xml_shape() {
+        let root = parse(
+            r#"<?xml version="1.0" encoding="UTF-8"?>
+<project xmlns="http://maven.apache.org/POM/4.0.0">
+  <groupId>com.example</groupId>
+  <artifactId>demo</artifactId>
+  <dependencies>
+    <dependency>
+      <groupId>org.junit</groupId>
+      <artifactId>junit</artifactId>
+      <version>4.13.2</version>
+      <scope>test</scope>
+    </dependency>
+  </dependencies>
+</project>"#,
+        )
+        .unwrap();
+        assert_eq!(root.name, "project");
+        assert_eq!(root.child_text("groupId"), Some("com.example"));
+        let dep = root.find("dependency").unwrap();
+        assert_eq!(dep.child_text("artifactId"), Some("junit"));
+        assert_eq!(dep.child_text("scope"), Some("test"));
+    }
+
+    #[test]
+    fn attributes_and_self_closing() {
+        let root = parse(
+            r#"<Project Sdk="Microsoft.NET.Sdk">
+  <ItemGroup>
+    <PackageReference Include="Newtonsoft.Json" Version="13.0.1" />
+  </ItemGroup>
+</Project>"#,
+        )
+        .unwrap();
+        let pref = root.find("PackageReference").unwrap();
+        assert_eq!(pref.attr("Include"), Some("Newtonsoft.Json"));
+        assert_eq!(pref.attr("Version"), Some("13.0.1"));
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let root = parse("<a>x &amp; y &lt;z&gt; &#65; &#x42;</a>").unwrap();
+        assert_eq!(root.text, "x & y <z> A B");
+    }
+
+    #[test]
+    fn cdata_and_comments() {
+        let root = parse("<a><!-- c --><![CDATA[<raw>&]]></a>").unwrap();
+        assert_eq!(root.text, "<raw>&");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse("<a><b></a></b>").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut root = Element::new("deps");
+        let mut d = Element::new("dep");
+        d.attrs.push(("name".into(), "a&b".into()));
+        d.text = "1.0 <pre>".into();
+        root.children.push(d);
+        let s = to_string(&root);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.children[0].attr("name"), Some("a&b"));
+        assert_eq!(back.children[0].text, "1.0 <pre>");
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let root = parse("<!DOCTYPE html><a>t</a>").unwrap();
+        assert_eq!(root.text, "t");
+    }
+}

@@ -1,0 +1,445 @@
+//! A YAML subset parser sufficient for pnpm-lock.yaml and Podfile.lock:
+//! block mappings and sequences by indentation, quoted and plain scalars,
+//! inline `[]` / `{}` flow collections, comments and document markers.
+//!
+//! Not supported (not needed by any studied metadata format): anchors,
+//! aliases, tags, multi-document streams, block scalars (`|`/`>`).
+
+use crate::value::Value;
+use crate::TextError;
+
+/// Parses a YAML document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns a [`TextError`] on structurally ambiguous input (e.g. mixing
+/// sequence and mapping entries at one indentation level).
+pub fn parse(input: &str) -> Result<Value, TextError> {
+    let mut lines = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let no_comment = strip_comment(raw);
+        let trimmed = no_comment.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        if trimmed.trim() == "---" || trimmed.trim() == "..." {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push(Line {
+            number: i + 1,
+            indent,
+            text: trimmed.trim_start().to_string(),
+        });
+    }
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut pos = 0;
+    let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos != lines.len() {
+        return Err(TextError::new(
+            lines[pos].number,
+            "unexpected dedented content",
+        ));
+    }
+    Ok(v)
+}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    text: String,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'#' if !in_single && !in_double
+                // '#' only starts a comment at line start or after whitespace
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
+                    return &line[..i];
+                }
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, TextError> {
+    if *pos >= lines.len() {
+        return Ok(Value::Null);
+    }
+    if lines[*pos].text.starts_with("- ") || lines[*pos].text == "-" {
+        parse_sequence(lines, pos, indent)
+    } else {
+        parse_mapping(lines, pos, indent)
+    }
+}
+
+fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, TextError> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(TextError::new(line.number, "unexpected indentation"));
+        }
+        if !(line.text.starts_with("- ") || line.text == "-") {
+            break;
+        }
+        let rest = line.text.strip_prefix('-').unwrap_or("").trim_start();
+        let number = line.number;
+        *pos += 1;
+        if rest.is_empty() {
+            // Nested block under a bare dash.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                items.push(parse_block(lines, pos, child_indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if let Some(key) = mapping_key(rest) {
+            // `- key: value` or `- key:` — the item is a mapping; subsequent
+            // deeper lines belong to it.
+            let mut map = Value::object();
+            let (k, v) = key;
+            let first_val = if v.is_empty() {
+                if *pos < lines.len() && lines[*pos].indent > indent {
+                    let child_indent = lines[*pos].indent;
+                    parse_block(lines, pos, child_indent)?
+                } else {
+                    Value::Null
+                }
+            } else {
+                parse_scalar(&v, number)?
+            };
+            map.set(k, first_val);
+            // Continuation keys aligned two past the dash.
+            while *pos < lines.len()
+                && lines[*pos].indent > indent
+                && !lines[*pos].text.starts_with("- ")
+            {
+                let cont_indent = lines[*pos].indent;
+                let nested = parse_mapping(lines, pos, cont_indent)?;
+                if let Value::Object(entries) = nested {
+                    for (k, v) in entries {
+                        map.set(k, v);
+                    }
+                }
+            }
+            items.push(map);
+        } else {
+            items.push(parse_scalar(rest, number)?);
+        }
+    }
+    Ok(Value::Array(items))
+}
+
+fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, TextError> {
+    let mut map = Value::object();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent != indent {
+            break;
+        }
+        if line.text.starts_with("- ") || line.text == "-" {
+            break;
+        }
+        let (key, rest) = mapping_key(&line.text)
+            .ok_or_else(|| TextError::new(line.number, "expected 'key: value'"))?;
+        let number = line.number;
+        *pos += 1;
+        let value = if rest.is_empty() {
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                parse_block(lines, pos, child_indent)?
+            } else if *pos < lines.len()
+                && lines[*pos].indent == indent
+                && (lines[*pos].text.starts_with("- ") || lines[*pos].text == "-")
+            {
+                // Sequences are commonly written at the same indent as their key.
+                parse_sequence(lines, pos, indent)?
+            } else {
+                Value::Null
+            }
+        } else {
+            parse_scalar(&rest, number)?
+        };
+        map.set(key, value);
+    }
+    Ok(map)
+}
+
+/// Splits `key: value` / `key:`; returns `None` when the line has no
+/// top-level `: ` separator and no trailing colon.
+fn mapping_key(text: &str) -> Option<(String, String)> {
+    // Quoted key
+    if let Some(stripped) = text.strip_prefix('"') {
+        let end = find_close(stripped, '"')?;
+        let key = stripped[..end].to_string();
+        let rest = stripped[end + 1..].trim_start();
+        let rest = rest.strip_prefix(':')?;
+        return Some((key, rest.trim().to_string()));
+    }
+    if let Some(stripped) = text.strip_prefix('\'') {
+        let end = find_close(stripped, '\'')?;
+        let key = stripped[..end].to_string();
+        let rest = stripped[end + 1..].trim_start();
+        let rest = rest.strip_prefix(':')?;
+        return Some((key, rest.trim().to_string()));
+    }
+    // Plain key: separator is ": " or a trailing ":".
+    if let Some(stripped) = text.strip_suffix(':') {
+        if !stripped.contains(": ") {
+            return Some((stripped.trim().to_string(), String::new()));
+        }
+    }
+    let idx = text.find(": ")?;
+    Some((
+        text[..idx].trim().to_string(),
+        text[idx + 2..].trim().to_string(),
+    ))
+}
+
+fn find_close(s: &str, quote: char) -> Option<usize> {
+    s.find(quote)
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<Value, TextError> {
+    let s = s.trim();
+    if s.starts_with('[') || s.starts_with('{') {
+        return parse_flow(s, line);
+    }
+    if let Some(body) = s.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Ok(Value::Str(body.replace("\\\"", "\"").replace("\\n", "\n")));
+    }
+    if let Some(body) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        return Ok(Value::Str(body.replace("''", "'")));
+    }
+    match s {
+        "null" | "~" | "" => return Ok(Value::Null),
+        "true" | "True" => return Ok(Value::Bool(true)),
+        "false" | "False" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Num(n as f64));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(Value::Num(f));
+    }
+    Ok(Value::Str(s.to_string()))
+}
+
+fn parse_flow(s: &str, line: usize) -> Result<Value, TextError> {
+    if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_scalar(part, line)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = s.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        let mut map = Value::object();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once(':') {
+                Some((k, v)) => {
+                    let key = k.trim().trim_matches('"').trim_matches('\'').to_string();
+                    map.set(key, parse_scalar(v.trim(), line)?);
+                }
+                None => return Err(TextError::new(line, "expected key: value in flow map")),
+            }
+        }
+        return Ok(map);
+    }
+    Err(TextError::new(line, "unterminated flow collection"))
+}
+
+fn split_flow(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0;
+    let mut in_double = false;
+    let mut in_single = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' if !in_single => in_double = !in_double,
+            '\'' if !in_double => in_single = !in_single,
+            '[' | '{' if !in_double && !in_single => depth += 1,
+            ']' | '}' if !in_double && !in_single => depth -= 1,
+            ',' if depth == 0 && !in_double && !in_single => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_mapping() {
+        let v = parse("name: demo\nversion: 1.2.3\ncount: 4\nflag: true\n").unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("demo"));
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("1.2.3"));
+        assert_eq!(v.get("count").and_then(Value::as_i64), Some(4));
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn nested_mapping() {
+        let v = parse("outer:\n  inner:\n    key: value\n").unwrap();
+        assert_eq!(
+            v.pointer("outer/inner/key").and_then(Value::as_str),
+            Some("value")
+        );
+    }
+
+    #[test]
+    fn pnpm_lock_shape() {
+        let doc = parse(
+            r#"
+lockfileVersion: '6.0'
+
+dependencies:
+  lodash:
+    specifier: ^4.17.21
+    version: 4.17.21
+
+packages:
+
+  /lodash@4.17.21:
+    resolution: {integrity: sha512-abc}
+    dev: false
+
+  /yargs@17.7.2:
+    resolution: {integrity: sha512-def}
+    dependencies:
+      cliui: 8.0.1
+    dev: false
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.pointer("dependencies/lodash/version").and_then(Value::as_str),
+            Some("4.17.21")
+        );
+        let pkgs = doc.get("packages").unwrap();
+        assert!(pkgs.get("/lodash@4.17.21").is_some());
+        assert_eq!(
+            pkgs.get("/yargs@17.7.2")
+                .and_then(|p| p.pointer("dependencies/cliui"))
+                .and_then(Value::as_str),
+            Some("8.0.1")
+        );
+        assert_eq!(
+            pkgs.get("/lodash@4.17.21")
+                .and_then(|p| p.get("dev"))
+                .and_then(Value::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn podfile_lock_shape() {
+        let doc = parse(
+            r#"
+PODS:
+  - Firebase/Auth (10.12.0):
+    - FirebaseAuth (~> 10.12.0)
+  - FirebaseAuth (10.12.0)
+  - GoogleUtilities (7.11.0)
+
+DEPENDENCIES:
+  - Firebase/Auth (~> 10.0)
+
+COCOAPODS: 1.12.1
+"#,
+        )
+        .unwrap();
+        let pods = doc.get("PODS").and_then(Value::as_array).unwrap();
+        assert_eq!(pods.len(), 3);
+        // First pod is a mapping with a nested requirement list.
+        let first = pods[0].as_object().unwrap();
+        assert_eq!(first[0].0, "Firebase/Auth (10.12.0)");
+        let reqs = first[0].1.as_array().unwrap();
+        assert_eq!(reqs[0].as_str(), Some("FirebaseAuth (~> 10.12.0)"));
+        // Later pods are plain scalars.
+        assert_eq!(pods[1].as_str(), Some("FirebaseAuth (10.12.0)"));
+        assert_eq!(doc.get("COCOAPODS").and_then(Value::as_str), Some("1.12.1"));
+    }
+
+    #[test]
+    fn sequence_at_key_indent() {
+        let v = parse("items:\n- a\n- b\n").unwrap();
+        let arr = v.get("items").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 2);
+    }
+
+    #[test]
+    fn flow_collections() {
+        let v = parse("a: [1, 2, three]\nb: {x: 1, y: 'z'}\n").unwrap();
+        assert_eq!(v.pointer("a/2").and_then(Value::as_str), Some("three"));
+        assert_eq!(v.pointer("b/y").and_then(Value::as_str), Some("z"));
+    }
+
+    #[test]
+    fn quoted_keys_and_values() {
+        let v = parse("\"key: with colon\": 'va#lue'\n").unwrap();
+        assert_eq!(
+            v.get("key: with colon").and_then(Value::as_str),
+            Some("va#lue")
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let v = parse("# full line\nkey: value # trailing\n").unwrap();
+        assert_eq!(v.get("key").and_then(Value::as_str), Some("value"));
+    }
+
+    #[test]
+    fn anchored_url_value_not_a_comment() {
+        let v = parse("url: https://example.com/#fragment\n").unwrap();
+        assert_eq!(
+            v.get("url").and_then(Value::as_str),
+            Some("https://example.com/#fragment")
+        );
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("# only comments\n---\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_and_empty_values() {
+        let v = parse("a: null\nb: ~\nc:\nd: after\n").unwrap();
+        assert!(v.get("a").unwrap().is_null());
+        assert!(v.get("b").unwrap().is_null());
+        assert!(v.get("c").unwrap().is_null());
+        assert_eq!(v.get("d").and_then(Value::as_str), Some("after"));
+    }
+}

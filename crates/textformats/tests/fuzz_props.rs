@@ -1,0 +1,133 @@
+//! Fuzz-style property tests: no parser may panic on arbitrary input, and
+//! serializers must round-trip.
+
+use proptest::prelude::*;
+use sbomdiff_textformats::{json, properties, toml, xml, yaml, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::Num(n as f64)),
+        "[a-zA-Z0-9 _.,:/@#\\-]{0,20}".prop_map(Value::Str),
+        // strings with characters that need escaping
+        prop_oneof![Just("\"quoted\"".to_string()), Just("a\\b\nc\td".to_string())]
+            .prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_-]{0,10}", inner), 0..6).prop_map(
+                |entries| {
+                    // Deduplicate keys: Value::set semantics make duplicate
+                    // keys unrepresentable after a roundtrip.
+                    let mut v = Value::object();
+                    for (k, item) in entries {
+                        v.set(k, item);
+                    }
+                    v
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = json::parse(&s);
+    }
+
+    #[test]
+    fn json_roundtrip(v in value_strategy()) {
+        let compact = json::to_string(&v);
+        let back = json::parse(&compact).unwrap();
+        prop_assert_eq!(&back, &v);
+        let pretty = json::to_string_pretty(&v);
+        prop_assert_eq!(&json::parse(&pretty).unwrap(), &v);
+    }
+
+    #[test]
+    fn toml_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = toml::parse(&s);
+    }
+
+    #[test]
+    fn toml_simple_tables_roundtrip(
+        keys in prop::collection::btree_set("[a-z][a-z0-9_-]{0,8}", 1..6),
+        vals in prop::collection::vec("[a-zA-Z0-9 ./^~=<>*,-]{0,12}", 6)
+    ) {
+        let mut doc = String::new();
+        for (k, val) in keys.iter().zip(&vals) {
+            doc.push_str(&format!("{k} = \"{val}\"\n"));
+        }
+        let parsed = toml::parse(&doc).unwrap();
+        for (k, val) in keys.iter().zip(&vals) {
+            prop_assert_eq!(parsed.get(k).and_then(Value::as_str), Some(val.as_str()));
+        }
+    }
+
+    #[test]
+    fn yaml_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = yaml::parse(&s);
+    }
+
+    #[test]
+    fn yaml_flat_mapping_roundtrip(
+        keys in prop::collection::btree_set("[a-z][a-z0-9_-]{0,8}", 1..6),
+        vals in prop::collection::vec("[a-zA-Z0-9_./-]{1,12}", 6)
+    ) {
+        let mut doc = String::new();
+        for (k, val) in keys.iter().zip(&vals) {
+            doc.push_str(&format!("{k}: \"{val}\"\n"));
+        }
+        let parsed = yaml::parse(&doc).unwrap();
+        for (k, val) in keys.iter().zip(&vals) {
+            prop_assert_eq!(parsed.get(k).and_then(Value::as_str), Some(val.as_str()));
+        }
+    }
+
+    #[test]
+    fn xml_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = xml::parse(&s);
+    }
+
+    #[test]
+    fn xml_roundtrip(
+        tag in "[a-zA-Z][a-zA-Z0-9]{0,8}",
+        attr in "[a-zA-Z][a-zA-Z0-9]{0,8}",
+        attr_val in "[a-zA-Z0-9 <>&\"']{0,12}",
+        text in "[a-zA-Z0-9 <>&]{0,20}",
+    ) {
+        let mut root = xml::Element::new(tag.clone());
+        root.attrs.push((attr.clone(), attr_val.clone()));
+        let mut child = xml::Element::new("child");
+        child.text = text.trim().to_string();
+        root.children.push(child);
+        let s = xml::to_string(&root);
+        let back = xml::parse(&s).unwrap();
+        prop_assert_eq!(back.attr(&attr), Some(attr_val.as_str()));
+        prop_assert_eq!(&back.children[0].text, &root.children[0].text);
+    }
+
+    #[test]
+    fn properties_never_panics(s in "\\PC{0,200}") {
+        let _ = properties::parse_properties(&s);
+        let _ = properties::parse_manifest(&s);
+    }
+
+    #[test]
+    fn properties_roundtrip(
+        keys in prop::collection::btree_set("[a-zA-Z][a-zA-Z0-9.]{0,8}", 1..6),
+        vals in prop::collection::vec("[a-zA-Z0-9 ._/-]{0,12}", 6)
+    ) {
+        let mut doc = String::new();
+        for (k, val) in keys.iter().zip(&vals) {
+            doc.push_str(&format!("{k}={val}\n"));
+        }
+        let pairs = properties::parse_properties(&doc);
+        for (k, val) in keys.iter().zip(&vals) {
+            prop_assert_eq!(properties::get(&pairs, k), Some(val.trim()));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! SBOM components and the in-memory SBOM container.
+//!
+//! A [`Component`] is one entry of an SBOM as *a specific tool reports it* —
+//! with that tool's naming convention, version spelling, and optional
+//! PURL/CPE. The differential engine compares [`Sbom`]s by extracting
+//! [`ComponentKey`]s (the `(name, version)` pairs of Equation 1).
+
+use std::fmt;
+
+use crate::cpe::Cpe;
+use crate::dependency::DepScope;
+use crate::ecosystem::Ecosystem;
+use crate::purl::Purl;
+
+/// One SBOM entry as reported by a generator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Component {
+    /// Ecosystem the component belongs to.
+    pub ecosystem: Ecosystem,
+    /// The name in the reporting tool's convention (§V-E: may be
+    /// `artifact`, `group:artifact` or `group.artifact` for the same Java
+    /// package depending on the tool).
+    pub name: String,
+    /// The reported version: a concrete version, a verbatim range (GitHub
+    /// DG, §V-D), or absent.
+    pub version: Option<String>,
+    /// Package URL, when the tool emits one.
+    pub purl: Option<Purl>,
+    /// CPE, when the tool emits one.
+    pub cpe: Option<Cpe>,
+    /// Dependency scope, when the tool models one (most SBOM formats lack
+    /// the field, §V-F).
+    pub scope: Option<DepScope>,
+    /// Path of the metadata file the component was extracted from.
+    pub found_in: String,
+}
+
+impl Component {
+    /// Creates a component with just ecosystem, name and optional version.
+    pub fn new(
+        ecosystem: Ecosystem,
+        name: impl Into<String>,
+        version: Option<String>,
+    ) -> Self {
+        Component {
+            ecosystem,
+            name: name.into(),
+            version,
+            purl: None,
+            cpe: None,
+            scope: None,
+            found_in: String::new(),
+        }
+    }
+
+    /// Builder-style source path.
+    pub fn with_found_in(mut self, path: impl Into<String>) -> Self {
+        self.found_in = path.into();
+        self
+    }
+
+    /// Builder-style scope.
+    pub fn with_scope(mut self, scope: DepScope) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// Builder-style PURL.
+    pub fn with_purl(mut self, purl: Purl) -> Self {
+        self.purl = Some(purl);
+        self
+    }
+
+    /// Builder-style CPE.
+    pub fn with_cpe(mut self, cpe: Cpe) -> Self {
+        self.cpe = Some(cpe);
+        self
+    }
+
+    /// The exact `(name, version)` comparison key.
+    pub fn key(&self) -> ComponentKey {
+        ComponentKey {
+            name: self.name.clone(),
+            version: self.version.clone().unwrap_or_default(),
+        }
+    }
+
+    /// A normalized comparison key: ecosystem name normalization applied,
+    /// `v` prefixes stripped, so that purely-cosmetic tool differences
+    /// (§V-E) do not count as disagreements.
+    pub fn canonical_key(&self) -> ComponentKey {
+        let name = crate::name::normalize(self.ecosystem, &self.name);
+        let version = self
+            .version
+            .as_deref()
+            .map(|v| v.strip_prefix('v').filter(|r| r.starts_with(|c: char| c.is_ascii_digit())).unwrap_or(v))
+            .unwrap_or("")
+            .to_string();
+        ComponentKey { name, version }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.version {
+            Some(v) => write!(f, "{} {}", self.name, v),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// A `(name, version)` pair — the set element of the paper's Jaccard metric.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentKey {
+    /// Component name.
+    pub name: String,
+    /// Reported version ("" when absent).
+    pub version: String,
+}
+
+impl fmt::Display for ComponentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.version.is_empty() {
+            f.write_str(&self.name)
+        } else {
+            write!(f, "{}@{}", self.name, self.version)
+        }
+    }
+}
+
+/// Metadata about the SBOM document itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SbomMeta {
+    /// Name of the generating tool.
+    pub tool_name: String,
+    /// Version of the generating tool.
+    pub tool_version: String,
+    /// The analyzed subject (repository name/path).
+    pub subject: String,
+}
+
+/// An in-memory SBOM: document metadata plus components.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sbom {
+    /// Document metadata.
+    pub meta: SbomMeta,
+    components: Vec<Component>,
+}
+
+impl Sbom {
+    /// Creates an empty SBOM for a tool and subject.
+    pub fn new(tool_name: impl Into<String>, tool_version: impl Into<String>) -> Self {
+        Sbom {
+            meta: SbomMeta {
+                tool_name: tool_name.into(),
+                tool_version: tool_version.into(),
+                subject: String::new(),
+            },
+            components: Vec::new(),
+        }
+    }
+
+    /// Builder-style subject.
+    pub fn with_subject(mut self, subject: impl Into<String>) -> Self {
+        self.meta.subject = subject.into();
+        self
+    }
+
+    /// Adds a component.
+    pub fn push(&mut self, c: Component) {
+        self.components.push(c);
+    }
+
+    /// The components in insertion order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components (the paper's Fig. 1 package count — duplicates
+    /// included, as the tools report them).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no components were found.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates over exact comparison keys.
+    pub fn keys(&self) -> impl Iterator<Item = ComponentKey> + '_ {
+        self.components.iter().map(Component::key)
+    }
+
+    /// Number of *duplicate* entries: total entries minus distinct names
+    /// (§IV-C counts the same package appearing in multiple entries,
+    /// regardless of version).
+    pub fn duplicate_entries(&self) -> usize {
+        let mut names: Vec<&str> = self.components.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        self.components.len() - names.len()
+    }
+}
+
+impl Extend<Component> for Sbom {
+    fn extend<T: IntoIterator<Item = Component>>(&mut self, iter: T) {
+        self.components.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_duplicates() {
+        let mut sbom = Sbom::new("test", "0.0.1");
+        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
+        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.25.0".into())));
+        sbom.push(Component::new(Ecosystem::Python, "requests", None));
+        assert_eq!(sbom.len(), 3);
+        assert_eq!(sbom.duplicate_entries(), 1);
+        let keys: Vec<ComponentKey> = sbom.keys().collect();
+        assert_eq!(keys[2].version, "");
+    }
+
+    #[test]
+    fn canonical_key_strips_v_and_normalizes() {
+        let c = Component::new(Ecosystem::Go, "github.com/a/b", Some("v1.0.0".into()));
+        assert_eq!(c.canonical_key().version, "1.0.0");
+        let py = Component::new(Ecosystem::Python, "Flask_Login", Some("0.6.2".into()));
+        assert_eq!(py.canonical_key().name, "flask-login");
+    }
+
+    #[test]
+    fn canonical_key_keeps_non_version_v_words() {
+        let c = Component::new(Ecosystem::Python, "x", Some("vendored".into()));
+        assert_eq!(c.canonical_key().version, "vendored");
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Component::new(Ecosystem::Rust, "serde", Some("1.0.0".into()));
+        assert_eq!(c.to_string(), "serde 1.0.0");
+        let k = c.key();
+        assert_eq!(k.to_string(), "serde@1.0.0");
+        let nover = Component::new(Ecosystem::Rust, "serde", None);
+        assert_eq!(nover.to_string(), "serde");
+    }
+
+    #[test]
+    fn extend_and_builders() {
+        let mut sbom = Sbom::new("syft", "0.84.1").with_subject("repo-1");
+        sbom.extend(vec![
+            Component::new(Ecosystem::Ruby, "rails", Some("7.0.0".into()))
+                .with_found_in("Gemfile.lock")
+                .with_scope(DepScope::Runtime),
+        ]);
+        assert_eq!(sbom.meta.subject, "repo-1");
+        assert_eq!(sbom.components()[0].found_in, "Gemfile.lock");
+        assert!(!sbom.is_empty());
+    }
+}

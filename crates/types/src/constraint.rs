@@ -1,0 +1,810 @@
+//! Version requirements in the dialects used by real package managers.
+//!
+//! §V-D of the paper observes that raw metadata carries version *ranges*
+//! (`>=1.2.3 <2.0.0`, `^1.2`, `~> 1.4`) rather than pinned versions, and that
+//! SBOM tools diverge in how they handle them. [`VersionReq`] parses all the
+//! dialects the studied ecosystems use and evaluates them against
+//! [`Version`]s, which the resolver uses both for ground-truth dry runs and
+//! for emulating sbom-tool's "pin latest version in range" behavior.
+
+use std::fmt;
+
+use crate::error::ParseError;
+use crate::version::Version;
+
+/// The constraint dialect to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintFlavor {
+    /// Python — PEP 440 specifiers: `>=1.2,<2.0`, `~=1.4.2`, `==1.2.*`.
+    Pep440,
+    /// npm — `^1.2.3`, `~1.2`, `1.2.x`, `>=1 <2 || 3.x`, `1.0.0 - 2.0.0`.
+    Npm,
+    /// Cargo — comma-separated, bare versions are caret requirements.
+    Cargo,
+    /// RubyGems / CocoaPods — `~> 1.2`, `>= 1.0, < 2.0`.
+    RubyGems,
+    /// Composer — `^1.2 || ^2.0`, `1.2.*`, `>=1.0 <2.0`, `@stable` flags.
+    Composer,
+    /// Maven / NuGet — `[1.0,2.0)`, `(,1.0]`, soft requirement `1.0`.
+    Maven,
+    /// Go modules — `v1.2.3` minimum-version requirements.
+    Go,
+}
+
+impl fmt::Display for ConstraintFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintFlavor::Pep440 => "pep440",
+            ConstraintFlavor::Npm => "npm",
+            ConstraintFlavor::Cargo => "cargo",
+            ConstraintFlavor::RubyGems => "rubygems",
+            ConstraintFlavor::Composer => "composer",
+            ConstraintFlavor::Maven => "maven",
+            ConstraintFlavor::Go => "go",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A comparison operator within a requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `==` / `=`: exact (or wildcard-prefix) match.
+    Eq,
+    /// `!=`: exclusion.
+    Ne,
+    /// `>=`.
+    Ge,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `<`.
+    Lt,
+    /// PEP 440 `~=`: compatible release.
+    Compatible,
+    /// npm/Cargo/Composer `^`: up to the next breaking version.
+    Caret,
+    /// npm/Composer `~`: patch-level (or minor-level) flexibility.
+    Tilde,
+    /// RubyGems `~>`: pessimistic operator.
+    Pessimistic,
+    /// Matches anything (`*`, empty, `latest`).
+    Any,
+}
+
+/// One operator applied to one version pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparator {
+    op: Op,
+    version: Version,
+    /// Number of release segments actually written (`^1.2` → 2).
+    precision: usize,
+    /// Index of the first wildcard segment for `1.2.*` patterns.
+    wildcard_from: Option<usize>,
+}
+
+impl Comparator {
+    /// Creates a comparator from an operator and a fully spelled version.
+    pub fn new(op: Op, version: Version) -> Self {
+        let precision = version.release().len();
+        Comparator {
+            op,
+            version,
+            precision,
+            wildcard_from: None,
+        }
+    }
+
+    /// The operator.
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The version pattern this comparator is anchored on.
+    pub fn version(&self) -> &Version {
+        &self.version
+    }
+
+    /// Evaluates the comparator against a concrete version.
+    pub fn matches(&self, v: &Version) -> bool {
+        match self.op {
+            Op::Any => true,
+            Op::Eq => self.matches_eq(v),
+            Op::Ne => !self.matches_eq(v),
+            Op::Ge => v >= &self.version,
+            Op::Le => v <= &self.version,
+            Op::Gt => v > &self.version,
+            Op::Lt => v < &self.version,
+            Op::Compatible | Op::Pessimistic => self.matches_pessimistic(v),
+            Op::Caret => self.matches_caret(v),
+            Op::Tilde => self.matches_tilde(v),
+        }
+    }
+
+    fn matches_eq(&self, v: &Version) -> bool {
+        match self.wildcard_from {
+            Some(k) => {
+                (0..k).all(|i| v.segment(i) == self.version.segment(i))
+                    && v.epoch() == self.version.epoch()
+            }
+            None => v == &self.version,
+        }
+    }
+
+    /// `~=`/`~>`: at least the written version, and the release prefix up to
+    /// the second-to-last written segment must match.
+    fn matches_pessimistic(&self, v: &Version) -> bool {
+        if v < &self.version {
+            return false;
+        }
+        let fixed = self.precision.saturating_sub(1).max(1);
+        (0..fixed).all(|i| v.segment(i) == self.version.segment(i))
+    }
+
+    /// `^`: at least the written version, below the next "breaking" boundary
+    /// (first non-zero written segment increments).
+    fn matches_caret(&self, v: &Version) -> bool {
+        if v < &self.version {
+            return false;
+        }
+        let mut boundary_idx = 0;
+        while boundary_idx < self.precision && self.version.segment(boundary_idx) == 0 {
+            boundary_idx += 1;
+        }
+        if boundary_idx >= self.precision {
+            // ^0 or ^0.0 — boundary is the segment after the written ones.
+            boundary_idx = self.precision.saturating_sub(1);
+        }
+        (0..=boundary_idx).all(|i| v.segment(i) == self.version.segment(i))
+    }
+
+    /// `~`: patch flexibility when patch written, minor flexibility otherwise.
+    fn matches_tilde(&self, v: &Version) -> bool {
+        if v < &self.version {
+            return false;
+        }
+        let fixed = if self.precision >= 2 { 2 } else { 1 };
+        (0..fixed).all(|i| v.segment(i) == self.version.segment(i))
+    }
+
+    fn mentions_prerelease(&self) -> bool {
+        self.version.is_prerelease()
+    }
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            Op::Eq => "==",
+            Op::Ne => "!=",
+            Op::Ge => ">=",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Lt => "<",
+            Op::Compatible => "~=",
+            Op::Caret => "^",
+            Op::Tilde => "~",
+            Op::Pessimistic => "~>",
+            Op::Any => return f.write_str("*"),
+        };
+        match self.wildcard_from {
+            Some(k) => {
+                let segs: Vec<String> = (0..k)
+                    .map(|i| self.version.segment(i).to_string())
+                    .chain(std::iter::once("*".to_string()))
+                    .collect();
+                write!(f, "{}{}", op, segs.join("."))
+            }
+            None => write!(f, "{}{}", op, self.version),
+        }
+    }
+}
+
+/// A full version requirement: an OR-of-ANDs over [`Comparator`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_types::{ConstraintFlavor, Version, VersionReq};
+///
+/// let req = VersionReq::parse("^1.2.3 || 2.x", ConstraintFlavor::Npm)?;
+/// assert!(req.matches(&Version::parse("1.9.0")?));
+/// assert!(req.matches(&Version::parse("2.4.1")?));
+/// assert!(!req.matches(&Version::parse("3.0.0")?));
+/// # Ok::<(), sbomdiff_types::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionReq {
+    clauses: Vec<Vec<Comparator>>,
+    raw: String,
+    flavor: ConstraintFlavor,
+}
+
+impl VersionReq {
+    /// A requirement matching any version.
+    pub fn any() -> Self {
+        VersionReq {
+            clauses: vec![vec![Comparator {
+                op: Op::Any,
+                version: Version::new(0, 0, 0),
+                precision: 0,
+                wildcard_from: None,
+            }]],
+            raw: "*".to_string(),
+            flavor: ConstraintFlavor::Npm,
+        }
+    }
+
+    /// A requirement pinning exactly `version`.
+    pub fn exact(version: Version) -> Self {
+        let raw = format!("=={version}");
+        VersionReq {
+            clauses: vec![vec![Comparator::new(Op::Eq, version)]],
+            raw,
+            flavor: ConstraintFlavor::Pep440,
+        }
+    }
+
+    /// Parses a requirement string in the given dialect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when a comparator's version part cannot be
+    /// parsed or a Maven range is malformed.
+    pub fn parse(input: &str, flavor: ConstraintFlavor) -> Result<Self, ParseError> {
+        let raw = input.trim().to_string();
+        let clauses = match flavor {
+            ConstraintFlavor::Pep440 => vec![parse_and_list(&raw, ',', Op::Eq)?],
+            ConstraintFlavor::Cargo => vec![parse_and_list(&raw, ',', Op::Caret)?],
+            ConstraintFlavor::RubyGems => vec![parse_and_list(&raw, ',', Op::Eq)?],
+            ConstraintFlavor::Npm => parse_npm(&raw)?,
+            ConstraintFlavor::Composer => parse_composer(&raw)?,
+            ConstraintFlavor::Maven => parse_maven(&raw)?,
+            ConstraintFlavor::Go => {
+                let v = Version::parse(&raw)?;
+                vec![vec![Comparator::new(Op::Eq, v)]]
+            }
+        };
+        Ok(VersionReq {
+            clauses,
+            raw,
+            flavor,
+        })
+    }
+
+    /// The requirement exactly as written.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The dialect this requirement was parsed in.
+    pub fn flavor(&self) -> ConstraintFlavor {
+        self.flavor
+    }
+
+    /// The comparator clauses (outer vec = OR, inner vec = AND).
+    pub fn clauses(&self) -> &[Vec<Comparator>] {
+        &self.clauses
+    }
+
+    /// Evaluates the requirement against a version.
+    ///
+    /// Pre-release versions only match when some comparator explicitly
+    /// mentions a pre-release (the behavior shared by pip, npm and Cargo).
+    pub fn matches(&self, v: &Version) -> bool {
+        if v.is_prerelease() && !self.allows_prerelease() {
+            return false;
+        }
+        self.clauses
+            .iter()
+            .any(|and| and.iter().all(|c| c.matches(v)))
+    }
+
+    /// Whether pre-release versions are eligible.
+    pub fn allows_prerelease(&self) -> bool {
+        self.clauses
+            .iter()
+            .flatten()
+            .any(|c| c.mentions_prerelease())
+    }
+
+    /// When the requirement pins exactly one version (`==1.2.3`), returns it.
+    ///
+    /// Wildcards (`==1.2.*`) and ranges are not pins — §V-D shows Trivy and
+    /// Syft silently drop everything this method returns `None` for.
+    pub fn pinned(&self) -> Option<&Version> {
+        if self.clauses.len() != 1 || self.clauses[0].len() != 1 {
+            return None;
+        }
+        let c = &self.clauses[0][0];
+        if c.op == Op::Eq && c.wildcard_from.is_none() {
+            Some(&c.version)
+        } else {
+            None
+        }
+    }
+
+    /// Selects the highest version in `candidates` that satisfies the
+    /// requirement — the "pin latest in range" strategy §V-D attributes to
+    /// the Microsoft SBOM Tool.
+    pub fn latest_matching<'a, I>(&self, candidates: I) -> Option<&'a Version>
+    where
+        I: IntoIterator<Item = &'a Version>,
+    {
+        candidates
+            .into_iter()
+            .filter(|v| self.matches(v))
+            .max()
+    }
+}
+
+impl fmt::Display for VersionReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// Parses one comparator; `default_op` applies when no operator is written.
+fn parse_comparator(part: &str, default_op: Op) -> Result<Comparator, ParseError> {
+    let part = part.trim();
+    if part.is_empty() || part == "*" || part == "x" || part == "X" || part == "latest" {
+        return Ok(Comparator {
+            op: Op::Any,
+            version: Version::new(0, 0, 0),
+            precision: 0,
+            wildcard_from: None,
+        });
+    }
+    let (op, rest) = if let Some(r) = part.strip_prefix("===") {
+        (Op::Eq, r)
+    } else if let Some(r) = part.strip_prefix("==") {
+        (Op::Eq, r)
+    } else if let Some(r) = part.strip_prefix("!=") {
+        (Op::Ne, r)
+    } else if let Some(r) = part.strip_prefix(">=") {
+        (Op::Ge, r)
+    } else if let Some(r) = part.strip_prefix("<=") {
+        (Op::Le, r)
+    } else if let Some(r) = part.strip_prefix("~>") {
+        (Op::Pessimistic, r)
+    } else if let Some(r) = part.strip_prefix("~=") {
+        (Op::Compatible, r)
+    } else if let Some(r) = part.strip_prefix('>') {
+        (Op::Gt, r)
+    } else if let Some(r) = part.strip_prefix('<') {
+        (Op::Lt, r)
+    } else if let Some(r) = part.strip_prefix('^') {
+        (Op::Caret, r)
+    } else if let Some(r) = part.strip_prefix('~') {
+        (Op::Tilde, r)
+    } else if let Some(r) = part.strip_prefix('=') {
+        (Op::Eq, r)
+    } else {
+        (default_op, part)
+    };
+    let vtext = rest.trim();
+    // Wildcard segments: 1.2.* / 1.2.x
+    let segs: Vec<&str> = vtext.split('.').collect();
+    let wild = segs
+        .iter()
+        .position(|s| matches!(*s, "*" | "x" | "X"));
+    if let Some(k) = wild {
+        if k == 0 {
+            return Ok(Comparator {
+                op: Op::Any,
+                version: Version::new(0, 0, 0),
+                precision: 0,
+                wildcard_from: None,
+            });
+        }
+        let base = segs[..k].join(".");
+        let version = Version::parse(&base)?;
+        return Ok(Comparator {
+            op: if op == Op::Caret || op == Op::Tilde {
+                op
+            } else {
+                Op::Eq
+            },
+            version,
+            precision: k,
+            wildcard_from: Some(k),
+        });
+    }
+    let version = Version::parse(vtext)?;
+    let precision = version.release().len();
+    Ok(Comparator {
+        op,
+        version,
+        precision,
+        wildcard_from: None,
+    })
+}
+
+fn parse_and_list(
+    s: &str,
+    sep: char,
+    default_op: Op,
+) -> Result<Vec<Comparator>, ParseError> {
+    let mut out = Vec::new();
+    for part in s.split(sep) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_comparator(part, default_op)?);
+    }
+    if out.is_empty() {
+        out.push(parse_comparator("*", default_op)?);
+    }
+    Ok(out)
+}
+
+/// npm: `||` separates alternatives; inside, whitespace separates ANDed
+/// comparators; `A - B` is an inclusive range; bare partial versions behave
+/// like wildcards (`1.2` ≡ `1.2.x`).
+fn parse_npm(s: &str) -> Result<Vec<Vec<Comparator>>, ParseError> {
+    let mut clauses = Vec::new();
+    for alt in s.split("||") {
+        let alt = alt.trim();
+        let mut and = Vec::new();
+        if let Some((lo, hi)) = split_hyphen_range(alt) {
+            and.push(parse_comparator(&format!(">={lo}"), Op::Eq)?);
+            and.push(parse_comparator(&format!("<={hi}"), Op::Eq)?);
+        } else {
+            for tok in alt.split_whitespace() {
+                let c = parse_comparator(tok, Op::Eq)?;
+                // npm bare "1.2" means 1.2.x
+                let c = if c.op == Op::Eq
+                    && c.wildcard_from.is_none()
+                    && c.precision < 3
+                    && !tok.contains("==")
+                    && !tok.starts_with('=')
+                    && !c.version.is_prerelease()
+                {
+                    Comparator {
+                        wildcard_from: Some(c.precision),
+                        ..c
+                    }
+                } else {
+                    c
+                };
+                and.push(c);
+            }
+            if and.is_empty() {
+                and.push(parse_comparator("*", Op::Eq)?);
+            }
+        }
+        clauses.push(and);
+    }
+    Ok(clauses)
+}
+
+/// Composer: `||`/`|` alternatives; spaces or commas AND comparators; strips
+/// stability flags (`@stable`) and `v` prefixes; `dev-*` branches match
+/// anything (they name VCS branches, not versions).
+fn parse_composer(s: &str) -> Result<Vec<Vec<Comparator>>, ParseError> {
+    let mut clauses = Vec::new();
+    let normalized = s.replace("||", "\u{1}");
+    for alt in normalized.split(['\u{1}', '|']) {
+        let alt = alt.trim();
+        let mut and = Vec::new();
+        if let Some((lo, hi)) = split_hyphen_range(alt) {
+            and.push(parse_comparator(&format!(">={lo}"), Op::Eq)?);
+            and.push(parse_comparator(&format!("<={hi}"), Op::Eq)?);
+        } else {
+            for tok in alt.split([' ', ',']) {
+                let tok = tok.trim();
+                if tok.is_empty() {
+                    continue;
+                }
+                let tok = tok.split('@').next().unwrap_or(tok);
+                if tok.is_empty() {
+                    continue;
+                }
+                if tok.starts_with("dev-") {
+                    and.push(parse_comparator("*", Op::Eq)?);
+                    continue;
+                }
+                and.push(parse_comparator(tok, Op::Eq)?);
+            }
+            if and.is_empty() {
+                and.push(parse_comparator("*", Op::Eq)?);
+            }
+        }
+        clauses.push(and);
+    }
+    Ok(clauses)
+}
+
+/// Maven: bracket ranges, possibly unioned: `(,1.0],[1.2,)`; a bare version
+/// is a "soft" requirement treated as an exact preference.
+fn parse_maven(s: &str) -> Result<Vec<Vec<Comparator>>, ParseError> {
+    let s = s.trim();
+    if !s.starts_with('[') && !s.starts_with('(') {
+        return Ok(vec![vec![parse_comparator(s, Op::Eq)?]]);
+    }
+    let mut clauses = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let open = rest
+            .chars()
+            .next()
+            .filter(|c| *c == '[' || *c == '(')
+            .ok_or_else(|| ParseError::new(s, "expected '[' or '(' in maven range"))?;
+        let close_idx = rest
+            .find([']', ')'])
+            .ok_or_else(|| ParseError::new(s, "unterminated maven range"))?;
+        let close = rest.as_bytes()[close_idx] as char;
+        let inner = &rest[1..close_idx];
+        let mut and = Vec::new();
+        if let Some((lo, hi)) = inner.split_once(',') {
+            let lo = lo.trim();
+            let hi = hi.trim();
+            if !lo.is_empty() {
+                let op = if open == '[' { ">=" } else { ">" };
+                and.push(parse_comparator(&format!("{op}{lo}"), Op::Eq)?);
+            }
+            if !hi.is_empty() {
+                let op = if close == ']' { "<=" } else { "<" };
+                and.push(parse_comparator(&format!("{op}{hi}"), Op::Eq)?);
+            }
+            if and.is_empty() {
+                and.push(parse_comparator("*", Op::Eq)?);
+            }
+        } else {
+            // [1.0] — exact
+            and.push(parse_comparator(&format!("=={}", inner.trim()), Op::Eq)?);
+        }
+        clauses.push(and);
+        rest = rest[close_idx + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(clauses)
+}
+
+/// Splits `"1.2.3 - 2.0.0"` hyphen ranges (spaces required around `-`).
+fn split_hyphen_range(s: &str) -> Option<(String, String)> {
+    let idx = s.find(" - ")?;
+    let lo = s[..idx].trim();
+    let hi = s[idx + 3..].trim();
+    if lo.is_empty() || hi.is_empty() {
+        return None;
+    }
+    Some((lo.to_string(), hi.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn req(s: &str, f: ConstraintFlavor) -> VersionReq {
+        VersionReq::parse(s, f).unwrap()
+    }
+
+    #[test]
+    fn pep440_range() {
+        let r = req(">=1.2.3, <2.0.0", ConstraintFlavor::Pep440);
+        assert!(r.matches(&v("1.2.3")));
+        assert!(r.matches(&v("1.9.9")));
+        assert!(!r.matches(&v("2.0.0")));
+        assert!(!r.matches(&v("1.2.2")));
+        assert!(r.pinned().is_none());
+    }
+
+    #[test]
+    fn pep440_pin() {
+        let r = req("==1.19.2", ConstraintFlavor::Pep440);
+        assert_eq!(r.pinned(), Some(&v("1.19.2")));
+        assert!(r.matches(&v("1.19.2")));
+        assert!(!r.matches(&v("1.19.3")));
+    }
+
+    #[test]
+    fn pep440_compatible_release() {
+        let r = req("~=1.4.2", ConstraintFlavor::Pep440);
+        assert!(r.matches(&v("1.4.2")));
+        assert!(r.matches(&v("1.4.9")));
+        assert!(!r.matches(&v("1.5.0")));
+        let r2 = req("~=2.2", ConstraintFlavor::Pep440);
+        assert!(r2.matches(&v("2.9")));
+        assert!(!r2.matches(&v("3.0")));
+    }
+
+    #[test]
+    fn pep440_wildcard_eq() {
+        let r = req("==1.2.*", ConstraintFlavor::Pep440);
+        assert!(r.matches(&v("1.2.0")));
+        assert!(r.matches(&v("1.2.99")));
+        assert!(!r.matches(&v("1.3.0")));
+        assert!(r.pinned().is_none());
+    }
+
+    #[test]
+    fn pep440_exclusion() {
+        let r = req(">=1.0, !=1.5.0", ConstraintFlavor::Pep440);
+        assert!(r.matches(&v("1.4.0")));
+        assert!(!r.matches(&v("1.5.0")));
+        assert!(r.matches(&v("1.5.1")));
+    }
+
+    #[test]
+    fn npm_caret() {
+        let r = req("^1.2.3", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.2.3")));
+        assert!(r.matches(&v("1.99.0")));
+        assert!(!r.matches(&v("2.0.0")));
+        assert!(!r.matches(&v("1.2.2")));
+    }
+
+    #[test]
+    fn npm_caret_zero_major() {
+        let r = req("^0.2.3", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("0.2.9")));
+        assert!(!r.matches(&v("0.3.0")));
+        let r2 = req("^0.0.3", ConstraintFlavor::Npm);
+        assert!(r2.matches(&v("0.0.3")));
+        assert!(!r2.matches(&v("0.0.4")));
+    }
+
+    #[test]
+    fn npm_tilde() {
+        let r = req("~1.2.3", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.2.9")));
+        assert!(!r.matches(&v("1.3.0")));
+        let r2 = req("~1.2", ConstraintFlavor::Npm);
+        assert!(r2.matches(&v("1.2.9")));
+        assert!(!r2.matches(&v("1.3.0")));
+    }
+
+    #[test]
+    fn npm_or_clauses() {
+        let r = req("^1.2.3 || 2.x", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.5.0")));
+        assert!(r.matches(&v("2.9.0")));
+        assert!(!r.matches(&v("3.0.0")));
+    }
+
+    #[test]
+    fn npm_hyphen_range() {
+        let r = req("1.2.3 - 2.0.0", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.5.0")));
+        assert!(r.matches(&v("2.0.0")));
+        assert!(!r.matches(&v("2.0.1")));
+    }
+
+    #[test]
+    fn npm_star_and_latest() {
+        assert!(req("*", ConstraintFlavor::Npm).matches(&v("9.9.9")));
+        assert!(req("latest", ConstraintFlavor::Npm).matches(&v("0.0.1")));
+        assert!(req("", ConstraintFlavor::Npm).matches(&v("1.0.0")));
+    }
+
+    #[test]
+    fn npm_bare_partial_is_wildcard() {
+        let r = req("1.2", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.2.7")));
+        assert!(!r.matches(&v("1.3.0")));
+    }
+
+    #[test]
+    fn npm_space_means_and() {
+        let r = req(">=1.2.0 <1.5.0", ConstraintFlavor::Npm);
+        assert!(r.matches(&v("1.4.9")));
+        assert!(!r.matches(&v("1.5.0")));
+    }
+
+    #[test]
+    fn cargo_bare_is_caret() {
+        let r = req("1.2.3", ConstraintFlavor::Cargo);
+        assert!(r.matches(&v("1.9.0")));
+        assert!(!r.matches(&v("2.0.0")));
+        assert!(r.pinned().is_none());
+    }
+
+    #[test]
+    fn cargo_exact_and_comma() {
+        let r = req("=1.2.3", ConstraintFlavor::Cargo);
+        assert_eq!(r.pinned(), Some(&v("1.2.3")));
+        let r2 = req(">=1.2, <1.5", ConstraintFlavor::Cargo);
+        assert!(r2.matches(&v("1.4.9")));
+        assert!(!r2.matches(&v("1.5.0")));
+    }
+
+    #[test]
+    fn rubygems_pessimistic() {
+        let r = req("~> 1.2.3", ConstraintFlavor::RubyGems);
+        assert!(r.matches(&v("1.2.9")));
+        assert!(!r.matches(&v("1.3.0")));
+        let r2 = req("~> 1.2", ConstraintFlavor::RubyGems);
+        assert!(r2.matches(&v("1.9.0")));
+        assert!(!r2.matches(&v("2.0.0")));
+    }
+
+    #[test]
+    fn composer_variants() {
+        let r = req("^1.2 || ^2.0", ConstraintFlavor::Composer);
+        assert!(r.matches(&v("1.9.0")));
+        assert!(r.matches(&v("2.3.0")));
+        assert!(!r.matches(&v("3.0.0")));
+        let r2 = req("1.2.*", ConstraintFlavor::Composer);
+        assert!(r2.matches(&v("1.2.5")));
+        assert!(!r2.matches(&v("1.3.0")));
+        let r3 = req("^1.0@stable", ConstraintFlavor::Composer);
+        assert!(r3.matches(&v("1.5.0")));
+        let r4 = req("dev-master", ConstraintFlavor::Composer);
+        assert!(r4.matches(&v("9.0.0")));
+    }
+
+    #[test]
+    fn maven_ranges() {
+        let r = req("[1.0,2.0)", ConstraintFlavor::Maven);
+        assert!(r.matches(&v("1.0")));
+        assert!(r.matches(&v("1.9.9")));
+        assert!(!r.matches(&v("2.0")));
+        let r2 = req("(,1.0]", ConstraintFlavor::Maven);
+        assert!(r2.matches(&v("0.9")));
+        assert!(r2.matches(&v("1.0")));
+        assert!(!r2.matches(&v("1.1")));
+        let r3 = req("[1.5]", ConstraintFlavor::Maven);
+        assert_eq!(r3.pinned(), Some(&v("1.5")));
+        let r4 = req("(,1.0],[1.2,)", ConstraintFlavor::Maven);
+        assert!(r4.matches(&v("0.5")));
+        assert!(!r4.matches(&v("1.1")));
+        assert!(r4.matches(&v("1.3")));
+    }
+
+    #[test]
+    fn maven_soft_requirement() {
+        let r = req("1.0", ConstraintFlavor::Maven);
+        assert_eq!(r.pinned(), Some(&v("1.0")));
+    }
+
+    #[test]
+    fn go_exact() {
+        let r = req("v1.2.3", ConstraintFlavor::Go);
+        assert_eq!(r.pinned(), Some(&v("1.2.3")));
+        assert!(r.matches(&v("v1.2.3")));
+        assert!(r.matches(&v("1.2.3")));
+    }
+
+    #[test]
+    fn prerelease_excluded_unless_mentioned() {
+        let r = req(">=1.0", ConstraintFlavor::Pep440);
+        assert!(!r.matches(&v("2.0.0-rc.1")));
+        let r2 = req(">=2.0.0-rc.1", ConstraintFlavor::Npm);
+        assert!(r2.matches(&v("2.0.0-rc.2")));
+    }
+
+    #[test]
+    fn latest_matching_picks_max() {
+        let versions: Vec<Version> =
+            ["1.0.0", "1.4.0", "1.9.2", "2.0.0"].iter().map(|s| v(s)).collect();
+        let r = req(">=1.2, <2.0", ConstraintFlavor::Pep440);
+        assert_eq!(r.latest_matching(&versions), Some(&v("1.9.2")));
+        let none = req(">=5.0", ConstraintFlavor::Pep440);
+        assert_eq!(none.latest_matching(&versions), None);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(VersionReq::parse(">=abc", ConstraintFlavor::Pep440).is_err());
+        assert!(VersionReq::parse("[1.0,2.0", ConstraintFlavor::Maven).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_raw() {
+        let r = req(">=1.2.3, <2.0.0", ConstraintFlavor::Pep440);
+        assert_eq!(r.to_string(), ">=1.2.3, <2.0.0");
+    }
+
+    #[test]
+    fn any_and_exact_constructors() {
+        assert!(VersionReq::any().matches(&v("42.0")));
+        let e = VersionReq::exact(v("1.2.3"));
+        assert_eq!(e.pinned(), Some(&v("1.2.3")));
+    }
+}

@@ -1,0 +1,279 @@
+//! Declared and resolved dependencies.
+//!
+//! A [`DeclaredDependency`] is what a metadata file *says* (possibly a range,
+//! possibly dev-scoped, possibly sourced from a URL or VCS — §VI shows these
+//! exotic sources are exactly where tools fail). A [`ResolvedPackage`] is a
+//! concrete `(name, version)` that would actually be installed — the unit the
+//! paper's ground truth (§V-H) and differential metrics (§III-B) operate on.
+
+use std::fmt;
+
+use crate::constraint::VersionReq;
+use crate::ecosystem::Ecosystem;
+use crate::name::PackageName;
+use crate::version::Version;
+
+/// The scope a dependency is declared under (§V-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepScope {
+    /// Normal runtime/production dependency.
+    Runtime,
+    /// Development-only (test suites, linters, build tooling).
+    Dev,
+    /// Optional / feature-gated.
+    Optional,
+}
+
+impl DepScope {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DepScope::Runtime => "runtime",
+            DepScope::Dev => "dev",
+            DepScope::Optional => "optional",
+        }
+    }
+}
+
+impl fmt::Display for DepScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Version-control systems a dependency can be sourced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VcsKind {
+    /// Git.
+    Git,
+    /// Mercurial.
+    Hg,
+    /// Subversion.
+    Svn,
+}
+
+impl fmt::Display for VcsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VcsKind::Git => "git",
+            VcsKind::Hg => "hg",
+            VcsKind::Svn => "svn",
+        })
+    }
+}
+
+/// Where a declared dependency comes from.
+///
+/// Everything except [`DependencySource::Registry`] is an "exotic" source —
+/// Table IV shows none of the studied tools extract them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DependencySource {
+    /// The ecosystem's default package registry.
+    Registry,
+    /// A local filesystem path (`./path/to/local_pkg.whl`).
+    Path(String),
+    /// A direct URL (`https://.../remote_pkg.whl`).
+    Url(String),
+    /// A version-control reference (`pkg @ git+https://...@hash`).
+    Vcs {
+        /// The VCS kind.
+        kind: VcsKind,
+        /// Repository URL.
+        url: String,
+        /// Commit / tag / branch reference, if given.
+        reference: Option<String>,
+    },
+    /// An include of another requirements file (`-r other.txt`).
+    IncludeFile(String),
+    /// A constraints file include (`-c constraints.txt`).
+    ConstraintsFile(String),
+}
+
+impl DependencySource {
+    /// True for the default registry source.
+    pub fn is_registry(&self) -> bool {
+        matches!(self, DependencySource::Registry)
+    }
+}
+
+/// A dependency as declared in a metadata file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeclaredDependency {
+    /// Package name (structure-aware).
+    pub name: PackageName,
+    /// The version requirement, when one parsed.
+    pub req: Option<VersionReq>,
+    /// The raw requirement text exactly as written (kept even when `req`
+    /// failed to parse — GitHub DG reports this verbatim, §V-D).
+    pub req_text: String,
+    /// Declared scope.
+    pub scope: DepScope,
+    /// Where the dependency is sourced from.
+    pub source: DependencySource,
+    /// PEP 508 extras (`requests[security]`).
+    pub extras: Vec<String>,
+    /// PEP 508 environment marker text, if present.
+    pub marker: Option<String>,
+}
+
+impl DeclaredDependency {
+    /// Creates a registry-sourced runtime dependency.
+    pub fn new(ecosystem: Ecosystem, name: impl Into<String>, req: Option<VersionReq>) -> Self {
+        let req_text = req.as_ref().map(|r| r.raw().to_string()).unwrap_or_default();
+        DeclaredDependency {
+            name: PackageName::new(ecosystem, name),
+            req,
+            req_text,
+            scope: DepScope::Runtime,
+            source: DependencySource::Registry,
+            extras: Vec::new(),
+            marker: None,
+        }
+    }
+
+    /// Builder-style scope override.
+    pub fn with_scope(mut self, scope: DepScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Builder-style source override.
+    pub fn with_source(mut self, source: DependencySource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Builder-style extras override.
+    pub fn with_extras(mut self, extras: Vec<String>) -> Self {
+        self.extras = extras;
+        self
+    }
+
+    /// Builder-style marker override.
+    pub fn with_marker(mut self, marker: impl Into<String>) -> Self {
+        self.marker = Some(marker.into());
+        self
+    }
+
+    /// The pinned version when the requirement is an exact pin.
+    pub fn pinned_version(&self) -> Option<&Version> {
+        self.req.as_ref().and_then(|r| r.pinned())
+    }
+}
+
+impl fmt::Display for DeclaredDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.extras.is_empty() {
+            write!(f, "[{}]", self.extras.join(","))?;
+        }
+        if !self.req_text.is_empty() {
+            write!(f, " {}", self.req_text)?;
+        }
+        if self.scope != DepScope::Runtime {
+            write!(f, " ({})", self.scope)?;
+        }
+        Ok(())
+    }
+}
+
+/// A concrete package that would be installed: the unit of ground truth and
+/// of differential comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResolvedPackage {
+    /// Canonical package name.
+    pub name: String,
+    /// Concrete version.
+    pub version: Version,
+    /// Whether this package was pulled in transitively (§V-C).
+    pub transitive: bool,
+}
+
+impl ResolvedPackage {
+    /// Creates a direct (non-transitive) resolved package.
+    pub fn direct(name: impl Into<String>, version: Version) -> Self {
+        ResolvedPackage {
+            name: name.into(),
+            version,
+            transitive: false,
+        }
+    }
+
+    /// Creates a transitive resolved package.
+    pub fn transitive(name: impl Into<String>, version: Version) -> Self {
+        ResolvedPackage {
+            name: name.into(),
+            version,
+            transitive: true,
+        }
+    }
+
+    /// `(name, version)` key for set comparisons (Equation 1 in the paper).
+    pub fn key(&self) -> (String, String) {
+        (self.name.clone(), self.version.canonical())
+    }
+}
+
+impl fmt::Display for ResolvedPackage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}=={}", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintFlavor;
+
+    #[test]
+    fn declared_dependency_builder() {
+        let req = VersionReq::parse(">=2.8.1", ConstraintFlavor::Pep440).unwrap();
+        let d = DeclaredDependency::new(Ecosystem::Python, "requests", Some(req))
+            .with_scope(DepScope::Dev)
+            .with_extras(vec!["security".into()])
+            .with_marker("python_version >= '3.8'");
+        assert_eq!(d.scope, DepScope::Dev);
+        assert_eq!(d.extras, vec!["security"]);
+        assert!(d.marker.is_some());
+        assert!(d.pinned_version().is_none());
+    }
+
+    #[test]
+    fn pinned_version_extraction() {
+        let req = VersionReq::parse("==1.19.2", ConstraintFlavor::Pep440).unwrap();
+        let d = DeclaredDependency::new(Ecosystem::Python, "numpy", Some(req));
+        assert_eq!(d.pinned_version().unwrap().to_string(), "1.19.2");
+    }
+
+    #[test]
+    fn display_formats() {
+        let req = VersionReq::parse(">=2.8.1", ConstraintFlavor::Pep440).unwrap();
+        let d = DeclaredDependency::new(Ecosystem::Python, "requests", Some(req))
+            .with_extras(vec!["security".into()]);
+        let s = d.to_string();
+        assert!(s.contains("requests"));
+        assert!(s.contains("[security]"));
+        assert!(s.contains(">=2.8.1"));
+    }
+
+    #[test]
+    fn resolved_package_key() {
+        let p = ResolvedPackage::direct("numpy", Version::parse("1.19.2").unwrap());
+        assert_eq!(p.key(), ("numpy".to_string(), "1.19.2".to_string()));
+        assert!(!p.transitive);
+        let t = ResolvedPackage::transitive("urllib3", Version::new(2, 0, 1));
+        assert!(t.transitive);
+    }
+
+    #[test]
+    fn source_kinds() {
+        assert!(DependencySource::Registry.is_registry());
+        assert!(!DependencySource::Path("./x.whl".into()).is_registry());
+        let vcs = DependencySource::Vcs {
+            kind: VcsKind::Git,
+            url: "https://github.com/a/b".into(),
+            reference: Some("abc123".into()),
+        };
+        assert!(!vcs.is_registry());
+    }
+}

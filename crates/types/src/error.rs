@@ -1,0 +1,79 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Error produced when parsing versions, constraints, identifiers, or
+/// metadata fragments fails.
+///
+/// The error carries the offending input (truncated) and a human-readable
+/// reason, so differential reports can show *why* a tool profile rejected a
+/// declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    input: String,
+    reason: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error for `input` with the given `reason`.
+    pub fn new(input: impl Into<String>, reason: impl Into<String>) -> Self {
+        let mut input = input.into();
+        if input.len() > 120 {
+            let mut cut = 117;
+            while cut > 0 && !input.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            input.truncate(cut);
+            input.push_str("...");
+        }
+        ParseError {
+            input,
+            reason: reason.into(),
+        }
+    }
+
+    /// The (possibly truncated) input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The reason parsing failed.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (input: {:?})", self.reason, self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason_and_input() {
+        let e = ParseError::new("abc", "bad version");
+        let s = e.to_string();
+        assert!(s.contains("bad version"));
+        assert!(s.contains("abc"));
+    }
+
+    #[test]
+    fn long_input_is_truncated() {
+        let long = "x".repeat(500);
+        let e = ParseError::new(long, "too long");
+        assert!(e.input().len() <= 120);
+        assert!(e.input().ends_with("..."));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

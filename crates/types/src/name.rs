@@ -1,0 +1,218 @@
+//! Package-name handling and per-ecosystem normalization.
+//!
+//! §V-E of the paper shows SBOM tools disagree on naming conventions for
+//! compound names (Maven `group:artifact`, CocoaPods subspecs, npm scopes).
+//! [`PackageName`] stores the raw spelling plus the structural pieces so that
+//! each tool emulator can render the name in its own convention while the
+//! differential engine can also compare under a canonical form.
+
+use std::fmt;
+
+use crate::ecosystem::Ecosystem;
+
+/// A package name together with its ecosystem and structural parts.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_types::{Ecosystem, PackageName};
+///
+/// let n = PackageName::new(Ecosystem::Java, "com.google.guava:guava");
+/// assert_eq!(n.namespace(), Some("com.google.guava"));
+/// assert_eq!(n.base(), "guava");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackageName {
+    ecosystem: Ecosystem,
+    raw: String,
+    /// Group/scope/namespace component, when the ecosystem has one.
+    namespace: Option<String>,
+    /// Artifact/base name.
+    base: String,
+    /// CocoaPods subspec path (e.g. `Firebase/Auth` → `Auth`).
+    subspec: Option<String>,
+}
+
+impl PackageName {
+    /// Parses a raw name string in the ecosystem's native spelling.
+    ///
+    /// Recognized structures:
+    /// * Java: `group:artifact` or `group.artifact` boundaries are kept as
+    ///   written in `raw`; only `group:artifact` is split structurally.
+    /// * JavaScript: `@scope/name`.
+    /// * Swift/CocoaPods: `Pod/Subspec`.
+    /// * Go: the module path's final element is the base.
+    pub fn new(ecosystem: Ecosystem, raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let (namespace, base, subspec) = match ecosystem {
+            Ecosystem::Java => match raw.split_once(':') {
+                Some((g, a)) => (Some(g.to_string()), a.to_string(), None),
+                None => (None, raw.clone(), None),
+            },
+            Ecosystem::JavaScript => {
+                if let Some(rest) = raw.strip_prefix('@') {
+                    match rest.split_once('/') {
+                        Some((scope, name)) => {
+                            (Some(format!("@{scope}")), name.to_string(), None)
+                        }
+                        None => (None, raw.clone(), None),
+                    }
+                } else {
+                    (None, raw.clone(), None)
+                }
+            }
+            Ecosystem::Swift => match raw.split_once('/') {
+                Some((pod, sub)) => {
+                    (None, pod.to_string(), Some(sub.to_string()))
+                }
+                None => (None, raw.clone(), None),
+            },
+            Ecosystem::Go => {
+                let base = raw.rsplit('/').next().unwrap_or(&raw).to_string();
+                let ns = if base.len() < raw.len() {
+                    Some(raw[..raw.len() - base.len() - 1].to_string())
+                } else {
+                    None
+                };
+                (ns, base, None)
+            }
+            _ => (None, raw.clone(), None),
+        };
+        PackageName {
+            ecosystem,
+            raw,
+            namespace,
+            base,
+            subspec,
+        }
+    }
+
+    /// The ecosystem this name belongs to.
+    pub fn ecosystem(&self) -> Ecosystem {
+        self.ecosystem
+    }
+
+    /// The name exactly as written in the metadata.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The namespace / group / scope part, if structurally present.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// The artifact / base part of the name.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The CocoaPods subspec, if any.
+    pub fn subspec(&self) -> Option<&str> {
+        self.subspec.as_deref()
+    }
+
+    /// Canonical form used by the differential engine: normalization that a
+    /// *correct* consumer would apply (PEP 503 for Python, lowercasing for
+    /// case-insensitive ecosystems, raw otherwise).
+    pub fn canonical(&self) -> String {
+        normalize(self.ecosystem, &self.raw)
+    }
+}
+
+impl fmt::Display for PackageName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// Normalizes a raw package name the way the ecosystem's registry does.
+///
+/// * Python: PEP 503 — lowercase; runs of `-`, `_`, `.` collapse to `-`.
+/// * PHP / .NET: lowercase (Packagist and NuGet are case-insensitive).
+/// * Everything else: unchanged.
+pub fn normalize(ecosystem: Ecosystem, raw: &str) -> String {
+    match ecosystem {
+        Ecosystem::Python => {
+            let mut out = String::with_capacity(raw.len());
+            let mut prev_sep = false;
+            for ch in raw.chars() {
+                if ch == '-' || ch == '_' || ch == '.' {
+                    if !prev_sep {
+                        out.push('-');
+                        prev_sep = true;
+                    }
+                } else {
+                    out.push(ch.to_ascii_lowercase());
+                    prev_sep = false;
+                }
+            }
+            out
+        }
+        e if e.case_insensitive_names() => raw.to_ascii_lowercase(),
+        _ => raw.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pep503_normalization() {
+        assert_eq!(normalize(Ecosystem::Python, "Flask_SQLAlchemy"), "flask-sqlalchemy");
+        assert_eq!(normalize(Ecosystem::Python, "zope.interface"), "zope-interface");
+        assert_eq!(normalize(Ecosystem::Python, "a--b__c..d"), "a-b-c-d");
+    }
+
+    #[test]
+    fn java_group_artifact_split() {
+        let n = PackageName::new(Ecosystem::Java, "org.apache.commons:commons-lang3");
+        assert_eq!(n.namespace(), Some("org.apache.commons"));
+        assert_eq!(n.base(), "commons-lang3");
+        assert!(n.subspec().is_none());
+    }
+
+    #[test]
+    fn npm_scope_split() {
+        let n = PackageName::new(Ecosystem::JavaScript, "@babel/core");
+        assert_eq!(n.namespace(), Some("@babel"));
+        assert_eq!(n.base(), "core");
+        let plain = PackageName::new(Ecosystem::JavaScript, "lodash");
+        assert_eq!(plain.namespace(), None);
+    }
+
+    #[test]
+    fn cocoapods_subspec_split() {
+        let n = PackageName::new(Ecosystem::Swift, "Firebase/Auth");
+        assert_eq!(n.base(), "Firebase");
+        assert_eq!(n.subspec(), Some("Auth"));
+    }
+
+    #[test]
+    fn go_module_path_split() {
+        let n = PackageName::new(Ecosystem::Go, "github.com/stretchr/testify");
+        assert_eq!(n.base(), "testify");
+        assert_eq!(n.namespace(), Some("github.com/stretchr"));
+        let single = PackageName::new(Ecosystem::Go, "errors");
+        assert_eq!(single.namespace(), None);
+    }
+
+    #[test]
+    fn canonical_is_case_folded_for_nuget() {
+        let n = PackageName::new(Ecosystem::DotNet, "Newtonsoft.Json");
+        assert_eq!(n.canonical(), "newtonsoft.json");
+    }
+
+    #[test]
+    fn rust_names_pass_through() {
+        let n = PackageName::new(Ecosystem::Rust, "serde_json");
+        assert_eq!(n.canonical(), "serde_json");
+    }
+
+    #[test]
+    fn display_shows_raw() {
+        let n = PackageName::new(Ecosystem::Java, "g:a");
+        assert_eq!(n.to_string(), "g:a");
+    }
+}

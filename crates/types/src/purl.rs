@@ -1,0 +1,306 @@
+//! Package URL (PURL) support.
+//!
+//! §VII of the paper recommends every SBOM component carry a PURL for
+//! consistent naming and vulnerability-database compatibility. This module
+//! implements the `pkg:` scheme: `pkg:type/namespace/name@version?qualifiers#subpath`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ecosystem::Ecosystem;
+use crate::error::ParseError;
+
+/// A parsed Package URL.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_types::Purl;
+///
+/// let p: Purl = "pkg:pypi/requests@2.31.0".parse()?;
+/// assert_eq!(p.ptype(), "pypi");
+/// assert_eq!(p.name(), "requests");
+/// assert_eq!(p.version(), Some("2.31.0"));
+/// # Ok::<(), sbomdiff_types::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Purl {
+    ptype: String,
+    namespace: Option<String>,
+    name: String,
+    version: Option<String>,
+    qualifiers: Vec<(String, String)>,
+    subpath: Option<String>,
+}
+
+impl Purl {
+    /// Creates a PURL from parts.
+    pub fn new(ptype: impl Into<String>, name: impl Into<String>) -> Self {
+        Purl {
+            ptype: ptype.into().to_ascii_lowercase(),
+            namespace: None,
+            name: name.into(),
+            version: None,
+            qualifiers: Vec::new(),
+            subpath: None,
+        }
+    }
+
+    /// Builds a PURL for a package in a studied ecosystem, splitting
+    /// compound names into namespace/name per the PURL spec.
+    pub fn for_package(eco: Ecosystem, name: &str, version: Option<&str>) -> Self {
+        let pname = crate::name::PackageName::new(eco, name);
+        let mut purl = Purl::new(eco.purl_type(), pname.base());
+        if let Some(ns) = pname.namespace() {
+            purl.namespace = Some(ns.trim_start_matches('@').to_string());
+        }
+        if eco == Ecosystem::Python {
+            purl.name = crate::name::normalize(eco, pname.base());
+        }
+        purl.version = version.map(|v| v.to_string());
+        purl
+    }
+
+    /// Builder-style namespace.
+    pub fn with_namespace(mut self, ns: impl Into<String>) -> Self {
+        self.namespace = Some(ns.into());
+        self
+    }
+
+    /// Builder-style version.
+    pub fn with_version(mut self, v: impl Into<String>) -> Self {
+        self.version = Some(v.into());
+        self
+    }
+
+    /// Builder-style qualifier.
+    pub fn with_qualifier(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.qualifiers.push((k.into(), v.into()));
+        self
+    }
+
+    /// The package type (`pypi`, `npm`, ...).
+    pub fn ptype(&self) -> &str {
+        &self.ptype
+    }
+
+    /// The namespace/group/scope, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// The package name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The version, if any.
+    pub fn version(&self) -> Option<&str> {
+        self.version.as_deref()
+    }
+
+    /// The qualifier key/value pairs.
+    pub fn qualifiers(&self) -> &[(String, String)] {
+        &self.qualifiers
+    }
+}
+
+fn pct_encode(s: &str, extra_ok: &[char]) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        let c = b as char;
+        if c.is_ascii_alphanumeric()
+            || matches!(c, '.' | '-' | '_' | '~')
+            || extra_ok.contains(&c)
+        {
+            out.push(c);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+fn pct_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+impl fmt::Display for Purl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkg:{}", self.ptype)?;
+        if let Some(ns) = &self.namespace {
+            let encoded: Vec<String> =
+                ns.split('/').map(|p| pct_encode(p, &[])).collect();
+            write!(f, "/{}", encoded.join("/"))?;
+        }
+        write!(f, "/{}", pct_encode(&self.name, &[]))?;
+        if let Some(v) = &self.version {
+            write!(f, "@{}", pct_encode(v, &[]))?;
+        }
+        if !self.qualifiers.is_empty() {
+            let mut qs: Vec<&(String, String)> = self.qualifiers.iter().collect();
+            qs.sort_by(|a, b| a.0.cmp(&b.0));
+            let parts: Vec<String> = qs
+                .iter()
+                .map(|(k, v)| format!("{}={}", k.to_ascii_lowercase(), pct_encode(v, &[':', '/'])))
+                .collect();
+            write!(f, "?{}", parts.join("&"))?;
+        }
+        if let Some(sp) = &self.subpath {
+            write!(f, "#{sp}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Purl {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("pkg:")
+            .ok_or_else(|| ParseError::new(s, "purl must start with 'pkg:'"))?;
+        let rest = rest.trim_start_matches('/');
+
+        let (rest, subpath) = match rest.split_once('#') {
+            Some((r, sp)) => (r, Some(sp.to_string())),
+            None => (rest, None),
+        };
+        let (rest, qualifiers) = match rest.split_once('?') {
+            Some((r, q)) => {
+                let mut quals = Vec::new();
+                for pair in q.split('&') {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        quals.push((k.to_ascii_lowercase(), pct_decode(v)));
+                    }
+                }
+                (r, quals)
+            }
+            None => (rest, Vec::new()),
+        };
+        let (rest, version) = match rest.rsplit_once('@') {
+            // '@' inside a namespace segment (npm scopes are encoded, so a
+            // real '@' here is the version separator) — but guard against
+            // `pkg:npm/@scope/name` style leniency.
+            Some((r, v)) if !v.contains('/') => (r, Some(pct_decode(v))),
+            _ => (rest, None),
+        };
+
+        let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
+        if segments.len() < 2 {
+            return Err(ParseError::new(s, "purl needs at least type and name"));
+        }
+        let ptype = segments[0].to_ascii_lowercase();
+        let name = pct_decode(segments[segments.len() - 1]);
+        let namespace = if segments.len() > 2 {
+            Some(
+                segments[1..segments.len() - 1]
+                    .iter()
+                    .map(|p| pct_decode(p))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            )
+        } else {
+            None
+        };
+        Ok(Purl {
+            ptype,
+            namespace,
+            name,
+            version,
+            qualifiers,
+            subpath,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let p = Purl::new("pypi", "requests").with_version("2.31.0");
+        let s = p.to_string();
+        assert_eq!(s, "pkg:pypi/requests@2.31.0");
+        let back: Purl = s.parse().unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn namespace_roundtrip() {
+        let p = Purl::new("maven", "guava")
+            .with_namespace("com.google.guava")
+            .with_version("32.1.2");
+        let s = p.to_string();
+        assert_eq!(s, "pkg:maven/com.google.guava/guava@32.1.2");
+        let back: Purl = s.parse().unwrap();
+        assert_eq!(back.namespace(), Some("com.google.guava"));
+        assert_eq!(back.name(), "guava");
+    }
+
+    #[test]
+    fn go_multi_segment_namespace() {
+        let p = Purl::for_package(
+            Ecosystem::Go,
+            "github.com/stretchr/testify",
+            Some("v1.8.0"),
+        );
+        assert_eq!(p.to_string(), "pkg:golang/github.com/stretchr/testify@v1.8.0");
+        let back: Purl = p.to_string().parse().unwrap();
+        assert_eq!(back.namespace(), Some("github.com/stretchr"));
+    }
+
+    #[test]
+    fn npm_scope_strips_at_in_namespace() {
+        let p = Purl::for_package(Ecosystem::JavaScript, "@babel/core", Some("7.22.0"));
+        assert_eq!(p.to_string(), "pkg:npm/babel/core@7.22.0");
+    }
+
+    #[test]
+    fn python_name_normalized() {
+        let p = Purl::for_package(Ecosystem::Python, "Flask_SQLAlchemy", Some("3.0.0"));
+        assert_eq!(p.name(), "flask-sqlalchemy");
+    }
+
+    #[test]
+    fn qualifiers_sorted_and_encoded() {
+        let p = Purl::new("npm", "x")
+            .with_qualifier("repository_url", "https://r.example/npm")
+            .with_qualifier("arch", "amd64");
+        let s = p.to_string();
+        assert!(s.contains("arch=amd64&repository_url="));
+        let back: Purl = s.parse().unwrap();
+        assert_eq!(back.qualifiers().len(), 2);
+    }
+
+    #[test]
+    fn percent_encoding_roundtrip() {
+        let p = Purl::new("gem", "my gem").with_version("1.0+build");
+        let s = p.to_string();
+        assert!(s.contains("my%20gem"));
+        let back: Purl = s.parse().unwrap();
+        assert_eq!(back.name(), "my gem");
+        assert_eq!(back.version(), Some("1.0+build"));
+    }
+
+    #[test]
+    fn rejects_non_purl() {
+        assert!("http://x".parse::<Purl>().is_err());
+        assert!("pkg:onlytype".parse::<Purl>().is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! A tolerant, ordered version model covering the version spellings that
+//! appear across the nine studied ecosystems: SemVer (`1.2.3-rc.1+build`),
+//! PEP 440 (`1!2.0.0a1.post2.dev3`), bare multi-segment (`1.2.3.4`), and Go's
+//! `v`-prefixed form (`v1.0.0`, §V-E).
+//!
+//! The ordering is the practical intersection of SemVer and PEP 440:
+//! `dev < alpha < beta < other-tags < rc < release < post`, with release
+//! segments compared numerically and padded with zeros (`1.0 == 1.0.0`).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+use crate::error::ParseError;
+
+/// Classification of a pre-release tag.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PreKind {
+    /// A bare numeric pre-release identifier (SemVer `1.0.0-1`).
+    Numeric,
+    /// `a` / `alpha`.
+    Alpha,
+    /// `b` / `beta`.
+    Beta,
+    /// Any unrecognized tag (`nightly`, `snapshot`, ...), compared lexically
+    /// within this band.
+    Other(String),
+    /// `rc` / `c` / `pre` / `preview`.
+    Rc,
+}
+
+impl PreKind {
+    fn rank(&self) -> u8 {
+        match self {
+            PreKind::Numeric => 0,
+            PreKind::Alpha => 1,
+            PreKind::Beta => 2,
+            PreKind::Other(_) => 3,
+            PreKind::Rc => 4,
+        }
+    }
+
+    fn tag(&self) -> &str {
+        match self {
+            PreKind::Numeric => "",
+            PreKind::Alpha => "alpha",
+            PreKind::Beta => "beta",
+            PreKind::Other(t) => t,
+            PreKind::Rc => "rc",
+        }
+    }
+}
+
+/// A parsed version.
+///
+/// Comparison ignores build metadata (the part after `+`) and the `v` prefix,
+/// pads release segments with zeros, and orders pre-release phases as
+/// documented at the module level.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_types::Version;
+///
+/// let a = Version::parse("1.0").unwrap();
+/// let b = Version::parse("1.0.0").unwrap();
+/// assert_eq!(a, b);
+/// assert!(Version::parse("1.0.0-rc.1").unwrap() < b);
+/// assert!(Version::parse("v2.1.0").unwrap() > b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Version {
+    epoch: u32,
+    release: Vec<u64>,
+    pre: Option<(PreKind, u64)>,
+    post: Option<u64>,
+    dev: Option<u64>,
+    build: Option<String>,
+    v_prefix: bool,
+    raw: String,
+}
+
+impl Version {
+    /// Builds a plain `major.minor.patch` release version.
+    pub fn new(major: u64, minor: u64, patch: u64) -> Self {
+        Version {
+            epoch: 0,
+            release: vec![major, minor, patch],
+            pre: None,
+            post: None,
+            dev: None,
+            build: None,
+            v_prefix: false,
+            raw: format!("{major}.{minor}.{patch}"),
+        }
+    }
+
+    /// Parses a version string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the input is empty or contains no leading
+    /// numeric release segment.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let raw = input.trim();
+        if raw.is_empty() {
+            return Err(ParseError::new(input, "empty version"));
+        }
+        let mut s = raw;
+
+        let build = match s.find('+') {
+            Some(i) => {
+                let b = s[i + 1..].to_string();
+                s = &s[..i];
+                if b.is_empty() {
+                    None
+                } else {
+                    Some(b)
+                }
+            }
+            None => None,
+        };
+
+        let mut v_prefix = false;
+        if (s.starts_with('v') || s.starts_with('V'))
+            && s[1..].starts_with(|c: char| c.is_ascii_digit())
+        {
+            v_prefix = true;
+            s = &s[1..];
+        }
+
+        let mut epoch = 0u32;
+        if let Some(i) = s.find('!') {
+            epoch = s[..i]
+                .parse()
+                .map_err(|_| ParseError::new(raw, "invalid epoch"))?;
+            s = &s[i + 1..];
+        }
+
+        // A version must *begin* with its numeric release; leading operator
+        // or other junk (">=1.2.3") is not a version, even though the
+        // tolerant tokenizer below skips separators internally.
+        if !s.starts_with(|c: char| c.is_ascii_digit()) {
+            return Err(ParseError::new(raw, "version must start with a number"));
+        }
+
+        let tokens = tokenize(s);
+        if tokens.is_empty() {
+            return Err(ParseError::new(raw, "no version segments"));
+        }
+
+        let mut release = Vec::new();
+        let mut idx = 0;
+        while idx < tokens.len() {
+            match &tokens[idx] {
+                Token::Num(n, hyphen) if !*hyphen || idx == 0 => {
+                    release.push(*n);
+                    idx += 1;
+                }
+                _ => break,
+            }
+        }
+        if release.is_empty() {
+            return Err(ParseError::new(raw, "version must start with a number"));
+        }
+
+        let mut pre: Option<(PreKind, u64)> = None;
+        let mut post: Option<u64> = None;
+        let mut dev: Option<u64> = None;
+
+        while idx < tokens.len() {
+            match &tokens[idx] {
+                Token::Alpha(tag) => {
+                    let num = match tokens.get(idx + 1) {
+                        Some(Token::Num(n, _)) => {
+                            idx += 1;
+                            *n
+                        }
+                        _ => 0,
+                    };
+                    match tag.to_ascii_lowercase().as_str() {
+                        "dev" => dev = Some(num),
+                        "post" | "rev" | "r" => post = Some(num),
+                        "a" | "alpha" => pre = pre.or(Some((PreKind::Alpha, num))),
+                        "b" | "beta" => pre = pre.or(Some((PreKind::Beta, num))),
+                        "c" | "rc" | "pre" | "preview" => {
+                            pre = pre.or(Some((PreKind::Rc, num)))
+                        }
+                        other => {
+                            pre = pre.or(Some((
+                                PreKind::Other(other.to_string()),
+                                num,
+                            )))
+                        }
+                    }
+                    idx += 1;
+                }
+                Token::Num(n, _) => {
+                    if pre.is_none() && post.is_none() && dev.is_none() {
+                        pre = Some((PreKind::Numeric, *n));
+                    }
+                    idx += 1;
+                }
+            }
+        }
+
+        Ok(Version {
+            epoch,
+            release,
+            pre,
+            post,
+            dev,
+            build,
+            v_prefix,
+            raw: raw.to_string(),
+        })
+    }
+
+    /// The version exactly as written.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The epoch (PEP 440 `N!`), 0 when absent.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The numeric release segments as parsed (no zero padding applied).
+    pub fn release(&self) -> &[u64] {
+        &self.release
+    }
+
+    /// The `i`-th release segment, zero when absent.
+    pub fn segment(&self, i: usize) -> u64 {
+        self.release.get(i).copied().unwrap_or(0)
+    }
+
+    /// The pre-release tag and number, if any.
+    pub fn pre(&self) -> Option<(&PreKind, u64)> {
+        self.pre.as_ref().map(|(k, n)| (k, *n))
+    }
+
+    /// True when this version is a dev or pre-release.
+    pub fn is_prerelease(&self) -> bool {
+        self.pre.is_some() || self.dev.is_some()
+    }
+
+    /// Whether the spelling carried a leading `v` (Go convention).
+    pub fn has_v_prefix(&self) -> bool {
+        self.v_prefix
+    }
+
+    /// Canonical spelling with a leading `v` (Go style).
+    pub fn to_v_prefixed(&self) -> String {
+        let c = self.canonical();
+        if c.starts_with('v') {
+            c
+        } else {
+            format!("v{c}")
+        }
+    }
+
+    /// Canonical spelling without a leading `v`.
+    pub fn to_unprefixed(&self) -> String {
+        let mut v = self.clone();
+        v.v_prefix = false;
+        v.canonical()
+    }
+
+    /// Canonical normalized spelling (independent of the raw input form,
+    /// except that a `v` prefix is preserved).
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        if self.v_prefix {
+            out.push('v');
+        }
+        if self.epoch != 0 {
+            out.push_str(&format!("{}!", self.epoch));
+        }
+        let rel: Vec<String> = self.release.iter().map(|n| n.to_string()).collect();
+        out.push_str(&rel.join("."));
+        if let Some((kind, num)) = &self.pre {
+            match kind {
+                PreKind::Numeric => out.push_str(&format!("-{num}")),
+                k => out.push_str(&format!("-{}.{}", k.tag(), num)),
+            }
+        }
+        if let Some(p) = self.post {
+            out.push_str(&format!(".post{p}"));
+        }
+        if let Some(d) = self.dev {
+            out.push_str(&format!(".dev{d}"));
+        }
+        if let Some(b) = &self.build {
+            out.push_str(&format!("+{b}"));
+        }
+        out
+    }
+
+    /// Returns a new version with the patch-level segment incremented.
+    pub fn bump_patch(&self) -> Version {
+        let mut rel = self.release.clone();
+        while rel.len() < 3 {
+            rel.push(0);
+        }
+        *rel.last_mut().expect("non-empty release") += 1;
+        Version::from_release(self.epoch, rel)
+    }
+
+    /// Returns a new version with the minor segment incremented and later
+    /// segments reset to zero.
+    pub fn bump_minor(&self) -> Version {
+        let mut rel = self.release.clone();
+        while rel.len() < 2 {
+            rel.push(0);
+        }
+        rel[1] += 1;
+        for s in rel.iter_mut().skip(2) {
+            *s = 0;
+        }
+        Version::from_release(self.epoch, rel)
+    }
+
+    /// Returns a new version with the major segment incremented and later
+    /// segments reset to zero.
+    pub fn bump_major(&self) -> Version {
+        let mut rel = self.release.clone();
+        rel[0] += 1;
+        for s in rel.iter_mut().skip(1) {
+            *s = 0;
+        }
+        Version::from_release(self.epoch, rel)
+    }
+
+    fn from_release(epoch: u32, release: Vec<u64>) -> Version {
+        let raw = release
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        Version {
+            epoch,
+            release,
+            pre: None,
+            post: None,
+            dev: None,
+            build: None,
+            v_prefix: false,
+            raw,
+        }
+    }
+
+    fn phase_rank(&self) -> u8 {
+        if self.pre.is_some() {
+            1
+        } else if self.dev.is_some() {
+            0
+        } else if self.post.is_some() {
+            3
+        } else {
+            2
+        }
+    }
+
+    fn cmp_release(a: &[u64], b: &[u64]) -> Ordering {
+        let len = a.len().max(b.len());
+        for i in 0..len {
+            let x = a.get(i).copied().unwrap_or(0);
+            let y = b.get(i).copied().unwrap_or(0);
+            match x.cmp(&y) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn trimmed_release(&self) -> &[u64] {
+        let mut end = self.release.len();
+        while end > 1 && self.release[end - 1] == 0 {
+            end -= 1;
+        }
+        &self.release[..end]
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.epoch
+            .cmp(&other.epoch)
+            .then_with(|| Version::cmp_release(&self.release, &other.release))
+            .then_with(|| self.phase_rank().cmp(&other.phase_rank()))
+            .then_with(|| match (&self.pre, &other.pre) {
+                (Some((ka, na)), Some((kb, nb))) => ka
+                    .rank()
+                    .cmp(&kb.rank())
+                    .then_with(|| ka.tag().cmp(kb.tag()))
+                    .then_with(|| na.cmp(nb)),
+                _ => Ordering::Equal,
+            })
+            .then_with(|| self.post.unwrap_or(0).cmp(&other.post.unwrap_or(0)))
+            .then_with(|| match (self.dev, other.dev) {
+                (Some(a), Some(b)) => a.cmp(&b),
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Version {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Version {}
+
+impl Hash for Version {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.epoch.hash(state);
+        self.trimmed_release().hash(state);
+        self.phase_rank().hash(state);
+        if let Some((k, n)) = &self.pre {
+            k.rank().hash(state);
+            k.tag().hash(state);
+            n.hash(state);
+        }
+        self.post.unwrap_or(0).hash(state);
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl FromStr for Version {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Version::parse(s)
+    }
+}
+
+#[derive(Debug)]
+enum Token {
+    /// Numeric run; the flag records whether a `-` immediately preceded it.
+    Num(u64, bool),
+    /// Alphabetic run; the flag records whether a `-` immediately preceded it.
+    Alpha(String),
+}
+
+fn tokenize(s: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = s.chars().peekable();
+    let mut hyphen = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            let mut n: u64 = 0;
+            while let Some(&d) = chars.peek() {
+                if let Some(v) = d.to_digit(10) {
+                    n = n.saturating_mul(10).saturating_add(v as u64);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Num(n, hyphen));
+            hyphen = false;
+        } else if c.is_ascii_alphabetic() {
+            let mut t = String::new();
+            while let Some(&a) = chars.peek() {
+                if a.is_ascii_alphabetic() {
+                    t.push(a);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Alpha(t));
+            hyphen = false;
+        } else {
+            if c == '-' {
+                hyphen = true;
+            }
+            chars.next();
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    #[test]
+    fn basic_ordering() {
+        assert!(v("1.0.0") < v("1.0.1"));
+        assert!(v("1.9.0") < v("1.10.0"));
+        assert!(v("2.0.0") > v("1.99.99"));
+    }
+
+    #[test]
+    fn zero_padding_equality() {
+        assert_eq!(v("1.0"), v("1.0.0"));
+        assert_eq!(v("1"), v("1.0.0.0"));
+        assert!(v("1.0") < v("1.0.1"));
+    }
+
+    #[test]
+    fn v_prefix_is_cosmetic_for_comparison() {
+        assert_eq!(v("v1.2.3"), v("1.2.3"));
+        assert!(v("v1.2.3").has_v_prefix());
+        assert!(!v("1.2.3").has_v_prefix());
+    }
+
+    #[test]
+    fn prerelease_ordering() {
+        assert!(v("1.0.0-alpha") < v("1.0.0-beta"));
+        assert!(v("1.0.0-beta") < v("1.0.0-rc.1"));
+        assert!(v("1.0.0-rc.1") < v("1.0.0"));
+        assert!(v("1.0.0-rc.1") < v("1.0.0-rc.2"));
+        assert!(v("1.0.0-alpha.1") < v("1.0.0-alpha.2"));
+    }
+
+    #[test]
+    fn pep440_forms() {
+        assert!(v("1.0a1") < v("1.0b1"));
+        assert!(v("1.0b1") < v("1.0rc1"));
+        assert!(v("1.0rc1") < v("1.0"));
+        assert!(v("1.0") < v("1.0.post1"));
+        assert!(v("1.0.dev1") < v("1.0a1"));
+        assert!(v("1.0.dev1") < v("1.0"));
+    }
+
+    #[test]
+    fn epoch_dominates() {
+        assert!(v("1!1.0") > v("2.0"));
+        assert_eq!(v("1!1.0").epoch(), 1);
+    }
+
+    #[test]
+    fn build_metadata_ignored() {
+        assert_eq!(v("1.0.0+abc"), v("1.0.0+xyz"));
+        assert_eq!(v("1.0.0+abc"), v("1.0.0"));
+    }
+
+    #[test]
+    fn numeric_prerelease() {
+        assert!(v("1.0.0-1") < v("1.0.0"));
+        assert!(v("1.0.0-1") < v("1.0.0-alpha"));
+    }
+
+    #[test]
+    fn four_segment_release_is_release_not_pre() {
+        assert!(!v("1.0.0.1").is_prerelease());
+        assert!(v("1.0.0.1") > v("1.0.0"));
+    }
+
+    #[test]
+    fn display_preserves_raw() {
+        assert_eq!(v("v1.19.2").to_string(), "v1.19.2");
+        assert_eq!(v(" 1.0 ").to_string(), "1.0");
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(v("1.0.0-rc.1").canonical(), "1.0.0-rc.1");
+        assert_eq!(v("1.0rc1").canonical(), "1.0-rc.1");
+        assert_eq!(v("v1.2").canonical(), "v1.2");
+        assert_eq!(v("1.0.post2").canonical(), "1.0.post2");
+    }
+
+    #[test]
+    fn prefix_conversions() {
+        assert_eq!(v("1.2.3").to_v_prefixed(), "v1.2.3");
+        assert_eq!(v("v1.2.3").to_unprefixed(), "1.2.3");
+    }
+
+    #[test]
+    fn bumps() {
+        assert_eq!(v("1.2.3").bump_patch(), v("1.2.4"));
+        assert_eq!(v("1.2.3").bump_minor(), v("1.3.0"));
+        assert_eq!(v("1.2.3").bump_major(), v("2.0.0"));
+        assert_eq!(v("1.2").bump_patch(), v("1.2.1"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Version::parse("").is_err());
+        assert!(Version::parse("abc").is_err());
+        assert!(Version::parse("  ").is_err());
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(v("1.0"));
+        assert!(set.contains(&v("1.0.0")));
+        assert!(set.contains(&v("v1.0")));
+        assert!(!set.contains(&v("1.0.1")));
+    }
+
+    #[test]
+    fn segment_accessor_pads_with_zero() {
+        let ver = v("1.2");
+        assert_eq!(ver.segment(0), 1);
+        assert_eq!(ver.segment(1), 2);
+        assert_eq!(ver.segment(2), 0);
+        assert_eq!(ver.segment(9), 0);
+    }
+}

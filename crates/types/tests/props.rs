@@ -1,0 +1,144 @@
+//! Property-based tests for versions, constraints, PURL and CPE.
+
+use proptest::prelude::*;
+use sbomdiff_types::{
+    Component, ConstraintFlavor, Cpe, Ecosystem, Purl, Version, VersionReq,
+};
+
+fn version_strategy() -> impl Strategy<Value = String> {
+    let release = prop::collection::vec(0u64..50, 1..4)
+        .prop_map(|v| v.iter().map(u64::to_string).collect::<Vec<_>>().join("."));
+    let pre = prop_oneof![
+        Just(String::new()),
+        (0u64..5).prop_map(|n| format!("-alpha.{n}")),
+        (0u64..5).prop_map(|n| format!("-beta.{n}")),
+        (0u64..5).prop_map(|n| format!("-rc.{n}")),
+        (0u64..5).prop_map(|n| format!("rc{n}")),
+        (0u64..5).prop_map(|n| format!(".post{n}")),
+        (0u64..5).prop_map(|n| format!(".dev{n}")),
+    ];
+    (release, pre).prop_map(|(r, p)| format!("{r}{p}"))
+}
+
+proptest! {
+    #[test]
+    fn version_parse_never_panics(s in "\\PC{0,40}") {
+        let _ = Version::parse(&s);
+    }
+
+    #[test]
+    fn version_canonical_roundtrips(s in version_strategy()) {
+        let v = Version::parse(&s).unwrap();
+        let reparsed = Version::parse(&v.canonical()).unwrap();
+        prop_assert_eq!(&v, &reparsed);
+    }
+
+    #[test]
+    fn version_ordering_total_and_antisymmetric(a in version_strategy(), b in version_strategy()) {
+        let va = Version::parse(&a).unwrap();
+        let vb = Version::parse(&b).unwrap();
+        use std::cmp::Ordering::*;
+        match va.cmp(&vb) {
+            Less => prop_assert_eq!(vb.cmp(&va), Greater),
+            Greater => prop_assert_eq!(vb.cmp(&va), Less),
+            Equal => prop_assert_eq!(vb.cmp(&va), Equal),
+        }
+    }
+
+    #[test]
+    fn v_prefix_never_affects_comparison(s in version_strategy()) {
+        let plain = Version::parse(&s).unwrap();
+        let prefixed = Version::parse(&format!("v{s}")).unwrap();
+        prop_assert_eq!(plain, prefixed);
+    }
+
+    #[test]
+    fn bump_monotonicity(s in version_strategy()) {
+        let v = Version::parse(&s).unwrap();
+        prop_assert!(v.bump_patch() > v || v.is_prerelease());
+        prop_assert!(v.bump_minor() >= v.bump_patch() || v.is_prerelease());
+        prop_assert!(v.bump_major() >= v.bump_minor());
+    }
+
+    #[test]
+    fn constraint_parse_never_panics(s in "\\PC{0,40}", flavor in 0usize..7) {
+        let flavors = [
+            ConstraintFlavor::Pep440,
+            ConstraintFlavor::Npm,
+            ConstraintFlavor::Cargo,
+            ConstraintFlavor::RubyGems,
+            ConstraintFlavor::Composer,
+            ConstraintFlavor::Maven,
+            ConstraintFlavor::Go,
+        ];
+        let _ = VersionReq::parse(&s, flavors[flavor]);
+    }
+
+    #[test]
+    fn pinned_requirement_matches_its_pin(s in version_strategy()) {
+        let v = Version::parse(&s).unwrap();
+        let req = VersionReq::exact(v.clone());
+        prop_assert!(req.matches(&v));
+        prop_assert_eq!(req.pinned(), Some(&v));
+    }
+
+    #[test]
+    fn caret_range_contains_anchor(maj in 1u64..20, min in 0u64..20, pat in 0u64..20) {
+        let anchor = Version::new(maj, min, pat);
+        let req = VersionReq::parse(&format!("^{maj}.{min}.{pat}"), ConstraintFlavor::Npm).unwrap();
+        prop_assert!(req.matches(&anchor));
+        prop_assert!(!req.matches(&Version::new(maj + 1, 0, 0)));
+        prop_assert!(req.matches(&Version::new(maj, min, pat + 1)));
+    }
+
+    #[test]
+    fn latest_matching_is_really_max(vs in prop::collection::vec(version_strategy(), 1..10)) {
+        let parsed: Vec<Version> = vs.iter().map(|s| Version::parse(s).unwrap()).collect();
+        let req = VersionReq::any();
+        if let Some(latest) = req.latest_matching(&parsed) {
+            for v in &parsed {
+                if req.matches(v) {
+                    prop_assert!(latest >= v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn purl_roundtrip(name in "[a-zA-Z][a-zA-Z0-9_.-]{0,20}", ver in version_strategy()) {
+        for eco in Ecosystem::ALL {
+            let p = Purl::for_package(eco, &name, Some(&ver));
+            let back: Purl = p.to_string().parse().unwrap();
+            prop_assert_eq!(back.ptype(), p.ptype());
+            prop_assert_eq!(back.name(), p.name());
+            prop_assert_eq!(back.version(), p.version());
+        }
+    }
+
+    #[test]
+    fn purl_parse_never_panics(s in "\\PC{0,60}") {
+        let _ = s.parse::<Purl>();
+    }
+
+    #[test]
+    fn cpe_roundtrip(vendor in "[a-zA-Z][a-zA-Z0-9_. -]{0,15}", product in "[a-zA-Z][a-zA-Z0-9_.-]{0,15}", ver in version_strategy()) {
+        let c = Cpe::application(&vendor, &product, &ver);
+        let back: Cpe = c.to_string().parse().unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cpe_parse_never_panics(s in "\\PC{0,80}") {
+        let _ = s.parse::<Cpe>();
+    }
+
+    #[test]
+    fn canonical_key_is_idempotent(name in "[a-zA-Z][a-zA-Z0-9_.-]{0,20}", ver in version_strategy()) {
+        for eco in Ecosystem::ALL {
+            let c = Component::new(eco, &name, Some(ver.clone()));
+            let k1 = c.canonical_key();
+            let c2 = Component::new(eco, &k1.name, Some(k1.version.clone()));
+            prop_assert_eq!(c2.canonical_key(), k1);
+        }
+    }
+}

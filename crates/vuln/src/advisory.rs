@@ -1,0 +1,234 @@
+//! The synthetic advisory database.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sbomdiff_registry::{PackageUniverse, Registries};
+use sbomdiff_types::{Ecosystem, Version, VersionReq};
+
+/// Advisory severity, CVSS-band style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// CVSS 0.1–3.9.
+    Low,
+    /// CVSS 4.0–6.9.
+    Medium,
+    /// CVSS 7.0–8.9.
+    High,
+    /// CVSS 9.0–10.0.
+    Critical,
+}
+
+impl Severity {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Low => "LOW",
+            Severity::Medium => "MEDIUM",
+            Severity::High => "HIGH",
+            Severity::Critical => "CRITICAL",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One synthetic advisory: a package and the version range it affects.
+#[derive(Debug, Clone)]
+pub struct Advisory {
+    /// Synthetic identifier (`SYN-2023-0042`).
+    pub id: String,
+    /// Ecosystem of the affected package.
+    pub ecosystem: Ecosystem,
+    /// Canonical (registry-normalized) package name.
+    pub package: String,
+    /// Affected version range.
+    pub affected: VersionReq,
+    /// First fixed version, when one exists.
+    pub fixed_in: Option<Version>,
+    /// Severity band.
+    pub severity: Severity,
+}
+
+impl Advisory {
+    /// Whether a concrete installed version is affected.
+    pub fn affects(&self, version: &Version) -> bool {
+        self.affected.matches(version)
+    }
+}
+
+/// A seeded advisory database over the synthetic registries.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_registry::Registries;
+/// use sbomdiff_vuln::AdvisoryDb;
+///
+/// let registries = Registries::generate(9);
+/// let db = AdvisoryDb::generate(&registries, 1, 0.2);
+/// assert!(!db.is_empty());
+/// for advisory in db.advisories().iter().take(3) {
+///     assert!(advisory.id.starts_with("SYN-"));
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdvisoryDb {
+    advisories: Vec<Advisory>,
+}
+
+impl AdvisoryDb {
+    /// Builds a database from explicit advisories (tests, custom feeds).
+    pub fn from_advisories(advisories: Vec<Advisory>) -> Self {
+        AdvisoryDb { advisories }
+    }
+
+    /// Generates advisories for roughly `vulnerable_share` of each
+    /// ecosystem's packages. Each advisory affects all versions strictly
+    /// below a randomly chosen published "fix" version (the dominant
+    /// real-world shape).
+    pub fn generate(registries: &Registries, seed: u64, vulnerable_share: f64) -> Self {
+        let mut advisories = Vec::new();
+        let mut counter = 0usize;
+        for (eco, universe) in registries.iter() {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((eco as u64) << 40) ^ 0xadd1);
+            advisories.extend(Self::for_universe(
+                eco,
+                universe,
+                &mut rng,
+                vulnerable_share,
+                &mut counter,
+            ));
+        }
+        AdvisoryDb { advisories }
+    }
+
+    fn for_universe(
+        eco: Ecosystem,
+        universe: &PackageUniverse,
+        rng: &mut StdRng,
+        share: f64,
+        counter: &mut usize,
+    ) -> Vec<Advisory> {
+        let mut out = Vec::new();
+        let names: Vec<String> = universe.package_names().map(str::to_string).collect();
+        for name in names {
+            if !rng.gen_bool(share.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let versions = universe.versions(&name);
+            if versions.len() < 2 {
+                continue;
+            }
+            // The fix lands at some mid/late published version; everything
+            // below is affected.
+            let fix_idx = rng.gen_range(1..versions.len());
+            let fixed = versions[fix_idx].clone();
+            let Ok(affected) = VersionReq::parse(
+                &format!("<{}", fixed.to_unprefixed()),
+                sbomdiff_types::ConstraintFlavor::Pep440,
+            ) else {
+                continue;
+            };
+            *counter += 1;
+            let severity = match rng.gen_range(0..10) {
+                0 => Severity::Critical,
+                1..=3 => Severity::High,
+                4..=7 => Severity::Medium,
+                _ => Severity::Low,
+            };
+            out.push(Advisory {
+                id: format!("SYN-2023-{:04}", *counter),
+                ecosystem: eco,
+                package: sbomdiff_types::name::normalize(eco, &name),
+                affected,
+                fixed_in: Some(fixed),
+                severity,
+            });
+        }
+        out
+    }
+
+    /// Number of advisories.
+    pub fn len(&self) -> usize {
+        self.advisories.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.advisories.is_empty()
+    }
+
+    /// All advisories.
+    pub fn advisories(&self) -> &[Advisory] {
+        &self.advisories
+    }
+
+    /// Advisories affecting a concrete `(ecosystem, name, version)` triple;
+    /// the name is normalized before lookup (how a *correct* scanner
+    /// matches — spelling variations in SBOMs therefore cause misses).
+    pub fn matching(
+        &self,
+        eco: Ecosystem,
+        name: &str,
+        version: &Version,
+    ) -> Vec<&Advisory> {
+        let canonical = sbomdiff_types::name::normalize(eco, name);
+        self.advisories
+            .iter()
+            .filter(|a| a.ecosystem == eco && a.package == canonical && a.affects(version))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_registry::Registries;
+
+    #[test]
+    fn generates_plausible_database() {
+        let regs = Registries::generate(55);
+        let db = AdvisoryDb::generate(&regs, 9, 0.2);
+        assert!(db.len() > 200, "db size {}", db.len());
+        for a in db.advisories().iter().take(50) {
+            assert!(a.id.starts_with("SYN-2023-"));
+            let fixed = a.fixed_in.as_ref().unwrap();
+            assert!(!a.affects(fixed), "fix version must not be affected");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let regs = Registries::generate(55);
+        let a = AdvisoryDb::generate(&regs, 9, 0.2);
+        let b = AdvisoryDb::generate(&regs, 9, 0.2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.advisories()[0].id, b.advisories()[0].id);
+        assert_eq!(a.advisories()[0].package, b.advisories()[0].package);
+    }
+
+    #[test]
+    fn matching_normalizes_names() {
+        let regs = Registries::generate(55);
+        let db = AdvisoryDb::generate(&regs, 9, 1.0);
+        // numpy is curated with versions up to 1.25.2; an advisory exists
+        // at share 1.0.
+        let numpy = db
+            .advisories()
+            .iter()
+            .find(|a| a.package == "numpy")
+            .expect("numpy advisory at 100% share");
+        let old = Version::parse("1.19.2").unwrap();
+        if numpy.affects(&old) {
+            assert!(!db.matching(Ecosystem::Python, "NumPy", &old).is_empty());
+        }
+        assert!(db
+            .matching(Ecosystem::Python, "definitely-not-here", &old)
+            .is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! SBOM-driven vulnerability scanning vs ground truth.
+
+use std::collections::BTreeSet;
+
+use sbomdiff_types::{ResolvedPackage, Sbom, Version};
+
+use crate::advisory::AdvisoryDb;
+
+/// The outcome of scanning with an SBOM instead of the true install set.
+#[derive(Debug, Clone, Default)]
+pub struct ImpactReport {
+    /// Advisory ids that affect the true install set (the scan target).
+    pub actual: BTreeSet<String>,
+    /// Advisory ids the SBOM-driven scan surfaced that are real.
+    pub detected: BTreeSet<String>,
+    /// Real advisories the SBOM-driven scan missed — the paper's "false
+    /// assurances of security" (§I).
+    pub missed: BTreeSet<String>,
+    /// Advisories flagged from SBOM entries that are not actually
+    /// installed (wrong version, dev-only file, marker-excluded, ...).
+    pub false_alarms: BTreeSet<String>,
+}
+
+impl ImpactReport {
+    /// Share of real vulnerabilities the SBOM-driven scan missed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.actual.is_empty() {
+            return 0.0;
+        }
+        self.missed.len() as f64 / self.actual.len() as f64
+    }
+
+    /// Share of raised findings that are false alarms.
+    pub fn false_alarm_rate(&self) -> f64 {
+        let raised = self.detected.len() + self.false_alarms.len();
+        if raised == 0 {
+            return 0.0;
+        }
+        self.false_alarms.len() as f64 / raised as f64
+    }
+
+    /// Renders the assessment as VEX statements: detected and missed
+    /// advisories are `affected`; false alarms are `not_affected` (the SBOM
+    /// names a component/version that is not actually installed).
+    pub fn to_vex_statements(&self) -> Vec<(String, &'static str)> {
+        let mut out = Vec::new();
+        for id in self.detected.iter().chain(self.missed.iter()) {
+            out.push((id.clone(), "affected"));
+        }
+        for id in &self.false_alarms {
+            out.push((id.clone(), "not_affected"));
+        }
+        out
+    }
+
+    /// Merges another report's counts (for corpus-level aggregation).
+    pub fn merge(&mut self, other: &ImpactReport) {
+        self.actual.extend(other.actual.iter().cloned());
+        self.detected.extend(other.detected.iter().cloned());
+        self.missed.extend(other.missed.iter().cloned());
+        self.false_alarms.extend(other.false_alarms.iter().cloned());
+    }
+}
+
+/// Assesses an SBOM against the advisory database and the true install set.
+///
+/// The scan matches the way real SCA consumers do: an SBOM entry
+/// contributes findings only when it carries a parseable concrete version
+/// (range text and missing versions cannot match — which is exactly how
+/// §V-D's dropped/verbatim versions turn into missed vulnerabilities).
+pub fn assess(db: &AdvisoryDb, sbom: &Sbom, truth: &[ResolvedPackage]) -> ImpactReport {
+    let mut report = ImpactReport::default();
+    // What is really vulnerable: advisories over the installed set.
+    for pkg in truth {
+        for adv in db.matching(
+            sbom_ecosystem(sbom).unwrap_or(sbomdiff_types::Ecosystem::Python),
+            &pkg.name,
+            &pkg.version,
+        ) {
+            report.actual.insert(adv.id.clone());
+        }
+    }
+    // What an SBOM-driven scan raises.
+    let mut raised: BTreeSet<String> = BTreeSet::new();
+    for c in sbom.components() {
+        let Some(version) = c.version.as_deref().and_then(|v| Version::parse(v).ok())
+        else {
+            continue; // no concrete version → unmatchable entry
+        };
+        for adv in db.matching(c.ecosystem, &c.name, &version) {
+            raised.insert(adv.id.clone());
+        }
+    }
+    for id in &raised {
+        if report.actual.contains(id) {
+            report.detected.insert(id.clone());
+        } else {
+            report.false_alarms.insert(id.clone());
+        }
+    }
+    for id in &report.actual {
+        if !raised.contains(id) {
+            report.missed.insert(id.clone());
+        }
+    }
+    report
+}
+
+fn sbom_ecosystem(sbom: &Sbom) -> Option<sbomdiff_types::Ecosystem> {
+    sbom.components().first().map(|c| c.ecosystem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisory::{Advisory, Severity};
+    use sbomdiff_types::{
+        Component, ConstraintFlavor, Ecosystem, ResolvedPackage, VersionReq,
+    };
+
+    fn db() -> AdvisoryDb {
+        let advisory = Advisory {
+            id: "SYN-2023-0001".into(),
+            ecosystem: Ecosystem::Python,
+            package: "numpy".into(),
+            affected: VersionReq::parse("<1.22.0", ConstraintFlavor::Pep440).unwrap(),
+            fixed_in: Some(Version::parse("1.22.0").unwrap()),
+            severity: Severity::High,
+        };
+        AdvisoryDb::from_advisories(vec![advisory])
+    }
+
+    #[test]
+    fn detects_real_vulnerability() {
+        let db = db();
+        let truth = vec![ResolvedPackage::direct(
+            "numpy",
+            Version::parse("1.19.2").unwrap(),
+        )];
+        let mut sbom = Sbom::new("t", "1");
+        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
+        let report = assess(&db, &sbom, &truth);
+        assert_eq!(report.detected.len(), 1);
+        assert!(report.missed.is_empty());
+        assert_eq!(report.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn omission_becomes_missed_vulnerability() {
+        let db = db();
+        let truth = vec![ResolvedPackage::direct(
+            "numpy",
+            Version::parse("1.19.2").unwrap(),
+        )];
+        let empty = Sbom::new("t", "1"); // the tool dropped the dependency
+        let report = assess(&db, &empty, &truth);
+        assert_eq!(report.missed.len(), 1);
+        assert_eq!(report.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn range_text_cannot_match() {
+        let db = db();
+        let truth = vec![ResolvedPackage::direct(
+            "numpy",
+            Version::parse("1.19.2").unwrap(),
+        )];
+        let mut sbom = Sbom::new("t", "1");
+        // GitHub DG-style verbatim range: unmatchable by scanners.
+        sbom.push(Component::new(Ecosystem::Python, "numpy", Some(">=1.19".into())));
+        let report = assess(&db, &sbom, &truth);
+        assert_eq!(report.missed.len(), 1);
+        assert!(report.detected.is_empty());
+    }
+
+    #[test]
+    fn wrong_version_is_false_alarm_plus_miss() {
+        let db = db();
+        // Installed version is safe (>= fix), but the SBOM claims an old,
+        // vulnerable one.
+        let truth = vec![ResolvedPackage::direct(
+            "numpy",
+            Version::parse("1.25.2").unwrap(),
+        )];
+        let mut sbom = Sbom::new("t", "1");
+        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
+        let report = assess(&db, &sbom, &truth);
+        assert!(report.actual.is_empty());
+        assert_eq!(report.false_alarms.len(), 1);
+        assert!(report.false_alarm_rate() > 0.99);
+    }
+}

@@ -1,0 +1,87 @@
+//! Differential audit: run the four studied tools over a synthetic corpus
+//! and compute the paper's §III metrics — pairwise Jaccard similarity,
+//! package counts, duplicate rates — for one language.
+//!
+//! ```sh
+//! cargo run --release --example differential_audit -- [language] [repos]
+//! ```
+
+use sbomdiff::corpus::{Corpus, CorpusConfig};
+use sbomdiff::diff::{duplicate_rate, jaccard, key_set, Histogram, TextTable};
+use sbomdiff::generators::{SbomGenerator, ToolEmulator};
+use sbomdiff::registry::Registries;
+use sbomdiff::types::Sbom;
+use sbomdiff::Ecosystem;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let eco: Ecosystem = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Ecosystem::Python);
+    let repos: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    println!("building registry and a {repos}-repository {eco} corpus...");
+    let registries = Registries::generate(7);
+    let corpus = Corpus::build_language(
+        &registries,
+        &CorpusConfig {
+            repos_per_language: repos,
+            seed: 99,
+        },
+        eco,
+    );
+
+    let tools = [
+        ToolEmulator::trivy(),
+        ToolEmulator::syft(),
+        ToolEmulator::sbom_tool(&registries, 0.12),
+        ToolEmulator::github_dg(),
+    ];
+    let sboms: Vec<Vec<Sbom>> = corpus
+        .iter()
+        .map(|repo| tools.iter().map(|t| t.generate(repo)).collect())
+        .collect();
+
+    // Package counts per tool (Fig. 1's series).
+    let mut counts = TextTable::new(["Tool", "total", "mean/repo", "duplicate rate"]);
+    for (i, tool) in tools.iter().enumerate() {
+        let total: usize = sboms.iter().map(|s| s[i].len()).sum();
+        let dup = duplicate_rate(sboms.iter().map(|s| &s[i]));
+        counts.row([
+            tool.id().label().to_string(),
+            total.to_string(),
+            format!("{:.1}", total as f64 / repos as f64),
+            format!("{:.1}%", dup * 100.0),
+        ]);
+    }
+    println!("\n{counts}");
+
+    // Pairwise Jaccard similarity (Fig. 2's distributions).
+    let labels = ["Trivy", "Syft", "sbom-tool", "GitHub DG"];
+    println!("pairwise Jaccard similarity over (name, version) sets:");
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            let mut hist = Histogram::unit();
+            let mut sum = 0.0;
+            let mut n = 0;
+            for s in &sboms {
+                if let Some(j) = jaccard(&key_set(&s[a]), &key_set(&s[b])) {
+                    hist.add(j);
+                    sum += j;
+                    n += 1;
+                }
+            }
+            let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+            println!(
+                "  {:9} vs {:9}  mean {:.3}   {:>4.0}% of pairs below 0.5   ({} repos)",
+                labels[a],
+                labels[b],
+                mean,
+                hist.share_below(0.5) * 100.0,
+                n
+            );
+        }
+    }
+    println!("\nthe overwhelming dissimilarity across tools is the paper's core finding (§IV-B).");
+}

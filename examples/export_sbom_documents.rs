@@ -1,0 +1,65 @@
+//! Export SBOMs as CycloneDX 1.5 and SPDX 2.3 JSON documents, then parse
+//! them back and diff them — the interchange layer the studied tools use
+//! (§III-B).
+//!
+//! ```sh
+//! cargo run --example export_sbom_documents
+//! ```
+
+use sbomdiff::generators::{BestPracticeGenerator, SbomGenerator, ToolEmulator};
+use sbomdiff::metadata::RepoFs;
+use sbomdiff::registry::Registries;
+use sbomdiff::sbomfmt::SbomFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut repo = RepoFs::new("export-demo");
+    repo.add_text(
+        "Cargo.toml",
+        "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = \"1.0\"\nrand = \"0.8\"\n",
+    );
+    repo.add_text(
+        "Cargo.lock",
+        "version = 3\n\n[[package]]\nname = \"serde\"\nversion = \"1.0.188\"\n\n[[package]]\nname = \"rand\"\nversion = \"0.8.5\"\n",
+    );
+
+    let registries = Registries::generate(11);
+    let out_dir = std::path::Path::new("target/sbom-exports");
+    std::fs::create_dir_all(out_dir)?;
+
+    for generator in [
+        Box::new(ToolEmulator::trivy()) as Box<dyn SbomGenerator>,
+        Box::new(ToolEmulator::github_dg()),
+        Box::new(BestPracticeGenerator::new(&registries)),
+    ] {
+        let sbom = generator.generate(&repo);
+        let label = generator.id().label().replace([' ', '-'], "_");
+
+        let cdx = SbomFormat::CycloneDx.serialize(&sbom);
+        let spdx = SbomFormat::Spdx.serialize(&sbom);
+        let cdx_path = out_dir.join(format!("{label}.cdx.json"));
+        let spdx_path = out_dir.join(format!("{label}.spdx.json"));
+        std::fs::write(&cdx_path, &cdx)?;
+        std::fs::write(&spdx_path, &spdx)?;
+
+        // Round-trip both documents and verify the component sets agree.
+        let back_cdx = SbomFormat::CycloneDx.parse(&cdx)?;
+        let back_spdx = SbomFormat::Spdx.parse(&spdx)?;
+        assert_eq!(back_cdx.len(), sbom.len());
+        assert_eq!(back_spdx.len(), sbom.len());
+
+        println!(
+            "{:15} {} component(s) -> {} / {}",
+            generator.id().label(),
+            sbom.len(),
+            cdx_path.display(),
+            spdx_path.display()
+        );
+        for c in sbom.components() {
+            if let Some(purl) = &c.purl {
+                println!("   {purl}");
+            }
+        }
+    }
+    println!("\ndocuments are deterministic: re-running produces byte-identical files.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: scan one repository with all five generators and print what
+//! each reports — the paper's §V findings in 80 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sbomdiff::generators::{BestPracticeGenerator, SbomGenerator, ToolEmulator};
+use sbomdiff::metadata::RepoFs;
+use sbomdiff::registry::Registries;
+
+fn main() {
+    // A small Python project: pinned, ranged, bare, extras and marker
+    // declarations plus a dev-requirements file.
+    let mut repo = RepoFs::new("quickstart-demo");
+    repo.add_text(
+        "requirements.txt",
+        "\
+# production dependencies
+numpy==1.19.2
+requests[security]>=2.8.1
+flask
+pywin32==306; sys_platform == 'win32'
+",
+    );
+    repo.add_text("requirements-dev.txt", "pytest==7.4.0\n");
+
+    let registries = Registries::generate(42);
+    let generators: Vec<Box<dyn SbomGenerator>> = vec![
+        Box::new(ToolEmulator::trivy()),
+        Box::new(ToolEmulator::syft()),
+        Box::new(ToolEmulator::sbom_tool(&registries, 0.0)),
+        Box::new(ToolEmulator::github_dg()),
+        Box::new(BestPracticeGenerator::new(&registries)),
+    ];
+
+    println!("repository: {} ({} files)\n", repo.name(), repo.len());
+    for generator in &generators {
+        let sbom = generator.generate(&repo);
+        println!(
+            "== {} reports {} component(s)",
+            generator.id().label(),
+            sbom.len()
+        );
+        for c in sbom.components() {
+            let version = c.version.as_deref().unwrap_or("(no version)");
+            println!("   {:30} {:18} from {}", c.name, version, c.found_in);
+        }
+        println!();
+    }
+
+    println!("observations (matching the paper's §V):");
+    println!(" * Trivy/Syft keep only the ==-pinned declarations;");
+    println!(" * GitHub DG reports ranges verbatim and bare names without versions;");
+    println!(" * sbom-tool pins latest-in-range via the registry and adds transitives;");
+    println!(" * the best-practice generator resolves everything and merges duplicates.");
+}

@@ -1,0 +1,142 @@
+//! `sbomdiff` CLI: scan a real directory the way each studied SBOM tool
+//! would, emit CycloneDX/SPDX, or diff all tools' views of the same tree.
+//!
+//! ```text
+//! sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
+//!                     [--format cyclonedx|spdx] [--seed N]
+//! sbomdiff diff <dir> [--seed N]
+//! ```
+
+use sbomdiff::generators::{
+    BestPracticeGenerator, SbomGenerator, ToolEmulator,
+};
+use sbomdiff::metadata::RepoFs;
+use sbomdiff::registry::Registries;
+use sbomdiff::sbomfmt::SbomFormat;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut dir = None;
+    let mut tool = "best-practice".to_string();
+    let mut format = SbomFormat::CycloneDx;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tool" => {
+                i += 1;
+                tool = args.get(i).cloned().unwrap_or_default();
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("spdx") => SbomFormat::Spdx,
+                    _ => SbomFormat::CycloneDx,
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+            }
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(command), Some(dir)) = (command, dir) else {
+        eprintln!("usage: sbomdiff <scan|diff> <dir> [--tool NAME] [--format cyclonedx|spdx] [--seed N]");
+        std::process::exit(2);
+    };
+    let repo = match RepoFs::from_dir(&dir) {
+        Ok(repo) => repo,
+        Err(e) => {
+            eprintln!("error reading {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[sbomdiff] {}: {} metadata file(s) found",
+        repo.name(),
+        repo.metadata_files().len()
+    );
+    let registries = Registries::generate(seed);
+
+    match command.as_str() {
+        "scan" => {
+            let generator: Box<dyn SbomGenerator + '_> = match tool.as_str() {
+                "trivy" => Box::new(ToolEmulator::trivy()),
+                "syft" => Box::new(ToolEmulator::syft()),
+                "sbom-tool" => Box::new(ToolEmulator::sbom_tool(&registries, 0.0)),
+                "github-dg" | "github" => Box::new(ToolEmulator::github_dg()),
+                "best-practice" => Box::new(BestPracticeGenerator::new(&registries)),
+                other => {
+                    eprintln!("unknown tool: {other} (trivy|syft|sbom-tool|github-dg|best-practice)");
+                    std::process::exit(2);
+                }
+            };
+            let sbom = generator.generate(&repo);
+            eprintln!(
+                "[sbomdiff] {} profile reports {} component(s)",
+                generator.id().label(),
+                sbom.len()
+            );
+            println!("{}", format.serialize(&sbom));
+        }
+        "diff" => {
+            use sbomdiff::diff::{jaccard, key_set, TextTable};
+            let tools = sbomdiff::generators::studied_tools(&registries, 0.0);
+            let sboms: Vec<_> = tools.iter().map(|t| t.generate(&repo)).collect();
+            let mut counts = TextTable::new(["Tool", "components", "duplicates"]);
+            for (t, s) in tools.iter().zip(&sboms) {
+                counts.row([
+                    t.id().label().to_string(),
+                    s.len().to_string(),
+                    s.duplicate_entries().to_string(),
+                ]);
+            }
+            println!("{counts}");
+            let mut pairs = TextTable::new(["Pair", "Jaccard"]);
+            for a in 0..sboms.len() {
+                for b in (a + 1)..sboms.len() {
+                    let j = jaccard(&key_set(&sboms[a]), &key_set(&sboms[b]));
+                    pairs.row([
+                        format!("{} vs {}", tools[a].id().label(), tools[b].id().label()),
+                        j.map(|j| format!("{j:.3}")).unwrap_or_else(|| "-".into()),
+                    ]);
+                }
+            }
+            println!("{pairs}");
+            // Show the disagreements concretely: keys reported by exactly
+            // one tool.
+            for (t, s) in tools.iter().zip(&sboms) {
+                let mine = key_set(s);
+                let others: std::collections::BTreeSet<_> = sboms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| tools[*i].id() != t.id())
+                    .flat_map(|(_, other)| key_set(other))
+                    .collect();
+                let unique: Vec<_> = mine.difference(&others).take(5).collect();
+                if !unique.is_empty() {
+                    println!("only {} sees:", t.id().label());
+                    for k in unique {
+                        println!("  {k}");
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Smoke tests for the `sbomdiff` CLI binary (scan / diff over a real
+//! directory tree).
+
+use std::process::Command;
+
+fn demo_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbomdiff-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("svc")).unwrap();
+    std::fs::write(
+        dir.join("requirements.txt"),
+        "numpy==1.19.2\nrequests>=2.8.1\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("svc").join("Cargo.lock"),
+        "version = 3\n\n[[package]]\nname = \"serde\"\nversion = \"1.0.188\"\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn scan_emits_parseable_cyclonedx() {
+    let dir = demo_dir("scan");
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args(["scan", dir.to_str().unwrap(), "--tool", "trivy"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let sbom = sbomdiff::sbomfmt::SbomFormat::CycloneDx
+        .parse(&stdout)
+        .expect("CLI output is valid CycloneDX");
+    // Trivy: the pinned numpy plus the Cargo.lock serde.
+    let names: Vec<&str> = sbom.components().iter().map(|c| c.name.as_str()).collect();
+    assert!(names.contains(&"numpy"), "{names:?}");
+    assert!(names.contains(&"serde"), "{names:?}");
+}
+
+#[test]
+fn scan_spdx_format_flag() {
+    let dir = demo_dir("spdx");
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args([
+            "scan",
+            dir.to_str().unwrap(),
+            "--tool",
+            "github-dg",
+            "--format",
+            "spdx",
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let sbom = sbomdiff::sbomfmt::SbomFormat::Spdx
+        .parse(&stdout)
+        .expect("CLI output is valid SPDX");
+    assert!(sbom.len() >= 3); // numpy + requests(range) + serde
+}
+
+#[test]
+fn diff_prints_tool_disagreements() {
+    let dir = demo_dir("diff");
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args(["diff", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("Trivy"));
+    assert!(stdout.contains("Jaccard"));
+    assert!(stdout.contains("sbom-tool"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args(["scan", "/definitely/not/a/dir"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+}

@@ -1,0 +1,163 @@
+//! Robustness: no generator may panic on malformed, truncated, or
+//! adversarial metadata — the attack surface §VI probes. Every metadata
+//! file type is fed garbage, binary noise, and mutated real content.
+
+use proptest::prelude::*;
+
+use sbomdiff::generators::{studied_tools, BestPracticeGenerator, SbomGenerator};
+use sbomdiff::metadata::{MetadataKind, RepoFs};
+use sbomdiff::registry::Registries;
+
+fn all_metadata_paths() -> Vec<&'static str> {
+    vec![
+        "go.mod",
+        "go.sum",
+        "app.gobin",
+        "pom.xml",
+        "gradle.lockfile",
+        "META-INF/MANIFEST.MF",
+        "pom.properties",
+        "package.json",
+        "package-lock.json",
+        "yarn.lock",
+        "pnpm-lock.yaml",
+        "composer.json",
+        "composer.lock",
+        "requirements.txt",
+        "requirements-dev.txt",
+        "poetry.lock",
+        "Pipfile.lock",
+        "setup.py",
+        "pyproject.toml",
+        "setup.cfg",
+        "Gemfile",
+        "Gemfile.lock",
+        "app.gemspec",
+        "Cargo.toml",
+        "Cargo.lock",
+        "app.rustbin",
+        "Package.swift",
+        "Package.resolved",
+        "Podfile",
+        "Podfile.lock",
+        "App.csproj",
+        "packages.config",
+        "packages.lock.json",
+    ]
+}
+
+#[test]
+fn every_kind_is_covered_by_the_fuzz_paths() {
+    let covered: std::collections::BTreeSet<MetadataKind> = all_metadata_paths()
+        .iter()
+        .filter_map(|p| MetadataKind::detect(p))
+        .collect();
+    assert_eq!(covered.len(), MetadataKind::ALL.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Arbitrary text in every metadata file: nothing panics, and outputs
+    /// stay structurally sane.
+    #[test]
+    fn tools_never_panic_on_garbage_text(content in "\\PC{0,300}") {
+        let regs = Registries::generate(3);
+        let mut repo = RepoFs::new("fuzz-text");
+        for path in all_metadata_paths() {
+            repo.add_text(path, content.clone());
+        }
+        for tool in studied_tools(&regs, 0.3) {
+            let sbom = tool.generate(&repo);
+            for c in sbom.components() {
+                prop_assert!(!c.name.is_empty(), "{} emitted empty name", tool.id());
+            }
+        }
+        let _ = BestPracticeGenerator::new(&regs).generate(&repo);
+    }
+
+    /// Arbitrary bytes (including invalid UTF-8) in every metadata file.
+    #[test]
+    fn tools_never_panic_on_binary_noise(content in prop::collection::vec(any::<u8>(), 0..400)) {
+        let regs = Registries::generate(3);
+        let mut repo = RepoFs::new("fuzz-bytes");
+        for path in all_metadata_paths() {
+            repo.add_bytes(path, content.clone());
+        }
+        for tool in studied_tools(&regs, 0.0) {
+            let _ = tool.generate(&repo);
+        }
+    }
+
+    /// Truncation fuzzing: valid metadata cut at arbitrary byte offsets.
+    #[test]
+    fn tools_never_panic_on_truncated_metadata(cut in 0usize..100) {
+        let regs = Registries::generate(3);
+        let originals: Vec<(&str, String)> = vec![
+            ("requirements.txt", "numpy==1.19.2\nrequests[security]>=2.8.1; python_version >= '3'\n-r other.txt\n".into()),
+            ("package-lock.json", "{\"lockfileVersion\": 3, \"packages\": {\"node_modules/a\": {\"version\": \"1.0.0\"}}}".into()),
+            ("Cargo.toml", "[package]\nname = \"x\"\n[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\n".into()),
+            ("pom.xml", "<project><dependencies><dependency><groupId>g</groupId><artifactId>a</artifactId><version>1</version></dependency></dependencies></project>".into()),
+            ("pnpm-lock.yaml", "lockfileVersion: '6.0'\npackages:\n  /a@1.0.0:\n    dev: false\n".into()),
+            ("Podfile.lock", "PODS:\n  - A/Sub (1.0.0):\n    - B (= 1.0)\nDEPENDENCIES:\n  - A/Sub\n".into()),
+        ];
+        let mut repo = RepoFs::new("fuzz-trunc");
+        for (path, content) in &originals {
+            let mut cut_at = (cut * content.len() / 100).min(content.len());
+            while cut_at > 0 && !content.is_char_boundary(cut_at) {
+                cut_at -= 1;
+            }
+            repo.add_text(*path, &content[..cut_at]);
+        }
+        for tool in studied_tools(&regs, 0.0) {
+            let _ = tool.generate(&repo);
+        }
+    }
+
+    /// Hostile names/versions flow through serialization unharmed.
+    #[test]
+    fn sbom_documents_survive_hostile_strings(
+        name in "[\\PC&&[^\\x00]]{1,30}",
+        version in "\\PC{0,20}",
+    ) {
+        use sbomdiff::sbomfmt::SbomFormat;
+        use sbomdiff::types::{Component, Sbom};
+        let mut sbom = Sbom::new("fuzz", "0").with_subject("s");
+        sbom.push(Component::new(
+            sbomdiff::Ecosystem::Python,
+            name.clone(),
+            Some(version.clone()),
+        ));
+        for format in [SbomFormat::CycloneDx, SbomFormat::Spdx] {
+            let text = format.serialize(&sbom);
+            let back = format.parse(&text).expect("own output must parse");
+            prop_assert_eq!(back.components()[0].name.as_str(), name.as_str());
+            prop_assert_eq!(back.components()[0].version.as_deref(), Some(version.as_str()));
+        }
+    }
+}
+
+/// Higher registry failure rates can only shrink sbom-tool's output.
+#[test]
+fn sbom_tool_failure_rate_is_monotone() {
+    use sbomdiff::generators::ToolEmulator;
+    let regs = Registries::generate(8);
+    let mut repo = RepoFs::new("monotone");
+    repo.add_text(
+        "requirements.txt",
+        "requests>=2.8.1\nflask\nnumpy==1.19.2\n",
+    );
+    let full = ToolEmulator::sbom_tool(&regs, 0.0).generate(&repo).len();
+    let mut prev = full;
+    for rate in [0.2, 0.5, 0.9, 1.0] {
+        let n = ToolEmulator::sbom_tool(&regs, rate).generate(&repo).len();
+        assert!(n <= full, "rate {rate}: {n} > {full}");
+        let _ = prev;
+        prev = n;
+    }
+    assert_eq!(
+        ToolEmulator::sbom_tool(&regs, 1.0).generate(&repo).len(),
+        0,
+        "total outage must yield an empty SBOM"
+    );
+}

@@ -1,0 +1,84 @@
+//! VEX companion-artifact flow (§II): assess SBOMs against advisories,
+//! emit an OpenVEX document, and round-trip it.
+
+use sbomdiff::generators::{studied_tools, SbomGenerator};
+use sbomdiff::metadata::RepoFs;
+use sbomdiff::registry::Registries;
+use sbomdiff::resolver::{dry_run, Platform};
+use sbomdiff::sbomfmt::{VexDocument, VexStatement, VexStatus};
+use sbomdiff::vuln::AdvisoryDb;
+
+#[test]
+fn impact_assessment_flows_into_vex() {
+    let regs = Registries::generate(404);
+    let db = AdvisoryDb::generate(&regs, 2, 0.5);
+    let mut repo = RepoFs::new("vex-demo");
+    repo.add_text("requirements.txt", "numpy==1.19.2\nrequests>=2.8.1\n");
+    let registry = regs.for_ecosystem(sbomdiff::Ecosystem::Python);
+    let truth = dry_run(
+        registry,
+        &repo.text_files(),
+        "requirements.txt",
+        &Platform::default(),
+    );
+
+    for tool in studied_tools(&regs, 0.0) {
+        let sbom = tool.generate(&repo);
+        let report = sbomdiff::vuln::assess(&db, &sbom, &truth.installed);
+        let mut vex = VexDocument::new(tool.id().label());
+        for (advisory_id, status) in report.to_vex_statements() {
+            vex.push(VexStatement {
+                vulnerability: advisory_id,
+                products: sbom
+                    .components()
+                    .iter()
+                    .filter_map(|c| c.purl.as_ref().map(|p| p.to_string()))
+                    .take(1)
+                    .collect(),
+                status: if status == "affected" {
+                    VexStatus::Affected
+                } else {
+                    VexStatus::NotAffected
+                },
+                justification: None,
+            });
+        }
+        let text = vex.to_string_pretty();
+        let back = VexDocument::parse(&text).expect("own VEX parses");
+        assert_eq!(back, vex, "{} VEX roundtrip", tool.id());
+        assert_eq!(
+            back.statements.len(),
+            report.detected.len() + report.missed.len() + report.false_alarms.len()
+        );
+    }
+}
+
+#[test]
+fn vex_statuses_partition_findings() {
+    let regs = Registries::generate(404);
+    let db = AdvisoryDb::generate(&regs, 2, 0.5);
+    let mut repo = RepoFs::new("vex-partition");
+    repo.add_text(
+        "requirements.txt",
+        "numpy==1.19.2\n",
+    );
+    repo.add_text("requirements-dev.txt", "pytest==7.0.0\n");
+    let registry = regs.for_ecosystem(sbomdiff::Ecosystem::Python);
+    let truth = dry_run(
+        registry,
+        &repo.text_files(),
+        "requirements.txt",
+        &Platform::default(),
+    );
+    let trivy = &studied_tools(&regs, 0.0)[0];
+    let sbom = trivy.generate(&repo);
+    let report = sbomdiff::vuln::assess(&db, &sbom, &truth.installed);
+    let statements = report.to_vex_statements();
+    let affected = statements.iter().filter(|(_, s)| *s == "affected").count();
+    let not_affected = statements
+        .iter()
+        .filter(|(_, s)| *s == "not_affected")
+        .count();
+    assert_eq!(affected, report.detected.len() + report.missed.len());
+    assert_eq!(not_affected, report.false_alarms.len());
+}
