@@ -48,8 +48,7 @@ pub fn run_campaign(
         ToolEmulator::sbom_tool(registries, 0.0),
         ToolEmulator::github_dg(),
     ];
-    let concealed =
-        sbomdiff_types::name::normalize(Ecosystem::Python, sample.concealed);
+    let concealed = sbomdiff_types::name::normalize(Ecosystem::Python, sample.concealed);
     let mut report = CampaignReport::default();
     for repo in repos {
         let Some(existing) = repo.text("requirements.txt") else {
@@ -69,9 +68,10 @@ pub fn run_campaign(
         report.repos_attacked += 1;
         for (i, tool) in tools.iter().enumerate() {
             let sbom = tool.generate(&attacked);
-            let found = sbom.components().iter().any(|c| {
-                sbomdiff_types::name::normalize(Ecosystem::Python, &c.name) == concealed
-            });
+            let found = sbom
+                .components()
+                .iter()
+                .any(|c| sbomdiff_types::name::normalize(Ecosystem::Python, &c.name) == concealed);
             if !found {
                 report.evasions[i] += 1;
             }

@@ -324,8 +324,7 @@ mod tests {
     #[test]
     fn table_iv_has_six_rows() {
         assert_eq!(TABLE_IV_SAMPLES.len(), 6);
-        let ids: std::collections::BTreeSet<&str> =
-            TABLE_IV_SAMPLES.iter().map(|s| s.id).collect();
+        let ids: std::collections::BTreeSet<&str> = TABLE_IV_SAMPLES.iter().map(|s| s.id).collect();
         assert_eq!(ids.len(), 6);
     }
 
@@ -348,13 +347,19 @@ mod tests {
     #[test]
     fn expectation_matching() {
         assert!(Expectation::Nothing.matches(&CellOutcome::Missed));
-        assert!(!Expectation::Nothing
-            .matches(&CellOutcome::Detected("x".into(), Some("1".into()))));
-        assert!(Expectation::Reports("numpy", Some("1.25.2"))
-            .matches(&CellOutcome::Detected("numpy".into(), Some("1.25.2".into()))));
-        assert!(!Expectation::Reports("numpy", Some("1.25.2"))
-            .matches(&CellOutcome::Detected("numpy".into(), Some("1.19.2".into()))));
-        assert!(Expectation::ReportsNameOnly("x")
-            .matches(&CellOutcome::Detected("x".into(), None)));
+        assert!(!Expectation::Nothing.matches(&CellOutcome::Detected("x".into(), Some("1".into()))));
+        assert!(
+            Expectation::Reports("numpy", Some("1.25.2")).matches(&CellOutcome::Detected(
+                "numpy".into(),
+                Some("1.25.2".into())
+            ))
+        );
+        assert!(
+            !Expectation::Reports("numpy", Some("1.25.2")).matches(&CellOutcome::Detected(
+                "numpy".into(),
+                Some("1.19.2".into())
+            ))
+        );
+        assert!(Expectation::ReportsNameOnly("x").matches(&CellOutcome::Detected("x".into(), None)));
     }
 }

@@ -68,8 +68,7 @@ pub fn evaluate_sample(sample: &AttackSample, registries: &Registries) -> Sample
         CellOutcome::Missed,
         CellOutcome::Missed,
     ];
-    let concealed_canonical =
-        sbomdiff_types::name::normalize(sample.ecosystem, sample.concealed);
+    let concealed_canonical = sbomdiff_types::name::normalize(sample.ecosystem, sample.concealed);
     for (i, tool) in tools.iter().enumerate() {
         let sbom = tool.generate(&repo);
         // The cell shows what (if anything) the tool reported for the
@@ -102,10 +101,7 @@ pub fn evaluate_sample(sample: &AttackSample, registries: &Registries) -> Sample
 
 /// Evaluates the whole Table IV (plus extended and cross-ecosystem
 /// samples when requested).
-pub fn evaluate_catalog(
-    registries: &Registries,
-    include_extended: bool,
-) -> Vec<SampleOutcome> {
+pub fn evaluate_catalog(registries: &Registries, include_extended: bool) -> Vec<SampleOutcome> {
     let mut out: Vec<SampleOutcome> = crate::catalog::TABLE_IV_SAMPLES
         .iter()
         .map(|s| evaluate_sample(s, registries))

@@ -66,9 +66,7 @@ fn fig2_pipeline(c: &mut Criterion) {
             for sboms in &f.sboms {
                 for a in 0..4 {
                     for bx in (a + 1)..4 {
-                        if let Some(j) =
-                            jaccard(&key_set(&sboms[a]), &key_set(&sboms[bx]))
-                        {
+                        if let Some(j) = jaccard(&key_set(&sboms[a]), &key_set(&sboms[bx])) {
                             sum += j;
                         }
                     }
@@ -151,8 +149,7 @@ fn vulnimpact_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut missed = 0usize;
             for (repo, sboms) in f.repos.iter().zip(&f.sboms) {
-                let truth =
-                    dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
+                let truth = dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
                 for sbom in sboms {
                     missed += sbomdiff_vuln::assess(&db, sbom, &truth.installed)
                         .missed

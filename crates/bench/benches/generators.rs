@@ -6,9 +6,7 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sbomdiff_corpus::{Corpus, CorpusConfig};
-use sbomdiff_generators::{
-    BestPracticeGenerator, SbomGenerator, ToolEmulator,
-};
+use sbomdiff_generators::{BestPracticeGenerator, SbomGenerator, ToolEmulator};
 use sbomdiff_registry::Registries;
 use sbomdiff_types::Ecosystem;
 

@@ -14,9 +14,7 @@ fn requirements_input(lines: usize) -> String {
             1 => out.push_str(&format!("package-{i}>={}.0\n", i % 9)),
             2 => out.push_str(&format!("package-{i}\n")),
             3 => out.push_str(&format!("package-{i}[extra]~=2.{}\n", i % 5)),
-            _ => out.push_str(&format!(
-                "package-{i}>=1.0,<2.0; python_version >= '3.8'\n"
-            )),
+            _ => out.push_str(&format!("package-{i}>=1.0,<2.0; python_version >= '3.8'\n")),
         }
     }
     out
@@ -42,8 +40,7 @@ fn bench_requirements(c: &mut Criterion) {
 fn bench_lockfiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("lockfiles");
 
-    let mut package_lock =
-        String::from("{\"lockfileVersion\": 3, \"packages\": {\"\": {},");
+    let mut package_lock = String::from("{\"lockfileVersion\": 3, \"packages\": {\"\": {},");
     for i in 0..300 {
         package_lock.push_str(&format!(
             "\"node_modules/pkg-{i}\": {{\"version\": \"1.{}.{}\", \"dev\": {}}},",

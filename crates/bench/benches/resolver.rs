@@ -27,10 +27,7 @@ fn bench_universe_generation(c: &mut Criterion) {
 }
 
 fn bench_resolution(c: &mut Criterion) {
-    let uni = PackageUniverse::generate(&UniverseConfig::for_ecosystem(
-        Ecosystem::JavaScript,
-        7,
-    ));
+    let uni = PackageUniverse::generate(&UniverseConfig::for_ecosystem(Ecosystem::JavaScript, 7));
     let names: Vec<String> = uni.package_names().map(str::to_string).collect();
     let roots: Vec<RootDep> = names
         .iter()

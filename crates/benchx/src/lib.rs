@@ -50,6 +50,10 @@ mod tests {
         let bp = run(&sbomdiff_generators::BestPracticeGenerator::new(&regs));
         let trivy = run(&ToolEmulator::trivy());
         assert!(bp.name_recall() >= trivy.name_recall());
-        assert!(bp.name_recall() > 0.8, "best practice recall {:.2}", bp.name_recall());
+        assert!(
+            bp.name_recall() > 0.8,
+            "best practice recall {:.2}",
+            bp.name_recall()
+        );
     }
 }

@@ -44,7 +44,10 @@ pub fn gen_repo(
     rng: &mut StdRng,
     index: usize,
 ) -> RepoFs {
-    let name = format!("{}-repo-{index:04}", eco.label().to_lowercase().replace('.', ""));
+    let name = format!(
+        "{}-repo-{index:04}",
+        eco.label().to_lowercase().replace('.', "")
+    );
     let mut repo = RepoFs::new(name);
     match eco {
         Ecosystem::Python => gen_python(registry, rng, &mut repo),
@@ -99,7 +102,11 @@ fn resolve_rows(
         .map(|(name, req, dev)| RootDep {
             name: name.clone(),
             req: req.clone(),
-            scope: if *dev { DepScope::Dev } else { DepScope::Runtime },
+            scope: if *dev {
+                DepScope::Dev
+            } else {
+                DepScope::Runtime
+            },
             extras: Vec::new(),
         })
         .collect();
@@ -152,11 +159,7 @@ fn display_spelling(name: &str, rng: &mut StdRng) -> String {
     out
 }
 
-fn python_dep_line(
-    name: &str,
-    versions: &[&Version],
-    rng: &mut StdRng,
-) -> PyLine {
+fn python_dep_line(name: &str, versions: &[&Version], rng: &mut StdRng) -> PyLine {
     let display = display_spelling(name, rng);
     let name = display.as_str();
     let v = pick_version(versions, rng);
@@ -312,7 +315,11 @@ fn gen_python(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
         repo.add_text("setup.py", render::setup_py(&reqs));
     }
     // Subprojects sharing dependencies (→ Table I duplicates).
-    let n_sub = if rng.gen_bool(0.35) { rng.gen_range(1..3) } else { 0 };
+    let n_sub = if rng.gen_bool(0.35) {
+        rng.gen_range(1..3)
+    } else {
+        0
+    };
     for s in 0..n_sub {
         let n_4 = rng.gen_range(2..9);
         let (text, _) = gen_requirements(registry, rng, n_4, false);
@@ -351,7 +358,9 @@ fn gen_package_json(
     let mut runtime = Vec::new();
     let mut dev = Vec::new();
     let mut roots = Vec::new();
-    for (i, (name, versions)) in pick(registry, rng, n_runtime + n_dev).into_iter().enumerate()
+    for (i, (name, versions)) in pick(registry, rng, n_runtime + n_dev)
+        .into_iter()
+        .enumerate()
     {
         let v = pick_version(&versions, rng);
         let spec = js_spec(v, rng);
@@ -406,26 +415,19 @@ fn gen_javascript(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoF
 
     if has_lockfile {
         let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
-        let add_lock = |repo: &mut RepoFs, kind: u32, prefix: &str, rows: &[LockRow]| {
-            match kind {
-                0 => repo.add_text(
-                    format!("{prefix}package-lock.json"),
-                    render::package_lock(rows),
-                ),
-                1 => {
-                    let yarn_rows: Vec<(String, String, String)> = rows
-                        .iter()
-                        .map(|r| {
-                            (r.name.clone(), format!("^{}", r.version), r.version.clone())
-                        })
-                        .collect();
-                    repo.add_text(format!("{prefix}yarn.lock"), render::yarn_lock(&yarn_rows));
-                }
-                _ => repo.add_text(
-                    format!("{prefix}pnpm-lock.yaml"),
-                    render::pnpm_lock(rows),
-                ),
+        let add_lock = |repo: &mut RepoFs, kind: u32, prefix: &str, rows: &[LockRow]| match kind {
+            0 => repo.add_text(
+                format!("{prefix}package-lock.json"),
+                render::package_lock(rows),
+            ),
+            1 => {
+                let yarn_rows: Vec<(String, String, String)> = rows
+                    .iter()
+                    .map(|r| (r.name.clone(), format!("^{}", r.version), r.version.clone()))
+                    .collect();
+                repo.add_text(format!("{prefix}yarn.lock"), render::yarn_lock(&yarn_rows));
             }
+            _ => repo.add_text(format!("{prefix}pnpm-lock.yaml"), render::pnpm_lock(rows)),
         };
         let primary = match rng.gen_range(0..100) {
             0..=44 => 0,
@@ -441,11 +443,7 @@ fn gen_javascript(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoF
         }
         // Example apps sometimes commit their own lockfile.
         if rng.gen_bool(0.20) {
-            let sample: Vec<LockRow> = rows
-                .iter()
-                .take(rows.len().min(12))
-                .cloned()
-                .collect();
+            let sample: Vec<LockRow> = rows.iter().take(rows.len().min(12)).cloned().collect();
             add_lock(repo, primary, "examples/ex0/", &sample);
         }
     }
@@ -491,7 +489,10 @@ fn gen_ruby(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
             .take(5)
             .map(|(n, r, d)| (n.clone(), r.clone(), *d))
             .collect();
-        repo.add_text("synthetic.gemspec", render::gemspec("synthetic", &spec_entries));
+        repo.add_text(
+            "synthetic.gemspec",
+            render::gemspec("synthetic", &spec_entries),
+        );
     }
     // Engine/subgem layouts repeat a subset of the gems (§V-G duplicates).
     if rng.gen_bool(0.20) {
@@ -546,7 +547,10 @@ fn gen_php(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
             require.push((name.to_string(), spec));
         }
     }
-    repo.add_text("composer.json", render::composer_json(&require, &require_dev));
+    repo.add_text(
+        "composer.json",
+        render::composer_json(&require, &require_dev),
+    );
     let has_lock = rng.gen_bool(0.60);
     if has_lock {
         let rows = resolve_rows(registry, &roots, DedupPolicy::HighestWins);
@@ -561,11 +565,8 @@ fn gen_php(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
             render::composer_json(&sub_req, &[]),
         );
         if has_lock {
-            let sub_roots: Vec<(String, Option<VersionReq>, bool)> = roots
-                .iter()
-                .take(take)
-                .cloned()
-                .collect();
+            let sub_roots: Vec<(String, Option<VersionReq>, bool)> =
+                roots.iter().take(take).cloned().collect();
             let rows = resolve_rows(registry, &sub_roots, DedupPolicy::HighestWins);
             repo.add_text("packages/core/composer.lock", render::composer_lock(&rows));
         }
@@ -653,12 +654,7 @@ fn gen_go(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs) {
     }
 }
 
-fn gen_go_module(
-    registry: &PackageUniverse,
-    rng: &mut StdRng,
-    repo: &mut RepoFs,
-    prefix: &str,
-) {
+fn gen_go_module(registry: &PackageUniverse, rng: &mut StdRng, repo: &mut RepoFs, prefix: &str) {
     let n = rng.gen_range(3..12);
     let picked = pick(registry, rng, n);
     let mut direct = Vec::new();
@@ -939,7 +935,12 @@ mod tests {
     fn python_repo_has_requirements() {
         let regs = Registries::generate(7);
         let mut rng = StdRng::seed_from_u64(1);
-        let repo = gen_repo(Ecosystem::Python, regs.for_ecosystem(Ecosystem::Python), &mut rng, 0);
+        let repo = gen_repo(
+            Ecosystem::Python,
+            regs.for_ecosystem(Ecosystem::Python),
+            &mut rng,
+            0,
+        );
         assert!(repo.text("requirements.txt").is_some());
     }
 
@@ -988,7 +989,12 @@ mod tests {
     fn go_mod_marks_transitives_indirect() {
         let regs = Registries::generate(7);
         let mut rng = StdRng::seed_from_u64(5);
-        let repo = gen_repo(Ecosystem::Go, regs.for_ecosystem(Ecosystem::Go), &mut rng, 0);
+        let repo = gen_repo(
+            Ecosystem::Go,
+            regs.for_ecosystem(Ecosystem::Go),
+            &mut rng,
+            0,
+        );
         let text = repo.text("go.mod").unwrap();
         assert!(text.contains("require ("));
     }

@@ -55,29 +55,29 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Builds a corpus for all nine ecosystems (languages generated in
-    /// parallel; per-repository seeding keeps the result identical to a
+    /// Builds a corpus for all nine ecosystems using the default worker
+    /// count (per-repository seeding keeps the result byte-identical to a
     /// sequential build).
     pub fn build(registries: &Registries, config: &CorpusConfig) -> Self {
-        let mut repos = BTreeMap::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = Ecosystem::ALL
-                .into_iter()
-                .map(|eco| {
-                    let config = config.clone();
-                    (
-                        eco,
-                        scope.spawn(move |_| {
-                            Corpus::build_language(registries, &config, eco)
-                        }),
-                    )
-                })
-                .collect();
-            for (eco, handle) in handles {
-                repos.insert(eco, handle.join().expect("corpus worker panicked"));
-            }
-        })
-        .expect("corpus build scope");
+        Corpus::build_with_jobs(registries, config, sbomdiff_parallel::default_jobs())
+    }
+
+    /// Builds a corpus with an explicit worker count. The fan-out is over
+    /// individual `(ecosystem, index)` repositories, and each repository
+    /// owns an RNG stream derived from `(seed, ecosystem, index)`, so the
+    /// result does not depend on `jobs` or on scheduling.
+    pub fn build_with_jobs(registries: &Registries, config: &CorpusConfig, jobs: usize) -> Self {
+        let items: Vec<(Ecosystem, usize)> = Ecosystem::ALL
+            .into_iter()
+            .flat_map(|eco| (0..config.repos_per_language).map(move |i| (eco, i)))
+            .collect();
+        let generated = sbomdiff_parallel::par_map(jobs, &items, |_, &(eco, i)| {
+            gen_one(registries, config, eco, i)
+        });
+        let mut repos: BTreeMap<Ecosystem, Vec<RepoFs>> = BTreeMap::new();
+        for ((eco, _), repo) in items.into_iter().zip(generated) {
+            repos.entry(eco).or_default().push(repo);
+        }
         Corpus { repos }
     }
 
@@ -87,19 +87,19 @@ impl Corpus {
         config: &CorpusConfig,
         eco: Ecosystem,
     ) -> Vec<RepoFs> {
-        let registry = registries.for_ecosystem(eco);
-        let mut out = Vec::with_capacity(config.repos_per_language);
-        for i in 0..config.repos_per_language {
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add((eco as u64) << 32)
-                    .wrapping_add(i as u64),
-            );
-            out.push(gen::gen_repo(eco, registry, &mut rng, i));
-        }
-        out
+        Corpus::build_language_with_jobs(registries, config, eco, 1)
+    }
+
+    /// [`build_language`](Corpus::build_language) with an explicit worker
+    /// count; byte-identical for every `jobs` value.
+    pub fn build_language_with_jobs(
+        registries: &Registries,
+        config: &CorpusConfig,
+        eco: Ecosystem,
+        jobs: usize,
+    ) -> Vec<RepoFs> {
+        let indices: Vec<usize> = (0..config.repos_per_language).collect();
+        sbomdiff_parallel::par_map(jobs, &indices, |_, &i| gen_one(registries, config, eco, i))
     }
 
     /// Builds a corpus from pre-generated per-language repository lists
@@ -129,6 +129,20 @@ impl Corpus {
     }
 }
 
+/// Generates one repository from its `(seed, ecosystem, index)`-derived RNG
+/// stream — the unit of parallel work.
+fn gen_one(registries: &Registries, config: &CorpusConfig, eco: Ecosystem, i: usize) -> RepoFs {
+    let registry = registries.for_ecosystem(eco);
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((eco as u64) << 32)
+            .wrapping_add(i as u64),
+    );
+    gen::gen_repo(eco, registry, &mut rng, i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +163,26 @@ mod tests {
             for (x, y) in repos.iter().zip(other) {
                 assert_eq!(x, y, "{eco} corpus must be deterministic");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let regs = Registries::generate(11);
+        let config = CorpusConfig {
+            repos_per_language: 6,
+            seed: 9,
+        };
+        let sequential = Corpus::build_with_jobs(&regs, &config, 1);
+        for jobs in [2, 4, 9] {
+            let parallel = Corpus::build_with_jobs(&regs, &config, jobs);
+            for (eco, repos) in sequential.iter() {
+                assert_eq!(repos, parallel.language(eco), "jobs={jobs} {eco}");
+            }
+        }
+        // The per-language path produces the same repositories too.
+        for (eco, repos) in sequential.iter() {
+            assert_eq!(repos, Corpus::build_language(&regs, &config, eco));
         }
     }
 

@@ -61,7 +61,9 @@ impl CorpusStats {
             for (path, kind) in &metadata {
                 match kind {
                     MetadataKind::RequirementsTxt => {
-                        let Some(text) = repo.text(path) else { continue };
+                        let Some(text) = repo.text(path) else {
+                            continue;
+                        };
                         if text.lines().any(|l| l.trim_end().ends_with('\\')) {
                             saw_backslash = true;
                         }
@@ -80,10 +82,10 @@ impl CorpusStats {
                         }
                     }
                     MetadataKind::PackageJson => {
-                        let Some(text) = repo.text(path) else { continue };
-                        for dep in
-                            sbomdiff_metadata::javascript::parse_package_json(text)
-                        {
+                        let Some(text) = repo.text(path) else {
+                            continue;
+                        };
+                        for dep in sbomdiff_metadata::javascript::parse_package_json(text) {
                             pkg_total += 1;
                             if dep.scope == DepScope::Dev {
                                 dev += 1;
@@ -174,8 +176,7 @@ mod tests {
     #[test]
     fn javascript_calibration() {
         let c = corpus();
-        let stats =
-            CorpusStats::compute(Ecosystem::JavaScript, c.language(Ecosystem::JavaScript));
+        let stats = CorpusStats::compute(Ecosystem::JavaScript, c.language(Ecosystem::JavaScript));
         // Paper: 47% raw-only.
         assert!(
             (0.35..=0.60).contains(&stats.raw_only_share),

@@ -10,8 +10,7 @@ pub mod metrics;
 pub mod report;
 
 pub use metrics::{
-    duplicate_rate, jaccard, jaccard_canonical, key_set, key_set_canonical,
-    PrecisionRecall,
+    duplicate_rate, jaccard, jaccard_canonical, key_set, key_set_canonical, PrecisionRecall,
 };
 pub use report::{Histogram, TextTable};
 

@@ -165,9 +165,17 @@ mod tests {
     #[test]
     fn canonical_jaccard_forgives_v_prefix() {
         let mut a = Sbom::new("syft", "1");
-        a.push(Component::new(Ecosystem::Go, "github.com/a/b", Some("v1.0.0".into())));
+        a.push(Component::new(
+            Ecosystem::Go,
+            "github.com/a/b",
+            Some("v1.0.0".into()),
+        ));
         let mut b = Sbom::new("trivy", "1");
-        b.push(Component::new(Ecosystem::Go, "github.com/a/b", Some("1.0.0".into())));
+        b.push(Component::new(
+            Ecosystem::Go,
+            "github.com/a/b",
+            Some("1.0.0".into()),
+        ));
         // Exact keys disagree...
         assert_eq!(jaccard(&key_set(&a), &key_set(&b)), Some(0.0));
         // ...canonical keys agree (§V-E is purely cosmetic).
@@ -231,5 +239,87 @@ mod tests {
         assert_eq!(pr.recall(), 0.0);
         assert_eq!(pr.f1(), 0.0);
         assert_eq!(duplicate_rate(&[] as &[Sbom]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets_is_zero() {
+        let a = key_set(&sbom(&[("a", Some("1")), ("b", None)]));
+        let b = key_set(&sbom(&[("c", Some("2")), ("d", None)]));
+        assert_eq!(jaccard(&a, &b), Some(0.0));
+        // Canonicalization cannot create overlap out of disjoint names.
+        let sa = sbom(&[("a", Some("1"))]);
+        let sb = sbom(&[("c", Some("1"))]);
+        assert_eq!(jaccard_canonical(&sa, &sb), Some(0.0));
+    }
+
+    #[test]
+    fn jaccard_identical_sets_is_one_regardless_of_size() {
+        for n in [1usize, 3, 17] {
+            let entries: Vec<(String, Option<String>)> = (0..n)
+                .map(|i| (format!("pkg{i}"), Some(format!("{i}.0"))))
+                .collect();
+            let borrowed: Vec<(&str, Option<&str>)> = entries
+                .iter()
+                .map(|(name, v)| (name.as_str(), v.as_deref()))
+                .collect();
+            let s = key_set(&sbom(&borrowed));
+            assert_eq!(jaccard(&s, &s.clone()), Some(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn duplicate_rate_all_duplicates() {
+        // Every entry after the first of each SBOM is a duplicate: the rate
+        // approaches 1 but is (n - distinct)/n, never exactly 1.
+        let s = sbom(&[
+            ("x", Some("1")),
+            ("x", Some("1")),
+            ("x", Some("1")),
+            ("x", Some("1")),
+        ]);
+        let rate = duplicate_rate(&[s]);
+        assert!(
+            (rate - 0.75).abs() < 1e-9,
+            "3 duplicates over 4 entries, got {rate}"
+        );
+        // Two such SBOMs micro-average, not average-of-averages.
+        let sboms = vec![
+            sbom(&[("x", Some("1")), ("x", Some("1"))]),
+            sbom(&[
+                ("y", Some("2")),
+                ("y", Some("2")),
+                ("y", Some("2")),
+                ("y", Some("2")),
+            ]),
+        ];
+        let rate = duplicate_rate(&sboms);
+        assert!((rate - 4.0 / 6.0).abs() < 1e-9, "got {rate}");
+    }
+
+    #[test]
+    fn precision_recall_empty_ground_truth() {
+        // Nothing is actually installed, but a tool still reports packages:
+        // everything reported is a false positive, and recall is defined as
+        // 0 (not NaN) so Table III aggregation stays total.
+        let reported: BTreeSet<(String, String)> =
+            [("ghost".to_string(), "0.1".to_string())].into();
+        let truth: BTreeSet<(String, String)> = BTreeSet::new();
+        let pr = PrecisionRecall::score(&reported, &truth);
+        assert_eq!(
+            (pr.true_positives, pr.false_positives, pr.false_negatives),
+            (0, 1, 0)
+        );
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+        assert_eq!(pr.f1(), 0.0);
+
+        // And the mirror image: empty report against a non-empty truth.
+        let pr = PrecisionRecall::score(&truth, &reported);
+        assert_eq!(
+            (pr.true_positives, pr.false_positives, pr.false_negatives),
+            (0, 0, 1)
+        );
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
     }
 }

@@ -1,17 +1,21 @@
 //! Implementations of the per-artifact experiment pipelines.
+//!
+//! Every pipeline that scans the corpus fans out over `(repository × tool)`
+//! work items through [`sbomdiff_parallel::par_map`]; SBOMs, corpus
+//! repositories and parsed manifests are all pure functions of the master
+//! seed, so the CSV artifacts are byte-identical for every `--jobs` value.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use sbomdiff_attack as attack;
 use sbomdiff_benchx as benchx;
 use sbomdiff_corpus::{Corpus, CorpusConfig, CorpusStats};
-use sbomdiff_diff::{
-    duplicate_rate, jaccard, key_set, Histogram, PrecisionRecall, TextTable,
-};
+use sbomdiff_diff::{duplicate_rate, jaccard, key_set, Histogram, PrecisionRecall, TextTable};
 use sbomdiff_generators::{
-    BestPracticeGenerator, SbomGenerator, SupportMatrix, ToolEmulator, ToolId,
+    BestPracticeGenerator, ParseCache, SbomGenerator, SupportMatrix, ToolEmulator, ToolId,
 };
+use sbomdiff_parallel::{par_map, Profiler};
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, Platform};
 use sbomdiff_types::{Ecosystem, Sbom, Version};
@@ -36,6 +40,10 @@ pub struct Config {
     pub seed: u64,
     /// Output directory for CSVs.
     pub out_dir: String,
+    /// Worker threads for the `(repository × tool)` fan-out (`--jobs N`).
+    /// Results are byte-identical for every value; `0` means the default
+    /// (`SBOMDIFF_JOBS` or the machine's available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -45,6 +53,7 @@ impl Default for Config {
             paper_weights: false,
             seed: 2024,
             out_dir: "results".into(),
+            jobs: 0,
         }
     }
 }
@@ -62,7 +71,8 @@ pub const PAPER_LANGUAGE_COUNTS: [(Ecosystem, usize); 9] = [
     (Ecosystem::JavaScript, 660),
 ];
 
-/// Shared experiment state: registries, corpus, and an SBOM cache.
+/// Shared experiment state: registries, corpus, the shared metadata-parse
+/// cache, an SBOM cache, and the per-phase profiler.
 pub struct Context {
     /// Configuration in effect.
     pub config: Config,
@@ -70,63 +80,84 @@ pub struct Context {
     pub registries: Registries,
     /// Synthetic corpus.
     pub corpus: Corpus,
-    sbom_cache: RefCell<BTreeMap<Ecosystem, Vec<[Sbom; 4]>>>,
+    jobs: usize,
+    parse_cache: ParseCache,
+    profiler: Profiler,
+    sbom_cache: Mutex<BTreeMap<Ecosystem, Arc<Vec<[Sbom; 4]>>>>,
 }
 
 impl Context {
     /// Generates registries and corpus.
     pub fn prepare(config: &Config) -> Context {
+        let jobs = sbomdiff_parallel::Jobs::new(config.jobs).get();
         eprintln!(
-            "[setup] generating registries (seed {}) and corpus ({} repos/language)...",
+            "[setup] generating registries (seed {}) and corpus ({} repos/language, {jobs} job(s))...",
             config.seed, config.repos_per_language
         );
-        let registries = Registries::generate(config.seed);
-        let corpus = if config.paper_weights {
-            // Scale each language by the paper's mix; the mean stays at
-            // `repos_per_language`.
-            let mean_paper = 7876.0 / 9.0;
-            let mut map = std::collections::BTreeMap::new();
-            for (eco, paper_n) in PAPER_LANGUAGE_COUNTS {
-                let n = ((paper_n as f64 / mean_paper)
-                    * config.repos_per_language as f64)
-                    .round()
-                    .max(1.0) as usize;
-                map.insert(
-                    eco,
-                    Corpus::build_language(
-                        &registries,
-                        &CorpusConfig {
-                            repos_per_language: n,
-                            seed: config.seed ^ 0xc0ffee,
-                        },
+        let profiler = Profiler::new();
+        let registries = profiler.phase("registries", 0, || Registries::generate(config.seed));
+        let corpus = profiler.phase("corpus", 0, || {
+            if config.paper_weights {
+                // Scale each language by the paper's mix; the mean stays at
+                // `repos_per_language`.
+                let mean_paper = 7876.0 / 9.0;
+                let mut map = std::collections::BTreeMap::new();
+                for (eco, paper_n) in PAPER_LANGUAGE_COUNTS {
+                    let n = ((paper_n as f64 / mean_paper) * config.repos_per_language as f64)
+                        .round()
+                        .max(1.0) as usize;
+                    map.insert(
                         eco,
-                    ),
-                );
+                        Corpus::build_language_with_jobs(
+                            &registries,
+                            &CorpusConfig {
+                                repos_per_language: n,
+                                seed: config.seed ^ 0xc0ffee,
+                            },
+                            eco,
+                            jobs,
+                        ),
+                    );
+                }
+                Corpus::from_map(map)
+            } else {
+                Corpus::build_with_jobs(
+                    &registries,
+                    &CorpusConfig {
+                        repos_per_language: config.repos_per_language,
+                        seed: config.seed ^ 0xc0ffee,
+                    },
+                    jobs,
+                )
             }
-            Corpus::from_map(map)
-        } else {
-            Corpus::build(
-                &registries,
-                &CorpusConfig {
-                    repos_per_language: config.repos_per_language,
-                    seed: config.seed ^ 0xc0ffee,
-                },
-            )
-        };
+        });
         std::fs::create_dir_all(&config.out_dir).ok();
         Context {
             config: config.clone(),
             registries,
             corpus,
-            sbom_cache: RefCell::new(BTreeMap::new()),
+            jobs,
+            parse_cache: ParseCache::new(),
+            profiler,
+            sbom_cache: Mutex::new(BTreeMap::new()),
         }
     }
 
+    /// The effective worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// SBOMs of all four studied tools for every repo of a language
-    /// (cached).
-    pub fn sboms(&self, eco: Ecosystem) -> Vec<[Sbom; 4]> {
-        if let Some(cached) = self.sbom_cache.borrow().get(&eco) {
-            return cached.clone();
+    /// (cached). The first call per language fans the `(repository × tool)`
+    /// matrix out over the worker pool; manifests are parsed once per
+    /// dialect through the shared [`ParseCache`]. Deterministic: each SBOM
+    /// depends only on the repository content and tool profile (the flaky
+    /// sbom-tool registry is seeded per `(repository, tool)`), so worker
+    /// count and scheduling never change the result.
+    pub fn sboms(&self, eco: Ecosystem) -> Arc<Vec<[Sbom; 4]>> {
+        if let Some(cached) = self.sbom_cache.lock().expect("sbom cache").get(&eco) {
+            return Arc::clone(cached);
         }
         let tools: [ToolEmulator<'_>; 4] = [
             ToolEmulator::trivy(),
@@ -134,21 +165,52 @@ impl Context {
             ToolEmulator::sbom_tool(&self.registries, SBOM_TOOL_FAILURE_RATE),
             ToolEmulator::github_dg(),
         ];
-        let out: Vec<[Sbom; 4]> = self
-            .corpus
-            .language(eco)
-            .iter()
-            .map(|repo| {
-                [
-                    tools[0].generate(repo),
-                    tools[1].generate(repo),
-                    tools[2].generate(repo),
-                    tools[3].generate(repo),
-                ]
-            })
+        let repos = self.corpus.language(eco);
+        // One work item per (repository, tool) cell of the matrix.
+        let items: Vec<(usize, usize)> = (0..repos.len())
+            .flat_map(|r| (0..4).map(move |t| (r, t)))
             .collect();
-        self.sbom_cache.borrow_mut().insert(eco, out.clone());
+        let out: Arc<Vec<[Sbom; 4]>> =
+            self.profiler
+                .phase(&format!("sboms {eco}"), items.len() as u64, || {
+                    let cells = par_map(self.jobs, &items, |_, &(r, t)| {
+                        tools[t].generate_with_cache(&repos[r], &self.parse_cache)
+                    });
+                    let mut grouped: Vec<[Sbom; 4]> = Vec::with_capacity(repos.len());
+                    let mut cells = cells.into_iter();
+                    for _ in 0..repos.len() {
+                        grouped.push([
+                            cells.next().expect("cell"),
+                            cells.next().expect("cell"),
+                            cells.next().expect("cell"),
+                            cells.next().expect("cell"),
+                        ]);
+                    }
+                    Arc::new(grouped)
+                });
+        self.sbom_cache
+            .lock()
+            .expect("sbom cache")
+            .insert(eco, Arc::clone(&out));
         out
+    }
+
+    /// Times `f` as a named experiment phase (the report is printed by
+    /// [`report_timing`](Context::report_timing)).
+    pub fn phase<R>(&self, name: &str, items: u64, f: impl FnOnce() -> R) -> R {
+        self.profiler.phase(name, items, f)
+    }
+
+    /// Prints the per-phase timing/counter report to stderr. CSV artifacts
+    /// never contain wall-clock values, so outputs stay reproducible.
+    pub fn report_timing(&self) {
+        eprintln!("{}", self.profiler.report(self.jobs));
+        eprintln!(
+            "parse cache: {} entries, {} hits, {} misses",
+            self.parse_cache.len(),
+            self.parse_cache.hits(),
+            self.parse_cache.misses()
+        );
     }
 
     fn write(&self, file: &str, content: &str) {
@@ -184,7 +246,13 @@ pub fn fig1(ctx: &Context) {
     ]
     .into();
     let mut summary = TextTable::new([
-        "Language", "Trivy", "Syft", "sbom-tool", "GitHub DG", "winner", "paper says",
+        "Language",
+        "Trivy",
+        "Syft",
+        "sbom-tool",
+        "GitHub DG",
+        "winner",
+        "paper says",
     ]);
     for eco in Ecosystem::ALL {
         let sboms = ctx.sboms(eco);
@@ -236,7 +304,11 @@ pub fn fig2(ctx: &Context) {
         (1, 2, "Syft vs sbom-tool"),
     ];
     let mut table = TextTable::new([
-        "Pair", "mean J", "mean J (canonical)", "share < 0.5", "samples",
+        "Pair",
+        "mean J",
+        "mean J (canonical)",
+        "share < 0.5",
+        "samples",
     ]);
     let mut means: Vec<(&str, f64)> = Vec::new();
     for (a, b, label) in pairs {
@@ -245,7 +317,7 @@ pub fn fig2(ctx: &Context) {
         let mut canon_sum = 0.0;
         let mut n = 0usize;
         for eco in Ecosystem::ALL {
-            for sboms in ctx.sboms(eco) {
+            for sboms in ctx.sboms(eco).iter() {
                 let (sa, sb) = (key_set(&sboms[a]), key_set(&sboms[b]));
                 if let Some(j) = jaccard(&sa, &sb) {
                     hist.add(j);
@@ -270,10 +342,7 @@ pub fn fig2(ctx: &Context) {
             format!("{:.1}%", hist.share_below(0.5) * 100.0),
             n.to_string(),
         ]);
-        let file = format!(
-            "fig2_{}.csv",
-            label.to_lowercase().replace([' ', '.'], "_")
-        );
+        let file = format!("fig2_{}.csv", label.to_lowercase().replace([' ', '.'], "_"));
         ctx.write(&file, &hist.to_csv());
     }
     println!("{table}");
@@ -346,7 +415,14 @@ pub fn table2(ctx: &Context) {
         .iter()
         .map(|t| (*t, SupportMatrix::for_tool(*t)))
         .collect();
-    let mut table = TextTable::new(["File type", "Trivy", "Syft", "sbom-tool", "GitHub DG", "matches paper"]);
+    let mut table = TextTable::new([
+        "File type",
+        "Trivy",
+        "Syft",
+        "sbom-tool",
+        "GitHub DG",
+        "matches paper",
+    ]);
     for (kind, t, s, m, g) in sbomdiff_generators::support::TABLE_II {
         let cells: Vec<bool> = matrices.iter().map(|(_, mx)| mx.supports(kind)).collect();
         let ok = cells == vec![t, s, m, g];
@@ -382,43 +458,49 @@ pub fn table3(ctx: &Context) {
     let registry = ctx.registries.for_ecosystem(Ecosystem::Python);
     let platform = Platform::default();
     let mut totals = [PrecisionRecall::default(); 4];
-    for (repo, tool_sboms) in repos.iter().zip(&sboms) {
-        if repo.text("requirements.txt").is_none() {
-            continue;
-        }
-        let truth: std::collections::BTreeSet<(String, String)> =
-            dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
-                .keys()
-                .collect();
-        for (i, sbom) in tool_sboms.iter().enumerate() {
-            // Reported pairs are compared verbatim against pip's canonical
-            // output, as the paper's ground-truth comparison does: spelling
-            // differences (`Flask_Login` vs `flask-login`) count as misses,
-            // which is exactly the §V-E naming hazard.
-            let reported: std::collections::BTreeSet<(String, String)> = sbom
-                .components()
-                .iter()
-                .map(|c| {
-                    let version = c
-                        .version
-                        .as_deref()
-                        .map(|v| {
-                            Version::parse(v)
-                                .map(|p| p.canonical())
-                                .unwrap_or_else(|_| v.to_string())
-                        })
-                        .unwrap_or_default();
-                    (c.name.clone(), version)
-                })
-                .collect();
-            totals[i].merge(PrecisionRecall::score(&reported, &truth));
+    let per_repo = ctx.phase("table3 ground truth", repos.len() as u64, || {
+        par_map(ctx.jobs(), repos, |idx, repo| {
+            repo.text("requirements.txt")?;
+            let truth: std::collections::BTreeSet<(String, String)> =
+                dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
+                    .keys()
+                    .collect();
+            let mut scores = [PrecisionRecall::default(); 4];
+            for (i, sbom) in sboms[idx].iter().enumerate() {
+                // Reported pairs are compared verbatim against pip's
+                // canonical output, as the paper's ground-truth comparison
+                // does: spelling differences (`Flask_Login` vs
+                // `flask-login`) count as misses, which is exactly the
+                // §V-E naming hazard.
+                let reported: std::collections::BTreeSet<(String, String)> = sbom
+                    .components()
+                    .iter()
+                    .map(|c| {
+                        let version = c
+                            .version
+                            .as_deref()
+                            .map(|v| {
+                                Version::parse(v)
+                                    .map(|p| p.canonical())
+                                    .unwrap_or_else(|_| v.to_string())
+                            })
+                            .unwrap_or_default();
+                        (c.name.clone(), version)
+                    })
+                    .collect();
+                scores[i] = PrecisionRecall::score(&reported, &truth);
+            }
+            Some(scores)
+        })
+    });
+    for scores in per_repo.into_iter().flatten() {
+        for (total, score) in totals.iter_mut().zip(scores) {
+            total.merge(score);
         }
     }
     let paper_p = [0.25, 0.25, 0.74, 0.13];
     let paper_r = [0.10, 0.10, 0.73, 0.08];
-    let mut table = TextTable::new([
-        "Metric", "Trivy", "Syft", "sbom-tool", "GitHub DG",
-    ]);
+    let mut table = TextTable::new(["Metric", "Trivy", "Syft", "sbom-tool", "GitHub DG"]);
     table.row([
         "Precision".to_string(),
         format!("{:.2}", totals[0].precision()),
@@ -457,7 +539,12 @@ pub fn table4(ctx: &Context, campaign: bool) {
     println!("\n================ Table IV: requirements.txt attack samples ================");
     let outcomes = attack::evaluate::evaluate_catalog(&ctx.registries, true);
     let mut table = TextTable::new([
-        "Sample", "Trivy", "Syft", "sbom-tool", "GitHub DG", "matches paper",
+        "Sample",
+        "Trivy",
+        "Syft",
+        "sbom-tool",
+        "GitHub DG",
+        "matches paper",
     ]);
     for o in &outcomes {
         table.row([
@@ -466,7 +553,12 @@ pub fn table4(ctx: &Context, campaign: bool) {
             o.cells[1].to_string(),
             o.cells[2].to_string(),
             o.cells[3].to_string(),
-            if o.matches_expectation { "yes" } else { "DIVERGES" }.to_string(),
+            if o.matches_expectation {
+                "yes"
+            } else {
+                "DIVERGES"
+            }
+            .to_string(),
         ]);
     }
     println!("{table}");
@@ -476,10 +568,13 @@ pub fn table4(ctx: &Context, campaign: bool) {
     if campaign {
         println!("\n---- §VI damage: corpus-wide evasion campaign (Python) ----");
         let repos = ctx.corpus.language(Ecosystem::Python);
-        let reports =
-            attack::campaign::run_all_campaigns(repos, &ctx.registries, ctx.config.seed);
+        let reports = attack::campaign::run_all_campaigns(repos, &ctx.registries, ctx.config.seed);
         let mut ctable = TextTable::new([
-            "Sample", "Trivy evade", "Syft evade", "sbom-tool evade", "GitHub evade",
+            "Sample",
+            "Trivy evade",
+            "Syft evade",
+            "sbom-tool evade",
+            "GitHub evade",
         ]);
         for (id, r) in &reports {
             ctable.row([
@@ -554,13 +649,16 @@ pub fn stats(ctx: &Context) {
     // §V-C: share of installed Python dependencies that are transitive.
     let registry = ctx.registries.for_ecosystem(Ecosystem::Python);
     let platform = Platform::default();
-    let mut transitive = 0usize;
-    let mut installed = 0usize;
-    for repo in ctx.corpus.language(Ecosystem::Python) {
-        let report = dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
-        transitive += report.installed.iter().filter(|p| p.transitive).count();
-        installed += report.installed.len();
-    }
+    let py_repos = ctx.corpus.language(Ecosystem::Python);
+    let counts = ctx.phase("stats dry runs", py_repos.len() as u64, || {
+        par_map(ctx.jobs(), py_repos, |_, repo| {
+            let report = dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
+            let transitive = report.installed.iter().filter(|p| p.transitive).count();
+            (transitive, report.installed.len())
+        })
+    });
+    let transitive: usize = counts.iter().map(|(t, _)| t).sum();
+    let installed: usize = counts.iter().map(|(_, n)| n).sum();
     let share = if installed == 0 {
         0.0
     } else {
@@ -579,7 +677,12 @@ pub fn stats(ctx: &Context) {
 pub fn benchscore(ctx: &Context) {
     println!("\n================ §VII benchmark scores ================");
     let cases = benchx::cases::all_cases();
-    let mut table = TextTable::new(["Generator", "name recall", "version accuracy", "perfect cases"]);
+    let mut table = TextTable::new([
+        "Generator",
+        "name recall",
+        "version accuracy",
+        "perfect cases",
+    ]);
     let graded: Vec<(String, benchx::BenchmarkScore)> = vec![
         (
             "Trivy".into(),
@@ -591,10 +694,7 @@ pub fn benchscore(ctx: &Context) {
         ),
         (
             "sbom-tool".into(),
-            benchx::score_generator(
-                &ToolEmulator::sbom_tool(&ctx.registries, 0.0),
-                &cases,
-            ),
+            benchx::score_generator(&ToolEmulator::sbom_tool(&ctx.registries, 0.0), &cases),
         ),
         (
             "GitHub DG".into(),
@@ -621,9 +721,7 @@ pub fn benchscore(ctx: &Context) {
 /// drives moves. Quantifies what the paper identifies qualitatively.
 pub fn ablate(ctx: &Context) {
     println!("\n================ Ablations: §V root causes quantified ================");
-    use sbomdiff_generators::{
-        GoVersionStyle, ToolProfile, VersionPolicy,
-    };
+    use sbomdiff_generators::{GoVersionStyle, ToolProfile, VersionPolicy};
     let mut table = TextTable::new(["Ablation", "metric", "baseline", "ablated"]);
 
     // 1. §V-D: Trivy's silent range-dropping — grant it verbatim ranges and
@@ -639,18 +737,27 @@ pub fn ablate(ctx: &Context) {
         profile.version_policy = VersionPolicy::Verbatim;
         let ablated = ToolEmulator::with_profile(profile, None, 0.0);
         let github = ToolEmulator::github_dg();
+        let cells = ctx.phase("ablation: ranges", repos.len() as u64, || {
+            par_map(ctx.jobs(), repos, |_, repo| {
+                let b = baseline.generate(repo);
+                let a = ablated.generate(repo);
+                let g = github.generate(repo);
+                let js = match (
+                    jaccard(&key_set(&b), &key_set(&g)),
+                    jaccard(&key_set(&a), &key_set(&g)),
+                ) {
+                    (Some(jb), Some(ja)) => Some((jb, ja)),
+                    _ => None,
+                };
+                (b.len(), a.len(), js)
+            })
+        });
         let (mut base_n, mut abl_n) = (0usize, 0usize);
         let (mut base_j, mut abl_j, mut nj) = (0.0f64, 0.0f64, 0usize);
-        for repo in repos {
-            let b = baseline.generate(repo);
-            let a = ablated.generate(repo);
-            let g = github.generate(repo);
-            base_n += b.len();
-            abl_n += a.len();
-            if let (Some(jb), Some(ja)) = (
-                jaccard(&key_set(&b), &key_set(&g)),
-                jaccard(&key_set(&a), &key_set(&g)),
-            ) {
+        for (b, a, js) in cells {
+            base_n += b;
+            abl_n += a;
+            if let Some((jb, ja)) = js {
                 base_j += jb;
                 abl_j += ja;
                 nj += 1;
@@ -678,8 +785,13 @@ pub fn ablate(ctx: &Context) {
         let mut profile = ToolProfile::trivy();
         profile.include_dev = true;
         let ablated = ToolEmulator::with_profile(profile, None, 0.0);
-        let base: usize = repos.iter().map(|r| baseline.generate(r).len()).sum();
-        let abl: usize = repos.iter().map(|r| ablated.generate(r).len()).sum();
+        let cells = ctx.phase("ablation: dev deps", repos.len() as u64, || {
+            par_map(ctx.jobs(), repos, |_, repo| {
+                (baseline.generate(repo).len(), ablated.generate(repo).len())
+            })
+        });
+        let base: usize = cells.iter().map(|(b, _)| b).sum();
+        let abl: usize = cells.iter().map(|(_, a)| a).sum();
         table.row([
             "Trivy includes dev dependencies".to_string(),
             "JavaScript packages found".to_string(),
@@ -697,17 +809,23 @@ pub fn ablate(ctx: &Context) {
         let mut profile = ToolProfile::trivy();
         profile.go_version = GoVersionStyle::KeepV;
         let ablated = ToolEmulator::with_profile(profile, None, 0.0);
+        let cells = ctx.phase("ablation: v prefix", repos.len() as u64, || {
+            par_map(ctx.jobs(), repos, |_, repo| {
+                let s = syft.generate(repo);
+                match (
+                    jaccard(&key_set(&baseline.generate(repo)), &key_set(&s)),
+                    jaccard(&key_set(&ablated.generate(repo)), &key_set(&s)),
+                ) {
+                    (Some(jb), Some(ja)) => Some((jb, ja)),
+                    _ => None,
+                }
+            })
+        });
         let (mut base_j, mut abl_j, mut n) = (0.0, 0.0, 0usize);
-        for repo in repos {
-            let s = syft.generate(repo);
-            if let (Some(jb), Some(ja)) = (
-                jaccard(&key_set(&baseline.generate(repo)), &key_set(&s)),
-                jaccard(&key_set(&ablated.generate(repo)), &key_set(&s)),
-            ) {
-                base_j += jb;
-                abl_j += ja;
-                n += 1;
-            }
+        for (jb, ja) in cells.into_iter().flatten() {
+            base_j += jb;
+            abl_j += ja;
+            n += 1;
         }
         table.row([
             "Trivy keeps Go 'v' prefix (like Syft)".to_string(),
@@ -725,21 +843,24 @@ pub fn ablate(ctx: &Context) {
         let platform = Platform::default();
         let score = |failure: f64| -> PrecisionRecall {
             let tool = ToolEmulator::sbom_tool(&ctx.registries, failure);
-            let mut total = PrecisionRecall::default();
-            for repo in repos {
-                let truth: std::collections::BTreeSet<(String, String)> =
-                    dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
-                        .keys()
+            let scores = ctx.phase("ablation: registry", repos.len() as u64, || {
+                par_map(ctx.jobs(), repos, |_, repo| {
+                    let truth: std::collections::BTreeSet<(String, String)> =
+                        dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
+                            .keys()
+                            .collect();
+                    let reported: std::collections::BTreeSet<(String, String)> = tool
+                        .generate(repo)
+                        .components()
+                        .iter()
+                        .map(|c| (c.name.clone(), c.version.clone().unwrap_or_default()))
                         .collect();
-                let reported: std::collections::BTreeSet<(String, String)> = tool
-                    .generate(repo)
-                    .components()
-                    .iter()
-                    .map(|c| {
-                        (c.name.clone(), c.version.clone().unwrap_or_default())
-                    })
-                    .collect();
-                total.merge(PrecisionRecall::score(&reported, &truth));
+                    PrecisionRecall::score(&reported, &truth)
+                })
+            });
+            let mut total = PrecisionRecall::default();
+            for s in scores {
+                total.merge(s);
             }
             total
         };
@@ -761,8 +882,12 @@ pub fn ablate(ctx: &Context) {
         let mut profile = ToolProfile::github_dg();
         profile.merge_duplicates = true;
         let ablated = ToolEmulator::with_profile(profile, None, 0.0);
-        let base_sboms: Vec<Sbom> = repos.iter().map(|r| baseline.generate(r)).collect();
-        let abl_sboms: Vec<Sbom> = repos.iter().map(|r| ablated.generate(r)).collect();
+        let (base_sboms, abl_sboms) = ctx.phase("ablation: merging", repos.len() as u64, || {
+            let pairs = par_map(ctx.jobs(), repos, |_, repo| {
+                (baseline.generate(repo), ablated.generate(repo))
+            });
+            pairs.into_iter().unzip::<_, _, Vec<Sbom>, Vec<Sbom>>()
+        });
         table.row([
             "GitHub DG merges duplicate entries".to_string(),
             "Java duplicate rate".to_string(),
@@ -795,38 +920,51 @@ pub fn ranking(ctx: &Context) {
     let generators: Vec<Box<dyn SbomGenerator + '_>> = vec![
         Box::new(ToolEmulator::trivy()),
         Box::new(ToolEmulator::syft()),
-        Box::new(ToolEmulator::sbom_tool(&ctx.registries, SBOM_TOOL_FAILURE_RATE)),
+        Box::new(ToolEmulator::sbom_tool(
+            &ctx.registries,
+            SBOM_TOOL_FAILURE_RATE,
+        )),
         Box::new(ToolEmulator::github_dg()),
         Box::new(BestPracticeGenerator::new(&ctx.registries)),
     ];
+    let sample = &py_repos[..py_repos.len().min(40)];
     for g in &generators {
         let bench = benchx::score_generator(g.as_ref(), &cases);
+        let scored = ctx.phase(
+            &format!("ranking {}", g.id().label()),
+            sample.len() as u64,
+            || {
+                par_map(ctx.jobs(), sample, |_, repo| {
+                    let truth: std::collections::BTreeSet<(String, String)> =
+                        dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
+                            .keys()
+                            .collect();
+                    let sbom = g.generate(repo);
+                    let reported: std::collections::BTreeSet<(String, String)> = sbom
+                        .components()
+                        .iter()
+                        .map(|c| {
+                            (
+                                sbomdiff_types::name::normalize(Ecosystem::Python, &c.name),
+                                c.version
+                                    .as_deref()
+                                    .map(|v| {
+                                        Version::parse(v)
+                                            .map(|p| p.canonical())
+                                            .unwrap_or_else(|_| v.to_string())
+                                    })
+                                    .unwrap_or_default(),
+                            )
+                        })
+                        .collect();
+                    (PrecisionRecall::score(&reported, &truth), sbom)
+                })
+            },
+        );
         let mut gt = PrecisionRecall::default();
         let mut sboms = Vec::new();
-        for repo in py_repos.iter().take(40) {
-            let truth: std::collections::BTreeSet<(String, String)> =
-                dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
-                    .keys()
-                    .collect();
-            let sbom = g.generate(repo);
-            let reported: std::collections::BTreeSet<(String, String)> = sbom
-                .components()
-                .iter()
-                .map(|c| {
-                    (
-                        sbomdiff_types::name::normalize(Ecosystem::Python, &c.name),
-                        c.version
-                            .as_deref()
-                            .map(|v| {
-                                Version::parse(v)
-                                    .map(|p| p.canonical())
-                                    .unwrap_or_else(|_| v.to_string())
-                            })
-                            .unwrap_or_default(),
-                    )
-                })
-                .collect();
-            gt.merge(PrecisionRecall::score(&reported, &truth));
+        for (score, sbom) in scored {
+            gt.merge(score);
             sboms.push(sbom);
         }
         entries.push(Entry {
@@ -842,8 +980,13 @@ pub fn ranking(ctx: &Context) {
     };
     entries.sort_by(|a, b| composite(b).total_cmp(&composite(a)));
     let mut table = TextTable::new([
-        "Rank", "Generator", "bench recall", "version acc", "ground-truth F1",
-        "dup hygiene", "composite",
+        "Rank",
+        "Generator",
+        "bench recall",
+        "version acc",
+        "ground-truth F1",
+        "dup hygiene",
+        "composite",
     ]);
     for (i, e) in entries.iter().enumerate() {
         table.row([
@@ -865,7 +1008,9 @@ pub fn ranking(ctx: &Context) {
 /// falsely raises against a synthetic advisory database — the paper's §I
 /// motivation, quantified.
 pub fn vulnimpact(ctx: &Context) {
-    println!("\n================ Vulnerability impact of SBOM errors (§I motivation) ================");
+    println!(
+        "\n================ Vulnerability impact of SBOM errors (§I motivation) ================"
+    );
     let db = sbomdiff_vuln::AdvisoryDb::generate(&ctx.registries, ctx.config.seed, 0.25);
     println!("synthetic advisory database: {} advisories", db.len());
     let registry = ctx.registries.for_ecosystem(Ecosystem::Python);
@@ -873,27 +1018,53 @@ pub fn vulnimpact(ctx: &Context) {
     let repos = ctx.corpus.language(Ecosystem::Python);
     let sboms = ctx.sboms(Ecosystem::Python);
     let mut table = TextTable::new([
-        "Tool", "real vulns", "detected", "missed", "false alarms",
-        "miss rate", "false-alarm rate",
+        "Tool",
+        "real vulns",
+        "detected",
+        "missed",
+        "false alarms",
+        "miss rate",
+        "false-alarm rate",
     ]);
     // Per-repository findings are summed (the same advisory hitting two
     // repositories is two findings a security team must triage).
     let mut counts = [[0usize; 4]; 4]; // [tool][actual, detected, missed, fa]
-    for (repo, tool_sboms) in repos.iter().zip(&sboms) {
-        let truth = dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
-        for (i, sbom) in tool_sboms.iter().enumerate() {
-            let r = sbomdiff_vuln::assess(&db, sbom, &truth.installed);
-            counts[i][0] += r.actual.len();
-            counts[i][1] += r.detected.len();
-            counts[i][2] += r.missed.len();
-            counts[i][3] += r.false_alarms.len();
+    let per_repo = ctx.phase("vuln assessments", repos.len() as u64, || {
+        par_map(ctx.jobs(), repos, |idx, repo| {
+            let truth = dry_run(registry, &repo.text_files(), "requirements.txt", &platform);
+            let mut repo_counts = [[0usize; 4]; 4];
+            for (i, sbom) in sboms[idx].iter().enumerate() {
+                let r = sbomdiff_vuln::assess(&db, sbom, &truth.installed);
+                repo_counts[i] = [
+                    r.actual.len(),
+                    r.detected.len(),
+                    r.missed.len(),
+                    r.false_alarms.len(),
+                ];
+            }
+            repo_counts
+        })
+    });
+    for repo_counts in per_repo {
+        for (tool, cells) in counts.iter_mut().zip(repo_counts) {
+            for (acc, n) in tool.iter_mut().zip(cells) {
+                *acc += n;
+            }
         }
     }
     for (i, tool) in TOOL_ORDER.iter().enumerate() {
         let [actual, detected, missed, fa] = counts[i];
-        let miss_rate = if actual == 0 { 0.0 } else { missed as f64 / actual as f64 };
+        let miss_rate = if actual == 0 {
+            0.0
+        } else {
+            missed as f64 / actual as f64
+        };
         let raised = detected + fa;
-        let fa_rate = if raised == 0 { 0.0 } else { fa as f64 / raised as f64 };
+        let fa_rate = if raised == 0 {
+            0.0
+        } else {
+            fa as f64 / raised as f64
+        };
         table.row([
             tool.label().to_string(),
             actual.to_string(),
@@ -915,7 +1086,9 @@ pub fn vulnimpact(ctx: &Context) {
 /// lucky corpus.
 pub fn stability(ctx: &Context) {
     println!("\n================ Seed stability of the headline findings ================");
-    let seeds: Vec<u64> = (0..5).map(|i| ctx.config.seed.wrapping_add(i * 101)).collect();
+    let seeds: Vec<u64> = (0..5)
+        .map(|i| ctx.config.seed.wrapping_add(i * 101))
+        .collect();
     let mut table = TextTable::new([
         "Seed",
         "fig1 winners",
@@ -925,21 +1098,29 @@ pub fn stability(ctx: &Context) {
     ]);
     for seed in seeds {
         let registries = Registries::generate(seed);
-        let corpus = Corpus::build(
+        let corpus = Corpus::build_with_jobs(
             &registries,
             &CorpusConfig {
                 repos_per_language: 60,
                 seed: seed ^ 0xc0ffee,
             },
+            ctx.jobs(),
         );
         let tools = sbomdiff_generators::studied_tools(&registries, SBOM_TOOL_FAILURE_RATE);
 
         // Fig. 1 winners (eight languages the paper names).
         let totals = |eco: Ecosystem| -> [usize; 4] {
-            let mut t = [0usize; 4];
-            for repo in corpus.language(eco) {
+            let per_repo = par_map(ctx.jobs(), corpus.language(eco), |_, repo| {
+                let mut t = [0usize; 4];
                 for (i, tool) in tools.iter().enumerate() {
-                    t[i] += tool.generate(repo).len();
+                    t[i] = tool.generate(repo).len();
+                }
+                t
+            });
+            let mut t = [0usize; 4];
+            for row in per_repo {
+                for (acc, n) in t.iter_mut().zip(row) {
+                    *acc += n;
                 }
             }
             t
@@ -974,11 +1155,12 @@ pub fn stability(ctx: &Context) {
         let registry = registries.for_ecosystem(Ecosystem::Python);
         let platform = Platform::default();
         let mut totals3 = [PrecisionRecall::default(); 4];
-        for repo in corpus.language(Ecosystem::Python) {
+        let per_repo3 = par_map(ctx.jobs(), corpus.language(Ecosystem::Python), |_, repo| {
             let truth: std::collections::BTreeSet<(String, String)> =
                 dry_run(registry, &repo.text_files(), "requirements.txt", &platform)
                     .keys()
                     .collect();
+            let mut scores = [PrecisionRecall::default(); 4];
             for (i, tool) in tools.iter().enumerate() {
                 let reported: std::collections::BTreeSet<(String, String)> = tool
                     .generate(repo)
@@ -997,7 +1179,13 @@ pub fn stability(ctx: &Context) {
                         (c.name.clone(), v)
                     })
                     .collect();
-                totals3[i].merge(PrecisionRecall::score(&reported, &truth));
+                scores[i] = PrecisionRecall::score(&reported, &truth);
+            }
+            scores
+        });
+        for scores in per_repo3 {
+            for (total, score) in totals3.iter_mut().zip(scores) {
+                total.merge(score);
             }
         }
         let t3_ok = totals3[2].precision() > totals3[0].precision()
@@ -1014,18 +1202,24 @@ pub fn stability(ctx: &Context) {
         let mut below = 0usize;
         let mut total_pairs = 0usize;
         for eco in Ecosystem::ALL {
-            for repo in corpus.language(eco) {
+            let per_repo = par_map(ctx.jobs(), corpus.language(eco), |_, repo| {
                 let sboms: Vec<Sbom> = tools.iter().map(|t| t.generate(repo)).collect();
+                let (mut b, mut n) = (0usize, 0usize);
                 for a in 0..4 {
-                    for b in (a + 1)..4 {
-                        if let Some(j) = jaccard(&key_set(&sboms[a]), &key_set(&sboms[b])) {
-                            total_pairs += 1;
+                    for c in (a + 1)..4 {
+                        if let Some(j) = jaccard(&key_set(&sboms[a]), &key_set(&sboms[c])) {
+                            n += 1;
                             if j < 0.5 {
-                                below += 1;
+                                b += 1;
                             }
                         }
                     }
                 }
+                (b, n)
+            });
+            for (b, n) in per_repo {
+                below += b;
+                total_pairs += n;
             }
         }
         let fig2_share = below as f64 / total_pairs.max(1) as f64;

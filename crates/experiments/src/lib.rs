@@ -1,0 +1,14 @@
+//! Experiment pipelines regenerating every table and figure of the paper.
+//!
+//! The crate is a library plus a thin `experiments` binary so integration
+//! tests can drive the pipelines in-process — the determinism regression
+//! test runs the same experiment at different `--jobs` values and asserts
+//! byte-identical CSV artifacts, and the golden-file tests pin small-corpus
+//! outputs against checked-in fixtures.
+
+pub mod experiments;
+
+pub use experiments::{
+    ablate, benchscore, fig1, fig2, ranking, stability, stats, table1, table2, table3, table4,
+    vulnimpact, Config, Context, PAPER_LANGUAGE_COUNTS, SBOM_TOOL_FAILURE_RATE,
+};

@@ -2,16 +2,17 @@
 //!
 //! ```text
 //! experiments <fig1|fig2|table1|table2|table3|table4|stats|benchscore|all>
-//!             [--repos N] [--seed S] [--out DIR] [--campaign] [--paper-weights]
+//!             [--repos N] [--seed S] [--out DIR] [--jobs N]
+//!             [--campaign] [--paper-weights]
 //! ```
 //!
 //! Outputs go to `--out` (default `results/`): one CSV per artifact plus a
 //! textual rendition printed to stdout with the paper's reported values
-//! alongside for comparison.
+//! alongside for comparison. `--jobs N` sets the worker count of the
+//! deterministic parallel engine — artifacts are byte-identical for every
+//! value — and a per-phase timing report is printed to stderr at the end.
 
-mod experiments;
-
-use experiments::Config;
+use sbomdiff_experiments::{experiments, Config};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,13 +31,20 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                config.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(config.seed);
+                config.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed);
             }
             "--out" => {
                 i += 1;
                 if let Some(dir) = args.get(i) {
                     config.out_dir = dir.clone();
                 }
+            }
+            "--jobs" => {
+                i += 1;
+                config.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(0);
             }
             "--campaign" => campaign = true,
             "--paper-weights" => config.paper_weights = true,
@@ -82,4 +90,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    ctx.report_timing();
 }

@@ -1,0 +1,73 @@
+//! Golden-file tests: pin the small-corpus `table2_support.csv` and
+//! `fig1_summary.csv` artifacts against checked-in fixtures so behavioral
+//! drift in the emulators, corpus generation, or the parallel engine is
+//! caught as a diff, not discovered downstream.
+//!
+//! The fixtures live in `tests/golden/`. To regenerate after an intentional
+//! behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sbomdiff-experiments --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use sbomdiff_experiments::{experiments, Config, Context};
+
+/// The pinned configuration. Changing any of these values invalidates the
+/// fixtures — regenerate them in the same commit.
+fn golden_config(out_dir: String) -> Config {
+    Config {
+        repos_per_language: 5,
+        paper_weights: false,
+        seed: 77,
+        out_dir,
+        jobs: 0, // artifacts are jobs-independent; use the default pool
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_against_golden(artifact: &str, produce: impl FnOnce(&Context)) {
+    let out =
+        std::env::temp_dir().join(format!("sbomdiff-golden-{}-{artifact}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let ctx = Context::prepare(&golden_config(out.to_string_lossy().into_owned()));
+    produce(&ctx);
+    let actual =
+        std::fs::read_to_string(out.join(artifact)).expect("experiment wrote the artifact");
+    let _ = std::fs::remove_dir_all(&out);
+
+    let fixture = fixture_path(artifact);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(fixture.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&fixture, &actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test -p \
+             sbomdiff-experiments --test golden",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{artifact} drifted from tests/golden/{artifact}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn table2_support_matches_golden() {
+    check_against_golden("table2_support.csv", experiments::table2);
+}
+
+#[test]
+fn fig1_summary_matches_golden() {
+    check_against_golden("fig1_summary.csv", experiments::fig1);
+}

@@ -14,14 +14,11 @@
 use std::collections::BTreeMap;
 
 use sbomdiff_metadata::{
-    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind,
-    RepoFs,
+    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, RepoFs,
 };
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, engine, Platform};
-use sbomdiff_types::{
-    Component, Cpe, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom,
-};
+use sbomdiff_types::{Component, Cpe, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom};
 
 use crate::{SbomGenerator, ToolId};
 
@@ -53,7 +50,11 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
         let mut projects: BTreeMap<(String, Ecosystem), Vec<(String, MetadataKind)>> =
             BTreeMap::new();
         for (path, kind) in repo.metadata_files() {
-            let dir = path.rsplit_once('/').map(|(d, _)| d).unwrap_or("").to_string();
+            let dir = path
+                .rsplit_once('/')
+                .map(|(d, _)| d)
+                .unwrap_or("")
+                .to_string();
             projects
                 .entry((dir, kind.ecosystem()))
                 .or_default()
@@ -70,9 +71,7 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
                         let version = dep
                             .pinned_version()
                             .map(|v| v.to_string())
-                            .or_else(|| {
-                                (!dep.req_text.is_empty()).then(|| dep.req_text.clone())
-                            });
+                            .or_else(|| (!dep.req_text.is_empty()).then(|| dep.req_text.clone()));
                         push_component(
                             &mut sbom,
                             &mut seen,
@@ -160,11 +159,7 @@ fn push_component(
     path: &str,
 ) {
     let canonical = sbomdiff_types::name::normalize(eco, name);
-    let key = (
-        eco,
-        canonical,
-        version.clone().unwrap_or_default(),
-    );
+    let key = (eco, canonical, version.clone().unwrap_or_default());
     if !seen.insert(key) {
         return; // merged duplicate (§V-G fixed)
     }
@@ -213,9 +208,7 @@ fn parse_raw(repo: &RepoFs, path: &str, kind: MetadataKind) -> Vec<DeclaredDepen
         MetadataKind::ManifestMf => java::parse_manifest_mf(text()),
         MetadataKind::PomProperties => java::parse_pom_properties(text()),
         MetadataKind::GoMod => golang::parse_go_mod(text()),
-        MetadataKind::GoBinary => {
-            golang::parse_go_binary(repo.bytes(path).unwrap_or_default())
-        }
+        MetadataKind::GoBinary => golang::parse_go_binary(repo.bytes(path).unwrap_or_default()),
         MetadataKind::CargoToml => rust_lang::parse_cargo_toml(text()),
         MetadataKind::RustBinary => {
             rust_lang::parse_rust_binary(repo.bytes(path).unwrap_or_default())
@@ -290,10 +283,7 @@ mod tests {
     fn resolves_non_python_raw_metadata() {
         let regs = Registries::generate(5);
         let mut repo = RepoFs::new("bp-js");
-        repo.add_text(
-            "package.json",
-            r#"{"dependencies": {"express": "^4.0.0"}}"#,
-        );
+        repo.add_text("package.json", r#"{"dependencies": {"express": "^4.0.0"}}"#);
         let sbom = BestPracticeGenerator::new(&regs).generate(&repo);
         let names: Vec<&str> = sbom.components().iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"express"));

@@ -1,0 +1,193 @@
+//! Shared memoized metadata-parse cache.
+//!
+//! Every studied tool walks the *same* repository metadata, so in the
+//! differential pipeline each manifest used to be parsed four times — once
+//! per emulator. [`ParseCache`] memoizes the parsed declarations keyed by
+//! `(repository, path, requirements dialect)`: the dialect matters only for
+//! `requirements.txt` (the one profile-dependent parser input), so Trivy
+//! and Syft — which share the [`ReqStyle::TrivySyft`] dialect — also share
+//! cache entries, and every other file kind is parsed exactly once per
+//! repository no matter how many emulators scan it.
+//!
+//! The cache is sharded (16 mutexes selected by key hash) so the parallel
+//! `(repository × tool)` fan-out in `sbomdiff-experiments` contends only
+//! when two workers touch the same shard at the same instant. Hit/miss
+//! counters feed the experiment driver's timing report.
+//!
+//! Correctness requirement: repository names must be unique within one
+//! cache's lifetime (the synthetic corpus names repositories
+//! `{ecosystem}-repo-{index:04}`, which satisfies this). Reusing a name for
+//! different content would serve stale parses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sbomdiff_metadata::python::ReqStyle;
+use sbomdiff_metadata::{MetadataKind, RepoFs};
+use sbomdiff_types::DeclaredDependency;
+
+const SHARDS: usize = 16;
+
+type Key = (String, String, Option<ReqStyle>);
+type Shard = Mutex<HashMap<Key, Arc<Vec<DeclaredDependency>>>>;
+
+/// Memoizes [`parse`](ParseCache::parse) results across tool emulators.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_generators::{ParseCache, SbomGenerator, ToolEmulator};
+/// use sbomdiff_metadata::RepoFs;
+///
+/// let mut repo = RepoFs::new("demo");
+/// repo.add_text("requirements.txt", "numpy==1.19.2\n");
+/// let cache = ParseCache::new();
+/// let a = ToolEmulator::trivy().generate_with_cache(&repo, &cache);
+/// let b = ToolEmulator::syft().generate_with_cache(&repo, &cache);
+/// assert_eq!(a.len(), b.len());
+/// // Trivy and Syft share the requirements dialect: one parse, one hit.
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+pub struct ParseCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ParseCache {
+    fn default() -> Self {
+        ParseCache::new()
+    }
+}
+
+impl ParseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ParseCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses `path` of `repo` as `kind` under the `style` requirements
+    /// dialect, memoized. The returned `Arc` is shared with every other
+    /// caller asking for the same `(repository, path, dialect)`.
+    pub fn parse(
+        &self,
+        repo: &RepoFs,
+        path: &str,
+        kind: MetadataKind,
+        style: ReqStyle,
+    ) -> Arc<Vec<DeclaredDependency>> {
+        // Only requirements.txt parsing is dialect-dependent; collapsing
+        // the key for every other kind lets all four tools share one entry.
+        let dialect = (kind == MetadataKind::RequirementsTxt).then_some(style);
+        let key: Key = (repo.name().to_string(), path.to_string(), dialect);
+        let shard = &self.shards[fxhash(&key) as usize % SHARDS];
+        if let Some(found) = shard.lock().expect("parse cache shard").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Parse outside the lock: other shard keys stay available and a
+        // racing duplicate parse is deterministic anyway.
+        let parsed = Arc::new(crate::emulator::parse_with_style(repo, path, kind, style));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(
+            shard
+                .lock()
+                .expect("parse cache shard")
+                .entry(key)
+                .or_insert(parsed),
+        )
+    }
+
+    /// Cache hits so far (memoized parses reused).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (actual parses performed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total entries currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("parse cache shard").len())
+            .sum()
+    }
+
+    /// True when nothing has been parsed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn fxhash(key: &Key) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SbomGenerator, ToolEmulator};
+
+    fn repo() -> RepoFs {
+        let mut repo = RepoFs::new("cache-demo");
+        repo.add_text("requirements.txt", "numpy==1.19.2\nflask>=2.0\n");
+        repo.add_text("go.mod", "module m\nrequire github.com/pkg/errors v0.9.1\n");
+        repo
+    }
+
+    #[test]
+    fn memoizes_per_dialect() {
+        let repo = repo();
+        let cache = ParseCache::new();
+        let trivy = ToolEmulator::trivy();
+        let syft = ToolEmulator::syft();
+        let github = ToolEmulator::github_dg();
+        trivy.generate_with_cache(&repo, &cache);
+        syft.generate_with_cache(&repo, &cache);
+        github.generate_with_cache(&repo, &cache);
+        // requirements.txt: TrivySyft dialect parsed once (shared by two
+        // tools) + GithubDg dialect once. go.mod: dialect-independent, one
+        // parse shared by all supporting tools.
+        assert_eq!(cache.misses(), 3);
+        assert!(cache.hits() >= 2, "hits={}", cache.hits());
+    }
+
+    #[test]
+    fn cached_scan_equals_uncached_scan() {
+        let repo = repo();
+        let cache = ParseCache::new();
+        for tool in [
+            ToolEmulator::trivy(),
+            ToolEmulator::syft(),
+            ToolEmulator::github_dg(),
+        ] {
+            let plain = tool.generate(&repo);
+            let cached = tool.generate_with_cache(&repo, &cache);
+            assert_eq!(plain, cached, "{}", tool.id());
+        }
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let repo = repo();
+        let cache = ParseCache::new();
+        let sboms = sbomdiff_parallel::par_map(4, &[0u8; 8], |_, _| {
+            ToolEmulator::trivy().generate_with_cache(&repo, &cache)
+        });
+        for sbom in &sboms {
+            assert_eq!(sbom, &sboms[0]);
+        }
+        assert_eq!(cache.misses() + cache.hits(), 16, "2 files x 8 scans");
+    }
+}

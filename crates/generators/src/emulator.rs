@@ -7,14 +7,10 @@
 //! entries of Table I.
 
 use sbomdiff_metadata::{
-    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind,
-    RepoFs,
+    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, RepoFs,
 };
 use sbomdiff_registry::{FlakyRegistry, Registries, RegistryClient};
-use sbomdiff_types::{
-    Component, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom,
-    Version,
-};
+use sbomdiff_types::{Component, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom, Version};
 
 use crate::profile::{GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy};
 use crate::{SbomGenerator, ToolId};
@@ -127,8 +123,19 @@ impl SbomGenerator for ToolEmulator<'_> {
     }
 
     fn generate(&self, repo: &RepoFs) -> Sbom {
-        let mut sbom = Sbom::new(self.profile.id.label(), self.profile.id.version())
-            .with_subject(repo.name());
+        self.generate_with_cache(repo, &crate::ParseCache::new())
+    }
+}
+
+impl ToolEmulator<'_> {
+    /// Scans `repo` reusing (and populating) a shared metadata-parse
+    /// cache — the differential pipeline scans every repository with four
+    /// tools, and the cache makes each manifest parse happen once per
+    /// dialect instead of once per tool. Byte-identical to
+    /// [`generate`](SbomGenerator::generate).
+    pub fn generate_with_cache(&self, repo: &RepoFs, cache: &crate::ParseCache) -> Sbom {
+        let mut sbom =
+            Sbom::new(self.profile.id.label(), self.profile.id.version()).with_subject(repo.name());
         for (path, kind) in repo.metadata_files() {
             if !self.profile.support.supports(kind) {
                 continue;
@@ -148,18 +155,18 @@ impl SbomGenerator for ToolEmulator<'_> {
                     continue; // go.sum carries the richer module list
                 }
             }
-            let deps = parse_file(repo, path, kind, &self.profile);
+            let deps = cache.parse(repo, path, kind, self.profile.req_style);
             let eco = kind.ecosystem();
             let client = self.client_for(eco, repo);
             let mut emitted: Vec<(String, Version)> = Vec::new();
-            for dep in deps {
+            for dep in deps.iter() {
                 if !dep.source.is_registry() {
                     continue; // Table IV: exotic sources yield nothing
                 }
                 if dep.scope == DepScope::Dev && !self.profile.include_dev {
                     continue;
                 }
-                let Some(component) = self.render(&dep, kind, path, client.as_ref()) else {
+                let Some(component) = self.render(dep, kind, path, client.as_ref()) else {
                     continue;
                 };
                 // Track concrete versions for transitive expansion.
@@ -211,13 +218,9 @@ impl ToolEmulator<'_> {
             }
         } else {
             match self.profile.version_policy {
-                VersionPolicy::DropUnpinned => {
-                    Some(self.render_version(eco, &pinned?))
-                }
+                VersionPolicy::DropUnpinned => Some(self.render_version(eco, &pinned?)),
                 VersionPolicy::Verbatim => match &pinned {
-                    Some(v) if is_tight_pin(&dep.req_text) => {
-                        Some(self.render_version(eco, v))
-                    }
+                    Some(v) if is_tight_pin(&dep.req_text) => Some(self.render_version(eco, v)),
                     _ if !dep.req_text.is_empty() => Some(dep.req_text.clone()),
                     _ => None,
                 },
@@ -230,9 +233,7 @@ impl ToolEmulator<'_> {
                             client.versions(dep.name.raw())?;
                             v.clone()
                         }
-                        (None, Some(req)) => {
-                            client.latest_matching(dep.name.raw(), req)?
-                        }
+                        (None, Some(req)) => client.latest_matching(dep.name.raw(), req)?,
                         (None, None) => client.latest(dep.name.raw())?,
                     };
                     canonicalized = true;
@@ -327,8 +328,8 @@ impl ToolEmulator<'_> {
                 if !visited.insert(edge.name.clone()) {
                     continue;
                 }
-                let rendered = self
-                    .render_name(eco, &sbomdiff_types::name::normalize(eco, &edge.name));
+                let rendered =
+                    self.render_name(eco, &sbomdiff_types::name::normalize(eco, &edge.name));
                 let version_str = self.render_version(eco, &resolved);
                 let purl = Purl::for_package(eco, &rendered, Some(&version_str));
                 sbom.push(
@@ -359,11 +360,8 @@ fn is_tight_pin(req_text: &str) -> bool {
 /// Merges duplicate (name, version) entries (best practice §VII; kept here
 /// so ablations can grant it to any profile).
 fn merge(sbom: Sbom) -> Sbom {
-    let mut out = Sbom::new(
-        sbom.meta.tool_name.clone(),
-        sbom.meta.tool_version.clone(),
-    )
-    .with_subject(sbom.meta.subject.clone());
+    let mut out = Sbom::new(sbom.meta.tool_name.clone(), sbom.meta.tool_version.clone())
+        .with_subject(sbom.meta.subject.clone());
     let mut seen = std::collections::BTreeSet::new();
     for c in sbom.components() {
         let key = (c.name.clone(), c.version.clone());
@@ -374,17 +372,18 @@ fn merge(sbom: Sbom) -> Sbom {
     out
 }
 
-/// Dispatches to the right parser for a file, honoring the profile's
-/// requirements dialect.
-fn parse_file(
+/// Dispatches to the right parser for a file, honoring the requirements
+/// dialect (the only profile-dependent parser input — which is what makes
+/// the [`crate::ParseCache`] keying sound).
+pub(crate) fn parse_with_style(
     repo: &RepoFs,
     path: &str,
     kind: MetadataKind,
-    profile: &ToolProfile,
+    style: python::ReqStyle,
 ) -> Vec<DeclaredDependency> {
     let text = || repo.text(path).unwrap_or_default();
     match kind {
-        MetadataKind::RequirementsTxt => python::parse_requirements(text(), profile.req_style),
+        MetadataKind::RequirementsTxt => python::parse_requirements(text(), style),
         MetadataKind::PoetryLock => python::parse_poetry_lock(text()),
         MetadataKind::PipfileLock => python::parse_pipfile_lock(text()),
         MetadataKind::SetupPy => python::parse_setup_py(text()),
@@ -405,9 +404,7 @@ fn parse_file(
         MetadataKind::PomProperties => java::parse_pom_properties(text()),
         MetadataKind::GoMod => golang::parse_go_mod(text()),
         MetadataKind::GoSum => golang::parse_go_sum(text()),
-        MetadataKind::GoBinary => {
-            golang::parse_go_binary(repo.bytes(path).unwrap_or_default())
-        }
+        MetadataKind::GoBinary => golang::parse_go_binary(repo.bytes(path).unwrap_or_default()),
         MetadataKind::CargoToml => rust_lang::parse_cargo_toml(text()),
         MetadataKind::CargoLock => rust_lang::parse_cargo_lock(text()),
         MetadataKind::RustBinary => {
@@ -460,7 +457,11 @@ mod tests {
             .find(|c| c.name == "requests")
             .unwrap();
         assert_eq!(requests.version.as_deref(), Some(">=2.8.1"));
-        let flask = sbom.components().iter().find(|c| c.name == "flask").unwrap();
+        let flask = sbom
+            .components()
+            .iter()
+            .find(|c| c.name == "flask")
+            .unwrap();
         assert_eq!(flask.version, None);
     }
 
@@ -545,10 +546,7 @@ mod tests {
     #[test]
     fn go_v_prefix_conventions_diverge() {
         let mut repo = RepoFs::new("go-demo");
-        repo.add_text(
-            "go.mod",
-            "module m\nrequire github.com/pkg/errors v0.9.1\n",
-        );
+        repo.add_text("go.mod", "module m\nrequire github.com/pkg/errors v0.9.1\n");
         let trivy = ToolEmulator::trivy().generate(&repo);
         let syft = ToolEmulator::syft().generate(&repo);
         assert_eq!(trivy.components()[0].version.as_deref(), Some("0.9.1"));
@@ -594,10 +592,7 @@ mod tests {
     #[test]
     fn trivy_prefers_gosum_over_gomod() {
         let mut repo = RepoFs::new("go-pref");
-        repo.add_text(
-            "go.mod",
-            "module m\nrequire github.com/pkg/errors v0.9.1\n",
-        );
+        repo.add_text("go.mod", "module m\nrequire github.com/pkg/errors v0.9.1\n");
         repo.add_text(
             "go.sum",
             "github.com/pkg/errors v0.9.1 h1:x=\ngolang.org/x/sync v0.3.0 h1:y=\n",
@@ -694,8 +689,7 @@ mod marker_blindness_tests {
         );
         // Trivy: composer.lock only (prod only), no csproj, no Package.swift.
         let trivy = ToolEmulator::trivy().generate(&repo);
-        let trivy_names: Vec<&str> =
-            trivy.components().iter().map(|c| c.name.as_str()).collect();
+        let trivy_names: Vec<&str> = trivy.components().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(trivy_names, vec!["monolog/monolog"]);
         // GitHub DG: composer.lock (dev incl) + csproj + Package.swift.
         let github = ToolEmulator::github_dg().generate(&repo);

@@ -13,15 +13,15 @@
 //! component, duplicate merging) as a fifth generator.
 
 pub mod bestpractice;
+pub mod cache;
 pub mod emulator;
 pub mod profile;
 pub mod support;
 
 pub use bestpractice::BestPracticeGenerator;
+pub use cache::ParseCache;
 pub use emulator::ToolEmulator;
-pub use profile::{
-    GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy,
-};
+pub use profile::{GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy};
 pub use support::SupportMatrix;
 
 use sbomdiff_metadata::RepoFs;
@@ -82,7 +82,13 @@ impl std::fmt::Display for ToolId {
 }
 
 /// An SBOM generator: scans a repository and produces an SBOM.
-pub trait SbomGenerator {
+///
+/// `Sync` is a supertrait so any generator can be driven by the parallel
+/// `(repository × tool)` fan-out in `sbomdiff-experiments`; scanning takes
+/// `&self` and must be free of unsynchronized interior mutability (the
+/// sbom-tool emulator's flaky registry counter, for example, lives in a
+/// per-scan client, not in the emulator).
+pub trait SbomGenerator: Sync {
     /// The tool identity.
     fn id(&self) -> ToolId;
 
@@ -124,5 +130,15 @@ mod tests {
         let tools = studied_tools(&regs, 0.0);
         let ids: Vec<ToolId> = tools.iter().map(|t| t.id()).collect();
         assert_eq!(ids, ToolId::STUDIED.to_vec());
+    }
+
+    #[test]
+    fn generators_are_send_and_sync() {
+        // The parallel fan-out moves shared references to emulators across
+        // worker threads; regressing these bounds would break it.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ToolEmulator<'static>>();
+        assert_send_sync::<BestPracticeGenerator<'static>>();
+        assert_send_sync::<ParseCache>();
     }
 }

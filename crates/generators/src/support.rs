@@ -53,27 +53,90 @@ impl SupportMatrix {
         use MetadataKind::*;
         let kinds: &[MetadataKind] = match tool {
             ToolId::Trivy => &[
-                GoMod, GoSum, GoBinary, PomXml, GradleLockfile, ManifestMf, PomProperties,
-                PackageLockJson, ComposerLock, RequirementsTxt, PoetryLock, PipfileLock,
-                GemfileLock, Gemspec, CargoLock, RustBinary, PackageResolved, PodfileLock,
+                GoMod,
+                GoSum,
+                GoBinary,
+                PomXml,
+                GradleLockfile,
+                ManifestMf,
+                PomProperties,
+                PackageLockJson,
+                ComposerLock,
+                RequirementsTxt,
+                PoetryLock,
+                PipfileLock,
+                GemfileLock,
+                Gemspec,
+                CargoLock,
+                RustBinary,
+                PackageResolved,
+                PodfileLock,
                 PackagesLockJson,
             ],
             ToolId::Syft => &[
-                GoMod, GoBinary, PomXml, GradleLockfile, ManifestMf, PomProperties,
-                PackageLockJson, YarnLock, PnpmLock, ComposerLock, RequirementsTxt,
-                PoetryLock, PipfileLock, GemfileLock, Gemspec, CargoLock, RustBinary,
-                PodfileLock, PackagesConfig, PackagesLockJson,
+                GoMod,
+                GoBinary,
+                PomXml,
+                GradleLockfile,
+                ManifestMf,
+                PomProperties,
+                PackageLockJson,
+                YarnLock,
+                PnpmLock,
+                ComposerLock,
+                RequirementsTxt,
+                PoetryLock,
+                PipfileLock,
+                GemfileLock,
+                Gemspec,
+                CargoLock,
+                RustBinary,
+                PodfileLock,
+                PackagesConfig,
+                PackagesLockJson,
             ],
             ToolId::SbomTool => &[
-                GoMod, PomXml, GradleLockfile, PackageLockJson, YarnLock, PnpmLock,
-                RequirementsTxt, PoetryLock, PipfileLock, GemfileLock, Gemspec, CargoLock,
-                PackageResolved, PodfileLock, Csproj, PackagesConfig, PackagesLockJson,
+                GoMod,
+                PomXml,
+                GradleLockfile,
+                PackageLockJson,
+                YarnLock,
+                PnpmLock,
+                RequirementsTxt,
+                PoetryLock,
+                PipfileLock,
+                GemfileLock,
+                Gemspec,
+                CargoLock,
+                PackageResolved,
+                PodfileLock,
+                Csproj,
+                PackagesConfig,
+                PackagesLockJson,
             ],
             ToolId::GithubDg => &[
-                GoMod, PomXml, GradleLockfile, PackageJson, PackageLockJson, YarnLock,
-                ComposerJson, ComposerLock, RequirementsTxt, PoetryLock, PipfileLock,
-                SetupPy, Gemfile, GemfileLock, Gemspec, CargoToml, CargoLock, PackageSwift,
-                PackageResolved, Csproj, PackagesConfig, PackagesLockJson,
+                GoMod,
+                PomXml,
+                GradleLockfile,
+                PackageJson,
+                PackageLockJson,
+                YarnLock,
+                ComposerJson,
+                ComposerLock,
+                RequirementsTxt,
+                PoetryLock,
+                PipfileLock,
+                SetupPy,
+                Gemfile,
+                GemfileLock,
+                Gemspec,
+                CargoToml,
+                CargoLock,
+                PackageSwift,
+                PackageResolved,
+                Csproj,
+                PackagesConfig,
+                PackagesLockJson,
             ],
             ToolId::BestPractice => return SupportMatrix::from_kinds(&MetadataKind::ALL),
         };
@@ -82,9 +145,7 @@ impl SupportMatrix {
             // §V-A: "Despite claims by Trivy and Syft to support
             // package.json, they do not extract dependencies from the JSON
             // file."
-            ToolId::Trivy | ToolId::Syft => {
-                matrix.with_claimed_only(&[PackageJson])
-            }
+            ToolId::Trivy | ToolId::Syft => matrix.with_claimed_only(&[PackageJson]),
             _ => matrix,
         }
     }
@@ -150,7 +211,11 @@ mod tests {
                 m,
                 "sbom-tool vs Table II on {kind:?}"
             );
-            assert_eq!(github.supports(kind), g, "GitHub DG vs Table II on {kind:?}");
+            assert_eq!(
+                github.supports(kind),
+                g,
+                "GitHub DG vs Table II on {kind:?}"
+            );
         }
     }
 
@@ -184,7 +249,10 @@ mod tests {
         for raw in [Gemfile, CargoToml, PackageJson, ComposerJson, SetupPy] {
             assert!(github.supports(raw), "{raw:?}");
             for tool in [ToolId::Trivy, ToolId::Syft, ToolId::SbomTool] {
-                assert!(!SupportMatrix::for_tool(tool).supports(raw), "{tool} {raw:?}");
+                assert!(
+                    !SupportMatrix::for_tool(tool).supports(raw),
+                    "{tool} {raw:?}"
+                );
             }
         }
     }

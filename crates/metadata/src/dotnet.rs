@@ -1,9 +1,7 @@
 //! .NET/NuGet metadata parsing: `*.csproj` `PackageReference` items,
 //! `packages.config` and `packages.lock.json`.
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
 
 use sbomdiff_textformats::{json, xml, Value};
 
@@ -39,9 +37,12 @@ fn collect_package_refs(el: &xml::Element, out: &mut Vec<DeclaredDependency>) {
             let req = version
                 .as_deref()
                 .and_then(|v| VersionReq::parse(v, ConstraintFlavor::Maven).ok());
-            let scope = if dev { DepScope::Dev } else { DepScope::Runtime };
-            let mut dep =
-                DeclaredDependency::new(Ecosystem::DotNet, name, req).with_scope(scope);
+            let scope = if dev {
+                DepScope::Dev
+            } else {
+                DepScope::Runtime
+            };
+            let mut dep = DeclaredDependency::new(Ecosystem::DotNet, name, req).with_scope(scope);
             dep.req_text = version.unwrap_or_default();
             out.push(dep);
         } else {
@@ -69,7 +70,11 @@ pub fn parse_packages_config(text: &str) -> Vec<DeclaredDependency> {
         let req = version
             .and_then(|v| sbomdiff_types::Version::parse(v).ok())
             .map(VersionReq::exact);
-        let scope = if dev { DepScope::Dev } else { DepScope::Runtime };
+        let scope = if dev {
+            DepScope::Dev
+        } else {
+            DepScope::Runtime
+        };
         let mut dep = DeclaredDependency::new(Ecosystem::DotNet, id, req).with_scope(scope);
         dep.req_text = version.unwrap_or_default().to_string();
         out.push(dep);

@@ -6,9 +6,7 @@
 //! modules compiled into the binary, which mirrors what Trivy and Syft read
 //! from real Go binaries (Table II "Go executable").
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
 
 /// Magic marker introducing the simulated Go buildinfo section.
 pub const GO_BUILDINFO_MAGIC: &str = "\u{1}SBOMDIFF-GO-BUILDINFO\n";
@@ -44,7 +42,10 @@ pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
             in_require = true;
             continue;
         }
-        if line.starts_with("exclude (") || line.starts_with("replace (") || line.starts_with("retract (") {
+        if line.starts_with("exclude (")
+            || line.starts_with("replace (")
+            || line.starts_with("retract (")
+        {
             in_other_block = true;
             continue;
         }
@@ -60,11 +61,7 @@ pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
                 let mut to_parts = to.split_whitespace();
                 let to_mod = to_parts.next().unwrap_or("");
                 let to_ver = to_parts.next().unwrap_or("");
-                replaces.push((
-                    from_mod.to_string(),
-                    to_mod.to_string(),
-                    to_ver.to_string(),
-                ));
+                replaces.push((from_mod.to_string(), to_mod.to_string(), to_ver.to_string()));
             }
         }
     }
@@ -178,9 +175,7 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.is_empty() || haystack.len() < needle.len() {
         return None;
     }
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]

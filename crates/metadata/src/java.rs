@@ -9,9 +9,7 @@
 
 use std::collections::HashMap;
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
 
 use sbomdiff_textformats::{properties, xml, Element};
 
@@ -160,8 +158,7 @@ pub fn parse_gradle_lockfile(text: &str) -> Vec<DeclaredDependency> {
         let req = sbomdiff_types::Version::parse(version)
             .ok()
             .map(VersionReq::exact);
-        let mut dep =
-            DeclaredDependency::new(Ecosystem::Java, format!("{group}:{artifact}"), req);
+        let mut dep = DeclaredDependency::new(Ecosystem::Java, format!("{group}:{artifact}"), req);
         dep.req_text = version.to_string();
         out.push(dep);
     }
@@ -175,7 +172,8 @@ pub fn parse_manifest_mf(text: &str) -> Vec<DeclaredDependency> {
     let name = properties::get_ignore_case(&pairs, "Bundle-SymbolicName")
         .map(|s| s.split(';').next().unwrap_or(s).trim().to_string())
         .or_else(|| {
-            properties::get_ignore_case(&pairs, "Implementation-Title").map(|s| s.trim().to_string())
+            properties::get_ignore_case(&pairs, "Implementation-Title")
+                .map(|s| s.trim().to_string())
         });
     let version = properties::get_ignore_case(&pairs, "Bundle-Version")
         .or_else(|| properties::get_ignore_case(&pairs, "Implementation-Version"));

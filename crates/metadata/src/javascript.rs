@@ -1,9 +1,7 @@
 //! JavaScript/npm metadata parsing: `package.json`, `package-lock.json`
 //! (v1–v3), `yarn.lock` (v1) and `pnpm-lock.yaml` (v5/v6 key styles).
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
 
 use sbomdiff_textformats::{json, yaml, Value};
 
@@ -26,9 +24,8 @@ pub fn parse_package_json(text: &str) -> Vec<DeclaredDependency> {
             for (name, spec) in entries {
                 let spec_text = spec.as_str().unwrap_or_default().to_string();
                 let req = VersionReq::parse(&spec_text, ConstraintFlavor::Npm).ok();
-                let mut dep =
-                    DeclaredDependency::new(Ecosystem::JavaScript, name.clone(), req)
-                        .with_scope(scope);
+                let mut dep = DeclaredDependency::new(Ecosystem::JavaScript, name.clone(), req)
+                    .with_scope(scope);
                 dep.req_text = spec_text;
                 out.push(dep);
             }
@@ -79,9 +76,9 @@ fn collect_v1(deps: &[(String, Value)], out: &mut Vec<DeclaredDependency>) {
 }
 
 fn lock_entry(name: &str, version: &str, dev: bool) -> DeclaredDependency {
-    let req = VersionReq::parse(version, ConstraintFlavor::Npm).ok().and_then(|r| {
-        r.pinned().cloned().map(VersionReq::exact)
-    });
+    let req = VersionReq::parse(version, ConstraintFlavor::Npm)
+        .ok()
+        .and_then(|r| r.pinned().cloned().map(VersionReq::exact));
     let req = req.or_else(|| {
         sbomdiff_types::Version::parse(version)
             .ok()

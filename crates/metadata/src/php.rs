@@ -1,8 +1,6 @@
 //! PHP/Composer metadata parsing: `composer.json` and `composer.lock`.
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
 
 use sbomdiff_textformats::{json, Value};
 
@@ -66,8 +64,7 @@ pub fn parse_composer_lock(text: &str) -> Vec<DeclaredDependency> {
                 let req = sbomdiff_types::Version::parse(version)
                     .ok()
                     .map(VersionReq::exact);
-                let mut dep =
-                    DeclaredDependency::new(Ecosystem::Php, name, req).with_scope(scope);
+                let mut dep = DeclaredDependency::new(Ecosystem::Php, name, req).with_scope(scope);
                 dep.req_text = version.to_string();
                 out.push(dep);
             }

@@ -45,10 +45,7 @@ pub enum ReqStyle {
 pub fn parse_requirements(text: &str, style: ReqStyle) -> Vec<DeclaredDependency> {
     match style {
         ReqStyle::Pip => parse_requirements_pip(text),
-        ReqStyle::TrivySyft => text
-            .lines()
-            .filter_map(parse_line_trivy_syft)
-            .collect(),
+        ReqStyle::TrivySyft => text.lines().filter_map(parse_line_trivy_syft).collect(),
         ReqStyle::SbomTool => text.lines().filter_map(parse_line_sbom_tool).collect(),
         ReqStyle::GithubDg => text.lines().filter_map(parse_line_github).collect(),
     }
@@ -274,8 +271,7 @@ fn parse_url_or_path(s: &str) -> Option<DeclaredDependency> {
         vcs_source(VcsKind::Hg, s)
     } else if lower.starts_with("svn+") {
         vcs_source(VcsKind::Svn, s)
-    } else if lower.starts_with("http") || lower.starts_with("ftp") || lower.starts_with("file")
-    {
+    } else if lower.starts_with("http") || lower.starts_with("ftp") || lower.starts_with("file") {
         DependencySource::Url(s.to_string())
     } else {
         DependencySource::Path(s.to_string())
@@ -526,7 +522,12 @@ fn extract_list_strings(text: &str, key: &str) -> Vec<String> {
         return Vec::new();
     };
     // Only an '=' (possibly spaced) may sit between key and '['.
-    if !after[..open_rel].trim().trim_start_matches('=').trim().is_empty() {
+    if !after[..open_rel]
+        .trim()
+        .trim_start_matches('=')
+        .trim()
+        .is_empty()
+    {
         return Vec::new();
     }
     collect_strings_until_close(&after[open_rel..], '[', ']')
@@ -541,7 +542,12 @@ fn extract_dict_list_strings(text: &str, key: &str) -> Vec<String> {
     let Some(open_rel) = after.find('{') else {
         return Vec::new();
     };
-    if !after[..open_rel].trim().trim_start_matches('=').trim().is_empty() {
+    if !after[..open_rel]
+        .trim()
+        .trim_start_matches('=')
+        .trim()
+        .is_empty()
+    {
         return Vec::new();
     }
     // Every string in the dict that is inside a nested list is a requirement;
@@ -630,9 +636,7 @@ pub fn parse_poetry_lock(text: &str) -> Vec<DeclaredDependency> {
                 _ => DepScope::Runtime,
             };
             let req = VersionReq::parse(&format!("=={version}"), ConstraintFlavor::Pep440).ok();
-            out.push(
-                DeclaredDependency::new(Ecosystem::Python, name, req).with_scope(scope),
-            );
+            out.push(DeclaredDependency::new(Ecosystem::Python, name, req).with_scope(scope));
         }
     }
     out
@@ -765,10 +769,7 @@ mod tests {
 
     #[test]
     fn pip_markers_preserved() {
-        let deps = parse_requirements(
-            "pywin32>=1.0; sys_platform == 'win32'\n",
-            ReqStyle::Pip,
-        );
+        let deps = parse_requirements("pywin32>=1.0; sys_platform == 'win32'\n", ReqStyle::Pip);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].marker.as_deref(), Some("sys_platform == 'win32'"));
     }
@@ -1018,7 +1019,10 @@ pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
     };
     let mut out = Vec::new();
     // PEP 621: [project] dependencies = ["requests>=2.8", ...]
-    if let Some(deps) = doc.pointer("project/dependencies").and_then(Value::as_array) {
+    if let Some(deps) = doc
+        .pointer("project/dependencies")
+        .and_then(Value::as_array)
+    {
         for d in deps {
             if let Some(line) = d.as_str() {
                 if let Some(dep) = parse_line_pip(line) {
@@ -1069,8 +1073,7 @@ pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
                     VersionReq::parse(&spec_text, ConstraintFlavor::Npm).ok()
                 };
                 let mut dep =
-                    DeclaredDependency::new(Ecosystem::Python, name.clone(), req)
-                        .with_scope(scope);
+                    DeclaredDependency::new(Ecosystem::Python, name.clone(), req).with_scope(scope);
                 dep.req_text = spec_text;
                 out.push(dep);
             }

@@ -35,8 +35,14 @@ impl RepoFs {
     ///
     /// Returns any I/O error encountered while walking the tree.
     pub fn from_dir(root: impl AsRef<Path>) -> io::Result<RepoFs> {
-        const SKIP_DIRS: [&str; 6] =
-            [".git", "node_modules", "target", "vendor", ".venv", "__pycache__"];
+        const SKIP_DIRS: [&str; 6] = [
+            ".git",
+            "node_modules",
+            "target",
+            "vendor",
+            ".venv",
+            "__pycache__",
+        ];
         const MAX_FILE: u64 = 4 * 1024 * 1024;
         let root = root.as_ref();
         let name = root
@@ -84,8 +90,7 @@ impl RepoFs {
 
     /// Adds (or replaces) a UTF-8 text file.
     pub fn add_text(&mut self, path: impl Into<String>, content: impl Into<String>) {
-        self.files
-            .insert(path.into(), content.into().into_bytes());
+        self.files.insert(path.into(), content.into().into_bytes());
     }
 
     /// Adds (or replaces) a binary file.

@@ -31,7 +31,10 @@ pub fn parse_gemfile(text: &str) -> Vec<DeclaredDependency> {
             group_stack.pop();
             continue;
         }
-        if let Some(rest) = line.strip_prefix("gem ").or_else(|| line.strip_prefix("gem(")) {
+        if let Some(rest) = line
+            .strip_prefix("gem ")
+            .or_else(|| line.strip_prefix("gem("))
+        {
             if let Some(dep) = parse_gem_call(rest, group_stack.last().copied()) {
                 out.push(dep);
             }
@@ -204,9 +207,15 @@ pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
     for raw in text.lines() {
         let line = strip_ruby_comment(raw).trim();
         let (call, scope) = if let Some(i) = line.find("add_development_dependency") {
-            (&line[i + "add_development_dependency".len()..], DepScope::Dev)
+            (
+                &line[i + "add_development_dependency".len()..],
+                DepScope::Dev,
+            )
         } else if let Some(i) = line.find("add_runtime_dependency") {
-            (&line[i + "add_runtime_dependency".len()..], DepScope::Runtime)
+            (
+                &line[i + "add_runtime_dependency".len()..],
+                DepScope::Runtime,
+            )
         } else if let Some(i) = line.find("add_dependency") {
             (&line[i + "add_dependency".len()..], DepScope::Runtime)
         } else {
@@ -217,11 +226,7 @@ pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
         let Some(name) = parts.first().and_then(|p| unquote(p)) else {
             continue;
         };
-        let reqs: Vec<String> = parts
-            .iter()
-            .skip(1)
-            .filter_map(|p| unquote(p))
-            .collect();
+        let reqs: Vec<String> = parts.iter().skip(1).filter_map(|p| unquote(p)).collect();
         let req_text = reqs.join(", ");
         let req = if req_text.is_empty() {
             None

@@ -4,9 +4,7 @@
 //! CocoaPods subspecs (`Firebase/Auth`) are kept structurally — §V-E shows
 //! Syft/Trivy report the subspec while sbom-tool reports the main pod.
 
-use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, Ecosystem, VersionReq,
-};
+use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, Ecosystem, VersionReq};
 
 use sbomdiff_textformats::{json, yaml, Value};
 
@@ -75,7 +73,9 @@ fn extract_labeled_string(call: &str, label: &str) -> Option<String> {
 
 fn swift_requirement(call: &str) -> (String, Option<VersionReq>) {
     if let Some(v) = extract_labeled_string(call, "exact:") {
-        let req = sbomdiff_types::Version::parse(&v).ok().map(VersionReq::exact);
+        let req = sbomdiff_types::Version::parse(&v)
+            .ok()
+            .map(VersionReq::exact);
         return (format!("exact: {v}"), req);
     }
     if call.contains(".upToNextMinor") {
@@ -93,16 +93,17 @@ fn swift_requirement(call: &str) -> (String, Option<VersionReq>) {
     if let Some(range_idx) = call.find("..<") {
         let before = &call[..range_idx];
         let after = &call[range_idx + 3..];
-        let lo = before.rfind('"').and_then(|e| {
-            before[..e].rfind('"').map(|s| before[s + 1..e].to_string())
-        });
+        let lo = before
+            .rfind('"')
+            .and_then(|e| before[..e].rfind('"').map(|s| before[s + 1..e].to_string()));
         let hi = after.find('"').and_then(|s| {
-            after[s + 1..].find('"').map(|e| after[s + 1..s + 1 + e].to_string())
+            after[s + 1..]
+                .find('"')
+                .map(|e| after[s + 1..s + 1 + e].to_string())
         });
         if let (Some(lo), Some(hi)) = (lo, hi) {
             let text = format!("{lo}..<{hi}");
-            let req =
-                VersionReq::parse(&format!(">={lo}, <{hi}"), ConstraintFlavor::Pep440).ok();
+            let req = VersionReq::parse(&format!(">={lo}, <{hi}"), ConstraintFlavor::Pep440).ok();
             return (text, req);
         }
     }
@@ -313,12 +314,28 @@ let package = Package(
         );
         assert_eq!(deps.len(), 5);
         assert_eq!(deps[0].name.raw(), "swift-nio");
-        assert!(deps[0].req.as_ref().unwrap().matches(&Version::parse("2.99.0").unwrap()));
+        assert!(deps[0]
+            .req
+            .as_ref()
+            .unwrap()
+            .matches(&Version::parse("2.99.0").unwrap()));
         assert_eq!(deps[1].pinned_version().unwrap().to_string(), "1.5.2");
-        assert!(deps[2].req.as_ref().unwrap().matches(&Version::parse("4.76.5").unwrap()));
-        assert!(!deps[2].req.as_ref().unwrap().matches(&Version::parse("4.77.0").unwrap()));
+        assert!(deps[2]
+            .req
+            .as_ref()
+            .unwrap()
+            .matches(&Version::parse("4.76.5").unwrap()));
+        assert!(!deps[2]
+            .req
+            .as_ref()
+            .unwrap()
+            .matches(&Version::parse("4.77.0").unwrap()));
         assert!(deps[3].req.is_none());
-        assert!(deps[4].req.as_ref().unwrap().matches(&Version::parse("1.5.0").unwrap()));
+        assert!(deps[4]
+            .req
+            .as_ref()
+            .unwrap()
+            .matches(&Version::parse("1.5.0").unwrap()));
     }
 
     #[test]

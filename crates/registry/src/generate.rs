@@ -104,7 +104,10 @@ pub fn generate(config: &UniverseConfig) -> PackageUniverse {
                 let target = &names[j];
                 let target_versions = uni.versions(target);
                 let anchor = target_versions
-                    .get(rng.gen_range(0..target_versions.len().max(1)).min(target_versions.len().saturating_sub(1)))
+                    .get(
+                        rng.gen_range(0..target_versions.len().max(1))
+                            .min(target_versions.len().saturating_sub(1)),
+                    )
                     .copied()
                     .cloned()
                     .unwrap_or_else(|| Version::new(1, 0, 0));
@@ -143,13 +146,13 @@ pub fn generate(config: &UniverseConfig) -> PackageUniverse {
 const EXTRA_NAMES: [&str; 6] = ["security", "socks", "dev", "test", "docs", "async"];
 
 const SYLLABLES: [&str; 24] = [
-    "ar", "bel", "cor", "dex", "fen", "gal", "hex", "ion", "jet", "kal", "lum", "mar",
-    "nex", "ori", "pix", "qua", "rum", "sol", "tor", "umb", "vex", "wiz", "yar", "zen",
+    "ar", "bel", "cor", "dex", "fen", "gal", "hex", "ion", "jet", "kal", "lum", "mar", "nex",
+    "ori", "pix", "qua", "rum", "sol", "tor", "umb", "vex", "wiz", "yar", "zen",
 ];
 
 const WORDS: [&str; 20] = [
-    "data", "net", "http", "json", "auth", "cache", "log", "test", "async", "core",
-    "util", "parse", "crypt", "time", "file", "task", "mesh", "grid", "flow", "sync",
+    "data", "net", "http", "json", "auth", "cache", "log", "test", "async", "core", "util",
+    "parse", "crypt", "time", "file", "task", "mesh", "grid", "flow", "sync",
 ];
 
 fn syllable_word(rng: &mut StdRng) -> String {
@@ -339,14 +342,8 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                 "pyopenssl",
                 &[("22.1.0", vec![]), ("23.2.0", vec![])],
             ));
-            uni.insert(entry(
-                "pysocks",
-                &[("1.7.0", vec![]), ("1.7.1", vec![])],
-            ));
-            uni.insert(entry(
-                "urllib3",
-                &[("1.26.15", vec![]), ("2.0.4", vec![])],
-            ));
+            uni.insert(entry("pysocks", &[("1.7.0", vec![]), ("1.7.1", vec![])]));
+            uni.insert(entry("urllib3", &[("1.26.15", vec![]), ("2.0.4", vec![])]));
             uni.insert(entry(
                 "requests",
                 &[
@@ -383,14 +380,14 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                     ("1.25.2", vec![]),
                 ],
             ));
-            uni.insert(entry(
-                "markupsafe",
-                &[("2.0.1", vec![]), ("2.1.3", vec![])],
-            ));
+            uni.insert(entry("markupsafe", &[("2.0.1", vec![]), ("2.1.3", vec![])]));
             uni.insert(entry(
                 "jinja2",
                 &[
-                    ("2.11.3", vec![RegistryDep::new("markupsafe", req(">=0.23"))]),
+                    (
+                        "2.11.3",
+                        vec![RegistryDep::new("markupsafe", req(">=0.23"))],
+                    ),
                     ("3.1.2", vec![RegistryDep::new("markupsafe", req(">=2.0"))]),
                 ],
             ));
@@ -398,7 +395,10 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                 "werkzeug",
                 &[
                     ("2.0.0", vec![RegistryDep::new("markupsafe", req(">=2.0"))]),
-                    ("2.3.6", vec![RegistryDep::new("markupsafe", req(">=2.1.1"))]),
+                    (
+                        "2.3.6",
+                        vec![RegistryDep::new("markupsafe", req(">=2.1.1"))],
+                    ),
                 ],
             ));
             uni.insert(entry("click", &[("7.1.2", vec![]), ("8.1.6", vec![])]));
@@ -429,14 +429,8 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                     ),
                 ],
             ));
-            uni.insert(entry(
-                "pytest",
-                &[("7.0.0", vec![]), ("7.4.0", vec![])],
-            ));
-            uni.insert(entry(
-                "pywin32",
-                &[("305", vec![]), ("306", vec![])],
-            ));
+            uni.insert(entry("pytest", &[("7.0.0", vec![]), ("7.4.0", vec![])]));
+            uni.insert(entry("pywin32", &[("305", vec![]), ("306", vec![])]));
         }
         Ecosystem::JavaScript => {
             uni.insert(entry("lodash", &[("4.17.20", vec![]), ("4.17.21", vec![])]));
@@ -453,10 +447,7 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
             ));
             uni.insert(entry(
                 "express",
-                &[(
-                    "4.18.2",
-                    vec![RegistryDep::new("debug", req("^4.3.4"))],
-                )],
+                &[("4.18.2", vec![RegistryDep::new("debug", req("^4.3.4"))])],
             ));
             uni.insert(entry("jest", &[("29.6.2", vec![])]));
             uni.insert(entry("@babel/core", &[("7.22.9", vec![])]));
@@ -465,7 +456,10 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
             uni.insert(entry("rake", &[("13.0.6", vec![])]));
             uni.insert(entry(
                 "rails",
-                &[("6.1.7", vec![]), ("7.0.4", vec![RegistryDep::new("rake", req(">= 12.2"))])],
+                &[
+                    ("6.1.7", vec![]),
+                    ("7.0.4", vec![RegistryDep::new("rake", req(">= 12.2"))]),
+                ],
             ));
             uni.insert(entry("rspec", &[("3.12.0", vec![])]));
         }
@@ -499,14 +493,8 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                 "github.com/stretchr/testify",
                 &[("v1.8.0", vec![]), ("v1.8.4", vec![])],
             ));
-            uni.insert(entry(
-                "golang.org/x/sync",
-                &[("v0.3.0", vec![])],
-            ));
-            uni.insert(entry(
-                "github.com/pkg/errors",
-                &[("v0.9.1", vec![])],
-            ));
+            uni.insert(entry("golang.org/x/sync", &[("v0.3.0", vec![])]));
+            uni.insert(entry("github.com/pkg/errors", &[("v0.9.1", vec![])]));
         }
         Ecosystem::Rust => {
             uni.insert(entry("serde", &[("1.0.160", vec![]), ("1.0.188", vec![])]));
@@ -514,10 +502,7 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
             uni.insert(entry("proptest", &[("1.2.0", vec![])]));
         }
         Ecosystem::Swift => {
-            uni.insert(entry(
-                "FirebaseAuth",
-                &[("10.12.0", vec![])],
-            ));
+            uni.insert(entry("FirebaseAuth", &[("10.12.0", vec![])]));
             uni.insert(entry(
                 "Firebase",
                 &[(
@@ -534,10 +519,7 @@ fn curated(eco: Ecosystem, uni: &mut PackageUniverse) {
                 &[("12.0.3", vec![]), ("13.0.3", vec![])],
             ));
             uni.insert(entry("System.Memory", &[("4.5.5", vec![])]));
-            uni.insert(entry(
-                "Serilog",
-                &[("3.0.1", vec![])],
-            ));
+            uni.insert(entry("Serilog", &[("3.0.1", vec![])]));
         }
     }
 }
@@ -554,7 +536,10 @@ mod tests {
             assert!(gen_name(Ecosystem::Java, &mut rng).contains(':'));
             assert!(gen_name(Ecosystem::Go, &mut rng).contains('/'));
             let swift = gen_name(Ecosystem::Swift, &mut rng);
-            assert!(swift.starts_with(|c: char| c.is_ascii_uppercase()), "{swift}");
+            assert!(
+                swift.starts_with(|c: char| c.is_ascii_uppercase()),
+                "{swift}"
+            );
             assert!(gen_name(Ecosystem::DotNet, &mut rng).contains('.'));
         }
     }

@@ -255,7 +255,9 @@ mod tests {
     #[test]
     fn deps_of_unknown_is_empty() {
         let uni = sample_universe();
-        assert!(uni.deps_of("nope", &Version::new(1, 0, 0), &[], true).is_empty());
+        assert!(uni
+            .deps_of("nope", &Version::new(1, 0, 0), &[], true)
+            .is_empty());
         assert!(uni
             .deps_of("demo-pkg", &Version::new(9, 9, 9), &[], true)
             .is_empty());

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use sbomdiff_registry::{
-    FlakyRegistry, PackageUniverse, RegistryClient, UniverseConfig,
-};
+use sbomdiff_registry::{FlakyRegistry, PackageUniverse, RegistryClient, UniverseConfig};
 use sbomdiff_types::{ConstraintFlavor, Ecosystem, VersionReq};
 
 proptest! {

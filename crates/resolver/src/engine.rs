@@ -89,11 +89,7 @@ pub fn resolve<C: RegistryClient>(
     let mut resolution = Resolution::default();
     // Key: package identity under the policy.
     let mut chosen: BTreeMap<String, usize> = BTreeMap::new();
-    let mut queue: VecDeque<(RootDep, bool)> = roots
-        .iter()
-        .cloned()
-        .map(|r| (r, false))
-        .collect();
+    let mut queue: VecDeque<(RootDep, bool)> = roots.iter().cloned().map(|r| (r, false)).collect();
 
     let mut guard = 0usize;
     while let Some((dep, transitive)) = queue.pop_front() {
@@ -135,8 +131,7 @@ pub fn resolve<C: RegistryClient>(
                 transitive,
             });
         }
-        if let Some(edges) = registry.deps_of(&dep.name, &version, &dep.extras, honor_markers)
-        {
+        if let Some(edges) = registry.deps_of(&dep.name, &version, &dep.extras, honor_markers) {
             for edge in edges {
                 queue.push_back((
                     RootDep {

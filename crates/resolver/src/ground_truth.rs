@@ -37,8 +37,7 @@ impl DryRunReport {
         if self.installed.is_empty() {
             return 0.0;
         }
-        self.installed.iter().filter(|p| p.transitive).count() as f64
-            / self.installed.len() as f64
+        self.installed.iter().filter(|p| p.transitive).count() as f64 / self.installed.len() as f64
     }
 }
 
@@ -219,21 +218,14 @@ mod tests {
     #[test]
     fn resolves_pinned_and_ranged() {
         let reg = registry();
-        let fs = files(&[(
-            "requirements.txt",
-            "numpy==1.19.2\nrequests>=2.8.1\n",
-        )]);
+        let fs = files(&[("requirements.txt", "numpy==1.19.2\nrequests>=2.8.1\n")]);
         let report = dry_run(&reg, &fs, "requirements.txt", &Platform::default());
         let names: Vec<&str> = report.installed.iter().map(|p| p.name.as_str()).collect();
         assert!(names.contains(&"numpy"));
         assert!(names.contains(&"requests"));
         // requests 2.31.0 pulls transitives.
         assert!(names.contains(&"urllib3"));
-        let numpy = report
-            .installed
-            .iter()
-            .find(|p| p.name == "numpy")
-            .unwrap();
+        let numpy = report.installed.iter().find(|p| p.name == "numpy").unwrap();
         assert_eq!(numpy.version.to_string(), "1.19.2");
         assert!(report.transitive_share() > 0.0);
     }

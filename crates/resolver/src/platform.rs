@@ -41,9 +41,7 @@ impl Platform {
             "platform_system" => &self.platform_system,
             "os_name" => &self.os_name,
             "python_version" | "python_full_version" => &self.python_version,
-            "implementation_name" | "platform_python_implementation" => {
-                &self.implementation_name
-            }
+            "implementation_name" | "platform_python_implementation" => &self.implementation_name,
             _ => return None,
         })
     }
@@ -62,7 +60,11 @@ pub fn marker_allows(marker: &str, platform: &Platform) -> bool {
 }
 
 fn eval_comparison(clause: &str, platform: &Platform) -> bool {
-    let clause = clause.trim().trim_start_matches('(').trim_end_matches(')').trim();
+    let clause = clause
+        .trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .trim();
     if clause.is_empty() {
         return true;
     }

@@ -157,9 +157,7 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                         continue;
                     };
                     match pname {
-                        PROP_ECOSYSTEM => {
-                            ecosystem = ecosystem.or_else(|| pvalue.parse().ok())
-                        }
+                        PROP_ECOSYSTEM => ecosystem = ecosystem.or_else(|| pvalue.parse().ok()),
                         PROP_FOUND_IN => found_in = pvalue.to_string(),
                         PROP_DEP_SCOPE => {
                             scope = match pvalue {
@@ -173,12 +171,8 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                     }
                 }
             }
-            let mut c = Component::new(
-                ecosystem.unwrap_or(Ecosystem::Python),
-                name,
-                version,
-            )
-            .with_found_in(found_in);
+            let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, version)
+                .with_found_in(found_in);
             c.purl = purl;
             c.cpe = cpe;
             c.scope = scope;
@@ -256,7 +250,10 @@ mod tests {
     fn document_shape() {
         let text = to_string_pretty(&sample());
         let doc = json::parse(&text).unwrap();
-        assert_eq!(doc.get("bomFormat").and_then(Value::as_str), Some("CycloneDX"));
+        assert_eq!(
+            doc.get("bomFormat").and_then(Value::as_str),
+            Some("CycloneDX")
+        );
         assert_eq!(doc.get("specVersion").and_then(Value::as_str), Some("1.5"));
         assert!(doc
             .get("serialNumber")
@@ -272,7 +269,8 @@ mod tests {
             Some("component-0")
         );
         assert_eq!(
-            doc.pointer("dependencies/0/dependsOn/1").and_then(Value::as_str),
+            doc.pointer("dependencies/0/dependsOn/1")
+                .and_then(Value::as_str),
             Some("component-1")
         );
     }

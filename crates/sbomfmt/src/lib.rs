@@ -17,8 +17,8 @@ pub mod vex;
 
 pub use vex::{VexDocument, VexStatement, VexStatus};
 
-use sbomdiff_types::Sbom;
 use sbomdiff_textformats::TextError;
+use sbomdiff_types::Sbom;
 
 /// The two SBOM interchange formats supported by the studied tools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

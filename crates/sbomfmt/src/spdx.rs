@@ -11,11 +11,7 @@ pub fn to_value(sbom: &Sbom) -> Value {
     doc.set("SPDXID", Value::from("SPDXRef-DOCUMENT"));
     doc.set(
         "name",
-        Value::from(format!(
-            "{}-{}",
-            sbom.meta.subject,
-            sbom.meta.tool_name
-        )),
+        Value::from(format!("{}-{}", sbom.meta.subject, sbom.meta.tool_name)),
     );
     doc.set(
         "documentNamespace",
@@ -137,9 +133,7 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                     let locator = r.get("referenceLocator").and_then(Value::as_str);
                     match r.get("referenceType").and_then(Value::as_str) {
                         Some("purl") => purl = locator.and_then(|l| l.parse::<Purl>().ok()),
-                        Some("cpe23Type") => {
-                            cpe = locator.and_then(|l| l.parse::<Cpe>().ok())
-                        }
+                        Some("cpe23Type") => cpe = locator.and_then(|l| l.parse::<Cpe>().ok()),
                         _ => {}
                     }
                 }
@@ -166,12 +160,8 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                     }
                 }
             }
-            let mut c = Component::new(
-                ecosystem.unwrap_or(Ecosystem::Python),
-                name,
-                version,
-            )
-            .with_found_in(found_in);
+            let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, version)
+                .with_found_in(found_in);
             c.purl = purl;
             c.cpe = cpe;
             c.scope = scope;

@@ -90,10 +90,7 @@ impl VexDocument {
     /// Serializes as OpenVEX-shaped JSON (deterministic).
     pub fn to_string_pretty(&self) -> String {
         let mut doc = Value::object();
-        doc.set(
-            "@context",
-            Value::from("https://openvex.dev/ns/v0.2.0"),
-        );
+        doc.set("@context", Value::from("https://openvex.dev/ns/v0.2.0"));
         doc.set(
             "@id",
             Value::from(format!(

@@ -268,8 +268,7 @@ impl<'a> Parser<'a> {
                     .bytes
                     .get(self.pos..self.pos + 4)
                     .ok_or_else(|| self.err("truncated surrogate pair"))?;
-                let hex2 =
-                    std::str::from_utf8(hex2).map_err(|_| self.err("invalid surrogate"))?;
+                let hex2 = std::str::from_utf8(hex2).map_err(|_| self.err("invalid surrogate"))?;
                 let n2 =
                     u32::from_str_radix(hex2, 16).map_err(|_| self.err("invalid surrogate"))?;
                 self.pos += 4;

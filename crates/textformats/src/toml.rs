@@ -240,7 +240,9 @@ fn parse_value(s: &str, line: usize) -> Result<Value, TextError> {
         let body = rest
             .strip_suffix("\"\"\"")
             .ok_or_else(|| TextError::new(line, "unterminated multiline string"))?;
-        return Ok(Value::Str(unescape_basic(body.strip_prefix('\n').unwrap_or(body))));
+        return Ok(Value::Str(unescape_basic(
+            body.strip_prefix('\n').unwrap_or(body),
+        )));
     }
     if s.starts_with('"') {
         let body = s
@@ -399,7 +401,8 @@ proptest = "1"
             Some("demo")
         );
         assert_eq!(
-            doc.pointer("dependencies/serde/version").and_then(Value::as_str),
+            doc.pointer("dependencies/serde/version")
+                .and_then(Value::as_str),
             Some("1.0")
         );
         assert_eq!(
@@ -407,11 +410,13 @@ proptest = "1"
             Some("0.8")
         );
         assert_eq!(
-            doc.pointer("dependencies/tokio/features/0").and_then(Value::as_str),
+            doc.pointer("dependencies/tokio/features/0")
+                .and_then(Value::as_str),
             Some("full")
         );
         assert_eq!(
-            doc.pointer("dev-dependencies/proptest").and_then(Value::as_str),
+            doc.pointer("dev-dependencies/proptest")
+                .and_then(Value::as_str),
             Some("1")
         );
     }
@@ -437,7 +442,10 @@ dependencies = [
         .unwrap();
         let pkgs = doc.get("package").and_then(Value::as_array).unwrap();
         assert_eq!(pkgs.len(), 2);
-        assert_eq!(pkgs[1].get("name").and_then(Value::as_str), Some("bitflags"));
+        assert_eq!(
+            pkgs[1].get("name").and_then(Value::as_str),
+            Some("bitflags")
+        );
         assert_eq!(
             pkgs[1].pointer("dependencies/0").and_then(Value::as_str),
             Some("autocfg")
@@ -505,7 +513,13 @@ dependencies = [
             "[packages]\nrequests = \"*\"\nnumpy = \">=1.20\"\n\n[dev-packages]\npytest = \"*\"\n",
         )
         .unwrap();
-        assert_eq!(doc.pointer("packages/requests").and_then(Value::as_str), Some("*"));
-        assert_eq!(doc.pointer("dev-packages/pytest").and_then(Value::as_str), Some("*"));
+        assert_eq!(
+            doc.pointer("packages/requests").and_then(Value::as_str),
+            Some("*")
+        );
+        assert_eq!(
+            doc.pointer("dev-packages/pytest").and_then(Value::as_str),
+            Some("*")
+        );
     }
 }

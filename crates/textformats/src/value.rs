@@ -5,8 +5,7 @@
 use std::fmt;
 
 /// A parsed document value.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// `null` / `~` / missing.
     #[default]
@@ -32,10 +31,7 @@ impl Value {
     /// Looks up a key in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(entries) => entries
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v),
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -143,7 +139,6 @@ impl Value {
         matches!(self, Value::Null)
     }
 }
-
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {

@@ -144,12 +144,10 @@ fn unescape(s: &str) -> String {
                 "gt" => Some('>'),
                 "quot" => Some('"'),
                 "apos" => Some('\''),
-                e if e.starts_with("#x") || e.starts_with("#X") => {
-                    u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
-                }
-                e if e.starts_with('#') => {
-                    e[1..].parse::<u32>().ok().and_then(char::from_u32)
-                }
+                e if e.starts_with("#x") || e.starts_with("#X") => u32::from_str_radix(&e[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32),
+                e if e.starts_with('#') => e[1..].parse::<u32>().ok().and_then(char::from_u32),
                 _ => None,
             };
             match decoded {
@@ -178,10 +176,7 @@ fn unescape(s: &str) -> String {
 /// Returns a [`TextError`] on mismatched tags, unterminated constructs, or
 /// missing root element.
 pub fn parse(input: &str) -> Result<Element, TextError> {
-    let mut p = XmlParser {
-        s: input,
-        pos: 0,
-    };
+    let mut p = XmlParser { s: input, pos: 0 };
     p.skip_misc()?;
     let root = p.element()?;
     p.skip_misc()?;
@@ -339,9 +334,7 @@ impl<'a> XmlParser<'a> {
     fn name(&mut self) -> Result<String, TextError> {
         let rest = self.rest();
         let end = rest
-            .find(|c: char| {
-                c.is_whitespace() || matches!(c, '>' | '/' | '=' | '<')
-            })
+            .find(|c: char| c.is_whitespace() || matches!(c, '>' | '/' | '=' | '<'))
             .unwrap_or(rest.len());
         if end == 0 {
             return Err(self.err("expected name"));

@@ -62,9 +62,10 @@ fn strip_comment(line: &str) -> &str {
             b'"' if !in_single => in_double = !in_double,
             b'#' if !in_single && !in_double
                 // '#' only starts a comment at line start or after whitespace
-                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
-                    return &line[..i];
-                }
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return &line[..i];
+            }
             _ => {}
         }
     }
@@ -342,7 +343,8 @@ packages:
         )
         .unwrap();
         assert_eq!(
-            doc.pointer("dependencies/lodash/version").and_then(Value::as_str),
+            doc.pointer("dependencies/lodash/version")
+                .and_then(Value::as_str),
             Some("4.17.21")
         );
         let pkgs = doc.get("packages").unwrap();

@@ -11,8 +11,11 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         (-1_000_000i64..1_000_000).prop_map(|n| Value::Num(n as f64)),
         "[a-zA-Z0-9 _.,:/@#\\-]{0,20}".prop_map(Value::Str),
         // strings with characters that need escaping
-        prop_oneof![Just("\"quoted\"".to_string()), Just("a\\b\nc\td".to_string())]
-            .prop_map(Value::Str),
+        prop_oneof![
+            Just("\"quoted\"".to_string()),
+            Just("a\\b\nc\td".to_string())
+        ]
+        .prop_map(Value::Str),
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![

@@ -37,11 +37,7 @@ pub struct Component {
 
 impl Component {
     /// Creates a component with just ecosystem, name and optional version.
-    pub fn new(
-        ecosystem: Ecosystem,
-        name: impl Into<String>,
-        version: Option<String>,
-    ) -> Self {
+    pub fn new(ecosystem: Ecosystem, name: impl Into<String>, version: Option<String>) -> Self {
         Component {
             ecosystem,
             name: name.into(),
@@ -93,7 +89,11 @@ impl Component {
         let version = self
             .version
             .as_deref()
-            .map(|v| v.strip_prefix('v').filter(|r| r.starts_with(|c: char| c.is_ascii_digit())).unwrap_or(v))
+            .map(|v| {
+                v.strip_prefix('v')
+                    .filter(|r| r.starts_with(|c: char| c.is_ascii_digit()))
+                    .unwrap_or(v)
+            })
             .unwrap_or("")
             .to_string();
         ComponentKey { name, version }
@@ -216,8 +216,16 @@ mod tests {
     #[test]
     fn keys_and_duplicates() {
         let mut sbom = Sbom::new("test", "0.0.1");
-        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
-        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.25.0".into())));
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.19.2".into()),
+        ));
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.25.0".into()),
+        ));
         sbom.push(Component::new(Ecosystem::Python, "requests", None));
         assert_eq!(sbom.len(), 3);
         assert_eq!(sbom.duplicate_entries(), 1);
@@ -252,11 +260,13 @@ mod tests {
     #[test]
     fn extend_and_builders() {
         let mut sbom = Sbom::new("syft", "0.84.1").with_subject("repo-1");
-        sbom.extend(vec![
-            Component::new(Ecosystem::Ruby, "rails", Some("7.0.0".into()))
-                .with_found_in("Gemfile.lock")
-                .with_scope(DepScope::Runtime),
-        ]);
+        sbom.extend(vec![Component::new(
+            Ecosystem::Ruby,
+            "rails",
+            Some("7.0.0".into()),
+        )
+        .with_found_in("Gemfile.lock")
+        .with_scope(DepScope::Runtime)]);
         assert_eq!(sbom.meta.subject, "repo-1");
         assert_eq!(sbom.components()[0].found_in, "Gemfile.lock");
         assert!(!sbom.is_empty());

@@ -332,10 +332,7 @@ impl VersionReq {
     where
         I: IntoIterator<Item = &'a Version>,
     {
-        candidates
-            .into_iter()
-            .filter(|v| self.matches(v))
-            .max()
+        candidates.into_iter().filter(|v| self.matches(v)).max()
     }
 }
 
@@ -386,9 +383,7 @@ fn parse_comparator(part: &str, default_op: Op) -> Result<Comparator, ParseError
     let vtext = rest.trim();
     // Wildcard segments: 1.2.* / 1.2.x
     let segs: Vec<&str> = vtext.split('.').collect();
-    let wild = segs
-        .iter()
-        .position(|s| matches!(*s, "*" | "x" | "X"));
+    let wild = segs.iter().position(|s| matches!(*s, "*" | "x" | "X"));
     if let Some(k) = wild {
         if k == 0 {
             return Ok(Comparator {
@@ -421,11 +416,7 @@ fn parse_comparator(part: &str, default_op: Op) -> Result<Comparator, ParseError
     })
 }
 
-fn parse_and_list(
-    s: &str,
-    sep: char,
-    default_op: Op,
-) -> Result<Vec<Comparator>, ParseError> {
+fn parse_and_list(s: &str, sep: char, default_op: Op) -> Result<Vec<Comparator>, ParseError> {
     let mut out = Vec::new();
     for part in s.split(sep) {
         let part = part.trim();
@@ -781,8 +772,10 @@ mod tests {
 
     #[test]
     fn latest_matching_picks_max() {
-        let versions: Vec<Version> =
-            ["1.0.0", "1.4.0", "1.9.2", "2.0.0"].iter().map(|s| v(s)).collect();
+        let versions: Vec<Version> = ["1.0.0", "1.4.0", "1.9.2", "2.0.0"]
+            .iter()
+            .map(|s| v(s))
+            .collect();
         let r = req(">=1.2, <2.0", ConstraintFlavor::Pep440);
         assert_eq!(r.latest_matching(&versions), Some(&v("1.9.2")));
         let none = req(">=5.0", ConstraintFlavor::Pep440);

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn display_format() {
         let c = Cpe::application("numpy", "numpy", "1.19.2");
-        assert_eq!(
-            c.to_string(),
-            "cpe:2.3:a:numpy:numpy:1.19.2:*:*:*:*:*:*:*"
-        );
+        assert_eq!(c.to_string(), "cpe:2.3:a:numpy:numpy:1.19.2:*:*:*:*:*:*:*");
     }
 
     #[test]

@@ -119,7 +119,10 @@ pub struct DeclaredDependency {
 impl DeclaredDependency {
     /// Creates a registry-sourced runtime dependency.
     pub fn new(ecosystem: Ecosystem, name: impl Into<String>, req: Option<VersionReq>) -> Self {
-        let req_text = req.as_ref().map(|r| r.raw().to_string()).unwrap_or_default();
+        let req_text = req
+            .as_ref()
+            .map(|r| r.raw().to_string())
+            .unwrap_or_default();
         DeclaredDependency {
             name: PackageName::new(ecosystem, name),
             req,

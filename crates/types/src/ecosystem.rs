@@ -96,10 +96,7 @@ impl Ecosystem {
 
     /// Whether package names in this ecosystem are case-insensitive.
     pub fn case_insensitive_names(self) -> bool {
-        matches!(
-            self,
-            Ecosystem::Python | Ecosystem::DotNet | Ecosystem::Php
-        )
+        matches!(self, Ecosystem::Python | Ecosystem::DotNet | Ecosystem::Php)
     }
 
     /// Whether canonical versions in this ecosystem carry a leading `v`

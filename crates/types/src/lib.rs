@@ -30,9 +30,7 @@ pub mod version;
 pub use component::{Component, ComponentKey, Sbom, SbomMeta};
 pub use constraint::{Comparator, ConstraintFlavor, Op, VersionReq};
 pub use cpe::Cpe;
-pub use dependency::{
-    DeclaredDependency, DepScope, DependencySource, ResolvedPackage, VcsKind,
-};
+pub use dependency::{DeclaredDependency, DepScope, DependencySource, ResolvedPackage, VcsKind};
 pub use ecosystem::Ecosystem;
 pub use error::ParseError;
 pub use name::PackageName;

@@ -52,9 +52,7 @@ impl PackageName {
             Ecosystem::JavaScript => {
                 if let Some(rest) = raw.strip_prefix('@') {
                     match rest.split_once('/') {
-                        Some((scope, name)) => {
-                            (Some(format!("@{scope}")), name.to_string(), None)
-                        }
+                        Some((scope, name)) => (Some(format!("@{scope}")), name.to_string(), None),
                         None => (None, raw.clone(), None),
                     }
                 } else {
@@ -62,9 +60,7 @@ impl PackageName {
                 }
             }
             Ecosystem::Swift => match raw.split_once('/') {
-                Some((pod, sub)) => {
-                    (None, pod.to_string(), Some(sub.to_string()))
-                }
+                Some((pod, sub)) => (None, pod.to_string(), Some(sub.to_string())),
                 None => (None, raw.clone(), None),
             },
             Ecosystem::Go => {
@@ -160,8 +156,14 @@ mod tests {
 
     #[test]
     fn pep503_normalization() {
-        assert_eq!(normalize(Ecosystem::Python, "Flask_SQLAlchemy"), "flask-sqlalchemy");
-        assert_eq!(normalize(Ecosystem::Python, "zope.interface"), "zope-interface");
+        assert_eq!(
+            normalize(Ecosystem::Python, "Flask_SQLAlchemy"),
+            "flask-sqlalchemy"
+        );
+        assert_eq!(
+            normalize(Ecosystem::Python, "zope.interface"),
+            "zope-interface"
+        );
         assert_eq!(normalize(Ecosystem::Python, "a--b__c..d"), "a-b-c-d");
     }
 

@@ -109,9 +109,7 @@ fn pct_encode(s: &str, extra_ok: &[char]) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         let c = b as char;
-        if c.is_ascii_alphanumeric()
-            || matches!(c, '.' | '-' | '_' | '~')
-            || extra_ok.contains(&c)
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_' | '~') || extra_ok.contains(&c)
         {
             out.push(c);
         } else {
@@ -143,8 +141,7 @@ impl fmt::Display for Purl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "pkg:{}", self.ptype)?;
         if let Some(ns) = &self.namespace {
-            let encoded: Vec<String> =
-                ns.split('/').map(|p| pct_encode(p, &[])).collect();
+            let encoded: Vec<String> = ns.split('/').map(|p| pct_encode(p, &[])).collect();
             write!(f, "/{}", encoded.join("/"))?;
         }
         write!(f, "/{}", pct_encode(&self.name, &[]))?;
@@ -255,12 +252,11 @@ mod tests {
 
     #[test]
     fn go_multi_segment_namespace() {
-        let p = Purl::for_package(
-            Ecosystem::Go,
-            "github.com/stretchr/testify",
-            Some("v1.8.0"),
+        let p = Purl::for_package(Ecosystem::Go, "github.com/stretchr/testify", Some("v1.8.0"));
+        assert_eq!(
+            p.to_string(),
+            "pkg:golang/github.com/stretchr/testify@v1.8.0"
         );
-        assert_eq!(p.to_string(), "pkg:golang/github.com/stretchr/testify@v1.8.0");
         let back: Purl = p.to_string().parse().unwrap();
         assert_eq!(back.namespace(), Some("github.com/stretchr"));
     }

@@ -184,15 +184,8 @@ impl Version {
                         "post" | "rev" | "r" => post = Some(num),
                         "a" | "alpha" => pre = pre.or(Some((PreKind::Alpha, num))),
                         "b" | "beta" => pre = pre.or(Some((PreKind::Beta, num))),
-                        "c" | "rc" | "pre" | "preview" => {
-                            pre = pre.or(Some((PreKind::Rc, num)))
-                        }
-                        other => {
-                            pre = pre.or(Some((
-                                PreKind::Other(other.to_string()),
-                                num,
-                            )))
-                        }
+                        "c" | "rc" | "pre" | "preview" => pre = pre.or(Some((PreKind::Rc, num))),
+                        other => pre = pre.or(Some((PreKind::Other(other.to_string()), num))),
                     }
                     idx += 1;
                 }

@@ -1,9 +1,7 @@
 //! Property-based tests for versions, constraints, PURL and CPE.
 
 use proptest::prelude::*;
-use sbomdiff_types::{
-    Component, ConstraintFlavor, Cpe, Ecosystem, Purl, Version, VersionReq,
-};
+use sbomdiff_types::{Component, ConstraintFlavor, Cpe, Ecosystem, Purl, Version, VersionReq};
 
 fn version_strategy() -> impl Strategy<Value = String> {
     let release = prop::collection::vec(0u64..50, 1..4)

@@ -171,12 +171,7 @@ impl AdvisoryDb {
     /// Advisories affecting a concrete `(ecosystem, name, version)` triple;
     /// the name is normalized before lookup (how a *correct* scanner
     /// matches — spelling variations in SBOMs therefore cause misses).
-    pub fn matching(
-        &self,
-        eco: Ecosystem,
-        name: &str,
-        version: &Version,
-    ) -> Vec<&Advisory> {
+    pub fn matching(&self, eco: Ecosystem, name: &str, version: &Version) -> Vec<&Advisory> {
         let canonical = sbomdiff_types::name::normalize(eco, name);
         self.advisories
             .iter()

@@ -83,8 +83,7 @@ pub fn assess(db: &AdvisoryDb, sbom: &Sbom, truth: &[ResolvedPackage]) -> Impact
     // What an SBOM-driven scan raises.
     let mut raised: BTreeSet<String> = BTreeSet::new();
     for c in sbom.components() {
-        let Some(version) = c.version.as_deref().and_then(|v| Version::parse(v).ok())
-        else {
+        let Some(version) = c.version.as_deref().and_then(|v| Version::parse(v).ok()) else {
             continue; // no concrete version → unmatchable entry
         };
         for adv in db.matching(c.ecosystem, &c.name, &version) {
@@ -114,9 +113,7 @@ fn sbom_ecosystem(sbom: &Sbom) -> Option<sbomdiff_types::Ecosystem> {
 mod tests {
     use super::*;
     use crate::advisory::{Advisory, Severity};
-    use sbomdiff_types::{
-        Component, ConstraintFlavor, Ecosystem, ResolvedPackage, VersionReq,
-    };
+    use sbomdiff_types::{Component, ConstraintFlavor, Ecosystem, ResolvedPackage, VersionReq};
 
     fn db() -> AdvisoryDb {
         let advisory = Advisory {
@@ -138,7 +135,11 @@ mod tests {
             Version::parse("1.19.2").unwrap(),
         )];
         let mut sbom = Sbom::new("t", "1");
-        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.19.2".into()),
+        ));
         let report = assess(&db, &sbom, &truth);
         assert_eq!(report.detected.len(), 1);
         assert!(report.missed.is_empty());
@@ -167,7 +168,11 @@ mod tests {
         )];
         let mut sbom = Sbom::new("t", "1");
         // GitHub DG-style verbatim range: unmatchable by scanners.
-        sbom.push(Component::new(Ecosystem::Python, "numpy", Some(">=1.19".into())));
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some(">=1.19".into()),
+        ));
         let report = assess(&db, &sbom, &truth);
         assert_eq!(report.missed.len(), 1);
         assert!(report.detected.is_empty());
@@ -183,7 +188,11 @@ mod tests {
             Version::parse("1.25.2").unwrap(),
         )];
         let mut sbom = Sbom::new("t", "1");
-        sbom.push(Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into())));
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.19.2".into()),
+        ));
         let report = assess(&db, &sbom, &truth);
         assert!(report.actual.is_empty());
         assert_eq!(report.false_alarms.len(), 1);

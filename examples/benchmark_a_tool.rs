@@ -28,7 +28,12 @@ fn main() {
 
     // Per-case pass/fail matrix.
     let mut matrix = TextTable::new([
-        "Case", "Trivy", "Syft", "sbom-tool", "GitHub DG", "best-practice",
+        "Case",
+        "Trivy",
+        "Syft",
+        "sbom-tool",
+        "GitHub DG",
+        "best-practice",
     ]);
     let scores: Vec<benchx::BenchmarkScore> = generators
         .iter()
@@ -63,5 +68,7 @@ fn main() {
         ]);
     }
     println!("{summary}");
-    println!("cells show ground-truth names found; 'pass' means names and pinned versions all correct.");
+    println!(
+        "cells show ground-truth names found; 'pass' means names and pinned versions all correct."
+    );
 }

@@ -17,7 +17,12 @@ fn main() {
 
     println!("=== Table IV: what each tool reports for each attack sample ===\n");
     let mut table = TextTable::new([
-        "Sample", "Trivy", "Syft", "sbom-tool", "GitHub DG", "evades",
+        "Sample",
+        "Trivy",
+        "Syft",
+        "sbom-tool",
+        "GitHub DG",
+        "evades",
     ]);
     for outcome in evaluate_catalog(&registries, true) {
         table.row([

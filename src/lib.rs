@@ -24,6 +24,10 @@
 //! * [`attack`] — the parser-confusion attack catalog and evaluator
 //!   (Table IV reproduces cell-exact).
 //! * [`benchx`] — the crafted-metadata benchmark with a scoring harness.
+//! * [`parallel`] — the deterministic parallel execution engine: an
+//!   ordered `par_map` over seeded work items (byte-identical results for
+//!   any worker count), worker-count policy (`--jobs`), and the per-phase
+//!   timing profiler the experiment driver reports.
 //! * [`sbomfmt`] — CycloneDX 1.5 and SPDX 2.3 document emit/parse.
 //! * [`vuln`] — a synthetic advisory database and vulnerability-impact
 //!   assessment, quantifying the paper's §I motivation (missed
@@ -61,6 +65,7 @@ pub use sbomdiff_corpus as corpus;
 pub use sbomdiff_diff as diff;
 pub use sbomdiff_generators as generators;
 pub use sbomdiff_metadata as metadata;
+pub use sbomdiff_parallel as parallel;
 pub use sbomdiff_registry as registry;
 pub use sbomdiff_resolver as resolver;
 pub use sbomdiff_sbomfmt as sbomfmt;

@@ -4,12 +4,14 @@
 //! ```text
 //! sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
 //!                     [--format cyclonedx|spdx] [--seed N]
-//! sbomdiff diff <dir> [--seed N]
+//! sbomdiff diff <dir> [--seed N] [--jobs N]
 //! ```
+//!
+//! `diff` scans the tree with all four studied tools in parallel (`--jobs`,
+//! default: available parallelism), sharing one metadata-parse cache; the
+//! output is byte-identical for every worker count.
 
-use sbomdiff::generators::{
-    BestPracticeGenerator, SbomGenerator, ToolEmulator,
-};
+use sbomdiff::generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ToolEmulator};
 use sbomdiff::metadata::RepoFs;
 use sbomdiff::registry::Registries;
 use sbomdiff::sbomfmt::SbomFormat;
@@ -21,9 +23,14 @@ fn main() {
     let mut tool = "best-practice".to_string();
     let mut format = SbomFormat::CycloneDx;
     let mut seed = 42u64;
+    let mut jobs = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
             "--tool" => {
                 i += 1;
                 tool = args.get(i).cloned().unwrap_or_default();
@@ -53,7 +60,7 @@ fn main() {
         i += 1;
     }
     let (Some(command), Some(dir)) = (command, dir) else {
-        eprintln!("usage: sbomdiff <scan|diff> <dir> [--tool NAME] [--format cyclonedx|spdx] [--seed N]");
+        eprintln!("usage: sbomdiff <scan|diff> <dir> [--tool NAME] [--format cyclonedx|spdx] [--seed N] [--jobs N]");
         std::process::exit(2);
     };
     let repo = match RepoFs::from_dir(&dir) {
@@ -79,7 +86,9 @@ fn main() {
                 "github-dg" | "github" => Box::new(ToolEmulator::github_dg()),
                 "best-practice" => Box::new(BestPracticeGenerator::new(&registries)),
                 other => {
-                    eprintln!("unknown tool: {other} (trivy|syft|sbom-tool|github-dg|best-practice)");
+                    eprintln!(
+                        "unknown tool: {other} (trivy|syft|sbom-tool|github-dg|best-practice)"
+                    );
                     std::process::exit(2);
                 }
             };
@@ -94,7 +103,12 @@ fn main() {
         "diff" => {
             use sbomdiff::diff::{jaccard, key_set, TextTable};
             let tools = sbomdiff::generators::studied_tools(&registries, 0.0);
-            let sboms: Vec<_> = tools.iter().map(|t| t.generate(&repo)).collect();
+            // One worker per tool, one shared parse of each manifest.
+            let jobs = sbomdiff::parallel::Jobs::new(jobs).get();
+            let cache = ParseCache::new();
+            let sboms = sbomdiff::parallel::par_map(jobs, &tools, |_, t| {
+                t.generate_with_cache(&repo, &cache)
+            });
             let mut counts = TextTable::new(["Tool", "components", "duplicates"]);
             for (t, s) in tools.iter().zip(&sboms) {
                 counts.row([

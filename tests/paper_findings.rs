@@ -50,7 +50,11 @@ fn fig1_winners_match_paper() {
     }
     {
         let t = totals(Ecosystem::DotNet);
-        assert_eq!(t[2], *t.iter().max().unwrap(), ".NET: sbom-tool wins ({t:?})");
+        assert_eq!(
+            t[2],
+            *t.iter().max().unwrap(),
+            ".NET: sbom-tool wins ({t:?})"
+        );
     }
     {
         let t = totals(Ecosystem::JavaScript);
@@ -133,7 +137,11 @@ fn table4_reproduces() {
 fn section_v_statistics() {
     let (_regs, corpus) = setup();
     let py = CorpusStats::compute(Ecosystem::Python, corpus.language(Ecosystem::Python));
-    assert!((0.82..=1.0).contains(&py.raw_only_share), "{}", py.raw_only_share);
+    assert!(
+        (0.82..=1.0).contains(&py.raw_only_share),
+        "{}",
+        py.raw_only_share
+    );
     assert!(
         (0.36..=0.56).contains(&py.pinned_requirements_share),
         "{}",
@@ -143,8 +151,16 @@ fn section_v_statistics() {
         Ecosystem::JavaScript,
         corpus.language(Ecosystem::JavaScript),
     );
-    assert!((0.30..=0.65).contains(&js.raw_only_share), "{}", js.raw_only_share);
-    assert!((0.60..=0.90).contains(&js.dev_dep_share), "{}", js.dev_dep_share);
+    assert!(
+        (0.30..=0.65).contains(&js.raw_only_share),
+        "{}",
+        js.raw_only_share
+    );
+    assert!(
+        (0.60..=0.90).contains(&js.dev_dep_share),
+        "{}",
+        js.dev_dep_share
+    );
 }
 
 /// §V-E: the same Java package is named three different ways; the same Go
@@ -221,5 +237,9 @@ fn best_practice_dominates_ground_truth() {
             .collect();
         total.merge(PrecisionRecall::score(&reported, &truth));
     }
-    assert!(total.recall() > 0.9, "best practice recall {:.2}", total.recall());
+    assert!(
+        total.recall() > 0.9,
+        "best practice recall {:.2}",
+        total.recall()
+    );
 }

@@ -58,10 +58,7 @@ fn vex_statuses_partition_findings() {
     let regs = Registries::generate(404);
     let db = AdvisoryDb::generate(&regs, 2, 0.5);
     let mut repo = RepoFs::new("vex-partition");
-    repo.add_text(
-        "requirements.txt",
-        "numpy==1.19.2\n",
-    );
+    repo.add_text("requirements.txt", "numpy==1.19.2\n");
     repo.add_text("requirements-dev.txt", "pytest==7.0.0\n");
     let registry = regs.for_ecosystem(sbomdiff::Ecosystem::Python);
     let truth = dry_run(

@@ -1,0 +1,64 @@
+//! `any::<T>()` for the primitive types the workspace fuzzes with.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arb(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arb(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arb(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn u8_covers_extremes_eventually() {
+        let strat = any::<u8>();
+        let mut rng = StdRng::seed_from_u64(9);
+        let values: std::collections::BTreeSet<u8> =
+            (0..4000).map(|_| strat.gen_value(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&255));
+        assert!(values.len() > 200);
+    }
+}

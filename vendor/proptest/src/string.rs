@@ -1,0 +1,245 @@
+//! Generation of strings from the regex subset this workspace's patterns
+//! use: literals, `\PC`, character classes with ranges / negation / `&&`
+//! intersection / `\xNN`, and `{n}` / `{m,n}` quantifiers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The palette `\PC` (any non-control char) draws from: full printable
+/// ASCII plus a spread of multi-byte codepoints so parser fuzzing exercises
+/// UTF-8 boundaries, quoting, and non-Latin scripts.
+fn printable_palette() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    chars.extend([
+        'é', 'ß', 'ñ', 'Ω', 'λ', 'Щ', '中', '文', '🦀', '∅', '«', '»', '\u{a0}', '―', '→', '“', '”',
+    ]);
+    chars
+}
+
+#[derive(Debug)]
+enum Atom {
+    Chars(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn gen_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let terms = parse_pattern(pattern);
+    let mut out = String::new();
+    for term in &terms {
+        let count = if term.min == term.max {
+            term.min
+        } else {
+            rng.gen_range(term.min..=term.max)
+        };
+        let Atom::Chars(chars) = &term.atom;
+        for _ in 0..count {
+            if chars.is_empty() {
+                continue;
+            }
+            out.push(chars[rng.gen_range(0..chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Term> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut terms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i);
+                i = next;
+                Atom::Chars(set)
+            }
+            '\\' => {
+                let (set, next) = parse_escape(&chars, i);
+                i = next;
+                Atom::Chars(set)
+            }
+            c => {
+                i += 1;
+                Atom::Chars(vec![c])
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        terms.push(Term { atom, min, max });
+    }
+    terms
+}
+
+/// Parses `\PC` (→ printable palette), `\xNN`, or an escaped literal,
+/// starting at the backslash. Returns the char set and the next index.
+fn parse_escape(chars: &[char], at: usize) -> (Vec<char>, usize) {
+    match chars.get(at + 1) {
+        Some('P') if chars.get(at + 2) == Some(&'C') => (printable_palette(), at + 3),
+        Some('x') => {
+            let hex: String = chars[at + 2..].iter().take(2).collect();
+            let code = u32::from_str_radix(&hex, 16).unwrap_or(0);
+            let c = char::from_u32(code).unwrap_or('\u{0}');
+            (vec![c], at + 2 + hex.len())
+        }
+        Some(&c) => (vec![c], at + 2),
+        None => (vec!['\\'], at + 1),
+    }
+}
+
+/// Parses a character class starting at `[`. Supports negation (`[^...]`),
+/// ranges (`a-z`), escapes, and `&&`-intersection with a nested class.
+/// Returns the materialized char set and the index past the closing `]`.
+fn parse_class(chars: &[char], at: usize) -> (Vec<char>, usize) {
+    let mut i = at + 1;
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut filters: Vec<(bool, Vec<char>)> = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        // `&&[...]` intersection.
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') {
+            let inner_negated = chars.get(i + 3) == Some(&'^');
+            let (inner, next) = parse_class(chars, i + 2);
+            filters.push((inner_negated, inner));
+            i = next;
+            continue;
+        }
+        let (lo_set, next) = match chars[i] {
+            '\\' => parse_escape(chars, i),
+            c => (vec![c], i + 1),
+        };
+        i = next;
+        // Range `a-z` (only when the left side was a single char).
+        if lo_set.len() == 1
+            && chars.get(i) == Some(&'-')
+            && chars.get(i + 1).is_some_and(|&c| c != ']')
+        {
+            let lo = lo_set[0];
+            let hi = chars[i + 1];
+            i += 2;
+            for code in (lo as u32)..=(hi as u32) {
+                if let Some(c) = char::from_u32(code) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.extend(lo_set);
+        }
+    }
+    let end = if i < chars.len() { i + 1 } else { i };
+    if negated {
+        let excluded = set;
+        set = printable_palette()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+    }
+    for (inner_negated, inner) in filters {
+        // `[^...]` filters parse with the inner `^` already applied against
+        // the printable palette, so plain membership keeps the semantics of
+        // both `&&[abc]` and `&&[^abc]`.
+        let _ = inner_negated;
+        set.retain(|c| inner.contains(c));
+    }
+    set.sort_unstable();
+    set.dedup();
+    (set, end)
+}
+
+/// Parses `{n}` or `{m,n}` at `at`; without a quantifier the term repeats
+/// exactly once.
+fn parse_quantifier(chars: &[char], at: usize) -> (usize, usize, usize) {
+    if chars.get(at) != Some(&'{') {
+        return (1, 1, at);
+    }
+    let close = match chars[at..].iter().position(|&c| c == '}') {
+        Some(off) => at + off,
+        None => return (1, 1, at),
+    };
+    let body: String = chars[at + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(0)),
+        None => {
+            let n = body.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    };
+    (min, max.max(min), close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn literal_passes_through() {
+        assert_eq!(gen_from_pattern(", ", &mut rng()), ", ");
+    }
+
+    #[test]
+    fn class_with_quantifier_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern("[a-c]{1,3}", &mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_then_body() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = gen_from_pattern("[a-zA-Z][a-zA-Z0-9_-]{0,8}", &mut r);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().count() <= 9);
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = gen_from_pattern("\\PC{0,40}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn intersection_filters_nul() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = gen_from_pattern("[\\PC&&[^\\x00]]{1,30}", &mut r);
+            assert!(!s.is_empty());
+            assert!(s.chars().all(|c| c != '\u{0}' && !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_dash_in_class_is_literal() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..400 {
+            let s = gen_from_pattern("[a\\-b]{1}", &mut r);
+            assert!(["a", "-", "b"].contains(&s.as_str()), "{s:?}");
+            saw_dash |= s == "-";
+        }
+        assert!(saw_dash);
+    }
+}

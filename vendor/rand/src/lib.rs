@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this crate re-implements exactly the API surface sbomdiff uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! integer and float ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha12, but every consumer in this
+//! workspace only relies on *determinism* (same seed ⇒ same stream), never
+//! on specific values, so the swap is behavior-preserving at the API level.
+
+pub mod rngs;
+
+pub mod distributions {
+    //! Range-sampling machinery backing [`Rng::gen_range`](crate::Rng::gen_range).
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A type [`Rng::gen_range`](crate::Rng::gen_range) can sample
+        /// uniformly. Mirroring upstream, [`SampleRange`] is implemented
+        /// *generically* over `T: SampleUniform` — a single impl per range
+        /// shape is what lets `usize_count + rng.gen_range(0..4)` infer the
+        /// literal's type from the surrounding arithmetic.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// One uniform draw from `lo..hi` (`inclusive` ⇒ `lo..=hi`).
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// A range that [`Rng::gen_range`](crate::Rng::gen_range) accepts.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample. Panics on an empty range, like
+            /// upstream `rand`.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                T::sample_between(rng, lo, hi, true)
+            }
+        }
+
+        #[inline]
+        fn draw_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+            // Widening-multiply reduction (Lemire); the bias at 64-bit spans
+            // is below 2^-64 and irrelevant for corpus synthesis.
+            debug_assert!(span > 0);
+            if span > u64::MAX as u128 {
+                // Only reachable for the full 64-bit inclusive range.
+                return rng.next_u64() as u128;
+            }
+            (rng.next_u64() as u128 * span) >> 64
+        }
+
+        macro_rules! int_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    #[inline]
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = (hi as i128 - lo as i128) as u128
+                            + u128::from(inclusive);
+                        (lo as i128 + draw_below(rng, span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    #[inline]
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                    ) -> Self {
+                        let unit = (rng.next_u64() >> 11) as $t
+                            / (1u64 << 53) as $t;
+                        lo + (hi - lo) * unit
+                    }
+                }
+            )*};
+        }
+        float_sample_uniform!(f32, f64);
+    }
+}
+
+/// The core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (high half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the `seed_from_u64` constructor sbomdiff uses).
+pub trait SeedableRng: Sized {
+    /// Full-width seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed via SplitMix64 (the same
+    /// construction upstream `rand` documents).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut sm);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`; panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`; panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(3..3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Concrete generators: [`StdRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic RNG: xoshiro256++.
+///
+/// Small, fast, and `Send + Sync`-friendly (no interior mutability); every
+/// per-repository stream in the corpus generator owns one, seeded from the
+/// master seed, which is what makes parallel generation byte-identical to
+/// sequential generation.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s.iter().all(|&x| x == 0) {
+            // xoshiro must not start at the all-zero state.
+            s = [0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, 1, 2];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
