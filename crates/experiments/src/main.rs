@@ -14,8 +14,36 @@
 
 use sbomdiff_experiments::{experiments, Config};
 
+const USAGE: &str = "\
+experiments - regenerate every table and figure of the paper
+
+USAGE:
+    experiments [COMMAND] [OPTIONS]
+    experiments --help | --version
+
+COMMANDS:
+    fig1 fig2 table1 table2 table3 table4 stats benchscore
+    ablate ranking vulnimpact stability all (default)
+
+OPTIONS:
+    --repos <N>        synthetic repositories per language
+    --seed <S>         corpus/world seed
+    --out <DIR>        artifact output directory (default results/)
+    --jobs <N>         parallel worker count (0 = SBOMDIFF_JOBS or cores)
+    --campaign         run the full mutation campaign for table4
+    --paper-weights    use the paper's reported category weights
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("experiments {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
     let mut command = String::from("all");
     let mut config = Config::default();
     let mut campaign = false;

@@ -1,0 +1,36 @@
+//! Smoke tests for the `experiments` binary's standard flags.
+
+use std::process::Command;
+
+#[test]
+fn version_flag_prints_and_exits_zero() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--version")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.starts_with("experiments "), "{stdout}");
+}
+
+#[test]
+fn help_flag_lists_commands() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    for needle in ["USAGE", "table4", "--jobs", "--campaign"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,0 +1,172 @@
+//! Corruption fuzzing for the SBOM parsers.
+//!
+//! The serving layer feeds `SbomFormat::detect`/`parse` with untrusted
+//! request bodies, so neither may panic on arbitrary input. This test
+//! takes valid CycloneDX and SPDX documents and mangles them — bit flips,
+//! truncations, byte splices, segment deletions — then asserts that every
+//! mutant either parses cleanly or fails with an error. A panic anywhere
+//! aborts the test.
+//!
+//! Deterministic by construction: fixed seeds, fixed iteration counts.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_types::{Component, DepScope, Ecosystem, Sbom};
+
+/// Valid documents to corrupt: both formats over a few SBOM shapes,
+/// including awkward strings that exercise escaping paths.
+fn valid_documents() -> Vec<String> {
+    let mut sboms = Vec::new();
+
+    let empty = Sbom::new("fuzz-tool", "0.0.1").with_subject("empty-repo");
+    sboms.push(empty);
+
+    let mut rich = Sbom::new("fuzz-tool", "9.9").with_subject("rich-repo");
+    rich.push(
+        Component::new(Ecosystem::Python, "requests", Some("2.31.0".into()))
+            .with_found_in("requirements.txt")
+            .with_scope(DepScope::Runtime),
+    );
+    rich.push(
+        Component::new(Ecosystem::JavaScript, "left-pad", Some("1.3.0".into()))
+            .with_scope(DepScope::Dev),
+    );
+    rich.push(Component::new(Ecosystem::Go, "github.com/pkg/errors", None));
+    sboms.push(rich);
+
+    let mut awkward =
+        Sbom::new("tool \"quoted\" \\ name", "1.0\n2.0").with_subject("weird/sub\tject");
+    awkward.push(Component::new(
+        Ecosystem::Java,
+        "grüß-gott:パッケージ",
+        Some("1.0.0-beta+exp.sha.5114f85".into()),
+    ));
+    sboms.push(awkward);
+
+    sboms
+        .iter()
+        .flat_map(|s| {
+            [
+                SbomFormat::CycloneDx.serialize(s),
+                SbomFormat::Spdx.serialize(s),
+            ]
+        })
+        .collect()
+}
+
+/// Every probe the service performs on an untrusted document; must never
+/// panic, whatever `text` contains.
+fn probe(text: &str) {
+    let detected = SbomFormat::detect(text);
+    for format in [SbomFormat::CycloneDx, SbomFormat::Spdx] {
+        if let Ok(sbom) = format.parse(text) {
+            // A successfully parsed mutant must also re-serialize without
+            // panicking (the service echoes documents back).
+            let _ = format.serialize(&sbom);
+        }
+    }
+    if let Some(format) = detected {
+        let _ = format.parse(text);
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let docs = valid_documents();
+    let mut rng = StdRng::seed_from_u64(0x5b0a);
+    for doc in &docs {
+        for _ in 0..300 {
+            let mut bytes = doc.clone().into_bytes();
+            for _ in 0..rng.gen_range(1usize..=8) {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+            probe(&String::from_utf8_lossy(&bytes));
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    let docs = valid_documents();
+    let mut rng = StdRng::seed_from_u64(0x71);
+    for doc in &docs {
+        for _ in 0..200 {
+            let cut = rng.gen_range(0..=doc.len());
+            let head = String::from_utf8_lossy(&doc.as_bytes()[..cut]).into_owned();
+            probe(&head);
+            let tail = String::from_utf8_lossy(&doc.as_bytes()[cut..]).into_owned();
+            probe(&tail);
+        }
+    }
+}
+
+#[test]
+fn splices_and_deletions_never_panic() {
+    let docs = valid_documents();
+    let mut rng = StdRng::seed_from_u64(0xd1f);
+    for doc in &docs {
+        for _ in 0..200 {
+            let mut bytes = doc.clone().into_bytes();
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    // Splice random bytes in.
+                    let at = rng.gen_range(0..=bytes.len());
+                    let insert: Vec<u8> = (0..rng.gen_range(1usize..16))
+                        .map(|_| rng.gen_range(0u8..=255))
+                        .collect();
+                    bytes.splice(at..at, insert);
+                }
+                1 => {
+                    // Delete a random segment.
+                    let from = rng.gen_range(0..bytes.len());
+                    let to = rng.gen_range(from..=bytes.len().min(from + 64));
+                    bytes.drain(from..to);
+                }
+                _ => {
+                    // Swap two random segments' worth of bytes.
+                    let i = rng.gen_range(0..bytes.len());
+                    let j = rng.gen_range(0..bytes.len());
+                    bytes.swap(i, j);
+                }
+            }
+            probe(&String::from_utf8_lossy(&bytes));
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs_never_panic() {
+    let deep_open = "[".repeat(100_000);
+    let deep_mixed = "{\"a\":".repeat(50_000);
+    let long_string = format!("{{\"bomFormat\":\"{}\"", "x".repeat(1_000_000));
+    let nul_heavy = "\u{0}".repeat(4096);
+    let cases = [
+        "",
+        "{",
+        "}",
+        "\"",
+        "{\"bomFormat\":\"CycloneDX\"",
+        "{\"spdxVersion\":\"SPDX-",
+        "{\"bomFormat\": 3.0e309}",
+        "{\"components\": [null]}",
+        deep_open.as_str(),
+        deep_mixed.as_str(),
+        long_string.as_str(),
+        nul_heavy.as_str(),
+        "\u{feff}{\"bomFormat\":\"CycloneDX\"}",
+    ];
+    for case in cases {
+        probe(case);
+    }
+}
+
+#[test]
+fn uncorrupted_documents_round_trip() {
+    // Sanity: the fuzz corpus itself is valid and detectable.
+    for doc in valid_documents() {
+        let format = SbomFormat::detect(&doc).expect("corpus doc detects");
+        let sbom = format.parse(&doc).expect("corpus doc parses");
+        assert_eq!(format.serialize(&sbom), doc);
+    }
+}

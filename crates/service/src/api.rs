@@ -1,0 +1,599 @@
+//! Request handlers: JSON in, JSON out.
+//!
+//! Every handler is a *pure function* of the request body — seeds are part
+//! of the payload, nothing reads clocks or thread state — which is what
+//! makes responses cacheable byte-for-byte and identical for every worker
+//! count (the same discipline `sbomdiff-parallel` imposes on the batch
+//! pipeline).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sbomdiff_diff::{jaccard, key_set};
+use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator};
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_registry::Registries;
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_textformats::{json, Value};
+use sbomdiff_types::{ResolvedPackage, Sbom, Version};
+use sbomdiff_vuln::AdvisoryDb;
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::respcache::ResponseCache;
+
+/// Maximum number of files accepted by `/v1/analyze`.
+pub const MAX_ANALYZE_FILES: usize = 512;
+
+/// Shared service state: memoized seeded worlds, response cache, metrics.
+pub struct AppState {
+    /// Seed used when a request does not carry one.
+    pub default_seed: u64,
+    /// The response cache consulted by the worker loop.
+    pub cache: ResponseCache,
+    /// The metrics registry.
+    pub metrics: Metrics,
+    registries: Mutex<HashMap<u64, Arc<Registries>>>,
+    advisories: Mutex<HashMap<(u64, u64, u64), Arc<AdvisoryDb>>>,
+}
+
+impl AppState {
+    /// Fresh state with a response cache of `cache_capacity` entries.
+    pub fn new(default_seed: u64, cache_capacity: usize) -> Self {
+        AppState {
+            default_seed,
+            cache: ResponseCache::new(cache_capacity),
+            metrics: Metrics::new(),
+            registries: Mutex::new(HashMap::new()),
+            advisories: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The registry set for `seed`, memoized (at most 8 seeds retained).
+    pub fn registries(&self, seed: u64) -> Arc<Registries> {
+        if let Some(found) = self.registries.lock().expect("registries memo").get(&seed) {
+            return Arc::clone(found);
+        }
+        // Generate outside the lock; a racing duplicate is deterministic.
+        let generated = Arc::new(Registries::generate(seed));
+        let mut memo = self.registries.lock().expect("registries memo");
+        if memo.len() >= 8 && !memo.contains_key(&seed) {
+            memo.clear();
+        }
+        Arc::clone(memo.entry(seed).or_insert(generated))
+    }
+
+    /// The advisory database for `(registry seed, advisory seed, share)`,
+    /// memoized like [`AppState::registries`].
+    pub fn advisory_db(&self, seed: u64, advisory_seed: u64, share: f64) -> Arc<AdvisoryDb> {
+        let key = (seed, advisory_seed, share.to_bits());
+        if let Some(found) = self.advisories.lock().expect("advisories memo").get(&key) {
+            return Arc::clone(found);
+        }
+        let registries = self.registries(seed);
+        let generated = Arc::new(AdvisoryDb::generate(&registries, advisory_seed, share));
+        let mut memo = self.advisories.lock().expect("advisories memo");
+        if memo.len() >= 8 && !memo.contains_key(&key) {
+            memo.clear();
+        }
+        Arc::clone(memo.entry(key).or_insert(generated))
+    }
+}
+
+/// Routes a parsed request to its handler. `queue_depth` feeds the
+/// `/metrics` gauge.
+pub fn handle(state: &AppState, request: &Request, queue_depth: usize) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(),
+        ("GET", "/metrics") => Response::text(
+            200,
+            state
+                .metrics
+                .render(state.cache.hits(), state.cache.misses(), queue_depth),
+        ),
+        ("POST", "/v1/analyze") => with_json_body(request, |doc| analyze(state, doc)),
+        ("POST", "/v1/diff") => with_json_body(request, diff),
+        ("POST", "/v1/impact") => with_json_body(request, |doc| impact(state, doc)),
+        (_, "/healthz" | "/metrics") | (_, "/v1/analyze" | "/v1/diff" | "/v1/impact") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+fn healthz() -> Response {
+    let mut doc = Value::object();
+    doc.set("status", Value::from("ok"));
+    doc.set("service", Value::from("sbomdiff-serve"));
+    doc.set("version", Value::from(env!("CARGO_PKG_VERSION")));
+    finish(doc)
+}
+
+fn with_json_body(request: &Request, f: impl FnOnce(&Value) -> Response) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    match json::parse(text) {
+        Ok(doc) if doc.as_object().is_some() => f(&doc),
+        Ok(_) => Response::error(400, "request body must be a JSON object"),
+        Err(e) => Response::error(400, &format!("invalid JSON body: {e}")),
+    }
+}
+
+/// `POST /v1/analyze`: an in-memory repository tree → all four studied-tool
+/// SBOMs (plus optionally the best-practice reference) and diff metrics.
+fn analyze(state: &AppState, doc: &Value) -> Response {
+    let Some(files) = doc.get("files").and_then(Value::as_object) else {
+        return Response::error(400, "missing \"files\" object ({path: content})");
+    };
+    if files.is_empty() {
+        return Response::error(400, "\"files\" must contain at least one file");
+    }
+    if files.len() > MAX_ANALYZE_FILES {
+        return Response::error(400, "too many files (limit 512)");
+    }
+    let name = doc.get("name").and_then(Value::as_str).unwrap_or("repo");
+    let seed = opt_u64(doc, "seed").unwrap_or(state.default_seed);
+    let include_sboms = doc
+        .get("include_sboms")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let best_practice = doc
+        .get("best_practice")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let format = match doc.get("format").and_then(Value::as_str) {
+        None | Some("cyclonedx") => SbomFormat::CycloneDx,
+        Some("spdx") => SbomFormat::Spdx,
+        Some(_) => return Response::error(400, "format must be \"cyclonedx\" or \"spdx\""),
+    };
+
+    let mut repo = RepoFs::new(name);
+    for (path, content) in files {
+        let Some(content) = content.as_str() else {
+            return Response::error(400, "every file content must be a string");
+        };
+        repo.add_text(path.clone(), content);
+    }
+
+    let registries = state.registries(seed);
+    let tools = sbomdiff_generators::studied_tools(&registries, 0.0);
+    let parse_cache = ParseCache::new();
+    // All four emulators share one parse of each manifest; the optional
+    // best-practice reference resolves against the registry instead, so it
+    // has no cached-parse path.
+    let mut ids = Vec::new();
+    let mut sboms: Vec<Sbom> = Vec::new();
+    for tool in &tools {
+        ids.push(tool.id());
+        sboms.push(tool.generate_with_cache(&repo, &parse_cache));
+    }
+    if best_practice {
+        let bp = BestPracticeGenerator::new(&registries);
+        ids.push(bp.id());
+        sboms.push(bp.generate(&repo));
+    }
+
+    let mut out = Value::object();
+    out.set("subject", Value::from(name));
+    out.set("seed", Value::from(seed as i64));
+    let mut tool_rows = Vec::new();
+    for (id, sbom) in ids.iter().zip(&sboms) {
+        let mut row = Value::object();
+        row.set("tool", Value::from(id.label()));
+        row.set("version", Value::from(id.version()));
+        row.set("components", Value::from(sbom.len() as i64));
+        row.set("duplicates", Value::from(sbom.duplicate_entries() as i64));
+        tool_rows.push(row);
+    }
+    out.set("tools", Value::Array(tool_rows));
+    let keys: Vec<_> = sboms.iter().map(key_set).collect();
+    let mut pairs = Vec::new();
+    for a in 0..sboms.len() {
+        for b in (a + 1)..sboms.len() {
+            let mut pair = Value::object();
+            pair.set("a", Value::from(ids[a].label()));
+            pair.set("b", Value::from(ids[b].label()));
+            pair.set(
+                "jaccard",
+                jaccard(&keys[a], &keys[b]).map_or(Value::Null, Value::from),
+            );
+            pairs.push(pair);
+        }
+    }
+    out.set("pairwise", Value::Array(pairs));
+    let mut pc = Value::object();
+    pc.set("hits", Value::from(parse_cache.hits() as i64));
+    pc.set("misses", Value::from(parse_cache.misses() as i64));
+    out.set("parse_cache", pc);
+    if include_sboms {
+        let mut docs = Value::object();
+        for (id, sbom) in ids.iter().zip(&sboms) {
+            docs.set(id.label(), Value::from(format.serialize(sbom)));
+        }
+        out.set("sboms", docs);
+    }
+    finish(out)
+}
+
+/// `POST /v1/diff`: two serialized SBOM documents → differential report.
+fn diff(doc: &Value) -> Response {
+    let (Some(a_text), Some(b_text)) = (
+        doc.get("a").and_then(Value::as_str),
+        doc.get("b").and_then(Value::as_str),
+    ) else {
+        return Response::error(400, "missing \"a\" and \"b\" SBOM document strings");
+    };
+    let a = match parse_sbom_doc(a_text) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, &format!("document \"a\": {msg}")),
+    };
+    let b = match parse_sbom_doc(b_text) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, &format!("document \"b\": {msg}")),
+    };
+    let keys_a = key_set(&a);
+    let keys_b = key_set(&b);
+    let mut out = Value::object();
+    for (label, sbom) in [("a", &a), ("b", &b)] {
+        let mut side = Value::object();
+        side.set("tool", Value::from(sbom.meta.tool_name.clone()));
+        side.set("tool_version", Value::from(sbom.meta.tool_version.clone()));
+        side.set("subject", Value::from(sbom.meta.subject.clone()));
+        side.set("components", Value::from(sbom.len() as i64));
+        side.set("duplicates", Value::from(sbom.duplicate_entries() as i64));
+        out.set(label, side);
+    }
+    out.set(
+        "jaccard",
+        jaccard(&keys_a, &keys_b).map_or(Value::Null, Value::from),
+    );
+    out.set(
+        "intersection",
+        Value::from(keys_a.intersection(&keys_b).count() as i64),
+    );
+    const KEY_SAMPLE: usize = 50;
+    for (label, mine, other) in [("only_a", &keys_a, &keys_b), ("only_b", &keys_b, &keys_a)] {
+        let only: Vec<_> = mine.difference(other).collect();
+        out.set(format!("{label}_total"), Value::from(only.len() as i64));
+        out.set(
+            label,
+            Value::Array(
+                only.iter()
+                    .take(KEY_SAMPLE)
+                    .map(|k| Value::from(k.to_string()))
+                    .collect(),
+            ),
+        );
+    }
+    finish(out)
+}
+
+/// `POST /v1/impact`: an SBOM document + advisory-db seed → missed /
+/// false-alarm vulnerability report via `sbomdiff_vuln::assess`.
+fn impact(state: &AppState, doc: &Value) -> Response {
+    let Some(sbom_text) = doc.get("sbom").and_then(Value::as_str) else {
+        return Response::error(400, "missing \"sbom\" document string");
+    };
+    let sbom = match parse_sbom_doc(sbom_text) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, &format!("document \"sbom\": {msg}")),
+    };
+    let seed = opt_u64(doc, "seed").unwrap_or(state.default_seed);
+    let advisory_seed = opt_u64(doc, "advisory_seed").unwrap_or(1);
+    let share = doc
+        .get("vulnerable_share")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.2);
+    if !(0.0..=1.0).contains(&share) {
+        return Response::error(400, "vulnerable_share must be within [0, 1]");
+    }
+    let truth = match doc.get("truth") {
+        None | Some(Value::Null) => sbom_as_truth(&sbom),
+        Some(value) => match parse_truth(value) {
+            Ok(t) => t,
+            Err(msg) => return Response::error(400, msg),
+        },
+    };
+    let db = state.advisory_db(seed, advisory_seed, share);
+    let report = sbomdiff_vuln::assess(&db, &sbom, &truth);
+
+    let mut out = Value::object();
+    out.set("tool", Value::from(sbom.meta.tool_name.clone()));
+    out.set("subject", Value::from(sbom.meta.subject.clone()));
+    out.set("advisories", Value::from(db.len() as i64));
+    out.set("truth_packages", Value::from(truth.len() as i64));
+    for (label, ids) in [
+        ("actual", &report.actual),
+        ("detected", &report.detected),
+        ("missed", &report.missed),
+        ("false_alarms", &report.false_alarms),
+    ] {
+        out.set(
+            label,
+            Value::Array(ids.iter().map(|id| Value::from(id.clone())).collect()),
+        );
+    }
+    out.set("miss_rate", Value::from(report.miss_rate()));
+    out.set("false_alarm_rate", Value::from(report.false_alarm_rate()));
+    finish(out)
+}
+
+fn sbom_as_truth(sbom: &Sbom) -> Vec<ResolvedPackage> {
+    sbom.components()
+        .iter()
+        .filter_map(|c| {
+            let version = Version::parse(c.version.as_deref()?).ok()?;
+            Some(ResolvedPackage::direct(c.name.clone(), version))
+        })
+        .collect()
+}
+
+fn parse_truth(value: &Value) -> Result<Vec<ResolvedPackage>, &'static str> {
+    let entries = value
+        .as_array()
+        .ok_or("\"truth\" must be an array of {name, version} objects")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("every truth entry needs a string \"name\"")?;
+        let version_text = entry
+            .get("version")
+            .and_then(Value::as_str)
+            .ok_or("every truth entry needs a string \"version\"")?;
+        let version =
+            Version::parse(version_text).map_err(|_| "unparseable version in \"truth\" entry")?;
+        out.push(ResolvedPackage::direct(name, version));
+    }
+    Ok(out)
+}
+
+fn parse_sbom_doc(text: &str) -> Result<Sbom, String> {
+    match SbomFormat::detect(text) {
+        Some(format) => format
+            .parse(text)
+            .map_err(|e| format!("failed to parse: {e}")),
+        None => Err("not a recognizable CycloneDX or SPDX document".to_string()),
+    }
+}
+
+fn opt_u64(doc: &Value, key: &str) -> Option<u64> {
+    doc.get(key)
+        .and_then(Value::as_i64)
+        .map(|n| n.max(0) as u64)
+}
+
+/// Compact-serializes a response document with a trailing newline.
+fn finish(doc: Value) -> Response {
+    let mut body = json::to_string(&doc);
+    body.push('\n');
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> AppState {
+        AppState::new(42, 64)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_json(resp: &Response) -> Value {
+        json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let state = state();
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: vec![],
+        };
+        let resp = handle(&state, &req, 0);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            body_json(&resp).get("status").and_then(Value::as_str),
+            Some("ok")
+        );
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_bad_method_is_405() {
+        let state = state();
+        let resp = handle(&state, &post("/nope", "{}"), 0);
+        assert_eq!(resp.status, 404);
+        let resp = handle(&state, &post("/healthz", ""), 0);
+        assert_eq!(resp.status, 405);
+        let get_diff = Request {
+            method: "GET".into(),
+            path: "/v1/diff".into(),
+            body: vec![],
+        };
+        assert_eq!(handle(&state, &get_diff, 0).status, 405);
+    }
+
+    #[test]
+    fn malformed_bodies_yield_400() {
+        let state = state();
+        for body in ["not json", "{\"files\": 7}", "[1,2]", "{\"files\": {}}"] {
+            let resp = handle(&state, &post("/v1/analyze", body), 0);
+            assert_eq!(resp.status, 400, "{body}");
+            assert!(body_json(&resp).get("error").is_some(), "{body}");
+        }
+        let resp = handle(&state, &post("/v1/diff", "{}"), 0);
+        assert_eq!(resp.status, 400);
+        let resp = handle(&state, &post("/v1/impact", "{\"sbom\": \"junk\"}"), 0);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn non_utf8_body_yields_400() {
+        let state = state();
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/diff".into(),
+            body: vec![0xff, 0xfe, 0x00],
+        };
+        assert_eq!(handle(&state, &req, 0).status, 400);
+    }
+
+    fn analyze_payload() -> String {
+        r#"{"name":"demo","seed":7,"files":{"requirements.txt":"numpy==1.19.2\nflask>=2.0\n","go.mod":"module m\nrequire github.com/pkg/errors v0.9.1\n"}}"#.to_string()
+    }
+
+    #[test]
+    fn analyze_reports_four_tools_and_pairwise_jaccard() {
+        let state = state();
+        let resp = handle(&state, &post("/v1/analyze", &analyze_payload()), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("tools").and_then(Value::as_array).unwrap().len(), 4);
+        assert_eq!(
+            doc.get("pairwise").and_then(Value::as_array).unwrap().len(),
+            6
+        );
+        assert!(
+            doc.pointer("parse_cache/hits")
+                .and_then(Value::as_i64)
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        let state = state();
+        let a = handle(&state, &post("/v1/analyze", &analyze_payload()), 0);
+        let b = handle(&state, &post("/v1/analyze", &analyze_payload()), 0);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn analyze_include_sboms_embeds_parseable_docs() {
+        let state = state();
+        let payload = analyze_payload().replace(
+            "\"name\":\"demo\"",
+            "\"name\":\"demo\",\"include_sboms\":true,\"best_practice\":true",
+        );
+        let resp = handle(&state, &post("/v1/analyze", &payload), 0);
+        assert_eq!(resp.status, 200);
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("tools").and_then(Value::as_array).unwrap().len(), 5);
+        let embedded = doc.pointer("sboms/Trivy").and_then(Value::as_str).unwrap();
+        assert!(SbomFormat::CycloneDx.parse(embedded).is_ok());
+    }
+
+    #[test]
+    fn diff_compares_two_documents() {
+        let state = state();
+        // Build two documents through /v1/analyze with include_sboms.
+        let payload = analyze_payload().replace(
+            "\"name\":\"demo\"",
+            "\"name\":\"demo\",\"include_sboms\":true",
+        );
+        let resp = handle(&state, &post("/v1/analyze", &payload), 0);
+        let doc = body_json(&resp);
+        let trivy = doc.pointer("sboms/Trivy").and_then(Value::as_str).unwrap();
+        let github = doc
+            .pointer("sboms/GitHub DG")
+            .and_then(Value::as_str)
+            .unwrap();
+        let mut req = Value::object();
+        req.set("a", Value::from(trivy));
+        req.set("b", Value::from(github));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 200);
+        let out = body_json(&resp);
+        assert_eq!(out.pointer("a/tool").and_then(Value::as_str), Some("Trivy"));
+        assert!(out.get("jaccard").is_some());
+        assert!(out.get("only_b_total").and_then(Value::as_i64).is_some());
+    }
+
+    #[test]
+    fn impact_assesses_sbom_against_advisories() {
+        let state = state();
+        let payload = analyze_payload().replace(
+            "\"name\":\"demo\"",
+            "\"name\":\"demo\",\"include_sboms\":true",
+        );
+        let resp = handle(&state, &post("/v1/analyze", &payload), 0);
+        let doc = body_json(&resp);
+        let sbom = doc.pointer("sboms/Trivy").and_then(Value::as_str).unwrap();
+        let mut req = Value::object();
+        req.set("sbom", Value::from(sbom));
+        req.set("vulnerable_share", Value::from(1.0));
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let out = body_json(&resp);
+        assert!(out.get("advisories").and_then(Value::as_i64).unwrap() > 0);
+        assert!(out.get("miss_rate").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn impact_with_explicit_truth_detects_misses() {
+        let state = state();
+        // An empty SBOM against a non-empty truth must report misses when
+        // the truth package carries an advisory at 100% share.
+        let empty = SbomFormat::CycloneDx.serialize(&Sbom::new("t", "1"));
+        let mut req = Value::object();
+        req.set("sbom", Value::from(empty));
+        req.set("vulnerable_share", Value::from(1.0));
+        req.set(
+            "truth",
+            json::parse(r#"[{"name":"numpy","version":"1.19.2"}]"#).unwrap(),
+        );
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 200);
+        let out = body_json(&resp);
+        let missed = out.get("missed").and_then(Value::as_array).unwrap();
+        assert!(!missed.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn impact_rejects_bad_truth_and_share() {
+        let state = state();
+        let empty = SbomFormat::CycloneDx.serialize(&Sbom::new("t", "1"));
+        let mut req = Value::object();
+        req.set("sbom", Value::from(empty.as_str()));
+        req.set("truth", json::parse(r#"[{"name":"x"}]"#).unwrap());
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 400);
+        let mut req = Value::object();
+        req.set("sbom", Value::from(empty));
+        req.set("vulnerable_share", Value::from(3.5));
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn registries_and_advisories_are_memoized() {
+        let state = state();
+        let a = state.registries(5);
+        let b = state.registries(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let da = state.advisory_db(5, 1, 0.2);
+        let db = state.advisory_db(5, 1, 0.2);
+        assert!(Arc::ptr_eq(&da, &db));
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal HTTP/1.1 request parsing and response writing over raw streams.
+//!
+//! The build environment is fully offline (no tokio/hyper), so the service
+//! speaks just enough HTTP/1.1 for request/response API traffic: one request
+//! per connection (`Connection: close`), `Content-Length` framed bodies,
+//! and hard limits on header and body size so untrusted input cannot pin a
+//! worker or exhaust memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request → 400.
+    Malformed(&'static str),
+    /// Head or body over the configured limits → 413.
+    TooLarge,
+    /// Transport failure; no response can be delivered.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from a stream.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] on syntax errors, [`HttpError::TooLarge`] when
+/// limits are exceeded, [`HttpError::Io`] on transport failures.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+
+    // Request line.
+    read_line_limited(&mut reader, &mut line, &mut head_bytes)?;
+    let mut parts = line.trim_end().split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(HttpError::Malformed("bad request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(HttpError::Malformed("bad request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(HttpError::Malformed("unsupported protocol"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    // Headers.
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        read_line_limited(&mut reader, &mut line, &mut head_bytes)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if n > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge);
+            }
+            content_length = n;
+        }
+    }
+
+    // Body.
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn read_line_limited<S: Read>(
+    reader: &mut BufReader<S>,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<(), HttpError> {
+    line.clear();
+    let n = reader.read_line(line)?;
+    if n == 0 {
+        return Err(HttpError::Malformed("unexpected end of stream"));
+    }
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(())
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope (`{"error": "..."}`).
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut doc = sbomdiff_textformats::Value::object();
+        doc.set("error", sbomdiff_textformats::Value::from(message));
+        let mut body = sbomdiff_textformats::json::to_string(&doc);
+        body.push('\n');
+        Response::json(status, body)
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response with `Connection: close` framing and flushes.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response<S: Write>(mut stream: S, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse("POST /v1/diff?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/diff");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno colon here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_writing_frames_body() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}\n")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let resp = Response::error(400, "nope \"quoted\"");
+        assert_eq!(resp.status, 400);
+        let doc =
+            sbomdiff_textformats::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|v| v.as_str()),
+            Some("nope \"quoted\"")
+        );
+    }
+}

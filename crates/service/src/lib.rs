@@ -1,0 +1,48 @@
+//! `sbomdiff-service`: an offline HTTP serving layer over the differential
+//! SBOM analysis pipeline.
+//!
+//! The service turns the batch machinery (tool emulators, format
+//! round-tripping, diff metrics, vulnerability impact assessment) into
+//! request/response endpoints:
+//!
+//! * `POST /v1/analyze` — in-memory repository tree in, four emulator SBOMs
+//!   plus pairwise diff metrics out,
+//! * `POST /v1/diff` — two serialized SBOM documents in, a diff report out,
+//! * `POST /v1/impact` — an SBOM plus advisory-db parameters in, a
+//!   [`sbomdiff_vuln`] impact report out,
+//! * `GET /healthz` and `GET /metrics` for liveness and observability.
+//!
+//! Everything is built on `std` only — the HTTP/1.1 server sits directly on
+//! [`std::net::TcpListener`] (one request per connection), so the crate
+//! honours the repository's no-external-dependencies policy. The serving
+//! machinery provides:
+//!
+//! * a bounded job queue with admission control ([`queue`]) — overload
+//!   answers `429` instead of building unbounded backlog,
+//! * a worker pool sized by the same [`sbomdiff_parallel::Jobs`] policy as
+//!   the batch pipeline,
+//! * per-request deadlines — requests that wait too long in the queue
+//!   answer `503` without running,
+//! * a sharded content-hash-keyed LRU response cache ([`respcache`]),
+//!   correct because every handler is a pure function of its payload,
+//! * a Prometheus-text metrics registry ([`metrics`]),
+//! * graceful shutdown that drains the queue before joining workers.
+//!
+//! [`loadgen`] drives an in-process server with N concurrent synthetic
+//! clients for benchmarking (`sbomdiff-serve loadgen`).
+
+pub mod api;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod respcache;
+pub mod server;
+
+pub use api::AppState;
+pub use http::{Request, Response};
+pub use loadgen::{LoadgenConfig, LoadgenSummary};
+pub use metrics::{Endpoint, Metrics};
+pub use queue::BoundedQueue;
+pub use respcache::ResponseCache;
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,463 @@
+//! Built-in load generator: N concurrent synthetic clients against an
+//! in-process server.
+//!
+//! Payloads come from the calibrated corpus generator, so the traffic
+//! exercises exactly the parsing/diffing machinery the paper's batch
+//! experiments do — a small payload set is deliberately reused across many
+//! requests to exercise the response cache. Client fan-out rides on
+//! `sbomdiff_parallel::par_map`, the same worker-pool primitive the batch
+//! pipeline uses.
+//!
+//! The summary checks the service-level guarantees: zero 5xx, per-payload
+//! byte-identical responses (the response digest is independent of
+//! `--jobs`), and a nonzero cache hit ratio.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use sbomdiff_corpus::{Corpus, CorpusConfig};
+use sbomdiff_registry::Registries;
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_textformats::{json, Value};
+
+use crate::server::{ServeConfig, Server};
+
+/// Load-generation configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Distinct payloads to rotate through (smaller → more cache hits).
+    pub payloads: usize,
+    /// Server worker threads (0 → default policy).
+    pub jobs: usize,
+    /// Seed for corpus payload synthesis and the server default seed.
+    pub seed: u64,
+    /// Where to write the benchmark JSON (None → don't write).
+    pub out: Option<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 1000,
+            clients: 4,
+            payloads: 12,
+            jobs: 0,
+            seed: 42,
+            out: None,
+        }
+    }
+}
+
+/// One client-side observation.
+struct Sample {
+    payload_idx: usize,
+    status: u16,
+    latency_micros: u64,
+    body_hash: u64,
+}
+
+/// Aggregated loadgen results.
+#[derive(Debug, Clone)]
+pub struct LoadgenSummary {
+    /// Requests sent.
+    pub requests: usize,
+    /// Concurrent clients used.
+    pub clients: usize,
+    /// Responses by status code.
+    pub status_counts: BTreeMap<u16, usize>,
+    /// Wall-clock duration of the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles in microseconds (p50, p90, p99, max).
+    pub latency_us: (u64, u64, u64, u64),
+    /// Server-side response-cache hits / misses scraped from `/metrics`.
+    pub cache_hits: u64,
+    /// See [`LoadgenSummary::cache_hits`].
+    pub cache_misses: u64,
+    /// Order-independent digest over per-payload response bodies; equal
+    /// digests across runs mean byte-identical responses.
+    pub response_digest: u64,
+    /// Payloads whose responses were *not* byte-identical across requests.
+    pub inconsistent_payloads: usize,
+}
+
+impl LoadgenSummary {
+    /// Total non-2xx responses.
+    pub fn non_2xx(&self) -> usize {
+        self.status_counts
+            .iter()
+            .filter(|(status, _)| !(200..300).contains(*status))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total 5xx responses.
+    pub fn count_5xx(&self) -> usize {
+        self.status_counts
+            .iter()
+            .filter(|(status, _)| **status >= 500)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The acceptance gate: every response 2xx, byte-identical bodies per
+    /// payload, and a warm cache.
+    pub fn ok(&self) -> bool {
+        self.non_2xx() == 0 && self.inconsistent_payloads == 0 && self.cache_hits > 0
+    }
+
+    /// Renders the human-readable report table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen: {} requests, {} clients, {:.1} ms wall\n",
+            self.requests, self.clients, self.wall_ms
+        ));
+        out.push_str(&format!(
+            "  throughput   {:.0} req/s\n",
+            self.throughput_rps
+        ));
+        let (p50, p90, p99, max) = self.latency_us;
+        out.push_str(&format!(
+            "  latency (us) p50={p50} p90={p90} p99={p99} max={max}\n"
+        ));
+        for (status, count) in &self.status_counts {
+            out.push_str(&format!("  status {status}  {count}\n"));
+        }
+        let lookups = self.cache_hits + self.cache_misses;
+        let ratio = if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        };
+        out.push_str(&format!(
+            "  cache        {} hits / {} misses ({:.1}% hit ratio)\n",
+            self.cache_hits,
+            self.cache_misses,
+            ratio * 100.0
+        ));
+        out.push_str(&format!(
+            "  responses    digest={:016x} inconsistent_payloads={}\n",
+            self.response_digest, self.inconsistent_payloads
+        ));
+        out
+    }
+
+    /// Serializes the benchmark artifact (`BENCH_service.json`).
+    pub fn to_json(&self, jobs: usize, payloads: usize) -> String {
+        let mut doc = Value::object();
+        doc.set("bench", Value::from("sbomdiff-serve loadgen"));
+        doc.set("requests", Value::from(self.requests as i64));
+        doc.set("clients", Value::from(self.clients as i64));
+        doc.set("jobs", Value::from(jobs as i64));
+        doc.set("payloads", Value::from(payloads as i64));
+        doc.set("wall_ms", Value::from(self.wall_ms));
+        doc.set("throughput_rps", Value::from(self.throughput_rps));
+        let (p50, p90, p99, max) = self.latency_us;
+        let mut latency = Value::object();
+        latency.set("p50_us", Value::from(p50 as i64));
+        latency.set("p90_us", Value::from(p90 as i64));
+        latency.set("p99_us", Value::from(p99 as i64));
+        latency.set("max_us", Value::from(max as i64));
+        doc.set("latency", latency);
+        let mut statuses = Value::object();
+        for (status, count) in &self.status_counts {
+            statuses.set(status.to_string(), Value::from(*count as i64));
+        }
+        doc.set("status_counts", statuses);
+        doc.set("non_2xx", Value::from(self.non_2xx() as i64));
+        doc.set("cache_hits", Value::from(self.cache_hits as i64));
+        doc.set("cache_misses", Value::from(self.cache_misses as i64));
+        doc.set(
+            "response_digest",
+            Value::from(format!("{:016x}", self.response_digest)),
+        );
+        let mut body = json::to_string_pretty(&doc);
+        body.push('\n');
+        body
+    }
+}
+
+/// Runs the load generator against a fresh in-process server.
+///
+/// # Errors
+///
+/// Propagates server-start and benchmark-file I/O errors.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
+    let mut server = Server::start(ServeConfig {
+        jobs: config.jobs,
+        seed: config.seed,
+        ..ServeConfig::default()
+    })?;
+    let addr = server.addr();
+    let payloads = build_payloads(config.seed, config.payloads.max(1));
+
+    let started = Instant::now();
+    let clients: Vec<usize> = (0..config.clients.max(1)).collect();
+    let samples: Vec<Vec<Sample>> = sbomdiff_parallel::par_map(clients.len(), &clients, |_, &c| {
+        run_client(addr, c, clients.len(), config.requests, &payloads)
+    });
+    let wall = started.elapsed();
+
+    // Scrape cache counters through the public endpoint so the loadgen
+    // exercises /metrics too.
+    let (_, metrics_text) = http_request(addr, "GET", "/metrics", "").unwrap_or((0, String::new()));
+    let cache_hits = scrape(&metrics_text, "sbomdiff_cache_hits_total");
+    let cache_misses = scrape(&metrics_text, "sbomdiff_cache_misses_total");
+    server.shutdown();
+
+    let mut status_counts: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut per_payload: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut inconsistent: std::collections::BTreeSet<usize> = Default::default();
+    for sample in samples.iter().flatten() {
+        *status_counts.entry(sample.status).or_default() += 1;
+        latencies.push(sample.latency_micros);
+        match per_payload.get(&sample.payload_idx) {
+            None => {
+                per_payload.insert(sample.payload_idx, sample.body_hash);
+            }
+            Some(&seen) if seen != sample.body_hash => {
+                inconsistent.insert(sample.payload_idx);
+            }
+            Some(_) => {}
+        }
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    // Order-independent digest: XOR of per-payload (index, body hash)
+    // mixes — identical for any client/worker interleaving.
+    let response_digest = per_payload.iter().fold(0u64, |acc, (&idx, &hash)| {
+        acc ^ hash
+            .wrapping_add(idx as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    });
+
+    let total: usize = status_counts.values().sum();
+    let summary = LoadgenSummary {
+        requests: total,
+        clients: clients.len(),
+        status_counts,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            total as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        latency_us: (
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+            *latencies.last().unwrap_or(&0),
+        ),
+        cache_hits,
+        cache_misses,
+        response_digest,
+        inconsistent_payloads: inconsistent.len(),
+    };
+    if let Some(path) = &config.out {
+        std::fs::write(path, summary.to_json(config.jobs, config.payloads))?;
+    }
+    Ok(summary)
+}
+
+/// Builds the rotating payload set: analyze requests over synthetic corpus
+/// repositories, plus diff and impact requests derived from their SBOMs.
+pub fn build_payloads(seed: u64, count: usize) -> Vec<(String, String)> {
+    let registries = Registries::generate(seed);
+    let corpus = Corpus::build_with_jobs(
+        &registries,
+        &CorpusConfig {
+            repos_per_language: count.div_ceil(9).max(1),
+            seed,
+        },
+        1,
+    );
+    let repos: Vec<_> = corpus.iter().flat_map(|(_, repos)| repos).collect();
+    let tools = sbomdiff_generators::studied_tools(&registries, 0.0);
+    let mut payloads = Vec::with_capacity(count);
+    for i in 0..count {
+        let repo = repos[i % repos.len()];
+        let endpoint = i % 3;
+        match endpoint {
+            0 => {
+                let mut files = Value::object();
+                for (path, text) in repo.text_files() {
+                    files.set(path, Value::from(text));
+                }
+                let mut doc = Value::object();
+                doc.set("name", Value::from(repo.name()));
+                doc.set("seed", Value::from(seed as i64));
+                doc.set("files", files);
+                payloads.push(("/v1/analyze".to_string(), json::to_string(&doc)));
+            }
+            1 => {
+                use sbomdiff_generators::SbomGenerator;
+                let a = tools[0].generate(repo);
+                let b = tools[3].generate(repo);
+                let mut doc = Value::object();
+                doc.set("a", Value::from(SbomFormat::CycloneDx.serialize(&a)));
+                doc.set("b", Value::from(SbomFormat::Spdx.serialize(&b)));
+                payloads.push(("/v1/diff".to_string(), json::to_string(&doc)));
+            }
+            _ => {
+                use sbomdiff_generators::SbomGenerator;
+                let sbom = tools[1].generate(repo);
+                let mut doc = Value::object();
+                doc.set("sbom", Value::from(SbomFormat::CycloneDx.serialize(&sbom)));
+                doc.set("seed", Value::from(seed as i64));
+                doc.set("advisory_seed", Value::from(1i64));
+                doc.set("vulnerable_share", Value::from(0.3));
+                payloads.push(("/v1/impact".to_string(), json::to_string(&doc)));
+            }
+        }
+    }
+    payloads
+}
+
+fn run_client(
+    addr: SocketAddr,
+    client: usize,
+    clients: usize,
+    total_requests: usize,
+    payloads: &[(String, String)],
+) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut request_no = client;
+    while request_no < total_requests {
+        let payload_idx = request_no % payloads.len();
+        let (path, body) = &payloads[payload_idx];
+        let started = Instant::now();
+        // A transport failure is counted as status 0.
+        let (status, response_body) = http_request(addr, "POST", path, body).unwrap_or_default();
+        samples.push(Sample {
+            payload_idx,
+            status,
+            latency_micros: started.elapsed().as_micros() as u64,
+            body_hash: fnv64(response_body.as_bytes()),
+        });
+        request_no += clients;
+    }
+    samples
+}
+
+/// One HTTP request over a fresh connection; returns (status, body).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes())?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn scrape(metrics_text: &str, name: &str) -> u64 {
+    metrics_text
+        .lines()
+        .find(|line| line.starts_with(name) && !line.starts_with('#'))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_set_is_deterministic_and_mixed() {
+        let a = build_payloads(7, 9);
+        let b = build_payloads(7, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 9);
+        let endpoints: std::collections::BTreeSet<_> =
+            a.iter().map(|(path, _)| path.as_str()).collect();
+        assert!(endpoints.contains("/v1/analyze"));
+        assert!(endpoints.contains("/v1/diff"));
+        assert!(endpoints.contains("/v1/impact"));
+        // Every payload body is valid JSON.
+        for (_, body) in &a {
+            assert!(json::parse(body).is_ok());
+        }
+    }
+
+    #[test]
+    fn scrape_parses_counter_lines() {
+        let text = "# TYPE x counter\nsbomdiff_cache_hits_total 42\nother 1\n";
+        assert_eq!(scrape(text, "sbomdiff_cache_hits_total"), 42);
+        assert_eq!(scrape(text, "missing"), 0);
+    }
+
+    #[test]
+    fn smoke_run_is_clean() {
+        let summary = run(&LoadgenConfig {
+            requests: 36,
+            clients: 4,
+            payloads: 6,
+            jobs: 2,
+            seed: 11,
+            out: None,
+        })
+        .expect("loadgen runs");
+        assert_eq!(summary.requests, 36);
+        assert_eq!(summary.non_2xx(), 0, "{:?}", summary.status_counts);
+        assert_eq!(summary.inconsistent_payloads, 0);
+        assert!(summary.cache_hits > 0);
+        assert!(summary.ok(), "{}", summary.report());
+    }
+
+    #[test]
+    fn digest_is_stable_across_jobs() {
+        let base = LoadgenConfig {
+            requests: 24,
+            clients: 3,
+            payloads: 6,
+            seed: 13,
+            out: None,
+            jobs: 1,
+        };
+        let a = run(&base).unwrap();
+        let b = run(&LoadgenConfig { jobs: 4, ..base }).unwrap();
+        assert_eq!(a.response_digest, b.response_digest);
+        assert_eq!(a.inconsistent_payloads + b.inconsistent_payloads, 0);
+    }
+}

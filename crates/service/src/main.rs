@@ -1,0 +1,243 @@
+//! `sbomdiff-serve` — the offline SBOM analysis service binary.
+//!
+//! Subcommands:
+//!
+//! * `serve`   — run the HTTP server until SIGINT/SIGTERM.
+//! * `loadgen` — benchmark an in-process server with concurrent synthetic
+//!   clients and optionally write `BENCH_service.json`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use sbomdiff_service::loadgen::{self, LoadgenConfig};
+use sbomdiff_service::server::{ServeConfig, Server};
+
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+const USAGE: &str = "\
+sbomdiff-serve - offline SBOM analysis service
+
+USAGE:
+    sbomdiff-serve serve [OPTIONS]
+    sbomdiff-serve loadgen [OPTIONS]
+    sbomdiff-serve --help | --version
+
+SERVE OPTIONS:
+    --port <N>         TCP port to bind on 127.0.0.1 (default 8043; 0 = ephemeral)
+    --jobs <N>         worker threads (default: SBOMDIFF_JOBS or available cores)
+    --queue <N>        bounded queue capacity; overflow answers 429 (default 128)
+    --deadline-ms <N>  per-request queueing deadline; expiry answers 503 (default 10000)
+    --cache <N>        response cache capacity in entries (default 256)
+    --seed <N>         default world seed for /v1/analyze and /v1/impact (default 42)
+
+LOADGEN OPTIONS:
+    --requests <N>     total requests to send (default 1000)
+    --clients <N>      concurrent clients (default 4)
+    --payloads <N>     distinct payloads to rotate through (default 12)
+    --jobs <N>         server worker threads (default: policy)
+    --seed <N>         corpus/payload seed (default 42)
+    --out <PATH>       write benchmark JSON to PATH
+
+ENDPOINTS:
+    POST /v1/analyze   {\"files\": {path: text, ...}, \"seed\"?, \"include_sboms\"?, ...}
+    POST /v1/diff      {\"a\": <sbom doc>, \"b\": <sbom doc>}
+    POST /v1/impact    {\"sbom\": <sbom doc>, \"vulnerable_share\"?, \"truth\"?, ...}
+    GET  /healthz      liveness probe
+    GET  /metrics      Prometheus text exposition
+";
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN;
+
+    // Minimal libc-free signal hookup: `signal(2)` is in every libc the
+    // toolchain links anyway. The handler only flips an AtomicBool, which
+    // is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("--version") | Some("-V") | Some("version") => {
+            println!("sbomdiff-serve {VERSION}");
+            ExitCode::SUCCESS
+        }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig {
+        port: 8043,
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--port" => match parse_num(it.next(), flag) {
+                Ok(v) => config.port = v as u16,
+                Err(code) => return code,
+            },
+            "--jobs" => match parse_num(it.next(), flag) {
+                Ok(v) => config.jobs = v as usize,
+                Err(code) => return code,
+            },
+            "--queue" => match parse_num(it.next(), flag) {
+                Ok(v) => config.queue_capacity = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--deadline-ms" => match parse_num(it.next(), flag) {
+                Ok(v) => config.deadline = Duration::from_millis(v),
+                Err(code) => return code,
+            },
+            "--cache" => match parse_num(it.next(), flag) {
+                Ok(v) => config.cache_capacity = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--seed" => match parse_num(it.next(), flag) {
+                Ok(v) => config.seed = v,
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("error: unknown serve option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    sig::install();
+    let mut server = match Server::start(config) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("error: failed to start server: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sbomdiff-serve {VERSION} listening on http://{}",
+        server.addr()
+    );
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining queue and joining workers");
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--requests" => match parse_num(it.next(), flag) {
+                Ok(v) => config.requests = v as usize,
+                Err(code) => return code,
+            },
+            "--clients" => match parse_num(it.next(), flag) {
+                Ok(v) => config.clients = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--payloads" => match parse_num(it.next(), flag) {
+                Ok(v) => config.payloads = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--jobs" => match parse_num(it.next(), flag) {
+                Ok(v) => config.jobs = v as usize,
+                Err(code) => return code,
+            },
+            "--seed" => match parse_num(it.next(), flag) {
+                Ok(v) => config.seed = v,
+                Err(code) => return code,
+            },
+            "--out" => match it.next() {
+                Some(path) => config.out = Some(path.clone()),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown loadgen option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match loadgen::run(&config) {
+        Ok(summary) => {
+            print!("{}", summary.report());
+            if let Some(path) = &config.out {
+                println!("wrote {path}");
+            }
+            if summary.ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "loadgen FAILED: non_2xx={} inconsistent_payloads={} cache_hits={}",
+                    summary.non_2xx(),
+                    summary.inconsistent_payloads,
+                    summary.cache_hits
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("error: loadgen failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(value: Option<&String>, flag: &str) -> Result<u64, ExitCode> {
+    match value.and_then(|v| v.parse::<u64>().ok()) {
+        Some(v) => Ok(v),
+        None => {
+            eprintln!("error: {flag} requires a non-negative integer");
+            Err(ExitCode::from(2))
+        }
+    }
+}

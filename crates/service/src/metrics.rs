@@ -1,0 +1,300 @@
+//! Service metrics registry rendered at `GET /metrics`.
+//!
+//! Lock-free atomic counters and fixed-bucket latency histograms, rendered
+//! in the Prometheus text exposition format. Everything is counted at the
+//! point where a response is written, so the numbers include cache hits,
+//! rejected (429) and timed-out (503) requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The endpoints the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/analyze`.
+    Analyze,
+    /// `POST /v1/diff`.
+    Diff,
+    /// `POST /v1/impact`.
+    Impact,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything else (404s, bad methods, parse failures).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in rendering order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Analyze,
+        Endpoint::Diff,
+        Endpoint::Impact,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// Classifies a request path.
+    pub fn classify(path: &str) -> Endpoint {
+        match path {
+            "/v1/analyze" => Endpoint::Analyze,
+            "/v1/diff" => Endpoint::Diff,
+            "/v1/impact" => Endpoint::Impact,
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The `endpoint` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Analyze => "analyze",
+            Endpoint::Diff => "diff",
+            Endpoint::Impact => "impact",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Analyze => 0,
+            Endpoint::Diff => 1,
+            Endpoint::Impact => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+/// Upper bounds of the latency histogram buckets, in seconds.
+pub const LATENCY_BUCKETS: [f64; 11] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+];
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    // One slot per LATENCY_BUCKETS bound plus the +Inf overflow slot.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    latency_sum_micros: AtomicU64,
+}
+
+/// The registry: per-endpoint stats plus service-wide counters.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointStats; Endpoint::ALL.len()],
+    queue_rejected: AtomicU64,
+    deadline_timeouts: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one finished request: its endpoint, response status, and
+    /// total latency from accept to response-written.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency: Duration) {
+        let stats = &self.endpoints[endpoint.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &stats.responses_2xx,
+            400..=499 => &stats.responses_4xx,
+            _ => &stats.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let secs = latency.as_secs_f64();
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&bound| secs <= bound)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        stats.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        stats
+            .latency_sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by admission control (429).
+    pub fn record_rejected(&self) {
+        self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that exceeded its deadline in the queue (503).
+    pub fn record_timeout(&self) {
+        self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests seen across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total 5xx responses across all endpoints.
+    pub fn total_5xx(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.responses_5xx.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// 429 rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.queue_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Deadline timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.deadline_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition, including the cache and
+    /// queue gauges supplied by the caller.
+    pub fn render(&self, cache_hits: u64, cache_misses: u64, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE sbomdiff_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            let stats = &self.endpoints[ep.index()];
+            out.push_str(&format!(
+                "sbomdiff_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                stats.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE sbomdiff_responses_total counter\n");
+        for ep in Endpoint::ALL {
+            let stats = &self.endpoints[ep.index()];
+            for (class, counter) in [
+                ("2xx", &stats.responses_2xx),
+                ("4xx", &stats.responses_4xx),
+                ("5xx", &stats.responses_5xx),
+            ] {
+                out.push_str(&format!(
+                    "sbomdiff_responses_total{{endpoint=\"{}\",class=\"{class}\"}} {}\n",
+                    ep.label(),
+                    counter.load(Ordering::Relaxed)
+                ));
+            }
+        }
+        out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
+        out.push_str(&format!(
+            "sbomdiff_queue_rejected_total {}\n",
+            self.queue_rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE sbomdiff_deadline_timeouts_total counter\n");
+        out.push_str(&format!(
+            "sbomdiff_deadline_timeouts_total {}\n",
+            self.deadline_timeouts.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE sbomdiff_queue_depth gauge\n");
+        out.push_str(&format!("sbomdiff_queue_depth {queue_depth}\n"));
+        out.push_str("# TYPE sbomdiff_cache_hits_total counter\n");
+        out.push_str(&format!("sbomdiff_cache_hits_total {cache_hits}\n"));
+        out.push_str("# TYPE sbomdiff_cache_misses_total counter\n");
+        out.push_str(&format!("sbomdiff_cache_misses_total {cache_misses}\n"));
+        out.push_str("# TYPE sbomdiff_cache_hit_ratio gauge\n");
+        let lookups = cache_hits + cache_misses;
+        let ratio = if lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / lookups as f64
+        };
+        out.push_str(&format!("sbomdiff_cache_hit_ratio {ratio:.6}\n"));
+        out.push_str("# TYPE sbomdiff_latency_seconds histogram\n");
+        for ep in Endpoint::ALL {
+            let stats = &self.endpoints[ep.index()];
+            let mut cumulative = 0u64;
+            for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += stats.latency_buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "sbomdiff_latency_seconds_bucket{{endpoint=\"{}\",le=\"{bound}\"}} {cumulative}\n",
+                    ep.label()
+                ));
+            }
+            cumulative += stats.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "sbomdiff_latency_seconds_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {cumulative}\n",
+                ep.label()
+            ));
+            out.push_str(&format!(
+                "sbomdiff_latency_seconds_sum{{endpoint=\"{}\"}} {:.6}\n",
+                ep.label(),
+                stats.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "sbomdiff_latency_seconds_count{{endpoint=\"{}\"}} {cumulative}\n",
+                ep.label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_routes() {
+        assert_eq!(Endpoint::classify("/v1/analyze"), Endpoint::Analyze);
+        assert_eq!(Endpoint::classify("/v1/diff"), Endpoint::Diff);
+        assert_eq!(Endpoint::classify("/v1/impact"), Endpoint::Impact);
+        assert_eq!(Endpoint::classify("/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::classify("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn record_and_render() {
+        let m = Metrics::new();
+        m.record(Endpoint::Analyze, 200, Duration::from_micros(300));
+        m.record(Endpoint::Analyze, 200, Duration::from_millis(3));
+        m.record(Endpoint::Diff, 400, Duration::from_micros(50));
+        m.record_rejected();
+        m.record_timeout();
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_5xx(), 0);
+        let text = m.render(5, 10, 2);
+        assert!(text.contains("sbomdiff_requests_total{endpoint=\"analyze\"} 2"));
+        assert!(text.contains("sbomdiff_responses_total{endpoint=\"diff\",class=\"4xx\"} 1"));
+        assert!(text.contains("sbomdiff_queue_rejected_total 1"));
+        assert!(text.contains("sbomdiff_deadline_timeouts_total 1"));
+        assert!(text.contains("sbomdiff_queue_depth 2"));
+        assert!(text.contains("sbomdiff_cache_hits_total 5"));
+        assert!(text.contains("sbomdiff_cache_hit_ratio 0.333333"));
+        assert!(text.contains("sbomdiff_latency_seconds_count{endpoint=\"analyze\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record(Endpoint::Healthz, 200, Duration::from_micros(100));
+        m.record(Endpoint::Healthz, 200, Duration::from_secs(2)); // +Inf bucket
+        let text = m.render(0, 0, 0);
+        assert!(
+            text.contains("sbomdiff_latency_seconds_bucket{endpoint=\"healthz\",le=\"0.00025\"} 1")
+        );
+        assert!(
+            text.contains("sbomdiff_latency_seconds_bucket{endpoint=\"healthz\",le=\"+Inf\"} 2")
+        );
+    }
+
+    #[test]
+    fn statuses_5xx_counted() {
+        let m = Metrics::new();
+        m.record(Endpoint::Other, 503, Duration::ZERO);
+        assert_eq!(m.total_5xx(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! The serving machinery: acceptor, bounded queue, worker pool, shutdown.
+//!
+//! Request lifecycle:
+//!
+//! 1. the acceptor thread accepts a TCP connection and pushes it (with its
+//!    accept timestamp) into the bounded [`BoundedQueue`]; a full queue is
+//!    answered `429` right on the acceptor — admission control happens
+//!    before any parsing, so malformed floods cannot occupy workers;
+//! 2. a worker pops the connection, and first checks the per-request
+//!    deadline: work that already waited longer than `deadline` in the
+//!    queue is answered `503` without being executed (its result could not
+//!    reach the client in time anyway);
+//! 3. the worker parses the request (`400`/`413` on bad input), consults
+//!    the response cache for POST endpoints, executes the handler on a
+//!    miss, and writes the response.
+//!
+//! Worker count follows the same `Jobs` policy as the batch pipeline
+//! (`--jobs N`, `SBOMDIFF_JOBS`, available parallelism). Shutdown is
+//! graceful: stop accepting, drain the queue, join every worker.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::api::AppState;
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Endpoint;
+use crate::queue::BoundedQueue;
+use crate::respcache::ResponseCache;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (`0` picks an ephemeral port).
+    pub port: u16,
+    /// Worker threads (`0` → `Jobs` default policy).
+    pub jobs: usize,
+    /// Bounded queue capacity; overflow is answered 429.
+    pub queue_capacity: usize,
+    /// Per-request deadline measured from accept; exceeded → 503.
+    pub deadline: Duration,
+    /// Response-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Default seed for requests that do not carry one.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            jobs: 0,
+            queue_capacity: 128,
+            deadline: Duration::from_secs(10),
+            cache_capacity: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Socket read/write timeout so a stalled peer cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    queue: Arc<BoundedQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, mostly).
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(config.seed, config.cache_capacity));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers: Vec<_> = (0..sbomdiff_parallel::Jobs::new(config.jobs).get())
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let queue = Arc::clone(&queue);
+                let deadline = config.deadline;
+                std::thread::Builder::new()
+                    .name(format!("sbomdiff-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            serve_connection(&state, &queue, job, deadline);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sbomdiff-acceptor".into())
+                .spawn(move || accept_loop(listener, &queue, &state, &stop))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            queue,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: &BoundedQueue<Job>,
+    state: &AppState,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let job = Job {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                if let Err(rejected) = queue.push(job) {
+                    // Shed load at the door: the client gets an immediate
+                    // 429 instead of unbounded queueing.
+                    state.metrics.record_rejected();
+                    state
+                        .metrics
+                        .record(Endpoint::Other, 429, rejected.accepted_at.elapsed());
+                    write_and_drain(
+                        &rejected.stream,
+                        &Response::error(429, "server is at capacity, retry later"),
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(state: &AppState, queue: &BoundedQueue<Job>, job: Job, deadline: Duration) {
+    let Job {
+        stream,
+        accepted_at,
+    } = job;
+    // Deadline check before any work: a request that already sat in the
+    // queue past its deadline is not worth executing.
+    if accepted_at.elapsed() > deadline {
+        state.metrics.record_timeout();
+        state
+            .metrics
+            .record(Endpoint::Other, 503, accepted_at.elapsed());
+        write_and_drain(
+            &stream,
+            &Response::error(503, "deadline exceeded while queued"),
+        );
+        return;
+    }
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(HttpError::Malformed(msg)) => {
+            let response = Response::error(400, msg);
+            write_and_drain(&stream, &response);
+            state
+                .metrics
+                .record(Endpoint::Other, 400, accepted_at.elapsed());
+            return;
+        }
+        Err(HttpError::TooLarge) => {
+            let response = Response::error(413, "request too large");
+            write_and_drain(&stream, &response);
+            state
+                .metrics
+                .record(Endpoint::Other, 413, accepted_at.elapsed());
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // peer went away; nothing to answer
+    };
+    let endpoint = Endpoint::classify(&request.path);
+    let response = execute_cached(state, &request, queue.len());
+    respond(state, &stream, endpoint, accepted_at, &response);
+}
+
+/// Looks up / fills the response cache around the pure handler. Only
+/// successful POST analysis responses are cached: GETs are trivially cheap
+/// and error responses must keep carrying their specific messages.
+fn execute_cached(state: &AppState, request: &Request, queue_depth: usize) -> Response {
+    let cacheable = request.method == "POST" && request.path.starts_with("/v1/");
+    if !cacheable {
+        return crate::api::handle(state, request, queue_depth);
+    }
+    let key = ResponseCache::key(&request.path, &request.body);
+    if let Some(cached) = state.cache.get(key) {
+        return (*cached).clone();
+    }
+    let response = crate::api::handle(state, request, queue_depth);
+    if response.is_success() {
+        state.cache.put(key, Arc::new(response.clone()));
+    }
+    response
+}
+
+/// Writes an error response on a connection whose request was never fully
+/// read, then drains the peer's remaining input.
+///
+/// Closing a socket with unread received data makes the kernel send RST,
+/// which discards the response still in flight to the client. Half-closing
+/// the write side first and reading the peer's leftovers until EOF (bounded
+/// by a short timeout) lets the response land before the connection dies.
+fn write_and_drain(stream: &TcpStream, response: &Response) {
+    use std::io::Read;
+    let _ = write_response(stream, response);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = stream;
+    let mut sink = [0u8; 4096];
+    for _ in 0..64 {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn respond(
+    state: &AppState,
+    stream: &TcpStream,
+    endpoint: Endpoint,
+    accepted_at: Instant,
+    response: &Response,
+) {
+    let _ = write_response(stream, response);
+    state
+        .metrics
+        .record(endpoint, response.status, accepted_at.elapsed());
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (metrics/cache introspection for tests and loadgen).
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections, join
+    /// all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status: u16 = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_healthz_and_metrics() {
+        let mut handle = Server::start(ServeConfig::default()).unwrap();
+        let (status, body) = http_request(handle.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        let (status, body) = http_request(handle.addr(), "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("sbomdiff_requests_total"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cache_serves_identical_bodies() {
+        let mut handle = Server::start(ServeConfig::default()).unwrap();
+        let payload = r#"{"files":{"requirements.txt":"numpy==1.19.2\n"}}"#;
+        let (s1, b1) = http_request(handle.addr(), "POST", "/v1/analyze", payload);
+        let (s2, b2) = http_request(handle.addr(), "POST", "/v1/analyze", payload);
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(b1, b2);
+        assert!(handle.state().cache.hits() >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_times_out_queued_work() {
+        let mut handle = Server::start(ServeConfig {
+            deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (status, _) = http_request(handle.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 503);
+        assert!(handle.state().metrics.timeouts() >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_is_400_not_drop() {
+        let mut handle = Server::start(ServeConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_the_port() {
+        let mut handle = Server::start(ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        // After shutdown the acceptor is gone; a fresh connection must not
+        // be answered (connect may succeed into the dead listener backlog,
+        // but no response will ever come — use a short read timeout).
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let mut stream = stream;
+            stream
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = [0u8; 16];
+            assert!(matches!(stream.read(&mut buf), Ok(0) | Err(_)));
+        }
+    }
+}

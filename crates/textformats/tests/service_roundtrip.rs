@@ -1,0 +1,133 @@
+//! Round-trip tests for the JSON payload shapes the serving layer moves:
+//! escape-heavy file contents, deeply nested arrays, large and awkward
+//! numbers. `parse(to_string(v))` must reproduce `v` exactly for every
+//! value the service can legitimately build.
+
+use sbomdiff_textformats::{json, Value};
+
+fn roundtrip(v: &Value) -> Value {
+    let text = json::to_string(v);
+    json::parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e:?}\n{text}"))
+}
+
+#[test]
+fn escape_sequences_survive() {
+    let cases = [
+        "plain",
+        "tab\tnewline\ncarriage\rquote\"backslash\\",
+        "nul \u{0} bell \u{7} unit-sep \u{1f}",
+        "slash / stays unescaped",
+        "unicode: grüß-gott パッケージ 🦀",
+        "surrogate-adjacent: \u{d7ff} \u{e000}",
+        "",
+    ];
+    for case in cases {
+        let v = Value::from(case);
+        assert_eq!(roundtrip(&v).as_str(), Some(case), "case {case:?}");
+    }
+}
+
+#[test]
+fn analyze_payload_roundtrips() {
+    // The exact shape POST /v1/analyze receives: a files map whose values
+    // are raw manifest text with embedded quotes and newlines.
+    let mut files = Value::object();
+    files.set(
+        "package.json",
+        Value::from("{\"name\": \"demo\",\n  \"dependencies\": {\"a\": \"^1.0\"}}\n"),
+    );
+    files.set("path with spaces/req.txt", Value::from("numpy==1.19.2\n"));
+    files.set("weird\\name.txt", Value::from("x\ty\r\n"));
+    let mut doc = Value::object();
+    doc.set("name", Value::from("demo"));
+    doc.set("seed", Value::from(42i64));
+    doc.set("include_sboms", Value::from(true));
+    doc.set("files", files);
+
+    let back = roundtrip(&doc);
+    assert_eq!(back, doc);
+    assert_eq!(
+        back.pointer("/files/package.json").and_then(|v| v.as_str()),
+        doc.pointer("/files/package.json").and_then(|v| v.as_str())
+    );
+    // Key order is preserved, so serialization is stable end-to-end.
+    assert_eq!(json::to_string(&back), json::to_string(&doc));
+}
+
+#[test]
+fn nested_arrays_roundtrip() {
+    // Matrix-of-rows shapes like the analyze response's pairwise table.
+    let mut rows = Vec::new();
+    for a in 0..4i64 {
+        let mut row = Vec::new();
+        for b in 0..4i64 {
+            row.push(Value::Array(vec![
+                Value::from(format!("tool-{a}")),
+                Value::from(format!("tool-{b}")),
+                Value::from(a as f64 / (b + 1) as f64),
+            ]));
+        }
+        rows.push(Value::Array(row));
+    }
+    let v = Value::Array(rows);
+    assert_eq!(roundtrip(&v), v);
+
+    // And a deep (but in-limit) nesting ladder.
+    let mut deep = Value::from("bottom");
+    for _ in 0..150 {
+        deep = Value::Array(vec![deep]);
+    }
+    assert_eq!(roundtrip(&deep), deep);
+}
+
+#[test]
+fn large_and_awkward_numbers_roundtrip() {
+    let exact_i64: &[i64] = &[
+        0,
+        1,
+        -1,
+        i32::MAX as i64,
+        i32::MIN as i64,
+        1 << 53, // first integer where f64 spacing reaches 2
+        -(1 << 53),
+        (1i64 << 53) - 1, // largest exactly-representable odd-adjacent value
+    ];
+    for &n in exact_i64 {
+        let v = Value::from(n);
+        let back = roundtrip(&v);
+        assert_eq!(back.as_i64(), Some(n), "{n}");
+    }
+
+    let floats: &[f64] = &[
+        0.5,
+        -0.25,
+        1e-9,
+        1e300,
+        -2.2250738585072014e-308, // smallest normal f64
+        std::f64::consts::PI,
+        1.7976931348623157e308, // f64::MAX
+    ];
+    for &f in floats {
+        let v = Value::from(f);
+        let back = roundtrip(&v);
+        assert_eq!(back.as_f64(), Some(f), "{f}");
+    }
+}
+
+#[test]
+fn pretty_and_compact_forms_agree() {
+    let mut doc = Value::object();
+    doc.set("jaccard", Value::from(0.8333333333333334));
+    doc.set(
+        "tools",
+        Value::Array(vec![Value::from("Trivy"), Value::from("Syft")]),
+    );
+    doc.set("empty_array", Value::Array(vec![]));
+    doc.set("empty_object", Value::object());
+    doc.set("null_field", Value::Null);
+    let compact = json::to_string(&doc);
+    let pretty = json::to_string_pretty(&doc);
+    assert_eq!(json::parse(&compact).unwrap(), doc);
+    assert_eq!(json::parse(&pretty).unwrap(), doc);
+    assert!(compact.len() <= pretty.len());
+}

@@ -16,8 +16,36 @@ use sbomdiff::metadata::RepoFs;
 use sbomdiff::registry::Registries;
 use sbomdiff::sbomfmt::SbomFormat;
 
+const USAGE: &str = "\
+sbomdiff - differential SBOM analysis over a directory tree
+
+USAGE:
+    sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
+                        [--format cyclonedx|spdx] [--seed N]
+    sbomdiff diff <dir> [--seed N] [--jobs N]
+    sbomdiff --help | --version
+
+COMMANDS:
+    scan    scan <dir> the way one studied tool would and print its SBOM
+    diff    scan <dir> with all four studied tools and report disagreements
+
+OPTIONS:
+    --tool <NAME>      emulator profile for `scan` (default best-practice)
+    --format <FMT>     output format for `scan`: cyclonedx (default) or spdx
+    --seed <N>         package-registry world seed (default 42)
+    --jobs <N>         worker threads for `diff` (default: SBOMDIFF_JOBS or cores)
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("sbomdiff {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
     let mut command = None;
     let mut dir = None;
     let mut tool = "best-practice".to_string();
@@ -60,7 +88,7 @@ fn main() {
         i += 1;
     }
     let (Some(command), Some(dir)) = (command, dir) else {
-        eprintln!("usage: sbomdiff <scan|diff> <dir> [--tool NAME] [--format cyclonedx|spdx] [--seed N] [--jobs N]");
+        eprint!("{USAGE}");
         std::process::exit(2);
     };
     let repo = match RepoFs::from_dir(&dir) {

@@ -77,6 +77,28 @@ fn diff_prints_tool_disagreements() {
 }
 
 #[test]
+fn version_and_help_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .arg("--version")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.starts_with("sbomdiff "), "{stdout}");
+    assert!(stdout.trim().split(' ').nth(1).unwrap().contains('.'));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("USAGE"), "{stdout}");
+    assert!(stdout.contains("scan"), "{stdout}");
+    assert!(stdout.contains("diff"), "{stdout}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
         .output()
