@@ -6,11 +6,14 @@
 //! duplicate-package rates (Table I), and precision/recall against ground
 //! truth (Table III).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod metrics;
 pub mod report;
 
 pub use metrics::{
-    duplicate_rate, jaccard, jaccard_canonical, key_set, key_set_canonical, PrecisionRecall,
+    diagnostic_totals, duplicate_rate, jaccard, jaccard_canonical, key_set, key_set_canonical,
+    PrecisionRecall,
 };
 pub use report::{Histogram, TextTable};
 

@@ -1,8 +1,8 @@
 //! Set extraction, Jaccard similarity, duplicate rates, precision/recall.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use sbomdiff_types::{ComponentKey, Sbom};
+use sbomdiff_types::{ComponentKey, DiagClass, Sbom};
 
 /// The exact `(name, version)` set of an SBOM (Eq. 1's A and B).
 pub fn key_set(sbom: &Sbom) -> BTreeSet<ComponentKey> {
@@ -55,6 +55,22 @@ where
     } else {
         duplicates as f64 / total as f64
     }
+}
+
+/// Per-class totals of the diagnostics attached to a set of SBOMs: how
+/// often each Table IV failure class fired across a scan. Classes that
+/// never fired are omitted.
+pub fn diagnostic_totals<'a, I>(sboms: I) -> BTreeMap<DiagClass, usize>
+where
+    I: IntoIterator<Item = &'a Sbom>,
+{
+    let mut totals = BTreeMap::new();
+    for sbom in sboms {
+        for diag in sbom.diagnostics() {
+            *totals.entry(diag.class).or_insert(0) += 1;
+        }
+    }
+    totals
 }
 
 /// Precision/recall of a reported set against ground truth (Table III).
@@ -294,6 +310,20 @@ mod tests {
         ];
         let rate = duplicate_rate(&sboms);
         assert!((rate - 4.0 / 6.0).abs() < 1e-9, "got {rate}");
+    }
+
+    #[test]
+    fn diagnostic_totals_roll_up_per_class() {
+        use sbomdiff_types::Diagnostic;
+        let mut a = sbom(&[("x", Some("1"))]);
+        a.push_diagnostic(Diagnostic::new(DiagClass::MalformedFile, "bad json"));
+        a.push_diagnostic(Diagnostic::new(DiagClass::UnpinnedDropped, "requests>=2.8"));
+        let mut b = sbom(&[("y", Some("2"))]);
+        b.push_diagnostic(Diagnostic::new(DiagClass::MalformedFile, "bad toml"));
+        let totals = diagnostic_totals([&a, &b]);
+        assert_eq!(totals.get(&DiagClass::MalformedFile), Some(&2));
+        assert_eq!(totals.get(&DiagClass::UnpinnedDropped), Some(&1));
+        assert_eq!(totals.get(&DiagClass::TruncatedInput), None);
     }
 
     #[test]

@@ -11,14 +11,16 @@ use std::sync::{Arc, Mutex};
 use sbomdiff_attack as attack;
 use sbomdiff_benchx as benchx;
 use sbomdiff_corpus::{Corpus, CorpusConfig, CorpusStats};
-use sbomdiff_diff::{duplicate_rate, jaccard, key_set, Histogram, PrecisionRecall, TextTable};
+use sbomdiff_diff::{
+    diagnostic_totals, duplicate_rate, jaccard, key_set, Histogram, PrecisionRecall, TextTable,
+};
 use sbomdiff_generators::{
     BestPracticeGenerator, ParseCache, SbomGenerator, SupportMatrix, ToolEmulator, ToolId,
 };
 use sbomdiff_parallel::{par_map, Profiler};
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, Platform};
-use sbomdiff_types::{Ecosystem, Sbom, Version};
+use sbomdiff_types::{DiagClass, Ecosystem, Sbom, Version};
 
 /// sbom-tool registry failure rate used across experiments (§V-C:
 /// resolution "often fails").
@@ -588,6 +590,60 @@ pub fn table4(ctx: &Context, campaign: bool) {
         println!("{ctable}");
         ctx.write("table4_campaign.csv", &ctable.to_csv());
     }
+}
+
+/// Diagnostic census: the classified parse/scan diagnostics (DESIGN.md
+/// §13 taxonomy) rolled up per `(language, tool, class)`, plus a per-repo
+/// CSV per language so individual noisy repositories can be located. The
+/// paper's §V root causes are qualitative; these counters show where and
+/// how often each failure class actually fires across the corpus.
+pub fn diagnostics(ctx: &Context) {
+    println!("\n================ Diagnostic census (taxonomy of DESIGN.md §13) ================");
+    let mut header: Vec<String> = vec!["Language".into(), "Tool".into()];
+    header.extend(DiagClass::ALL.iter().map(|c| c.label().to_string()));
+    header.push("total".into());
+    let mut table = TextTable::new(header);
+    let mut grand = [0usize; 4];
+    for eco in Ecosystem::ALL {
+        let sboms = ctx.sboms(eco);
+        // Per-repo columns: one row per repository, one diagnostic count
+        // per tool (rows follow corpus order, which is seed-stable).
+        let mut csv = String::from("repo,trivy,syft,sbom_tool,github_dg\n");
+        for (i, s) in sboms.iter().enumerate() {
+            csv.push_str(&format!(
+                "{i},{},{},{},{}\n",
+                s[0].diagnostics().len(),
+                s[1].diagnostics().len(),
+                s[2].diagnostics().len(),
+                s[3].diagnostics().len(),
+            ));
+        }
+        ctx.write(
+            &format!(
+                "diagnostics_{}.csv",
+                eco.label().to_lowercase().replace('.', "")
+            ),
+            &csv,
+        );
+        for (t, tool) in TOOL_ORDER.iter().enumerate() {
+            let totals = diagnostic_totals(sboms.iter().map(|s| &s[t]));
+            let total: usize = totals.values().sum();
+            grand[t] += total;
+            let mut row = vec![eco.label().to_string(), tool.label().to_string()];
+            row.extend(
+                DiagClass::ALL
+                    .iter()
+                    .map(|c| totals.get(c).copied().unwrap_or(0).to_string()),
+            );
+            row.push(total.to_string());
+            table.row(row);
+        }
+    }
+    println!("{table}");
+    for (t, tool) in TOOL_ORDER.iter().enumerate() {
+        println!("{}: {} diagnostics corpus-wide", tool.label(), grand[t]);
+    }
+    ctx.write("diagnostics_summary.csv", &table.to_csv());
 }
 
 /// §V population statistics of the corpus vs the paper.

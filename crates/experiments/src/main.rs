@@ -23,7 +23,7 @@ USAGE:
 
 COMMANDS:
     fig1 fig2 table1 table2 table3 table4 stats benchscore
-    ablate ranking vulnimpact stability all (default)
+    diagnostics ablate ranking vulnimpact stability all (default)
 
 OPTIONS:
     --repos <N>        synthetic repositories per language
@@ -95,6 +95,7 @@ fn main() {
         "table4" => experiments::table4(&ctx, campaign),
         "stats" => experiments::stats(&ctx),
         "benchscore" => experiments::benchscore(&ctx),
+        "diagnostics" => experiments::diagnostics(&ctx),
         "ablate" => experiments::ablate(&ctx),
         "ranking" => experiments::ranking(&ctx),
         "vulnimpact" => experiments::vulnimpact(&ctx),
@@ -108,13 +109,14 @@ fn main() {
             experiments::table4(&ctx, true);
             experiments::stats(&ctx);
             experiments::benchscore(&ctx);
+            experiments::diagnostics(&ctx);
             experiments::ablate(&ctx);
             experiments::ranking(&ctx);
             experiments::vulnimpact(&ctx);
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore ablate ranking vulnimpact stability all");
+            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact stability all");
             std::process::exit(2);
         }
     }

@@ -14,11 +14,12 @@
 use std::collections::BTreeMap;
 
 use sbomdiff_metadata::{
-    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, RepoFs,
+    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, Parsed,
+    RepoFs,
 };
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, engine, Platform};
-use sbomdiff_types::{Component, Cpe, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom};
+use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
 
 use crate::{SbomGenerator, ToolId};
 
@@ -67,7 +68,11 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
             let has_lockfile = files.iter().any(|(_, k)| k.is_lockfile());
             if has_lockfile {
                 for (path, kind) in files.iter().filter(|(_, k)| k.is_lockfile()) {
-                    for dep in parse_lockfile(repo, path, *kind) {
+                    let parsed = parse_lockfile(repo, path, *kind)
+                        .with_path(path)
+                        .with_ecosystem(eco);
+                    sbom.extend_diagnostics(parsed.diags.iter().cloned());
+                    for dep in &parsed {
                         let version = dep
                             .pinned_version()
                             .map(|v| v.to_string())
@@ -120,7 +125,10 @@ impl BestPracticeGenerator<'_> {
                 }
                 continue;
             }
-            let declared = parse_raw(repo, path, *kind);
+            let declared = parse_raw(repo, path, *kind)
+                .with_path(path)
+                .with_ecosystem(eco);
+            sbom.extend_diagnostics(declared.diags.iter().cloned());
             let roots: Vec<engine::RootDep> = declared
                 .iter()
                 .filter(|d| d.source.is_registry())
@@ -174,7 +182,7 @@ fn push_component(
     );
 }
 
-fn parse_lockfile(repo: &RepoFs, path: &str, kind: MetadataKind) -> Vec<DeclaredDependency> {
+fn parse_lockfile(repo: &RepoFs, path: &str, kind: MetadataKind) -> Parsed {
     let text = || repo.text(path).unwrap_or_default();
     match kind {
         MetadataKind::PoetryLock => python::parse_poetry_lock(text()),
@@ -190,11 +198,11 @@ fn parse_lockfile(repo: &RepoFs, path: &str, kind: MetadataKind) -> Vec<Declared
         MetadataKind::PackageResolved => swift::parse_package_resolved(text()),
         MetadataKind::PodfileLock => swift::parse_podfile_lock(text()),
         MetadataKind::PackagesLockJson => dotnet::parse_packages_lock_json(text()),
-        _ => Vec::new(),
+        _ => Parsed::default(),
     }
 }
 
-fn parse_raw(repo: &RepoFs, path: &str, kind: MetadataKind) -> Vec<DeclaredDependency> {
+fn parse_raw(repo: &RepoFs, path: &str, kind: MetadataKind) -> Parsed {
     let text = || repo.text(path).unwrap_or_default();
     match kind {
         MetadataKind::SetupPy => python::parse_setup_py(text()),
@@ -217,7 +225,7 @@ fn parse_raw(repo: &RepoFs, path: &str, kind: MetadataKind) -> Vec<DeclaredDepen
         MetadataKind::Podfile => swift::parse_podfile(text()),
         MetadataKind::Csproj => dotnet::parse_csproj(text()),
         MetadataKind::PackagesConfig => dotnet::parse_packages_config(text()),
-        _ => Vec::new(),
+        _ => Parsed::default(),
     }
 }
 

@@ -21,16 +21,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use sbomdiff_metadata::python::ReqStyle;
-use sbomdiff_metadata::{MetadataKind, RepoFs};
-use sbomdiff_types::DeclaredDependency;
+use sbomdiff_metadata::{MetadataKind, Parsed, RepoFs};
 
 const SHARDS: usize = 16;
 
 type Key = (String, String, Option<ReqStyle>);
-type Shard = Mutex<HashMap<Key, Arc<Vec<DeclaredDependency>>>>;
+type Shard = Mutex<HashMap<Key, Arc<Parsed>>>;
 
 /// Memoizes [`parse`](ParseCache::parse) results across tool emulators.
 ///
@@ -80,13 +79,19 @@ impl ParseCache {
         path: &str,
         kind: MetadataKind,
         style: ReqStyle,
-    ) -> Arc<Vec<DeclaredDependency>> {
+    ) -> Arc<Parsed> {
         // Only requirements.txt parsing is dialect-dependent; collapsing
         // the key for every other kind lets all four tools share one entry.
         let dialect = (kind == MetadataKind::RequirementsTxt).then_some(style);
         let key: Key = (repo.name().to_string(), path.to_string(), dialect);
         let shard = &self.shards[fxhash(&key) as usize % SHARDS];
-        if let Some(found) = shard.lock().expect("parse cache shard").get(&key) {
+        // A poisoned shard only means another worker panicked mid-insert;
+        // the map itself is still coherent, so recover instead of cascading.
+        if let Some(found) = shard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);
         }
@@ -97,7 +102,7 @@ impl ParseCache {
         Arc::clone(
             shard
                 .lock()
-                .expect("parse cache shard")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(key)
                 .or_insert(parsed),
         )
@@ -117,7 +122,7 @@ impl ParseCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("parse cache shard").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

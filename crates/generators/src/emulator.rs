@@ -7,10 +7,13 @@
 //! entries of Table I.
 
 use sbomdiff_metadata::{
-    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, RepoFs,
+    dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, Parsed,
+    RepoFs,
 };
 use sbomdiff_registry::{FlakyRegistry, Registries, RegistryClient};
-use sbomdiff_types::{Component, DeclaredDependency, DepScope, Ecosystem, Purl, Sbom, Version};
+use sbomdiff_types::{
+    Component, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, Purl, Sbom, Version,
+};
 
 use crate::profile::{GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy};
 use crate::{SbomGenerator, ToolId};
@@ -156,17 +159,41 @@ impl ToolEmulator<'_> {
                 }
             }
             let deps = cache.parse(repo, path, kind, self.profile.req_style);
+            sbom.extend_diagnostics(deps.diags.iter().cloned());
             let eco = kind.ecosystem();
             let client = self.client_for(eco, repo);
             let mut emitted: Vec<(String, Version)> = Vec::new();
             for dep in deps.iter() {
                 if !dep.source.is_registry() {
-                    continue; // Table IV: exotic sources yield nothing
-                }
-                if dep.scope == DepScope::Dev && !self.profile.include_dev {
+                    // Table IV: exotic sources yield nothing.
+                    sbom.push_diagnostic(
+                        Diagnostic::new(
+                            DiagClass::ExoticSource,
+                            format!("URL/path/VCS dependency {} yields no entry", dep.name.raw()),
+                        )
+                        .with_path(path)
+                        .with_ecosystem(eco),
+                    );
                     continue;
                 }
+                if dep.scope == DepScope::Dev && !self.profile.include_dev {
+                    continue; // configured policy (§V-F), not data loss
+                }
                 let Some(component) = self.render(dep, kind, path, client.as_ref()) else {
+                    let diag = match self.profile.version_policy {
+                        VersionPolicy::ResolveLatest => Diagnostic::new(
+                            DiagClass::RegistryFailure,
+                            format!(
+                                "registry validation/resolution for {} failed; entry dropped",
+                                dep.name.raw()
+                            ),
+                        ),
+                        _ => Diagnostic::new(
+                            DiagClass::UnpinnedDropped,
+                            format!("unpinned declaration {} silently dropped", dep.name.raw()),
+                        ),
+                    };
+                    sbom.push_diagnostic(diag.with_path(path).with_ecosystem(eco));
                     continue;
                 };
                 // Track concrete versions for transitive expansion.
@@ -319,10 +346,27 @@ impl ToolEmulator<'_> {
                 break;
             }
             let Some(edges) = client.deps_of(&name, &version, &[], false) else {
-                continue; // "often fails to retrieve" — §V-C
+                // "often fails to retrieve" — §V-C
+                sbom.push_diagnostic(
+                    Diagnostic::new(
+                        DiagClass::RegistryFailure,
+                        format!("transitive dependency query for {name}@{version} failed"),
+                    )
+                    .with_path(path)
+                    .with_ecosystem(eco),
+                );
+                continue;
             };
             for edge in edges {
                 let Some(resolved) = client.latest_matching(&edge.name, &edge.req) else {
+                    sbom.push_diagnostic(
+                        Diagnostic::new(
+                            DiagClass::RegistryFailure,
+                            format!("transitive resolution for {} failed", edge.name),
+                        )
+                        .with_path(path)
+                        .with_ecosystem(eco),
+                    );
                     continue;
                 };
                 if !visited.insert(edge.name.clone()) {
@@ -362,6 +406,7 @@ fn is_tight_pin(req_text: &str) -> bool {
 fn merge(sbom: Sbom) -> Sbom {
     let mut out = Sbom::new(sbom.meta.tool_name.clone(), sbom.meta.tool_version.clone())
         .with_subject(sbom.meta.subject.clone());
+    out.extend_diagnostics(sbom.diagnostics().iter().cloned());
     let mut seen = std::collections::BTreeSet::new();
     for c in sbom.components() {
         let key = (c.name.clone(), c.version.clone());
@@ -380,9 +425,20 @@ pub(crate) fn parse_with_style(
     path: &str,
     kind: MetadataKind,
     style: python::ReqStyle,
-) -> Vec<DeclaredDependency> {
+) -> Parsed {
+    let is_binary = matches!(kind, MetadataKind::GoBinary | MetadataKind::RustBinary);
+    if !is_binary && repo.text(path).is_none() && repo.bytes(path).is_some() {
+        // The file exists but is not valid UTF-8 — every text parser would
+        // otherwise see an empty document and silently succeed.
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::EncodingError,
+            "metadata file is not valid UTF-8",
+        ))
+        .with_path(path)
+        .with_ecosystem(kind.ecosystem());
+    }
     let text = || repo.text(path).unwrap_or_default();
-    match kind {
+    let parsed = match kind {
         MetadataKind::RequirementsTxt => python::parse_requirements(text(), style),
         MetadataKind::PoetryLock => python::parse_poetry_lock(text()),
         MetadataKind::PipfileLock => python::parse_pipfile_lock(text()),
@@ -417,7 +473,8 @@ pub(crate) fn parse_with_style(
         MetadataKind::Csproj => dotnet::parse_csproj(text()),
         MetadataKind::PackagesConfig => dotnet::parse_packages_config(text()),
         MetadataKind::PackagesLockJson => dotnet::parse_packages_lock_json(text()),
-    }
+    };
+    parsed.with_path(path).with_ecosystem(kind.ecosystem())
 }
 
 #[cfg(test)]

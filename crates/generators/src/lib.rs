@@ -12,6 +12,8 @@
 //! (package-manager dry run for lockfile generation, PURL + CPE on every
 //! component, duplicate merging) as a fifth generator.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bestpractice;
 pub mod cache;
 pub mod emulator;

@@ -1,25 +1,34 @@
 //! .NET/NuGet metadata parsing: `*.csproj` `PackageReference` items,
 //! `packages.config` and `packages.lock.json`.
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, VersionReq,
+};
 
 use sbomdiff_textformats::{json, xml, Value};
 
+use crate::{format_error_diag, Parsed};
+
 /// Parses SDK-style `*.csproj` `<PackageReference Include=... Version=...>`
 /// items (both attribute and child-element version spellings).
-pub fn parse_csproj(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(root) = xml::parse(text) else {
-        return Vec::new();
+pub fn parse_csproj(text: &str) -> Parsed {
+    let root = match xml::parse(text) {
+        Ok(root) => root,
+        Err(e) => return Parsed::fail(format_error_diag("csproj", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     collect_package_refs(&root, &mut out);
     out
 }
 
-fn collect_package_refs(el: &xml::Element, out: &mut Vec<DeclaredDependency>) {
+fn collect_package_refs(el: &xml::Element, out: &mut Parsed) {
     for child in &el.children {
         if child.name == "PackageReference" {
             let Some(name) = child.attr("Include").or_else(|| child.attr("Update")) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    "PackageReference without Include/Update attribute",
+                ));
                 continue;
             };
             let version = child
@@ -44,7 +53,7 @@ fn collect_package_refs(el: &xml::Element, out: &mut Vec<DeclaredDependency>) {
             };
             let mut dep = DeclaredDependency::new(Ecosystem::DotNet, name, req).with_scope(scope);
             dep.req_text = version.unwrap_or_default();
-            out.push(dep);
+            out.deps.push(dep);
         } else {
             collect_package_refs(child, out);
         }
@@ -52,16 +61,29 @@ fn collect_package_refs(el: &xml::Element, out: &mut Vec<DeclaredDependency>) {
 }
 
 /// Parses legacy `packages.config` `<package id=... version=... />` entries.
-pub fn parse_packages_config(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(root) = xml::parse(text) else {
-        return Vec::new();
+pub fn parse_packages_config(text: &str) -> Parsed {
+    let root = match xml::parse(text) {
+        Ok(root) => root,
+        Err(e) => return Parsed::fail(format_error_diag("packages.config", &e)),
     };
     if root.name != "packages" {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            format!(
+                "packages.config: root element is <{}>, not <packages>",
+                root.name
+            ),
+        ));
     }
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for pkg in root.children_named("package") {
-        let Some(id) = pkg.attr("id") else { continue };
+        let Some(id) = pkg.attr("id") else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                "package entry without an id attribute",
+            ));
+            continue;
+        };
         let version = pkg.attr("version");
         let dev = pkg
             .attr("developmentDependency")
@@ -77,28 +99,40 @@ pub fn parse_packages_config(text: &str) -> Vec<DeclaredDependency> {
         };
         let mut dep = DeclaredDependency::new(Ecosystem::DotNet, id, req).with_scope(scope);
         dep.req_text = version.unwrap_or_default().to_string();
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
 
 /// Parses `packages.lock.json`: per-framework resolved entries with
 /// `Direct` / `Transitive` types.
-pub fn parse_packages_lock_json(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_packages_lock_json(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("packages.lock.json", &e)),
     };
     let Some(frameworks) = doc.get("dependencies").and_then(Value::as_object) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MissingField,
+            "packages.lock.json: no dependencies object",
+        ));
     };
     let mut seen = std::collections::BTreeSet::new();
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for (_framework, entries) in frameworks {
         let Some(entries) = entries.as_object() else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MalformedFile,
+                "framework entry is not an object",
+            ));
             continue;
         };
         for (name, info) in entries {
             let Some(resolved) = info.get("resolved").and_then(Value::as_str) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    format!("lock entry {name} without a resolved version"),
+                ));
                 continue;
             };
             if !seen.insert((name.clone(), resolved.to_string())) {
@@ -109,7 +143,7 @@ pub fn parse_packages_lock_json(text: &str) -> Vec<DeclaredDependency> {
                 .map(VersionReq::exact);
             let mut dep = DeclaredDependency::new(Ecosystem::DotNet, name.clone(), req);
             dep.req_text = resolved.to_string();
-            out.push(dep);
+            out.deps.push(dep);
         }
     }
     out
@@ -194,5 +228,17 @@ mod tests {
         assert!(parse_csproj("<broken").is_empty());
         assert!(parse_packages_config("<project/>").is_empty());
         assert!(parse_packages_lock_json("{}").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_csproj("<broken");
+        assert!(!p.diags.is_empty());
+        let p = parse_packages_config("<project/>");
+        assert_eq!(p.diags[0].class, DiagClass::MalformedFile);
+        let p = parse_packages_lock_json("{}");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_packages_lock_json(r#"{"dependencies": {"net7.0": {"A": {}}}}"#);
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
     }
 }

@@ -6,7 +6,12 @@
 //! modules compiled into the binary, which mirrors what Trivy and Syft read
 //! from real Go binaries (Table II "Go executable").
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    diagnostic::excerpt, ConstraintFlavor, DeclaredDependency, DepScope, DiagClass, Diagnostic,
+    Ecosystem, VersionReq,
+};
+
+use crate::Parsed;
 
 /// Magic marker introducing the simulated Go buildinfo section.
 pub const GO_BUILDINFO_MAGIC: &str = "\u{1}SBOMDIFF-GO-BUILDINFO\n";
@@ -14,12 +19,13 @@ pub const GO_BUILDINFO_MAGIC: &str = "\u{1}SBOMDIFF-GO-BUILDINFO\n";
 /// Parses `go.mod`: module directive, single-line and block `require`
 /// directives, `// indirect` markers, and `replace` directives (replaced
 /// modules are reported under their replacement, as `go mod` resolves them).
-pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
-    let mut out: Vec<DeclaredDependency> = Vec::new();
+pub fn parse_go_mod(text: &str) -> Parsed {
+    let mut parsed = Parsed::default();
+    let out = &mut parsed.deps;
     let mut in_require = false;
     let mut in_other_block = false;
     let mut replaces: Vec<(String, String, String)> = Vec::new();
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split("//").next().unwrap_or("").trim();
         let comment = raw.split_once("//").map(|(_, c)| c.trim()).unwrap_or("");
         if line.is_empty() {
@@ -34,6 +40,14 @@ pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
             if in_require {
                 if let Some(dep) = require_line(line, comment) {
                     out.push(dep);
+                } else {
+                    parsed.diags.push(
+                        Diagnostic::new(
+                            DiagClass::UnsupportedSyntax,
+                            format!("unparsable require entry: {}", excerpt(line)),
+                        )
+                        .with_line(lineno as u32 + 1),
+                    );
                 }
             }
             continue;
@@ -52,6 +66,14 @@ pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
         if let Some(rest) = line.strip_prefix("require ") {
             if let Some(dep) = require_line(rest.trim(), comment) {
                 out.push(dep);
+            } else {
+                parsed.diags.push(
+                    Diagnostic::new(
+                        DiagClass::UnsupportedSyntax,
+                        format!("unparsable require directive: {}", excerpt(line)),
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
             }
             continue;
         }
@@ -85,7 +107,7 @@ pub fn parse_go_mod(text: &str) -> Vec<DeclaredDependency> {
             }
         }
     }
-    out
+    parsed
 }
 
 fn require_line(line: &str, comment: &str) -> Option<DeclaredDependency> {
@@ -109,12 +131,21 @@ fn require_line(line: &str, comment: &str) -> Option<DeclaredDependency> {
 /// Parses `go.sum`: `module version[/go.mod] hash` lines, deduplicating the
 /// `/go.mod` entries. The result is the full transitive closure the module
 /// has ever downloaded — a superset of what's compiled in.
-pub fn parse_go_sum(text: &str) -> Vec<DeclaredDependency> {
+pub fn parse_go_sum(text: &str) -> Parsed {
     let mut seen = std::collections::BTreeSet::new();
-    let mut out = Vec::new();
-    for raw in text.lines() {
+    let mut out = Parsed::default();
+    for (lineno, raw) in text.lines().enumerate() {
         let mut parts = raw.split_whitespace();
         let (Some(module), Some(version)) = (parts.next(), parts.next()) else {
+            if !raw.trim().is_empty() {
+                out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::MissingField,
+                        format!("go.sum line without module/version: {}", excerpt(raw)),
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
+            }
             continue;
         };
         let version = version.trim_end_matches("/go.mod");
@@ -124,35 +155,46 @@ pub fn parse_go_sum(text: &str) -> Vec<DeclaredDependency> {
         let req = VersionReq::parse(version, ConstraintFlavor::Go).ok();
         let mut dep = DeclaredDependency::new(Ecosystem::Go, module, req);
         dep.req_text = version.to_string();
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
 
 /// Scans binary content for the simulated buildinfo section and parses the
 /// embedded module table (`dep <module> <version>` lines).
-pub fn parse_go_binary(bytes: &[u8]) -> Vec<DeclaredDependency> {
+pub fn parse_go_binary(bytes: &[u8]) -> Parsed {
     let Some(start) = find_subslice(bytes, GO_BUILDINFO_MAGIC.as_bytes()) else {
-        return Vec::new();
+        // A binary without buildinfo is normal, not malformed.
+        return Parsed::default();
     };
     let section = &bytes[start + GO_BUILDINFO_MAGIC.len()..];
     let end = find_subslice(section, b"\x01END\n").unwrap_or(section.len());
     let Ok(table) = std::str::from_utf8(&section[..end]) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::EncodingError,
+            "go buildinfo section is not valid UTF-8",
+        ));
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for line in table.lines() {
         let mut parts = line.split_whitespace();
         if parts.next() != Some("dep") {
             continue;
         }
         let (Some(module), Some(version)) = (parts.next(), parts.next()) else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                format!(
+                    "buildinfo dep line without module/version: {}",
+                    excerpt(line)
+                ),
+            ));
             continue;
         };
         let req = VersionReq::parse(version, ConstraintFlavor::Go).ok();
         let mut dep = DeclaredDependency::new(Ecosystem::Go, module, req);
         dep.req_text = version.to_string();
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
@@ -248,5 +290,21 @@ require github.com/pkg/errors v0.9.1
     fn binary_without_magic_empty() {
         assert!(parse_go_binary(b"\x7fELF plain binary").is_empty());
         assert!(parse_go_binary(b"").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_go_mod("module m\nrequire (\nbroken\n)\n");
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
+        assert_eq!(p.diags[0].line, Some(3));
+        let p = parse_go_sum("lonely-token\n");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let mut bin = GO_BUILDINFO_MAGIC.as_bytes().to_vec();
+        bin.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            parse_go_binary(&bin).diags[0].class,
+            DiagClass::EncodingError
+        );
     }
 }

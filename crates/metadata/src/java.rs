@@ -9,27 +9,40 @@
 
 use std::collections::HashMap;
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, VersionReq,
+};
 
 use sbomdiff_textformats::{properties, xml, Element};
 
+use crate::{format_error_diag, Parsed};
+
 /// Parses `pom.xml` `<dependencies>` with `${property}` interpolation,
 /// `<parent>` version fallback and `<dependencyManagement>` version lookup.
-pub fn parse_pom_xml(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(root) = xml::parse(text) else {
-        return Vec::new();
+pub fn parse_pom_xml(text: &str) -> Parsed {
+    let root = match xml::parse(text) {
+        Ok(root) => root,
+        Err(e) => return Parsed::fail(format_error_diag("pom.xml", &e)),
     };
     if root.name != "project" {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            format!("pom.xml: root element is <{}>, not <project>", root.name),
+        ));
     }
     let props = collect_properties(&root);
     let managed = collect_managed_versions(&root, &props);
 
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     if let Some(deps) = root.child("dependencies") {
         for dep in deps.children_named("dependency") {
             if let Some(d) = parse_dependency_element(dep, &props, &managed) {
-                out.push(d);
+                out.deps.push(d);
+            } else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    "dependency element without groupId/artifactId",
+                ));
             }
         }
     }
@@ -138,36 +151,49 @@ fn interpolate(s: &str, props: &HashMap<String, String>) -> String {
 
 /// Parses `gradle.lockfile`: `group:artifact:version=configuration,...`
 /// lines.
-pub fn parse_gradle_lockfile(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
-    for raw in text.lines() {
+pub fn parse_gradle_lockfile(text: &str) -> Parsed {
+    let mut out = Parsed::default();
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with("empty=") {
             continue;
         }
         let coord = line.split('=').next().unwrap_or(line);
         let mut parts = coord.split(':');
-        let (Some(group), Some(artifact), Some(version)) =
-            (parts.next(), parts.next(), parts.next())
-        else {
+        let parsed = match (parts.next(), parts.next(), parts.next()) {
+            (Some(group), Some(artifact), Some(version))
+                if !group.is_empty() && !artifact.is_empty() && !version.is_empty() =>
+            {
+                Some((group, artifact, version))
+            }
+            _ => None,
+        };
+        let Some((group, artifact, version)) = parsed else {
+            out.push_diag(
+                Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!(
+                        "gradle.lockfile line is not a group:artifact:version coordinate: {}",
+                        sbomdiff_types::diagnostic::excerpt(line)
+                    ),
+                )
+                .with_line(lineno as u32 + 1),
+            );
             continue;
         };
-        if group.is_empty() || artifact.is_empty() || version.is_empty() {
-            continue;
-        }
         let req = sbomdiff_types::Version::parse(version)
             .ok()
             .map(VersionReq::exact);
         let mut dep = DeclaredDependency::new(Ecosystem::Java, format!("{group}:{artifact}"), req);
         dep.req_text = version.to_string();
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
 
 /// Parses `MANIFEST.MF`, reporting the bundle (or implementation) itself as
 /// a single component — the way Trivy/Syft treat JAR manifests.
-pub fn parse_manifest_mf(text: &str) -> Vec<DeclaredDependency> {
+pub fn parse_manifest_mf(text: &str) -> Parsed {
     let pairs = properties::parse_manifest(text);
     let name = properties::get_ignore_case(&pairs, "Bundle-SymbolicName")
         .map(|s| s.split(';').next().unwrap_or(s).trim().to_string())
@@ -184,20 +210,26 @@ pub fn parse_manifest_mf(text: &str) -> Vec<DeclaredDependency> {
                 .map(VersionReq::exact);
             let mut dep = DeclaredDependency::new(Ecosystem::Java, n, req);
             dep.req_text = version.unwrap_or_default().to_string();
-            vec![dep]
+            Parsed::ok(vec![dep])
         }
-        _ => Vec::new(),
+        _ => Parsed::fail(Diagnostic::new(
+            DiagClass::MissingField,
+            "MANIFEST.MF without Bundle-SymbolicName or Implementation-Title",
+        )),
     }
 }
 
 /// Parses `pom.properties` (groupId/artifactId/version triple).
-pub fn parse_pom_properties(text: &str) -> Vec<DeclaredDependency> {
+pub fn parse_pom_properties(text: &str) -> Parsed {
     let pairs = properties::parse_properties(text);
     let (Some(g), Some(a)) = (
         properties::get(&pairs, "groupId"),
         properties::get(&pairs, "artifactId"),
     ) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MissingField,
+            "pom.properties without groupId/artifactId",
+        ));
     };
     let version = properties::get(&pairs, "version");
     let req = version
@@ -205,7 +237,7 @@ pub fn parse_pom_properties(text: &str) -> Vec<DeclaredDependency> {
         .map(VersionReq::exact);
     let mut dep = DeclaredDependency::new(Ecosystem::Java, format!("{g}:{a}"), req);
     dep.req_text = version.unwrap_or_default().to_string();
-    vec![dep]
+    Parsed::ok(vec![dep])
 }
 
 #[cfg(test)]
@@ -321,5 +353,22 @@ mod tests {
         assert!(parse_pom_xml("garbage").is_empty());
         assert!(parse_manifest_mf("").is_empty());
         assert!(parse_pom_properties("flavor=vanilla").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_pom_xml("<not-a-project/>");
+        assert_eq!(p.diags[0].class, DiagClass::MalformedFile);
+        let p = parse_pom_xml(
+            "<project><dependencies><dependency><version>1</version></dependency></dependencies></project>",
+        );
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_gradle_lockfile("not a coordinate\n");
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
+        assert_eq!(p.diags[0].line, Some(1));
+        let p = parse_manifest_mf("Manifest-Version: 1.0\n");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_pom_properties("flavor=vanilla");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
     }
 }

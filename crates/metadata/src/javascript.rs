@@ -1,18 +1,29 @@
 //! JavaScript/npm metadata parsing: `package.json`, `package-lock.json`
 //! (v1–v3), `yarn.lock` (v1) and `pnpm-lock.yaml` (v5/v6 key styles).
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, VersionReq,
+};
 
 use sbomdiff_textformats::{json, yaml, Value};
+
+use crate::{format_error_diag, Parsed};
 
 /// Parses `package.json` dependency sections.
 ///
 /// §V-F: 76% of `package.json` dependencies are dev dependencies; scope is
 /// recorded so generators can include or exclude them per policy.
-pub fn parse_package_json(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_package_json(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("package.json", &e)),
     };
+    if doc.as_object().is_none() {
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "package.json: document root is not an object",
+        ));
+    }
     let mut out = Vec::new();
     for (section, scope) in [
         ("dependencies", DepScope::Runtime),
@@ -31,16 +42,23 @@ pub fn parse_package_json(text: &str) -> Vec<DeclaredDependency> {
             }
         }
     }
-    out
+    Parsed::ok(out)
 }
 
 /// Parses `package-lock.json`, handling both the v1 recursive
 /// `dependencies` layout and the v2/v3 flat `packages` layout.
-pub fn parse_package_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_package_lock(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("package-lock.json", &e)),
     };
-    let mut out = Vec::new();
+    if doc.as_object().is_none() {
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "package-lock.json: document root is not an object",
+        ));
+    }
+    let mut out = Parsed::default();
     if let Some(packages) = doc.get("packages").and_then(Value::as_object) {
         // v2/v3: keys like "node_modules/@scope/name".
         for (path, info) in packages {
@@ -52,10 +70,14 @@ pub fn parse_package_lock(text: &str) -> Vec<DeclaredDependency> {
                 None => path.as_str(),
             };
             let Some(version) = info.get("version").and_then(Value::as_str) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    format!("lock entry {name} without a version"),
+                ));
                 continue;
             };
             let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
-            out.push(lock_entry(name, version, dev));
+            out.deps.push(lock_entry(name, version, dev));
         }
     } else if let Some(deps) = doc.get("dependencies").and_then(Value::as_object) {
         collect_v1(deps, &mut out);
@@ -63,11 +85,16 @@ pub fn parse_package_lock(text: &str) -> Vec<DeclaredDependency> {
     out
 }
 
-fn collect_v1(deps: &[(String, Value)], out: &mut Vec<DeclaredDependency>) {
+fn collect_v1(deps: &[(String, Value)], out: &mut Parsed) {
     for (name, info) in deps {
         if let Some(version) = info.get("version").and_then(Value::as_str) {
             let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
-            out.push(lock_entry(name, version, dev));
+            out.deps.push(lock_entry(name, version, dev));
+        } else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                format!("lock entry {name} without a version"),
+            ));
         }
         if let Some(nested) = info.get("dependencies").and_then(Value::as_object) {
             collect_v1(nested, out);
@@ -98,10 +125,10 @@ fn lock_entry(name: &str, version: &str, dev: bool) -> DeclaredDependency {
 /// "@babel/core@^7.0.0", "@babel/core@^7.1.0":
 ///   version "7.22.9"
 /// ```
-pub fn parse_yarn_lock(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_yarn_lock(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut current_names: Vec<String> = Vec::new();
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim_end();
         if line.trim_start().starts_with('#') || line.trim().is_empty() {
             continue;
@@ -118,15 +145,36 @@ pub fn parse_yarn_lock(text: &str) -> Vec<DeclaredDependency> {
                     }
                 }
             }
+            if current_names.is_empty() {
+                out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::UnsupportedSyntax,
+                        format!(
+                            "yarn.lock header with no parsable descriptors: {}",
+                            sbomdiff_types::diagnostic::excerpt(header)
+                        ),
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
+            }
         } else if let Some(vline) = line.trim_start().strip_prefix("version") {
             let version = vline.trim().trim_matches('"');
+            if current_names.is_empty() {
+                out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::MissingField,
+                        "yarn.lock version line without a preceding descriptor header",
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
+            }
             for name in &current_names {
                 let req = sbomdiff_types::Version::parse(version)
                     .ok()
                     .map(VersionReq::exact);
                 let mut dep = DeclaredDependency::new(Ecosystem::JavaScript, name.clone(), req);
                 dep.req_text = version.to_string();
-                out.push(dep);
+                out.deps.push(dep);
             }
             current_names.clear();
         }
@@ -153,18 +201,26 @@ fn descriptor_name(desc: &str) -> Option<String> {
 
 /// Parses `pnpm-lock.yaml`. Handles both the v5 path style
 /// (`/name/1.0.0:`) and the v6 style (`/name@1.0.0:`), plus scoped names.
-pub fn parse_pnpm_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = yaml::parse(text) else {
-        return Vec::new();
+pub fn parse_pnpm_lock(text: &str) -> Parsed {
+    let doc = match yaml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("pnpm-lock.yaml", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     if let Some(packages) = doc.get("packages").and_then(Value::as_object) {
         for (key, info) in packages {
             let Some((name, version)) = pnpm_key_parts(key) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!(
+                        "unparsable pnpm package key: {}",
+                        sbomdiff_types::diagnostic::excerpt(key)
+                    ),
+                ));
                 continue;
             };
             let dev = info.get("dev").and_then(Value::as_bool).unwrap_or(false);
-            out.push(lock_entry(&name, &version, dev));
+            out.deps.push(lock_entry(&name, &version, dev));
         }
     }
     out
@@ -312,5 +368,24 @@ packages:
         assert!(parse_package_lock("[]").is_empty());
         assert!(parse_pnpm_lock(":::").is_empty());
         assert!(parse_yarn_lock("").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_package_json("{\"dependencies\": {\"a\":");
+        assert_eq!(p.diags[0].class, DiagClass::TruncatedInput);
+        let p = parse_package_lock("[]");
+        assert_eq!(p.diags[0].class, DiagClass::MalformedFile);
+        let p = parse_package_lock(
+            r#"{"lockfileVersion": 3, "packages": {"node_modules/a": {"dev": true}}}"#,
+        );
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_yarn_lock("  version \"1.0.0\"\n");
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        assert_eq!(p.diags[0].line, Some(1));
+        let p = parse_pnpm_lock("packages:\n  not-a-key:\n    dev: false\n");
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
     }
 }

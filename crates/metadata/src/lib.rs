@@ -15,6 +15,14 @@
 //!
 //! [`MetadataKind`] classifies file paths into the file types of the
 //! paper's Table II.
+//!
+//! Every parser returns a [`Parsed`] — the extracted declarations plus the
+//! structured [`Diagnostic`]s for whatever the parser had to skip or could
+//! not understand. A malformed file is never a panic and never a silent
+//! empty result: it is an empty declaration list carrying a classified
+//! diagnostic (DESIGN.md §13).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dotnet;
 pub mod golang;
@@ -27,9 +35,120 @@ pub mod ruby;
 pub mod rust_lang;
 pub mod swift;
 
-use sbomdiff_types::Ecosystem;
+use sbomdiff_types::{DeclaredDependency, Diagnostic, Ecosystem};
 
 pub use repofs::RepoFs;
+
+/// The result of parsing one metadata file: the declarations that were
+/// understood plus diagnostics for everything that was not.
+///
+/// `Parsed` dereferences to its declaration list, so call sites that only
+/// care about the dependencies keep working unchanged (`parsed.len()`,
+/// `parsed[0]`, `for dep in &parsed`); diagnostics ride along for the
+/// layers that surface them (emulators, reports, the service).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    /// Successfully extracted declarations, in file order.
+    pub deps: Vec<DeclaredDependency>,
+    /// Classified diagnostics for skipped or malformed input, in file order.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Parsed {
+    /// A result with declarations and no diagnostics.
+    pub fn ok(deps: Vec<DeclaredDependency>) -> Parsed {
+        Parsed {
+            deps,
+            diags: Vec::new(),
+        }
+    }
+
+    /// An empty result carrying one diagnostic (the malformed-file case).
+    pub fn fail(diag: Diagnostic) -> Parsed {
+        Parsed {
+            deps: Vec::new(),
+            diags: vec![diag],
+        }
+    }
+
+    /// Records one diagnostic.
+    pub fn push_diag(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Stamps `path` onto every diagnostic that does not already carry one
+    /// (parsers see only file content; the caller knows the path).
+    pub fn with_path(mut self, path: &str) -> Parsed {
+        for d in &mut self.diags {
+            if d.path.is_none() {
+                d.path = Some(path.to_string());
+            }
+        }
+        self
+    }
+
+    /// Stamps `eco` onto every diagnostic that does not already carry one.
+    pub fn with_ecosystem(mut self, eco: Ecosystem) -> Parsed {
+        for d in &mut self.diags {
+            if d.ecosystem.is_none() {
+                d.ecosystem = Some(eco);
+            }
+        }
+        self
+    }
+}
+
+impl std::ops::Deref for Parsed {
+    type Target = Vec<DeclaredDependency>;
+
+    fn deref(&self) -> &Vec<DeclaredDependency> {
+        &self.deps
+    }
+}
+
+impl From<Vec<DeclaredDependency>> for Parsed {
+    fn from(deps: Vec<DeclaredDependency>) -> Parsed {
+        Parsed::ok(deps)
+    }
+}
+
+impl IntoIterator for Parsed {
+    type Item = DeclaredDependency;
+    type IntoIter = std::vec::IntoIter<DeclaredDependency>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.deps.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Parsed {
+    type Item = &'a DeclaredDependency;
+    type IntoIter = std::slice::Iter<'a, DeclaredDependency>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.deps.iter()
+    }
+}
+
+/// Classifies a container-format parse failure into a diagnostic:
+/// errors about input ending mid-structure become
+/// [`TruncatedInput`](sbomdiff_types::DiagClass::TruncatedInput), everything
+/// else [`MalformedFile`](sbomdiff_types::DiagClass::MalformedFile).
+pub(crate) fn format_error_diag(format: &str, err: &sbomdiff_textformats::TextError) -> Diagnostic {
+    let msg = err.message();
+    let truncated =
+        msg.contains("unterminated") || msg.contains("unexpected end") || msg.contains("truncated");
+    let class = if truncated {
+        sbomdiff_types::DiagClass::TruncatedInput
+    } else {
+        sbomdiff_types::DiagClass::MalformedFile
+    };
+    let mut diag = Diagnostic::new(class, format!("{format}: {err}"));
+    if err.line() > 0 {
+        diag.line = u32::try_from(err.line()).ok();
+    }
+    diag
+}
 
 /// The metadata file types of Table II (plus the Swift and .NET formats the
 /// evaluation's Fig. 1 implies).

@@ -1,17 +1,29 @@
 //! PHP/Composer metadata parsing: `composer.json` and `composer.lock`.
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, DepScope, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    ConstraintFlavor, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, VersionReq,
+};
 
 use sbomdiff_textformats::{json, Value};
+
+use crate::{format_error_diag, Parsed};
 
 /// Parses `composer.json` `require` / `require-dev` sections. Platform
 /// requirements (`php`, `ext-*`, `lib-*`, `composer-*`) are not packages and
 /// are skipped, matching Packagist semantics.
-pub fn parse_composer_json(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_composer_json(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("composer.json", &e)),
     };
+    if doc.as_object().is_none() {
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "composer.json: document root is not an object",
+        ));
+    }
     let mut out = Vec::new();
+    let mut diags = Vec::new();
     for (section, scope) in [
         ("require", DepScope::Runtime),
         ("require-dev", DepScope::Dev),
@@ -23,6 +35,12 @@ pub fn parse_composer_json(text: &str) -> Vec<DeclaredDependency> {
                 }
                 let spec_text = spec.as_str().unwrap_or_default().to_string();
                 let req = VersionReq::parse(&spec_text, ConstraintFlavor::Composer).ok();
+                if req.is_none() && !spec_text.is_empty() {
+                    diags.push(Diagnostic::new(
+                        DiagClass::InvalidVersion,
+                        format!("{section}: unparsable constraint for {name}: {spec_text}"),
+                    ));
+                }
                 let mut dep =
                     DeclaredDependency::new(Ecosystem::Php, name.clone(), req).with_scope(scope);
                 dep.req_text = spec_text;
@@ -30,7 +48,7 @@ pub fn parse_composer_json(text: &str) -> Vec<DeclaredDependency> {
             }
         }
     }
-    out
+    Parsed { deps: out, diags }
 }
 
 fn is_platform_package(name: &str) -> bool {
@@ -43,11 +61,19 @@ fn is_platform_package(name: &str) -> bool {
 
 /// Parses `composer.lock` `packages` / `packages-dev` arrays (all pinned,
 /// transitive-inclusive).
-pub fn parse_composer_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_composer_lock(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("composer.lock", &e)),
     };
+    if doc.as_object().is_none() {
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "composer.lock: document root is not an object",
+        ));
+    }
     let mut out = Vec::new();
+    let mut diags = Vec::new();
     for (section, scope) in [
         ("packages", DepScope::Runtime),
         ("packages-dev", DepScope::Dev),
@@ -55,9 +81,17 @@ pub fn parse_composer_lock(text: &str) -> Vec<DeclaredDependency> {
         if let Some(entries) = doc.get(section).and_then(Value::as_array) {
             for pkg in entries {
                 let Some(name) = pkg.get("name").and_then(Value::as_str) else {
+                    diags.push(Diagnostic::new(
+                        DiagClass::MissingField,
+                        format!("{section} entry without a name"),
+                    ));
                     continue;
                 };
                 let Some(version) = pkg.get("version").and_then(Value::as_str) else {
+                    diags.push(Diagnostic::new(
+                        DiagClass::MissingField,
+                        format!("{section} entry {name} without a version"),
+                    ));
                     continue;
                 };
                 // Composer versions frequently carry a leading 'v'.
@@ -70,7 +104,7 @@ pub fn parse_composer_lock(text: &str) -> Vec<DeclaredDependency> {
             }
         }
     }
-    out
+    Parsed { deps: out, diags }
 }
 
 #[cfg(test)]
@@ -129,5 +163,19 @@ mod tests {
     fn malformed_is_empty() {
         assert!(parse_composer_json("nope").is_empty());
         assert!(parse_composer_lock("[1,2]").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_composer_json("nope");
+        assert!(p.is_empty());
+        assert!(!p.diags.is_empty());
+        // Valid JSON with the wrong root shape is still a malformed lock.
+        let p = parse_composer_lock("[1,2]");
+        assert_eq!(p.diags[0].class, DiagClass::MalformedFile);
+        // Lock entries missing structurally-required fields are recorded.
+        let p = parse_composer_lock(r#"{"packages": [{"name": "a/b"}]}"#);
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
     }
 }

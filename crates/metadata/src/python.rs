@@ -9,11 +9,13 @@
 //! outcomes.
 
 use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
-    VersionReq,
+    diagnostic::excerpt, ConstraintFlavor, DeclaredDependency, DepScope, DependencySource,
+    DiagClass, Diagnostic, Ecosystem, VcsKind, VersionReq,
 };
 
 use sbomdiff_textformats::{json, toml, Value};
+
+use crate::{format_error_diag, Parsed};
 
 /// Which tool's `requirements.txt` reading behavior to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,13 +44,67 @@ pub enum ReqStyle {
 /// [`DependencySource::ConstraintsFile`] entries for `-r`/`-c` lines so the
 /// caller (the ground-truth resolver) can follow them; the tool dialects
 /// skip them, as the tools do.
-pub fn parse_requirements(text: &str, style: ReqStyle) -> Vec<DeclaredDependency> {
-    match style {
-        ReqStyle::Pip => parse_requirements_pip(text),
-        ReqStyle::TrivySyft => text.lines().filter_map(parse_line_trivy_syft).collect(),
-        ReqStyle::SbomTool => text.lines().filter_map(parse_line_sbom_tool).collect(),
-        ReqStyle::GithubDg => text.lines().filter_map(parse_line_github).collect(),
+pub fn parse_requirements(text: &str, style: ReqStyle) -> Parsed {
+    let parse_line: fn(&str) -> Option<DeclaredDependency> = match style {
+        ReqStyle::Pip => return parse_requirements_pip(text),
+        ReqStyle::TrivySyft => parse_line_trivy_syft,
+        ReqStyle::SbomTool => parse_line_sbom_tool,
+        ReqStyle::GithubDg => parse_line_github,
+    };
+    let mut out = Parsed::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        match parse_line(raw) {
+            Some(dep) => out.deps.push(dep),
+            None => {
+                if let Some(d) = dialect_drop_diag(raw, style) {
+                    out.push_diag(d.with_line(lineno as u32 + 1));
+                }
+            }
+        }
     }
+    out
+}
+
+/// Classifies a requirements line a tool dialect silently discards. The
+/// classes mirror the paper's drop taxonomy: §V-D's unpinned discards map
+/// to [`DiagClass::UnpinnedDropped`], URL/path/VCS installs to
+/// [`DiagClass::ExoticSource`], and syntax the emulated parser cannot
+/// represent to [`DiagClass::UnsupportedSyntax`].
+fn dialect_drop_diag(raw: &str, style: ReqStyle) -> Option<Diagnostic> {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() {
+        return None;
+    }
+    let tool = match style {
+        ReqStyle::Pip => "pip",
+        ReqStyle::TrivySyft => "trivy/syft",
+        ReqStyle::SbomTool => "sbom-tool",
+        ReqStyle::GithubDg => "github-dg",
+    };
+    let (class, why) = if line.starts_with('-') {
+        (DiagClass::UnsupportedSyntax, "option line ignored")
+    } else if line.ends_with('\\') {
+        (
+            DiagClass::UnsupportedSyntax,
+            "line continuation not supported",
+        )
+    } else if looks_like_url_or_path(line) || split_at_url_separator(line).is_some() {
+        (DiagClass::ExoticSource, "URL/path/VCS requirement skipped")
+    } else if style == ReqStyle::TrivySyft && !line.contains("==") {
+        (
+            DiagClass::UnpinnedDropped,
+            "requirement without a pinned == version dropped",
+        )
+    } else {
+        (
+            DiagClass::UnsupportedSyntax,
+            "requirement line not recognized",
+        )
+    };
+    Some(Diagnostic::new(
+        class,
+        format!("{tool}: {why}: {}", excerpt(line)),
+    ))
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -73,28 +129,71 @@ fn valid_name(s: &str) -> bool {
 }
 
 /// Reference pip parsing with logical-line continuation handling.
-fn parse_requirements_pip(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+fn parse_requirements_pip(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut logical = String::new();
-    for raw in text.lines() {
+    let mut logical_start = 0u32;
+    for (lineno, raw) in text.lines().enumerate() {
         let line = strip_comment(raw);
         let trimmed_end = line.trim_end();
         if let Some(stripped) = trimmed_end.strip_suffix('\\') {
+            if logical.is_empty() {
+                logical_start = lineno as u32 + 1;
+            }
             logical.push_str(stripped);
             continue;
         }
+        let start = if logical.is_empty() {
+            lineno as u32 + 1
+        } else {
+            logical_start
+        };
         logical.push_str(line);
         let complete = std::mem::take(&mut logical);
-        if let Some(dep) = parse_line_pip(&complete) {
-            out.push(dep);
+        match parse_line_pip(&complete) {
+            Some(dep) => out.deps.push(dep),
+            None => {
+                if let Some(d) = pip_drop_diag(&complete) {
+                    out.push_diag(d.with_line(start));
+                }
+            }
         }
     }
     if !logical.is_empty() {
-        if let Some(dep) = parse_line_pip(&logical) {
-            out.push(dep);
+        match parse_line_pip(&logical) {
+            Some(dep) => out.deps.push(dep),
+            None => {
+                if let Some(d) = pip_drop_diag(&logical) {
+                    out.push_diag(d.with_line(logical_start));
+                }
+            }
         }
     }
     out
+}
+
+/// Classifies a logical line the *reference* pip parser could not turn into
+/// a dependency. Option lines (index URLs, hashes) are understood and
+/// intentionally dependency-free, so they carry no diagnostic.
+fn pip_drop_diag(complete: &str) -> Option<Diagnostic> {
+    let line = complete.trim();
+    if line.is_empty() || line.starts_with('-') {
+        return None;
+    }
+    let name_end = line
+        .char_indices()
+        .find(|(_, c)| !is_name_char(*c))
+        .map(|(i, _)| i)
+        .unwrap_or(line.len());
+    let class = if valid_name(&line[..name_end]) {
+        DiagClass::UnsupportedSyntax
+    } else {
+        DiagClass::InvalidName
+    };
+    Some(Diagnostic::new(
+        class,
+        format!("unparsable requirement line: {}", excerpt(line)),
+    ))
 }
 
 fn parse_line_pip(line: &str) -> Option<DeclaredDependency> {
@@ -492,24 +591,37 @@ fn parse_line_github(raw: &str) -> Option<DeclaredDependency> {
 /// Extracts `install_requires` and `extras_require` entries from `setup.py`
 /// without executing Python: bracket-matched literal scanning, the approach
 /// GitHub DG's best-effort setup.py support takes (Table II).
-pub fn parse_setup_py(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_setup_py(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     for dep in extract_list_strings(text, "install_requires") {
-        if let Some(d) = parse_line_pip(&dep) {
-            out.push(d);
+        match parse_line_pip(&dep) {
+            Some(d) => out.deps.push(d),
+            None => push_setup_py_drop(&mut out, &dep),
         }
     }
     for dep in extract_list_strings(text, "tests_require") {
-        if let Some(d) = parse_line_pip(&dep) {
-            out.push(d.with_scope(DepScope::Dev));
+        match parse_line_pip(&dep) {
+            Some(d) => out.deps.push(d.with_scope(DepScope::Dev)),
+            None => push_setup_py_drop(&mut out, &dep),
         }
     }
     for dep in extract_dict_list_strings(text, "extras_require") {
-        if let Some(d) = parse_line_pip(&dep) {
-            out.push(d.with_scope(DepScope::Optional));
+        match parse_line_pip(&dep) {
+            Some(d) => out.deps.push(d.with_scope(DepScope::Optional)),
+            None => push_setup_py_drop(&mut out, &dep),
         }
     }
     out
+}
+
+fn push_setup_py_drop(out: &mut Parsed, literal: &str) {
+    if literal.trim().is_empty() {
+        return;
+    }
+    out.push_diag(Diagnostic::new(
+        DiagClass::UnsupportedSyntax,
+        format!("unparsable setup.py requirement: {}", excerpt(literal)),
+    ));
 }
 
 /// Collects string literals inside `key = [ ... ]` / `key=[...]`.
@@ -618,17 +730,26 @@ fn collect_strings_until_close(body: &str, open: char, close: char) -> Vec<Strin
 }
 
 /// Parses `poetry.lock` (TOML `[[package]]` entries, all pinned).
-pub fn parse_poetry_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = toml::parse(text) else {
-        return Vec::new();
+pub fn parse_poetry_lock(text: &str) -> Parsed {
+    let doc = match toml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("poetry.lock", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     if let Some(packages) = doc.get("package").and_then(Value::as_array) {
         for pkg in packages {
             let Some(name) = pkg.get("name").and_then(Value::as_str) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    "[[package]] entry without a name",
+                ));
                 continue;
             };
             let Some(version) = pkg.get("version").and_then(Value::as_str) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    format!("[[package]] entry {name} without a version"),
+                ));
                 continue;
             };
             let scope = match pkg.get("category").and_then(Value::as_str) {
@@ -636,18 +757,20 @@ pub fn parse_poetry_lock(text: &str) -> Vec<DeclaredDependency> {
                 _ => DepScope::Runtime,
             };
             let req = VersionReq::parse(&format!("=={version}"), ConstraintFlavor::Pep440).ok();
-            out.push(DeclaredDependency::new(Ecosystem::Python, name, req).with_scope(scope));
+            out.deps
+                .push(DeclaredDependency::new(Ecosystem::Python, name, req).with_scope(scope));
         }
     }
     out
 }
 
 /// Parses `Pipfile.lock` (JSON `default` / `develop` sections).
-pub fn parse_pipfile_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_pipfile_lock(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Pipfile.lock", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for (section, scope) in [("default", DepScope::Runtime), ("develop", DepScope::Dev)] {
         if let Some(entries) = doc.get(section).and_then(Value::as_object) {
             for (name, info) in entries {
@@ -657,13 +780,13 @@ pub fn parse_pipfile_lock(text: &str) -> Vec<DeclaredDependency> {
                     let mut dep = DeclaredDependency::new(Ecosystem::Python, name.clone(), req)
                         .with_scope(scope);
                     dep.req_text = spec.to_string();
-                    out.push(dep);
+                    out.deps.push(dep);
                 } else if let Some(git) = info.get("git").and_then(Value::as_str) {
                     let reference = info
                         .get("ref")
                         .and_then(Value::as_str)
                         .map(|s| s.to_string());
-                    out.push(
+                    out.deps.push(
                         DeclaredDependency::new(Ecosystem::Python, name.clone(), None)
                             .with_scope(scope)
                             .with_source(DependencySource::Vcs {
@@ -672,6 +795,11 @@ pub fn parse_pipfile_lock(text: &str) -> Vec<DeclaredDependency> {
                                 reference,
                             }),
                     );
+                } else {
+                    out.push_diag(Diagnostic::new(
+                        DiagClass::MissingField,
+                        format!("lock entry {name} without a version or git source"),
+                    ));
                 }
             }
         }
@@ -1006,6 +1134,39 @@ category = "dev"
         assert!(parse_poetry_lock("not toml [").is_empty());
         assert!(parse_pipfile_lock("{broken").is_empty());
     }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_pipfile_lock("{broken");
+        assert_eq!(p.diags[0].class, DiagClass::MalformedFile);
+        let p = parse_pipfile_lock(r#"{"default": "#);
+        assert_eq!(p.diags[0].class, DiagClass::TruncatedInput);
+        let p = parse_pipfile_lock(r#"{"default": {"a": {}}}"#);
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_poetry_lock("[[package]]\nname = \"a\"\n");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let p = parse_requirements("??invalid??\n", ReqStyle::Pip);
+        assert_eq!(p.diags[0].class, DiagClass::InvalidName);
+        assert_eq!(p.diags[0].line, Some(1));
+    }
+
+    #[test]
+    fn dialect_drops_are_classified() {
+        // §V-D: Trivy/Syft silently discard unpinned requirements — the
+        // emulation now records that as an UnpinnedDropped diagnostic.
+        let p = parse_requirements("requests>=2.8.1\n", ReqStyle::TrivySyft);
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::UnpinnedDropped);
+        let p = parse_requirements("./pkg.whl\n", ReqStyle::TrivySyft);
+        assert_eq!(p.diags[0].class, DiagClass::ExoticSource);
+        let p = parse_requirements("numpy \\\n", ReqStyle::GithubDg);
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
+        let p = parse_requirements("-r other.txt\n", ReqStyle::SbomTool);
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
+        // Option lines the reference parser understands carry no diagnostic.
+        let p = parse_requirements("--index-url https://pypi.example\n", ReqStyle::Pip);
+        assert!(p.diags.is_empty());
+    }
 }
 
 /// Parses `pyproject.toml`: PEP 621 `[project]` dependencies and
@@ -1013,21 +1174,31 @@ category = "dev"
 ///
 /// Not in Table II (none of the studied tools read it in the evaluated
 /// versions); used by the reference/best-practice layer.
-pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = toml::parse(text) else {
-        return Vec::new();
+pub fn parse_pyproject_toml(text: &str) -> Parsed {
+    let doc = match toml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("pyproject.toml", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     // PEP 621: [project] dependencies = ["requests>=2.8", ...]
     if let Some(deps) = doc
         .pointer("project/dependencies")
         .and_then(Value::as_array)
     {
         for d in deps {
-            if let Some(line) = d.as_str() {
-                if let Some(dep) = parse_line_pip(line) {
-                    out.push(dep);
-                }
+            match d.as_str().map(parse_line_pip) {
+                Some(Some(dep)) => out.deps.push(dep),
+                Some(None) => out.push_diag(Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!(
+                        "unparsable project dependency: {}",
+                        excerpt(d.as_str().unwrap_or_default())
+                    ),
+                )),
+                None => out.push_diag(Diagnostic::new(
+                    DiagClass::MalformedFile,
+                    "project dependency entry is not a string",
+                )),
             }
         }
     }
@@ -1040,7 +1211,12 @@ pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
                 for d in deps {
                     if let Some(line) = d.as_str() {
                         if let Some(dep) = parse_line_pip(line) {
-                            out.push(dep.with_scope(DepScope::Optional));
+                            out.deps.push(dep.with_scope(DepScope::Optional));
+                        } else {
+                            out.push_diag(Diagnostic::new(
+                                DiagClass::UnsupportedSyntax,
+                                format!("unparsable optional dependency: {}", excerpt(line)),
+                            ));
                         }
                     }
                 }
@@ -1075,7 +1251,7 @@ pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
                 let mut dep =
                     DeclaredDependency::new(Ecosystem::Python, name.clone(), req).with_scope(scope);
                 dep.req_text = spec_text;
-                out.push(dep);
+                out.deps.push(dep);
             }
         }
     }
@@ -1084,11 +1260,11 @@ pub fn parse_pyproject_toml(text: &str) -> Vec<DeclaredDependency> {
 
 /// Parses `setup.cfg` `[options] install_requires` (INI-style, indented
 /// continuation list).
-pub fn parse_setup_cfg(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_setup_cfg(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut in_options = false;
     let mut in_install_requires = false;
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim_end();
         if line.trim_start().starts_with(['#', ';']) {
             continue;
@@ -1105,9 +1281,19 @@ pub fn parse_setup_cfg(text: &str) -> Vec<DeclaredDependency> {
             // new key
             if let Some((key, value)) = line.split_once('=') {
                 in_install_requires = key.trim() == "install_requires";
-                if in_install_requires {
-                    if let Some(dep) = parse_line_pip(value.trim()) {
-                        out.push(dep);
+                if in_install_requires && !value.trim().is_empty() {
+                    match parse_line_pip(value.trim()) {
+                        Some(dep) => out.deps.push(dep),
+                        None => out.push_diag(
+                            Diagnostic::new(
+                                DiagClass::UnsupportedSyntax,
+                                format!(
+                                    "unparsable install_requires entry: {}",
+                                    excerpt(value.trim())
+                                ),
+                            )
+                            .with_line(lineno as u32 + 1),
+                        ),
                     }
                 }
             } else {
@@ -1116,8 +1302,18 @@ pub fn parse_setup_cfg(text: &str) -> Vec<DeclaredDependency> {
             continue;
         }
         if in_install_requires {
-            if let Some(dep) = parse_line_pip(line.trim()) {
-                out.push(dep);
+            match parse_line_pip(line.trim()) {
+                Some(dep) => out.deps.push(dep),
+                None => out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::UnsupportedSyntax,
+                        format!(
+                            "unparsable install_requires entry: {}",
+                            excerpt(line.trim())
+                        ),
+                    )
+                    .with_line(lineno as u32 + 1),
+                ),
             }
         }
     }

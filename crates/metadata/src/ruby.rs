@@ -2,16 +2,18 @@
 //! and `*.gemspec`.
 
 use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
-    VersionReq,
+    diagnostic::excerpt, ConstraintFlavor, DeclaredDependency, DepScope, DependencySource,
+    DiagClass, Diagnostic, Ecosystem, VcsKind, VersionReq,
 };
+
+use crate::Parsed;
 
 /// Parses the bundler `Gemfile` DSL: `gem` declarations, `group` blocks,
 /// inline `group:`/`git:`/`path:` options.
-pub fn parse_gemfile(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_gemfile(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut group_stack: Vec<DepScope> = Vec::new();
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = strip_ruby_comment(raw).trim();
         if line.is_empty() {
             continue;
@@ -36,7 +38,15 @@ pub fn parse_gemfile(text: &str) -> Vec<DeclaredDependency> {
             .or_else(|| line.strip_prefix("gem("))
         {
             if let Some(dep) = parse_gem_call(rest, group_stack.last().copied()) {
-                out.push(dep);
+                out.deps.push(dep);
+            } else {
+                out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::UnsupportedSyntax,
+                        format!("gem declaration without a quoted name: {}", excerpt(line)),
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
             }
         }
     }
@@ -147,10 +157,10 @@ fn unquote(s: &str) -> Option<String> {
 
 /// Parses `Gemfile.lock`: the `GEM > specs:` section (all resolved gems,
 /// including transitives) and `PATH`/`GIT` sections.
-pub fn parse_gemfile_lock(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_gemfile_lock(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut in_specs = false;
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let indent = raw.len() - raw.trim_start().len();
         let line = raw.trim();
         if line.is_empty() {
@@ -176,7 +186,15 @@ pub fn parse_gemfile_lock(text: &str) -> Vec<DeclaredDependency> {
                     .map(VersionReq::exact);
                 let mut dep = DeclaredDependency::new(Ecosystem::Ruby, name, req);
                 dep.req_text = version;
-                out.push(dep);
+                out.deps.push(dep);
+            } else {
+                out.push_diag(
+                    Diagnostic::new(
+                        DiagClass::MissingField,
+                        format!("specs entry without a (version): {}", excerpt(line)),
+                    )
+                    .with_line(lineno as u32 + 1),
+                );
             }
         }
     }
@@ -202,9 +220,9 @@ pub(crate) fn name_paren_version(line: &str) -> Option<(String, String)> {
 /// Parses `*.gemspec` dependency declarations:
 /// `spec.add_dependency 'name', '~> 1.0'` and the development/runtime
 /// variants.
-pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
-    for raw in text.lines() {
+pub fn parse_gemspec(text: &str) -> Parsed {
+    let mut out = Parsed::default();
+    for (lineno, raw) in text.lines().enumerate() {
         let line = strip_ruby_comment(raw).trim();
         let (call, scope) = if let Some(i) = line.find("add_development_dependency") {
             (
@@ -224,6 +242,16 @@ pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
         let call = call.trim().trim_start_matches('(').trim_end_matches(')');
         let parts = split_ruby_args(call);
         let Some(name) = parts.first().and_then(|p| unquote(p)) else {
+            out.push_diag(
+                Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!(
+                        "gemspec dependency call without a quoted name: {}",
+                        excerpt(line)
+                    ),
+                )
+                .with_line(lineno as u32 + 1),
+            );
             continue;
         };
         let reqs: Vec<String> = parts.iter().skip(1).filter_map(|p| unquote(p)).collect();
@@ -235,7 +263,7 @@ pub fn parse_gemspec(text: &str) -> Vec<DeclaredDependency> {
         };
         let mut dep = DeclaredDependency::new(Ecosystem::Ruby, name, req).with_scope(scope);
         dep.req_text = req_text;
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
@@ -327,5 +355,18 @@ end
         assert!(parse_gemfile("").is_empty());
         assert!(parse_gemfile_lock("random text\n").is_empty());
         assert!(parse_gemspec("no deps here").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_gemfile("gem unquoted_name\n");
+        assert!(p.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
+        assert_eq!(p.diags[0].line, Some(1));
+        let p = parse_gemfile_lock("GEM\n  specs:\n    noversion\n");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        assert_eq!(p.diags[0].line, Some(3));
+        let p = parse_gemspec("spec.add_dependency bare\n");
+        assert_eq!(p.diags[0].class, DiagClass::UnsupportedSyntax);
     }
 }

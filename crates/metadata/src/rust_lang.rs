@@ -3,11 +3,13 @@
 //! DESIGN.md substitutions).
 
 use sbomdiff_types::{
-    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, Ecosystem, VcsKind,
-    VersionReq,
+    ConstraintFlavor, DeclaredDependency, DepScope, DependencySource, DiagClass, Diagnostic,
+    Ecosystem, VcsKind, VersionReq,
 };
 
 use sbomdiff_textformats::{json, toml, Value};
+
+use crate::{format_error_diag, Parsed};
 
 /// Magic marker introducing the simulated audit section in Rust binaries.
 pub const RUST_AUDIT_MAGIC: &str = "\u{1}SBOMDIFF-RUST-AUDIT\n";
@@ -15,11 +17,12 @@ pub const RUST_AUDIT_MAGIC: &str = "\u{1}SBOMDIFF-RUST-AUDIT\n";
 /// Parses `Cargo.toml` dependency tables: `[dependencies]`,
 /// `[dev-dependencies]`, `[build-dependencies]` and
 /// `[target.'cfg'.dependencies]`.
-pub fn parse_cargo_toml(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = toml::parse(text) else {
-        return Vec::new();
+pub fn parse_cargo_toml(text: &str) -> Parsed {
+    let doc = match toml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Cargo.toml", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     collect_dep_table(doc.get("dependencies"), DepScope::Runtime, &mut out);
     collect_dep_table(doc.get("dev-dependencies"), DepScope::Dev, &mut out);
     collect_dep_table(doc.get("build-dependencies"), DepScope::Dev, &mut out);
@@ -32,7 +35,7 @@ pub fn parse_cargo_toml(text: &str) -> Vec<DeclaredDependency> {
     out
 }
 
-fn collect_dep_table(table: Option<&Value>, scope: DepScope, out: &mut Vec<DeclaredDependency>) {
+fn collect_dep_table(table: Option<&Value>, scope: DepScope, out: &mut Parsed) {
     let Some(entries) = table.and_then(Value::as_object) else {
         return;
     };
@@ -70,7 +73,13 @@ fn collect_dep_table(table: Option<&Value>, scope: DepScope, out: &mut Vec<Decla
                 }
                 optional = spec.get("optional").and_then(Value::as_bool) == Some(true);
             }
-            _ => continue,
+            _ => {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!("dependency spec for {name} is neither a string nor a table"),
+                ));
+                continue;
+            }
         }
         let req = if req_text.is_empty() {
             None
@@ -78,28 +87,39 @@ fn collect_dep_table(table: Option<&Value>, scope: DepScope, out: &mut Vec<Decla
             VersionReq::parse(&req_text, ConstraintFlavor::Cargo).ok()
         };
         let scope = if optional { DepScope::Optional } else { scope };
+        if req.is_none() && !req_text.is_empty() {
+            out.push_diag(Diagnostic::new(
+                DiagClass::InvalidVersion,
+                format!("unparsable cargo requirement for {dep_name}: {req_text}"),
+            ));
+        }
         let mut dep = DeclaredDependency::new(Ecosystem::Rust, dep_name, req)
             .with_scope(scope)
             .with_source(source);
         dep.req_text = req_text;
-        out.push(dep);
+        out.deps.push(dep);
     }
 }
 
 /// Parses `Cargo.lock` `[[package]]` entries (all pinned, transitive-
 /// inclusive; the workspace's own crates are included, as real tools report
 /// them).
-pub fn parse_cargo_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = toml::parse(text) else {
-        return Vec::new();
+pub fn parse_cargo_lock(text: &str) -> Parsed {
+    let doc = match toml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Cargo.lock", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     if let Some(packages) = doc.get("package").and_then(Value::as_array) {
         for pkg in packages {
             let (Some(name), Some(version)) = (
                 pkg.get("name").and_then(Value::as_str),
                 pkg.get("version").and_then(Value::as_str),
             ) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    "[[package]] entry without name/version",
+                ));
                 continue;
             };
             let req = sbomdiff_types::Version::parse(version)
@@ -107,7 +127,7 @@ pub fn parse_cargo_lock(text: &str) -> Vec<DeclaredDependency> {
                 .map(VersionReq::exact);
             let mut dep = DeclaredDependency::new(Ecosystem::Rust, name, req);
             dep.req_text = version.to_string();
-            out.push(dep);
+            out.deps.push(dep);
         }
     }
     out
@@ -115,25 +135,34 @@ pub fn parse_cargo_lock(text: &str) -> Vec<DeclaredDependency> {
 
 /// Scans binary content for the simulated audit section (JSON array of
 /// `{"name", "version"}` objects).
-pub fn parse_rust_binary(bytes: &[u8]) -> Vec<DeclaredDependency> {
+pub fn parse_rust_binary(bytes: &[u8]) -> Parsed {
     let Some(start) = find_subslice(bytes, RUST_AUDIT_MAGIC.as_bytes()) else {
-        return Vec::new();
+        // A binary without an audit section is normal, not malformed.
+        return Parsed::default();
     };
     let section = &bytes[start + RUST_AUDIT_MAGIC.len()..];
     let end = find_subslice(section, b"\x01END\n").unwrap_or(section.len());
     let Ok(payload) = std::str::from_utf8(&section[..end]) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::EncodingError,
+            "rust audit section is not valid UTF-8",
+        ));
     };
-    let Ok(doc) = json::parse(payload.trim()) else {
-        return Vec::new();
+    let doc = match json::parse(payload.trim()) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("rust audit section", &e)),
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     if let Some(items) = doc.as_array() {
         for item in items {
             let (Some(name), Some(version)) = (
                 item.get("name").and_then(Value::as_str),
                 item.get("version").and_then(Value::as_str),
             ) else {
+                out.push_diag(Diagnostic::new(
+                    DiagClass::MissingField,
+                    "audit entry without name/version",
+                ));
                 continue;
             };
             let req = sbomdiff_types::Version::parse(version)
@@ -141,8 +170,13 @@ pub fn parse_rust_binary(bytes: &[u8]) -> Vec<DeclaredDependency> {
                 .map(VersionReq::exact);
             let mut dep = DeclaredDependency::new(Ecosystem::Rust, name, req);
             dep.req_text = version.to_string();
-            out.push(dep);
+            out.deps.push(dep);
         }
+    } else {
+        out.push_diag(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "rust audit section is not a JSON array",
+        ));
     }
     out
 }
@@ -260,5 +294,23 @@ dependencies = [
     fn malformed_empty() {
         assert!(parse_cargo_toml("[[broken").is_empty());
         assert!(parse_cargo_lock("nope = [").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        let p = parse_cargo_toml("[[broken");
+        assert_eq!(p.diags[0].class, DiagClass::TruncatedInput);
+        let p = parse_cargo_lock("[[package]]\nname = \"a\"\n");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        let mut bin = Vec::new();
+        bin.extend_from_slice(RUST_AUDIT_MAGIC.as_bytes());
+        bin.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            parse_rust_binary(&bin).diags[0].class,
+            DiagClass::EncodingError
+        );
+        bin.truncate(RUST_AUDIT_MAGIC.len());
+        bin.extend_from_slice(b"[{\"name\":");
+        assert!(!parse_rust_binary(&bin).diags.is_empty());
     }
 }

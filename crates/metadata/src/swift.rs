@@ -4,9 +4,14 @@
 //! CocoaPods subspecs (`Firebase/Auth`) are kept structurally — §V-E shows
 //! Syft/Trivy report the subspec while sbom-tool reports the main pod.
 
-use sbomdiff_types::{ConstraintFlavor, DeclaredDependency, Ecosystem, VersionReq};
+use sbomdiff_types::{
+    diagnostic::excerpt, ConstraintFlavor, DeclaredDependency, DiagClass, Diagnostic, Ecosystem,
+    VersionReq,
+};
 
 use sbomdiff_textformats::{json, yaml, Value};
+
+use crate::{format_error_diag, Parsed};
 
 /// Parses `.package(...)` declarations out of `Package.swift`.
 ///
@@ -14,17 +19,25 @@ use sbomdiff_textformats::{json, yaml, Value};
 /// `.upToNextMajor(from: "1.2.3")`, `.upToNextMinor(from: "1.2.3")`,
 /// `branch:`/`revision:` (reported without version), and the
 /// `"1.0.0"..<"2.0.0"` range form.
-pub fn parse_package_swift(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
+pub fn parse_package_swift(text: &str) -> Parsed {
+    let mut out = Parsed::default();
     let mut rest = text;
     while let Some(idx) = rest.find(".package(") {
         rest = &rest[idx + ".package(".len()..];
         let Some(close) = find_balanced_close(rest) else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::TruncatedInput,
+                "Package.swift: unbalanced .package( call",
+            ));
             break;
         };
         let call = &rest[..close];
         rest = &rest[close..];
         let Some(url) = extract_labeled_string(call, "url:") else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                format!(".package call without url: {}", excerpt(call)),
+            ));
             continue;
         };
         let name = url
@@ -35,12 +48,16 @@ pub fn parse_package_swift(text: &str) -> Vec<DeclaredDependency> {
             .trim_end_matches(".git")
             .to_string();
         if name.is_empty() {
+            out.push_diag(Diagnostic::new(
+                DiagClass::InvalidName,
+                format!("package url yields no name: {}", excerpt(&url)),
+            ));
             continue;
         }
         let (req_text, req) = swift_requirement(call);
         let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
         dep.req_text = req_text;
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
@@ -118,22 +135,29 @@ fn swift_requirement(call: &str) -> (String, Option<VersionReq>) {
 
 /// Parses `Package.resolved` (v1 `object.pins[].package` and v2/v3
 /// `pins[].identity` layouts).
-pub fn parse_package_resolved(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = json::parse(text) else {
-        return Vec::new();
+pub fn parse_package_resolved(text: &str) -> Parsed {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Package.resolved", &e)),
     };
     let pins = doc
         .get("pins")
         .or_else(|| doc.pointer("object/pins"))
         .and_then(Value::as_array)
         .unwrap_or(&[]);
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for pin in pins {
         let name = pin
             .get("identity")
             .or_else(|| pin.get("package"))
             .and_then(Value::as_str);
-        let Some(name) = name else { continue };
+        let Some(name) = name else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                "pin without identity/package",
+            ));
+            continue;
+        };
         let version = pin
             .pointer("state/version")
             .and_then(Value::as_str)
@@ -143,16 +167,16 @@ pub fn parse_package_resolved(text: &str) -> Vec<DeclaredDependency> {
             .map(VersionReq::exact);
         let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
         dep.req_text = version.unwrap_or_default().to_string();
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
 
 /// Parses `Podfile` `pod 'Name', '~> 1.0'` declarations (target blocks are
 /// flattened; CocoaPods installs the union).
-pub fn parse_podfile(text: &str) -> Vec<DeclaredDependency> {
-    let mut out = Vec::new();
-    for raw in text.lines() {
+pub fn parse_podfile(text: &str) -> Parsed {
+    let mut out = Parsed::default();
+    for (lineno, raw) in text.lines().enumerate() {
         let line = strip_ruby_comment(raw).trim();
         let Some(rest) = line
             .strip_prefix("pod ")
@@ -162,6 +186,13 @@ pub fn parse_podfile(text: &str) -> Vec<DeclaredDependency> {
         };
         let parts: Vec<&str> = split_top_commas(rest.trim_end_matches(')'));
         let Some(name) = parts.first().and_then(|p| unquote(p)) else {
+            out.push_diag(
+                Diagnostic::new(
+                    DiagClass::UnsupportedSyntax,
+                    format!("pod declaration without a quoted name: {}", excerpt(line)),
+                )
+                .with_line(lineno as u32 + 1),
+            );
             continue;
         };
         let reqs: Vec<String> = parts
@@ -178,7 +209,7 @@ pub fn parse_podfile(text: &str) -> Vec<DeclaredDependency> {
         };
         let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
         dep.req_text = req_text;
-        out.push(dep);
+        out.deps.push(dep);
     }
     out
 }
@@ -230,28 +261,43 @@ fn unquote(s: &str) -> Option<String> {
 
 /// Parses `Podfile.lock`'s `PODS:` section — the full resolved set
 /// including transitive pods and subspecs, each `Name (version)`.
-pub fn parse_podfile_lock(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = yaml::parse(text) else {
-        return Vec::new();
+pub fn parse_podfile_lock(text: &str) -> Parsed {
+    let doc = match yaml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Podfile.lock", &e)),
     };
     let Some(pods) = doc.get("PODS").and_then(Value::as_array) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MissingField,
+            "Podfile.lock: no PODS list",
+        ));
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for pod in pods {
         let entry = match pod {
             Value::Str(s) => Some(s.clone()),
             Value::Object(entries) => entries.first().map(|(k, _)| k.clone()),
             _ => None,
         };
-        let Some(entry) = entry else { continue };
+        let Some(entry) = entry else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MalformedFile,
+                "PODS entry is neither a string nor a mapping",
+            ));
+            continue;
+        };
         if let Some((name, version)) = crate::ruby::name_paren_version(&entry) {
             let req = sbomdiff_types::Version::parse(&version)
                 .ok()
                 .map(VersionReq::exact);
             let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
             dep.req_text = version;
-            out.push(dep);
+            out.deps.push(dep);
+        } else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MissingField,
+                format!("PODS entry without a pinned version: {}", excerpt(&entry)),
+            ));
         }
     }
     out
@@ -259,25 +305,35 @@ pub fn parse_podfile_lock(text: &str) -> Vec<DeclaredDependency> {
 
 /// Parses the `DEPENDENCIES:` section of `Podfile.lock` (the directly
 /// declared pods with their raw requirements).
-pub fn parse_podfile_lock_dependencies(text: &str) -> Vec<DeclaredDependency> {
-    let Ok(doc) = yaml::parse(text) else {
-        return Vec::new();
+pub fn parse_podfile_lock_dependencies(text: &str) -> Parsed {
+    let doc = match yaml::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Parsed::fail(format_error_diag("Podfile.lock", &e)),
     };
     let Some(deps) = doc.get("DEPENDENCIES").and_then(Value::as_array) else {
-        return Vec::new();
+        return Parsed::fail(Diagnostic::new(
+            DiagClass::MissingField,
+            "Podfile.lock: no DEPENDENCIES list",
+        ));
     };
-    let mut out = Vec::new();
+    let mut out = Parsed::default();
     for d in deps {
-        let Some(s) = d.as_str() else { continue };
+        let Some(s) = d.as_str() else {
+            out.push_diag(Diagnostic::new(
+                DiagClass::MalformedFile,
+                "DEPENDENCIES entry is not a string",
+            ));
+            continue;
+        };
         match crate::ruby::name_paren_version(s) {
             Some((name, reqs)) => {
                 let req = VersionReq::parse(&reqs, ConstraintFlavor::RubyGems).ok();
                 let mut dep = DeclaredDependency::new(Ecosystem::Swift, name, req);
                 dep.req_text = reqs;
-                out.push(dep);
+                out.deps.push(dep);
             }
             None => {
-                out.push(DeclaredDependency::new(
+                out.deps.push(DeclaredDependency::new(
                     Ecosystem::Swift,
                     s.trim().to_string(),
                     None,
@@ -412,5 +468,18 @@ COCOAPODS: 1.12.1
         assert!(parse_package_swift("no packages").is_empty());
         assert!(parse_package_resolved("{]").is_empty());
         assert!(parse_podfile_lock("PODS: broken").is_empty());
+    }
+
+    #[test]
+    fn malformed_carries_classified_diagnostics() {
+        assert!(!parse_package_resolved("{]").diags.is_empty());
+        assert_eq!(
+            parse_podfile_lock("PODS: broken").diags[0].class,
+            DiagClass::MissingField
+        );
+        let p = parse_package_swift(".package(url: \"https://x/y\", from: \"1.0.0\"");
+        assert_eq!(p.diags[0].class, DiagClass::TruncatedInput);
+        let p = parse_package_swift(".package(name: \"nourl\")");
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
     }
 }

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use sbomdiff_metadata::python::{parse_requirements, ReqStyle};
 use sbomdiff_registry::RegistryClient;
-use sbomdiff_types::{DependencySource, ResolvedPackage};
+use sbomdiff_types::{DependencySource, Diagnostic, ResolvedPackage};
 
 use crate::engine::{resolve, DedupPolicy, RootDep};
 use crate::platform::{marker_allows, Platform};
@@ -23,6 +23,9 @@ pub struct DryRunReport {
     /// Declarations pip could not satisfy (unknown names, empty ranges,
     /// non-registry sources we cannot fetch).
     pub unresolved: Vec<String>,
+    /// Classified parse diagnostics from the requirements files read during
+    /// the dry run (malformed lines, truncated includes, dropped syntax).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl DryRunReport {
@@ -70,6 +73,7 @@ pub fn dry_run<C: RegistryClient>(
 ) -> DryRunReport {
     let mut roots: Vec<RootDep> = Vec::new();
     let mut unresolved: Vec<String> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut visited_files: Vec<String> = Vec::new();
     collect_roots(
         files,
@@ -77,6 +81,7 @@ pub fn dry_run<C: RegistryClient>(
         platform,
         &mut roots,
         &mut unresolved,
+        &mut diagnostics,
         &mut visited_files,
     );
 
@@ -96,6 +101,7 @@ pub fn dry_run<C: RegistryClient>(
     DryRunReport {
         installed,
         unresolved,
+        diagnostics,
     }
 }
 
@@ -105,6 +111,7 @@ fn collect_roots(
     platform: &Platform,
     roots: &mut Vec<RootDep>,
     unresolved: &mut Vec<String>,
+    diagnostics: &mut Vec<Diagnostic>,
     visited: &mut Vec<String>,
 ) {
     if visited.iter().any(|v| v == path) {
@@ -115,11 +122,21 @@ fn collect_roots(
         unresolved.push(format!("-r {path}"));
         return;
     };
-    for dep in parse_requirements(content, ReqStyle::Pip) {
+    let parsed = parse_requirements(content, ReqStyle::Pip).with_path(path);
+    diagnostics.extend(parsed.diags.iter().cloned());
+    for dep in &parsed {
         match &dep.source {
             DependencySource::IncludeFile(inc) => {
                 let resolved_path = sibling_path(path, inc);
-                collect_roots(files, &resolved_path, platform, roots, unresolved, visited);
+                collect_roots(
+                    files,
+                    &resolved_path,
+                    platform,
+                    roots,
+                    unresolved,
+                    diagnostics,
+                    visited,
+                );
             }
             DependencySource::ConstraintsFile(_) => {
                 // Constraints limit versions but do not add packages; the

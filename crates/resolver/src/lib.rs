@@ -11,6 +11,8 @@
 //! * [`ground_truth`] — the `pip install --dry-run` simulator that produces
 //!   the ground-truth install set for Table III.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod ground_truth;
 pub mod platform;

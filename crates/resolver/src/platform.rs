@@ -50,21 +50,118 @@ impl Platform {
 /// Evaluates a marker expression; `true` means the dependency applies.
 ///
 /// Supports `and` / `or` conjunctions of `variable op 'literal'`
-/// comparisons. Unknown variables or unparseable clauses evaluate to `true`
-/// (pip is conservative about including).
+/// comparisons, with parenthesized groups at arbitrary nesting depth.
+/// Unknown variables or unparseable clauses evaluate to `true` (pip is
+/// conservative about including).
 pub fn marker_allows(marker: &str, platform: &Platform) -> bool {
-    // Lowest precedence: or.
-    marker
-        .split(" or ")
-        .any(|clause| clause.split(" and ").all(|c| eval_comparison(c, platform)))
+    eval_or(marker, platform)
+}
+
+// Lowest precedence: or.
+fn eval_or(expr: &str, platform: &Platform) -> bool {
+    split_top_level(expr, "or")
+        .into_iter()
+        .any(|clause| eval_and(clause, platform))
+}
+
+fn eval_and(expr: &str, platform: &Platform) -> bool {
+    split_top_level(expr, "and")
+        .into_iter()
+        .all(|clause| eval_atom(clause, platform))
+}
+
+fn eval_atom(expr: &str, platform: &Platform) -> bool {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return true;
+    }
+    // A fully parenthesized group recurses with its outer pair removed.
+    // Only a *matched* outer pair is stripped — `(a) and (b)` is not one
+    // group, and quoted parens inside literals are left alone.
+    if let Some(inner) = strip_outer_parens(expr) {
+        return eval_or(inner, platform);
+    }
+    eval_comparison(expr, platform)
+}
+
+/// Removes one outer pair of parentheses iff the leading `(` matches the
+/// trailing `)`. Returns `None` for non-groups and unbalanced input.
+fn strip_outer_parens(expr: &str) -> Option<&str> {
+    let bytes = expr.as_bytes();
+    if bytes.first() != Some(&b'(') || bytes.last() != Some(&b')') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'\'' | b'"' => quote = Some(b),
+                b'(' => depth += 1,
+                b')' => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 && i != bytes.len() - 1 {
+                        return None; // outer pair closes before the end
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    (depth == 0).then(|| &expr[1..expr.len() - 1])
+}
+
+/// Splits on the boolean keyword `word` at paren depth zero, outside
+/// quoted literals. The keyword must be whitespace-delimited so variable
+/// names containing "or"/"and" never split.
+fn split_top_level<'a>(expr: &'a str, word: &str) -> Vec<&'a str> {
+    let bytes = expr.as_bytes();
+    let w = word.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut quote: Option<u8> = None;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'\'' | b'"' => quote = Some(b),
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {
+                    if depth == 0
+                        && i > 0
+                        && bytes[i - 1].is_ascii_whitespace()
+                        && bytes[i..].starts_with(w)
+                        && bytes.get(i + w.len()).is_some_and(u8::is_ascii_whitespace)
+                    {
+                        parts.push(&expr[start..i]);
+                        i += w.len();
+                        start = i;
+                        continue;
+                    }
+                }
+            },
+        }
+        i += 1;
+    }
+    parts.push(&expr[start..]);
+    parts
 }
 
 fn eval_comparison(clause: &str, platform: &Platform) -> bool {
-    let clause = clause
-        .trim()
-        .trim_start_matches('(')
-        .trim_end_matches(')')
-        .trim();
+    let clause = clause.trim();
     if clause.is_empty() {
         return true;
     }
@@ -99,12 +196,7 @@ fn compare(actual: &str, op: &str, expected: &str) -> bool {
         },
         "<" | "<=" | ">" | ">=" => {
             let (Ok(a), Ok(b)) = as_versions else {
-                return match op {
-                    "<" => actual < expected,
-                    "<=" => actual <= expected,
-                    ">" => actual > expected,
-                    _ => actual >= expected,
-                };
+                return compare_fallback(actual, op, expected);
             };
             match op {
                 "<" => a < b,
@@ -113,10 +205,62 @@ fn compare(actual: &str, op: &str, expected: &str) -> bool {
                 _ => a >= b,
             }
         }
-        "in" => expected.contains(actual),
-        "not in" => !expected.contains(actual),
+        // PEP 508 `in` on a literal list ("sys_platform in 'linux darwin'")
+        // means membership. Plain substring would let `win` match `darwin`.
+        "in" => expected_tokens(expected).any(|tok| tok == actual),
+        "not in" => !expected_tokens(expected).any(|tok| tok == actual),
         _ => true,
     }
+}
+
+/// Ordered comparison when at least one operand is not a proper version:
+/// compare embedded numeric runs as tuples first (so `linux-5.15` sorts
+/// after `linux-5.9`), falling back to lexicographic order only for
+/// operands with no digits at all.
+fn compare_fallback(actual: &str, op: &str, expected: &str) -> bool {
+    if let (Some(a), Some(b)) = (numeric_tuple(actual), numeric_tuple(expected)) {
+        return match op {
+            "<" => a < b,
+            "<=" => a <= b,
+            ">" => a > b,
+            _ => a >= b,
+        };
+    }
+    match op {
+        "<" => actual < expected,
+        "<=" => actual <= expected,
+        ">" => actual > expected,
+        _ => actual >= expected,
+    }
+}
+
+/// The maximal digit runs of a string, in order (`"linux-5.10"` → `[5, 10]`).
+fn numeric_tuple(s: &str) -> Option<Vec<u64>> {
+    let mut runs = Vec::new();
+    let mut current: Option<u64> = None;
+    for c in s.chars() {
+        match c.to_digit(10) {
+            Some(d) => {
+                let n = current.unwrap_or(0);
+                current = Some(n.saturating_mul(10).saturating_add(u64::from(d)));
+            }
+            None => {
+                if let Some(n) = current.take() {
+                    runs.push(n);
+                }
+            }
+        }
+    }
+    if let Some(n) = current {
+        runs.push(n);
+    }
+    (!runs.is_empty()).then_some(runs)
+}
+
+fn expected_tokens(expected: &str) -> impl Iterator<Item = &str> {
+    expected
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
 }
 
 #[cfg(test)]
@@ -162,12 +306,44 @@ mod tests {
     }
 
     #[test]
+    fn parenthesized_groups() {
+        let p = Platform::default();
+        assert!(marker_allows(
+            "(sys_platform == 'win32' or sys_platform == 'linux') and python_version >= '3.8'",
+            &p
+        ));
+        assert!(!marker_allows(
+            "(sys_platform == 'win32' or sys_platform == 'darwin') and python_version >= '3.8'",
+            &p
+        ));
+        // Regression: the old evaluator stripped parens *after* splitting on
+        // " or ", so the group's second disjunct escaped the failing `and`
+        // clause and this wrongly evaluated true.
+        assert!(!marker_allows(
+            "python_version >= '3.99' and (sys_platform == 'win32' or sys_platform == 'linux')",
+            &p
+        ));
+        // Nested groups.
+        assert!(marker_allows(
+            "((os_name == 'posix' or os_name == 'nt') and python_version >= '3.8')",
+            &p
+        ));
+        assert!(!marker_allows(
+            "((os_name == 'nt' and python_version >= '3.8') or sys_platform == 'win32')",
+            &p
+        ));
+        // Parens inside quoted literals are not structure.
+        assert!(!marker_allows("platform_system == '(Windows)'", &p));
+    }
+
+    #[test]
     fn unknown_variables_included() {
         let p = Platform::default();
         assert!(marker_allows("extra == 'test'", &p));
         assert!(marker_allows("some_unknown_var == 'x'", &p));
         assert!(marker_allows("", &p));
         assert!(marker_allows("garbage without operator", &p));
+        assert!(marker_allows("(unbalanced == 'x'", &p));
     }
 
     #[test]
@@ -175,5 +351,32 @@ mod tests {
         let p = Platform::default();
         assert!(marker_allows("sys_platform in 'linux darwin'", &p));
         assert!(!marker_allows("sys_platform not in 'linux darwin'", &p));
+        assert!(marker_allows("sys_platform in 'win32,linux'", &p));
+    }
+
+    #[test]
+    fn in_operator_is_token_membership() {
+        // Regression: bare substring matching made `win` a member of
+        // `'darwin'` and `linux` a member of `'linux-gnu'`.
+        let p = Platform {
+            sys_platform: "win".into(),
+            ..Default::default()
+        };
+        assert!(!marker_allows("sys_platform in 'darwin'", &p));
+        assert!(marker_allows("sys_platform not in 'darwin'", &p));
+        assert!(marker_allows("sys_platform in 'win darwin'", &p));
+        let p = Platform::default();
+        assert!(!marker_allows("sys_platform in 'linux-gnu'", &p));
+    }
+
+    #[test]
+    fn ordered_fallback_compares_numeric_runs() {
+        // Neither operand parses as a version, but both embed numbers;
+        // lexicographic order alone would invert these.
+        assert!(compare("linux-5.15", ">=", "linux-5.9"));
+        assert!(!compare("linux-5.9", ">=", "linux-5.15"));
+        assert!(compare("build-10", ">", "build-9"));
+        // No digits on either side: plain string order still applies.
+        assert!(compare("alpha", "<", "beta"));
     }
 }

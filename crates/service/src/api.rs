@@ -7,7 +7,7 @@
 //! pipeline).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use sbomdiff_diff::{jaccard, key_set};
 use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator};
@@ -50,13 +50,23 @@ impl AppState {
     }
 
     /// The registry set for `seed`, memoized (at most 8 seeds retained).
+    /// A poisoned memo lock means another worker panicked mid-insert; the
+    /// map stays coherent, so the lock is recovered instead of cascading.
     pub fn registries(&self, seed: u64) -> Arc<Registries> {
-        if let Some(found) = self.registries.lock().expect("registries memo").get(&seed) {
+        if let Some(found) = self
+            .registries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&seed)
+        {
             return Arc::clone(found);
         }
         // Generate outside the lock; a racing duplicate is deterministic.
         let generated = Arc::new(Registries::generate(seed));
-        let mut memo = self.registries.lock().expect("registries memo");
+        let mut memo = self
+            .registries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if memo.len() >= 8 && !memo.contains_key(&seed) {
             memo.clear();
         }
@@ -67,12 +77,20 @@ impl AppState {
     /// memoized like [`AppState::registries`].
     pub fn advisory_db(&self, seed: u64, advisory_seed: u64, share: f64) -> Arc<AdvisoryDb> {
         let key = (seed, advisory_seed, share.to_bits());
-        if let Some(found) = self.advisories.lock().expect("advisories memo").get(&key) {
+        if let Some(found) = self
+            .advisories
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return Arc::clone(found);
         }
         let registries = self.registries(seed);
         let generated = Arc::new(AdvisoryDb::generate(&registries, advisory_seed, share));
-        let mut memo = self.advisories.lock().expect("advisories memo");
+        let mut memo = self
+            .advisories
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if memo.len() >= 8 && !memo.contains_key(&key) {
             memo.clear();
         }
@@ -184,9 +202,31 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         row.set("version", Value::from(id.version()));
         row.set("components", Value::from(sbom.len() as i64));
         row.set("duplicates", Value::from(sbom.duplicate_entries() as i64));
+        row.set("diagnostics", Value::from(sbom.diagnostics().len() as i64));
         tool_rows.push(row);
     }
     out.set("tools", Value::Array(tool_rows));
+    // Classified diagnostics: what each tool could not parse or silently
+    // dropped. Corrupted input degrades into evidence, never a 5xx.
+    let mut diag_rows = Vec::new();
+    for (id, sbom) in ids.iter().zip(&sboms) {
+        for diag in sbom.diagnostics() {
+            state.metrics.record_diagnostic(diag.class);
+            let mut row = Value::object();
+            row.set("tool", Value::from(id.label()));
+            row.set("severity", Value::from(diag.severity.label()));
+            row.set("class", Value::from(diag.class.label()));
+            if let Some(path) = &diag.path {
+                row.set("path", Value::from(path.clone()));
+            }
+            if let Some(line) = diag.line {
+                row.set("line", Value::from(i64::from(line)));
+            }
+            row.set("message", Value::from(diag.message.clone()));
+            diag_rows.push(row);
+        }
+    }
+    out.set("diagnostics", Value::Array(diag_rows));
     let keys: Vec<_> = sboms.iter().map(key_set).collect();
     let mut pairs = Vec::new();
     for a in 0..sboms.len() {
@@ -474,6 +514,42 @@ mod tests {
                 .unwrap()
                 > 0
         );
+    }
+
+    #[test]
+    fn analyze_surfaces_diagnostics_for_corrupted_payloads() {
+        use sbomdiff_types::DiagClass;
+        let state = state();
+        // A truncated package.json plus an unpinned requirement the
+        // Trivy/Syft dialect drops: both must come back as classified
+        // diagnostics on a 2xx response — never a worker panic.
+        let payload = r#"{"name":"corrupt","seed":7,"files":{"package.json":"{\"dependencies\": {\"a\":","requirements.txt":"requests>=2.8.1\n"}}"#;
+        let resp = handle(&state, &post("/v1/analyze", payload), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        let diags = doc.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert!(!diags.is_empty());
+        let classes: Vec<&str> = diags
+            .iter()
+            .filter_map(|d| d.get("class").and_then(Value::as_str))
+            .collect();
+        assert!(classes.contains(&"truncated-input"), "{classes:?}");
+        assert!(classes.contains(&"unpinned-dropped"), "{classes:?}");
+        for d in diags {
+            assert!(d.get("tool").and_then(Value::as_str).is_some());
+            assert!(d.get("severity").and_then(Value::as_str).is_some());
+            assert!(d.get("message").and_then(Value::as_str).is_some());
+        }
+        // Every surfaced diagnostic also incremented its /metrics counter.
+        assert!(state.metrics.diagnostics(DiagClass::TruncatedInput) > 0);
+        assert_eq!(state.metrics.total_diagnostics(), diags.len() as u64);
+        let text = state.metrics.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_diagnostics_total{class=\"truncated-input\"} 1"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use sbomdiff_types::DiagClass;
+
 /// The endpoints the service distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -94,6 +96,8 @@ pub struct Metrics {
     endpoints: [EndpointStats; Endpoint::ALL.len()],
     queue_rejected: AtomicU64,
     deadline_timeouts: AtomicU64,
+    // One counter per DiagClass, indexed by DiagClass::index().
+    diagnostics: [AtomicU64; DiagClass::ALL.len()],
 }
 
 impl Metrics {
@@ -132,6 +136,24 @@ impl Metrics {
     /// Counts one request that exceeded its deadline in the queue (503).
     pub fn record_timeout(&self) {
         self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one classified diagnostic surfaced in a response.
+    pub fn record_diagnostic(&self, class: DiagClass) {
+        self.diagnostics[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Diagnostics of `class` surfaced so far.
+    pub fn diagnostics(&self, class: DiagClass) -> u64 {
+        self.diagnostics[class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Diagnostics surfaced so far across all classes.
+    pub fn total_diagnostics(&self) -> u64 {
+        self.diagnostics
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total requests seen across all endpoints.
@@ -187,6 +209,14 @@ impl Metrics {
                     counter.load(Ordering::Relaxed)
                 ));
             }
+        }
+        out.push_str("# TYPE sbomdiff_diagnostics_total counter\n");
+        for class in DiagClass::ALL {
+            out.push_str(&format!(
+                "sbomdiff_diagnostics_total{{class=\"{}\"}} {}\n",
+                class.label(),
+                self.diagnostics[class.index()].load(Ordering::Relaxed)
+            ));
         }
         out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
         out.push_str(&format!(
@@ -296,5 +326,20 @@ mod tests {
         let m = Metrics::new();
         m.record(Endpoint::Other, 503, Duration::ZERO);
         assert_eq!(m.total_5xx(), 1);
+    }
+
+    #[test]
+    fn diagnostics_counted_per_class() {
+        let m = Metrics::new();
+        m.record_diagnostic(DiagClass::MalformedFile);
+        m.record_diagnostic(DiagClass::MalformedFile);
+        m.record_diagnostic(DiagClass::UnpinnedDropped);
+        assert_eq!(m.diagnostics(DiagClass::MalformedFile), 2);
+        assert_eq!(m.diagnostics(DiagClass::TruncatedInput), 0);
+        assert_eq!(m.total_diagnostics(), 3);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_diagnostics_total{class=\"malformed-file\"} 2"));
+        assert!(text.contains("sbomdiff_diagnostics_total{class=\"unpinned-dropped\"} 1"));
+        assert!(text.contains("sbomdiff_diagnostics_total{class=\"io-error\"} 0"));
     }
 }

@@ -9,6 +9,7 @@ use std::fmt;
 
 use crate::cpe::Cpe;
 use crate::dependency::DepScope;
+use crate::diagnostic::Diagnostic;
 use crate::ecosystem::Ecosystem;
 use crate::purl::Purl;
 
@@ -139,12 +140,15 @@ pub struct SbomMeta {
     pub subject: String,
 }
 
-/// An in-memory SBOM: document metadata plus components.
+/// An in-memory SBOM: document metadata plus components, plus any
+/// diagnostics the generator recorded while scanning (malformed files,
+/// dropped declarations, failed resolutions — §V-B/Table IV made visible).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sbom {
     /// Document metadata.
     pub meta: SbomMeta,
     components: Vec<Component>,
+    diagnostics: Vec<Diagnostic>,
 }
 
 impl Sbom {
@@ -157,6 +161,7 @@ impl Sbom {
                 subject: String::new(),
             },
             components: Vec::new(),
+            diagnostics: Vec::new(),
         }
     }
 
@@ -174,6 +179,22 @@ impl Sbom {
     /// The components in insertion order.
     pub fn components(&self) -> &[Component] {
         &self.components
+    }
+
+    /// Records one diagnostic.
+    pub fn push_diagnostic(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Records several diagnostics.
+    pub fn extend_diagnostics(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// The diagnostics recorded during generation, in insertion order
+    /// (deterministic: generators scan files in sorted path order).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
     }
 
     /// Number of components (the paper's Fig. 1 package count — duplicates

@@ -1,0 +1,330 @@
+//! Structured diagnostics for malformed or partially-processed input.
+//!
+//! The paper's §V-B and Table IV catalog concrete parser defects in real
+//! SBOM generators: crashes on exotic syntax, silent drops of unpinned or
+//! unsupported declarations, misread fields, and failed registry
+//! resolutions. This module gives the reproduction the opposite discipline:
+//! every place a parser, emulator, resolver or service handler would
+//! otherwise panic or silently lose information instead records a
+//! [`Diagnostic`] — a typed, classified, locatable description of what went
+//! wrong — so corruption turns into evidence rather than absence.
+//!
+//! The [`DiagClass`] taxonomy mirrors the bug categories of Table IV and
+//! §V; DESIGN.md §13 documents the mapping.
+
+use std::fmt;
+
+use crate::ecosystem::Ecosystem;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Expected, documented lossiness (e.g. a profile intentionally
+    /// dropping unpinned requirements).
+    Info,
+    /// Input was understood partially; some data was skipped.
+    Warning,
+    /// Input could not be understood at all at this site.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label used in CSV columns and JSON payloads.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The classified failure mode, mirroring the paper's Table IV / §V bug
+/// categories (see DESIGN.md §13 for the full mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagClass {
+    /// The file failed format-level parsing (broken JSON/TOML/XML/YAML).
+    /// Table IV: the "crash" rows — real tools abort here; we classify.
+    MalformedFile,
+    /// The input ends mid-structure (unterminated string/table/element).
+    TruncatedInput,
+    /// Bytes that are not valid UTF-8 where text was required.
+    EncodingError,
+    /// Syntax the dialect parser does not model (Table IV rows 2/5:
+    /// continuation lines, exotic operators).
+    UnsupportedSyntax,
+    /// URL / path / VCS requirement sources the profile skips (Table IV
+    /// rows 3–4: `-e git+…`, local paths).
+    ExoticSource,
+    /// A version or requirement spec that did not parse in the declared
+    /// flavor (§V-D misread fields).
+    InvalidVersion,
+    /// A package name that fails the ecosystem's naming rules (§V-E).
+    InvalidName,
+    /// A structurally-required field was absent (lockfile entry without a
+    /// resolved version, pin without an identity).
+    MissingField,
+    /// An unpinned declaration dropped by a pinned-only version policy
+    /// (§V-D: Trivy's `==`-keyed grammar).
+    UnpinnedDropped,
+    /// Registry resolution failed or returned nothing (§V-C: sbom-tool's
+    /// unreliable resolution).
+    RegistryFailure,
+    /// An environment-marker expression that could not be evaluated
+    /// (PEP 508 markers, §V-B).
+    MarkerIssue,
+    /// The file could not be read at all (missing, unreadable).
+    IoError,
+}
+
+impl DiagClass {
+    /// Every class, in rendering order (metrics and CSV columns iterate
+    /// this; keep the order stable).
+    pub const ALL: [DiagClass; 12] = [
+        DiagClass::MalformedFile,
+        DiagClass::TruncatedInput,
+        DiagClass::EncodingError,
+        DiagClass::UnsupportedSyntax,
+        DiagClass::ExoticSource,
+        DiagClass::InvalidVersion,
+        DiagClass::InvalidName,
+        DiagClass::MissingField,
+        DiagClass::UnpinnedDropped,
+        DiagClass::RegistryFailure,
+        DiagClass::MarkerIssue,
+        DiagClass::IoError,
+    ];
+
+    /// Stable kebab-case label used as the metrics `class` label and in
+    /// CSV/JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagClass::MalformedFile => "malformed-file",
+            DiagClass::TruncatedInput => "truncated-input",
+            DiagClass::EncodingError => "encoding-error",
+            DiagClass::UnsupportedSyntax => "unsupported-syntax",
+            DiagClass::ExoticSource => "exotic-source",
+            DiagClass::InvalidVersion => "invalid-version",
+            DiagClass::InvalidName => "invalid-name",
+            DiagClass::MissingField => "missing-field",
+            DiagClass::UnpinnedDropped => "unpinned-dropped",
+            DiagClass::RegistryFailure => "registry-failure",
+            DiagClass::MarkerIssue => "marker-issue",
+            DiagClass::IoError => "io-error",
+        }
+    }
+
+    /// Index of this class within [`DiagClass::ALL`] (used by the metrics
+    /// registry's fixed counter array).
+    pub fn index(self) -> usize {
+        match self {
+            DiagClass::MalformedFile => 0,
+            DiagClass::TruncatedInput => 1,
+            DiagClass::EncodingError => 2,
+            DiagClass::UnsupportedSyntax => 3,
+            DiagClass::ExoticSource => 4,
+            DiagClass::InvalidVersion => 5,
+            DiagClass::InvalidName => 6,
+            DiagClass::MissingField => 7,
+            DiagClass::UnpinnedDropped => 8,
+            DiagClass::RegistryFailure => 9,
+            DiagClass::MarkerIssue => 10,
+            DiagClass::IoError => 11,
+        }
+    }
+
+    /// The default severity for the class.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagClass::MalformedFile
+            | DiagClass::TruncatedInput
+            | DiagClass::EncodingError
+            | DiagClass::IoError => Severity::Error,
+            DiagClass::UnsupportedSyntax
+            | DiagClass::ExoticSource
+            | DiagClass::InvalidVersion
+            | DiagClass::InvalidName
+            | DiagClass::MissingField
+            | DiagClass::RegistryFailure
+            | DiagClass::MarkerIssue => Severity::Warning,
+            DiagClass::UnpinnedDropped => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured diagnostic: what went wrong, how bad it is, and where.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    /// Seriousness (ordered first so sorted diagnostics lead with errors).
+    pub severity: Severity,
+    /// The classified failure mode.
+    pub class: DiagClass,
+    /// Ecosystem being parsed, when known.
+    pub ecosystem: Option<Ecosystem>,
+    /// Repository-relative path of the offending file, when known.
+    pub path: Option<String>,
+    /// 1-based line number within the file, when known.
+    pub line: Option<u32>,
+    /// Byte offset within the file, when known.
+    pub byte_offset: Option<u64>,
+    /// Human-readable description (input excerpts are truncated by the
+    /// constructors; never embed unbounded attacker-controlled text).
+    pub message: String,
+}
+
+/// Longest input excerpt a diagnostic message will carry.
+const EXCERPT_MAX: usize = 120;
+
+/// Truncates `input` to a printable excerpt for diagnostic messages.
+pub fn excerpt(input: &str) -> String {
+    let trimmed = input.trim();
+    if trimmed.len() <= EXCERPT_MAX {
+        return trimmed.to_string();
+    }
+    let mut cut = EXCERPT_MAX;
+    while !trimmed.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &trimmed[..cut])
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the class's default severity.
+    pub fn new(class: DiagClass, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: class.default_severity(),
+            class,
+            ecosystem: None,
+            path: None,
+            line: None,
+            byte_offset: None,
+            message: message.into(),
+        }
+    }
+
+    /// Builder-style severity override.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Builder-style ecosystem.
+    pub fn with_ecosystem(mut self, eco: Ecosystem) -> Self {
+        self.ecosystem = Some(eco);
+        self
+    }
+
+    /// Builder-style file path.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Builder-style 1-based line number.
+    pub fn with_line(mut self, line: u32) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Builder-style byte offset.
+    pub fn with_byte_offset(mut self, offset: u64) -> Self {
+        self.byte_offset = Some(offset);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.class)?;
+        if let Some(path) = &self.path {
+            write!(f, " {path}")?;
+            if let Some(line) = self.line {
+                write!(f, ":{line}")?;
+            }
+        }
+        if let Some(eco) = self.ecosystem {
+            write!(f, " ({eco})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let labels: Vec<&str> = DiagClass::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        for c in DiagClass::ALL {
+            assert!(!c.label().is_empty());
+            assert!(c
+                .label()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '-'));
+        }
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in DiagClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
+    }
+
+    #[test]
+    fn display_includes_location() {
+        let d = Diagnostic::new(DiagClass::MalformedFile, "unexpected end of input")
+            .with_ecosystem(Ecosystem::Python)
+            .with_path("requirements.txt")
+            .with_line(4);
+        let text = d.to_string();
+        assert!(text.contains("error[malformed-file]"), "{text}");
+        assert!(text.contains("requirements.txt:4"), "{text}");
+        assert!(text.contains("Python"), "{text}");
+    }
+
+    #[test]
+    fn severity_ordering_leads_with_errors() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn excerpt_truncates_on_char_boundary() {
+        let long = "ü".repeat(200);
+        let e = excerpt(&long);
+        assert!(e.len() <= EXCERPT_MAX + '…'.len_utf8());
+        assert!(e.ends_with('…'));
+        assert_eq!(excerpt("  short  "), "short");
+    }
+
+    #[test]
+    fn default_severities() {
+        assert_eq!(DiagClass::MalformedFile.default_severity(), Severity::Error);
+        assert_eq!(
+            DiagClass::UnpinnedDropped.default_severity(),
+            Severity::Info
+        );
+        assert_eq!(
+            DiagClass::RegistryFailure.default_severity(),
+            Severity::Warning
+        );
+    }
+}

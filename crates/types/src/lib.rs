@@ -21,6 +21,7 @@ pub mod component;
 pub mod constraint;
 pub mod cpe;
 pub mod dependency;
+pub mod diagnostic;
 pub mod ecosystem;
 pub mod error;
 pub mod name;
@@ -31,6 +32,7 @@ pub use component::{Component, ComponentKey, Sbom, SbomMeta};
 pub use constraint::{Comparator, ConstraintFlavor, Op, VersionReq};
 pub use cpe::Cpe;
 pub use dependency::{DeclaredDependency, DepScope, DependencySource, ResolvedPackage, VcsKind};
+pub use diagnostic::{DiagClass, Diagnostic, Severity};
 pub use ecosystem::Ecosystem;
 pub use error::ParseError;
 pub use name::PackageName;

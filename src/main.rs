@@ -126,6 +126,11 @@ fn main() {
                 generator.id().label(),
                 sbom.len()
             );
+            // Diagnostics go to stderr so the document on stdout stays a
+            // clean SBOM (taxonomy: DESIGN.md §13).
+            for diag in sbom.diagnostics() {
+                eprintln!("[diag] {diag}");
+            }
             println!("{}", format.serialize(&sbom));
         }
         "diff" => {
@@ -137,15 +142,21 @@ fn main() {
             let sboms = sbomdiff::parallel::par_map(jobs, &tools, |_, t| {
                 t.generate_with_cache(&repo, &cache)
             });
-            let mut counts = TextTable::new(["Tool", "components", "duplicates"]);
+            let mut counts = TextTable::new(["Tool", "components", "duplicates", "diagnostics"]);
             for (t, s) in tools.iter().zip(&sboms) {
                 counts.row([
                     t.id().label().to_string(),
                     s.len().to_string(),
                     s.duplicate_entries().to_string(),
+                    s.diagnostics().len().to_string(),
                 ]);
             }
             println!("{counts}");
+            for (t, s) in tools.iter().zip(&sboms) {
+                for diag in s.diagnostics() {
+                    println!("{}: {diag}", t.id().label());
+                }
+            }
             let mut pairs = TextTable::new(["Pair", "Jaccard"]);
             for a in 0..sboms.len() {
                 for b in (a + 1)..sboms.len() {
