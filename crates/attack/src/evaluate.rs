@@ -78,7 +78,8 @@ pub fn evaluate_sample(sample: &AttackSample, registries: &Registries) -> Sample
             sbomdiff_types::name::normalize(sample.ecosystem, &c.name) == concealed_canonical
         });
         if let Some(c) = hit {
-            cells[i] = CellOutcome::Detected(c.name.clone(), c.version.clone());
+            cells[i] =
+                CellOutcome::Detected(c.name.to_string(), c.version.as_deref().map(String::from));
         }
     }
     let matches_expectation = sample

@@ -105,7 +105,12 @@ fn table3_pipeline(c: &mut Criterion) {
                 let reported: std::collections::BTreeSet<(String, String)> = sboms[0]
                     .components()
                     .iter()
-                    .map(|c| (c.name.clone(), c.version.clone().unwrap_or_default()))
+                    .map(|c| {
+                        (
+                            c.name.to_string(),
+                            c.version.as_deref().unwrap_or_default().to_string(),
+                        )
+                    })
                     .collect();
                 total.merge(PrecisionRecall::score(&reported, &truth));
             }

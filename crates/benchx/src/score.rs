@@ -69,7 +69,12 @@ pub fn score_case<G: SbomGenerator + ?Sized>(generator: &G, case: &BenchmarkCase
     let reported: Vec<(String, Option<String>)> = sbom
         .components()
         .iter()
-        .map(|c| (normalize(c.ecosystem, &c.name), c.version.clone()))
+        .map(|c| {
+            (
+                normalize(c.ecosystem, &c.name),
+                c.version.as_deref().map(String::from),
+            )
+        })
         .collect();
     let mut names_found = 0;
     let mut versions_correct = 0;

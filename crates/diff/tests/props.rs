@@ -9,7 +9,10 @@ use sbomdiff_types::{Component, ComponentKey, Ecosystem, Sbom};
 
 fn key_set_strategy() -> impl Strategy<Value = BTreeSet<ComponentKey>> {
     prop::collection::btree_set(
-        ("[a-e]{1,3}", "[0-9]{1,2}").prop_map(|(name, version)| ComponentKey { name, version }),
+        ("[a-e]{1,3}", "[0-9]{1,2}").prop_map(|(name, version)| ComponentKey {
+            name: name.into(),
+            version: version.into(),
+        }),
         0..12,
     )
 }

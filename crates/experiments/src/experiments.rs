@@ -15,7 +15,8 @@ use sbomdiff_diff::{
     diagnostic_totals, duplicate_rate, jaccard, key_set, Histogram, PrecisionRecall, TextTable,
 };
 use sbomdiff_generators::{
-    BestPracticeGenerator, ParseCache, SbomGenerator, SupportMatrix, ToolEmulator, ToolId,
+    BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, SupportMatrix, ToolEmulator,
+    ToolId,
 };
 use sbomdiff_parallel::{par_map, Profiler};
 use sbomdiff_registry::Registries;
@@ -151,12 +152,14 @@ impl Context {
     }
 
     /// SBOMs of all four studied tools for every repo of a language
-    /// (cached). The first call per language fans the `(repository × tool)`
-    /// matrix out over the worker pool; manifests are parsed once per
-    /// dialect through the shared [`ParseCache`]. Deterministic: each SBOM
-    /// depends only on the repository content and tool profile (the flaky
-    /// sbom-tool registry is seeded per `(repository, tool)`), so worker
-    /// count and scheduling never change the result.
+    /// (cached). The first call per language fans out one work item per
+    /// repository; each worker builds one [`ScanContext`] (one walk, one
+    /// parse per file) and derives all four profiles' SBOMs from it, with
+    /// parse results shared across repositories through the [`ParseCache`].
+    /// Deterministic: each SBOM depends only on the repository content and
+    /// tool profile (the flaky sbom-tool registry is seeded per
+    /// `(repository, tool)`), so worker count and scheduling never change
+    /// the result.
     pub fn sboms(&self, eco: Ecosystem) -> Arc<Vec<[Sbom; 4]>> {
         if let Some(cached) = self.sbom_cache.lock().expect("sbom cache").get(&eco) {
             return Arc::clone(cached);
@@ -168,28 +171,18 @@ impl Context {
             ToolEmulator::github_dg(),
         ];
         let repos = self.corpus.language(eco);
-        // One work item per (repository, tool) cell of the matrix.
-        let items: Vec<(usize, usize)> = (0..repos.len())
-            .flat_map(|r| (0..4).map(move |t| (r, t)))
-            .collect();
-        let out: Arc<Vec<[Sbom; 4]>> =
-            self.profiler
-                .phase(&format!("sboms {eco}"), items.len() as u64, || {
-                    let cells = par_map(self.jobs, &items, |_, &(r, t)| {
-                        tools[t].generate_with_cache(&repos[r], &self.parse_cache)
-                    });
-                    let mut grouped: Vec<[Sbom; 4]> = Vec::with_capacity(repos.len());
-                    let mut cells = cells.into_iter();
-                    for _ in 0..repos.len() {
-                        grouped.push([
-                            cells.next().expect("cell"),
-                            cells.next().expect("cell"),
-                            cells.next().expect("cell"),
-                            cells.next().expect("cell"),
-                        ]);
-                    }
-                    Arc::new(grouped)
-                });
+        let cells = repos.len() as u64 * 4;
+        let out: Arc<Vec<[Sbom; 4]>> = self.profiler.phase(&format!("sboms {eco}"), cells, || {
+            Arc::new(par_map(self.jobs, repos, |_, repo| {
+                let scan = ScanContext::new(repo, &self.parse_cache);
+                [
+                    tools[0].generate_with_scan(&scan),
+                    tools[1].generate_with_scan(&scan),
+                    tools[2].generate_with_scan(&scan),
+                    tools[3].generate_with_scan(&scan),
+                ]
+            }))
+        });
         self.sbom_cache
             .lock()
             .expect("sbom cache")
@@ -487,7 +480,7 @@ pub fn table3(ctx: &Context) {
                                     .unwrap_or_else(|_| v.to_string())
                             })
                             .unwrap_or_default();
-                        (c.name.clone(), version)
+                        (c.name.to_string(), version)
                     })
                     .collect();
                 scores[i] = PrecisionRecall::score(&reported, &truth);
@@ -909,7 +902,12 @@ pub fn ablate(ctx: &Context) {
                         .generate(repo)
                         .components()
                         .iter()
-                        .map(|c| (c.name.clone(), c.version.clone().unwrap_or_default()))
+                        .map(|c| {
+                            (
+                                c.name.to_string(),
+                                c.version.as_deref().unwrap_or_default().to_string(),
+                            )
+                        })
                         .collect();
                     PrecisionRecall::score(&reported, &truth)
                 })
@@ -1232,7 +1230,7 @@ pub fn stability(ctx: &Context) {
                                     .unwrap_or_else(|_| v.to_string())
                             })
                             .unwrap_or_default();
-                        (c.name.clone(), v)
+                        (c.name.to_string(), v)
                     })
                     .collect();
                 scores[i] = PrecisionRecall::score(&reported, &truth);

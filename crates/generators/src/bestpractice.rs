@@ -45,12 +45,37 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
     }
 
     fn generate(&self, repo: &RepoFs) -> Sbom {
+        // Isolated reference path: walk and parse everything locally (the
+        // oracle the shared-scan property tests compare against).
+        self.generate_from(repo, &repo.metadata_files(), &|path, kind| {
+            std::sync::Arc::new(parse_reference(repo, path, kind))
+        })
+    }
+}
+
+impl BestPracticeGenerator<'_> {
+    /// Derives the best-practice SBOM from a shared scan: the walk and the
+    /// reference parses come from the [`crate::ScanContext`], shared with
+    /// every other request or generator using the same cache.
+    /// Byte-identical to [`generate`](SbomGenerator::generate).
+    pub fn generate_with_scan(&self, scan: &crate::ScanContext<'_>) -> Sbom {
+        self.generate_from(scan.repo(), scan.files(), &|path, kind| {
+            scan.parsed_reference(path, kind)
+        })
+    }
+
+    fn generate_from(
+        &self,
+        repo: &RepoFs,
+        files: &[(&str, MetadataKind)],
+        parse: &dyn Fn(&str, MetadataKind) -> std::sync::Arc<Parsed>,
+    ) -> Sbom {
         let mut sbom = Sbom::new(ToolId::BestPractice.label(), ToolId::BestPractice.version())
             .with_subject(repo.name());
         // Group metadata files by (directory, ecosystem): one "project".
         let mut projects: BTreeMap<(String, Ecosystem), Vec<(String, MetadataKind)>> =
             BTreeMap::new();
-        for (path, kind) in repo.metadata_files() {
+        for &(path, kind) in files {
             let dir = path
                 .rsplit_once('/')
                 .map(|(d, _)| d)
@@ -68,11 +93,9 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
             let has_lockfile = files.iter().any(|(_, k)| k.is_lockfile());
             if has_lockfile {
                 for (path, kind) in files.iter().filter(|(_, k)| k.is_lockfile()) {
-                    let parsed = parse_lockfile(repo, path, *kind)
-                        .with_path(path)
-                        .with_ecosystem(eco);
-                    sbom.extend_diagnostics(parsed.diags.iter().cloned());
-                    for dep in &parsed {
+                    let parsed = parse(path, *kind);
+                    sbom.extend_shared_diagnostics(parsed.diags.iter().cloned());
+                    for dep in parsed.iter() {
                         let version = dep
                             .pinned_version()
                             .map(|v| v.to_string())
@@ -89,16 +112,15 @@ impl SbomGenerator for BestPracticeGenerator<'_> {
                     }
                 }
             } else {
-                self.resolve_raw_project(repo, eco, &files, &mut sbom, &mut seen);
+                self.resolve_raw_project(repo, eco, &files, &mut sbom, &mut seen, parse);
             }
         }
         sbom
     }
-}
 
-impl BestPracticeGenerator<'_> {
     /// Dry-run resolves a raw-metadata project: direct declarations plus
     /// the transitive closure, all pinned (§VII).
+    #[allow(clippy::too_many_arguments)]
     fn resolve_raw_project(
         &self,
         repo: &RepoFs,
@@ -106,6 +128,7 @@ impl BestPracticeGenerator<'_> {
         files: &[(String, MetadataKind)],
         sbom: &mut Sbom,
         seen: &mut std::collections::BTreeSet<(Ecosystem, String, String)>,
+        parse: &dyn Fn(&str, MetadataKind) -> std::sync::Arc<Parsed>,
     ) {
         let registry = self.registries.for_ecosystem(eco);
         for (path, kind) in files {
@@ -125,10 +148,8 @@ impl BestPracticeGenerator<'_> {
                 }
                 continue;
             }
-            let declared = parse_raw(repo, path, *kind)
-                .with_path(path)
-                .with_ecosystem(eco);
-            sbom.extend_diagnostics(declared.diags.iter().cloned());
+            let declared = parse(path, *kind);
+            sbom.extend_shared_diagnostics(declared.diags.iter().cloned());
             let roots: Vec<engine::RootDep> = declared
                 .iter()
                 .filter(|d| d.source.is_registry())
@@ -180,6 +201,19 @@ fn push_component(
             .with_purl(purl)
             .with_cpe(cpe),
     );
+}
+
+/// Dispatches to the reference (spec-faithful) parser for a file — the
+/// grammar family the best-practice generator uses, as opposed to the
+/// tool-dialect parsers of `emulator::parse_with_style`. Results are
+/// stamped with path and ecosystem, ready for caching.
+pub(crate) fn parse_reference(repo: &RepoFs, path: &str, kind: MetadataKind) -> Parsed {
+    let parsed = if kind.is_lockfile() {
+        parse_lockfile(repo, path, kind)
+    } else {
+        parse_raw(repo, path, kind)
+    };
+    parsed.with_path(path).with_ecosystem(kind.ecosystem())
 }
 
 fn parse_lockfile(repo: &RepoFs, path: &str, kind: MetadataKind) -> Parsed {

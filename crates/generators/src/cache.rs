@@ -3,21 +3,27 @@
 //! Every studied tool walks the *same* repository metadata, so in the
 //! differential pipeline each manifest used to be parsed four times — once
 //! per emulator. [`ParseCache`] memoizes the parsed declarations keyed by
-//! `(repository, path, requirements dialect)`: the dialect matters only for
-//! `requirements.txt` (the one profile-dependent parser input), so Trivy
-//! and Syft — which share the [`ReqStyle::TrivySyft`] dialect — also share
-//! cache entries, and every other file kind is parsed exactly once per
-//! repository no matter how many emulators scan it.
+//! `(path, content hash, file kind, parser)`: the requirements dialect is
+//! the only profile-dependent parser input, so Trivy and Syft — which share
+//! the [`ReqStyle::TrivySyft`] dialect — also share cache entries, and
+//! every other file kind is parsed exactly once no matter how many
+//! emulators scan it.
+//!
+//! The key hashes the file *content*, not the repository name. Two
+//! consequences:
+//!
+//! * A long-lived cache (the analysis service, corpus experiments) can be
+//!   shared across repositories and requests: re-analyzing an unchanged
+//!   manifest is a lookup, while a *mutated* file hashes to a different
+//!   key and is re-parsed — a stale parse can never be served, even when
+//!   two requests reuse one repository name.
+//! * Identical manifests in different repositories (common in synthetic
+//!   corpora and real monorepos) collapse into one parse.
 //!
 //! The cache is sharded (16 mutexes selected by key hash) so the parallel
-//! `(repository × tool)` fan-out in `sbomdiff-experiments` contends only
-//! when two workers touch the same shard at the same instant. Hit/miss
-//! counters feed the experiment driver's timing report.
-//!
-//! Correctness requirement: repository names must be unique within one
-//! cache's lifetime (the synthetic corpus names repositories
-//! `{ecosystem}-repo-{index:04}`, which satisfies this). Reusing a name for
-//! different content would serve stale parses.
+//! fan-out in `sbomdiff-experiments` contends only when two workers touch
+//! the same shard at the same instant. Hit/miss counters feed the
+//! experiment driver's timing report and the service's `/metrics`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,10 +34,42 @@ use sbomdiff_metadata::{MetadataKind, Parsed, RepoFs};
 
 const SHARDS: usize = 16;
 
-type Key = (String, String, Option<ReqStyle>);
+/// Which parser family produced a cached entry. Emulator profiles use the
+/// dialect parsers (parameterized by requirements style); the best-practice
+/// generator uses the reference parsers, which accept strictly more syntax
+/// — the two must never share entries for the same file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ParserKey {
+    /// Tool-dialect parse; the `Option` is the requirements dialect
+    /// (`None` for every kind other than `requirements.txt`, collapsing
+    /// all profiles onto one entry).
+    Dialect(Option<ReqStyle>),
+    /// Reference (spec-faithful) parse for the best-practice generator.
+    Reference,
+}
+
+impl ParserKey {
+    /// Dense index for per-scan memo slots (see [`crate::ScanContext`]).
+    pub(crate) fn slot(self) -> usize {
+        match self {
+            ParserKey::Dialect(None) => 0,
+            ParserKey::Dialect(Some(ReqStyle::Pip)) => 1,
+            ParserKey::Dialect(Some(ReqStyle::TrivySyft)) => 2,
+            ParserKey::Dialect(Some(ReqStyle::SbomTool)) => 3,
+            ParserKey::Dialect(Some(ReqStyle::GithubDg)) => 4,
+            ParserKey::Reference => 5,
+        }
+    }
+
+    /// Number of distinct [`ParserKey::slot`] values.
+    pub(crate) const SLOTS: usize = 6;
+}
+
+type Key = (String, u64, MetadataKind, ParserKey);
 type Shard = Mutex<HashMap<Key, Arc<Parsed>>>;
 
-/// Memoizes [`parse`](ParseCache::parse) results across tool emulators.
+/// Memoizes [`parse`](ParseCache::parse) results across tool emulators,
+/// repositories and requests.
 ///
 /// # Examples
 ///
@@ -72,7 +110,7 @@ impl ParseCache {
 
     /// Parses `path` of `repo` as `kind` under the `style` requirements
     /// dialect, memoized. The returned `Arc` is shared with every other
-    /// caller asking for the same `(repository, path, dialect)`.
+    /// caller asking for the same `(path, content, kind, dialect)`.
     pub fn parse(
         &self,
         repo: &RepoFs,
@@ -83,7 +121,30 @@ impl ParseCache {
         // Only requirements.txt parsing is dialect-dependent; collapsing
         // the key for every other kind lets all four tools share one entry.
         let dialect = (kind == MetadataKind::RequirementsTxt).then_some(style);
-        let key: Key = (repo.name().to_string(), path.to_string(), dialect);
+        self.memoized(repo, path, kind, ParserKey::Dialect(dialect), || {
+            crate::emulator::parse_with_style(repo, path, kind, style)
+        })
+    }
+
+    /// Parses `path` of `repo` as `kind` with the *reference* parsers the
+    /// best-practice generator uses, memoized separately from the dialect
+    /// parses (the reference grammar accepts strictly more syntax).
+    pub fn parse_reference(&self, repo: &RepoFs, path: &str, kind: MetadataKind) -> Arc<Parsed> {
+        self.memoized(repo, path, kind, ParserKey::Reference, || {
+            crate::bestpractice::parse_reference(repo, path, kind)
+        })
+    }
+
+    fn memoized(
+        &self,
+        repo: &RepoFs,
+        path: &str,
+        kind: MetadataKind,
+        parser: ParserKey,
+        parse: impl FnOnce() -> Parsed,
+    ) -> Arc<Parsed> {
+        let content = fnv_bytes(repo.bytes(path).unwrap_or_default());
+        let key: Key = (path.to_string(), content, kind, parser);
         let shard = &self.shards[fxhash(&key) as usize % SHARDS];
         // A poisoned shard only means another worker panicked mid-insert;
         // the map itself is still coherent, so recover instead of cascading.
@@ -97,7 +158,7 @@ impl ParseCache {
         }
         // Parse outside the lock: other shard keys stay available and a
         // racing duplicate parse is deterministic anyway.
-        let parsed = Arc::new(crate::emulator::parse_with_style(repo, path, kind, style));
+        let parsed = Arc::new(parse());
         self.misses.fetch_add(1, Ordering::Relaxed);
         Arc::clone(
             shard
@@ -106,6 +167,12 @@ impl ParseCache {
                 .entry(key)
                 .or_insert(parsed),
         )
+    }
+
+    /// Records a reuse that was served from a scan-local memo instead of a
+    /// shard lookup — still a shared parse avoided, so it counts as a hit.
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Cache hits so far (memoized parses reused).
@@ -137,6 +204,14 @@ fn fxhash(key: &Key) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
+}
+
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -194,5 +269,45 @@ mod tests {
             assert_eq!(sbom, &sboms[0]);
         }
         assert_eq!(cache.misses() + cache.hits(), 16, "2 files x 8 scans");
+    }
+
+    #[test]
+    fn mutated_content_is_reparsed_not_served_stale() {
+        // Same repository name, same path, different bytes: the content
+        // hash in the key forces a fresh parse.
+        let cache = ParseCache::new();
+        let mut v1 = RepoFs::new("same-name");
+        v1.add_text("requirements.txt", "numpy==1.19.2\n");
+        let mut v2 = RepoFs::new("same-name");
+        v2.add_text("requirements.txt", "numpy==1.25.0\n");
+        let a = ToolEmulator::trivy().generate_with_cache(&v1, &cache);
+        let b = ToolEmulator::trivy().generate_with_cache(&v2, &cache);
+        assert_eq!(a.components()[0].version.as_deref(), Some("1.19.2"));
+        assert_eq!(b.components()[0].version.as_deref(), Some("1.25.0"));
+        assert_eq!(cache.misses(), 2, "mutated file must re-parse");
+    }
+
+    #[test]
+    fn identical_content_shared_across_repositories() {
+        // Different repository names, identical manifest bytes: one parse.
+        let cache = ParseCache::new();
+        let mut a = RepoFs::new("repo-a");
+        a.add_text("requirements.txt", "numpy==1.19.2\n");
+        let mut b = RepoFs::new("repo-b");
+        b.add_text("requirements.txt", "numpy==1.19.2\n");
+        ToolEmulator::trivy().generate_with_cache(&a, &cache);
+        ToolEmulator::trivy().generate_with_cache(&b, &cache);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn reference_and_dialect_parses_do_not_share_entries() {
+        let cache = ParseCache::new();
+        let mut repo = RepoFs::new("split");
+        repo.add_text("go.mod", "module m\nrequire github.com/pkg/errors v0.9.1\n");
+        let dialect = cache.parse(&repo, "go.mod", MetadataKind::GoMod, ReqStyle::TrivySyft);
+        let reference = cache.parse_reference(&repo, "go.mod", MetadataKind::GoMod);
+        assert_eq!(cache.misses(), 2, "two parser families, two entries");
+        assert!(!Arc::ptr_eq(&dialect, &reference));
     }
 }

@@ -10,9 +10,10 @@ use sbomdiff_metadata::{
     dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, Parsed,
     RepoFs,
 };
-use sbomdiff_registry::{FlakyRegistry, Registries, RegistryClient};
+use sbomdiff_registry::{FlakyRegistry, Registries};
 use sbomdiff_types::{
-    Component, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, Purl, Sbom, Version,
+    Component, DeclaredDependency, DepScope, DiagClass, Diagnostic, Ecosystem, Purl, Sbom, Symbol,
+    Version,
 };
 
 use crate::profile::{GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy};
@@ -126,7 +127,7 @@ impl SbomGenerator for ToolEmulator<'_> {
     }
 
     fn generate(&self, repo: &RepoFs) -> Sbom {
-        self.generate_with_cache(repo, &crate::ParseCache::new())
+        self.scan_isolated(repo)
     }
 }
 
@@ -137,9 +138,42 @@ impl ToolEmulator<'_> {
     /// dialect instead of once per tool. Byte-identical to
     /// [`generate`](SbomGenerator::generate).
     pub fn generate_with_cache(&self, repo: &RepoFs, cache: &crate::ParseCache) -> Sbom {
+        self.generate_with_scan(&crate::ScanContext::new(repo, cache))
+    }
+
+    /// Derives this profile's SBOM from a shared scan: the file walk and
+    /// every parse are shared with the other profiles scanning through the
+    /// same [`crate::ScanContext`]; only this profile's quirks (support
+    /// matrix, dialect selection, version/naming policies) are applied on
+    /// top, as transforms. Byte-identical to
+    /// [`scan_isolated`](ToolEmulator::scan_isolated).
+    pub fn generate_with_scan(&self, scan: &crate::ScanContext<'_>) -> Sbom {
+        self.generate_from(scan.repo(), scan.files(), &|path, kind| {
+            scan.parsed(path, kind, self.profile.req_style)
+        })
+    }
+
+    /// The pre-sharing reference path: walks and parses everything itself,
+    /// sharing nothing. This is the oracle the shared-scan property tests
+    /// compare [`generate_with_scan`](ToolEmulator::generate_with_scan)
+    /// against, and what [`generate`](SbomGenerator::generate) runs.
+    pub fn scan_isolated(&self, repo: &RepoFs) -> Sbom {
+        self.generate_from(repo, &repo.metadata_files(), &|path, kind| {
+            std::sync::Arc::new(parse_with_style(repo, path, kind, self.profile.req_style))
+        })
+    }
+
+    /// The profile scan over an already-walked file list, with parsing
+    /// delegated to `parse` (shared or isolated).
+    fn generate_from(
+        &self,
+        repo: &RepoFs,
+        files: &[(&str, MetadataKind)],
+        parse: &dyn Fn(&str, MetadataKind) -> std::sync::Arc<Parsed>,
+    ) -> Sbom {
         let mut sbom =
             Sbom::new(self.profile.id.label(), self.profile.id.version()).with_subject(repo.name());
-        for (path, kind) in repo.metadata_files() {
+        for &(path, kind) in files {
             if !self.profile.support.supports(kind) {
                 continue;
             }
@@ -158,9 +192,11 @@ impl ToolEmulator<'_> {
                     continue; // go.sum carries the richer module list
                 }
             }
-            let deps = cache.parse(repo, path, kind, self.profile.req_style);
-            sbom.extend_diagnostics(deps.diags.iter().cloned());
+            let deps = parse(path, kind);
+            sbom.extend_shared_diagnostics(deps.diags.iter().cloned());
             let eco = kind.ecosystem();
+            // One pool round trip per file, not per component.
+            let path_sym: Symbol = path.into();
             let client = self.client_for(eco, repo);
             let mut emitted: Vec<(String, Version)> = Vec::new();
             for dep in deps.iter() {
@@ -179,7 +215,7 @@ impl ToolEmulator<'_> {
                 if dep.scope == DepScope::Dev && !self.profile.include_dev {
                     continue; // configured policy (§V-F), not data loss
                 }
-                let Some(component) = self.render(dep, kind, path, client.as_ref()) else {
+                let Some(component) = self.render(dep, kind, &path_sym, client.as_ref()) else {
                     let diag = match self.profile.version_policy {
                         VersionPolicy::ResolveLatest => Diagnostic::new(
                             DiagClass::RegistryFailure,
@@ -210,7 +246,7 @@ impl ToolEmulator<'_> {
             }
             if self.profile.resolve_transitive && !kind.is_lockfile() {
                 if let Some(client) = &client {
-                    self.expand_transitives(&mut sbom, emitted, eco, path, client);
+                    self.expand_transitives(&mut sbom, emitted, eco, &path_sym, client);
                 }
             }
         }
@@ -228,7 +264,7 @@ impl ToolEmulator<'_> {
         &self,
         dep: &DeclaredDependency,
         kind: MetadataKind,
-        path: &str,
+        path: &Symbol,
         client: Option<&FlakyRegistry<'_>>,
     ) -> Option<Component> {
         let eco = kind.ecosystem();
@@ -255,16 +291,16 @@ impl ToolEmulator<'_> {
                     let client = client?;
                     // Name validation against the registry (§VIII); any
                     // failure silently drops the entry.
-                    let resolved = match (&pinned, &dep.req) {
+                    let resolved: &Version = match (&pinned, &dep.req) {
                         (Some(v), _) => {
-                            client.versions(dep.name.raw())?;
-                            v.clone()
+                            client.validate(dep.name.raw())?;
+                            v
                         }
-                        (None, Some(req)) => client.latest_matching(dep.name.raw(), req)?,
-                        (None, None) => client.latest(dep.name.raw())?,
+                        (None, Some(req)) => client.latest_matching_ref(dep.name.raw(), req)?,
+                        (None, None) => client.latest_ref(dep.name.raw())?,
                     };
                     canonicalized = true;
-                    Some(self.render_version(eco, &resolved))
+                    Some(self.render_version(eco, resolved))
                 }
             }
         };
@@ -272,16 +308,17 @@ impl ToolEmulator<'_> {
         // the declared spelling is replaced by it (sbom-tool behavior).
         let canonical;
         let raw_name = if canonicalized {
-            canonical = sbomdiff_types::name::normalize(eco, dep.name.raw());
-            canonical.as_str()
+            canonical = sbomdiff_types::name::normalized(eco, dep.name.raw());
+            canonical.as_ref()
         } else {
             dep.name.raw()
         };
-        let name = self.render_name(eco, raw_name);
-        let purl = Purl::for_package(eco, &name, version.as_deref());
+        let name: Symbol = self.render_name(eco, raw_name).as_ref().into();
+        let version: Option<Symbol> = version.map(Symbol::from);
+        let purl = Purl::for_component(eco, &name, version.as_ref());
         Some(
-            Component::new(eco, name, version)
-                .with_found_in(path)
+            Component::interned(eco, name, version)
+                .with_found_in(path.clone())
                 .with_purl(purl),
         )
     }
@@ -297,29 +334,24 @@ impl ToolEmulator<'_> {
         }
     }
 
-    fn render_name(&self, eco: Ecosystem, raw: &str) -> String {
+    /// Borrows from `raw` whenever the profile's convention keeps the
+    /// spelling (the common case — only Java dot-joining reallocates).
+    fn render_name<'n>(&self, eco: Ecosystem, raw: &'n str) -> std::borrow::Cow<'n, str> {
+        use std::borrow::Cow;
         match eco {
-            Ecosystem::Java => {
-                let name = sbomdiff_types::PackageName::new(eco, raw);
-                match (self.profile.java_naming, name.namespace()) {
-                    (JavaNaming::ArtifactOnly, _) => name.base().to_string(),
-                    (JavaNaming::GroupColonArtifact, Some(ns)) => {
-                        format!("{ns}:{}", name.base())
-                    }
-                    (JavaNaming::GroupDotArtifact, Some(ns)) => {
-                        format!("{ns}.{}", name.base())
-                    }
-                    (_, None) => raw.to_string(),
-                }
-            }
-            Ecosystem::Swift => {
-                let name = sbomdiff_types::PackageName::new(eco, raw);
-                match self.profile.subspec {
-                    SubspecNaming::Subspec => raw.to_string(),
-                    SubspecNaming::MainPod => name.base().to_string(),
-                }
-            }
-            _ => raw.to_string(),
+            Ecosystem::Java => match raw.split_once(':') {
+                Some((group, artifact)) => match self.profile.java_naming {
+                    JavaNaming::ArtifactOnly => Cow::Borrowed(artifact),
+                    JavaNaming::GroupColonArtifact => Cow::Borrowed(raw),
+                    JavaNaming::GroupDotArtifact => Cow::Owned(format!("{group}.{artifact}")),
+                },
+                None => Cow::Borrowed(raw),
+            },
+            Ecosystem::Swift => match self.profile.subspec {
+                SubspecNaming::Subspec => Cow::Borrowed(raw),
+                SubspecNaming::MainPod => Cow::Borrowed(raw.split('/').next().unwrap_or(raw)),
+            },
+            _ => Cow::Borrowed(raw),
         }
     }
 
@@ -331,7 +363,7 @@ impl ToolEmulator<'_> {
         sbom: &mut Sbom,
         roots: Vec<(String, Version)>,
         eco: Ecosystem,
-        path: &str,
+        path: &Symbol,
         client: &FlakyRegistry<'_>,
     ) {
         // Deduplicated by package name, as NuGet/pip-style resolvers do —
@@ -345,7 +377,7 @@ impl ToolEmulator<'_> {
             if guard > 10_000 {
                 break;
             }
-            let Some(edges) = client.deps_of(&name, &version, &[], false) else {
+            let Some(edges) = client.deps_of_ref(&name, &version, &[], false) else {
                 // "often fails to retrieve" — §V-C
                 sbom.push_diagnostic(
                     Diagnostic::new(
@@ -358,7 +390,10 @@ impl ToolEmulator<'_> {
                 continue;
             };
             for edge in edges {
-                let Some(resolved) = client.latest_matching(&edge.name, &edge.req) else {
+                // NB: the query must stay ahead of the visited check — the
+                // flaky registry's failure sequence is a function of query
+                // order, and real resolvers re-query duplicate edges too.
+                let Some(resolved) = client.latest_matching_ref(&edge.name, &edge.req) else {
                     sbom.push_diagnostic(
                         Diagnostic::new(
                             DiagClass::RegistryFailure,
@@ -372,16 +407,16 @@ impl ToolEmulator<'_> {
                 if !visited.insert(edge.name.clone()) {
                     continue;
                 }
-                let rendered =
-                    self.render_name(eco, &sbomdiff_types::name::normalize(eco, &edge.name));
-                let version_str = self.render_version(eco, &resolved);
-                let purl = Purl::for_package(eco, &rendered, Some(&version_str));
+                let canonical = sbomdiff_types::name::normalized(eco, &edge.name);
+                let rendered: Symbol = self.render_name(eco, canonical.as_ref()).as_ref().into();
+                let version_sym: Symbol = self.render_version(eco, resolved).into();
+                let purl = Purl::for_component(eco, &rendered, Some(&version_sym));
                 sbom.push(
-                    Component::new(eco, rendered, Some(version_str))
+                    Component::interned(eco, rendered, Some(version_sym))
                         .with_found_in(path)
                         .with_purl(purl),
                 );
-                queue.push_back((edge.name, resolved));
+                queue.push_back((edge.name.clone(), resolved.clone()));
             }
         }
     }
@@ -406,7 +441,7 @@ fn is_tight_pin(req_text: &str) -> bool {
 fn merge(sbom: Sbom) -> Sbom {
     let mut out = Sbom::new(sbom.meta.tool_name.clone(), sbom.meta.tool_version.clone())
         .with_subject(sbom.meta.subject.clone());
-    out.extend_diagnostics(sbom.diagnostics().iter().cloned());
+    out.extend_shared_diagnostics(sbom.diagnostics().iter().cloned());
     let mut seen = std::collections::BTreeSet::new();
     for c in sbom.components() {
         let key = (c.name.clone(), c.version.clone());

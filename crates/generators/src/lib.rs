@@ -18,12 +18,14 @@ pub mod bestpractice;
 pub mod cache;
 pub mod emulator;
 pub mod profile;
+pub mod scan;
 pub mod support;
 
 pub use bestpractice::BestPracticeGenerator;
 pub use cache::ParseCache;
 pub use emulator::ToolEmulator;
 pub use profile::{GoVersionStyle, JavaNaming, SubspecNaming, ToolProfile, VersionPolicy};
+pub use scan::ScanContext;
 pub use support::SupportMatrix;
 
 use sbomdiff_metadata::RepoFs;

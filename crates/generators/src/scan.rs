@@ -1,0 +1,167 @@
+//! The shared-scan pipeline: walk a repository once, parse each metadata
+//! file once, let every generator derive its SBOM from the shared results.
+//!
+//! A [`ScanContext`] is the per-repository handle: it snapshots the
+//! metadata file list (one walk) and hands out `Arc<Parsed>` results from
+//! the underlying [`ParseCache`] (one parse per `(path, content, kind,
+//! parser)`). The four emulator profiles and the best-practice generator
+//! all scan through it — profile quirks (file support, dialects, version
+//! policies, naming) are applied *after* the shared parse, as transforms,
+//! so the Table II/IV toggles behave exactly as they do on the isolated
+//! path.
+//!
+//! Invariants (verified by `tests/shared_scan_props.rs`):
+//!
+//! * **One parse per file**: within one context, a metadata file is parsed
+//!   at most once per parser family (dialect vs reference) and
+//!   requirements dialect, no matter how many profiles scan.
+//! * **Quirks are transforms**: every profile's SBOM via the shared scan
+//!   is byte-identical to its isolated per-profile parse
+//!   ([`ToolEmulator::scan_isolated`], the pre-sharing oracle).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sbomdiff_metadata::python::ReqStyle;
+use sbomdiff_metadata::{MetadataKind, Parsed, RepoFs};
+
+use crate::cache::ParserKey;
+use crate::ParseCache;
+
+/// A single-walk, parse-once view of one repository.
+///
+/// # Examples
+///
+/// ```
+/// use sbomdiff_generators::{ParseCache, ScanContext, ToolEmulator};
+/// use sbomdiff_metadata::RepoFs;
+///
+/// let mut repo = RepoFs::new("demo");
+/// repo.add_text("requirements.txt", "numpy==1.19.2\nflask>=2.0\n");
+/// let cache = ParseCache::new();
+/// let scan = ScanContext::new(&repo, &cache);
+/// // All four profiles derive from the same walk + shared parses.
+/// let trivy = ToolEmulator::trivy().generate_with_scan(&scan);
+/// let syft = ToolEmulator::syft().generate_with_scan(&scan);
+/// assert_eq!(trivy.len(), syft.len());
+/// assert_eq!(cache.misses(), 1); // one parse, shared dialect
+/// ```
+pub struct ScanContext<'a> {
+    repo: &'a RepoFs,
+    cache: &'a ParseCache,
+    files: Vec<(&'a str, MetadataKind)>,
+    /// Scan-local memo: the shared cache keys by *content hash*, so every
+    /// lookup there re-hashes the file bytes. Within one scan the content
+    /// cannot change, so resolved parses are pinned here by path and
+    /// parser slot — the second, third and fourth profile pay a map probe
+    /// instead of a content hash (still counted as cache hits).
+    memo: Mutex<HashMap<String, [Option<Arc<Parsed>>; ParserKey::SLOTS]>>,
+}
+
+impl<'a> ScanContext<'a> {
+    /// Walks `repo` once and binds the scan to `cache` for parse sharing.
+    pub fn new(repo: &'a RepoFs, cache: &'a ParseCache) -> Self {
+        ScanContext {
+            repo,
+            cache,
+            files: repo.metadata_files(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The repository under scan.
+    pub fn repo(&self) -> &'a RepoFs {
+        self.repo
+    }
+
+    /// The metadata files discovered by the single walk, in sorted path
+    /// order (the deterministic scan order every generator follows).
+    pub fn files(&self) -> &[(&'a str, MetadataKind)] {
+        &self.files
+    }
+
+    /// The shared dialect parse of one file (memoized in the cache).
+    pub fn parsed(&self, path: &str, kind: MetadataKind, style: ReqStyle) -> Arc<Parsed> {
+        let dialect = (kind == MetadataKind::RequirementsTxt).then_some(style);
+        self.memoized(path, ParserKey::Dialect(dialect), || {
+            self.cache.parse(self.repo, path, kind, style)
+        })
+    }
+
+    /// The shared reference parse of one file (best-practice grammar,
+    /// memoized separately from the dialect parses).
+    pub fn parsed_reference(&self, path: &str, kind: MetadataKind) -> Arc<Parsed> {
+        self.memoized(path, ParserKey::Reference, || {
+            self.cache.parse_reference(self.repo, path, kind)
+        })
+    }
+
+    fn memoized(
+        &self,
+        path: &str,
+        parser: ParserKey,
+        resolve: impl FnOnce() -> Arc<Parsed>,
+    ) -> Arc<Parsed> {
+        let slot = parser.slot();
+        {
+            let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(found) = memo.get(path).and_then(|slots| slots[slot].as_ref()) {
+                self.cache.record_hit();
+                return Arc::clone(found);
+            }
+        }
+        // Resolve outside the memo lock (the shared cache has its own); a
+        // racing duplicate resolution lands on the same cache entry.
+        let parsed = resolve();
+        self.memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(path.to_string())
+            .or_default()[slot] = Some(Arc::clone(&parsed));
+        parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BestPracticeGenerator, SbomGenerator};
+    use sbomdiff_registry::Registries;
+
+    #[test]
+    fn one_walk_one_parse_across_five_generators() {
+        let mut repo = RepoFs::new("scan-demo");
+        repo.add_text("requirements.txt", "numpy==1.19.2\nflask>=2.0\n");
+        repo.add_text("go.mod", "module m\nrequire github.com/pkg/errors v0.9.1\n");
+        let regs = Registries::generate(7);
+        let cache = ParseCache::new();
+        let scan = ScanContext::new(&repo, &cache);
+
+        let tools = crate::studied_tools(&regs, 0.0);
+        let sboms: Vec<_> = tools.iter().map(|t| t.generate_with_scan(&scan)).collect();
+        let bp = BestPracticeGenerator::new(&regs).generate_with_scan(&scan);
+
+        // Dialect parses: requirements.txt × {TrivySyft, SbomTool,
+        // GithubDg} + go.mod once. Reference parses: go.mod once
+        // (requirements.txt goes through the resolver dry run, uncached).
+        assert_eq!(cache.misses(), 5, "parse count is bounded by dialects");
+        assert!(cache.hits() >= 3);
+
+        // Each shared-scan SBOM matches the generator's standalone result.
+        for (tool, sbom) in tools.iter().zip(&sboms) {
+            assert_eq!(sbom, &tool.generate(&repo), "{}", tool.id());
+        }
+        assert_eq!(bp, BestPracticeGenerator::new(&regs).generate(&repo));
+    }
+
+    #[test]
+    fn files_are_walked_once_in_sorted_order() {
+        let mut repo = RepoFs::new("order");
+        repo.add_text("b/requirements.txt", "x==1\n");
+        repo.add_text("a/requirements.txt", "y==2\n");
+        let cache = ParseCache::new();
+        let scan = ScanContext::new(&repo, &cache);
+        let paths: Vec<&str> = scan.files().iter().map(|(p, _)| *p).collect();
+        assert_eq!(paths, vec!["a/requirements.txt", "b/requirements.txt"]);
+    }
+}

@@ -41,13 +41,13 @@ pub fn parse_go_mod(text: &str) -> Parsed {
                 if let Some(dep) = require_line(line, comment) {
                     out.push(dep);
                 } else {
-                    parsed.diags.push(
+                    parsed.diags.push(std::sync::Arc::new(
                         Diagnostic::new(
                             DiagClass::UnsupportedSyntax,
                             format!("unparsable require entry: {}", excerpt(line)),
                         )
                         .with_line(lineno as u32 + 1),
-                    );
+                    ));
                 }
             }
             continue;
@@ -67,13 +67,13 @@ pub fn parse_go_mod(text: &str) -> Parsed {
             if let Some(dep) = require_line(rest.trim(), comment) {
                 out.push(dep);
             } else {
-                parsed.diags.push(
+                parsed.diags.push(std::sync::Arc::new(
                     Diagnostic::new(
                         DiagClass::UnsupportedSyntax,
                         format!("unparsable require directive: {}", excerpt(line)),
                     )
                     .with_line(lineno as u32 + 1),
-                );
+                ));
             }
             continue;
         }

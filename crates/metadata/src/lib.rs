@@ -35,6 +35,8 @@ pub mod ruby;
 pub mod rust_lang;
 pub mod swift;
 
+use std::sync::Arc;
+
 use sbomdiff_types::{DeclaredDependency, Diagnostic, Ecosystem};
 
 pub use repofs::RepoFs;
@@ -46,12 +48,17 @@ pub use repofs::RepoFs;
 /// care about the dependencies keep working unchanged (`parsed.len()`,
 /// `parsed[0]`, `for dep in &parsed`); diagnostics ride along for the
 /// layers that surface them (emulators, reports, the service).
+///
+/// Diagnostics are `Arc`-shared: a parse result sits behind the shared-scan
+/// cache and is read by four profiles at once, so each profile attaching
+/// the diagnostics to its SBOM aliases the same allocations instead of
+/// deep-copying the `Vec` per profile.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Parsed {
     /// Successfully extracted declarations, in file order.
     pub deps: Vec<DeclaredDependency>,
     /// Classified diagnostics for skipped or malformed input, in file order.
-    pub diags: Vec<Diagnostic>,
+    pub diags: Vec<Arc<Diagnostic>>,
 }
 
 impl Parsed {
@@ -67,21 +74,23 @@ impl Parsed {
     pub fn fail(diag: Diagnostic) -> Parsed {
         Parsed {
             deps: Vec::new(),
-            diags: vec![diag],
+            diags: vec![Arc::new(diag)],
         }
     }
 
     /// Records one diagnostic.
     pub fn push_diag(&mut self, diag: Diagnostic) {
-        self.diags.push(diag);
+        self.diags.push(Arc::new(diag));
     }
 
     /// Stamps `path` onto every diagnostic that does not already carry one
     /// (parsers see only file content; the caller knows the path).
+    /// Copy-on-write: stamping happens before the result is shared, so
+    /// `Arc::make_mut` mutates in place without cloning.
     pub fn with_path(mut self, path: &str) -> Parsed {
         for d in &mut self.diags {
             if d.path.is_none() {
-                d.path = Some(path.to_string());
+                Arc::make_mut(d).path = Some(path.to_string());
             }
         }
         self
@@ -91,7 +100,7 @@ impl Parsed {
     pub fn with_ecosystem(mut self, eco: Ecosystem) -> Parsed {
         for d in &mut self.diags {
             if d.ecosystem.is_none() {
-                d.ecosystem = Some(eco);
+                Arc::make_mut(d).ecosystem = Some(eco);
             }
         }
         self

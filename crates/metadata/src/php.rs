@@ -36,10 +36,10 @@ pub fn parse_composer_json(text: &str) -> Parsed {
                 let spec_text = spec.as_str().unwrap_or_default().to_string();
                 let req = VersionReq::parse(&spec_text, ConstraintFlavor::Composer).ok();
                 if req.is_none() && !spec_text.is_empty() {
-                    diags.push(Diagnostic::new(
+                    diags.push(std::sync::Arc::new(Diagnostic::new(
                         DiagClass::InvalidVersion,
                         format!("{section}: unparsable constraint for {name}: {spec_text}"),
-                    ));
+                    )));
                 }
                 let mut dep =
                     DeclaredDependency::new(Ecosystem::Php, name.clone(), req).with_scope(scope);
@@ -81,17 +81,17 @@ pub fn parse_composer_lock(text: &str) -> Parsed {
         if let Some(entries) = doc.get(section).and_then(Value::as_array) {
             for pkg in entries {
                 let Some(name) = pkg.get("name").and_then(Value::as_str) else {
-                    diags.push(Diagnostic::new(
+                    diags.push(std::sync::Arc::new(Diagnostic::new(
                         DiagClass::MissingField,
                         format!("{section} entry without a name"),
-                    ));
+                    )));
                     continue;
                 };
                 let Some(version) = pkg.get("version").and_then(Value::as_str) else {
-                    diags.push(Diagnostic::new(
+                    diags.push(std::sync::Arc::new(Diagnostic::new(
                         DiagClass::MissingField,
                         format!("{section} entry {name} without a version"),
-                    ));
+                    )));
                     continue;
                 };
                 // Composer versions frequently carry a leading 'v'.

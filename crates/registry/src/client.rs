@@ -65,6 +65,57 @@ impl RegistryClient for PackageUniverse {
     }
 }
 
+impl FlakyRegistry<'_> {
+    /// Existence check with the same failure behavior (and failure
+    /// *sequence* — one counter tick per call) as
+    /// [`RegistryClient::versions`], minus the version-list clone. This is
+    /// what name validation on the emulator hot path uses: it only needs
+    /// to know whether the registry answered.
+    pub fn validate(&self, name: &str) -> Option<()> {
+        if self.fails(name) {
+            return None;
+        }
+        self.inner.lookup(name).map(|_| ())
+    }
+
+    /// [`RegistryClient::latest`] returning a borrowed version — same
+    /// failure sequence, no clone of the version's backing strings.
+    pub fn latest_ref(&self, name: &str) -> Option<&Version> {
+        if self.fails(name) {
+            return None;
+        }
+        self.inner.latest(name)
+    }
+
+    /// [`RegistryClient::latest_matching`] returning a borrowed version —
+    /// the resolve-latest profile calls this once per ranged declaration
+    /// and once per transitive edge.
+    pub fn latest_matching_ref(&self, name: &str, req: &VersionReq) -> Option<&Version> {
+        if self.fails(name) {
+            return None;
+        }
+        self.inner.latest_matching(name, req)
+    }
+
+    /// [`RegistryClient::deps_of`] returning borrowed edges — the
+    /// transitive-expansion BFS visits every edge of every resolved
+    /// package, and cloning each `RegistryDep` (name + constraint vector)
+    /// per visit dominates that walk.
+    pub fn deps_of_ref(
+        &self,
+        name: &str,
+        version: &Version,
+        extras: &[String],
+        honor_markers: bool,
+    ) -> Option<Vec<&RegistryDep>> {
+        if self.fails(name) {
+            return None;
+        }
+        self.inner.lookup(name)?;
+        Some(self.inner.deps_of(name, version, extras, honor_markers))
+    }
+}
+
 /// A registry wrapper that deterministically fails a fraction of queries.
 ///
 /// Failures are a pure function of the query name and an internal counter,

@@ -109,8 +109,10 @@ impl PackageUniverse {
     /// Looks a package up by name (ecosystem normalization applied — PyPI
     /// treats `Flask_Login` and `flask-login` as the same package).
     pub fn lookup(&self, name: &str) -> Option<&PackageEntry> {
-        let key = sbomdiff_types::name::normalize(self.ecosystem, name);
-        self.packages.get(&key)
+        // Borrowed-key fast path: corpus and resolver names are usually
+        // already canonical, and this lookup is the hottest registry op.
+        let key = sbomdiff_types::name::normalized(self.ecosystem, name);
+        self.packages.get(key.as_ref())
     }
 
     /// All versions of a package, ascending.

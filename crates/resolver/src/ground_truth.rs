@@ -123,7 +123,7 @@ fn collect_roots(
         return;
     };
     let parsed = parse_requirements(content, ReqStyle::Pip).with_path(path);
-    diagnostics.extend(parsed.diags.iter().cloned());
+    diagnostics.extend(parsed.diags.iter().map(|d| (**d).clone()));
     for dep in &parsed {
         match &dep.source {
             DependencySource::IncludeFile(inc) => {

@@ -67,9 +67,9 @@ pub fn to_value(sbom: &Sbom) -> Value {
 fn component_to_value(c: &Component) -> Value {
     let mut out = Value::object();
     out.set("type", Value::from("library"));
-    out.set("name", Value::from(c.name.clone()));
+    out.set("name", Value::from(c.name.as_str()));
     if let Some(v) = &c.version {
-        out.set("version", Value::from(v.clone()));
+        out.set("version", Value::from(v.as_str()));
     }
     if let Some(p) = &c.purl {
         out.set("purl", Value::from(p.to_string()));

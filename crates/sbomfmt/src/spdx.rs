@@ -48,10 +48,10 @@ pub fn to_value(sbom: &Sbom) -> Value {
 
 fn component_to_value(c: &Component, spdx_id: &str) -> Value {
     let mut pkg = Value::object();
-    pkg.set("name", Value::from(c.name.clone()));
+    pkg.set("name", Value::from(c.name.as_str()));
     pkg.set("SPDXID", Value::from(spdx_id));
     if let Some(v) = &c.version {
-        pkg.set("versionInfo", Value::from(v.clone()));
+        pkg.set("versionInfo", Value::from(v.as_str()));
     }
     pkg.set("downloadLocation", Value::from("NOASSERTION"));
     // SPDX has no dependency-scope field (§V-F); sourceInfo carries our

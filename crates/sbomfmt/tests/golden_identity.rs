@@ -1,0 +1,110 @@
+//! Golden-file byte-identity for serialized SBOMs built from interned
+//! components.
+//!
+//! `Component` fields are interned `Symbol`s; this pin proves the change
+//! is invisible at the serialization boundary: a fixed SBOM renders to
+//! the exact bytes checked into `tests/golden/`, whatever the pool state
+//! (shared allocations, overflow un-pooled symbols) behind the symbols.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sbomdiff-sbomfmt --test golden_identity
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_types::{Component, DepScope, Ecosystem, Purl, Sbom};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// A fixed SBOM touching the symbol-heavy paths: names, versions, source
+/// paths, PURLs with namespaces, a version-less entry, and a duplicate.
+fn pinned_sbom() -> Sbom {
+    let mut sbom = Sbom::new("pin-tool", "9.9.9");
+    sbom.meta.subject = "golden-subject".to_string();
+    sbom.push(
+        Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into()))
+            .with_found_in("requirements.txt")
+            .with_purl(Purl::new("pypi", "numpy").with_version("1.19.2")),
+    );
+    sbom.push(
+        Component::new(
+            Ecosystem::Go,
+            "github.com/pkg/errors",
+            Some("v0.9.1".into()),
+        )
+        .with_found_in("go.mod")
+        .with_purl(
+            Purl::new("golang", "errors")
+                .with_namespace("github.com/pkg")
+                .with_version("v0.9.1"),
+        ),
+    );
+    sbom.push(
+        Component::new(Ecosystem::JavaScript, "debug", None)
+            .with_found_in("package.json")
+            .with_scope(DepScope::Dev),
+    );
+    // Exact duplicate entry: serializers must keep it (duplicate counting
+    // is a studied behavior, §V-A).
+    sbom.push(
+        Component::new(Ecosystem::Python, "numpy", Some("1.19.2".into()))
+            .with_found_in("requirements.txt"),
+    );
+    sbom
+}
+
+fn check(name: &str, actual: &str) {
+    let fixture = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(fixture.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&fixture, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test -p \
+             sbomdiff-sbomfmt --test golden_identity",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from tests/golden/{name}; regenerate only for an \
+         intentional serialization change"
+    );
+}
+
+#[test]
+fn cyclonedx_bytes_are_pinned() {
+    check(
+        "interned_cyclonedx.json",
+        &SbomFormat::CycloneDx.serialize(&pinned_sbom()),
+    );
+}
+
+#[test]
+fn spdx_bytes_are_pinned() {
+    check(
+        "interned_spdx.json",
+        &SbomFormat::Spdx.serialize(&pinned_sbom()),
+    );
+}
+
+#[test]
+fn serialization_is_independent_of_symbol_pooling() {
+    // Serializing twice — the second time after the strings were already
+    // interned by the first pass — yields identical bytes, and a parse
+    // round-trip preserves every component key.
+    let first = SbomFormat::CycloneDx.serialize(&pinned_sbom());
+    let second = SbomFormat::CycloneDx.serialize(&pinned_sbom());
+    assert_eq!(first, second);
+    let reparsed = SbomFormat::CycloneDx.parse(&first).expect("round-trip");
+    assert_eq!(reparsed.len(), pinned_sbom().len());
+}

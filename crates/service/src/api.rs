@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use sbomdiff_diff::{jaccard, key_set};
-use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator};
+use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext};
 use sbomdiff_metadata::RepoFs;
 use sbomdiff_registry::Registries;
 use sbomdiff_sbomfmt::SbomFormat;
@@ -33,6 +33,10 @@ pub struct AppState {
     pub cache: ResponseCache,
     /// The metrics registry.
     pub metrics: Metrics,
+    /// Parsed-metadata cache shared across requests. Keys hash file
+    /// *content*, so two requests reusing a repository name can never see
+    /// each other's stale parses — a rewritten manifest re-parses.
+    pub parse_cache: ParseCache,
     registries: Mutex<HashMap<u64, Arc<Registries>>>,
     advisories: Mutex<HashMap<(u64, u64, u64), Arc<AdvisoryDb>>>,
 }
@@ -44,6 +48,7 @@ impl AppState {
             default_seed,
             cache: ResponseCache::new(cache_capacity),
             metrics: Metrics::new(),
+            parse_cache: ParseCache::new(),
             registries: Mutex::new(HashMap::new()),
             advisories: Mutex::new(HashMap::new()),
         }
@@ -103,12 +108,17 @@ impl AppState {
 pub fn handle(state: &AppState, request: &Request, queue_depth: usize) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(),
-        ("GET", "/metrics") => Response::text(
-            200,
-            state
-                .metrics
-                .render(state.cache.hits(), state.cache.misses(), queue_depth),
-        ),
+        ("GET", "/metrics") => {
+            let mut text =
+                state
+                    .metrics
+                    .render(state.cache.hits(), state.cache.misses(), queue_depth);
+            text.push_str(&Metrics::render_parse_cache(
+                state.parse_cache.hits(),
+                state.parse_cache.misses(),
+            ));
+            Response::text(200, text)
+        }
         ("POST", "/v1/analyze") => with_json_body(request, |doc| analyze(state, doc)),
         ("POST", "/v1/diff") => with_json_body(request, diff),
         ("POST", "/v1/impact") => with_json_body(request, |doc| impact(state, doc)),
@@ -176,20 +186,22 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
 
     let registries = state.registries(seed);
     let tools = sbomdiff_generators::studied_tools(&registries, 0.0);
-    let parse_cache = ParseCache::new();
-    // All four emulators share one parse of each manifest; the optional
-    // best-practice reference resolves against the registry instead, so it
-    // has no cached-parse path.
+    // One walk, one parse per manifest: every profile (and the optional
+    // best-practice reference) scans through a shared context backed by
+    // the process-wide cache, so repeat requests over unchanged manifests
+    // reuse earlier parses while mutated files re-parse (content-hashed
+    // keys).
+    let scan = ScanContext::new(&repo, &state.parse_cache);
     let mut ids = Vec::new();
     let mut sboms: Vec<Sbom> = Vec::new();
     for tool in &tools {
         ids.push(tool.id());
-        sboms.push(tool.generate_with_cache(&repo, &parse_cache));
+        sboms.push(tool.generate_with_scan(&scan));
     }
     if best_practice {
         let bp = BestPracticeGenerator::new(&registries);
         ids.push(bp.id());
-        sboms.push(bp.generate(&repo));
+        sboms.push(bp.generate_with_scan(&scan));
     }
 
     let mut out = Value::object();
@@ -242,10 +254,12 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         }
     }
     out.set("pairwise", Value::Array(pairs));
-    let mut pc = Value::object();
-    pc.set("hits", Value::from(parse_cache.hits() as i64));
-    pc.set("misses", Value::from(parse_cache.misses() as i64));
-    out.set("parse_cache", pc);
+    // Scan-plan facts only: global cache hit/miss counters depend on
+    // request history and would break the byte-identical-response
+    // guarantee, so they are exposed via /metrics instead.
+    let mut scan_info = Value::object();
+    scan_info.set("metadata_files", Value::from(scan.files().len() as i64));
+    out.set("scan", scan_info);
     if include_sboms {
         let mut docs = Value::object();
         for (id, sbom) in ids.iter().zip(&sboms) {
@@ -508,12 +522,42 @@ mod tests {
             doc.get("pairwise").and_then(Value::as_array).unwrap().len(),
             6
         );
-        assert!(
-            doc.pointer("parse_cache/hits")
-                .and_then(Value::as_i64)
-                .unwrap()
-                > 0
+        assert_eq!(
+            doc.pointer("scan/metadata_files").and_then(Value::as_i64),
+            Some(2)
         );
+        // The shared parse cache actually memoized across the four tools.
+        assert!(state.parse_cache.hits() > 0);
+    }
+
+    #[test]
+    fn rewritten_manifest_is_reanalyzed_not_served_stale() {
+        // Same repository name, same path, different bytes across two
+        // requests against one long-lived state: the content-hashed parse
+        // cache must serve the *new* parse, not the memo of the first.
+        let state = state();
+        let old = r#"{"name":"demo","seed":7,"include_sboms":true,"files":{"requirements.txt":"numpy==1.19.2\n"}}"#;
+        let new = r#"{"name":"demo","seed":7,"include_sboms":true,"files":{"requirements.txt":"numpy==1.25.0\n"}}"#;
+        let first = handle(&state, &post("/v1/analyze", old), 0);
+        let second = handle(&state, &post("/v1/analyze", new), 0);
+        assert_eq!(first.status, 200);
+        assert_eq!(second.status, 200);
+        let embedded = |resp: &Response| {
+            body_json(resp)
+                .pointer("sboms/Trivy")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert!(embedded(&first).contains("1.19.2"));
+        let rewritten = embedded(&second);
+        assert!(rewritten.contains("1.25.0"), "{rewritten}");
+        assert!(!rewritten.contains("1.19.2"), "stale parse served");
+        // The unchanged request replays as pure cache hits…
+        let misses_before = state.parse_cache.misses();
+        let replay = handle(&state, &post("/v1/analyze", old), 0);
+        assert_eq!(replay.body, first.body);
+        assert_eq!(state.parse_cache.misses(), misses_before);
     }
 
     #[test]

@@ -182,6 +182,19 @@ impl Metrics {
         self.deadline_timeouts.load(Ordering::Relaxed)
     }
 
+    /// Renders the shared parse-cache counters in the same exposition
+    /// format, for appending after [`Metrics::render`]. Kept out of
+    /// `/v1/analyze` responses: the counters depend on request history, and
+    /// analyze responses must stay byte-identical for identical payloads.
+    pub fn render_parse_cache(hits: u64, misses: u64) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("# TYPE sbomdiff_parse_cache_hits_total counter\n");
+        out.push_str(&format!("sbomdiff_parse_cache_hits_total {hits}\n"));
+        out.push_str("# TYPE sbomdiff_parse_cache_misses_total counter\n");
+        out.push_str(&format!("sbomdiff_parse_cache_misses_total {misses}\n"));
+        out
+    }
+
     /// Renders the Prometheus text exposition, including the cache and
     /// queue gauges supplied by the caller.
     pub fn render(&self, cache_hits: u64, cache_misses: u64, queue_depth: usize) -> String {
@@ -319,6 +332,13 @@ mod tests {
         assert!(
             text.contains("sbomdiff_latency_seconds_bucket{endpoint=\"healthz\",le=\"+Inf\"} 2")
         );
+    }
+
+    #[test]
+    fn parse_cache_exposition_renders_counters() {
+        let text = Metrics::render_parse_cache(7, 3);
+        assert!(text.contains("sbomdiff_parse_cache_hits_total 7"));
+        assert!(text.contains("sbomdiff_parse_cache_misses_total 3"));
     }
 
     #[test]

@@ -6,14 +6,20 @@
 //! [`ComponentKey`]s (the `(name, version)` pairs of Equation 1).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::cpe::Cpe;
 use crate::dependency::DepScope;
 use crate::diagnostic::Diagnostic;
 use crate::ecosystem::Ecosystem;
+use crate::intern::Symbol;
 use crate::purl::Purl;
 
 /// One SBOM entry as reported by a generator.
+///
+/// Name, version and source path are interned [`Symbol`]s: four emulator
+/// profiles report largely the same strings for the same repository, so a
+/// `Component` clone is refcount bumps, not allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Component {
     /// Ecosystem the component belongs to.
@@ -21,10 +27,10 @@ pub struct Component {
     /// The name in the reporting tool's convention (§V-E: may be
     /// `artifact`, `group:artifact` or `group.artifact` for the same Java
     /// package depending on the tool).
-    pub name: String,
+    pub name: Symbol,
     /// The reported version: a concrete version, a verbatim range (GitHub
     /// DG, §V-D), or absent.
-    pub version: Option<String>,
+    pub version: Option<Symbol>,
     /// Package URL, when the tool emits one.
     pub purl: Option<Purl>,
     /// CPE, when the tool emits one.
@@ -33,25 +39,40 @@ pub struct Component {
     /// the field, §V-F).
     pub scope: Option<DepScope>,
     /// Path of the metadata file the component was extracted from.
-    pub found_in: String,
+    pub found_in: Symbol,
 }
 
 impl Component {
     /// Creates a component with just ecosystem, name and optional version.
-    pub fn new(ecosystem: Ecosystem, name: impl Into<String>, version: Option<String>) -> Self {
+    pub fn new(ecosystem: Ecosystem, name: impl Into<Symbol>, version: Option<String>) -> Self {
         Component {
             ecosystem,
             name: name.into(),
+            version: version.map(Symbol::from),
+            purl: None,
+            cpe: None,
+            scope: None,
+            found_in: Symbol::default(),
+        }
+    }
+
+    /// Creates a component from already-interned fields — the emulator hot
+    /// path, where the name and version symbols are shared with the PURL
+    /// instead of re-interned per field.
+    pub fn interned(ecosystem: Ecosystem, name: Symbol, version: Option<Symbol>) -> Self {
+        Component {
+            ecosystem,
+            name,
             version,
             purl: None,
             cpe: None,
             scope: None,
-            found_in: String::new(),
+            found_in: Symbol::default(),
         }
     }
 
     /// Builder-style source path.
-    pub fn with_found_in(mut self, path: impl Into<String>) -> Self {
+    pub fn with_found_in(mut self, path: impl Into<Symbol>) -> Self {
         self.found_in = path.into();
         self
     }
@@ -95,9 +116,11 @@ impl Component {
                     .filter(|r| r.starts_with(|c: char| c.is_ascii_digit()))
                     .unwrap_or(v)
             })
-            .unwrap_or("")
-            .to_string();
-        ComponentKey { name, version }
+            .unwrap_or("");
+        ComponentKey {
+            name: name.into(),
+            version: version.into(),
+        }
     }
 }
 
@@ -114,9 +137,9 @@ impl fmt::Display for Component {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentKey {
     /// Component name.
-    pub name: String,
+    pub name: Symbol,
     /// Reported version ("" when absent).
-    pub version: String,
+    pub version: Symbol,
 }
 
 impl fmt::Display for ComponentKey {
@@ -148,7 +171,10 @@ pub struct Sbom {
     /// Document metadata.
     pub meta: SbomMeta,
     components: Vec<Component>,
-    diagnostics: Vec<Diagnostic>,
+    /// `Arc`-shared so the four profiles attaching the same parser
+    /// diagnostics to their SBOMs share one allocation per diagnostic
+    /// instead of deep-copying the `Vec` per profile.
+    diagnostics: Vec<Arc<Diagnostic>>,
 }
 
 impl Sbom {
@@ -183,17 +209,26 @@ impl Sbom {
 
     /// Records one diagnostic.
     pub fn push_diagnostic(&mut self, d: Diagnostic) {
-        self.diagnostics.push(d);
+        self.diagnostics.push(Arc::new(d));
     }
 
-    /// Records several diagnostics.
+    /// Records several diagnostics (each newly wrapped; prefer
+    /// [`Sbom::extend_shared_diagnostics`] when the diagnostics already
+    /// live behind `Arc`s, e.g. from a shared parse).
     pub fn extend_diagnostics(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds.into_iter().map(Arc::new));
+    }
+
+    /// Records diagnostics that are already shared, without copying the
+    /// underlying data — profiles attaching the same parser diagnostics
+    /// alias one allocation per diagnostic.
+    pub fn extend_shared_diagnostics(&mut self, ds: impl IntoIterator<Item = Arc<Diagnostic>>) {
         self.diagnostics.extend(ds);
     }
 
     /// The diagnostics recorded during generation, in insertion order
     /// (deterministic: generators scan files in sorted path order).
-    pub fn diagnostics(&self) -> &[Diagnostic] {
+    pub fn diagnostics(&self) -> &[Arc<Diagnostic>] {
         &self.diagnostics
     }
 

@@ -24,6 +24,7 @@ pub mod dependency;
 pub mod diagnostic;
 pub mod ecosystem;
 pub mod error;
+pub mod intern;
 pub mod name;
 pub mod purl;
 pub mod version;
@@ -35,6 +36,7 @@ pub use dependency::{DeclaredDependency, DepScope, DependencySource, ResolvedPac
 pub use diagnostic::{DiagClass, Diagnostic, Severity};
 pub use ecosystem::Ecosystem;
 pub use error::ParseError;
+pub use intern::{intern, Interner, Symbol};
 pub use name::PackageName;
 pub use purl::Purl;
 pub use version::{PreKind, Version};

@@ -128,8 +128,20 @@ impl fmt::Display for PackageName {
 /// * PHP / .NET: lowercase (Packagist and NuGet are case-insensitive).
 /// * Everything else: unchanged.
 pub fn normalize(ecosystem: Ecosystem, raw: &str) -> String {
+    normalized(ecosystem, raw).into_owned()
+}
+
+/// [`normalize`] without the unconditional allocation: names that are
+/// already in canonical form (the common case on the registry-lookup hot
+/// path, where generated corpora use canonical spellings) are returned
+/// borrowed.
+pub fn normalized(ecosystem: Ecosystem, raw: &str) -> std::borrow::Cow<'_, str> {
+    use std::borrow::Cow;
     match ecosystem {
         Ecosystem::Python => {
+            if is_pep503_normalized(raw) {
+                return Cow::Borrowed(raw);
+            }
             let mut out = String::with_capacity(raw.len());
             let mut prev_sep = false;
             for ch in raw.chars() {
@@ -143,11 +155,37 @@ pub fn normalize(ecosystem: Ecosystem, raw: &str) -> String {
                     prev_sep = false;
                 }
             }
-            out
+            Cow::Owned(out)
         }
-        e if e.case_insensitive_names() => raw.to_ascii_lowercase(),
-        _ => raw.to_string(),
+        e if e.case_insensitive_names() => {
+            if raw.bytes().any(|b| b.is_ascii_uppercase()) {
+                Cow::Owned(raw.to_ascii_lowercase())
+            } else {
+                Cow::Borrowed(raw)
+            }
+        }
+        _ => Cow::Borrowed(raw),
     }
+}
+
+/// PEP 503 canonical form check: lowercase, separators already collapsed
+/// to single `-`s (so [`normalized`] can skip the rebuild).
+fn is_pep503_normalized(raw: &str) -> bool {
+    let mut prev_sep = false;
+    for b in raw.bytes() {
+        match b {
+            b'-' => {
+                if prev_sep {
+                    return false;
+                }
+                prev_sep = true;
+            }
+            b'_' | b'.' => return false,
+            b if b.is_ascii_uppercase() => return false,
+            _ => prev_sep = false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]

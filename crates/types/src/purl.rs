@@ -9,6 +9,7 @@ use std::str::FromStr;
 
 use crate::ecosystem::Ecosystem;
 use crate::error::ParseError;
+use crate::intern::Symbol;
 
 /// A parsed Package URL.
 ///
@@ -25,19 +26,21 @@ use crate::error::ParseError;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Purl {
-    ptype: String,
-    namespace: Option<String>,
-    name: String,
-    version: Option<String>,
+    // Interned: the same `pypi`/`npm` type strings, package names and
+    // versions recur across every profile's PURLs for a repository.
+    ptype: Symbol,
+    namespace: Option<Symbol>,
+    name: Symbol,
+    version: Option<Symbol>,
     qualifiers: Vec<(String, String)>,
     subpath: Option<String>,
 }
 
 impl Purl {
     /// Creates a PURL from parts.
-    pub fn new(ptype: impl Into<String>, name: impl Into<String>) -> Self {
+    pub fn new(ptype: impl Into<String>, name: impl Into<Symbol>) -> Self {
         Purl {
-            ptype: ptype.into().to_ascii_lowercase(),
+            ptype: ptype.into().to_ascii_lowercase().into(),
             namespace: None,
             name: name.into(),
             version: None,
@@ -49,26 +52,56 @@ impl Purl {
     /// Builds a PURL for a package in a studied ecosystem, splitting
     /// compound names into namespace/name per the PURL spec.
     pub fn for_package(eco: Ecosystem, name: &str, version: Option<&str>) -> Self {
-        let pname = crate::name::PackageName::new(eco, name);
-        let mut purl = Purl::new(eco.purl_type(), pname.base());
-        if let Some(ns) = pname.namespace() {
-            purl.namespace = Some(ns.trim_start_matches('@').to_string());
+        Purl::build(eco, name, None, version.map(Symbol::from))
+    }
+
+    /// [`Purl::for_package`] for already-interned component fields: when
+    /// the PURL name is the component name unchanged (no namespace split,
+    /// no Python renormalization), the symbols are reused — a refcount
+    /// bump per field instead of a pool round trip. This is the emulator
+    /// hot path: four profiles attach a PURL to every component.
+    pub fn for_component(eco: Ecosystem, name: &Symbol, version: Option<&Symbol>) -> Self {
+        Purl::build(eco, name.as_str(), Some(name), version.cloned())
+    }
+
+    fn build(eco: Ecosystem, raw: &str, reuse: Option<&Symbol>, version: Option<Symbol>) -> Self {
+        let (namespace, base) = split_for_purl(eco, raw);
+        let name: Symbol = if eco == Ecosystem::Python {
+            // Python names never split, so a borrowed (already-canonical)
+            // normalization means the name passes through unchanged.
+            match crate::name::normalized(eco, base) {
+                std::borrow::Cow::Borrowed(b) => match reuse {
+                    Some(sym) if b.len() == raw.len() => sym.clone(),
+                    _ => b.into(),
+                },
+                std::borrow::Cow::Owned(o) => o.into(),
+            }
+        } else if base.len() == raw.len() {
+            match reuse {
+                Some(sym) => sym.clone(),
+                None => base.into(),
+            }
+        } else {
+            base.into()
+        };
+        Purl {
+            ptype: type_symbol(eco),
+            namespace: namespace.map(|ns| ns.trim_start_matches('@').into()),
+            name,
+            version,
+            qualifiers: Vec::new(),
+            subpath: None,
         }
-        if eco == Ecosystem::Python {
-            purl.name = crate::name::normalize(eco, pname.base());
-        }
-        purl.version = version.map(|v| v.to_string());
-        purl
     }
 
     /// Builder-style namespace.
-    pub fn with_namespace(mut self, ns: impl Into<String>) -> Self {
+    pub fn with_namespace(mut self, ns: impl Into<Symbol>) -> Self {
         self.namespace = Some(ns.into());
         self
     }
 
     /// Builder-style version.
-    pub fn with_version(mut self, v: impl Into<String>) -> Self {
+    pub fn with_version(mut self, v: impl Into<Symbol>) -> Self {
         self.version = Some(v.into());
         self
     }
@@ -103,6 +136,50 @@ impl Purl {
     pub fn qualifiers(&self) -> &[(String, String)] {
         &self.qualifiers
     }
+}
+
+/// The PURL-spec namespace/name split of a raw package name, borrowed
+/// from the input (the structural rules of
+/// [`PackageName`](crate::name::PackageName), without its allocations).
+fn split_for_purl(eco: Ecosystem, raw: &str) -> (Option<&str>, &str) {
+    match eco {
+        Ecosystem::Java => match raw.split_once(':') {
+            Some((group, artifact)) => (Some(group), artifact),
+            None => (None, raw),
+        },
+        Ecosystem::JavaScript => {
+            match raw.starts_with('@').then(|| raw.split_once('/')).flatten() {
+                Some((scope, name)) => (Some(scope), name),
+                None => (None, raw),
+            }
+        }
+        Ecosystem::Swift => (None, raw.split('/').next().unwrap_or(raw)),
+        Ecosystem::Go => match raw.rsplit_once('/') {
+            Some((ns, base)) => (Some(ns), base),
+            None => (None, raw),
+        },
+        _ => (None, raw),
+    }
+}
+
+/// The interned `pkg:` type string for an ecosystem, cached so PURL
+/// construction is a refcount bump rather than an intern per component.
+fn type_symbol(eco: Ecosystem) -> Symbol {
+    use std::sync::OnceLock;
+    // Declaration order (`eco as usize` indexes this).
+    const DECL: [Ecosystem; 9] = [
+        Ecosystem::Python,
+        Ecosystem::JavaScript,
+        Ecosystem::Ruby,
+        Ecosystem::Php,
+        Ecosystem::Java,
+        Ecosystem::Go,
+        Ecosystem::Rust,
+        Ecosystem::Swift,
+        Ecosystem::DotNet,
+    ];
+    static TYPES: OnceLock<[Symbol; 9]> = OnceLock::new();
+    TYPES.get_or_init(|| DECL.map(|e| Symbol::from(e.purl_type())))[eco as usize].clone()
 }
 
 fn pct_encode(s: &str, extra_ok: &[char]) -> String {
@@ -215,10 +292,10 @@ impl FromStr for Purl {
             None
         };
         Ok(Purl {
-            ptype,
-            namespace,
-            name,
-            version,
+            ptype: ptype.into(),
+            namespace: namespace.map(Symbol::from),
+            name: name.into(),
+            version: version.map(Symbol::from),
             qualifiers,
             subpath,
         })

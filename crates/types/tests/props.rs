@@ -135,7 +135,7 @@ proptest! {
         for eco in Ecosystem::ALL {
             let c = Component::new(eco, &name, Some(ver.clone()));
             let k1 = c.canonical_key();
-            let c2 = Component::new(eco, &k1.name, Some(k1.version.clone()));
+            let c2 = Component::new(eco, &k1.name, Some(k1.version.to_string()));
             prop_assert_eq!(c2.canonical_key(), k1);
         }
     }

@@ -100,7 +100,7 @@ fn table3_accuracy_ordering() {
                                 .unwrap_or_else(|_| v.to_string())
                         })
                         .unwrap_or_default();
-                    (c.name.clone(), v)
+                    (c.name.to_string(), v)
                 })
                 .collect();
             totals[i].merge(PrecisionRecall::score(&reported, &truth));
@@ -181,7 +181,7 @@ fn naming_inconsistencies_reproduce() {
                 .components()
                 .iter()
                 .filter(|c| c.ecosystem == Ecosystem::Java)
-                .map(|c| c.name.clone())
+                .map(|c| c.name.to_string())
                 .collect::<Vec<_>>()
         })
         .collect();
@@ -200,7 +200,7 @@ fn naming_inconsistencies_reproduce() {
                 .components()
                 .iter()
                 .filter(|c| c.ecosystem == Ecosystem::Go)
-                .filter_map(|c| c.version.clone())
+                .filter_map(|c| c.version.as_deref().map(String::from))
                 .collect::<Vec<_>>()
         })
         .collect();
@@ -231,7 +231,7 @@ fn best_practice_dominates_ground_truth() {
             .map(|c| {
                 (
                     sbomdiff::types::name::normalize(Ecosystem::Python, &c.name),
-                    c.version.clone().unwrap_or_default(),
+                    c.version.as_deref().unwrap_or_default().to_string(),
                 )
             })
             .collect();
