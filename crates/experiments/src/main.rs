@@ -32,6 +32,12 @@ OPTIONS:
     --jobs <N>         parallel worker count (0 = SBOMDIFF_JOBS or cores)
     --campaign         run the full mutation campaign for table4
     --paper-weights    use the paper's reported category weights
+
+ENVIRONMENT:
+    SBOMDIFF_FAULTS    <seed>:<index> installs the corresponding seeded
+                       chaos fault plan (DESIGN.md \u{a7}15) for the whole run,
+                       reproducing an sbomdiff-chaos finding against the
+                       paper artifacts; fault counters print to stderr
 ";
 
 fn main() {
@@ -85,6 +91,17 @@ fn main() {
         i += 1;
     }
 
+    // Fault plans are process-global; holding the guard for the whole run
+    // keeps every artifact below subject to the same plan, and dropping it
+    // at exit restores the clean path before the timing report.
+    let _fault_guard = match install_faults() {
+        Ok(guard) => guard,
+        Err(message) => {
+            eprintln!("invalid SBOMDIFF_FAULTS: {message} (expected <seed>:<index>)");
+            std::process::exit(2);
+        }
+    };
+
     let ctx = experiments::Context::prepare(&config);
     match command.as_str() {
         "fig1" => experiments::fig1(&ctx),
@@ -121,4 +138,41 @@ fn main() {
         }
     }
     ctx.report_timing();
+    if _fault_guard.is_some() {
+        let stats = sbomdiff_faultline::stats();
+        eprintln!(
+            "faults: {} injected = {} recovered + {} surfaced ({})",
+            stats.injected,
+            stats.recovered,
+            stats.surfaced,
+            if stats.balanced() {
+                "balanced"
+            } else {
+                "DRIFTED"
+            }
+        );
+    }
+}
+
+/// Installs the chaos plan named by `SBOMDIFF_FAULTS=<seed>:<index>`, when
+/// set. Artifacts generated under a plan are degraded by construction —
+/// this is the point: it reproduces a chaos finding against the full
+/// experiment pipeline from just the two numbers in a failing soak line.
+fn install_faults() -> Result<Option<sbomdiff_faultline::Guard>, String> {
+    let Ok(spec) = std::env::var("SBOMDIFF_FAULTS") else {
+        return Ok(None);
+    };
+    let spec = spec.trim();
+    if spec.is_empty() || spec == "off" {
+        return Ok(None);
+    }
+    let (seed, index) = spec.split_once(':').ok_or_else(|| spec.to_string())?;
+    let seed: u64 = seed.trim().parse().map_err(|_| spec.to_string())?;
+    let index: u64 = index.trim().parse().map_err(|_| spec.to_string())?;
+    let plan = sbomdiff_faultline::FaultPlan::chaos(seed, index);
+    eprintln!(
+        "faults: installed chaos plan {seed}:{index} ({} rules)",
+        plan.rules.len()
+    );
+    Ok(Some(sbomdiff_faultline::install(plan)))
 }

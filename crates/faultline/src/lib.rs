@@ -1,0 +1,709 @@
+//! Deterministic fault injection and resilience primitives for sbomdiff.
+//!
+//! A [`FaultPlan`] describes which *sites* (named choke points in the parse,
+//! registry, resolver and service hot paths) misbehave, how often, and how.
+//! Installing a plan flips a process-global switch; instrumented code asks
+//! [`check`] (usually via the [`point!`] macro) whether a fault fires for the
+//! current `(site, key)` pair and reacts by surfacing a typed diagnostic,
+//! retrying, or degrading gracefully.
+//!
+//! Three properties drive the design:
+//!
+//! - **Zero cost when disabled.** [`enabled`] is a single relaxed atomic
+//!   load; the `point!` macro evaluates nothing else on the clean path.
+//! - **Deterministic and schedule-independent.** Whether a fault fires is a
+//!   pure function of `(plan seed, site, key, attempt)` — never of call
+//!   counts or thread interleaving — so `jobs=1` and `jobs=4` runs of the
+//!   same plan observe the same faults and produce byte-identical output.
+//! - **Accountable.** Every fired fault is tallied as either *recovered*
+//!   (absorbed by a retry or transparent latency) or *surfaced* (visible to
+//!   the caller, who must emit a diagnostic or counter). The invariant
+//!   `injected == recovered + surfaced` holds at every quiescent point and
+//!   is asserted by the chaos harness.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
+use std::time::Duration;
+
+/// Message prefix carried by every diagnostic that reports an injected
+/// fault, so downstream layers (and the chaos harness) can attribute it.
+pub const INJECTED_MARKER: &str = "injected:";
+
+/// True when `message` reports an injected fault (see [`INJECTED_MARKER`]).
+pub fn is_injected(message: &str) -> bool {
+    message.starts_with(INJECTED_MARKER)
+}
+
+/// Well-known fault site names. Sites are plain strings so downstream
+/// crates can add their own, but everything sbomdiff instruments is listed
+/// here and covered by [`sites::ALL`].
+pub mod sites {
+    /// Registry `versions()` lookup.
+    pub const REGISTRY_VERSIONS: &str = "registry.versions";
+    /// Registry `latest()` lookup.
+    pub const REGISTRY_LATEST: &str = "registry.latest";
+    /// Registry `latest_matching()` lookup.
+    pub const REGISTRY_LATEST_MATCHING: &str = "registry.latest_matching";
+    /// Registry `deps_of()` lookup.
+    pub const REGISTRY_DEPS_OF: &str = "registry.deps_of";
+    /// One node visit in the resolver's BFS walk.
+    pub const RESOLVER_VISIT: &str = "resolver.visit";
+    /// Manifest/lockfile parse of one file by one emulated tool.
+    pub const PARSE_FILE: &str = "parse.file";
+    /// Reference (best-practice) parse of one file.
+    pub const PARSE_REFERENCE: &str = "parse.reference";
+    /// One tool's generation step inside `/v1/analyze`.
+    pub const SERVICE_ANALYZE: &str = "service.analyze";
+
+    /// Every site the workspace instruments.
+    pub const ALL: &[&str] = &[
+        REGISTRY_VERSIONS,
+        REGISTRY_LATEST,
+        REGISTRY_LATEST_MATCHING,
+        REGISTRY_DEPS_OF,
+        RESOLVER_VISIT,
+        PARSE_FILE,
+        PARSE_REFERENCE,
+        SERVICE_ANALYZE,
+    ];
+
+    /// Sites where an injected panic is guaranteed to land under a
+    /// `catch_unwind` boundary. [`crate::FaultPlan::chaos`] only emits
+    /// `Panic` rules for these; elsewhere panics are demoted to `Error`.
+    pub const PANIC_SAFE: &[&str] = &[PARSE_FILE, PARSE_REFERENCE, SERVICE_ANALYZE];
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation fails; the caller must surface a typed diagnostic.
+    Error,
+    /// The operation is delayed but succeeds. Transparent to the caller;
+    /// accounted as recovered. Real sleeps are capped (see [`check`]).
+    Latency(Duration),
+    /// The operation yields corrupted input (e.g. a truncated read). The
+    /// caller must both degrade and surface a diagnostic.
+    Corrupt,
+    /// The operation panics. Only meaningful at [`sites::PANIC_SAFE`]
+    /// sites, where a `catch_unwind` boundary converts it to an error.
+    Panic,
+}
+
+/// One rule in a [`FaultPlan`]: fire `action` at `site` (exact name, or a
+/// prefix when the pattern ends in `*`) with probability `rate_ppm` parts
+/// per million, optionally restricted to one exact `key`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    pub site: String,
+    pub key: Option<String>,
+    pub rate_ppm: u32,
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    pub fn new(site: &str, rate_ppm: u32, action: FaultAction) -> Self {
+        FaultRule {
+            site: site.to_string(),
+            key: None,
+            rate_ppm,
+            action,
+        }
+    }
+
+    pub fn for_key(mut self, key: &str) -> Self {
+        self.key = Some(key.to_string());
+        self
+    }
+
+    fn matches(&self, site: &str, key: &str) -> bool {
+        let site_ok = if let Some(prefix) = self.site.strip_suffix('*') {
+            site.starts_with(prefix)
+        } else {
+            self.site == site
+        };
+        site_ok && self.key.as_deref().is_none_or(|k| k == key)
+    }
+}
+
+/// A seeded, declarative description of which faults fire where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rules: Vec<FaultRule>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with no rules: faultline is enabled (caches bypass, stats
+    /// accumulate) but nothing ever fires. Useful as a control.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Deterministically generate the `index`-th chaos plan for `seed`:
+    /// 1–4 rules over the known sites with moderate-to-high fire rates.
+    /// `Panic` is only emitted at [`sites::PANIC_SAFE`] sites; a panic
+    /// drawn for any other site is demoted to `Error`.
+    pub fn chaos(seed: u64, index: u64) -> Self {
+        let mut st = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bd1_e995;
+        let nrules = 1 + (splitmix64(&mut st) % 4) as usize;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let site = sites::ALL[(splitmix64(&mut st) as usize) % sites::ALL.len()];
+            let rate_ppm = 50_000 + (splitmix64(&mut st) % 450_000) as u32;
+            let action = match splitmix64(&mut st) % 4 {
+                0 => FaultAction::Latency(Duration::from_millis(1 + splitmix64(&mut st) % 8)),
+                1 => FaultAction::Corrupt,
+                2 if sites::PANIC_SAFE.contains(&site) => FaultAction::Panic,
+                _ => FaultAction::Error,
+            };
+            rules.push(FaultRule::new(site, rate_ppm, action));
+        }
+        FaultPlan {
+            seed: seed ^ splitmix64(&mut st),
+            rules,
+        }
+    }
+
+    /// First rule matching `(site, key)`, if any.
+    fn rule_for(&self, site: &str, key: &str) -> Option<&FaultRule> {
+        self.rules.iter().find(|r| r.matches(site, key))
+    }
+}
+
+/// Running totals for an installed plan. `injected == recovered + surfaced`
+/// at every quiescent point.
+#[derive(Debug, Default)]
+struct Counters {
+    injected: AtomicU64,
+    recovered: AtomicU64,
+    surfaced: AtomicU64,
+}
+
+/// A snapshot of the fault counters of the currently installed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Faults that fired.
+    pub injected: u64,
+    /// Fired faults absorbed transparently (latency, successful retry).
+    pub recovered: u64,
+    /// Fired faults that reached the caller, who owes a diagnostic.
+    pub surfaced: u64,
+}
+
+impl FaultStats {
+    /// `injected == recovered + surfaced`.
+    pub fn balanced(&self) -> bool {
+        self.injected == self.recovered + self.surfaced
+    }
+}
+
+struct Installed {
+    plan: FaultPlan,
+    counters: Counters,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: RwLock<Option<std::sync::Arc<Installed>>> = RwLock::new(None);
+
+fn read_state() -> Option<std::sync::Arc<Installed>> {
+    STATE.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// True when a plan is installed. A single relaxed atomic load — this is
+/// the whole cost of an un-fired fault point on the clean path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Uninstalls the plan installed by [`install`] when dropped.
+#[must_use = "dropping the guard uninstalls the plan"]
+pub struct Guard {
+    _private: (),
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *STATE.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Install `plan` process-wide and return a [`Guard`] that uninstalls it on
+/// drop. Installing over an existing plan replaces it; tests that install
+/// plans must serialize themselves (plans are process-global state).
+pub fn install(plan: FaultPlan) -> Guard {
+    let installed = std::sync::Arc::new(Installed {
+        plan,
+        counters: Counters::default(),
+    });
+    *STATE.write().unwrap_or_else(PoisonError::into_inner) = Some(installed);
+    ENABLED.store(true, Ordering::SeqCst);
+    Guard { _private: () }
+}
+
+/// Snapshot the counters of the installed plan (zeros when none).
+pub fn stats() -> FaultStats {
+    match read_state() {
+        Some(st) => FaultStats {
+            injected: st.counters.injected.load(Ordering::SeqCst),
+            recovered: st.counters.recovered.load(Ordering::SeqCst),
+            surfaced: st.counters.surfaced.load(Ordering::SeqCst),
+        },
+        None => FaultStats::default(),
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Pure fire decision: hash `(seed, site, key, attempt)` into ppm space.
+fn mix(seed: u64, site: &str, key: &str, attempt: u32) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for b in site.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h = (h ^ 0xff).wrapping_mul(FNV_PRIME);
+    for b in key.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h = (h ^ u64::from(attempt)).wrapping_mul(FNV_PRIME);
+    // Final avalanche so low bits depend on the whole input.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+fn decide(plan: &FaultPlan, site: &str, key: &str, attempt: u32) -> Option<FaultAction> {
+    let rule = plan.rule_for(site, key)?;
+    let roll = mix(plan.seed, site, key, attempt) % 1_000_000;
+    (roll < u64::from(rule.rate_ppm)).then_some(rule.action)
+}
+
+/// Injected latencies sleep for real, but never longer than this — chaos
+/// runs stack hundreds of fault points and must stay fast.
+const MAX_REAL_SLEEP: Duration = Duration::from_millis(25);
+
+fn bounded_sleep(d: Duration) {
+    std::thread::sleep(d.min(MAX_REAL_SLEEP));
+}
+
+/// A fault surfaced to the caller by [`check`] or [`with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Surfaced {
+    /// The operation failed; emit a diagnostic with [`INJECTED_MARKER`].
+    Error,
+    /// The operation produced corrupted input; degrade and emit a
+    /// diagnostic with [`INJECTED_MARKER`].
+    Corrupt,
+}
+
+impl Surfaced {
+    /// Canonical diagnostic message for this surfaced fault at `site`.
+    pub fn message(self, site: &str) -> String {
+        match self {
+            Surfaced::Error => format!("{INJECTED_MARKER} fault at {site}"),
+            Surfaced::Corrupt => format!("{INJECTED_MARKER} corrupted input at {site}"),
+        }
+    }
+}
+
+/// Evaluate the fault point `(site, key)` against the installed plan.
+///
+/// Returns `None` when no fault fires (including when no plan is
+/// installed); the caller proceeds normally. Latency faults sleep and are
+/// accounted as recovered before returning `None`. Panic faults are
+/// accounted as surfaced and then panic — only use at [`sites::PANIC_SAFE`]
+/// sites. `Some(surfaced)` means the caller must honor the contract in
+/// [`Surfaced`]: the fault is already accounted, and the caller owes the
+/// response a diagnostic carrying [`INJECTED_MARKER`].
+pub fn check(site: &str, key: &str) -> Option<Surfaced> {
+    if !enabled() {
+        return None;
+    }
+    let st = read_state()?;
+    let action = decide(&st.plan, site, key, 0)?;
+    st.counters.injected.fetch_add(1, Ordering::SeqCst);
+    match action {
+        FaultAction::Latency(d) => {
+            st.counters.recovered.fetch_add(1, Ordering::SeqCst);
+            bounded_sleep(d);
+            None
+        }
+        FaultAction::Error => {
+            st.counters.surfaced.fetch_add(1, Ordering::SeqCst);
+            Some(Surfaced::Error)
+        }
+        FaultAction::Corrupt => {
+            st.counters.surfaced.fetch_add(1, Ordering::SeqCst);
+            Some(Surfaced::Corrupt)
+        }
+        FaultAction::Panic => {
+            st.counters.surfaced.fetch_add(1, Ordering::SeqCst);
+            panic!("{INJECTED_MARKER} panic at {site} (key {key})");
+        }
+    }
+}
+
+/// Evaluate a fault point without shared accounting or side effects:
+/// returns the raw action the plan assigns to `(site, key, attempt)`.
+/// [`with_retry`] uses this to defer accounting until the outcome of the
+/// whole retry loop is known.
+fn raw_check(site: &str, key: &str, attempt: u32) -> Option<FaultAction> {
+    if !enabled() {
+        return None;
+    }
+    let st = read_state()?;
+    decide(&st.plan, site, key, attempt)
+}
+
+fn account(injected: u64, recovered: u64, surfaced: u64) {
+    if injected == 0 {
+        return;
+    }
+    if let Some(st) = read_state() {
+        st.counters.injected.fetch_add(injected, Ordering::SeqCst);
+        st.counters.recovered.fetch_add(recovered, Ordering::SeqCst);
+        st.counters.surfaced.fetch_add(surfaced, Ordering::SeqCst);
+    }
+}
+
+/// Retry/backoff/timeout policy for an operation wrapped by [`with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = no retry).
+    pub retries: u32,
+    /// Backoff before attempt `n` (1-based): `backoff * n`.
+    pub backoff: Duration,
+    /// Virtual-time budget for the whole operation: injected latency and
+    /// backoff accrue against it deterministically; once exceeded the
+    /// operation fails even if retries remain.
+    pub timeout: Duration,
+}
+
+impl RetryPolicy {
+    pub const fn new(retries: u32, backoff: Duration, timeout: Duration) -> Self {
+        RetryPolicy {
+            retries,
+            backoff,
+            timeout,
+        }
+    }
+}
+
+/// Run `f` under the fault point `(site, key)` with retry and a
+/// deterministic (virtual-time) phase timeout.
+///
+/// Per attempt, the plan may inject latency (accrues against the virtual
+/// timeout, sleeps a bounded real amount) or an error/corruption (the
+/// attempt fails without running `f`). An attempt with no injected failure
+/// runs `f`; `f` returning `None` is a *genuine* miss and is returned
+/// as `Ok(None)` immediately — retrying a real lookup miss would change
+/// clean-path semantics. Accounting is deferred until the outcome is
+/// known: every fault fired along the way is recovered if the operation
+/// eventually succeeds (or genuinely misses), surfaced if it gives up.
+///
+/// Returns `Err(Surfaced::Error)` when retries or the timeout budget are
+/// exhausted; the caller owes a diagnostic, as with [`check`].
+pub fn with_retry<T>(
+    site: &str,
+    key: &str,
+    policy: &RetryPolicy,
+    mut f: impl FnMut() -> Option<T>,
+) -> Result<Option<T>, Surfaced> {
+    if !enabled() {
+        return Ok(f());
+    }
+    let mut fired: u64 = 0;
+    let mut elapsed = Duration::ZERO;
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            let backoff = policy.backoff * attempt;
+            elapsed += backoff;
+            if elapsed > policy.timeout {
+                break;
+            }
+            bounded_sleep(backoff);
+        }
+        match raw_check(site, key, attempt) {
+            Some(FaultAction::Latency(d)) => {
+                fired += 1;
+                elapsed += d;
+                bounded_sleep(d);
+                if elapsed > policy.timeout {
+                    break;
+                }
+                // Latency is transparent: the attempt still runs.
+                let out = f();
+                account(fired, fired, 0);
+                return Ok(out);
+            }
+            Some(_) => {
+                // Error, Corrupt and Panic all fail the attempt; retry.
+                fired += 1;
+            }
+            None => {
+                let out = f();
+                account(fired, fired, 0);
+                return Ok(out);
+            }
+        }
+    }
+    account(fired, 0, fired);
+    Err(Surfaced::Error)
+}
+
+/// Fault point shorthand: `fault::point!("site", key)` evaluates to
+/// `Option<Surfaced>` and compiles to a single atomic load when no plan is
+/// installed.
+#[macro_export]
+macro_rules! point {
+    ($site:expr, $key:expr) => {
+        if $crate::enabled() {
+            $crate::check($site, $key)
+        } else {
+            None
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // Plans are process-global; every test that installs one must hold
+    // this lock so parallel test threads don't observe each other's plans.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn serialize() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn always(site: &str, action: FaultAction) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            rules: vec![FaultRule::new(site, 1_000_000, action)],
+        }
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _l = serialize();
+        assert!(!enabled());
+        assert_eq!(check(sites::PARSE_FILE, "x"), None);
+        assert_eq!(point!(sites::PARSE_FILE, "x"), None);
+        assert_eq!(stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn install_enables_and_drop_disables() {
+        let _l = serialize();
+        let g = install(FaultPlan::empty(1));
+        assert!(enabled());
+        drop(g);
+        assert!(!enabled());
+        assert_eq!(stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn error_fault_surfaces_and_accounts() {
+        let _l = serialize();
+        let _g = install(always(sites::PARSE_FILE, FaultAction::Error));
+        assert_eq!(check(sites::PARSE_FILE, "a"), Some(Surfaced::Error));
+        assert_eq!(check(sites::PARSE_REFERENCE, "a"), None);
+        let s = stats();
+        assert_eq!(
+            s,
+            FaultStats {
+                injected: 1,
+                recovered: 0,
+                surfaced: 1
+            }
+        );
+        assert!(s.balanced());
+    }
+
+    #[test]
+    fn latency_fault_is_transparent_and_recovered() {
+        let _l = serialize();
+        let _g = install(always(
+            sites::REGISTRY_LATEST,
+            FaultAction::Latency(Duration::from_millis(1)),
+        ));
+        assert_eq!(check(sites::REGISTRY_LATEST, "pkg"), None);
+        let s = stats();
+        assert_eq!(
+            s,
+            FaultStats {
+                injected: 1,
+                recovered: 1,
+                surfaced: 0
+            }
+        );
+    }
+
+    #[test]
+    fn panic_fault_panics_with_marker() {
+        let _l = serialize();
+        let _g = install(always(sites::SERVICE_ANALYZE, FaultAction::Panic));
+        let err = std::panic::catch_unwind(|| check(sites::SERVICE_ANALYZE, "tool"))
+            .expect_err("panic fault must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            is_injected(&msg),
+            "panic message should carry the marker: {msg}"
+        );
+        assert_eq!(
+            stats(),
+            FaultStats {
+                injected: 1,
+                recovered: 0,
+                surfaced: 1
+            }
+        );
+    }
+
+    #[test]
+    fn decisions_are_pure_per_site_key_attempt() {
+        let plan = FaultPlan {
+            seed: 42,
+            rules: vec![FaultRule::new("registry.*", 300_000, FaultAction::Error)],
+        };
+        for key in ["a", "b", "serde", "left-pad"] {
+            let first = decide(&plan, sites::REGISTRY_LATEST, key, 0);
+            for _ in 0..10 {
+                assert_eq!(decide(&plan, sites::REGISTRY_LATEST, key, 0), first);
+            }
+        }
+        // Across many keys the empirical rate should be near 30%.
+        let fired = (0..2_000)
+            .filter(|i| decide(&plan, sites::REGISTRY_LATEST, &format!("k{i}"), 0).is_some())
+            .count();
+        assert!(
+            (400..=800).contains(&fired),
+            "fired {fired}/2000 at 300000 ppm"
+        );
+    }
+
+    #[test]
+    fn rule_matching_prefix_and_key() {
+        let rule = FaultRule::new("registry.*", 1_000_000, FaultAction::Error);
+        assert!(rule.matches(sites::REGISTRY_LATEST, "x"));
+        assert!(rule.matches(sites::REGISTRY_DEPS_OF, "y"));
+        assert!(!rule.matches(sites::PARSE_FILE, "x"));
+        let keyed =
+            FaultRule::new(sites::PARSE_FILE, 1_000_000, FaultAction::Error).for_key("Cargo.toml");
+        assert!(keyed.matches(sites::PARSE_FILE, "Cargo.toml"));
+        assert!(!keyed.matches(sites::PARSE_FILE, "go.mod"));
+    }
+
+    #[test]
+    fn with_retry_recovers_transient_error() {
+        let _l = serialize();
+        // 40% rate: most keys that fire at attempt 0 do not fire at every
+        // retry, so with enough retries the call usually succeeds.
+        let plan = FaultPlan {
+            seed: 99,
+            rules: vec![FaultRule::new(
+                sites::REGISTRY_LATEST,
+                400_000,
+                FaultAction::Error,
+            )],
+        };
+        let _g = install(plan);
+        let policy = RetryPolicy::new(4, Duration::from_millis(1), Duration::from_secs(5));
+        let mut succeeded = 0usize;
+        let mut gave_up = 0usize;
+        for i in 0..200 {
+            let key = format!("pkg{i}");
+            match with_retry(sites::REGISTRY_LATEST, &key, &policy, || Some(1u8)) {
+                Ok(Some(_)) => succeeded += 1,
+                Ok(None) => unreachable!("f always returns Some"),
+                Err(Surfaced::Error) => gave_up += 1,
+                Err(Surfaced::Corrupt) => unreachable!("retry never surfaces corrupt"),
+            }
+        }
+        assert!(
+            succeeded > 150,
+            "retries should absorb most faults: {succeeded}"
+        );
+        // At 40% over 5 attempts some keys still exhaust retries.
+        assert!(gave_up < 30, "give-ups should be rare: {gave_up}");
+        assert!(stats().balanced());
+    }
+
+    #[test]
+    fn with_retry_genuine_miss_is_not_retried() {
+        let _l = serialize();
+        let _g = install(FaultPlan::empty(3));
+        let policy = RetryPolicy::new(3, Duration::ZERO, Duration::from_secs(1));
+        let mut calls = 0;
+        let out = with_retry(sites::REGISTRY_VERSIONS, "ghost", &policy, || {
+            calls += 1;
+            None::<u8>
+        });
+        assert_eq!(out, Ok(None));
+        assert_eq!(calls, 1, "a genuine miss must not be retried");
+    }
+
+    #[test]
+    fn with_retry_virtual_timeout_gives_up() {
+        let _l = serialize();
+        let plan = always(
+            sites::REGISTRY_DEPS_OF,
+            FaultAction::Latency(Duration::from_secs(10)),
+        );
+        let _g = install(plan);
+        // Virtual budget of 1s is blown by the first injected 10s latency,
+        // while the real sleep stays bounded.
+        let policy = RetryPolicy::new(2, Duration::from_millis(1), Duration::from_secs(1));
+        let start = std::time::Instant::now();
+        let out = with_retry(sites::REGISTRY_DEPS_OF, "pkg", &policy, || Some(1u8));
+        assert_eq!(out, Err(Surfaced::Error));
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "real sleep must stay bounded"
+        );
+        assert!(stats().balanced());
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_well_formed() {
+        for index in 0..50 {
+            let a = FaultPlan::chaos(42, index);
+            let b = FaultPlan::chaos(42, index);
+            assert_eq!(a, b);
+            assert!(!a.rules.is_empty() && a.rules.len() <= 4);
+            for rule in &a.rules {
+                assert!(sites::ALL.contains(&rule.site.as_str()));
+                assert!((50_000..500_000).contains(&rule.rate_ppm));
+                if rule.action == FaultAction::Panic {
+                    assert!(sites::PANIC_SAFE.contains(&rule.site.as_str()));
+                }
+            }
+        }
+        assert_ne!(FaultPlan::chaos(42, 0), FaultPlan::chaos(42, 1));
+        assert_ne!(FaultPlan::chaos(42, 0), FaultPlan::chaos(43, 0));
+    }
+
+    #[test]
+    fn surfaced_messages_carry_marker() {
+        assert!(is_injected(&Surfaced::Error.message(sites::PARSE_FILE)));
+        assert!(is_injected(&Surfaced::Corrupt.message(sites::PARSE_FILE)));
+        assert!(!is_injected("ordinary parse error"));
+    }
+}

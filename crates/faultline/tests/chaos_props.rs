@@ -1,0 +1,344 @@
+//! Degraded-mode invariants: the chaos property suite.
+//!
+//! For every seeded [`FaultPlan`] the resilience contract must hold:
+//!
+//! 1. **Exact accounting.** `injected == surfaced + recovered` at every
+//!    quiescent point, where every *surfaced* fault at a parse site is
+//!    visible as exactly one marker-carrying diagnostic in some tool's
+//!    SBOM, and every *recovered* fault was absorbed by a successful
+//!    retry or a transparent injected latency. Nothing is lost silently.
+//! 2. **Determinism.** The same plan yields byte-identical SBOMs on every
+//!    run — fire decisions are pure in `(seed, site, key, attempt)`.
+//! 3. **Clean restoration.** With all faults disabled (no plan, or an
+//!    empty plan), output is byte-identical to the fault-free golden
+//!    path, and having soaked a chaos plan leaves no residue behind.
+//!
+//! Plans are process-global, so every test serializes on one mutex.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use sbomdiff_faultline as fault;
+use sbomdiff_generators::{studied_tools, BestPracticeGenerator, SbomGenerator};
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_registry::Registries;
+use sbomdiff_resolver::engine::{resolve, DedupPolicy, RootDep};
+use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_types::{DiagClass, Ecosystem, Sbom};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed multi-ecosystem repository covering four parser families, so
+/// parse-site plans have plenty of distinct `(site, key)` pairs to hit.
+fn fixture_repo() -> RepoFs {
+    let mut repo = RepoFs::new("chaos-props");
+    repo.add_text(
+        "py/requirements.txt",
+        "numpy==1.19.2\nrequests>=2.8.1\nflask\njinja2==2.11.3\n",
+    );
+    repo.add_text(
+        "js/package.json",
+        "{\n  \"name\": \"props\",\n  \"dependencies\": {\n    \"react\": \"^17.0.0\",\n    \"lodash\": \"4.17.21\"\n  }\n}\n",
+    );
+    repo.add_text(
+        "go/go.mod",
+        "module example.com/props\n\ngo 1.21\n\nrequire (\n\tgithub.com/stretchr/testify v1.8.0\n\tgolang.org/x/text v0.3.7\n)\n",
+    );
+    repo.add_text(
+        "rs/Cargo.toml",
+        "[package]\nname = \"props\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = \"1.0\"\nrand = \"0.8\"\n",
+    );
+    repo
+}
+
+/// Serializes every studied tool's SBOM plus the best-practice SBOM for
+/// `repo` — the byte-identity probe used by all determinism assertions.
+fn generate_all(registries: &Registries, repo: &RepoFs) -> Vec<String> {
+    let mut out = Vec::new();
+    for tool in &studied_tools(registries, 0.0) {
+        out.push(SbomFormat::CycloneDx.serialize(&tool.generate(repo)));
+    }
+    let bp = BestPracticeGenerator::new(registries);
+    out.push(SbomFormat::CycloneDx.serialize(&bp.generate(repo)));
+    out
+}
+
+fn marker_diags(sbom: &Sbom) -> u64 {
+    sbom.diagnostics()
+        .iter()
+        .filter(|d| fault::is_injected(&d.message))
+        .count() as u64
+}
+
+/// A plan whose rules fire only at the two parse sites, where surfaced
+/// faults map 1:1 onto marker diagnostics.
+fn parse_site_plan(seed: u64, rate_ppm: u32, action: fault::FaultAction) -> fault::FaultPlan {
+    fault::FaultPlan {
+        seed,
+        rules: vec![fault::FaultRule::new("parse.*", rate_ppm, action)],
+    }
+}
+
+#[test]
+fn empty_plan_reproduces_fault_free_golden_byte_identically() {
+    let _l = serialize();
+    let registries = Registries::generate(42);
+    let repo = fixture_repo();
+    let golden = generate_all(&registries, &repo);
+
+    let guard = fault::install(fault::FaultPlan::empty(42));
+    let under_empty_plan = generate_all(&registries, &repo);
+    let stats = fault::stats();
+    drop(guard);
+
+    assert_eq!(
+        golden, under_empty_plan,
+        "an installed plan with no rules must not perturb output"
+    );
+    assert_eq!(stats, fault::FaultStats::default(), "no rules, no fires");
+    assert_eq!(
+        golden,
+        generate_all(&registries, &repo),
+        "uninstalling must restore the golden path"
+    );
+    assert!(golden
+        .iter()
+        .all(|doc| !doc.contains(fault::INJECTED_MARKER)));
+}
+
+#[test]
+fn surfaced_parse_faults_equal_marker_diagnostics_exactly() {
+    let _l = serialize();
+    let registries = Registries::generate(42);
+    let repo = fixture_repo();
+    for (seed, rate) in [
+        (1u64, 250_000u32),
+        (2, 500_000),
+        (3, 900_000),
+        (4, 1_000_000),
+    ] {
+        for action in [fault::FaultAction::Error, fault::FaultAction::Corrupt] {
+            let _g = fault::install(parse_site_plan(seed, rate, action));
+            let mut diags = 0u64;
+            for tool in &studied_tools(&registries, 0.0) {
+                diags += marker_diags(&tool.generate(&repo));
+            }
+            diags += marker_diags(&BestPracticeGenerator::new(&registries).generate(&repo));
+            let stats = fault::stats();
+            assert!(stats.balanced(), "accounting drifted: {stats:?}");
+            assert_eq!(
+                stats.recovered, 0,
+                "error/corrupt plans have nothing to recover"
+            );
+            assert_eq!(
+                stats.surfaced, diags,
+                "every surfaced parse fault must leave exactly one marker \
+                 diagnostic (seed {seed}, rate {rate}, {action:?})"
+            );
+            if rate == 1_000_000 {
+                assert!(
+                    stats.injected > 0,
+                    "a certain rule over live sites must fire"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_faults_recover_and_leave_no_diagnostics() {
+    let _l = serialize();
+    let registries = Registries::generate(42);
+    let repo = fixture_repo();
+    let _g = fault::install(parse_site_plan(
+        9,
+        1_000_000,
+        fault::FaultAction::Latency(Duration::from_millis(1)),
+    ));
+    let mut diags = 0u64;
+    for tool in &studied_tools(&registries, 0.0) {
+        diags += marker_diags(&tool.generate(&repo));
+    }
+    let stats = fault::stats();
+    assert!(stats.injected > 0);
+    assert_eq!(stats.recovered, stats.injected, "latency is transparent");
+    assert_eq!(stats.surfaced, 0);
+    assert_eq!(diags, 0, "recovered faults owe no diagnostic");
+}
+
+#[test]
+fn retry_outcomes_account_injected_as_recovered_plus_surfaced() {
+    let _l = serialize();
+    // Registry-site errors at 45%: with 3 retries most keys recover, some
+    // exhaust the budget. Per call: success ⇒ every fired fault recovered,
+    // give-up ⇒ every fired fault surfaced. The sums must reconcile.
+    let plan = fault::FaultPlan {
+        seed: 77,
+        rules: vec![fault::FaultRule::new(
+            "registry.*",
+            450_000,
+            fault::FaultAction::Error,
+        )],
+    };
+    let _g = fault::install(plan);
+    let policy = fault::RetryPolicy::new(3, Duration::from_millis(1), Duration::from_secs(5));
+    let (mut ok, mut gave_up) = (0u64, 0u64);
+    let mut before = fault::stats();
+    for i in 0..150 {
+        let key = format!("pkg-{i}");
+        let out = fault::with_retry(fault::sites::REGISTRY_LATEST, &key, &policy, || Some(i));
+        let after = fault::stats();
+        let fired = after.injected - before.injected;
+        match out {
+            Ok(_) => {
+                ok += 1;
+                assert_eq!(
+                    after.recovered - before.recovered,
+                    fired,
+                    "a successful retry loop must recover every fault it absorbed"
+                );
+                assert_eq!(after.surfaced, before.surfaced);
+            }
+            Err(_) => {
+                gave_up += 1;
+                assert_eq!(
+                    after.surfaced - before.surfaced,
+                    fired,
+                    "an exhausted retry loop must surface every fault it saw"
+                );
+                assert_eq!(after.recovered, before.recovered);
+            }
+        }
+        before = after;
+    }
+    assert!(ok > 100, "most keys must recover under retry: {ok}");
+    assert!(gave_up > 0, "at 45% some keys must exhaust 4 attempts");
+    assert!(before.balanced());
+}
+
+#[test]
+fn chaos_plans_are_deterministic_and_never_silent() {
+    let _l = serialize();
+    let registries = Registries::generate(42);
+    let uni = registries.for_ecosystem(Ecosystem::Python);
+    for index in 0..25u64 {
+        let run = |repo: &RepoFs| {
+            let mut docs = Vec::new();
+            let mut evidence = 0u64;
+            for tool in &studied_tools(&registries, 0.0) {
+                match catch_unwind(AssertUnwindSafe(|| tool.generate(repo))) {
+                    Ok(sbom) => {
+                        evidence += sbom
+                            .diagnostics()
+                            .iter()
+                            .filter(|d| {
+                                fault::is_injected(&d.message)
+                                    || matches!(
+                                        d.class,
+                                        DiagClass::RegistryFailure | DiagClass::UnpinnedDropped
+                                    )
+                            })
+                            .count() as u64;
+                        docs.push(SbomFormat::CycloneDx.serialize(&sbom));
+                    }
+                    // A caught injected panic is itself the evidence.
+                    Err(_) => evidence += 1,
+                }
+            }
+            let roots = vec![RootDep::new("numpy", None), RootDep::new("requests", None)];
+            let resolution = resolve(uni, &roots, DedupPolicy::HighestWins, true);
+            evidence += (resolution.failures.len() + resolution.pruned_transitives) as u64;
+            (docs, evidence)
+        };
+
+        let repo = fixture_repo();
+        let g1 = fault::install(fault::FaultPlan::chaos(42, index));
+        let (first, evidence) = run(&repo);
+        let stats = fault::stats();
+        drop(g1);
+        assert!(
+            stats.balanced(),
+            "plan {index}: accounting drifted: {stats:?}"
+        );
+        if stats.surfaced > 0 {
+            assert!(
+                evidence > 0,
+                "plan {index}: {} faults surfaced without any evidence",
+                stats.surfaced
+            );
+        }
+
+        let g2 = fault::install(fault::FaultPlan::chaos(42, index));
+        let (second, _) = run(&repo);
+        let stats2 = fault::stats();
+        drop(g2);
+        assert_eq!(
+            first, second,
+            "plan {index}: same plan must yield byte-identical SBOMs"
+        );
+        assert_eq!(stats, stats2, "plan {index}: same plan, same counters");
+    }
+    // After 25 plans of soaking, the clean path is exactly what it was.
+    let repo = fixture_repo();
+    let golden = generate_all(&registries, &repo);
+    assert_eq!(golden, generate_all(&registries, &repo));
+    assert!(golden
+        .iter()
+        .all(|doc| !doc.contains(fault::INJECTED_MARKER)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Accounting balances and surfaced parse faults stay 1:1 with marker
+    /// diagnostics for arbitrary seeds, rates and mixed-action plans.
+    #[test]
+    fn accounting_balances_for_arbitrary_parse_plans(
+        seed in 0u64..1_000_000,
+        err_rate in 0u32..1_000_000,
+        corrupt_rate in 0u32..1_000_000,
+        latency_rate in 0u32..1_000_000,
+    ) {
+        let _l = serialize();
+        let registries = Registries::generate(42);
+        let repo = fixture_repo();
+        // First matching rule wins, so split the two sites: dialect parses
+        // mix error and corruption, reference parses inject latency.
+        let plan = fault::FaultPlan {
+            seed,
+            rules: vec![
+                fault::FaultRule::new(fault::sites::PARSE_FILE, err_rate, fault::FaultAction::Error)
+                    .for_key("py/requirements.txt"),
+                fault::FaultRule::new(
+                    fault::sites::PARSE_FILE,
+                    corrupt_rate,
+                    fault::FaultAction::Corrupt,
+                ),
+                fault::FaultRule::new(
+                    fault::sites::PARSE_REFERENCE,
+                    latency_rate,
+                    fault::FaultAction::Latency(Duration::from_millis(1)),
+                ),
+            ],
+        };
+        let _g = fault::install(plan);
+        let mut diags = 0u64;
+        for tool in &studied_tools(&registries, 0.0) {
+            diags += marker_diags(&tool.generate(&repo));
+        }
+        diags += marker_diags(&BestPracticeGenerator::new(&registries).generate(&repo));
+        let stats = fault::stats();
+        prop_assert!(stats.balanced(), "accounting drifted: {:?}", stats);
+        prop_assert_eq!(
+            stats.surfaced, diags,
+            "injected must equal marker diagnostics plus recovered"
+        );
+    }
+}

@@ -13,13 +13,14 @@
 
 use std::collections::BTreeMap;
 
+use sbomdiff_faultline as fault;
 use sbomdiff_metadata::{
     dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, Parsed,
     RepoFs,
 };
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, engine, Platform};
-use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
+use sbomdiff_types::{Component, Cpe, DepScope, DiagClass, Diagnostic, Ecosystem, Purl, Sbom};
 
 use crate::{SbomGenerator, ToolId};
 
@@ -208,6 +209,21 @@ fn push_component(
 /// tool-dialect parsers of `emulator::parse_with_style`. Results are
 /// stamped with path and ecosystem, ready for caching.
 pub(crate) fn parse_reference(repo: &RepoFs, path: &str, kind: MetadataKind) -> Parsed {
+    // Fault point: the reference parse has no tool dialect to degrade into,
+    // so both injected errors and injected corruption fail the file with a
+    // typed, marker-carrying diagnostic instead of silently dropping it.
+    if let Some(surfaced) = fault::point!(fault::sites::PARSE_REFERENCE, path) {
+        let class = match surfaced {
+            fault::Surfaced::Error => DiagClass::IoError,
+            fault::Surfaced::Corrupt => DiagClass::TruncatedInput,
+        };
+        return Parsed::fail(Diagnostic::new(
+            class,
+            surfaced.message(fault::sites::PARSE_REFERENCE),
+        ))
+        .with_path(path)
+        .with_ecosystem(kind.ecosystem());
+    }
     let parsed = if kind.is_lockfile() {
         parse_lockfile(repo, path, kind)
     } else {

@@ -6,6 +6,7 @@
 //! results are never merged — which is exactly what produces the duplicate
 //! entries of Table I.
 
+use sbomdiff_faultline as fault;
 use sbomdiff_metadata::{
     dotnet, golang, java, javascript, php, python, ruby, rust_lang, swift, MetadataKind, Parsed,
     RepoFs,
@@ -462,6 +463,23 @@ pub(crate) fn parse_with_style(
     style: python::ReqStyle,
 ) -> Parsed {
     let is_binary = matches!(kind, MetadataKind::GoBinary | MetadataKind::RustBinary);
+    // Fault point: an injected error fails the whole file read (IoError);
+    // injected corruption truncates the text mid-file so the parser sees a
+    // damaged-but-parseable document, flagged with a TruncatedInput
+    // diagnostic. Binary formats have no safe partial read, so corruption
+    // degrades to the error path there.
+    let injected = fault::point!(fault::sites::PARSE_FILE, path);
+    let corrupted = injected == Some(fault::Surfaced::Corrupt) && !is_binary;
+    if let Some(surfaced) = injected {
+        if !corrupted {
+            return Parsed::fail(Diagnostic::new(
+                DiagClass::IoError,
+                surfaced.message(fault::sites::PARSE_FILE),
+            ))
+            .with_path(path)
+            .with_ecosystem(kind.ecosystem());
+        }
+    }
     if !is_binary && repo.text(path).is_none() && repo.bytes(path).is_some() {
         // The file exists but is not valid UTF-8 — every text parser would
         // otherwise see an empty document and silently succeed.
@@ -472,7 +490,14 @@ pub(crate) fn parse_with_style(
         .with_path(path)
         .with_ecosystem(kind.ecosystem());
     }
-    let text = || repo.text(path).unwrap_or_default();
+    let text = || {
+        let t = repo.text(path).unwrap_or_default();
+        if corrupted {
+            truncate_for_fault(t)
+        } else {
+            t
+        }
+    };
     let parsed = match kind {
         MetadataKind::RequirementsTxt => python::parse_requirements(text(), style),
         MetadataKind::PoetryLock => python::parse_poetry_lock(text()),
@@ -509,7 +534,28 @@ pub(crate) fn parse_with_style(
         MetadataKind::PackagesConfig => dotnet::parse_packages_config(text()),
         MetadataKind::PackagesLockJson => dotnet::parse_packages_lock_json(text()),
     };
-    parsed.with_path(path).with_ecosystem(kind.ecosystem())
+    let mut parsed = parsed.with_path(path).with_ecosystem(kind.ecosystem());
+    if corrupted {
+        parsed.push_diag(
+            Diagnostic::new(
+                DiagClass::TruncatedInput,
+                fault::Surfaced::Corrupt.message(fault::sites::PARSE_FILE),
+            )
+            .with_path(path)
+            .with_ecosystem(kind.ecosystem()),
+        );
+    }
+    parsed
+}
+
+/// Cuts a document roughly in half on a char boundary, modeling a
+/// truncated read under injected corruption.
+fn truncate_for_fault(text: &str) -> &str {
+    let mut cut = text.len() / 2;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &text[..cut]
 }
 
 #[cfg(test)]

@@ -6,10 +6,25 @@
 //! unreliability deterministically so experiments are reproducible.
 
 use std::cell::Cell;
+use std::time::Duration;
 
+use sbomdiff_faultline as fault;
 use sbomdiff_types::{Version, VersionReq};
 
 use crate::universe::{PackageUniverse, RegistryDep};
+
+/// Retry policy for registry queries under fault injection: two retries
+/// with linear backoff inside a deterministic per-query budget. Inert
+/// (zero-cost single call) when no fault plan is installed.
+const REGISTRY_RETRY: fault::RetryPolicy =
+    fault::RetryPolicy::new(2, Duration::from_millis(2), Duration::from_millis(250));
+
+/// Run `f` under the registry fault point `site`, keyed by package name.
+/// An exhausted retry budget behaves exactly like a registry failure: the
+/// query answers `None` and the caller surfaces its usual diagnostic.
+fn guarded<T>(site: &'static str, name: &str, f: impl FnMut() -> Option<T>) -> Option<T> {
+    fault::with_retry(site, name, &REGISTRY_RETRY, f).unwrap_or_default()
+}
 
 /// Read-only registry operations used by resolvers and tool emulators.
 pub trait RegistryClient {
@@ -72,29 +87,35 @@ impl FlakyRegistry<'_> {
     /// what name validation on the emulator hot path uses: it only needs
     /// to know whether the registry answered.
     pub fn validate(&self, name: &str) -> Option<()> {
-        if self.fails(name) {
-            return None;
-        }
-        self.inner.lookup(name).map(|_| ())
+        guarded(fault::sites::REGISTRY_VERSIONS, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            self.inner.lookup(name).map(|_| ())
+        })
     }
 
     /// [`RegistryClient::latest`] returning a borrowed version — same
     /// failure sequence, no clone of the version's backing strings.
     pub fn latest_ref(&self, name: &str) -> Option<&Version> {
-        if self.fails(name) {
-            return None;
-        }
-        self.inner.latest(name)
+        guarded(fault::sites::REGISTRY_LATEST, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            self.inner.latest(name)
+        })
     }
 
     /// [`RegistryClient::latest_matching`] returning a borrowed version —
     /// the resolve-latest profile calls this once per ranged declaration
     /// and once per transitive edge.
     pub fn latest_matching_ref(&self, name: &str, req: &VersionReq) -> Option<&Version> {
-        if self.fails(name) {
-            return None;
-        }
-        self.inner.latest_matching(name, req)
+        guarded(fault::sites::REGISTRY_LATEST_MATCHING, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            self.inner.latest_matching(name, req)
+        })
     }
 
     /// [`RegistryClient::deps_of`] returning borrowed edges — the
@@ -108,11 +129,13 @@ impl FlakyRegistry<'_> {
         extras: &[String],
         honor_markers: bool,
     ) -> Option<Vec<&RegistryDep>> {
-        if self.fails(name) {
-            return None;
-        }
-        self.inner.lookup(name)?;
-        Some(self.inner.deps_of(name, version, extras, honor_markers))
+        guarded(fault::sites::REGISTRY_DEPS_OF, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            self.inner.lookup(name)?;
+            Some(self.inner.deps_of(name, version, extras, honor_markers))
+        })
     }
 }
 
@@ -164,24 +187,30 @@ impl<'a> FlakyRegistry<'a> {
 
 impl RegistryClient for FlakyRegistry<'_> {
     fn versions(&self, name: &str) -> Option<Vec<Version>> {
-        if self.fails(name) {
-            return None;
-        }
-        RegistryClient::versions(self.inner, name)
+        guarded(fault::sites::REGISTRY_VERSIONS, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            RegistryClient::versions(self.inner, name)
+        })
     }
 
     fn latest(&self, name: &str) -> Option<Version> {
-        if self.fails(name) {
-            return None;
-        }
-        RegistryClient::latest(self.inner, name)
+        guarded(fault::sites::REGISTRY_LATEST, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            RegistryClient::latest(self.inner, name)
+        })
     }
 
     fn latest_matching(&self, name: &str, req: &VersionReq) -> Option<Version> {
-        if self.fails(name) {
-            return None;
-        }
-        RegistryClient::latest_matching(self.inner, name, req)
+        guarded(fault::sites::REGISTRY_LATEST_MATCHING, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            RegistryClient::latest_matching(self.inner, name, req)
+        })
     }
 
     fn deps_of(
@@ -191,10 +220,12 @@ impl RegistryClient for FlakyRegistry<'_> {
         extras: &[String],
         honor_markers: bool,
     ) -> Option<Vec<RegistryDep>> {
-        if self.fails(name) {
-            return None;
-        }
-        RegistryClient::deps_of(self.inner, name, version, extras, honor_markers)
+        guarded(fault::sites::REGISTRY_DEPS_OF, name, || {
+            if self.fails(name) {
+                return None;
+            }
+            RegistryClient::deps_of(self.inner, name, version, extras, honor_markers)
+        })
     }
 }
 

@@ -5,6 +5,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use sbomdiff_faultline as fault;
 use sbomdiff_registry::RegistryClient;
 use sbomdiff_types::{DepScope, Version, VersionReq};
 
@@ -67,6 +68,12 @@ pub struct Resolution {
     /// Root names that could not be resolved (unknown package / no version
     /// in range / registry failure).
     pub failures: Vec<String>,
+    /// Transitive visits dropped because their package did not resolve
+    /// (dead registry edge, no version in range, or an injected fault).
+    /// Keeps silent pruning countable: a fault-injection harness can
+    /// assert every injected resolver fault is visible here or in
+    /// `failures`.
+    pub pruned_transitives: usize,
 }
 
 impl Resolution {
@@ -97,12 +104,25 @@ pub fn resolve<C: RegistryClient>(
         if guard > 100_000 {
             break; // defensive bound; registry DAGs terminate well below this
         }
+        // Fault point: an injected failure drops this visit exactly like an
+        // unresolvable package — roots land in `failures`, transitives are
+        // silently pruned (matching real resolver behavior on a dead edge).
+        if fault::point!(fault::sites::RESOLVER_VISIT, &dep.name).is_some() {
+            if transitive {
+                resolution.pruned_transitives += 1;
+            } else {
+                resolution.failures.push(dep.name.clone());
+            }
+            continue;
+        }
         let resolved_version = match &dep.req {
             Some(req) => registry.latest_matching(&dep.name, req),
             None => registry.latest(&dep.name),
         };
         let Some(version) = resolved_version else {
-            if !transitive {
+            if transitive {
+                resolution.pruned_transitives += 1;
+            } else {
                 resolution.failures.push(dep.name.clone());
             }
             continue;

@@ -7,15 +7,17 @@
 //! pipeline).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use sbomdiff_diff::{jaccard, key_set};
-use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext};
+use sbomdiff_faultline as fault;
+use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, ToolId};
 use sbomdiff_metadata::RepoFs;
 use sbomdiff_registry::Registries;
 use sbomdiff_sbomfmt::SbomFormat;
 use sbomdiff_textformats::{json, Value};
-use sbomdiff_types::{ResolvedPackage, Sbom, Version};
+use sbomdiff_types::{DiagClass, Diagnostic, ResolvedPackage, Sbom, Version};
 use sbomdiff_vuln::AdvisoryDb;
 
 use crate::http::{Request, Response};
@@ -194,19 +196,42 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
     let scan = ScanContext::new(&repo, &state.parse_cache);
     let mut ids = Vec::new();
     let mut sboms: Vec<Sbom> = Vec::new();
+    let mut caught_fault = false;
     for tool in &tools {
-        ids.push(tool.id());
-        sboms.push(tool.generate_with_scan(&scan));
+        let id = tool.id();
+        ids.push(id);
+        let (sbom, faulted) = generate_guarded(id, name, || tool.generate_with_scan(&scan));
+        caught_fault |= faulted;
+        sboms.push(sbom);
     }
     if best_practice {
         let bp = BestPracticeGenerator::new(&registries);
-        ids.push(bp.id());
-        sboms.push(bp.generate_with_scan(&scan));
+        let id = bp.id();
+        ids.push(id);
+        let (sbom, faulted) = generate_guarded(id, name, || bp.generate_with_scan(&scan));
+        caught_fault |= faulted;
+        sboms.push(sbom);
     }
+    // Degraded := some tool's generation step was lost to a caught fault,
+    // or a fault plan is installed and fault evidence (injected-marker
+    // messages, registry failures under the otherwise-reliable service
+    // registry) reached the diagnostics. A pure function of (payload,
+    // installed plan), so responses stay deterministic per plan.
+    let degraded = caught_fault
+        || sboms.iter().any(|s| {
+            s.diagnostics().iter().any(|d| {
+                fault::is_injected(&d.message)
+                    || (fault::enabled() && d.class == DiagClass::RegistryFailure)
+            })
+        });
 
     let mut out = Value::object();
     out.set("subject", Value::from(name));
     out.set("seed", Value::from(seed as i64));
+    out.set("degraded", Value::from(degraded));
+    if degraded {
+        state.metrics.record_degraded();
+    }
     let mut tool_rows = Vec::new();
     for (id, sbom) in ids.iter().zip(&sboms) {
         let mut row = Value::object();
@@ -267,7 +292,45 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         }
         out.set("sboms", docs);
     }
-    finish(out)
+    finish(out).with_degraded(degraded)
+}
+
+/// Runs one tool's generation step under the `service.analyze` fault point
+/// and a panic boundary. A failing or panicking tool yields an empty SBOM
+/// carrying a typed diagnostic: the analysis degrades into evidence, it
+/// never becomes a 500 and never silently omits the tool.
+fn generate_guarded(id: ToolId, subject: &str, generate: impl FnOnce() -> Sbom) -> (Sbom, bool) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(surfaced) = fault::point!(fault::sites::SERVICE_ANALYZE, id.label()) {
+            return Err(surfaced.message(fault::sites::SERVICE_ANALYZE));
+        }
+        Ok(generate())
+    }));
+    match outcome {
+        Ok(Ok(sbom)) => (sbom, false),
+        Ok(Err(message)) => (failed_tool_sbom(id, subject, message), true),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "tool generation panicked".to_string());
+            let message = if fault::is_injected(&message) {
+                message
+            } else {
+                format!("caught panic: {message}")
+            };
+            (failed_tool_sbom(id, subject, message), true)
+        }
+    }
+}
+
+/// The placeholder SBOM for a tool whose generation step was lost to a
+/// caught fault: no components, one Error-severity diagnostic.
+fn failed_tool_sbom(id: ToolId, subject: &str, message: String) -> Sbom {
+    let mut sbom = Sbom::new(id.label(), id.version()).with_subject(subject);
+    sbom.extend_shared_diagnostics([Arc::new(Diagnostic::new(DiagClass::IoError, message))]);
+    sbom
 }
 
 /// `POST /v1/diff`: two serialized SBOM documents → differential report.

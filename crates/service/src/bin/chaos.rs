@@ -1,0 +1,99 @@
+//! `sbomdiff-chaos` — seeded fault-injection soak for the serving stack.
+//!
+//! Runs N deterministic fault plans (derived from `--seed`) against the
+//! tool emulators, the resolver, and in-process servers at two worker
+//! counts, asserting the resilience contract: balanced fault accounting,
+//! no panic across the worker-pool boundary, evidence for every surfaced
+//! fault, and byte-identical responses regardless of parallelism.
+//!
+//! Exit code 0 = every plan soaked clean; 1 = violations (printed).
+
+use std::process::ExitCode;
+
+use sbomdiff_service::chaos::{self, ChaosConfig};
+
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+const USAGE: &str = "\
+sbomdiff-chaos - deterministic fault-injection soak
+
+USAGE:
+    sbomdiff-chaos [OPTIONS]
+
+OPTIONS:
+    --plans <N>      seeded fault plans to soak (default 25)
+    --seed <N>       master seed; plan i = chaos(seed, i) (default 42)
+    --requests <N>   requests per loadgen pass (default 18)
+    --clients <N>    concurrent loadgen clients (default 3)
+    --payloads <N>   distinct payloads per pass (default 6)
+    --help, -h       print this help
+    --version, -V    print the version
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ChaosConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--version" | "-V" => {
+                println!("sbomdiff-chaos {VERSION}");
+                return ExitCode::SUCCESS;
+            }
+            "--plans" => match parse_num(it.next(), flag) {
+                Ok(v) => config.plans = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--seed" => match parse_num(it.next(), flag) {
+                Ok(v) => config.seed = v,
+                Err(code) => return code,
+            },
+            "--requests" => match parse_num(it.next(), flag) {
+                Ok(v) => config.requests = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--clients" => match parse_num(it.next(), flag) {
+                Ok(v) => config.clients = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            "--payloads" => match parse_num(it.next(), flag) {
+                Ok(v) => config.payloads = (v as usize).max(1),
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match chaos::run(&config) {
+        Ok(report) => {
+            print!("{}", report.report());
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("chaos soak FAILED (seed {}, reproducible)", config.seed);
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("error: chaos soak failed to run: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(value: Option<&String>, flag: &str) -> Result<u64, ExitCode> {
+    match value.and_then(|v| v.parse::<u64>().ok()) {
+        Some(v) => Ok(v),
+        None => {
+            eprintln!("error: {flag} requires a non-negative integer");
+            Err(ExitCode::from(2))
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Seeded chaos soak: run N deterministic fault plans against the full
+//! stack and assert the resilience contract.
+//!
+//! Per plan, two phases:
+//!
+//! 1. **Direct attribution** — hand-rolled multi-ecosystem repositories
+//!    are analyzed by every studied tool (each under a panic boundary) and
+//!    a root set is resolved directly through the resolver engine, with
+//!    fault-counter snapshots taken around the phase. Invariants: the
+//!    accounting balances (`injected == recovered + surfaced`), and any
+//!    surfaced fault left *evidence* — a diagnostic, a resolution failure,
+//!    a pruned transitive, or a caught panic. Nothing is silently lost.
+//! 2. **Service soak** — the loadgen runs the same clean pre-built payload
+//!    set through in-process servers at `jobs=1` and `jobs=4` under the
+//!    same plan. Invariants: response digests are byte-identical across
+//!    worker counts, no panic reaches the worker-pool boundary, and the
+//!    only non-2xx statuses are deliberate 503s (deadline shedding).
+//!
+//! Everything is derived from `(seed, plan index)`; a failing run is
+//! reproducible from its seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sbomdiff_faultline as fault;
+use sbomdiff_generators::SbomGenerator;
+use sbomdiff_metadata::RepoFs;
+use sbomdiff_registry::Registries;
+use sbomdiff_resolver::engine::{resolve, DedupPolicy, RootDep};
+use sbomdiff_types::DiagClass;
+
+use crate::loadgen::{build_payloads, run_with_payloads, LoadgenConfig};
+
+/// Chaos-run configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of seeded fault plans to soak.
+    pub plans: usize,
+    /// Master seed; plan `i` is `FaultPlan::chaos(seed, i)`.
+    pub seed: u64,
+    /// Requests per loadgen pass (kept small: each plan runs two passes).
+    pub requests: usize,
+    /// Concurrent loadgen clients.
+    pub clients: usize,
+    /// Distinct payloads rotated through the loadgen passes.
+    pub payloads: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            plans: 25,
+            seed: 42,
+            requests: 18,
+            clients: 3,
+            payloads: 6,
+        }
+    }
+}
+
+/// Outcome of one plan's soak.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Plan index within the run.
+    pub index: u64,
+    /// Number of rules in the plan.
+    pub rules: usize,
+    /// Fault counters accumulated over the whole plan (both phases).
+    pub stats: fault::FaultStats,
+    /// Evidence items observed in the direct phase (diagnostics, failures,
+    /// pruned transitives, caught panics).
+    pub evidence: u64,
+    /// Surfaced faults during the direct phase only.
+    pub direct_surfaced: u64,
+    /// Panics that crossed the worker-pool boundary (must be 0).
+    pub worker_panics: u64,
+    /// Degraded analyses counted by the two service passes.
+    pub degraded: u64,
+    /// Violations detected for this plan (empty = clean).
+    pub violations: Vec<String>,
+}
+
+/// Aggregated chaos-run outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Per-plan outcomes, in plan order.
+    pub plans: Vec<PlanReport>,
+}
+
+impl ChaosReport {
+    /// True when every plan soaked clean.
+    pub fn ok(&self) -> bool {
+        self.plans.iter().all(|p| p.violations.is_empty())
+    }
+
+    /// Renders the human-readable summary.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let mut injected = 0u64;
+        let mut surfaced = 0u64;
+        let mut recovered = 0u64;
+        for plan in &self.plans {
+            injected += plan.stats.injected;
+            surfaced += plan.stats.surfaced;
+            recovered += plan.stats.recovered;
+            let verdict = if plan.violations.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            out.push_str(&format!(
+                "plan {:>3}  rules={} injected={:>5} recovered={:>5} surfaced={:>5} evidence={:>4} degraded={:>3} worker_panics={} {}\n",
+                plan.index,
+                plan.rules,
+                plan.stats.injected,
+                plan.stats.recovered,
+                plan.stats.surfaced,
+                plan.evidence,
+                plan.degraded,
+                plan.worker_panics,
+                verdict,
+            ));
+            for violation in &plan.violations {
+                out.push_str(&format!("    violation: {violation}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "chaos: {} plans, {injected} injected = {recovered} recovered + {surfaced} surfaced, {}\n",
+            self.plans.len(),
+            if self.ok() { "all clean" } else { "VIOLATIONS" }
+        ));
+        out
+    }
+}
+
+/// Runs the chaos soak.
+///
+/// # Errors
+///
+/// Propagates server-start I/O errors from the loadgen passes.
+pub fn run(config: &ChaosConfig) -> std::io::Result<ChaosReport> {
+    // Injected panics are caught by design, but the default panic hook
+    // would still print a backtrace for each one — hundreds of lines of
+    // noise per soak. Silence exactly those (the marker identifies them)
+    // and restore the previous hook on every exit path.
+    let _quiet = QuietInjectedPanics::install();
+    // Build everything fault-free ONCE, before any plan is installed:
+    // payloads must be clean (faults belong in the serving path, not in
+    // payload synthesis) and the registry world is reused across plans.
+    let registries = Registries::generate(config.seed);
+    let payloads = build_payloads(config.seed, config.payloads.max(1));
+
+    let mut report = ChaosReport::default();
+    for index in 0..config.plans as u64 {
+        let plan = fault::FaultPlan::chaos(config.seed, index);
+        let rules = plan.rules.len();
+        let mut violations = Vec::new();
+
+        let guard = fault::install(plan);
+        let direct = direct_phase(&registries, index);
+        if !direct.stats_after.balanced() {
+            violations.push(format!(
+                "accounting drift after direct phase: {:?}",
+                direct.stats_after
+            ));
+        }
+        if direct.surfaced > 0 && direct.evidence == 0 {
+            violations.push(format!(
+                "{} faults surfaced in the direct phase but left no evidence",
+                direct.surfaced
+            ));
+        }
+
+        let base = LoadgenConfig {
+            requests: config.requests,
+            clients: config.clients,
+            payloads: config.payloads,
+            seed: config.seed,
+            out: None,
+            jobs: 1,
+        };
+        let serial = run_with_payloads(&base, &payloads)?;
+        let parallel = run_with_payloads(&LoadgenConfig { jobs: 4, ..base }, &payloads)?;
+        for (label, summary) in [("jobs=1", &serial), ("jobs=4", &parallel)] {
+            if summary.worker_panics > 0 {
+                violations.push(format!(
+                    "{label}: {} panics crossed the worker-pool boundary",
+                    summary.worker_panics
+                ));
+            }
+            for (&status, &count) in &summary.status_counts {
+                let tolerated = (200..300).contains(&status) || status == 503;
+                if !tolerated {
+                    violations.push(format!("{label}: {count} responses with status {status}"));
+                }
+            }
+            if summary.inconsistent_payloads > 0 {
+                violations.push(format!(
+                    "{label}: {} payloads answered inconsistently",
+                    summary.inconsistent_payloads
+                ));
+            }
+        }
+        if serial.response_digest != parallel.response_digest {
+            violations.push(format!(
+                "response digest differs across worker counts: {:016x} != {:016x}",
+                serial.response_digest, parallel.response_digest
+            ));
+        }
+
+        let stats = fault::stats();
+        if !stats.balanced() {
+            violations.push(format!("accounting drift at end of plan: {stats:?}"));
+        }
+        drop(guard);
+
+        report.plans.push(PlanReport {
+            index,
+            rules,
+            stats,
+            evidence: direct.evidence,
+            direct_surfaced: direct.surfaced,
+            worker_panics: serial.worker_panics + parallel.worker_panics,
+            degraded: serial.degraded + parallel.degraded,
+            violations,
+        });
+    }
+    Ok(report)
+}
+
+type PanicHook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync;
+
+/// Scoped panic-hook filter: suppresses hook output for panics whose
+/// payload carries [`fault::INJECTED_MARKER`], delegates everything else
+/// to the previously installed hook, and restores that hook on drop.
+struct QuietInjectedPanics {
+    prev: std::sync::Arc<PanicHook>,
+}
+
+impl QuietInjectedPanics {
+    fn install() -> Self {
+        let prev: std::sync::Arc<PanicHook> = std::sync::Arc::from(std::panic::take_hook());
+        let delegate = std::sync::Arc::clone(&prev);
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| fault::is_injected(s));
+            if !injected {
+                delegate(info);
+            }
+        }));
+        QuietInjectedPanics { prev }
+    }
+}
+
+impl Drop for QuietInjectedPanics {
+    fn drop(&mut self) {
+        let prev = std::sync::Arc::clone(&self.prev);
+        std::panic::set_hook(Box::new(move |info| prev(info)));
+    }
+}
+
+struct DirectOutcome {
+    surfaced: u64,
+    evidence: u64,
+    stats_after: fault::FaultStats,
+}
+
+/// Repositories spanning several parser families, varied per plan index so
+/// different plans exercise different `(site, key)` pairs.
+fn chaos_repo(index: u64) -> RepoFs {
+    let mut repo = RepoFs::new(format!("chaos-{index}"));
+    repo.add_text(
+        format!("plan{index}/requirements.txt"),
+        "numpy==1.19.2\nrequests>=2.8.1\nflask\n",
+    );
+    repo.add_text(
+        format!("plan{index}/package.json"),
+        "{\n  \"name\": \"chaos\",\n  \"dependencies\": {\n    \"react\": \"^17.0.0\",\n    \"lodash\": \"4.17.21\"\n  }\n}\n",
+    );
+    repo.add_text(
+        format!("plan{index}/go.mod"),
+        "module example.com/chaos\n\ngo 1.21\n\nrequire (\n\tgithub.com/stretchr/testify v1.8.0\n)\n",
+    );
+    repo.add_text(
+        format!("plan{index}/Cargo.toml"),
+        "[package]\nname = \"chaos\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = \"1.0\"\nrand = \"0.8\"\n",
+    );
+    repo
+}
+
+fn direct_phase(registries: &Registries, index: u64) -> DirectOutcome {
+    let before = fault::stats();
+    let repo = chaos_repo(index);
+    let tools = sbomdiff_generators::studied_tools(registries, 0.0);
+    let mut evidence = 0u64;
+    for tool in &tools {
+        match catch_unwind(AssertUnwindSafe(|| tool.generate(&repo))) {
+            Ok(sbom) => {
+                evidence += sbom
+                    .diagnostics()
+                    .iter()
+                    .filter(|d| {
+                        // Everything a surfaced fault can degrade into:
+                        // marker-carrying messages, registry failures, file
+                        // read errors, and unpinned declarations dropped
+                        // because their registry lookup answered nothing.
+                        fault::is_injected(&d.message)
+                            || matches!(
+                                d.class,
+                                DiagClass::RegistryFailure
+                                    | DiagClass::IoError
+                                    | DiagClass::UnpinnedDropped
+                            )
+                    })
+                    .count() as u64;
+            }
+            // An injected panic that a catch boundary absorbed is fully
+            // visible: it *is* the evidence.
+            Err(_) => evidence += 1,
+        }
+    }
+    // Direct resolver walk over the reliable Python universe: resolver
+    // faults surface as root failures or counted transitive prunes.
+    let uni = registries.for_ecosystem(sbomdiff_types::Ecosystem::Python);
+    let roots = vec![
+        RootDep::new("numpy", None),
+        RootDep::new("requests", None),
+        RootDep::new("flask", None),
+        RootDep::new(format!("chaos-ghost-{index}"), None),
+    ];
+    let resolution = resolve(uni, &roots, DedupPolicy::HighestWins, true);
+    // The ghost root fails even fault-free; only extra failures and prunes
+    // count as fault evidence.
+    evidence += resolution.failures.len().saturating_sub(1) as u64;
+    evidence += resolution.pruned_transitives as u64;
+
+    let stats_after = fault::stats();
+    DirectOutcome {
+        surfaced: stats_after.surfaced - before.surfaced,
+        evidence,
+        stats_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_repo_is_deterministic_and_multi_ecosystem() {
+        let a = chaos_repo(3);
+        let b = chaos_repo(3);
+        assert_eq!(a.text_files(), b.text_files());
+        assert_eq!(a.metadata_files().len(), 4);
+        assert_ne!(chaos_repo(4).text_files(), a.text_files());
+    }
+
+    #[test]
+    fn report_renders_and_aggregates() {
+        let mut report = ChaosReport::default();
+        report.plans.push(PlanReport {
+            index: 0,
+            rules: 2,
+            stats: fault::FaultStats {
+                injected: 10,
+                recovered: 6,
+                surfaced: 4,
+            },
+            evidence: 4,
+            direct_surfaced: 4,
+            worker_panics: 0,
+            degraded: 3,
+            violations: Vec::new(),
+        });
+        assert!(report.ok());
+        let text = report.report();
+        assert!(text.contains("10 injected = 6 recovered + 4 surfaced"));
+        assert!(text.contains("all clean"));
+        report.plans[0].violations.push("boom".into());
+        assert!(!report.ok());
+        assert!(report.report().contains("violation: boom"));
+    }
+}

@@ -128,6 +128,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// True when the analysis behind this response ran in degraded mode
+    /// (an injected or caught fault reduced its completeness). Degraded
+    /// responses are never admitted to the response cache.
+    pub degraded: bool,
 }
 
 impl Response {
@@ -137,6 +141,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            degraded: false,
         }
     }
 
@@ -146,7 +151,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            degraded: false,
         }
+    }
+
+    /// Marks this response as degraded (see [`Response::degraded`]).
+    pub fn with_degraded(mut self, degraded: bool) -> Response {
+        self.degraded = degraded;
+        self
     }
 
     /// A JSON error envelope (`{"error": "..."}`).

@@ -29,9 +29,13 @@
 //! * graceful shutdown that drains the queue before joining workers.
 //!
 //! [`loadgen`] drives an in-process server with N concurrent synthetic
-//! clients for benchmarking (`sbomdiff-serve loadgen`).
+//! clients for benchmarking (`sbomdiff-serve loadgen`), and [`chaos`]
+//! soaks the stack under seeded fault plans (`sbomdiff-chaos`), asserting
+//! graceful degradation: no panic crosses the worker-pool boundary, every
+//! injected fault is accounted, and responses stay deterministic per plan.
 
 pub mod api;
+pub mod chaos;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -40,6 +44,7 @@ pub mod respcache;
 pub mod server;
 
 pub use api::AppState;
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use http::{Request, Response};
 pub use loadgen::{LoadgenConfig, LoadgenSummary};
 pub use metrics::{Endpoint, Metrics};

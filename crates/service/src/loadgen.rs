@@ -86,6 +86,12 @@ pub struct LoadgenSummary {
     pub response_digest: u64,
     /// Payloads whose responses were *not* byte-identical across requests.
     pub inconsistent_payloads: usize,
+    /// `sbomdiff_worker_panics_total` scraped from `/metrics` — panics
+    /// caught at the worker-pool boundary (must stay 0, even under chaos).
+    pub worker_panics: u64,
+    /// `sbomdiff_degraded_total` scraped from `/metrics` — analyses that
+    /// completed in degraded mode.
+    pub degraded: u64,
 }
 
 impl LoadgenSummary {
@@ -191,18 +197,32 @@ impl LoadgenSummary {
 ///
 /// Propagates server-start and benchmark-file I/O errors.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
+    let payloads = build_payloads(config.seed, config.payloads.max(1));
+    run_with_payloads(config, &payloads)
+}
+
+/// Runs the load generator with a caller-supplied payload set against a
+/// fresh in-process server. The chaos harness uses this to build payloads
+/// once, cleanly, before any fault plan is installed.
+///
+/// # Errors
+///
+/// Propagates server-start and benchmark-file I/O errors.
+pub fn run_with_payloads(
+    config: &LoadgenConfig,
+    payloads: &[(String, String)],
+) -> std::io::Result<LoadgenSummary> {
     let mut server = Server::start(ServeConfig {
         jobs: config.jobs,
         seed: config.seed,
         ..ServeConfig::default()
     })?;
     let addr = server.addr();
-    let payloads = build_payloads(config.seed, config.payloads.max(1));
 
     let started = Instant::now();
     let clients: Vec<usize> = (0..config.clients.max(1)).collect();
     let samples: Vec<Vec<Sample>> = sbomdiff_parallel::par_map(clients.len(), &clients, |_, &c| {
-        run_client(addr, c, clients.len(), config.requests, &payloads)
+        run_client(addr, c, clients.len(), config.requests, payloads)
     });
     let wall = started.elapsed();
 
@@ -211,6 +231,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
     let (_, metrics_text) = http_request(addr, "GET", "/metrics", "").unwrap_or((0, String::new()));
     let cache_hits = scrape(&metrics_text, "sbomdiff_cache_hits_total");
     let cache_misses = scrape(&metrics_text, "sbomdiff_cache_misses_total");
+    let worker_panics = scrape(&metrics_text, "sbomdiff_worker_panics_total");
+    let degraded = scrape(&metrics_text, "sbomdiff_degraded_total");
     server.shutdown();
 
     let mut status_counts: BTreeMap<u16, usize> = BTreeMap::new();
@@ -267,6 +289,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
         cache_misses,
         response_digest,
         inconsistent_payloads: inconsistent.len(),
+        worker_panics,
+        degraded,
     };
     if let Some(path) = &config.out {
         std::fs::write(path, summary.to_json(config.jobs, config.payloads))?;

@@ -96,6 +96,10 @@ pub struct Metrics {
     endpoints: [EndpointStats; Endpoint::ALL.len()],
     queue_rejected: AtomicU64,
     deadline_timeouts: AtomicU64,
+    // Analyses that completed in degraded mode (partial SBOM after a
+    // caught fault) and panics caught at the worker-pool boundary.
+    degraded: AtomicU64,
+    worker_panics: AtomicU64,
     // One counter per DiagClass, indexed by DiagClass::index().
     diagnostics: [AtomicU64; DiagClass::ALL.len()],
 }
@@ -136,6 +140,26 @@ impl Metrics {
     /// Counts one request that exceeded its deadline in the queue (503).
     pub fn record_timeout(&self) {
         self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one analysis that completed in degraded mode.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Degraded analyses so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Counts one panic caught at the worker-pool boundary.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker-boundary panics so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Counts one classified diagnostic surfaced in a response.
@@ -241,6 +265,16 @@ impl Metrics {
             "sbomdiff_deadline_timeouts_total {}\n",
             self.deadline_timeouts.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE sbomdiff_degraded_total counter\n");
+        out.push_str(&format!(
+            "sbomdiff_degraded_total {}\n",
+            self.degraded.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE sbomdiff_worker_panics_total counter\n");
+        out.push_str(&format!(
+            "sbomdiff_worker_panics_total {}\n",
+            self.worker_panics.load(Ordering::Relaxed)
+        ));
         out.push_str("# TYPE sbomdiff_queue_depth gauge\n");
         out.push_str(&format!("sbomdiff_queue_depth {queue_depth}\n"));
         out.push_str("# TYPE sbomdiff_cache_hits_total counter\n");
@@ -307,9 +341,15 @@ mod tests {
         m.record(Endpoint::Diff, 400, Duration::from_micros(50));
         m.record_rejected();
         m.record_timeout();
+        m.record_degraded();
+        m.record_worker_panic();
         assert_eq!(m.total_requests(), 3);
         assert_eq!(m.total_5xx(), 0);
+        assert_eq!(m.degraded(), 1);
+        assert_eq!(m.worker_panics(), 1);
         let text = m.render(5, 10, 2);
+        assert!(text.contains("sbomdiff_degraded_total 1"));
+        assert!(text.contains("sbomdiff_worker_panics_total 1"));
         assert!(text.contains("sbomdiff_requests_total{endpoint=\"analyze\"} 2"));
         assert!(text.contains("sbomdiff_responses_total{endpoint=\"diff\",class=\"4xx\"} 1"));
         assert!(text.contains("sbomdiff_queue_rejected_total 1"));

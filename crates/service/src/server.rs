@@ -207,7 +207,34 @@ fn serve_connection(state: &AppState, queue: &BoundedQueue<Job>, job: Job, deadl
         Err(HttpError::Io(_)) => return, // peer went away; nothing to answer
     };
     let endpoint = Endpoint::classify(&request.path);
-    let response = execute_cached(state, &request, queue.len());
+    // The admission check above ran before the request was read, and
+    // `read_request` can block on a slow peer for up to IO_TIMEOUT — long
+    // enough for a request admitted just under the deadline to expire
+    // before any work starts. Re-check here so a doomed job never burns a
+    // worker slot on the handler.
+    if accepted_at.elapsed() > deadline {
+        state.metrics.record_timeout();
+        state.metrics.record(endpoint, 503, accepted_at.elapsed());
+        write_and_drain(
+            &stream,
+            &Response::error(503, "deadline exceeded while queued"),
+        );
+        return;
+    }
+    // Worker-pool boundary: no panic — injected or genuine — may take the
+    // worker thread down (a dead worker would silently shrink the pool).
+    // Handlers already degrade gracefully, so this catch is a counted
+    // safety net, not a control-flow path; the chaos harness asserts the
+    // counter stays at zero.
+    let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_cached(state, &request, queue.len())
+    })) {
+        Ok(response) => response,
+        Err(_) => {
+            state.metrics.record_worker_panic();
+            Response::error(503, "request aborted by internal fault")
+        }
+    };
     respond(state, &stream, endpoint, accepted_at, &response);
 }
 
@@ -224,7 +251,9 @@ fn execute_cached(state: &AppState, request: &Request, queue_depth: usize) -> Re
         return (*cached).clone();
     }
     let response = crate::api::handle(state, request, queue_depth);
-    if response.is_success() {
+    // Degraded responses are partial by construction and must not outlive
+    // the fault that shaped them, so they never enter the cache.
+    if response.is_success() && !response.degraded {
         state.cache.put(key, Arc::new(response.clone()));
     }
     response
@@ -355,6 +384,34 @@ mod tests {
         .unwrap();
         let (status, _) = http_request(handle.addr(), "GET", "/healthz", "");
         assert_eq!(status, 503);
+        assert!(handle.state().metrics.timeouts() >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn deadline_rechecked_after_slow_request_read() {
+        // A client admitted just under the deadline that trickles its
+        // request in must get 503 at the post-read re-check: the first
+        // deadline gate passed (the worker dequeued immediately), but by
+        // the time the body arrived the deadline was gone.
+        let mut handle = Server::start(ServeConfig {
+            deadline: Duration::from_millis(100),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let body = "{}";
+        let head = format!(
+            "POST /v1/diff HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        // Hold the body back until the deadline is long gone.
+        std::thread::sleep(Duration::from_millis(400));
+        stream.write_all(body.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
         assert!(handle.state().metrics.timeouts() >= 1);
         handle.shutdown();
     }

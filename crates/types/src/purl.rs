@@ -112,6 +112,12 @@ impl Purl {
         self
     }
 
+    /// Builder-style subpath.
+    pub fn with_subpath(mut self, sp: impl Into<String>) -> Self {
+        self.subpath = Some(sp.into());
+        self
+    }
+
     /// The package type (`pypi`, `npm`, ...).
     pub fn ptype(&self) -> &str {
         &self.ptype
@@ -135,6 +141,11 @@ impl Purl {
     /// The qualifier key/value pairs.
     pub fn qualifiers(&self) -> &[(String, String)] {
         &self.qualifiers
+    }
+
+    /// The subpath, if any.
+    pub fn subpath(&self) -> Option<&str> {
+        self.subpath.as_deref()
     }
 }
 
@@ -197,13 +208,21 @@ fn pct_encode(s: &str, extra_ok: &[char]) -> String {
 }
 
 fn pct_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
-        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() {
-            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                out.push(v);
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
                 i += 3;
                 continue;
             }
@@ -228,14 +247,23 @@ impl fmt::Display for Purl {
         if !self.qualifiers.is_empty() {
             let mut qs: Vec<&(String, String)> = self.qualifiers.iter().collect();
             qs.sort_by(|a, b| a.0.cmp(&b.0));
+            // Keys are percent-encoded too: a literal `=`, `&` or `%` in a
+            // key would otherwise shift the key/value split on re-parse.
             let parts: Vec<String> = qs
                 .iter()
-                .map(|(k, v)| format!("{}={}", k.to_ascii_lowercase(), pct_encode(v, &[':', '/'])))
+                .map(|(k, v)| {
+                    format!(
+                        "{}={}",
+                        pct_encode(&k.to_ascii_lowercase(), &[]),
+                        pct_encode(v, &[':', '/'])
+                    )
+                })
                 .collect();
             write!(f, "?{}", parts.join("&"))?;
         }
         if let Some(sp) = &self.subpath {
-            write!(f, "#{sp}")?;
+            let encoded: Vec<String> = sp.split('/').map(|seg| pct_encode(seg, &[])).collect();
+            write!(f, "#{}", encoded.join("/"))?;
         }
         Ok(())
     }
@@ -251,7 +279,10 @@ impl FromStr for Purl {
         let rest = rest.trim_start_matches('/');
 
         let (rest, subpath) = match rest.split_once('#') {
-            Some((r, sp)) => (r, Some(sp.to_string())),
+            Some((r, sp)) => {
+                let decoded: Vec<String> = sp.split('/').map(pct_decode).collect();
+                (r, Some(decoded.join("/")))
+            }
             None => (rest, None),
         };
         let (rest, qualifiers) = match rest.split_once('?') {
@@ -259,7 +290,10 @@ impl FromStr for Purl {
                 let mut quals = Vec::new();
                 for pair in q.split('&') {
                     if let Some((k, v)) = pair.split_once('=') {
-                        quals.push((k.to_ascii_lowercase(), pct_decode(v)));
+                        // Decode the key *after* splitting on the raw `=`,
+                        // mirroring the encode side: encoded `%3D`/`%26` in
+                        // keys never collide with the separators.
+                        quals.push((pct_decode(k).to_ascii_lowercase(), pct_decode(v)));
                     }
                 }
                 (r, quals)
@@ -369,6 +403,46 @@ mod tests {
         let back: Purl = s.parse().unwrap();
         assert_eq!(back.name(), "my gem");
         assert_eq!(back.version(), Some("1.0+build"));
+    }
+
+    #[test]
+    fn qualifier_separator_chars_roundtrip() {
+        // `%`, `+`, `=` and `&` in keys and values must survive
+        // emit → parse without shifting the pair or key/value splits.
+        let p = Purl::new("npm", "x")
+            .with_qualifier("checksum", "sha256:ab%2Bcd=ef&gh")
+            .with_qualifier("odd=key", "plus+value")
+            .with_qualifier("pct%key", "100%");
+        let s = p.to_string();
+        let back: Purl = s.parse().unwrap();
+        let mut want = vec![
+            ("checksum".to_string(), "sha256:ab%2Bcd=ef&gh".to_string()),
+            ("odd=key".to_string(), "plus+value".to_string()),
+            ("pct%key".to_string(), "100%".to_string()),
+        ];
+        want.sort();
+        let mut got = back.qualifiers().to_vec();
+        got.sort();
+        assert_eq!(got, want);
+        // And the emitted string itself is a fixed point.
+        assert_eq!(back.to_string(), s);
+    }
+
+    #[test]
+    fn subpath_roundtrips_encoded() {
+        let p = Purl::new("golang", "mod").with_subpath("src/dir with space/file#1");
+        let s = p.to_string();
+        assert!(s.contains("#src/dir%20with%20space/file%231"));
+        let back: Purl = s.parse().unwrap();
+        assert_eq!(back.subpath(), Some("src/dir with space/file#1"));
+    }
+
+    #[test]
+    fn truncated_percent_escape_is_literal() {
+        // A trailing `%` or `%X` is not a valid escape; decoding must not
+        // panic or eat bytes.
+        let back: Purl = "pkg:npm/x?k=a%2".parse().unwrap();
+        assert_eq!(back.qualifiers(), &[("k".to_string(), "a%2".to_string())]);
     }
 
     #[test]

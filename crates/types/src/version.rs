@@ -69,11 +69,47 @@ impl PreKind {
 /// assert!(Version::parse("1.0.0-rc.1").unwrap() < b);
 /// assert!(Version::parse("v2.1.0").unwrap() > b);
 /// ```
+/// One trailing pre-release identifier beyond the leading `tag.number`
+/// pair (SemVer §9 allows dot-separated lists like `1.0.0-rc.1.10`).
+/// Ordered per SemVer §11: numeric identifiers compare numerically and
+/// always sort below alphanumeric ones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PreIdent {
+    Num(u64),
+    Alpha(String),
+}
+
+/// A borrowed view of one effective trailing identifier: the leading
+/// pair's number (when it was spelled out) followed by [`Version::pre_rest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PreTail<'a> {
+    Num(u64),
+    Alpha(&'a str),
+}
+
+impl PreTail<'_> {
+    fn cmp_semver(self, other: PreTail<'_>) -> Ordering {
+        match (self, other) {
+            (PreTail::Num(a), PreTail::Num(b)) => a.cmp(&b),
+            (PreTail::Num(_), PreTail::Alpha(_)) => Ordering::Less,
+            (PreTail::Alpha(_), PreTail::Num(_)) => Ordering::Greater,
+            (PreTail::Alpha(a), PreTail::Alpha(b)) => a.cmp(b),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct Version {
     epoch: u32,
     release: Vec<u64>,
     pre: Option<(PreKind, u64)>,
+    // Identifiers after the leading pre-release pair, in order. Empty for
+    // the single-pair spellings that dominate real corpora.
+    pre_rest: Vec<PreIdent>,
+    // Whether the pair's number was spelled out (`rc.1`) rather than
+    // defaulted (`alpha.beta` has no numeric second identifier, so its
+    // implicit 0 must not participate in §11 ordering).
+    pre_num_explicit: bool,
     post: Option<u64>,
     dev: Option<u64>,
     build: Option<String>,
@@ -88,6 +124,8 @@ impl Version {
             epoch: 0,
             release: vec![major, minor, patch],
             pre: None,
+            pre_rest: Vec::new(),
+            pre_num_explicit: false,
             post: None,
             dev: None,
             build: None,
@@ -166,32 +204,56 @@ impl Version {
         }
 
         let mut pre: Option<(PreKind, u64)> = None;
+        let mut pre_rest: Vec<PreIdent> = Vec::new();
+        let mut pre_num_explicit = false;
         let mut post: Option<u64> = None;
         let mut dev: Option<u64> = None;
 
         while idx < tokens.len() {
             match &tokens[idx] {
                 Token::Alpha(tag) => {
+                    let lower = tag.to_ascii_lowercase();
+                    // `dev`/`post` markers bind their trailing number even
+                    // when a pre-release pair was already consumed
+                    // (`1.0rc1.post2`); anything else after the leading
+                    // pre-release pair is a SemVer §9 dot-separated
+                    // identifier and is kept verbatim for ordering.
+                    let consumes_num =
+                        matches!(lower.as_str(), "dev" | "post" | "rev" | "r") || pre.is_none();
                     let num = match tokens.get(idx + 1) {
-                        Some(Token::Num(n, _)) => {
+                        Some(Token::Num(n, _)) if consumes_num => {
                             idx += 1;
-                            *n
+                            Some(*n)
                         }
-                        _ => 0,
+                        _ => None,
                     };
-                    match tag.to_ascii_lowercase().as_str() {
-                        "dev" => dev = Some(num),
-                        "post" | "rev" | "r" => post = Some(num),
-                        "a" | "alpha" => pre = pre.or(Some((PreKind::Alpha, num))),
-                        "b" | "beta" => pre = pre.or(Some((PreKind::Beta, num))),
-                        "c" | "rc" | "pre" | "preview" => pre = pre.or(Some((PreKind::Rc, num))),
-                        other => pre = pre.or(Some((PreKind::Other(other.to_string()), num))),
+                    match lower.as_str() {
+                        "dev" => dev = Some(num.unwrap_or(0)),
+                        "post" | "rev" | "r" => post = Some(num.unwrap_or(0)),
+                        _ if pre.is_some() => pre_rest.push(PreIdent::Alpha(lower)),
+                        other => {
+                            let kind = match other {
+                                "a" | "alpha" => PreKind::Alpha,
+                                "b" | "beta" => PreKind::Beta,
+                                "c" | "rc" | "pre" | "preview" => PreKind::Rc,
+                                _ => PreKind::Other(other.to_string()),
+                            };
+                            pre = Some((kind, num.unwrap_or(0)));
+                            pre_num_explicit = num.is_some();
+                        }
                     }
                     idx += 1;
                 }
                 Token::Num(n, _) => {
                     if pre.is_none() && post.is_none() && dev.is_none() {
                         pre = Some((PreKind::Numeric, *n));
+                        pre_num_explicit = true;
+                    } else if pre.is_some() && post.is_none() && dev.is_none() {
+                        // Trailing numeric identifier (`1.0.0-rc.1.10`):
+                        // previously dropped, which made `rc.1.9` and
+                        // `rc.1.10` compare equal. Keep it and compare
+                        // numerically per SemVer §11.
+                        pre_rest.push(PreIdent::Num(*n));
                     }
                     idx += 1;
                 }
@@ -202,6 +264,8 @@ impl Version {
             epoch,
             release,
             pre,
+            pre_rest,
+            pre_num_explicit,
             post,
             dev,
             build,
@@ -277,7 +341,19 @@ impl Version {
         if let Some((kind, num)) = &self.pre {
             match kind {
                 PreKind::Numeric => out.push_str(&format!("-{num}")),
-                k => out.push_str(&format!("-{}.{}", k.tag(), num)),
+                // Only print the pair number when it participates in
+                // ordering — `alpha.beta`'s implicit 0 must not resurface
+                // as `alpha.0.beta` (that spelling orders differently).
+                k if self.pre_num_explicit || self.pre_rest.is_empty() => {
+                    out.push_str(&format!("-{}.{}", k.tag(), num));
+                }
+                k => out.push_str(&format!("-{}", k.tag())),
+            }
+            for ident in &self.pre_rest {
+                match ident {
+                    PreIdent::Num(n) => out.push_str(&format!(".{n}")),
+                    PreIdent::Alpha(a) => out.push_str(&format!(".{a}")),
+                }
             }
         }
         if let Some(p) = self.post {
@@ -337,11 +413,45 @@ impl Version {
             epoch,
             release,
             pre: None,
+            pre_rest: Vec::new(),
+            pre_num_explicit: false,
             post: None,
             dev: None,
             build: None,
             v_prefix: false,
             raw,
+        }
+    }
+
+    /// The effective trailing identifiers of the pre-release: the pair's
+    /// number (when spelled out, or when nothing follows it) then
+    /// `pre_rest`. This is what SemVer §11 orders after the tag itself.
+    fn pre_tail(&self, num: u64) -> impl Iterator<Item = PreTail<'_>> {
+        let lead = (self.pre_num_explicit || self.pre_rest.is_empty()).then_some(num);
+        lead.into_iter()
+            .map(PreTail::Num)
+            .chain(self.pre_rest.iter().map(|i| match i {
+                PreIdent::Num(n) => PreTail::Num(*n),
+                PreIdent::Alpha(a) => PreTail::Alpha(a.as_str()),
+            }))
+    }
+
+    /// SemVer §11 ordering over the trailing identifier lists: pairwise
+    /// identifier compare (numeric below alphanumeric, numerics compared
+    /// numerically), then the shorter list sorts first.
+    fn cmp_pre_tail(&self, na: u64, other: &Self, nb: u64) -> Ordering {
+        let mut a = self.pre_tail(na);
+        let mut b = other.pre_tail(nb);
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp_semver(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
         }
     }
 
@@ -390,7 +500,7 @@ impl Ord for Version {
                     .rank()
                     .cmp(&kb.rank())
                     .then_with(|| ka.tag().cmp(kb.tag()))
-                    .then_with(|| na.cmp(nb)),
+                    .then_with(|| self.cmp_pre_tail(*na, other, *nb)),
                 _ => Ordering::Equal,
             })
             .then_with(|| self.post.unwrap_or(0).cmp(&other.post.unwrap_or(0)))
@@ -423,7 +533,17 @@ impl Hash for Version {
         if let Some((k, n)) = &self.pre {
             k.rank().hash(state);
             k.tag().hash(state);
-            n.hash(state);
+            // Hash the same effective identifier sequence the ordering
+            // compares, so `Hash` stays consistent with `Eq`.
+            for ident in self.pre_tail(*n) {
+                match ident {
+                    PreTail::Num(v) => (0u8, v).hash(state),
+                    PreTail::Alpha(a) => {
+                        1u8.hash(state);
+                        a.hash(state);
+                    }
+                }
+            }
         }
         self.post.unwrap_or(0).hash(state);
     }
@@ -526,6 +646,50 @@ mod tests {
         assert!(v("1.0.0-rc.1") < v("1.0.0"));
         assert!(v("1.0.0-rc.1") < v("1.0.0-rc.2"));
         assert!(v("1.0.0-alpha.1") < v("1.0.0-alpha.2"));
+    }
+
+    #[test]
+    fn prerelease_numeric_identifiers_compare_numerically() {
+        // SemVer §11: identifiers consisting only of digits compare
+        // numerically — `rc.9 < rc.10`, at any identifier position.
+        assert!(v("1.0.0-rc.9") < v("1.0.0-rc.10"));
+        assert!(v("1.0.0-rc.1.9") < v("1.0.0-rc.1.10"));
+        assert!(v("1.0.0-rc.1.9") != v("1.0.0-rc.1.10"));
+        assert!(v("1.0.0-alpha.2.9") < v("1.0.0-alpha.2.10"));
+    }
+
+    #[test]
+    fn prerelease_identifier_list_ordering() {
+        // Numeric identifiers sort below alphanumeric ones; alphanumeric
+        // identifiers compare lexically; a longer list with an equal
+        // prefix sorts higher.
+        assert!(v("1.0.0-alpha.1") < v("1.0.0-alpha.beta"));
+        assert!(v("1.0.0-alpha.beta") < v("1.0.0-alpha.gamma"));
+        assert!(v("1.0.0-rc.1") < v("1.0.0-rc.1.1"));
+        assert!(v("1.0.0-rc.1.1") < v("1.0.0-rc.1.1.extra"));
+        // The SemVer §11 example chain, within one tag band.
+        assert!(v("1.0.0-alpha.1") < v("1.0.0-alpha.beta"));
+        assert!(v("1.0.0-alpha.beta") < v("1.0.0-beta"));
+        assert!(v("1.0.0-beta") < v("1.0.0-beta.2"));
+        assert!(v("1.0.0-beta.2") < v("1.0.0-beta.11"));
+        assert!(v("1.0.0-beta.11") < v("1.0.0-rc.1"));
+        assert!(v("1.0.0-rc.1") < v("1.0.0"));
+    }
+
+    #[test]
+    fn prerelease_identifier_list_roundtrips_canonical() {
+        for s in ["1.0.0-rc.1.10", "1.0.0-alpha.beta", "2.0.0-rc.2.x.7"] {
+            let parsed = v(s);
+            let reparsed = v(&parsed.canonical());
+            assert_eq!(parsed, reparsed, "{s} vs canonical {}", parsed.canonical());
+        }
+    }
+
+    #[test]
+    fn post_and_dev_still_bind_after_identifier_list() {
+        let ver = v("1.0.0-rc.1.10.post2");
+        assert!(ver > v("1.0.0-rc.1.10"));
+        assert_eq!(v("1.0rc1.post2").canonical(), "1.0-rc.1.post2");
     }
 
     #[test]

@@ -14,6 +14,11 @@ fn version_strategy() -> impl Strategy<Value = String> {
         (0u64..5).prop_map(|n| format!("rc{n}")),
         (0u64..5).prop_map(|n| format!(".post{n}")),
         (0u64..5).prop_map(|n| format!(".dev{n}")),
+        // Multi-identifier pre-releases (SemVer §9/§11): trailing numeric
+        // and alphanumeric identifiers after the leading pair.
+        (0u64..5, 0u64..30).prop_map(|(a, b)| format!("-rc.{a}.{b}")),
+        (0u64..5, 0u64..30).prop_map(|(a, b)| format!("-alpha.{a}.{b}.x")),
+        Just("-alpha.beta".to_string()),
     ];
     (release, pre).prop_map(|(r, p)| format!("{r}{p}"))
 }
@@ -41,6 +46,28 @@ proptest! {
             Greater => prop_assert_eq!(vb.cmp(&va), Less),
             Equal => prop_assert_eq!(vb.cmp(&va), Equal),
         }
+    }
+
+    #[test]
+    fn trailing_numeric_identifiers_order_numerically(
+        rel in prop::collection::vec(0u64..20, 1..4),
+        pair in 0u64..5,
+        a in 0u64..200,
+        b in 0u64..200,
+    ) {
+        // SemVer §11: numeric identifiers compare numerically at every
+        // position, so rc.P.A < rc.P.B exactly when A < B.
+        let r = rel.iter().map(u64::to_string).collect::<Vec<_>>().join(".");
+        let va = Version::parse(&format!("{r}-rc.{pair}.{a}")).unwrap();
+        let vb = Version::parse(&format!("{r}-rc.{pair}.{b}")).unwrap();
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn numeric_identifiers_sort_below_alphanumeric(n in 0u64..1000) {
+        let num = Version::parse(&format!("1.0.0-alpha.{n}")).unwrap();
+        let alpha = Version::parse("1.0.0-alpha.beta").unwrap();
+        prop_assert!(num < alpha);
     }
 
     #[test]
@@ -116,6 +143,26 @@ proptest! {
     #[test]
     fn purl_parse_never_panics(s in "\\PC{0,60}") {
         let _ = s.parse::<Purl>();
+    }
+
+    #[test]
+    fn purl_qualifiers_roundtrip_over_separator_alphabet(
+        key in "[a-z][a-z0-9%+=&_. -]{0,12}",
+        value in "[a-zA-Z0-9%+=&:/_. #?@-]{0,16}",
+        subpath in "[a-zA-Z0-9%+=&/_. -]{0,16}",
+    ) {
+        // The qualifier alphabet deliberately includes every separator the
+        // grammar uses (%, +, =, &, :, /, #, ?, @): emit → parse must give
+        // back the exact pairs, and re-emitting must be a fixed point.
+        let mut p = Purl::new("npm", "pkg").with_qualifier(&key, &value);
+        if !subpath.is_empty() {
+            p = p.with_subpath(&subpath);
+        }
+        let s = p.to_string();
+        let back: Purl = s.parse().unwrap();
+        prop_assert_eq!(back.qualifiers(), &[(key, value)][..]);
+        prop_assert_eq!(back.subpath(), if subpath.is_empty() { None } else { Some(subpath.as_str()) });
+        prop_assert_eq!(back.to_string(), s);
     }
 
     #[test]
