@@ -89,10 +89,15 @@ fn sample_sbom(components: usize) -> Sbom {
 fn bench_sbom_documents(c: &mut Criterion) {
     let sbom = sample_sbom(400);
     let mut group = c.benchmark_group("sbom_documents");
-    for format in [SbomFormat::CycloneDx, SbomFormat::Spdx] {
+    for format in [
+        SbomFormat::CycloneDx,
+        SbomFormat::Spdx,
+        SbomFormat::SpdxTagValue,
+    ] {
         let label = match format {
             SbomFormat::CycloneDx => "cyclonedx",
             SbomFormat::Spdx => "spdx",
+            SbomFormat::SpdxTagValue => "spdx-tag-value",
         };
         group.bench_function(format!("{label}_serialize"), |b| {
             b.iter(|| format.serialize(black_box(&sbom)))

@@ -56,6 +56,9 @@ pub mod sites {
     pub const PARSE_REFERENCE: &str = "parse.reference";
     /// One tool's generation step inside `/v1/analyze`.
     pub const SERVICE_ANALYZE: &str = "service.analyze";
+    /// Streaming ingestion of one externally supplied SBOM document
+    /// (`sbomdiff diff <a> <b>`, `POST /v1/diff`).
+    pub const INGEST_DOC: &str = "ingest.doc";
 
     /// Every site the workspace instruments.
     pub const ALL: &[&str] = &[
@@ -67,6 +70,7 @@ pub mod sites {
         PARSE_FILE,
         PARSE_REFERENCE,
         SERVICE_ANALYZE,
+        INGEST_DOC,
     ];
 
     /// Sites where an injected panic is guaranteed to land under a

@@ -1,11 +1,57 @@
 //! CycloneDX 1.5 JSON serialization and parsing.
 
 use sbomdiff_textformats::{json, TextError, Value};
-use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
+use sbomdiff_types::{Component, Cpe, Ecosystem, Purl, Sbom};
 
-const PROP_ECOSYSTEM: &str = "sbomdiff:ecosystem";
-const PROP_FOUND_IN: &str = "sbomdiff:found_in";
-const PROP_DEP_SCOPE: &str = "sbomdiff:dependency_scope";
+pub(crate) const PROP_ECOSYSTEM: &str = "sbomdiff:ecosystem";
+pub(crate) const PROP_FOUND_IN: &str = "sbomdiff:found_in";
+pub(crate) const PROP_DEP_SCOPE: &str = "sbomdiff:dependency_scope";
+
+/// Raw string fields of one CycloneDX component entry, before semantic
+/// conversion. Both the in-memory parser below and the streaming ingester
+/// materialize through [`RawCdxComponent::into_component`], so the two
+/// paths cannot drift apart — the property the round-trip differential
+/// suite asserts.
+#[derive(Debug, Default)]
+pub(crate) struct RawCdxComponent {
+    pub(crate) name: Option<String>,
+    pub(crate) version: Option<String>,
+    pub(crate) purl: Option<String>,
+    pub(crate) cpe: Option<String>,
+    /// `properties` entries with string name *and* value, document order.
+    pub(crate) properties: Vec<(String, String)>,
+}
+
+impl RawCdxComponent {
+    /// Converts raw fields into a [`Component`] (`None`: no name, entry is
+    /// skipped). Field semantics: PURL-derived ecosystem wins over the
+    /// ecosystem property; for the other properties the last occurrence
+    /// wins; unparseable PURL/CPE/scope values degrade to absent.
+    pub(crate) fn into_component(self) -> Option<Component> {
+        let name = self.name?;
+        let purl = self.purl.and_then(|p| p.parse::<Purl>().ok());
+        let cpe = self.cpe.and_then(|c| c.parse::<Cpe>().ok());
+        let mut ecosystem = purl
+            .as_ref()
+            .and_then(|p| p.ptype().parse::<Ecosystem>().ok());
+        let mut found_in = String::new();
+        let mut scope = None;
+        for (pname, pvalue) in &self.properties {
+            match pname.as_str() {
+                PROP_ECOSYSTEM => ecosystem = ecosystem.or_else(|| pvalue.parse().ok()),
+                PROP_FOUND_IN => found_in = pvalue.clone(),
+                PROP_DEP_SCOPE => scope = crate::scope_from_label(pvalue),
+                _ => {}
+            }
+        }
+        let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, self.version)
+            .with_found_in(found_in);
+        c.purl = purl;
+        c.cpe = cpe;
+        c.scope = scope;
+        Some(c)
+    }
+}
 
 /// Serializes an SBOM as a CycloneDX 1.5 JSON [`Value`].
 pub fn to_value(sbom: &Sbom) -> Value {
@@ -110,13 +156,17 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
     if doc.get("bomFormat").and_then(Value::as_str) != Some("CycloneDX") {
         return Err(TextError::new(0, "not a CycloneDX document"));
     }
+    // `tools` is an array of tool objects in CycloneDX 1.4 and an object
+    // holding a `components` array in the 1.5 shape; accept both.
     let tool_name = doc
         .pointer("metadata/tools/0/name")
+        .or_else(|| doc.pointer("metadata/tools/components/0/name"))
         .and_then(Value::as_str)
         .unwrap_or("unknown")
         .to_string();
     let tool_version = doc
         .pointer("metadata/tools/0/version")
+        .or_else(|| doc.pointer("metadata/tools/components/0/version"))
         .and_then(Value::as_str)
         .unwrap_or("")
         .to_string();
@@ -128,55 +178,29 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
     let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
     if let Some(components) = doc.get("components").and_then(Value::as_array) {
         for comp in components {
-            let Some(name) = comp.get("name").and_then(Value::as_str) else {
-                continue;
+            let mut raw = RawCdxComponent {
+                name: comp.get("name").and_then(Value::as_str).map(str::to_string),
+                version: comp
+                    .get("version")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                purl: comp.get("purl").and_then(Value::as_str).map(str::to_string),
+                cpe: comp.get("cpe").and_then(Value::as_str).map(str::to_string),
+                properties: Vec::new(),
             };
-            let version = comp
-                .get("version")
-                .and_then(Value::as_str)
-                .map(str::to_string);
-            let purl = comp
-                .get("purl")
-                .and_then(Value::as_str)
-                .and_then(|p| p.parse::<Purl>().ok());
-            let cpe = comp
-                .get("cpe")
-                .and_then(Value::as_str)
-                .and_then(|c| c.parse::<Cpe>().ok());
-            let mut ecosystem = purl
-                .as_ref()
-                .and_then(|p| p.ptype().parse::<Ecosystem>().ok());
-            let mut found_in = String::new();
-            let mut scope = None;
             if let Some(props) = comp.get("properties").and_then(Value::as_array) {
                 for p in props {
-                    let (Some(pname), Some(pvalue)) = (
+                    if let (Some(pname), Some(pvalue)) = (
                         p.get("name").and_then(Value::as_str),
                         p.get("value").and_then(Value::as_str),
-                    ) else {
-                        continue;
-                    };
-                    match pname {
-                        PROP_ECOSYSTEM => ecosystem = ecosystem.or_else(|| pvalue.parse().ok()),
-                        PROP_FOUND_IN => found_in = pvalue.to_string(),
-                        PROP_DEP_SCOPE => {
-                            scope = match pvalue {
-                                "runtime" => Some(DepScope::Runtime),
-                                "dev" => Some(DepScope::Dev),
-                                "optional" => Some(DepScope::Optional),
-                                _ => None,
-                            }
-                        }
-                        _ => {}
+                    ) {
+                        raw.properties.push((pname.to_string(), pvalue.to_string()));
                     }
                 }
             }
-            let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, version)
-                .with_found_in(found_in);
-            c.purl = purl;
-            c.cpe = cpe;
-            c.scope = scope;
-            sbom.push(c);
+            if let Some(c) = raw.into_component() {
+                sbom.push(c);
+            }
         }
     }
     Ok(sbom)
@@ -204,6 +228,7 @@ fn deterministic_uuid(tool: &str, subject: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbomdiff_types::DepScope;
 
     fn sample() -> Sbom {
         let mut sbom = Sbom::new("syft", "0.84.1").with_subject("demo-repo");

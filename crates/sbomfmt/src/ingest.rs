@@ -1,0 +1,1122 @@
+//! Streaming ingestion of externally produced SBOM documents.
+//!
+//! The serializers in this crate emit our own documents; this module is
+//! the opposite direction: accept SBOMs produced by *other* tools —
+//! CycloneDX 1.4/1.5 JSON, SPDX 2.2/2.3 JSON, SPDX 2.3 tag-value — and
+//! materialize only the parts the differential engine needs (metadata,
+//! components, dependency counts) into the interned [`Component`] model.
+//!
+//! Reading is incremental: bytes come from any [`io::Read`] through a
+//! fixed-size [`ChunkSource`] window, so a multi-hundred-megabyte document
+//! never has to fit in memory. Peak buffering is witnessed by
+//! [`IngestStats::peak_buffered`] and asserted by the memory-bound test.
+//!
+//! Correctness is differential by construction: the streaming JSON
+//! materializer converts entries through the same
+//! [`RawCdxComponent::into_component`] / [`RawSpdxPackage::into_component`]
+//! conversions the in-memory parsers use, and first-entry-wins duplicate-key
+//! semantics mirror [`Value::get`], so streaming and in-memory ingestion of
+//! the same bytes produce the same component set — the property the
+//! round-trip suite asserts.
+//!
+//! Ingestion never panics: every malformed input maps to a classified
+//! [`Diagnostic`] (the fatal one in [`IngestOutcome::fatal`]), and the
+//! `ingest.doc` fault-injection site lets the chaos soak exercise the
+//! degraded path deterministically.
+//!
+//! [`io::Read`]: std::io::Read
+//! [`Value::get`]: sbomdiff_textformats::Value::get
+
+use std::collections::HashSet;
+use std::io::Read;
+
+use crate::cyclonedx::RawCdxComponent;
+use crate::spdx::{creator_tool, subject_from_doc_name, RawSpdxPackage};
+use crate::tagvalue;
+use sbomdiff_faultline as fault;
+use sbomdiff_textformats::stream::{
+    ChunkSource, JsonEvent, JsonStream, LineReader, StreamError, StreamErrorKind, DEFAULT_CHUNK,
+};
+use sbomdiff_types::{Component, DiagClass, Diagnostic, Sbom, Severity};
+
+/// CycloneDX spec versions the ingester fully models.
+const SUPPORTED_CDX: &[&str] = &["1.4", "1.5"];
+/// SPDX spec versions the ingester fully models.
+const SUPPORTED_SPDX: &[&str] = &["SPDX-2.2", "SPDX-2.3"];
+
+/// The external document format an ingested SBOM was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DocFormat {
+    /// CycloneDX JSON (1.4 or 1.5).
+    CycloneDxJson,
+    /// SPDX JSON (2.2 or 2.3).
+    SpdxJson,
+    /// SPDX tag-value.
+    SpdxTagValue,
+}
+
+impl DocFormat {
+    /// Every ingestable format, in metrics-label order.
+    pub const ALL: [DocFormat; 3] = [
+        DocFormat::CycloneDxJson,
+        DocFormat::SpdxJson,
+        DocFormat::SpdxTagValue,
+    ];
+
+    /// Stable label used as the metrics `format` label and in API output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DocFormat::CycloneDxJson => "cyclonedx",
+            DocFormat::SpdxJson => "spdx-json",
+            DocFormat::SpdxTagValue => "spdx-tag-value",
+        }
+    }
+}
+
+/// Running counters exposed to progress callbacks and returned with the
+/// final [`IngestOutcome`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Bytes consumed from the reader so far.
+    pub bytes_read: u64,
+    /// High-water mark of reader-side buffering (chunk window + largest
+    /// token), the bounded-memory witness.
+    pub peak_buffered: usize,
+    /// Components materialized so far.
+    pub components: usize,
+    /// Dependency edges seen (CycloneDX `dependsOn` entries, SPDX
+    /// relationships).
+    pub dependency_edges: u64,
+    /// The document's self-declared spec version, once seen.
+    pub spec_version: Option<String>,
+}
+
+/// What ingesting one document produced. Never an `Err`: failures are
+/// classified into [`IngestOutcome::fatal`] so callers degrade instead of
+/// aborting.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// The detected format (`None` when the document was not recognizable).
+    pub format: Option<DocFormat>,
+    /// The materialized SBOM (empty on fatal failure); non-fatal findings
+    /// are attached as its diagnostics.
+    pub sbom: Sbom,
+    /// The classified failure that stopped ingestion, if any.
+    pub fatal: Option<Diagnostic>,
+    /// Reader-side counters.
+    pub stats: IngestStats,
+}
+
+impl IngestOutcome {
+    fn empty() -> Self {
+        IngestOutcome {
+            format: None,
+            sbom: Sbom::default(),
+            fatal: None,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Whether ingestion failed fatally.
+    pub fn is_fatal(&self) -> bool {
+        self.fatal.is_some()
+    }
+}
+
+/// Knobs for [`ingest_reader`].
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Chunk window size (clamped to `[512, 8 MiB]` by the source).
+    pub chunk_size: usize,
+    /// Deterministic key for the `ingest.doc` fault site. Callers should
+    /// derive it from the document (e.g. its byte length) so chaos soaks
+    /// inject identically regardless of worker interleaving.
+    pub fault_key: String,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            chunk_size: DEFAULT_CHUNK,
+            fault_key: String::new(),
+        }
+    }
+}
+
+/// Ingests a document held in memory (the service path: request bodies are
+/// already buffered). The fault key is the byte length, which is identical
+/// across workers for the same document.
+pub fn ingest_bytes(bytes: &[u8]) -> IngestOutcome {
+    let opts = IngestOptions {
+        chunk_size: DEFAULT_CHUNK,
+        fault_key: bytes.len().to_string(),
+    };
+    ingest_reader(bytes, opts, &mut |_| {})
+}
+
+/// Ingests a document from any reader, invoking `progress` as components
+/// materialize (at least once per materialized component; line-oriented
+/// formats also report periodically between packages).
+pub fn ingest_reader<R: Read>(
+    reader: R,
+    opts: IngestOptions,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> IngestOutcome {
+    let mut out = IngestOutcome::empty();
+    if let Some(surfaced) = fault::point!(fault::sites::INGEST_DOC, &opts.fault_key) {
+        out.fatal = Some(Diagnostic::new(
+            DiagClass::IoError,
+            surfaced.message(fault::sites::INGEST_DOC),
+        ));
+        return out;
+    }
+    let mut src = ChunkSource::with_chunk_size(reader, opts.chunk_size);
+    // Sniff: first non-whitespace byte decides JSON vs tag-value. Which
+    // JSON dialect it is can only be decided once the top-level marker
+    // keys (`bomFormat` / `spdxVersion`) have streamed past.
+    let first = loop {
+        match src.peek() {
+            Ok(Some(b)) if (b as char).is_ascii_whitespace() => {
+                if let Err(e) = src.next_byte() {
+                    out.fatal = Some(classify_fatal(&e));
+                    return out;
+                }
+            }
+            Ok(other) => break other,
+            Err(e) => {
+                out.fatal = Some(classify_fatal(&e));
+                return out;
+            }
+        }
+    };
+    match first {
+        None => {
+            out.fatal = Some(Diagnostic::new(DiagClass::TruncatedInput, "empty document"));
+            out
+        }
+        Some(b'{') => ingest_json(JsonStream::from_source(src), out, progress),
+        Some(_) => ingest_tag_value(LineReader::from_source(src), out, progress),
+    }
+}
+
+/// Maps a streaming error to the fatal diagnostic taxonomy.
+fn classify_fatal(e: &StreamError) -> Diagnostic {
+    let class = match e.kind() {
+        StreamErrorKind::Syntax => DiagClass::MalformedFile,
+        StreamErrorKind::UnexpectedEof => DiagClass::TruncatedInput,
+        StreamErrorKind::Utf8 => DiagClass::EncodingError,
+        StreamErrorKind::DepthExceeded | StreamErrorKind::TokenTooLong => {
+            DiagClass::UnsupportedSyntax
+        }
+        StreamErrorKind::Io => DiagClass::IoError,
+    };
+    // A fatal stop is an error even for classes whose default severity is
+    // softer (resource-cap violations).
+    let mut d = Diagnostic::new(class, e.message().to_string())
+        .with_severity(Severity::Error)
+        .with_byte_offset(e.byte_offset());
+    if e.line() > 0 {
+        d = d.with_line(e.line() as u32);
+    }
+    d
+}
+
+/// Everything the JSON materializer extracts from a top-level document.
+#[derive(Debug, Default)]
+struct DocFields {
+    bom_format: Option<String>,
+    spec_version: Option<String>,
+    spdx_version: Option<String>,
+    doc_name: Option<String>,
+    creator: Option<String>,
+    tool_name: Option<String>,
+    tool_version: Option<String>,
+    subject: Option<String>,
+    components: Vec<Component>,
+    dependency_edges: u64,
+}
+
+fn ingest_json<R: Read>(
+    mut js: JsonStream<R>,
+    mut out: IngestOutcome,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> IngestOutcome {
+    let mut fields = DocFields::default();
+    let result = parse_top(&mut js, &mut fields, &mut out.stats, progress);
+    out.stats.bytes_read = js.bytes_read();
+    out.stats.peak_buffered = js.peak_buffered();
+    out.stats.dependency_edges = fields.dependency_edges;
+    out.stats.components = fields.components.len();
+    if let Err(e) = result {
+        out.fatal = Some(classify_fatal(&e));
+        return out;
+    }
+    if fields.bom_format.as_deref() == Some("CycloneDX") {
+        out.format = Some(DocFormat::CycloneDxJson);
+        out.stats.spec_version = fields.spec_version.clone();
+        let mut sbom = Sbom::new(
+            fields.tool_name.unwrap_or_else(|| "unknown".to_string()),
+            fields.tool_version.unwrap_or_default(),
+        )
+        .with_subject(fields.subject.unwrap_or_default());
+        if let Some(v) = &fields.spec_version {
+            if !SUPPORTED_CDX.contains(&v.as_str()) {
+                sbom.push_diagnostic(spec_warning("CycloneDX specVersion", v));
+            }
+        }
+        for c in fields.components {
+            sbom.push(c);
+        }
+        out.sbom = sbom;
+    } else if fields
+        .spdx_version
+        .as_deref()
+        .is_some_and(|v| v.starts_with("SPDX-"))
+    {
+        out.format = Some(DocFormat::SpdxJson);
+        out.stats.spec_version = fields.spdx_version.clone();
+        let (tool_name, tool_version) = creator_tool(fields.creator.as_deref().unwrap_or(""));
+        let subject = subject_from_doc_name(fields.doc_name.as_deref().unwrap_or(""), &tool_name);
+        let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+        if let Some(v) = &fields.spdx_version {
+            if !SUPPORTED_SPDX.contains(&v.as_str()) {
+                sbom.push_diagnostic(spec_warning("spdxVersion", v));
+            }
+        }
+        for c in fields.components {
+            sbom.push(c);
+        }
+        out.sbom = sbom;
+    } else {
+        out.fatal = Some(Diagnostic::new(
+            DiagClass::MalformedFile,
+            "not a recognizable CycloneDX or SPDX document",
+        ));
+    }
+    out
+}
+
+fn spec_warning(field: &str, value: &str) -> Diagnostic {
+    Diagnostic::new(
+        DiagClass::UnsupportedSyntax,
+        format!(
+            "unsupported {field} {:?}; fields beyond the supported versions are ignored",
+            sbomdiff_types::diagnostic::excerpt(value)
+        ),
+    )
+    .with_severity(Severity::Warning)
+}
+
+/// The next event, turning a clean end-of-document into a truncation error
+/// (callers here are always inside a structure they expect to finish).
+fn must_event<R: Read>(js: &mut JsonStream<R>) -> Result<JsonEvent, StreamError> {
+    match js.next_event()? {
+        Some(ev) => Ok(ev),
+        None => Err(StreamError::new(
+            StreamErrorKind::UnexpectedEof,
+            js.line(),
+            js.bytes_read(),
+            "unexpected end of document",
+        )),
+    }
+}
+
+fn unexpected<R: Read>(js: &JsonStream<R>) -> StreamError {
+    StreamError::new(
+        StreamErrorKind::Syntax,
+        js.line(),
+        js.bytes_read(),
+        "unexpected event inside object",
+    )
+}
+
+/// Skips the remainder of a value whose first event was `ev`.
+fn skip_rest_of<R: Read>(js: &mut JsonStream<R>, ev: &JsonEvent) -> Result<(), StreamError> {
+    if !matches!(ev, JsonEvent::ObjectStart | JsonEvent::ArrayStart) {
+        return Ok(());
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match must_event(js)? {
+            JsonEvent::ObjectStart | JsonEvent::ArrayStart => depth += 1,
+            JsonEvent::ObjectEnd | JsonEvent::ArrayEnd => depth -= 1,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Skips one whole value.
+fn skip_value<R: Read>(js: &mut JsonStream<R>) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    skip_rest_of(js, &ev)
+}
+
+/// Reads one value, keeping it only when it is a string (mirroring
+/// `Value::as_str` returning `None` for other shapes).
+fn str_value<R: Read>(js: &mut JsonStream<R>) -> Result<Option<String>, StreamError> {
+    match must_event(js)? {
+        JsonEvent::Str(s) => Ok(Some(s)),
+        ev => {
+            skip_rest_of(js, &ev)?;
+            Ok(None)
+        }
+    }
+}
+
+fn parse_top<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+    stats: &mut IngestStats,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> Result<(), StreamError> {
+    match js.next_event()? {
+        Some(JsonEvent::ObjectStart) => {}
+        _ => {
+            // The sniffer saw `{`, so anything else is tokenizer-level.
+            return Err(unexpected(js));
+        }
+    }
+    // First-entry-wins for duplicate keys, matching `Value::get`.
+    let mut seen: HashSet<String> = HashSet::new();
+    loop {
+        match must_event(js)? {
+            JsonEvent::Key(k) => {
+                if !seen.insert(k.clone()) {
+                    skip_value(js)?;
+                    continue;
+                }
+                match k.as_str() {
+                    "bomFormat" => fields.bom_format = str_value(js)?,
+                    "specVersion" => fields.spec_version = str_value(js)?,
+                    "spdxVersion" => fields.spdx_version = str_value(js)?,
+                    "name" => fields.doc_name = str_value(js)?,
+                    "metadata" => parse_metadata(js, fields)?,
+                    "creationInfo" => parse_creation_info(js, fields)?,
+                    "components" => parse_cdx_components(js, fields, stats, progress)?,
+                    "packages" => parse_spdx_packages(js, fields, stats, progress)?,
+                    "dependencies" => parse_cdx_dependencies(js, fields)?,
+                    "relationships" => fields.dependency_edges += count_array_items(js)?,
+                    _ => skip_value(js)?,
+                }
+            }
+            JsonEvent::ObjectEnd => break,
+            _ => return Err(unexpected(js)),
+        }
+    }
+    // Drain: a clean document yields `None`; trailing bytes are a syntax
+    // error the tokenizer raises itself.
+    js.next_event()?;
+    Ok(())
+}
+
+/// CycloneDX `metadata`: the tool identity and the analyzed subject.
+fn parse_metadata<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ObjectStart {
+        return skip_rest_of(js, &ev);
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    loop {
+        match must_event(js)? {
+            JsonEvent::Key(k) => {
+                if !seen.insert(k.clone()) {
+                    skip_value(js)?;
+                    continue;
+                }
+                match k.as_str() {
+                    "tools" => parse_tools(js, fields)?,
+                    "component" => parse_subject(js, fields)?,
+                    _ => skip_value(js)?,
+                }
+            }
+            JsonEvent::ObjectEnd => return Ok(()),
+            _ => return Err(unexpected(js)),
+        }
+    }
+}
+
+/// CycloneDX `metadata.tools`: an array of tool objects (1.4) or an object
+/// holding a `components` array (1.5). Only the first entry's name/version
+/// are used, like the in-memory `tools/0` pointer.
+fn parse_tools<R: Read>(js: &mut JsonStream<R>, fields: &mut DocFields) -> Result<(), StreamError> {
+    match must_event(js)? {
+        JsonEvent::ArrayStart => parse_tool_entries(js, fields),
+        JsonEvent::ObjectStart => {
+            let mut seen: HashSet<String> = HashSet::new();
+            loop {
+                match must_event(js)? {
+                    JsonEvent::Key(k) => {
+                        if !seen.insert(k.clone()) {
+                            skip_value(js)?;
+                            continue;
+                        }
+                        if k == "components" {
+                            match must_event(js)? {
+                                JsonEvent::ArrayStart => parse_tool_entries(js, fields)?,
+                                ev => skip_rest_of(js, &ev)?,
+                            }
+                        } else {
+                            skip_value(js)?;
+                        }
+                    }
+                    JsonEvent::ObjectEnd => return Ok(()),
+                    _ => return Err(unexpected(js)),
+                }
+            }
+        }
+        ev => skip_rest_of(js, &ev),
+    }
+}
+
+/// The entries of a tools array (`ArrayStart` already consumed): entry 0's
+/// `name`/`version` strings, everything else skipped.
+fn parse_tool_entries<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+) -> Result<(), StreamError> {
+    let mut idx = 0usize;
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart if idx == 0 => {
+                idx += 1;
+                let mut seen: HashSet<String> = HashSet::new();
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => {
+                            if !seen.insert(k.clone()) {
+                                skip_value(js)?;
+                                continue;
+                            }
+                            match k.as_str() {
+                                "name" => fields.tool_name = str_value(js)?,
+                                "version" => fields.tool_version = str_value(js)?,
+                                _ => skip_value(js)?,
+                            }
+                        }
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+            }
+            ev => {
+                idx += 1;
+                skip_rest_of(js, &ev)?;
+            }
+        }
+    }
+}
+
+/// CycloneDX `metadata.component`: the analyzed subject's `name`.
+fn parse_subject<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ObjectStart {
+        return skip_rest_of(js, &ev);
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    loop {
+        match must_event(js)? {
+            JsonEvent::Key(k) => {
+                if !seen.insert(k.clone()) {
+                    skip_value(js)?;
+                    continue;
+                }
+                if k == "name" {
+                    fields.subject = str_value(js)?;
+                } else {
+                    skip_value(js)?;
+                }
+            }
+            JsonEvent::ObjectEnd => return Ok(()),
+            _ => return Err(unexpected(js)),
+        }
+    }
+}
+
+/// SPDX `creationInfo`: `creators[0]` when it is a string, like the
+/// in-memory `creationInfo/creators/0` pointer.
+fn parse_creation_info<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ObjectStart {
+        return skip_rest_of(js, &ev);
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    loop {
+        match must_event(js)? {
+            JsonEvent::Key(k) => {
+                if !seen.insert(k.clone()) {
+                    skip_value(js)?;
+                    continue;
+                }
+                if k == "creators" {
+                    match must_event(js)? {
+                        JsonEvent::ArrayStart => {
+                            let mut idx = 0usize;
+                            loop {
+                                match must_event(js)? {
+                                    JsonEvent::ArrayEnd => break,
+                                    JsonEvent::Str(s) if idx == 0 => {
+                                        idx += 1;
+                                        fields.creator = Some(s);
+                                    }
+                                    ev => {
+                                        idx += 1;
+                                        skip_rest_of(js, &ev)?;
+                                    }
+                                }
+                            }
+                        }
+                        ev => skip_rest_of(js, &ev)?,
+                    }
+                } else {
+                    skip_value(js)?;
+                }
+            }
+            JsonEvent::ObjectEnd => return Ok(()),
+            _ => return Err(unexpected(js)),
+        }
+    }
+}
+
+/// CycloneDX `components`: materialize each entry through
+/// [`RawCdxComponent`] as it completes.
+fn parse_cdx_components<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+    stats: &mut IngestStats,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ArrayStart {
+        return skip_rest_of(js, &ev);
+    }
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart => {
+                let mut raw = RawCdxComponent::default();
+                let mut seen: HashSet<String> = HashSet::new();
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => {
+                            if !seen.insert(k.clone()) {
+                                skip_value(js)?;
+                                continue;
+                            }
+                            match k.as_str() {
+                                "name" => raw.name = str_value(js)?,
+                                "version" => raw.version = str_value(js)?,
+                                "purl" => raw.purl = str_value(js)?,
+                                "cpe" => raw.cpe = str_value(js)?,
+                                "properties" => parse_cdx_properties(js, &mut raw)?,
+                                _ => skip_value(js)?,
+                            }
+                        }
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+                if let Some(c) = raw.into_component() {
+                    fields.components.push(c);
+                    stats.components = fields.components.len();
+                    stats.bytes_read = js.bytes_read();
+                    stats.peak_buffered = js.peak_buffered();
+                    progress(stats);
+                }
+            }
+            ev => skip_rest_of(js, &ev)?,
+        }
+    }
+}
+
+/// A CycloneDX component's `properties` array: entries where both `name`
+/// and `value` are strings, in document order.
+fn parse_cdx_properties<R: Read>(
+    js: &mut JsonStream<R>,
+    raw: &mut RawCdxComponent,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ArrayStart {
+        return skip_rest_of(js, &ev);
+    }
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart => {
+                // Set-once slots: the outer layer records the first
+                // occurrence of each key even when it is not a string, so a
+                // later duplicate cannot override it (first-entry-wins).
+                let mut pname: Option<Option<String>> = None;
+                let mut pvalue: Option<Option<String>> = None;
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => match k.as_str() {
+                            "name" if pname.is_none() => pname = Some(str_value(js)?),
+                            "value" if pvalue.is_none() => pvalue = Some(str_value(js)?),
+                            _ => skip_value(js)?,
+                        },
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+                if let (Some(Some(n)), Some(Some(v))) = (pname, pvalue) {
+                    raw.properties.push((n, v));
+                }
+            }
+            ev => skip_rest_of(js, &ev)?,
+        }
+    }
+}
+
+/// SPDX `packages`: materialize each entry through [`RawSpdxPackage`].
+fn parse_spdx_packages<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+    stats: &mut IngestStats,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ArrayStart {
+        return skip_rest_of(js, &ev);
+    }
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart => {
+                let mut raw = RawSpdxPackage::default();
+                let mut seen: HashSet<String> = HashSet::new();
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => {
+                            if !seen.insert(k.clone()) {
+                                skip_value(js)?;
+                                continue;
+                            }
+                            match k.as_str() {
+                                "name" => raw.name = str_value(js)?,
+                                "versionInfo" => raw.version = str_value(js)?,
+                                "sourceInfo" => raw.source_info = str_value(js)?,
+                                "externalRefs" => parse_spdx_refs(js, &mut raw)?,
+                                _ => skip_value(js)?,
+                            }
+                        }
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+                if let Some(c) = raw.into_component() {
+                    fields.components.push(c);
+                    stats.components = fields.components.len();
+                    stats.bytes_read = js.bytes_read();
+                    stats.peak_buffered = js.peak_buffered();
+                    progress(stats);
+                }
+            }
+            ev => skip_rest_of(js, &ev)?,
+        }
+    }
+}
+
+/// An SPDX package's `externalRefs` array: `(referenceType,
+/// referenceLocator)` of each entry with a string type.
+fn parse_spdx_refs<R: Read>(
+    js: &mut JsonStream<R>,
+    raw: &mut RawSpdxPackage,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ArrayStart {
+        return skip_rest_of(js, &ev);
+    }
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart => {
+                let mut rtype: Option<Option<String>> = None;
+                let mut locator: Option<Option<String>> = None;
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => match k.as_str() {
+                            "referenceType" if rtype.is_none() => rtype = Some(str_value(js)?),
+                            "referenceLocator" if locator.is_none() => {
+                                locator = Some(str_value(js)?)
+                            }
+                            _ => skip_value(js)?,
+                        },
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+                if let Some(Some(t)) = rtype {
+                    raw.refs.push((t, locator.flatten()));
+                }
+            }
+            ev => skip_rest_of(js, &ev)?,
+        }
+    }
+}
+
+/// CycloneDX `dependencies`: counts `dependsOn` string entries across the
+/// graph (an ingest statistic; the flat component model carries no edges).
+fn parse_cdx_dependencies<R: Read>(
+    js: &mut JsonStream<R>,
+    fields: &mut DocFields,
+) -> Result<(), StreamError> {
+    let ev = must_event(js)?;
+    if ev != JsonEvent::ArrayStart {
+        return skip_rest_of(js, &ev);
+    }
+    loop {
+        match must_event(js)? {
+            JsonEvent::ArrayEnd => return Ok(()),
+            JsonEvent::ObjectStart => {
+                let mut counted = false;
+                loop {
+                    match must_event(js)? {
+                        JsonEvent::Key(k) => {
+                            if k == "dependsOn" && !counted {
+                                counted = true;
+                                match must_event(js)? {
+                                    JsonEvent::ArrayStart => loop {
+                                        match must_event(js)? {
+                                            JsonEvent::ArrayEnd => break,
+                                            JsonEvent::Str(_) => fields.dependency_edges += 1,
+                                            ev => skip_rest_of(js, &ev)?,
+                                        }
+                                    },
+                                    ev => skip_rest_of(js, &ev)?,
+                                }
+                            } else {
+                                skip_value(js)?;
+                            }
+                        }
+                        JsonEvent::ObjectEnd => break,
+                        _ => return Err(unexpected(js)),
+                    }
+                }
+            }
+            ev => skip_rest_of(js, &ev)?,
+        }
+    }
+}
+
+/// Counts the items of an array value (non-arrays count zero).
+fn count_array_items<R: Read>(js: &mut JsonStream<R>) -> Result<u64, StreamError> {
+    match must_event(js)? {
+        JsonEvent::ArrayStart => {
+            let mut n = 0u64;
+            loop {
+                match must_event(js)? {
+                    JsonEvent::ArrayEnd => return Ok(n),
+                    ev => {
+                        n += 1;
+                        skip_rest_of(js, &ev)?;
+                    }
+                }
+            }
+        }
+        ev => {
+            skip_rest_of(js, &ev)?;
+            Ok(0)
+        }
+    }
+}
+
+/// How many tag-value lines between periodic progress reports.
+const TAG_VALUE_PROGRESS_EVERY: usize = 1024;
+
+fn ingest_tag_value<R: Read>(
+    mut lr: LineReader<R>,
+    mut out: IngestOutcome,
+    progress: &mut dyn FnMut(&IngestStats),
+) -> IngestOutcome {
+    let mut builder = tagvalue::Builder::new();
+    let mut lines = 0usize;
+    loop {
+        match lr.next_line() {
+            Ok(Some(line)) => {
+                lines += 1;
+                let starts_package = line.trim_start().starts_with("PackageName:");
+                if let Err(e) = builder.line(&line) {
+                    out.stats.bytes_read = lr.bytes_read();
+                    out.stats.peak_buffered = lr.peak_buffered();
+                    out.fatal = Some(
+                        Diagnostic::new(DiagClass::MalformedFile, e.message().to_string())
+                            .with_line(e.line() as u32),
+                    );
+                    return out;
+                }
+                if starts_package || lines.is_multiple_of(TAG_VALUE_PROGRESS_EVERY) {
+                    out.stats.bytes_read = lr.bytes_read();
+                    out.stats.peak_buffered = lr.peak_buffered();
+                    if starts_package {
+                        out.stats.components += 1;
+                    }
+                    progress(&out.stats);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                out.stats.bytes_read = lr.bytes_read();
+                out.stats.peak_buffered = lr.peak_buffered();
+                out.fatal = Some(classify_fatal(&e));
+                return out;
+            }
+        }
+    }
+    out.stats.bytes_read = lr.bytes_read();
+    out.stats.peak_buffered = lr.peak_buffered();
+    out.stats.spec_version = builder.spdx_version().map(str::to_string);
+    out.stats.dependency_edges = builder.relationships();
+    match builder.finish() {
+        Ok(sbom) => {
+            out.format = Some(DocFormat::SpdxTagValue);
+            out.stats.components = sbom.len();
+            if let Some(v) = out.stats.spec_version.clone() {
+                if !SUPPORTED_SPDX.contains(&v.as_str()) {
+                    out.sbom = sbom;
+                    out.sbom.push_diagnostic(spec_warning("SPDXVersion", &v));
+                    return out;
+                }
+            }
+            out.sbom = sbom;
+            out
+        }
+        Err(e) => {
+            // `finish` fails on an unterminated `<text>` span (truncation)
+            // or a document that never declared an SPDX version.
+            let class = if e.message().contains("unterminated") {
+                DiagClass::TruncatedInput
+            } else {
+                DiagClass::MalformedFile
+            };
+            let mut d = Diagnostic::new(class, e.message().to_string());
+            if e.line() > 0 {
+                d = d.with_line(e.line() as u32);
+            }
+            out.fatal = Some(d);
+            out.stats.components = 0;
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SbomFormat;
+    use sbomdiff_faultline::{FaultAction, FaultPlan, FaultRule};
+    use sbomdiff_types::{Cpe, DepScope, Ecosystem, Purl};
+
+    fn sample(tool: &str) -> Sbom {
+        let mut sbom = Sbom::new(tool, "9.9.1").with_subject("demo-repo");
+        sbom.push(
+            Component::new(Ecosystem::Python, "requests", Some("2.31.0".into()))
+                .with_found_in("requirements.txt")
+                .with_scope(DepScope::Runtime)
+                .with_purl(Purl::for_package(
+                    Ecosystem::Python,
+                    "requests",
+                    Some("2.31.0"),
+                ))
+                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0")),
+        );
+        sbom.push(Component::new(Ecosystem::Go, "github.com/a/b", None));
+        sbom
+    }
+
+    #[test]
+    fn round_trips_every_emitted_format() {
+        let s = sample("syft");
+        for (format, want) in [
+            (SbomFormat::CycloneDx, DocFormat::CycloneDxJson),
+            (SbomFormat::Spdx, DocFormat::SpdxJson),
+            (SbomFormat::SpdxTagValue, DocFormat::SpdxTagValue),
+        ] {
+            let text = format.serialize(&s);
+            let out = ingest_bytes(text.as_bytes());
+            assert!(out.fatal.is_none(), "{format:?}: {:?}", out.fatal);
+            assert_eq!(out.format, Some(want));
+            assert_eq!(out.sbom.components(), s.components(), "{format:?}");
+            assert_eq!(out.sbom.meta.tool_name, "syft");
+            assert_eq!(out.sbom.meta.tool_version, "9.9.1");
+            assert_eq!(out.sbom.meta.subject, "demo-repo");
+            assert_eq!(out.stats.components, 2);
+            assert_eq!(out.stats.bytes_read, text.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_parse() {
+        let s = sample("trivy");
+        for format in [SbomFormat::CycloneDx, SbomFormat::Spdx] {
+            let text = format.serialize(&s);
+            let in_memory = format.parse(&text).unwrap();
+            for chunk in [512, 4096, DEFAULT_CHUNK] {
+                let opts = IngestOptions {
+                    chunk_size: chunk,
+                    fault_key: String::new(),
+                };
+                let out = ingest_reader(text.as_bytes(), opts, &mut |_| {});
+                assert!(out.fatal.is_none());
+                assert_eq!(out.sbom.components(), in_memory.components(), "{chunk}");
+                assert_eq!(out.sbom.meta.tool_name, in_memory.meta.tool_name);
+                assert_eq!(out.sbom.meta.subject, in_memory.meta.subject);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_first_entry_wins_like_value_get() {
+        let text = r#"{
+            "bomFormat": "CycloneDX",
+            "specVersion": "1.5",
+            "components": [{"name": "first", "name": "second", "version": "1"}],
+            "components": [{"name": "shadowed"}]
+        }"#;
+        let streamed = ingest_bytes(text.as_bytes());
+        assert!(streamed.fatal.is_none());
+        let in_memory = crate::cyclonedx::from_str(text).unwrap();
+        assert_eq!(streamed.sbom.components(), in_memory.components());
+        assert_eq!(streamed.sbom.components()[0].name, "first");
+        assert_eq!(streamed.sbom.len(), 1);
+    }
+
+    #[test]
+    fn cdx_14_tools_array_and_15_tools_object_shapes() {
+        let v14 = r#"{"bomFormat": "CycloneDX", "specVersion": "1.4",
+            "metadata": {"tools": [{"name": "syft", "version": "0.84"}]},
+            "components": []}"#;
+        let v15 = r#"{"bomFormat": "CycloneDX", "specVersion": "1.5",
+            "metadata": {"tools": {"components": [{"name": "syft", "version": "0.84"}]}},
+            "components": []}"#;
+        for text in [v14, v15] {
+            let out = ingest_bytes(text.as_bytes());
+            assert!(out.fatal.is_none(), "{text}: {:?}", out.fatal);
+            assert_eq!(out.sbom.meta.tool_name, "syft");
+            assert_eq!(out.sbom.meta.tool_version, "0.84");
+            assert!(out.sbom.diagnostics().is_empty());
+        }
+    }
+
+    #[test]
+    fn unsupported_spec_versions_warn_but_parse() {
+        let cdx = r#"{"bomFormat": "CycloneDX", "specVersion": "1.0",
+            "components": [{"name": "a"}]}"#;
+        let out = ingest_bytes(cdx.as_bytes());
+        assert!(out.fatal.is_none());
+        assert_eq!(out.sbom.len(), 1);
+        assert_eq!(out.stats.spec_version.as_deref(), Some("1.0"));
+        assert_eq!(
+            out.sbom.diagnostics()[0].class,
+            DiagClass::UnsupportedSyntax
+        );
+        let tv = "SPDXVersion: SPDX-1.2\nPackageName: a\n";
+        let out = ingest_bytes(tv.as_bytes());
+        assert!(out.fatal.is_none());
+        assert_eq!(out.sbom.len(), 1);
+        assert_eq!(
+            out.sbom.diagnostics()[0].class,
+            DiagClass::UnsupportedSyntax
+        );
+    }
+
+    #[test]
+    fn fatal_classes_for_malformed_inputs() {
+        for (bytes, class) in [
+            (&b""[..], DiagClass::TruncatedInput),
+            (&b"   \n "[..], DiagClass::TruncatedInput),
+            (
+                &b"{\"bomFormat\": \"CycloneDX\""[..],
+                DiagClass::TruncatedInput,
+            ),
+            (&b"{\"a\": }"[..], DiagClass::MalformedFile),
+            (&b"{} trailing"[..], DiagClass::MalformedFile),
+            (&b"{\"a\": 1}"[..], DiagClass::MalformedFile),
+            (&b"{\"a\": \"\xff\xfe\"}"[..], DiagClass::EncodingError),
+            (
+                &b"SPDXVersion: SPDX-2.3\n\xff\xfe\n"[..],
+                DiagClass::EncodingError,
+            ),
+            (&b"no colon line"[..], DiagClass::MalformedFile),
+            (
+                &b"SPDXVersion: SPDX-2.3\nPackageSourceInfo: <text>open\n"[..],
+                DiagClass::TruncatedInput,
+            ),
+        ] {
+            let out = ingest_bytes(bytes);
+            let fatal = out.fatal.unwrap_or_else(|| {
+                panic!("expected fatal for {:?}", String::from_utf8_lossy(bytes))
+            });
+            assert_eq!(fatal.class, class, "{:?}", String::from_utf8_lossy(bytes));
+            assert_eq!(fatal.severity, Severity::Error);
+            assert_eq!(out.sbom.len(), 0);
+        }
+    }
+
+    #[test]
+    fn progress_reports_components_and_bytes() {
+        let s = sample("syft");
+        let text = SbomFormat::CycloneDx.serialize(&s);
+        let mut calls = Vec::new();
+        let out = ingest_reader(text.as_bytes(), IngestOptions::default(), &mut |st| {
+            calls.push((st.components, st.bytes_read))
+        });
+        assert!(out.fatal.is_none());
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].0, 1);
+        assert_eq!(calls[1].0, 2);
+        assert!(calls[0].1 <= calls[1].1);
+    }
+
+    #[test]
+    fn dependency_edges_are_counted() {
+        let s = sample("syft");
+        let cdx = SbomFormat::CycloneDx.serialize(&s);
+        let out = ingest_bytes(cdx.as_bytes());
+        assert_eq!(out.stats.dependency_edges, 2);
+        let spdx = SbomFormat::Spdx.serialize(&s);
+        let out = ingest_bytes(spdx.as_bytes());
+        assert_eq!(out.stats.dependency_edges, 2);
+        let tv = SbomFormat::SpdxTagValue.serialize(&s);
+        let out = ingest_bytes(tv.as_bytes());
+        assert_eq!(out.stats.dependency_edges, 2);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_injected_fatal() {
+        let plan = FaultPlan {
+            seed: 7,
+            rules: vec![
+                FaultRule::new(fault::sites::INGEST_DOC, 1_000_000, FaultAction::Error)
+                    .for_key("ingest-fault-test"),
+            ],
+        };
+        let guard = fault::install(plan);
+        let opts = IngestOptions {
+            chunk_size: DEFAULT_CHUNK,
+            fault_key: "ingest-fault-test".to_string(),
+        };
+        let text = SbomFormat::CycloneDx.serialize(&sample("syft"));
+        let out = ingest_reader(text.as_bytes(), opts, &mut |_| {});
+        drop(guard);
+        let fatal = out.fatal.expect("fault should surface");
+        assert!(fault::is_injected(&fatal.message), "{}", fatal.message);
+        assert_eq!(fatal.class, DiagClass::IoError);
+    }
+
+    #[test]
+    fn format_labels_are_stable() {
+        let labels: Vec<&str> = DocFormat::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels, vec!["cyclonedx", "spdx-json", "spdx-tag-value"]);
+    }
+}

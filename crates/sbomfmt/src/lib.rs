@@ -12,29 +12,45 @@
 //! mirroring the paper's best-practice discussion.
 
 pub mod cyclonedx;
+pub mod ingest;
 pub mod spdx;
+pub mod tagvalue;
 pub mod vex;
 
 pub use vex::{VexDocument, VexStatement, VexStatus};
 
 use sbomdiff_textformats::TextError;
-use sbomdiff_types::Sbom;
+use sbomdiff_types::{DepScope, Sbom};
 
-/// The two SBOM interchange formats supported by the studied tools.
+/// Maps the wire label of a dependency scope back to [`DepScope`]
+/// (`None` for unknown labels — unparseable scopes degrade to absent).
+pub(crate) fn scope_from_label(label: &str) -> Option<DepScope> {
+    match label {
+        "runtime" => Some(DepScope::Runtime),
+        "dev" => Some(DepScope::Dev),
+        "optional" => Some(DepScope::Optional),
+        _ => None,
+    }
+}
+
+/// The SBOM interchange formats supported by the studied tools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SbomFormat {
     /// OWASP CycloneDX 1.5 (JSON).
     CycloneDx,
     /// ISO/IEC 5962 SPDX 2.3 (JSON).
     Spdx,
+    /// SPDX 2.3 tag-value (the `SPDXVersion: ...` line format).
+    SpdxTagValue,
 }
 
 impl SbomFormat {
-    /// Serializes an SBOM in this format (pretty JSON).
+    /// Serializes an SBOM in this format.
     pub fn serialize(self, sbom: &Sbom) -> String {
         match self {
             SbomFormat::CycloneDx => cyclonedx::to_string_pretty(sbom),
             SbomFormat::Spdx => spdx::to_string_pretty(sbom),
+            SbomFormat::SpdxTagValue => tagvalue::to_string(sbom),
         }
     }
 
@@ -42,29 +58,38 @@ impl SbomFormat {
     ///
     /// # Errors
     ///
-    /// Returns [`TextError`] when the JSON is malformed or the document is
-    /// not of this format.
+    /// Returns [`TextError`] when the document is malformed or not of this
+    /// format.
     pub fn parse(self, text: &str) -> Result<Sbom, TextError> {
         match self {
             SbomFormat::CycloneDx => cyclonedx::from_str(text),
             SbomFormat::Spdx => spdx::from_str(text),
+            SbomFormat::SpdxTagValue => tagvalue::from_str(text),
         }
     }
 
     /// Sniffs the format of a document.
     pub fn detect(text: &str) -> Option<SbomFormat> {
-        let doc = sbomdiff_textformats::json::parse(text).ok()?;
-        if doc.get("bomFormat").and_then(|v| v.as_str()) == Some("CycloneDX") {
-            Some(SbomFormat::CycloneDx)
-        } else if doc
-            .get("spdxVersion")
-            .and_then(|v| v.as_str())
-            .is_some_and(|v| v.starts_with("SPDX-"))
-        {
-            Some(SbomFormat::Spdx)
-        } else {
-            None
+        if let Ok(doc) = sbomdiff_textformats::json::parse(text) {
+            if doc.get("bomFormat").and_then(|v| v.as_str()) == Some("CycloneDX") {
+                return Some(SbomFormat::CycloneDx);
+            }
+            if doc
+                .get("spdxVersion")
+                .and_then(|v| v.as_str())
+                .is_some_and(|v| v.starts_with("SPDX-"))
+            {
+                return Some(SbomFormat::Spdx);
+            }
+            return None;
         }
+        if text
+            .lines()
+            .any(|l| l.trim_start().starts_with("SPDXVersion:"))
+        {
+            return Some(SbomFormat::SpdxTagValue);
+        }
+        None
     }
 }
 

@@ -1,7 +1,81 @@
 //! SPDX 2.3 JSON serialization and parsing.
 
 use sbomdiff_textformats::{json, TextError, Value};
-use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl, Sbom};
+use sbomdiff_types::{Component, Cpe, Ecosystem, Purl, Sbom};
+
+/// Raw string fields of one SPDX package entry, before semantic
+/// conversion. The in-memory JSON parser, the tag-value parser and the
+/// streaming ingester all materialize through
+/// [`RawSpdxPackage::into_component`], so the paths cannot drift apart.
+#[derive(Debug, Default)]
+pub(crate) struct RawSpdxPackage {
+    pub(crate) name: Option<String>,
+    pub(crate) version: Option<String>,
+    pub(crate) source_info: Option<String>,
+    /// `(referenceType, referenceLocator)` of each `externalRefs` entry
+    /// with a string type, in document order (locator may be absent).
+    pub(crate) refs: Vec<(String, Option<String>)>,
+}
+
+impl RawSpdxPackage {
+    /// Converts raw fields into a [`Component`] (`None`: no name, entry is
+    /// skipped). For repeated refs of one type the last occurrence wins;
+    /// `sourceInfo` carries the structured `ecosystem`/`found_in`/`scope`
+    /// annotation; PURL-derived ecosystem wins over the annotation.
+    pub(crate) fn into_component(self) -> Option<Component> {
+        let name = self.name?;
+        let mut purl = None;
+        let mut cpe = None;
+        for (rtype, locator) in &self.refs {
+            match rtype.as_str() {
+                "purl" => purl = locator.as_deref().and_then(|l| l.parse::<Purl>().ok()),
+                "cpe23Type" => cpe = locator.as_deref().and_then(|l| l.parse::<Cpe>().ok()),
+                _ => {}
+            }
+        }
+        let mut ecosystem = purl
+            .as_ref()
+            .and_then(|p: &Purl| p.ptype().parse::<Ecosystem>().ok());
+        let mut found_in = String::new();
+        let mut scope = None;
+        if let Some(info) = &self.source_info {
+            for part in info.split(';') {
+                let part = part.trim();
+                if let Some(v) = part.strip_prefix("ecosystem:") {
+                    ecosystem = ecosystem.or_else(|| v.trim().parse().ok());
+                } else if let Some(v) = part.strip_prefix("found_in:") {
+                    found_in = v.trim().to_string();
+                } else if let Some(v) = part.strip_prefix("scope:") {
+                    scope = crate::scope_from_label(v.trim());
+                }
+            }
+        }
+        let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, self.version)
+            .with_found_in(found_in);
+        c.purl = purl;
+        c.cpe = cpe;
+        c.scope = scope;
+        Some(c)
+    }
+}
+
+/// Splits a `"Tool: {name}-{version}"` creator into `(name, version)`,
+/// falling back to `("unknown", "")` exactly like the JSON parser.
+pub(crate) fn creator_tool(creator: &str) -> (String, String) {
+    creator
+        .strip_prefix("Tool: ")
+        .and_then(|t| t.rsplit_once('-'))
+        .map(|(n, v)| (n.to_string(), v.to_string()))
+        .unwrap_or_else(|| ("unknown".to_string(), String::new()))
+}
+
+/// Recovers the analyzed subject from a `{subject}-{tool}` document name.
+pub(crate) fn subject_from_doc_name(doc_name: &str, tool_name: &str) -> String {
+    doc_name
+        .strip_suffix(&format!("-{tool_name}"))
+        .unwrap_or("")
+        .to_string()
+}
 
 /// Serializes an SBOM as an SPDX 2.3 JSON [`Value`].
 pub fn to_value(sbom: &Sbom) -> Value {
@@ -105,67 +179,40 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
         .pointer("creationInfo/creators/0")
         .and_then(Value::as_str)
         .unwrap_or("");
-    let (tool_name, tool_version) = creator
-        .strip_prefix("Tool: ")
-        .and_then(|t| t.rsplit_once('-'))
-        .map(|(n, v)| (n.to_string(), v.to_string()))
-        .unwrap_or_else(|| ("unknown".to_string(), String::new()));
-    let subject = doc
-        .get("name")
-        .and_then(Value::as_str)
-        .and_then(|n| n.strip_suffix(&format!("-{tool_name}")))
-        .unwrap_or("")
-        .to_string();
+    let (tool_name, tool_version) = creator_tool(creator);
+    let subject = subject_from_doc_name(
+        doc.get("name").and_then(Value::as_str).unwrap_or(""),
+        &tool_name,
+    );
     let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
     if let Some(packages) = doc.get("packages").and_then(Value::as_array) {
         for pkg in packages {
-            let Some(name) = pkg.get("name").and_then(Value::as_str) else {
-                continue;
+            let mut raw = RawSpdxPackage {
+                name: pkg.get("name").and_then(Value::as_str).map(str::to_string),
+                version: pkg
+                    .get("versionInfo")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                source_info: pkg
+                    .get("sourceInfo")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                refs: Vec::new(),
             };
-            let version = pkg
-                .get("versionInfo")
-                .and_then(Value::as_str)
-                .map(str::to_string);
-            let mut purl = None;
-            let mut cpe = None;
             if let Some(refs) = pkg.get("externalRefs").and_then(Value::as_array) {
                 for r in refs {
-                    let locator = r.get("referenceLocator").and_then(Value::as_str);
-                    match r.get("referenceType").and_then(Value::as_str) {
-                        Some("purl") => purl = locator.and_then(|l| l.parse::<Purl>().ok()),
-                        Some("cpe23Type") => cpe = locator.and_then(|l| l.parse::<Cpe>().ok()),
-                        _ => {}
+                    if let Some(rtype) = r.get("referenceType").and_then(Value::as_str) {
+                        let locator = r
+                            .get("referenceLocator")
+                            .and_then(Value::as_str)
+                            .map(str::to_string);
+                        raw.refs.push((rtype.to_string(), locator));
                     }
                 }
             }
-            let mut ecosystem = purl
-                .as_ref()
-                .and_then(|p| p.ptype().parse::<Ecosystem>().ok());
-            let mut found_in = String::new();
-            let mut scope = None;
-            if let Some(info) = pkg.get("sourceInfo").and_then(Value::as_str) {
-                for part in info.split(';') {
-                    let part = part.trim();
-                    if let Some(v) = part.strip_prefix("ecosystem:") {
-                        ecosystem = ecosystem.or_else(|| v.trim().parse().ok());
-                    } else if let Some(v) = part.strip_prefix("found_in:") {
-                        found_in = v.trim().to_string();
-                    } else if let Some(v) = part.strip_prefix("scope:") {
-                        scope = match v.trim() {
-                            "runtime" => Some(DepScope::Runtime),
-                            "dev" => Some(DepScope::Dev),
-                            "optional" => Some(DepScope::Optional),
-                            _ => None,
-                        };
-                    }
-                }
+            if let Some(c) = raw.into_component() {
+                sbom.push(c);
             }
-            let mut c = Component::new(ecosystem.unwrap_or(Ecosystem::Python), name, version)
-                .with_found_in(found_in);
-            c.purl = purl;
-            c.cpe = cpe;
-            c.scope = scope;
-            sbom.push(c);
         }
     }
     Ok(sbom)
@@ -174,6 +221,7 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbomdiff_types::DepScope;
 
     fn sample() -> Sbom {
         let mut sbom = Sbom::new("trivy", "0.43.0").with_subject("demo-repo");

@@ -1,0 +1,132 @@
+//! Ingestion memory bounds: a synthetic CycloneDX document far larger
+//! than RAM-per-request budgets streams through the reader with peak
+//! buffering under a fixed cap.
+//!
+//! The generator below implements `io::Read` and fabricates the document
+//! on the fly — the full text never exists in memory, so the only
+//! allocations under test are the reader's own (chunk window + token
+//! scratch, witnessed by `IngestStats::peak_buffered` chunk-accounting).
+//!
+//! The ~100MB run is `#[ignore]`d for the default suite and executed by
+//! the CI `ingest-fuzz` job via `-- --ignored`; a ~4MB variant keeps the
+//! property exercised on every `cargo test`.
+
+use std::io::Read;
+
+use sbomdiff_sbomfmt::ingest::{ingest_reader, IngestOptions, IngestStats};
+use sbomdiff_textformats::stream::{DEFAULT_CHUNK, MAX_TOKEN};
+
+/// Streams a syntactically valid CycloneDX 1.5 document with `total`
+/// components, never materializing more than one component's JSON.
+struct SyntheticCdx {
+    emitted: usize,
+    total: usize,
+    pending: Vec<u8>,
+    pos: usize,
+    bytes_produced: u64,
+}
+
+impl SyntheticCdx {
+    fn new(total: usize) -> Self {
+        SyntheticCdx {
+            emitted: 0,
+            total,
+            pending: b"{\"bomFormat\":\"CycloneDX\",\"specVersion\":\"1.5\",\
+                       \"metadata\":{\"tools\":[{\"name\":\"synthetic\",\"version\":\"1.0\"}],\
+                       \"component\":{\"name\":\"mem-bound\"}},\"components\":["
+                .to_vec(),
+            pos: 0,
+            bytes_produced: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.pos = 0;
+        self.pending.clear();
+        if self.emitted < self.total {
+            let i = self.emitted;
+            self.emitted += 1;
+            // ~1KB per component: a long-ish purl plus padded properties,
+            // so 100k components ≈ 100MB of document.
+            let pad = "p".repeat(900);
+            self.pending = format!(
+                "{}{{\"type\":\"library\",\"name\":\"synthetic-pkg-{i}\",\
+                 \"version\":\"1.{}.{}\",\
+                 \"purl\":\"pkg:npm/synthetic-pkg-{i}@1.{}.{}\",\
+                 \"properties\":[{{\"name\":\"pad\",\"value\":\"{pad}\"}}]}}",
+                if i == 0 { "" } else { "," },
+                i % 90,
+                i % 7,
+                i % 90,
+                i % 7,
+            )
+            .into_bytes();
+        } else if self.emitted == self.total {
+            self.emitted += 1;
+            self.pending = b"]}".to_vec();
+        }
+    }
+}
+
+impl Read for SyntheticCdx {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.pending.len() {
+            self.refill();
+            if self.pending.is_empty() {
+                return Ok(0);
+            }
+        }
+        let n = (self.pending.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        self.bytes_produced += n as u64;
+        Ok(n)
+    }
+}
+
+/// Peak cap: the chunk in flight plus the largest single token of
+/// scratch plus bookkeeping slack. Nothing scales with document size.
+const PEAK_CAP: usize = DEFAULT_CHUNK + MAX_TOKEN + 4096;
+
+fn run(total_components: usize) {
+    let source = SyntheticCdx::new(total_components);
+    let mut peak_seen = 0usize;
+    let mut progress_calls = 0u64;
+    let outcome = ingest_reader(
+        source,
+        IngestOptions::default(),
+        &mut |stats: &IngestStats| {
+            progress_calls += 1;
+            peak_seen = peak_seen.max(stats.peak_buffered);
+        },
+    );
+    assert!(outcome.fatal.is_none(), "{:?}", outcome.fatal);
+    assert_eq!(outcome.stats.components, total_components);
+    assert_eq!(outcome.sbom.len(), total_components);
+    assert!(
+        outcome.stats.peak_buffered <= PEAK_CAP,
+        "peak buffering {} over cap {PEAK_CAP} for {} components",
+        outcome.stats.peak_buffered,
+        total_components
+    );
+    // Progress observed intermediate states, not just the final one, and
+    // every intermediate peak obeyed the same cap.
+    assert!(progress_calls >= total_components as u64);
+    assert!(peak_seen <= PEAK_CAP);
+    assert!(
+        outcome.stats.bytes_read >= (total_components as u64) * 900,
+        "generator produced less than expected: {}",
+        outcome.stats.bytes_read
+    );
+}
+
+#[test]
+fn four_megabyte_document_streams_under_the_cap() {
+    run(4_000);
+}
+
+#[test]
+#[ignore = "~100MB synthetic document; run by the CI ingest-fuzz job via --ignored"]
+fn hundred_megabyte_document_streams_under_the_cap() {
+    run(100_000);
+}

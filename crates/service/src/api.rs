@@ -15,7 +15,7 @@ use sbomdiff_faultline as fault;
 use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, ToolId};
 use sbomdiff_metadata::RepoFs;
 use sbomdiff_registry::Registries;
-use sbomdiff_sbomfmt::SbomFormat;
+use sbomdiff_sbomfmt::{ingest, SbomFormat};
 use sbomdiff_textformats::{json, Value};
 use sbomdiff_types::{DiagClass, Diagnostic, ResolvedPackage, Sbom, Version};
 use sbomdiff_vuln::AdvisoryDb;
@@ -122,7 +122,7 @@ pub fn handle(state: &AppState, request: &Request, queue_depth: usize) -> Respon
             Response::text(200, text)
         }
         ("POST", "/v1/analyze") => with_json_body(request, |doc| analyze(state, doc)),
-        ("POST", "/v1/diff") => with_json_body(request, diff),
+        ("POST", "/v1/diff") => with_json_body(request, |doc| diff(state, doc)),
         ("POST", "/v1/impact") => with_json_body(request, |doc| impact(state, doc)),
         (_, "/healthz" | "/metrics") | (_, "/v1/analyze" | "/v1/diff" | "/v1/impact") => {
             Response::error(405, "method not allowed")
@@ -175,7 +175,13 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
     let format = match doc.get("format").and_then(Value::as_str) {
         None | Some("cyclonedx") => SbomFormat::CycloneDx,
         Some("spdx") => SbomFormat::Spdx,
-        Some(_) => return Response::error(400, "format must be \"cyclonedx\" or \"spdx\""),
+        Some("spdx-tag-value") => SbomFormat::SpdxTagValue,
+        Some(_) => {
+            return Response::error(
+                400,
+                "format must be \"cyclonedx\", \"spdx\", or \"spdx-tag-value\"",
+            )
+        }
     };
 
     let mut repo = RepoFs::new(name);
@@ -334,33 +340,93 @@ fn failed_tool_sbom(id: ToolId, subject: &str, message: String) -> Sbom {
 }
 
 /// `POST /v1/diff`: two serialized SBOM documents → differential report.
-fn diff(doc: &Value) -> Response {
+///
+/// Documents flow through the streaming ingester, so any externally
+/// produced CycloneDX 1.4/1.5 JSON, SPDX 2.2/2.3 JSON, or SPDX tag-value
+/// document is accepted — the two sides need not share a format. A
+/// genuinely malformed document is a 400 with its classified diagnostic;
+/// an injected ingestion fault degrades into a 200, mirroring
+/// `/v1/analyze`, so chaos soaks see availability rather than client
+/// errors.
+fn diff(state: &AppState, doc: &Value) -> Response {
     let (Some(a_text), Some(b_text)) = (
         doc.get("a").and_then(Value::as_str),
         doc.get("b").and_then(Value::as_str),
     ) else {
         return Response::error(400, "missing \"a\" and \"b\" SBOM document strings");
     };
-    let a = match parse_sbom_doc(a_text) {
-        Ok(s) => s,
-        Err(msg) => return Response::error(400, &format!("document \"a\": {msg}")),
-    };
-    let b = match parse_sbom_doc(b_text) {
-        Ok(s) => s,
-        Err(msg) => return Response::error(400, &format!("document \"b\": {msg}")),
-    };
-    let keys_a = key_set(&a);
-    let keys_b = key_set(&b);
+    let mut outcomes = Vec::with_capacity(2);
+    for (label, text) in [("a", a_text), ("b", b_text)] {
+        let outcome = ingest::ingest_bytes(text.as_bytes());
+        state
+            .metrics
+            .record_ingest(outcome.format, outcome.stats.bytes_read);
+        if let Some(fatal) = &outcome.fatal {
+            if !fault::is_injected(&fatal.message) {
+                return Response::error(400, &format!("document \"{label}\": {}", fatal.message));
+            }
+        }
+        outcomes.push((label, outcome));
+    }
+    let degraded = outcomes.iter().any(|(_, o)| {
+        o.fatal
+            .as_ref()
+            .is_some_and(|f| fault::is_injected(&f.message))
+            || o.sbom
+                .diagnostics()
+                .iter()
+                .any(|d| fault::is_injected(&d.message))
+    });
+    if degraded {
+        state.metrics.record_degraded();
+    }
+    let keys_a = key_set(&outcomes[0].1.sbom);
+    let keys_b = key_set(&outcomes[1].1.sbom);
     let mut out = Value::object();
-    for (label, sbom) in [("a", &a), ("b", &b)] {
+    let mut diag_rows = Vec::new();
+    for (label, outcome) in &outcomes {
+        let sbom = &outcome.sbom;
         let mut side = Value::object();
+        side.set(
+            "format",
+            outcome
+                .format
+                .map_or(Value::Null, |f| Value::from(f.label())),
+        );
+        side.set(
+            "spec_version",
+            outcome
+                .stats
+                .spec_version
+                .as_ref()
+                .map_or(Value::Null, |v| Value::from(v.clone())),
+        );
         side.set("tool", Value::from(sbom.meta.tool_name.clone()));
         side.set("tool_version", Value::from(sbom.meta.tool_version.clone()));
         side.set("subject", Value::from(sbom.meta.subject.clone()));
         side.set("components", Value::from(sbom.len() as i64));
         side.set("duplicates", Value::from(sbom.duplicate_entries() as i64));
-        out.set(label, side);
+        out.set(*label, side);
+        for diag in sbom
+            .diagnostics()
+            .iter()
+            .map(|d| &**d)
+            .chain(outcome.fatal.as_ref())
+        {
+            state.metrics.record_diagnostic(diag.class);
+            let mut row = Value::object();
+            row.set("document", Value::from(*label));
+            row.set("severity", Value::from(diag.severity.label()));
+            row.set("class", Value::from(diag.class.label()));
+            if let Some(line) = diag.line {
+                row.set("line", Value::from(i64::from(line)));
+            }
+            row.set("message", Value::from(diag.message.clone()));
+            diag_rows.push(row);
+        }
     }
+    out.set("diagnostics", Value::Array(diag_rows));
+    out.set("degraded", Value::from(degraded));
     out.set(
         "jaccard",
         jaccard(&keys_a, &keys_b).map_or(Value::Null, Value::from),
@@ -383,7 +449,7 @@ fn diff(doc: &Value) -> Response {
             ),
         );
     }
-    finish(out)
+    finish(out).with_degraded(degraded)
 }
 
 /// `POST /v1/impact`: an SBOM document + advisory-db seed → missed /
@@ -706,6 +772,146 @@ mod tests {
         assert_eq!(out.pointer("a/tool").and_then(Value::as_str), Some("Trivy"));
         assert!(out.get("jaccard").is_some());
         assert!(out.get("only_b_total").and_then(Value::as_i64).is_some());
+    }
+
+    #[test]
+    fn diff_accepts_external_documents_across_formats() {
+        let state = state();
+        // Hand-written third-party documents: CycloneDX 1.4 JSON on one
+        // side, SPDX 2.3 tag-value on the other.
+        let cdx = concat!(
+            "{\"bomFormat\":\"CycloneDX\",\"specVersion\":\"1.4\",",
+            "\"metadata\":{\"tools\":[{\"name\":\"syft\",\"version\":\"1.0\"}],",
+            "\"component\":{\"name\":\"demo\"}},",
+            "\"components\":[{\"type\":\"library\",\"name\":\"left-pad\",",
+            "\"version\":\"1.3.0\",\"purl\":\"pkg:npm/left-pad@1.3.0\"}]}"
+        );
+        let spdx = concat!(
+            "SPDXVersion: SPDX-2.3\n",
+            "DataLicense: CC0-1.0\n",
+            "SPDXID: SPDXRef-DOCUMENT\n",
+            "DocumentName: demo-trivy\n",
+            "Creator: Tool: trivy-0.50\n",
+            "\n",
+            "PackageName: left-pad\n",
+            "SPDXID: SPDXRef-Package-0\n",
+            "PackageVersion: 1.3.0\n",
+            "ExternalRef: PACKAGE-MANAGER purl pkg:npm/left-pad@1.3.0\n",
+        );
+        let mut req = Value::object();
+        req.set("a", Value::from(cdx));
+        req.set("b", Value::from(spdx));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let out = body_json(&resp);
+        assert_eq!(
+            out.pointer("a/format").and_then(Value::as_str),
+            Some("cyclonedx")
+        );
+        assert_eq!(
+            out.pointer("a/spec_version").and_then(Value::as_str),
+            Some("1.4")
+        );
+        assert_eq!(
+            out.pointer("b/format").and_then(Value::as_str),
+            Some("spdx-tag-value")
+        );
+        assert_eq!(
+            out.pointer("b/spec_version").and_then(Value::as_str),
+            Some("SPDX-2.3")
+        );
+        assert_eq!(out.pointer("a/components").and_then(Value::as_i64), Some(1));
+        assert_eq!(out.pointer("b/components").and_then(Value::as_i64), Some(1));
+        // Both sides name the same package, so the key sets intersect.
+        assert_eq!(out.get("intersection").and_then(Value::as_i64), Some(1));
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(false));
+        // Ingest metrics observed both documents.
+        assert_eq!(
+            state
+                .metrics
+                .ingest_documents(Some(ingest::DocFormat::CycloneDxJson)),
+            1
+        );
+        assert_eq!(
+            state
+                .metrics
+                .ingest_documents(Some(ingest::DocFormat::SpdxTagValue)),
+            1
+        );
+        assert_eq!(
+            state.metrics.ingest_bytes(),
+            (cdx.len() + spdx.len()) as u64
+        );
+        let text = state.metrics.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_ingest_documents_total{format=\"cyclonedx\"} 1"));
+    }
+
+    #[test]
+    fn diff_malformed_document_is_400_with_side_label() {
+        let state = state();
+        let mut req = Value::object();
+        req.set("a", Value::from("{\"bomFormat\":\"CycloneDX\""));
+        req.set("b", Value::from("SPDXVersion: SPDX-2.3\n"));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 400);
+        let msg = body_json(&resp)
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("document \"a\""), "{msg}");
+        // The unrecognizable side still counted toward ingest metrics.
+        assert_eq!(state.metrics.ingest_documents(None), 1);
+    }
+
+    #[test]
+    fn diff_degrades_instead_of_failing_under_injected_ingest_fault() {
+        let state = state();
+        // Key the rule to this document's exact byte length so concurrent
+        // tests in this binary are unaffected by the global plan.
+        let mut cdx =
+            String::from("{\"bomFormat\":\"CycloneDX\",\"specVersion\":\"1.5\",\"components\":[]}");
+        while cdx.len() < 9973 {
+            cdx.push('\n');
+        }
+        let plan = fault::FaultPlan {
+            seed: 11,
+            rules: vec![fault::FaultRule::new(
+                fault::sites::INGEST_DOC,
+                1_000_000,
+                fault::FaultAction::Error,
+            )
+            .for_key("9973")],
+        };
+        let guard = fault::install(plan);
+        let mut req = Value::object();
+        req.set("a", Value::from(cdx.as_str()));
+        req.set("b", Value::from("SPDXVersion: SPDX-2.3\n"));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        drop(guard);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(resp.degraded);
+        let out = body_json(&resp);
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(true));
+        assert_eq!(out.pointer("a/components").and_then(Value::as_i64), Some(0));
+        let diags = out.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert!(diags.iter().any(|d| {
+            d.get("document").and_then(Value::as_str) == Some("a")
+                && d.get("message")
+                    .and_then(Value::as_str)
+                    .is_some_and(fault::is_injected)
+        }));
+        assert!(state.metrics.degraded() >= 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use sbomdiff_sbomfmt::ingest::DocFormat;
 use sbomdiff_types::DiagClass;
 
 /// The endpoints the service distinguishes in its metrics.
@@ -102,6 +103,17 @@ pub struct Metrics {
     worker_panics: AtomicU64,
     // One counter per DiagClass, indexed by DiagClass::index().
     diagnostics: [AtomicU64; DiagClass::ALL.len()],
+    // External SBOM ingestion: total bytes consumed, and documents per
+    // detected format (trailing slot: unrecognizable documents).
+    ingest_bytes: AtomicU64,
+    ingest_documents: [AtomicU64; DocFormat::ALL.len() + 1],
+}
+
+/// Counter slot for an ingest format (`None`: the unknown slot).
+fn ingest_index(format: Option<DocFormat>) -> usize {
+    format
+        .and_then(|f| DocFormat::ALL.iter().position(|&g| g == f))
+        .unwrap_or(DocFormat::ALL.len())
 }
 
 impl Metrics {
@@ -180,6 +192,24 @@ impl Metrics {
             .sum()
     }
 
+    /// Records one externally supplied SBOM document ingested by
+    /// `/v1/diff`: the bytes consumed and the detected format (`None` when
+    /// the document was not recognizable).
+    pub fn record_ingest(&self, format: Option<DocFormat>, bytes: u64) {
+        self.ingest_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.ingest_documents[ingest_index(format)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes ingested from external SBOM documents so far.
+    pub fn ingest_bytes(&self) -> u64 {
+        self.ingest_bytes.load(Ordering::Relaxed)
+    }
+
+    /// External documents ingested with this detected format so far.
+    pub fn ingest_documents(&self, format: Option<DocFormat>) -> u64 {
+        self.ingest_documents[ingest_index(format)].load(Ordering::Relaxed)
+    }
+
     /// Total requests seen across all endpoints.
     pub fn total_requests(&self) -> u64 {
         self.endpoints
@@ -253,6 +283,23 @@ impl Metrics {
                 "sbomdiff_diagnostics_total{{class=\"{}\"}} {}\n",
                 class.label(),
                 self.diagnostics[class.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE sbomdiff_ingest_bytes_total counter\n");
+        out.push_str(&format!(
+            "sbomdiff_ingest_bytes_total {}\n",
+            self.ingest_bytes.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE sbomdiff_ingest_documents_total counter\n");
+        for (i, label) in DocFormat::ALL
+            .iter()
+            .map(|f| f.label())
+            .chain(std::iter::once("unknown"))
+            .enumerate()
+        {
+            out.push_str(&format!(
+                "sbomdiff_ingest_documents_total{{format=\"{label}\"}} {}\n",
+                self.ingest_documents[i].load(Ordering::Relaxed)
             ));
         }
         out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
@@ -379,6 +426,27 @@ mod tests {
         let text = Metrics::render_parse_cache(7, 3);
         assert!(text.contains("sbomdiff_parse_cache_hits_total 7"));
         assert!(text.contains("sbomdiff_parse_cache_misses_total 3"));
+    }
+
+    #[test]
+    fn ingest_counters_render_per_format_with_unknown_slot() {
+        let m = Metrics::new();
+        // Edge cases: zero-byte document, unknown format, repeated counts.
+        m.record_ingest(Some(DocFormat::CycloneDxJson), 1024);
+        m.record_ingest(Some(DocFormat::CycloneDxJson), 0);
+        m.record_ingest(Some(DocFormat::SpdxTagValue), 76);
+        m.record_ingest(None, 3);
+        assert_eq!(m.ingest_bytes(), 1103);
+        assert_eq!(m.ingest_documents(Some(DocFormat::CycloneDxJson)), 2);
+        assert_eq!(m.ingest_documents(Some(DocFormat::SpdxJson)), 0);
+        assert_eq!(m.ingest_documents(Some(DocFormat::SpdxTagValue)), 1);
+        assert_eq!(m.ingest_documents(None), 1);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_ingest_bytes_total 1103"));
+        assert!(text.contains("sbomdiff_ingest_documents_total{format=\"cyclonedx\"} 2"));
+        assert!(text.contains("sbomdiff_ingest_documents_total{format=\"spdx-json\"} 0"));
+        assert!(text.contains("sbomdiff_ingest_documents_total{format=\"spdx-tag-value\"} 1"));
+        assert!(text.contains("sbomdiff_ingest_documents_total{format=\"unknown\"} 1"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod json;
 pub mod properties;
+pub mod stream;
 pub mod toml;
 pub mod value;
 pub mod xml;

@@ -1,37 +1,47 @@
 //! `sbomdiff` CLI: scan a real directory the way each studied SBOM tool
-//! would, emit CycloneDX/SPDX, or diff all tools' views of the same tree.
+//! would, emit CycloneDX/SPDX, or diff all tools' views of the same tree —
+//! or diff any two externally generated SBOM documents straight from disk.
 //!
 //! ```text
 //! sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
-//!                     [--format cyclonedx|spdx] [--seed N]
+//!                     [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
 //! sbomdiff diff <dir> [--seed N] [--jobs N]
+//! sbomdiff diff <a.sbom> <b.sbom>
 //! ```
 //!
-//! `diff` scans the tree with all four studied tools in parallel (`--jobs`,
-//! default: available parallelism), sharing one metadata-parse cache; the
-//! output is byte-identical for every worker count.
+//! `diff <dir>` scans the tree with all four studied tools in parallel
+//! (`--jobs`, default: available parallelism), sharing one metadata-parse
+//! cache; the output is byte-identical for every worker count. `diff` with
+//! two file arguments streams both documents through the bounded-memory
+//! ingester (CycloneDX 1.4/1.5 JSON, SPDX 2.2/2.3 JSON or tag-value — the
+//! sides need not share a format) and prints the differential report.
 
 use sbomdiff::generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ToolEmulator};
 use sbomdiff::metadata::RepoFs;
 use sbomdiff::registry::Registries;
-use sbomdiff::sbomfmt::SbomFormat;
+use sbomdiff::sbomfmt::{ingest, SbomFormat};
 
 const USAGE: &str = "\
 sbomdiff - differential SBOM analysis over a directory tree
 
 USAGE:
     sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
-                        [--format cyclonedx|spdx] [--seed N]
+                        [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
     sbomdiff diff <dir> [--seed N] [--jobs N]
+    sbomdiff diff <a.sbom> <b.sbom>
     sbomdiff --help | --version
 
 COMMANDS:
     scan    scan <dir> the way one studied tool would and print its SBOM
-    diff    scan <dir> with all four studied tools and report disagreements
+    diff    scan <dir> with all four studied tools and report disagreements,
+            or — given two file paths — stream-ingest and diff any two
+            external SBOM documents (CycloneDX 1.4/1.5 JSON, SPDX 2.2/2.3
+            JSON or tag-value)
 
 OPTIONS:
     --tool <NAME>      emulator profile for `scan` (default best-practice)
-    --format <FMT>     output format for `scan`: cyclonedx (default) or spdx
+    --format <FMT>     output format for `scan`: cyclonedx (default), spdx,
+                       or spdx-tag-value
     --seed <N>         package-registry world seed (default 42)
     --jobs <N>         worker threads for `diff` (default: SBOMDIFF_JOBS or cores)
 ";
@@ -46,8 +56,7 @@ fn main() {
         println!("sbomdiff {}", env!("CARGO_PKG_VERSION"));
         return;
     }
-    let mut command = None;
-    let mut dir = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut tool = "best-practice".to_string();
     let mut format = SbomFormat::CycloneDx;
     let mut seed = 42u64;
@@ -67,6 +76,7 @@ fn main() {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
                     Some("spdx") => SbomFormat::Spdx,
+                    Some("spdx-tag-value") => SbomFormat::SpdxTagValue,
                     _ => SbomFormat::CycloneDx,
                 };
             }
@@ -74,11 +84,8 @@ fn main() {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
             }
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_string());
-            }
-            other if dir.is_none() && !other.starts_with('-') => {
-                dir = Some(other.to_string());
+            other if positionals.len() < 3 && !other.starts_with('-') => {
+                positionals.push(other.to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -87,11 +94,16 @@ fn main() {
         }
         i += 1;
     }
-    let (Some(command), Some(dir)) = (command, dir) else {
+    // `diff a.sbom b.sbom`: two external documents, no directory scan.
+    if positionals.len() == 3 && positionals[0] == "diff" {
+        diff_files(&positionals[1], &positionals[2]);
+        return;
+    }
+    let [command, dir] = positionals.as_slice() else {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let repo = match RepoFs::from_dir(&dir) {
+    let repo = match RepoFs::from_dir(dir) {
         Ok(repo) => repo,
         Err(e) => {
             eprintln!("error reading {dir}: {e}");
@@ -190,6 +202,96 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// Diffs two externally generated SBOM documents by streaming each from
+/// disk through the bounded-memory ingester. Exits 1 on a fatal
+/// ingestion diagnostic; corrupt input is reported, never a panic.
+fn diff_files(a_path: &str, b_path: &str) {
+    use sbomdiff::diff::{jaccard, key_set, TextTable};
+
+    let mut outcomes = Vec::with_capacity(2);
+    for path in [a_path, b_path] {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let opts = ingest::IngestOptions {
+            // Key fault injection by document size, mirroring the service,
+            // so chaos plans behave identically against both front ends.
+            fault_key: size.to_string(),
+            ..ingest::IngestOptions::default()
+        };
+        let mut last_report = 0usize;
+        let outcome = ingest::ingest_reader(file, opts, &mut |stats| {
+            // Progress for very large documents, throttled so small ones
+            // stay quiet.
+            if stats.components >= last_report + 10_000 {
+                last_report = stats.components;
+                eprintln!(
+                    "[sbomdiff] {path}: {} component(s), {} byte(s) so far",
+                    stats.components, stats.bytes_read
+                );
+            }
+        });
+        for diag in outcome.sbom.diagnostics() {
+            eprintln!("[diag] {path}: {diag}");
+        }
+        if let Some(fatal) = &outcome.fatal {
+            eprintln!("[diag] {path}: {fatal}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[sbomdiff] {path}: {}{} — {} component(s), {} byte(s)",
+            outcome.format.map_or("unknown format", |f| f.label()),
+            outcome
+                .stats
+                .spec_version
+                .as_deref()
+                .map(|v| format!(" {v}"))
+                .unwrap_or_default(),
+            outcome.stats.components,
+            outcome.stats.bytes_read
+        );
+        outcomes.push(outcome);
+    }
+    let mut counts = TextTable::new(["Document", "format", "components", "duplicates", "diags"]);
+    for (path, o) in [a_path, b_path].iter().zip(&outcomes) {
+        counts.row([
+            path.to_string(),
+            o.format.map_or("unknown", |f| f.label()).to_string(),
+            o.sbom.len().to_string(),
+            o.sbom.duplicate_entries().to_string(),
+            o.sbom.diagnostics().len().to_string(),
+        ]);
+    }
+    println!("{counts}");
+    let keys_a = key_set(&outcomes[0].sbom);
+    let keys_b = key_set(&outcomes[1].sbom);
+    let j = jaccard(&keys_a, &keys_b);
+    println!(
+        "jaccard: {}",
+        j.map(|j| format!("{j:.3}")).unwrap_or_else(|| "-".into())
+    );
+    println!("intersection: {}", keys_a.intersection(&keys_b).count());
+    const KEY_SAMPLE: usize = 20;
+    for (label, mine, other) in [
+        ("only in a", &keys_a, &keys_b),
+        ("only in b", &keys_b, &keys_a),
+    ] {
+        let only: Vec<_> = mine.difference(other).collect();
+        println!("{label}: {}", only.len());
+        for k in only.iter().take(KEY_SAMPLE) {
+            println!("  {k}");
+        }
+        if only.len() > KEY_SAMPLE {
+            println!("  … and {} more", only.len() - KEY_SAMPLE);
         }
     }
 }

@@ -77,6 +77,61 @@ fn diff_prints_tool_disagreements() {
 }
 
 #[test]
+fn diff_two_external_files_across_formats() {
+    let dir = std::env::temp_dir().join(format!("sbomdiff-cli-filediff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.json");
+    let b = dir.join("b.spdx");
+    std::fs::write(
+        &a,
+        concat!(
+            "{\"bomFormat\":\"CycloneDX\",\"specVersion\":\"1.5\",",
+            "\"components\":[",
+            "{\"type\":\"library\",\"name\":\"left-pad\",\"version\":\"1.3.0\",",
+            "\"purl\":\"pkg:npm/left-pad@1.3.0\"},",
+            "{\"type\":\"library\",\"name\":\"lodash\",\"version\":\"4.17.21\",",
+            "\"purl\":\"pkg:npm/lodash@4.17.21\"}]}"
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        concat!(
+            "SPDXVersion: SPDX-2.2\n",
+            "DataLicense: CC0-1.0\n",
+            "Creator: Tool: trivy-0.50\n",
+            "\n",
+            "PackageName: left-pad\n",
+            "PackageVersion: 1.3.0\n",
+            "ExternalRef: PACKAGE-MANAGER purl pkg:npm/left-pad@1.3.0\n",
+        ),
+    )
+    .unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("jaccard: 0.500"), "{stdout}");
+    assert!(stdout.contains("only in a: 1"), "{stdout}");
+    assert!(stdout.contains("lodash@4.17.21"), "{stdout}");
+    assert!(stdout.contains("spdx-tag-value"), "{stdout}");
+
+    // A truncated document is a classified diagnostic and exit 1 — no
+    // panic, no partial report on stdout.
+    std::fs::write(&a, "{\"bomFormat\":\"CycloneDX\",\"components\":[{").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("truncated-input"), "{stderr}");
+}
+
+#[test]
 fn version_and_help_flags() {
     let output = Command::new(env!("CARGO_BIN_EXE_sbomdiff"))
         .arg("--version")

@@ -1,0 +1,162 @@
+//! Golden fixtures: realistic third-party SBOM documents (syft-style
+//! CycloneDX 1.4, trivy-style SPDX 2.2 JSON, sbom-tool-style SPDX 2.3
+//! tag-value) ingest to pinned summaries, and fixture pairs diff to
+//! blessed reports.
+//!
+//! Any change to the ingester's observable behavior — component
+//! materialization, metadata capture, dependency counting, diagnostics —
+//! shows up as a byte diff against `tests/fixtures/ingest/golden/`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test ingest_golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use sbomdiff::diff::{jaccard, key_set};
+use sbomdiff::sbomfmt::ingest::{ingest_bytes, ingest_reader, IngestOptions, IngestOutcome};
+
+const FIXTURES: [&str; 3] = [
+    "syft-cdx-1.4.json",
+    "trivy-spdx-2.2.json",
+    "sbomtool-spdx-2.3.spdx",
+];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ingest")
+}
+
+fn load(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_dir().join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+}
+
+fn ingest_fixture(name: &str) -> IngestOutcome {
+    let outcome = ingest_bytes(&load(name));
+    assert!(
+        outcome.fatal.is_none(),
+        "fixture {name} must ingest cleanly: {:?}",
+        outcome.fatal
+    );
+    outcome
+}
+
+/// Renders the full observable state of an ingested document as stable
+/// text: what the golden files pin.
+fn summary(outcome: &IngestOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "format: {}",
+        outcome.format.map_or("unknown", |f| f.label())
+    );
+    let _ = writeln!(
+        s,
+        "spec_version: {}",
+        outcome.stats.spec_version.as_deref().unwrap_or("-")
+    );
+    let _ = writeln!(s, "tool: {}", outcome.sbom.meta.tool_name);
+    let _ = writeln!(s, "tool_version: {}", outcome.sbom.meta.tool_version);
+    let _ = writeln!(s, "subject: {}", outcome.sbom.meta.subject);
+    let _ = writeln!(s, "dependency_edges: {}", outcome.stats.dependency_edges);
+    let _ = writeln!(s, "diagnostics: {}", outcome.sbom.diagnostics().len());
+    for diag in outcome.sbom.diagnostics() {
+        let _ = writeln!(s, "  {diag}");
+    }
+    let _ = writeln!(s, "components: {}", outcome.sbom.len());
+    for c in outcome.sbom.components() {
+        let _ = writeln!(
+            s,
+            "  {} {} {} purl={} found_in={} scope={}",
+            c.ecosystem.label(),
+            c.name,
+            c.version.as_deref().unwrap_or("-"),
+            c.purl.as_ref().map_or("-".into(), |p| p.to_string()),
+            if c.found_in.is_empty() {
+                "-"
+            } else {
+                c.found_in.as_str()
+            },
+            c.scope.map_or("-", |sc| sc.label()),
+        );
+    }
+    s
+}
+
+/// Renders the differential report for a fixture pair as stable text.
+fn diff_report(a: &IngestOutcome, b: &IngestOutcome) -> String {
+    let keys_a = key_set(&a.sbom);
+    let keys_b = key_set(&b.sbom);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "jaccard: {}",
+        jaccard(&keys_a, &keys_b).map_or("-".into(), |j| format!("{j:.3}"))
+    );
+    let _ = writeln!(s, "intersection: {}", keys_a.intersection(&keys_b).count());
+    for (label, mine, other) in [("only_a", &keys_a, &keys_b), ("only_b", &keys_b, &keys_a)] {
+        let only: Vec<_> = mine.difference(other).collect();
+        let _ = writeln!(s, "{label}: {}", only.len());
+        for k in only {
+            let _ = writeln!(s, "  {k}");
+        }
+    }
+    s
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_dir().join("golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; bless intentional changes with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fixtures_ingest_to_pinned_summaries() {
+    for name in FIXTURES {
+        let outcome = ingest_fixture(name);
+        check_golden(&format!("{name}.summary.txt"), &summary(&outcome));
+    }
+}
+
+#[test]
+fn fixture_pairs_diff_to_blessed_reports() {
+    let outcomes: Vec<_> = FIXTURES.iter().map(|n| ingest_fixture(n)).collect();
+    for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+        let name = format!(
+            "{}_vs_{}.diff.txt",
+            FIXTURES[i].split('.').next().unwrap(),
+            FIXTURES[j].split('.').next().unwrap()
+        );
+        check_golden(&name, &diff_report(&outcomes[i], &outcomes[j]));
+    }
+}
+
+#[test]
+fn streaming_matches_in_memory_on_every_fixture() {
+    for name in FIXTURES {
+        let bytes = load(name);
+        let oneshot = ingest_bytes(&bytes);
+        for chunk in [512usize, 4096] {
+            let opts = IngestOptions {
+                chunk_size: chunk,
+                fault_key: String::new(),
+            };
+            let streamed = ingest_reader(bytes.as_slice(), opts, &mut |_| {});
+            assert_eq!(streamed.format, oneshot.format, "{name}");
+            let ser =
+                |o: &IngestOutcome| sbomdiff::sbomfmt::SbomFormat::CycloneDx.serialize(&o.sbom);
+            assert_eq!(ser(&streamed), ser(&oneshot), "{name} chunk={chunk}");
+        }
+    }
+}
