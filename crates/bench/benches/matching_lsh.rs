@@ -1,0 +1,47 @@
+//! Tiered-matcher benchmarks: the LSH-gated tier-3 candidate path against
+//! the brute-force same-ecosystem cross product, on the synthetic
+//! divergent-spelling corpus from `sbomdiff_bench::matching_corpus`.
+//!
+//! The default run stays at 1k components per side so `cargo bench` and the
+//! CI `--test` smoke stay fast; set `MATCHING_BENCH_FULL=1` to add the 10k
+//! and (LSH-only) 100k sizes. The committed medians and the headline
+//! LSH-vs-brute ratio live in `BENCH_matching.json`, emitted by
+//! `cargo run -p sbomdiff-bench --bin matching_bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sbomdiff_bench::matching_corpus::sbom_pair;
+use sbomdiff_matching::{match_sboms, MatchConfig};
+
+fn bench_matching(c: &mut Criterion) {
+    let full = std::env::var_os("MATCHING_BENCH_FULL").is_some();
+    let mut group = c.benchmark_group("matching_lsh");
+    let sizes: &[usize] = if full { &[1_000, 10_000] } else { &[1_000] };
+    for &n in sizes {
+        let (a, b) = sbom_pair(n, 77);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("lsh_{n}"), |bench| {
+            bench.iter(|| match_sboms(black_box(&a), black_box(&b), &MatchConfig::default()))
+        });
+        group.bench_function(format!("brute_{n}"), |bench| {
+            let cfg = MatchConfig {
+                brute_force: true,
+                ..MatchConfig::default()
+            };
+            bench.iter(|| match_sboms(black_box(&a), black_box(&b), &cfg))
+        });
+    }
+    if full {
+        // Brute force at 100k would enumerate ~2e9 candidate pairs; only
+        // the LSH path is tractable at this size.
+        let (a, b) = sbom_pair(100_000, 77);
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_function("lsh_100000", |bench| {
+            bench.iter(|| match_sboms(black_box(&a), black_box(&b), &MatchConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

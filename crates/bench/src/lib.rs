@@ -1,3 +1,8 @@
-//! Criterion benchmark harness crate. All content lives in `benches/`:
-//! `parsers`, `formats`, `resolver`, `generators`, and `experiments` (one
-//! group per paper table/figure pipeline).
+//! Criterion benchmark harness crate. Measurement content lives in
+//! `benches/`: `parsers`, `formats`, `resolver`, `generators`,
+//! `experiments` (one group per paper table/figure pipeline), and
+//! `matching_lsh` (LSH-gated vs brute-force tier-3 matching). The library
+//! part carries only the synthetic corpora shared between the benches and
+//! the `BENCH_*.json` emitter binaries.
+
+pub mod matching_corpus;

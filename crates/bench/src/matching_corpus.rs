@@ -1,0 +1,130 @@
+//! Deterministic synthetic SBOM pairs for the matching benchmarks.
+//!
+//! Two sides naming mostly the same packages with the cosmetic §V-E
+//! divergences the tiered matcher targets: PEP 503 spelling flips, `v`
+//! version prefixes, single-character typos, and a slice of genuinely
+//! unmatched components. Everything derives from `splitmix64`, so both the
+//! criterion bench and the `BENCH_matching.json` emitter see byte-identical
+//! corpora at every size.
+
+use sbomdiff_types::{Component, Ecosystem, Sbom};
+
+const ECOSYSTEMS: [Ecosystem; 5] = [
+    Ecosystem::Python,
+    Ecosystem::JavaScript,
+    Ecosystem::Java,
+    Ecosystem::Go,
+    Ecosystem::Rust,
+];
+
+const SYLLABLES: [&str; 16] = [
+    "flask", "net", "data", "pack", "core", "util", "rado", "mist", "quer", "lin", "graph", "tok",
+    "ser", "vex", "plum", "byte",
+];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn base_name(i: usize, rng: &mut u64) -> String {
+    let mut name = String::new();
+    for s in 0..(2 + (splitmix64(rng) % 3) as usize) {
+        if s > 0 {
+            name.push('-');
+        }
+        name.push_str(SYLLABLES[(splitmix64(rng) % SYLLABLES.len() as u64) as usize]);
+    }
+    // A numeric suffix keeps names distinct at 100k without destroying the
+    // trigram overlap the typo variants rely on.
+    name.push_str(&format!("-{i}"));
+    name
+}
+
+/// Flips `name` into a PEP-503-divergent spelling: underscores for dashes
+/// plus an upper-cased first syllable.
+fn respell(name: &str) -> String {
+    let mut out = name.replace('-', "_");
+    if let Some(first) = out.get(..1) {
+        let upper = first.to_uppercase();
+        out.replace_range(..1, &upper);
+    }
+    out
+}
+
+/// Introduces one character-level typo (doubles the character at a
+/// position derived from `rng`).
+fn typo(name: &str, rng: &mut u64) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    let at = (splitmix64(rng) % chars.len() as u64) as usize;
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in chars.iter().enumerate() {
+        out.push(*c);
+        if i == at {
+            out.push(*c);
+        }
+    }
+    out
+}
+
+/// A pair of `n`-component SBOMs with ~60% exact agreement, ~25% cosmetic
+/// divergence (PEP 503 spelling / `v` prefix), ~10% typos and ~5%
+/// one-sided components.
+pub fn sbom_pair(n: usize, seed: u64) -> (Sbom, Sbom) {
+    let mut rng = seed;
+    let mut a = Sbom::new("bench-a", "1");
+    let mut b = Sbom::new("bench-b", "1");
+    for i in 0..n {
+        let eco = ECOSYSTEMS[(splitmix64(&mut rng) % ECOSYSTEMS.len() as u64) as usize];
+        let name = base_name(i, &mut rng);
+        let version = format!("{}.{}.{}", 1 + i % 4, i % 40, i % 7);
+        a.push(Component::new(eco, &name, Some(version.clone())));
+        match splitmix64(&mut rng) % 100 {
+            0..=59 => b.push(Component::new(eco, &name, Some(version))),
+            60..=74 => b.push(Component::new(eco, respell(&name), Some(version))),
+            75..=84 => b.push(Component::new(eco, &name, Some(format!("v{version}")))),
+            85..=94 => b.push(Component::new(eco, typo(&name, &mut rng), Some(version))),
+            _ => b.push(Component::new(eco, format!("only-b-{i}"), Some(version))),
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let (a1, b1) = sbom_pair(500, 7);
+        let (a2, b2) = sbom_pair(500, 7);
+        assert_eq!(a1.len(), 500);
+        assert_eq!(b1.len(), 500);
+        let keys = |s: &Sbom| -> Vec<String> {
+            s.components().iter().map(|c| c.key().to_string()).collect()
+        };
+        assert_eq!(keys(&a1), keys(&a2));
+        assert_eq!(keys(&b1), keys(&b2));
+        // Different seeds shuffle the divergences.
+        let (_, b3) = sbom_pair(500, 8);
+        assert_ne!(keys(&b1), keys(&b3));
+    }
+
+    #[test]
+    fn corpus_mixes_exact_and_divergent_spellings() {
+        let (a, b) = sbom_pair(1000, 42);
+        let a_names: std::collections::BTreeSet<&str> =
+            a.components().iter().map(|c| c.name.as_ref()).collect();
+        let shared = b
+            .components()
+            .iter()
+            .filter(|c| a_names.contains(c.name.as_ref()))
+            .count();
+        // Exact-name agreement (identical or v-prefix rows) sits around
+        // 70%; the rest diverges in spelling.
+        assert!((500..900).contains(&shared), "{shared}");
+    }
+}

@@ -8,9 +8,11 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod matched;
 pub mod metrics;
 pub mod report;
 
+pub use matched::MatchedDiff;
 pub use metrics::{
     diagnostic_totals, duplicate_rate, jaccard, jaccard_canonical, key_set, key_set_canonical,
     PrecisionRecall,

@@ -1,0 +1,100 @@
+//! The matched differential: exact and tiered similarity side by side.
+//!
+//! [`MatchedDiff`] wraps one [`sbomdiff_matching::MatchReport`] and exposes
+//! the two numbers every consumer (CLI, service, experiments) reports
+//! together: `jaccard_exact` — the paper's Eq. 1 over exact
+//! `(name, version)` keys — and `jaccard_matched` — the same metric after
+//! the multi-tier matcher absorbs the cosmetic cross-tool divergences of
+//! §V-E. The gap between the two quantifies how much of the apparent
+//! disagreement between tools is naming convention rather than substance.
+
+use sbomdiff_matching::{MatchConfig, MatchReport, MatchTier};
+use sbomdiff_types::Sbom;
+
+/// A differential report computed under the tiered matcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedDiff {
+    /// The underlying match report (pairs, leftovers, totals).
+    pub report: MatchReport,
+}
+
+impl MatchedDiff {
+    /// Runs the tiered matcher over two SBOMs.
+    pub fn compute(a: &Sbom, b: &Sbom, cfg: &MatchConfig) -> MatchedDiff {
+        MatchedDiff {
+            report: sbomdiff_matching::match_sboms(a, b, cfg),
+        }
+    }
+
+    /// Eq. 1 over exact keys (identical to [`crate::jaccard`] of the two
+    /// [`crate::key_set`]s — asserted by tests).
+    pub fn jaccard_exact(&self) -> Option<f64> {
+        self.report.jaccard_exact()
+    }
+
+    /// Eq. 1 counting every tier's matches as intersection elements.
+    pub fn jaccard_matched(&self) -> Option<f64> {
+        self.report.jaccard_matched()
+    }
+
+    /// `(tier label, matches)` for every tier, strongest first.
+    pub fn tier_breakdown(&self) -> Vec<(&'static str, usize)> {
+        let counts = self.report.tier_counts();
+        MatchTier::ALL
+            .iter()
+            .map(|t| (t.label(), counts[t.index()]))
+            .collect()
+    }
+
+    /// Matches recovered beyond exact identity — the §V-E effect size.
+    pub fn recovered(&self) -> usize {
+        self.report.matched() - self.report.exact_matched()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{jaccard, key_set};
+    use sbomdiff_types::{Component, Ecosystem};
+
+    fn sbom(entries: &[(&str, &str)]) -> Sbom {
+        let mut s = Sbom::new("t", "1");
+        for (name, version) in entries {
+            s.push(Component::new(
+                Ecosystem::Python,
+                *name,
+                Some(version.to_string()),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn jaccard_exact_agrees_with_baseline_metrics() {
+        let a = sbom(&[("flask", "2.3.2"), ("Jinja2", "3.1.2"), ("extra", "1.0")]);
+        let b = sbom(&[("flask", "2.3.2"), ("jinja2", "3.1.2")]);
+        let d = MatchedDiff::compute(&a, &b, &MatchConfig::default());
+        assert_eq!(
+            d.jaccard_exact(),
+            jaccard(&key_set(&a), &key_set(&b)),
+            "MatchedDiff must reproduce the baseline exact Jaccard"
+        );
+        // The PEP 503 divergence is recovered, so matched > exact.
+        assert_eq!(d.recovered(), 1);
+        assert!(d.jaccard_matched() > d.jaccard_exact());
+    }
+
+    #[test]
+    fn tier_breakdown_labels_are_ordered() {
+        let d = MatchedDiff::compute(
+            &sbom(&[("x", "1")]),
+            &sbom(&[("x", "1")]),
+            &MatchConfig::default(),
+        );
+        let labels: Vec<_> = d.tier_breakdown().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["exact", "purl", "alias", "normalized", "fuzzy"]);
+        assert_eq!(d.tier_breakdown()[0].1, 1);
+        assert_eq!(d.recovered(), 0);
+    }
+}

@@ -200,6 +200,74 @@ mod tests {
     }
 
     #[test]
+    fn canonical_jaccard_folds_pep503_spellings() {
+        // §V-E / PEP 503: `Foo_Bar` ≡ `foo-bar` ≡ `foo.bar` for PyPI —
+        // every spelling pair must land in the same canonical key, so the
+        // canonical Jaccard sees full agreement where the exact one sees
+        // none.
+        let spellings = ["Flask_Login", "flask-login", "flask.login", "FLASK.LOGIN"];
+        for (i, sa) in spellings.iter().enumerate() {
+            for sb in &spellings[i + 1..] {
+                let mut a = Sbom::new("syft", "1");
+                a.push(Component::new(Ecosystem::Python, *sa, Some("0.6.2".into())));
+                let mut b = Sbom::new("trivy", "1");
+                b.push(Component::new(Ecosystem::Python, *sb, Some("0.6.2".into())));
+                assert_eq!(
+                    jaccard(&key_set(&a), &key_set(&b)),
+                    Some(0.0),
+                    "{sa} vs {sb}: exact keys must differ"
+                );
+                assert_eq!(
+                    jaccard_canonical(&a, &b),
+                    Some(1.0),
+                    "{sa} vs {sb}: canonical keys must agree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_set_canonical_collapses_pep503_duplicates() {
+        // Two spellings of one package in a single document collapse to a
+        // single canonical key (but remain two exact keys).
+        let mut s = Sbom::new("t", "1");
+        s.push(Component::new(
+            Ecosystem::Python,
+            "zope.interface",
+            Some("6.1".into()),
+        ));
+        s.push(Component::new(
+            Ecosystem::Python,
+            "zope_interface",
+            Some("6.1".into()),
+        ));
+        assert_eq!(key_set(&s).len(), 2);
+        let canon = key_set_canonical(&s);
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon.iter().next().unwrap().name.as_str(), "zope-interface");
+    }
+
+    #[test]
+    fn pep503_folding_is_python_only() {
+        // Rust names are case- and separator-significant: `serde_json`
+        // and `serde-json` are different crates and must stay distinct
+        // under canonicalization.
+        let mut a = Sbom::new("t", "1");
+        a.push(Component::new(
+            Ecosystem::Rust,
+            "serde_json",
+            Some("1.0".into()),
+        ));
+        let mut b = Sbom::new("t", "1");
+        b.push(Component::new(
+            Ecosystem::Rust,
+            "serde-json",
+            Some("1.0".into()),
+        ));
+        assert_eq!(jaccard_canonical(&a, &b), Some(0.0));
+    }
+
+    #[test]
     fn duplicate_rate_excludes_empty() {
         let sboms = vec![
             sbom(&[("x", Some("1")), ("x", Some("2")), ("y", Some("1"))]),

@@ -18,6 +18,7 @@ use sbomdiff_generators::{
     BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, SupportMatrix, ToolEmulator,
     ToolId,
 };
+use sbomdiff_matching::{match_sboms, MatchConfig, MatchTier};
 use sbomdiff_parallel::{par_map, Profiler};
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, Platform};
@@ -1288,4 +1289,85 @@ pub fn stability(ctx: &Context) {
     }
     println!("{table}");
     ctx.write("stability.csv", &table.to_csv());
+}
+
+/// Matching: exact vs tiered Jaccard for the six tool pairs per language.
+///
+/// Quantifies how much of the cross-tool disagreement Figure 2 reports is
+/// *cosmetic* (§V-E naming conventions) by re-diffing every
+/// `(repository, tool pair)` cell through the multi-tier matcher.
+/// `jaccard_matched ≥ jaccard_exact` holds row by row: the matched pairs
+/// are a superset of the exact ones by construction.
+pub fn matching(ctx: &Context) {
+    println!("\n================ Matching: exact vs tiered Jaccard per tool pair ================");
+    let pairs: [(usize, usize, &str); 6] = [
+        (3, 1, "GitHub vs Syft"),
+        (3, 0, "GitHub vs Trivy"),
+        (1, 0, "Syft vs Trivy"),
+        (3, 2, "GitHub vs sbom-tool"),
+        (0, 2, "Trivy vs sbom-tool"),
+        (1, 2, "Syft vs sbom-tool"),
+    ];
+    let cfg = MatchConfig::default();
+    let tier_cols = MatchTier::ALL.map(|t| t.label()).join(",");
+    let mut csv = format!("language,pair,repos,jaccard_exact,jaccard_matched,{tier_cols}\n");
+    let mut table = TextTable::new([
+        "Language",
+        "Pair",
+        "J(exact)",
+        "J(matched)",
+        "recovered pairs",
+    ]);
+    for eco in Ecosystem::ALL {
+        let sboms = ctx.sboms(eco);
+        // One work item per repository; each scores all six pairs so the
+        // LSH index over a side is built once per repo, not once per pair.
+        type RepoCell = (Option<f64>, Option<f64>, [usize; MatchTier::COUNT]);
+        let per_repo: Vec<[RepoCell; 6]> =
+            ctx.phase(&format!("matching {eco}"), sboms.len() as u64 * 6, || {
+                par_map(ctx.jobs(), &sboms[..], |_, s| {
+                    pairs.map(|(a, b, _)| {
+                        let r = match_sboms(&s[a], &s[b], &cfg);
+                        (r.jaccard_exact(), r.jaccard_matched(), r.tier_counts())
+                    })
+                })
+            });
+        for (p, (_, _, label)) in pairs.iter().enumerate() {
+            let mut exact_sum = 0.0;
+            let mut matched_sum = 0.0;
+            let mut n = 0usize;
+            let mut tiers = [0usize; MatchTier::COUNT];
+            for cell in per_repo.iter().map(|row| &row[p]) {
+                // Both-empty cells carry no signal, matching fig2's filter.
+                let (Some(je), Some(jm)) = (cell.0, cell.1) else {
+                    continue;
+                };
+                exact_sum += je;
+                matched_sum += jm;
+                n += 1;
+                for (acc, c) in tiers.iter_mut().zip(cell.2) {
+                    *acc += c;
+                }
+            }
+            let exact_mean = if n == 0 { 0.0 } else { exact_sum / n as f64 };
+            let matched_mean = if n == 0 { 0.0 } else { matched_sum / n as f64 };
+            let recovered: usize = tiers[1..].iter().sum();
+            csv.push_str(&format!(
+                "{},{},{n},{exact_mean:.4},{matched_mean:.4},{}\n",
+                eco.label(),
+                label.to_lowercase().replace([' ', '-'], "_"),
+                tiers.map(|c| c.to_string()).join(",")
+            ));
+            table.row([
+                eco.label().to_string(),
+                label.to_string(),
+                format!("{exact_mean:.3}"),
+                format!("{matched_mean:.3}"),
+                recovered.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(recovered pairs = matches made above the exact tier: purl/alias/normalized/fuzzy)");
+    ctx.write("matching_pairs.csv", &csv);
 }

@@ -23,7 +23,7 @@ USAGE:
 
 COMMANDS:
     fig1 fig2 table1 table2 table3 table4 stats benchscore
-    diagnostics ablate ranking vulnimpact stability all (default)
+    diagnostics ablate ranking vulnimpact stability matching all (default)
 
 OPTIONS:
     --repos <N>        synthetic repositories per language
@@ -117,6 +117,7 @@ fn main() {
         "ranking" => experiments::ranking(&ctx),
         "vulnimpact" => experiments::vulnimpact(&ctx),
         "stability" => experiments::stability(&ctx),
+        "matching" => experiments::matching(&ctx),
         "all" => {
             experiments::fig1(&ctx);
             experiments::fig2(&ctx);
@@ -130,10 +131,11 @@ fn main() {
             experiments::ablate(&ctx);
             experiments::ranking(&ctx);
             experiments::vulnimpact(&ctx);
+            experiments::matching(&ctx);
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact stability all");
+            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact stability matching all");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,150 @@
+//! Tier-1 curated alias table.
+//!
+//! Some cross-tool name divergences are not mechanical: a Python import
+//! name differs from its PyPI distribution name (`bs4` vs
+//! `beautifulsoup4`), a package migrated hosts (`github.com/golang/protobuf`
+//! vs `google.golang.org/protobuf`), an npm package predates scoping
+//! (`babel-core` vs `@babel/core`). No normalization rule recovers these —
+//! the Python SBOM-tool study (arXiv 2409.01214) catalogs exactly this
+//! class of gap — so they live in a curated table.
+//!
+//! # Format
+//!
+//! The table is a set of *alias groups*: per ecosystem, a list of name
+//! spellings that denote the same package. Lookup normalizes the query with
+//! the tier-2 rules first (so `@babel/core` and `Babel-Core` both hit their
+//! groups regardless of spelling) and returns the group id. Two components
+//! match at tier 1 when their names land in the same group *and* their
+//! normalized versions agree — an alias never forgives a version
+//! disagreement.
+
+use std::collections::HashMap;
+
+use sbomdiff_types::Ecosystem;
+
+use crate::normalize::normalize_name;
+
+/// Curated equivalence classes of package-name spellings.
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
+    map: HashMap<(Ecosystem, String), u32>,
+    groups: u32,
+}
+
+impl AliasTable {
+    /// An empty table (tier 1 becomes a no-op).
+    pub fn new() -> Self {
+        AliasTable::default()
+    }
+
+    /// The built-in table, seeded with the divergences our four emulator
+    /// profiles and the ingested real-tool documents actually produce:
+    /// import-vs-distribution Python names, pre-scoping npm names,
+    /// well-known Maven coordinates whose bare artifact is unambiguous,
+    /// and Go modules that changed import paths.
+    pub fn builtin() -> Self {
+        let mut t = AliasTable::new();
+        // Python: import name != distribution name (arXiv 2409.01214).
+        t.add_group(Ecosystem::Python, &["beautifulsoup4", "bs4"]);
+        t.add_group(Ecosystem::Python, &["pillow", "pil"]);
+        t.add_group(Ecosystem::Python, &["pyyaml", "yaml"]);
+        t.add_group(Ecosystem::Python, &["scikit-learn", "sklearn"]);
+        t.add_group(Ecosystem::Python, &["opencv-python", "cv2"]);
+        t.add_group(Ecosystem::Python, &["python-dateutil", "dateutil"]);
+        t.add_group(Ecosystem::Python, &["msgpack", "msgpack-python"]);
+        t.add_group(Ecosystem::Python, &["attrs", "attr"]);
+        // JavaScript: packages that moved into a scope.
+        t.add_group(Ecosystem::JavaScript, &["babel-core", "@babel/core"]);
+        t.add_group(Ecosystem::JavaScript, &["babel-cli", "@babel/cli"]);
+        // Java: coordinates whose bare artifact is globally unambiguous
+        // (Syft's ArtifactOnly naming vs the group-qualified forms).
+        t.add_group(Ecosystem::Java, &["junit:junit", "junit"]);
+        t.add_group(Ecosystem::Java, &["com.google.guava:guava", "guava"]);
+        // Go: import-path migrations.
+        t.add_group(
+            Ecosystem::Go,
+            &["github.com/golang/protobuf", "google.golang.org/protobuf"],
+        );
+        t
+    }
+
+    /// Adds one group of equivalent spellings. Spellings are stored under
+    /// their tier-2 normalized form; re-adding a known spelling joins the
+    /// new group to the existing one's id (last add wins for that
+    /// spelling), so groups should be disjoint.
+    pub fn add_group(&mut self, eco: Ecosystem, spellings: &[&str]) {
+        let id = self.groups;
+        self.groups += 1;
+        for s in spellings {
+            self.map.insert((eco, normalize_name(eco, s)), id);
+        }
+    }
+
+    /// The alias group containing `name`, if any. `name` may be in any
+    /// spelling the tier-2 normalizer folds.
+    pub fn group_of(&self, eco: Ecosystem, name: &str) -> Option<u32> {
+        self.map.get(&(eco, normalize_name(eco, name))).copied()
+    }
+
+    /// Number of spellings in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no groups were added.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_groups_resolve_in_any_spelling() {
+        let t = AliasTable::builtin();
+        let a = t.group_of(Ecosystem::Python, "beautifulsoup4");
+        let b = t.group_of(Ecosystem::Python, "bs4");
+        assert!(a.is_some());
+        assert_eq!(a, b);
+        // PEP 503 spelling variants hit the same group.
+        assert_eq!(a, t.group_of(Ecosystem::Python, "BeautifulSoup4"));
+        // Scoped and unscoped npm spellings agree.
+        assert_eq!(
+            t.group_of(Ecosystem::JavaScript, "babel-core"),
+            t.group_of(Ecosystem::JavaScript, "@babel/core")
+        );
+        // Colon and artifact-only Maven spellings agree.
+        assert_eq!(
+            t.group_of(Ecosystem::Java, "junit:junit"),
+            t.group_of(Ecosystem::Java, "junit")
+        );
+    }
+
+    #[test]
+    fn groups_are_ecosystem_scoped() {
+        let t = AliasTable::builtin();
+        assert!(t.group_of(Ecosystem::Python, "bs4").is_some());
+        assert!(t.group_of(Ecosystem::Ruby, "bs4").is_none());
+    }
+
+    #[test]
+    fn distinct_groups_have_distinct_ids() {
+        let t = AliasTable::builtin();
+        assert_ne!(
+            t.group_of(Ecosystem::Python, "bs4"),
+            t.group_of(Ecosystem::Python, "pillow")
+        );
+    }
+
+    #[test]
+    fn empty_table_matches_nothing() {
+        let t = AliasTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.group_of(Ecosystem::Python, "bs4"), None);
+        let b = AliasTable::builtin();
+        assert!(!b.is_empty());
+        assert!(b.len() >= 20);
+    }
+}

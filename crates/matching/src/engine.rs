@@ -1,0 +1,520 @@
+//! The staged greedy matcher.
+//!
+//! Each tier runs over the components no earlier tier claimed. Tiers 0–2
+//! are *key tiers*: both sides bucket by a stage key (canonical PURL,
+//! alias group + version, normalized name + version), and buckets pair
+//! greedily in sorted-key order. Tier 3 scores LSH candidates and assigns
+//! greedily by `(score desc, unordered key pair)`.
+//!
+//! Why this is symmetric and deterministic: every stage key and score is
+//! computed from one component alone or symmetrically from both; every
+//! iteration walks `BTreeMap`/`BTreeSet` order; the only cross-side
+//! ordering (tier-3 tie-breaks) compares the *unordered* pair. Swapping
+//! the input sides therefore produces the mirrored report, and no step
+//! depends on thread scheduling — candidate scoring uses the ordered
+//! `par_map`, so any jobs count yields identical bytes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sbomdiff_types::{Component, ComponentKey, Ecosystem, Sbom};
+
+use crate::fuzzy;
+use crate::lsh;
+use crate::normalize::{base_name, normalize_name, normalize_version};
+use crate::{MatchConfig, MatchReport, MatchTier, MatchedPair};
+
+/// Per-component matching state, computed once.
+struct Entry {
+    key: ComponentKey,
+    eco: Ecosystem,
+    purl: Option<String>,
+    norm_name: String,
+    norm_version: String,
+    base: Option<String>,
+}
+
+impl Entry {
+    fn new(c: &Component) -> Entry {
+        Entry {
+            key: c.key(),
+            eco: c.ecosystem,
+            purl: c.purl.as_ref().map(|p| p.to_string()),
+            norm_name: normalize_name(c.ecosystem, &c.name),
+            norm_version: normalize_version(c.version.as_deref().unwrap_or("")),
+            base: base_name(c.ecosystem, &c.name),
+        }
+    }
+}
+
+/// Distinct entries per side, first occurrence wins (duplicate exact keys
+/// collapse, matching how `diff::key_set` treats the document).
+fn entries(sbom: &Sbom) -> BTreeMap<ComponentKey, Entry> {
+    let mut map = BTreeMap::new();
+    for c in sbom.components() {
+        map.entry(c.key()).or_insert_with(|| Entry::new(c));
+    }
+    map
+}
+
+/// Separator for composite stage keys; never appears in package names.
+const SEP: char = '\u{1}';
+
+/// A key-derivation stage: maps an entry to its tier-specific join key.
+type KeyFn<'a> = Box<dyn Fn(&Entry) -> Option<String> + 'a>;
+
+/// Matches two SBOMs under `cfg`. See the crate docs for the guarantees.
+pub fn match_sboms(a: &Sbom, b: &Sbom, cfg: &MatchConfig) -> MatchReport {
+    let ea = entries(a);
+    let eb = entries(b);
+    let mut used_a: BTreeSet<ComponentKey> = BTreeSet::new();
+    let mut used_b: BTreeSet<ComponentKey> = BTreeSet::new();
+    let mut pairs: Vec<MatchedPair> = Vec::new();
+
+    // Baseline: identical exact keys.
+    for k in ea.keys().filter(|k| eb.contains_key(*k)) {
+        pairs.push(MatchedPair {
+            a: k.clone(),
+            b: k.clone(),
+            tier: MatchTier::Exact,
+            score: 1.0,
+        });
+        used_a.insert(k.clone());
+        used_b.insert(k.clone());
+    }
+
+    // Key tiers 0–2.
+    let key_stages: [(MatchTier, KeyFn); 4] = [
+        (
+            MatchTier::Purl,
+            Box::new(|e: &Entry| e.purl.clone()) as KeyFn,
+        ),
+        (
+            MatchTier::Alias,
+            Box::new(|e: &Entry| {
+                cfg.aliases
+                    .group_of(e.eco, e.key.name.as_str())
+                    .map(|g| format!("{g}{SEP}{}", e.norm_version))
+            }),
+        ),
+        (
+            MatchTier::Normalized,
+            Box::new(|e: &Entry| {
+                Some(format!(
+                    "{}{SEP}{}{SEP}{}",
+                    e.eco.label(),
+                    e.norm_name,
+                    e.norm_version
+                ))
+            }),
+        ),
+        // Second normalization pass: namespace-dropping conventions
+        // (Maven artifact-only, CocoaPods main pod).
+        (
+            MatchTier::Normalized,
+            Box::new(|e: &Entry| {
+                e.base
+                    .as_ref()
+                    .map(|b| format!("{}{SEP}{b}{SEP}{}", e.eco.label(), e.norm_version))
+            }),
+        ),
+    ];
+    for (tier, stage_key) in &key_stages {
+        if !cfg.tier_enabled(*tier) {
+            continue;
+        }
+        run_key_stage(
+            *tier,
+            &ea,
+            &eb,
+            &mut used_a,
+            &mut used_b,
+            &mut pairs,
+            stage_key,
+        );
+    }
+
+    if cfg.tier_enabled(MatchTier::Fuzzy) {
+        run_fuzzy_stage(cfg, &ea, &eb, &mut used_a, &mut used_b, &mut pairs);
+    }
+
+    pairs.sort_by(|x, y| (x.tier, &x.a).cmp(&(y.tier, &y.a)));
+    MatchReport {
+        only_a: ea
+            .keys()
+            .filter(|k| !used_a.contains(*k))
+            .cloned()
+            .collect(),
+        only_b: eb
+            .keys()
+            .filter(|k| !used_b.contains(*k))
+            .cloned()
+            .collect(),
+        a_distinct: ea.len(),
+        b_distinct: eb.len(),
+        pairs,
+    }
+}
+
+/// Buckets both sides' unmatched entries by `stage_key` and pairs bucket
+/// members positionally. Both member lists are built in `BTreeMap` key
+/// order, so pairing is deterministic and swaps cleanly with the sides.
+fn run_key_stage(
+    tier: MatchTier,
+    ea: &BTreeMap<ComponentKey, Entry>,
+    eb: &BTreeMap<ComponentKey, Entry>,
+    used_a: &mut BTreeSet<ComponentKey>,
+    used_b: &mut BTreeSet<ComponentKey>,
+    pairs: &mut Vec<MatchedPair>,
+    stage_key: &dyn Fn(&Entry) -> Option<String>,
+) {
+    let mut buckets: BTreeMap<String, (Vec<&ComponentKey>, Vec<&ComponentKey>)> = BTreeMap::new();
+    for (k, e) in ea.iter().filter(|(k, _)| !used_a.contains(*k)) {
+        if let Some(s) = stage_key(e) {
+            buckets.entry(s).or_default().0.push(k);
+        }
+    }
+    for (k, e) in eb.iter().filter(|(k, _)| !used_b.contains(*k)) {
+        if let Some(s) = stage_key(e) {
+            buckets.entry(s).or_default().1.push(k);
+        }
+    }
+    for (va, vb) in buckets.values() {
+        for (ka, kb) in va.iter().zip(vb.iter()) {
+            pairs.push(MatchedPair {
+                a: (*ka).clone(),
+                b: (*kb).clone(),
+                tier,
+                score: 1.0,
+            });
+            used_a.insert((*ka).clone());
+            used_b.insert((*kb).clone());
+        }
+    }
+}
+
+/// Tier 3: score candidate pairs (LSH or brute-force) in parallel, then
+/// assign greedily best-first.
+fn run_fuzzy_stage(
+    cfg: &MatchConfig,
+    ea: &BTreeMap<ComponentKey, Entry>,
+    eb: &BTreeMap<ComponentKey, Entry>,
+    used_a: &mut BTreeSet<ComponentKey>,
+    used_b: &mut BTreeSet<ComponentKey>,
+    pairs: &mut Vec<MatchedPair>,
+) {
+    let ra: Vec<&Entry> = ea
+        .iter()
+        .filter(|(k, _)| !used_a.contains(*k))
+        .map(|(_, e)| e)
+        .collect();
+    let rb: Vec<&Entry> = eb
+        .iter()
+        .filter(|(k, _)| !used_b.contains(*k))
+        .map(|(_, e)| e)
+        .collect();
+    if ra.is_empty() || rb.is_empty() {
+        return;
+    }
+    let names_a: Vec<(Ecosystem, &str)> =
+        ra.iter().map(|e| (e.eco, e.norm_name.as_str())).collect();
+    let names_b: Vec<(Ecosystem, &str)> =
+        rb.iter().map(|e| (e.eco, e.norm_name.as_str())).collect();
+    let candidates = if cfg.brute_force {
+        lsh::brute_candidates(&names_a, &names_b)
+    } else {
+        lsh::lsh_candidates(&names_a, &names_b, &cfg.lsh)
+    };
+    let scores =
+        sbomdiff_parallel::par_map(cfg.jobs, &candidates, |_, &(i, j)| score_pair(ra[i], rb[j]));
+    // (quantized score, a index, b index), best-first; ties broken on the
+    // unordered key pair so side-swapping cannot reorder the assignment.
+    let mut accepted: Vec<(u32, usize, usize)> = candidates
+        .iter()
+        .zip(scores.iter())
+        .filter_map(|(&(i, j), &q)| q.map(|q| (q, i, j)))
+        .collect();
+    accepted.sort_by(|x, y| {
+        let (xa, xb) = (&ra[x.1].key, &rb[x.2].key);
+        let (ya, yb) = (&ra[y.1].key, &rb[y.2].key);
+        y.0.cmp(&x.0)
+            .then_with(|| (xa.min(xb), xa.max(xb)).cmp(&(ya.min(yb), ya.max(yb))))
+    });
+    for (q, i, j) in accepted {
+        let (ka, kb) = (&ra[i].key, &rb[j].key);
+        if used_a.contains(ka) || used_b.contains(kb) {
+            continue;
+        }
+        pairs.push(MatchedPair {
+            a: ka.clone(),
+            b: kb.clone(),
+            tier: MatchTier::Fuzzy,
+            score: f64::from(q) / SCORE_SCALE,
+        });
+        used_a.insert(ka.clone());
+        used_b.insert(kb.clone());
+    }
+}
+
+/// Scores are quantized to 1e-4 so ordering, CSV output and golden files
+/// never depend on float formatting subtleties.
+const SCORE_SCALE: f64 = 10_000.0;
+
+/// Scores one candidate pair; `None` when it fails the version gate or the
+/// adaptive threshold. Symmetric in the two entries.
+fn score_pair(a: &Entry, b: &Entry) -> Option<u32> {
+    debug_assert_eq!(a.eco, b.eco);
+    // Version gate: fuzzy evidence is about *names* — versions must agree
+    // outright, or one side must be silent (a small confidence haircut).
+    let penalty = if a.norm_version == b.norm_version {
+        0.0
+    } else if a.norm_version.is_empty() || b.norm_version.is_empty() {
+        0.03
+    } else {
+        return None;
+    };
+    let len = a.norm_name.chars().count().max(b.norm_name.chars().count());
+    let score = fuzzy::similarity(&a.norm_name, &b.norm_name) - penalty;
+    if score >= fuzzy::threshold(a.eco, len) {
+        Some((score * SCORE_SCALE).round() as u32)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_types::Purl;
+
+    fn sbom(components: Vec<Component>) -> Sbom {
+        let mut s = Sbom::new("test", "1");
+        s.extend(components);
+        s
+    }
+
+    fn c(eco: Ecosystem, name: &str, version: &str) -> Component {
+        Component::new(eco, name, Some(version.to_string()))
+    }
+
+    fn tiers_of(report: &MatchReport) -> Vec<(MatchTier, String, String)> {
+        report
+            .pairs
+            .iter()
+            .map(|p| (p.tier, p.a.to_string(), p.b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn exact_tier_reproduces_baseline_jaccard() {
+        let a = sbom(vec![
+            c(Ecosystem::Python, "flask", "2.3.2"),
+            c(Ecosystem::Python, "requests", "2.31.0"),
+        ]);
+        let b = sbom(vec![
+            c(Ecosystem::Python, "flask", "2.3.2"),
+            c(Ecosystem::Python, "urllib3", "2.1.0"),
+        ]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        assert_eq!(r.exact_matched(), 1);
+        let j = r.jaccard_exact().unwrap();
+        assert!((j - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purl_tier_matches_divergent_display_names() {
+        let purl: Purl = "pkg:pypi/flask@2.3.2".parse().unwrap();
+        let mut ca = c(Ecosystem::Python, "Flask", "2.3.2");
+        ca.purl = Some(purl.clone());
+        let mut cb = c(Ecosystem::Python, "flask", "2.3.2");
+        cb.purl = Some(purl);
+        let r = match_sboms(&sbom(vec![ca]), &sbom(vec![cb]), &MatchConfig::default());
+        assert_eq!(
+            tiers_of(&r),
+            vec![(
+                MatchTier::Purl,
+                "Flask@2.3.2".to_string(),
+                "flask@2.3.2".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn alias_tier_requires_version_agreement() {
+        let a = sbom(vec![c(Ecosystem::Python, "beautifulsoup4", "4.12.2")]);
+        let b_ok = sbom(vec![c(Ecosystem::Python, "bs4", "4.12.2")]);
+        let b_bad = sbom(vec![c(Ecosystem::Python, "bs4", "4.0.0")]);
+        let cfg = MatchConfig::default();
+        let r = match_sboms(&a, &b_ok, &cfg);
+        assert_eq!(r.pairs[0].tier, MatchTier::Alias);
+        let r = match_sboms(&a, &b_bad, &cfg);
+        assert!(r.pairs.is_empty(), "version disagreement must not alias");
+    }
+
+    #[test]
+    fn normalized_tier_covers_the_profile_divergences() {
+        // Java: group:artifact vs group.artifact vs artifact-only.
+        let a = sbom(vec![c(
+            Ecosystem::Java,
+            "org.apache.commons:commons-lang3",
+            "3.12.0",
+        )]);
+        let b = sbom(vec![c(
+            Ecosystem::Java,
+            "org.apache.commons.commons-lang3",
+            "3.12.0",
+        )]);
+        let cfg = MatchConfig::default();
+        assert_eq!(
+            match_sboms(&a, &b, &cfg).pairs[0].tier,
+            MatchTier::Normalized
+        );
+        let b2 = sbom(vec![c(Ecosystem::Java, "commons-lang3", "3.12.0")]);
+        assert_eq!(
+            match_sboms(&a, &b2, &cfg).pairs[0].tier,
+            MatchTier::Normalized
+        );
+        // Go: v prefix.
+        let a = sbom(vec![c(
+            Ecosystem::Go,
+            "github.com/stretchr/testify",
+            "v1.8.4",
+        )]);
+        let b = sbom(vec![c(
+            Ecosystem::Go,
+            "github.com/stretchr/testify",
+            "1.8.4",
+        )]);
+        assert_eq!(
+            match_sboms(&a, &b, &cfg).pairs[0].tier,
+            MatchTier::Normalized
+        );
+        // Swift: subspec vs main pod.
+        let a = sbom(vec![c(Ecosystem::Swift, "Firebase/Auth", "10.18.0")]);
+        let b = sbom(vec![c(Ecosystem::Swift, "Firebase", "10.18.0")]);
+        assert_eq!(
+            match_sboms(&a, &b, &cfg).pairs[0].tier,
+            MatchTier::Normalized
+        );
+        // Python: PEP 503.
+        let a = sbom(vec![c(Ecosystem::Python, "Flask_Login", "0.6.2")]);
+        let b = sbom(vec![c(Ecosystem::Python, "flask.login", "0.6.2")]);
+        assert_eq!(
+            match_sboms(&a, &b, &cfg).pairs[0].tier,
+            MatchTier::Normalized
+        );
+    }
+
+    #[test]
+    fn fuzzy_tier_catches_typo_with_lsh_and_brute() {
+        let a = sbom(vec![c(Ecosystem::Python, "urllib3", "2.1.0")]);
+        let b = sbom(vec![c(Ecosystem::Python, "urlib3", "2.1.0")]);
+        for brute in [false, true] {
+            let cfg = MatchConfig {
+                brute_force: brute,
+                ..MatchConfig::default()
+            };
+            let r = match_sboms(&a, &b, &cfg);
+            assert_eq!(r.pairs.len(), 1, "brute={brute}");
+            assert_eq!(r.pairs[0].tier, MatchTier::Fuzzy);
+            assert!(r.pairs[0].score > 0.85 && r.pairs[0].score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fuzzy_version_gate_blocks_cross_version_matches() {
+        let a = sbom(vec![c(Ecosystem::Python, "urllib3", "2.1.0")]);
+        let b = sbom(vec![c(Ecosystem::Python, "urlib3", "1.26.0")]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        assert!(r.pairs.is_empty());
+        // But a version-silent side may still match, at a reduced score.
+        let mut b2 = Sbom::new("t", "1");
+        b2.push(Component::new(Ecosystem::Python, "urlib3", None));
+        let r = match_sboms(&a, &b2, &MatchConfig::default());
+        assert_eq!(r.pairs.len(), 1);
+        assert!(r.pairs[0].score < 0.97);
+    }
+
+    #[test]
+    fn greedy_prefers_higher_scores() {
+        // One A entry, two same-version fuzzy candidates on B: greedy must
+        // hand it to whichever scores higher under the similarity metric.
+        let (cand1, cand2) = ("urlib3", "urllib33");
+        let a = sbom(vec![c(Ecosystem::Python, "urllib3", "2.1.0")]);
+        let b = sbom(vec![
+            c(Ecosystem::Python, cand1, "2.1.0"),
+            c(Ecosystem::Python, cand2, "2.1.0"),
+        ]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        assert_eq!(r.pairs.len(), 1);
+        let s1 = fuzzy::similarity("urllib3", cand1);
+        let s2 = fuzzy::similarity("urllib3", cand2);
+        assert_ne!(s1, s2, "candidates must not tie for this test");
+        let best = if s1 > s2 { cand1 } else { cand2 };
+        assert_eq!(r.pairs[0].b.name.as_str(), best);
+        assert_eq!(r.only_b.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse_to_distinct_keys() {
+        let a = sbom(vec![
+            c(Ecosystem::Python, "flask", "2.3.2"),
+            c(Ecosystem::Python, "flask", "2.3.2"),
+        ]);
+        let b = sbom(vec![c(Ecosystem::Python, "flask", "2.3.2")]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        assert_eq!((r.a_distinct, r.b_distinct, r.matched()), (1, 1, 1));
+        assert_eq!(r.jaccard_matched(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_report() {
+        let e = Sbom::new("t", "1");
+        let r = match_sboms(&e, &e, &MatchConfig::default());
+        assert_eq!(r.matched(), 0);
+        assert_eq!(r.jaccard_matched(), None);
+        let a = sbom(vec![c(Ecosystem::Python, "flask", "2.3.2")]);
+        let r = match_sboms(&a, &e, &MatchConfig::default());
+        assert_eq!(r.jaccard_matched(), Some(0.0));
+        assert_eq!(r.only_a.len(), 1);
+    }
+
+    #[test]
+    fn one_component_matches_at_most_once() {
+        // Two A-side spellings both normalize to the single B entry: only
+        // one may claim it, the other stays unmatched.
+        let a = sbom(vec![
+            c(Ecosystem::Python, "Flask_Login", "0.6.2"),
+            c(Ecosystem::Python, "flask.login", "0.6.2"),
+        ]);
+        let b = sbom(vec![c(Ecosystem::Python, "flask-login", "0.6.2")]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        assert_eq!(r.matched(), 1);
+        assert_eq!(r.only_a.len(), 1);
+        assert!(r.only_b.is_empty());
+    }
+
+    #[test]
+    fn report_is_sorted_by_tier_then_key() {
+        let purl: Purl = "pkg:npm/lodash@4.17.21".parse().unwrap();
+        let mut lodash_a = c(Ecosystem::JavaScript, "Lodash", "4.17.21");
+        lodash_a.purl = Some(purl.clone());
+        let mut lodash_b = c(Ecosystem::JavaScript, "lodash", "4.17.21");
+        lodash_b.purl = Some(purl);
+        let a = sbom(vec![
+            c(Ecosystem::Python, "zeta", "1"),
+            lodash_a,
+            c(Ecosystem::Python, "Alpha_Pkg", "2"),
+        ]);
+        let b = sbom(vec![
+            c(Ecosystem::Python, "zeta", "1"),
+            lodash_b,
+            c(Ecosystem::Python, "alpha-pkg", "2"),
+        ]);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        let tiers: Vec<MatchTier> = r.pairs.iter().map(|p| p.tier).collect();
+        let mut sorted = tiers.clone();
+        sorted.sort();
+        assert_eq!(tiers, sorted);
+        assert_eq!(r.matched(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Tier-3 string similarity: Jaro-Winkler plus bounded Levenshtein, with
+//! per-ecosystem adaptive acceptance thresholds.
+//!
+//! Both metrics are symmetric, so the matcher's side-swap symmetry
+//! guarantee holds through this module. Scores combine as
+//! `max(jaro_winkler, 1 − levenshtein/len)` — Jaro-Winkler rewards shared
+//! prefixes (typo'd package names usually agree on the front), while the
+//! bounded Levenshtein catches single-edit divergences deep in long names
+//! that Jaro-Winkler underrates.
+
+use sbomdiff_types::Ecosystem;
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches: Vec<char> = Vec::new();
+    let mut a_matched = vec![false; a.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                a_matched[i] = true;
+                matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare the matched sequences in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_taken.iter())
+        .filter(|(_, taken)| **taken)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler: Jaro boosted by up to 4 chars of common prefix.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Levenshtein distance, abandoned once it provably exceeds `bound`
+/// (returns `None`). The band restriction makes it O(bound · min_len):
+/// cheap enough to run on every LSH candidate.
+pub fn bounded_levenshtein(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let inf = bound + 1;
+    let mut prev: Vec<usize> = (0..=m).map(|j| j.min(inf)).collect();
+    let mut cur = vec![inf; m + 1];
+    for i in 1..=n {
+        cur[0] = i.min(inf);
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(m);
+        if lo > 1 {
+            cur[lo - 1] = inf;
+        }
+        let mut row_min = cur[0];
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = prev[j - 1] + cost;
+            if prev[j] + 1 < best {
+                best = prev[j] + 1;
+            }
+            if cur[j - 1] + 1 < best {
+                best = cur[j - 1] + 1;
+            }
+            cur[j] = best.min(inf);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < m {
+            cur[hi + 1..].fill(inf);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= bound).then_some(prev[m])
+}
+
+/// Maximum edit distance tier 3 ever forgives.
+pub const LEVENSHTEIN_BOUND: usize = 2;
+
+/// Combined similarity in `[0, 1]`.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let jw = jaro_winkler(a, b);
+    let max_len = a.chars().count().max(b.chars().count());
+    match bounded_levenshtein(a, b, LEVENSHTEIN_BOUND) {
+        Some(d) if max_len > 0 => jw.max(1.0 - d as f64 / max_len as f64),
+        _ => jw,
+    }
+}
+
+/// The tier-3 acceptance threshold for a candidate pair.
+///
+/// Adaptive on two axes (documented in DESIGN.md §17):
+///
+/// * **Ecosystem** — Go module paths and Maven coordinates share long
+///   hosting/group prefixes (`github.com/...`, `org.apache....`) that
+///   inflate Jaro-Winkler between unrelated packages, so their bases are
+///   stricter.
+/// * **Length** — for short names a single edit is a large semantic jump
+///   (`tqdm`/`tqde` are likely different packages), so names of ≤ 4 chars
+///   require near-identity and ≤ 7 chars get a small bump.
+///
+/// `len` is the longer of the two compared (normalized) names.
+pub fn threshold(eco: Ecosystem, len: usize) -> f64 {
+    let base: f64 = match eco {
+        Ecosystem::Go => 0.95,
+        Ecosystem::Java => 0.93,
+        _ => 0.90,
+    };
+    if len <= 4 {
+        base.max(0.97)
+    } else if len <= 7 {
+        (base + 0.02).min(0.99)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaro_identities() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_textbook_values() {
+        // Classic reference pair: JW("MARTHA", "MARHTA") = 0.961.
+        assert!((jaro_winkler("martha", "marhta") - 0.961).abs() < 1e-3);
+        assert!((jaro_winkler("dwayne", "duane") - 0.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        for (a, b) in [
+            ("urllib3", "urlib3"),
+            ("requests", "request"),
+            ("left-pad", "leftpad"),
+            ("", "x"),
+        ] {
+            assert_eq!(similarity(a, b), similarity(b, a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees_with_exact_small_cases() {
+        assert_eq!(bounded_levenshtein("kitten", "sitten", 2), Some(1));
+        assert_eq!(bounded_levenshtein("kitten", "sitting", 2), None); // d = 3
+        assert_eq!(bounded_levenshtein("abc", "abc", 2), Some(0));
+        assert_eq!(bounded_levenshtein("abc", "ab", 2), Some(1));
+        assert_eq!(bounded_levenshtein("", "ab", 2), Some(2));
+        assert_eq!(bounded_levenshtein("", "abc", 2), None);
+        assert_eq!(bounded_levenshtein("abcdefgh", "abcdefgh", 0), Some(0));
+        assert_eq!(bounded_levenshtein("abcdefgh", "abcdefgx", 0), None);
+    }
+
+    #[test]
+    fn single_edit_in_long_name_scores_high() {
+        // One dropped char out of 7: the Levenshtein arm guarantees ≥ 6/7.
+        let s = similarity("urllib3", "urlib3");
+        assert!(s >= 1.0 - 1.0 / 7.0, "got {s}");
+        assert!(s >= threshold(Ecosystem::Python, 7), "must clear threshold");
+    }
+
+    #[test]
+    fn thresholds_are_adaptive() {
+        // Short names demand near-identity.
+        assert!(threshold(Ecosystem::Python, 4) > threshold(Ecosystem::Python, 12));
+        // Go is stricter than Python at every length.
+        for len in [4usize, 6, 10, 30] {
+            assert!(threshold(Ecosystem::Go, len) >= threshold(Ecosystem::Python, len));
+        }
+        // All thresholds stay inside (0, 1).
+        for eco in Ecosystem::ALL {
+            for len in [1usize, 5, 8, 100] {
+                let t = threshold(eco, len);
+                assert!(t > 0.5 && t < 1.0, "{eco} len={len} → {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_names_stay_below_threshold() {
+        for (a, b) in [("flask", "django"), ("lodash", "react"), ("serde", "tokio")] {
+            let s = similarity(a, b);
+            let len = a.len().max(b.len());
+            assert!(
+                s < threshold(Ecosystem::Python, len),
+                "{a} vs {b} scored {s}"
+            );
+        }
+    }
+}

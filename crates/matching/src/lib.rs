@@ -1,0 +1,359 @@
+//! Multi-tier component matching for cross-tool SBOM diffs.
+//!
+//! The paper's §V-E shows that *naming conventions* are exactly where
+//! metadata-based SBOM generation diverges across tools: the same Maven
+//! package appears as `artifact`, `group:artifact` or `group.artifact`, Go
+//! versions carry or drop the `v` prefix, PyPI names vary in PEP 503
+//! spelling, CocoaPods subspecs collapse to the main pod. Exact
+//! `(name, version)` identity therefore *over-reports* drift on cross-tool
+//! pairs. This crate recovers the cosmetically-divergent matches with a
+//! tiered matcher, reported *alongside* the exact diff so both numbers stay
+//! visible (`jaccard_exact` vs `jaccard_matched`).
+//!
+//! # Tiers
+//!
+//! Components that survive the baseline exact-key stage are matched by a
+//! cascade of increasingly permissive, increasingly evidence-weak tiers:
+//!
+//! | tier | name | evidence |
+//! |------|------|----------|
+//! | — | `exact` | identical `(name, version)` key (the baseline diff) |
+//! | 0 | `purl` | identical canonical Package URL |
+//! | 1 | `alias` | curated alias table ([`AliasTable`]) |
+//! | 2 | `normalized` | ecosystem-specific name/version normalization |
+//! | 3 | `fuzzy` | bounded Jaro-Winkler/Levenshtein over an LSH index |
+//!
+//! Matching is *staged greedy*: each tier only sees components no earlier
+//! tier claimed, so enabling a later tier can never lose a match an earlier
+//! tier made (tier monotonicity), and the per-tier breakdown in
+//! [`MatchReport::tier_counts`] is stable under configuration changes.
+//!
+//! # Guarantees
+//!
+//! * **Symmetric** — `match_sboms(a, b)` and `match_sboms(b, a)` produce
+//!   the same pairs with sides swapped. Every stage key and score is
+//!   side-agnostic, and ties are broken on the *unordered* key pair.
+//! * **Deterministic** — byte-identical reports for any
+//!   [`MatchConfig::jobs`] value: candidate scoring fans out through
+//!   `sbomdiff_parallel::par_map` (ordered results), and all collections
+//!   iterate in `BTreeMap` key order.
+//! * **Near-linear** — tier 3 never enumerates the O(n²) cross product by
+//!   default; candidate pairs come from a MinHash-over-trigrams LSH index
+//!   ([`lsh`]), keeping 100k-component documents tractable
+//!   (`BENCH_matching.json` tracks the LSH-vs-brute-force ratio).
+//!
+//! # Example
+//!
+//! ```
+//! use sbomdiff_types::{Component, Ecosystem, Sbom};
+//! use sbomdiff_matching::{match_sboms, MatchConfig, MatchTier};
+//!
+//! let mut a = Sbom::new("syft", "1");
+//! a.push(Component::new(Ecosystem::Python, "Flask_Login", Some("0.6.2".into())));
+//! let mut b = Sbom::new("trivy", "1");
+//! b.push(Component::new(Ecosystem::Python, "flask-login", Some("0.6.2".into())));
+//!
+//! let report = match_sboms(&a, &b, &MatchConfig::default());
+//! assert_eq!(report.jaccard_exact(), Some(0.0));
+//! assert_eq!(report.jaccard_matched(), Some(1.0));
+//! assert_eq!(report.pairs[0].tier, MatchTier::Normalized);
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod alias;
+pub mod engine;
+pub mod fuzzy;
+pub mod lsh;
+pub mod normalize;
+
+use std::fmt;
+
+pub use alias::AliasTable;
+pub use engine::match_sboms;
+pub use lsh::LshParams;
+
+/// The tier at which a component pair was matched.
+///
+/// Order matters: earlier tiers carry stronger evidence and always win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MatchTier {
+    /// Identical exact `(name, version)` key — the baseline diff identity.
+    Exact,
+    /// Tier 0: identical canonical Package URL.
+    Purl,
+    /// Tier 1: both names in the same curated alias group, same version.
+    Alias,
+    /// Tier 2: identical after ecosystem-specific normalization (PEP 503,
+    /// Maven `group:artifact` folding, Go `v`-prefix/`/vN` suffix, npm
+    /// scope folding, CocoaPods main-pod folding).
+    Normalized,
+    /// Tier 3: bounded Jaro-Winkler/Levenshtein similarity above the
+    /// per-ecosystem adaptive threshold, via the LSH candidate index.
+    Fuzzy,
+}
+
+impl MatchTier {
+    /// All tiers, strongest evidence first.
+    pub const ALL: [MatchTier; 5] = [
+        MatchTier::Exact,
+        MatchTier::Purl,
+        MatchTier::Alias,
+        MatchTier::Normalized,
+        MatchTier::Fuzzy,
+    ];
+
+    /// Number of tiers (the width of [`MatchReport::tier_counts`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lowercase label (metrics label values, CSV columns, CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchTier::Exact => "exact",
+            MatchTier::Purl => "purl",
+            MatchTier::Alias => "alias",
+            MatchTier::Normalized => "normalized",
+            MatchTier::Fuzzy => "fuzzy",
+        }
+    }
+
+    /// Position in [`MatchTier::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for MatchTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for [`match_sboms`].
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Highest tier to run (inclusive). [`MatchTier::Exact`] alone
+    /// reproduces the baseline exact diff.
+    pub max_tier: MatchTier,
+    /// Worker threads for tier-3 candidate scoring. Output is
+    /// byte-identical for every value.
+    pub jobs: usize,
+    /// LSH candidate-index parameters for tier 3.
+    pub lsh: LshParams,
+    /// Enumerate the full same-ecosystem cross product instead of LSH
+    /// candidates (the O(n²) reference path the bench compares against).
+    pub brute_force: bool,
+    /// Alias table for tier 1.
+    pub aliases: AliasTable,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            max_tier: MatchTier::Fuzzy,
+            jobs: 1,
+            lsh: LshParams::default(),
+            brute_force: false,
+            aliases: AliasTable::builtin(),
+        }
+    }
+}
+
+impl MatchConfig {
+    /// True when `tier` participates under this configuration.
+    pub fn tier_enabled(&self, tier: MatchTier) -> bool {
+        tier.index() <= self.max_tier.index()
+    }
+}
+
+/// One matched component pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedPair {
+    /// Exact key of the component on side A.
+    pub a: sbomdiff_types::ComponentKey,
+    /// Exact key of the component on side B.
+    pub b: sbomdiff_types::ComponentKey,
+    /// Tier that claimed the pair.
+    pub tier: MatchTier,
+    /// Match confidence in `[0, 1]` (1.0 for deterministic tiers,
+    /// the similarity score for tier 3; quantized to 1e-4).
+    pub score: f64,
+}
+
+/// The result of matching two SBOMs: pairs, leftovers, and the similarity
+/// metrics derived from them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatchReport {
+    /// Matched pairs, sorted by `(tier, a)`.
+    pub pairs: Vec<MatchedPair>,
+    /// Distinct A-side keys no tier matched, sorted.
+    pub only_a: Vec<sbomdiff_types::ComponentKey>,
+    /// Distinct B-side keys no tier matched, sorted.
+    pub only_b: Vec<sbomdiff_types::ComponentKey>,
+    /// Distinct exact keys on side A.
+    pub a_distinct: usize,
+    /// Distinct exact keys on side B.
+    pub b_distinct: usize,
+}
+
+impl MatchReport {
+    /// Matches per tier, indexed by [`MatchTier::index`].
+    pub fn tier_counts(&self) -> [usize; MatchTier::COUNT] {
+        let mut counts = [0usize; MatchTier::COUNT];
+        for p in &self.pairs {
+            counts[p.tier.index()] += 1;
+        }
+        counts
+    }
+
+    /// Total matched pairs across all tiers.
+    pub fn matched(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Pairs matched by exact `(name, version)` identity alone.
+    pub fn exact_matched(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| p.tier == MatchTier::Exact)
+            .count()
+    }
+
+    /// Jaccard over exact keys — identical to the baseline
+    /// `diff::jaccard(key_set(a), key_set(b))`. `None` when both sides are
+    /// empty (the paper excludes such repositories).
+    pub fn jaccard_exact(&self) -> Option<f64> {
+        self.jaccard_of(self.exact_matched())
+    }
+
+    /// Jaccard counting every matched pair as an intersection element:
+    /// `matched / (|A| + |B| − matched)`. Always ≥ [`Self::jaccard_exact`]
+    /// because the matched pairs are a superset of the exact ones.
+    pub fn jaccard_matched(&self) -> Option<f64> {
+        self.jaccard_of(self.matched())
+    }
+
+    fn jaccard_of(&self, matched: usize) -> Option<f64> {
+        if self.a_distinct == 0 && self.b_distinct == 0 {
+            return None;
+        }
+        let union = self.a_distinct + self.b_distinct - matched;
+        Some(matched as f64 / union as f64)
+    }
+
+    /// Stable plain-text report: totals, per-tier breakdown, every
+    /// non-exact match with its tier and score, and the leftovers. This is
+    /// what `sbomdiff diff --match=tiered --explain` prints and what the
+    /// matching golden fixtures pin.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "a_distinct: {}", self.a_distinct);
+        let _ = writeln!(s, "b_distinct: {}", self.b_distinct);
+        let counts = self.tier_counts();
+        let breakdown = MatchTier::ALL
+            .iter()
+            .map(|t| format!("{}={}", t.label(), counts[t.index()]))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(s, "matched: {} ({breakdown})", self.matched());
+        let fmt_j = |j: Option<f64>| j.map_or("-".to_string(), |j| format!("{j:.3}"));
+        let _ = writeln!(s, "jaccard_exact: {}", fmt_j(self.jaccard_exact()));
+        let _ = writeln!(s, "jaccard_matched: {}", fmt_j(self.jaccard_matched()));
+        let non_exact: Vec<_> = self
+            .pairs
+            .iter()
+            .filter(|p| p.tier != MatchTier::Exact)
+            .collect();
+        let _ = writeln!(s, "non-exact matches: {}", non_exact.len());
+        for p in non_exact {
+            let _ = writeln!(
+                s,
+                "  {:<10} {:.3}  {} ~ {}",
+                p.tier.label(),
+                p.score,
+                p.a,
+                p.b
+            );
+        }
+        for (label, keys) in [("only_a", &self.only_a), ("only_b", &self.only_b)] {
+            let _ = writeln!(s, "{label}: {}", keys.len());
+            for k in keys {
+                let _ = writeln!(s, "  {k}");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_types::{Component, ComponentKey, Ecosystem};
+
+    fn key(name: &str, version: &str) -> ComponentKey {
+        Component::new(Ecosystem::Python, name, Some(version.to_string())).key()
+    }
+
+    #[test]
+    fn tier_labels_and_indices_are_stable() {
+        for (i, t) in MatchTier::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        let labels: Vec<_> = MatchTier::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels, ["exact", "purl", "alias", "normalized", "fuzzy"]);
+        assert_eq!(MatchTier::Fuzzy.to_string(), "fuzzy");
+    }
+
+    #[test]
+    fn config_tier_enabled_is_inclusive() {
+        let cfg = MatchConfig {
+            max_tier: MatchTier::Alias,
+            ..MatchConfig::default()
+        };
+        assert!(cfg.tier_enabled(MatchTier::Exact));
+        assert!(cfg.tier_enabled(MatchTier::Alias));
+        assert!(!cfg.tier_enabled(MatchTier::Normalized));
+        assert!(!cfg.tier_enabled(MatchTier::Fuzzy));
+    }
+
+    #[test]
+    fn report_jaccards_and_counts() {
+        let report = MatchReport {
+            pairs: vec![
+                MatchedPair {
+                    a: key("x", "1"),
+                    b: key("x", "1"),
+                    tier: MatchTier::Exact,
+                    score: 1.0,
+                },
+                MatchedPair {
+                    a: key("Y", "1"),
+                    b: key("y", "1"),
+                    tier: MatchTier::Normalized,
+                    score: 1.0,
+                },
+            ],
+            only_a: vec![key("z", "9")],
+            only_b: vec![],
+            a_distinct: 3,
+            b_distinct: 2,
+        };
+        // exact: 1 / (3 + 2 - 1) = 0.25; matched: 2 / (3 + 2 - 2) = 2/3.
+        assert_eq!(report.jaccard_exact(), Some(0.25));
+        let jm = report.jaccard_matched().unwrap();
+        assert!((jm - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.tier_counts(), [1, 0, 0, 1, 0]);
+        let text = report.explain();
+        assert!(text.contains("matched: 2 (exact=1 purl=0 alias=0 normalized=1 fuzzy=0)"));
+        assert!(text.contains("normalized 1.000  Y@1 ~ y@1"));
+        assert!(text.contains("only_a: 1"));
+    }
+
+    #[test]
+    fn empty_report_jaccard_is_none() {
+        let report = MatchReport::default();
+        assert_eq!(report.jaccard_exact(), None);
+        assert_eq!(report.jaccard_matched(), None);
+    }
+}

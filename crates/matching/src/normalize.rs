@@ -1,0 +1,188 @@
+//! Tier-2 ecosystem-specific normalization keys.
+//!
+//! Each key folds one class of purely-cosmetic cross-tool divergence the
+//! paper's §V-E catalogs (and our four emulator profiles reproduce):
+//!
+//! * **Python**: PEP 503 — `Foo_Bar` ≡ `foo-bar` ≡ `foo.bar`.
+//! * **Java**: Trivy/GitHub emit `group:artifact`, sbom-tool
+//!   `group.artifact` — the colon folds to a dot, case-insensitively.
+//!   Syft emits the bare `artifact`, recovered by the secondary
+//!   [`base_name`] key.
+//! * **JavaScript**: the npm scope marker (`@scope/name` vs `scope/name`)
+//!   folds away; npm names are already lowercase-only.
+//! * **Go**: the `/vN` major-version module suffix folds away; the `v`
+//!   version prefix is handled by [`normalize_version`].
+//! * **Swift/CocoaPods**: Syft/Trivy report the `Pod/Subspec`, sbom-tool
+//!   the main pod — recovered by the secondary [`base_name`] key.
+//! * **.NET / PHP**: registry names are case-insensitive — lowercased.
+
+use sbomdiff_types::Ecosystem;
+
+/// The primary tier-2 name key.
+pub fn normalize_name(eco: Ecosystem, raw: &str) -> String {
+    match eco {
+        Ecosystem::Python | Ecosystem::DotNet | Ecosystem::Php => {
+            sbomdiff_types::name::normalize(eco, raw)
+        }
+        Ecosystem::Java => raw.replace(':', ".").to_ascii_lowercase(),
+        Ecosystem::JavaScript => raw.strip_prefix('@').unwrap_or(raw).to_ascii_lowercase(),
+        Ecosystem::Go => strip_go_major_suffix(raw).to_string(),
+        _ => raw.to_string(),
+    }
+}
+
+/// The secondary tier-2 name key, for ecosystems where one tool drops the
+/// namespace entirely: the Maven artifact without its group, the CocoaPods
+/// main pod without the subspec. `None` when the ecosystem has no such
+/// convention or the secondary key adds nothing over the primary.
+pub fn base_name(eco: Ecosystem, raw: &str) -> Option<String> {
+    match eco {
+        Ecosystem::Java => {
+            // `group:artifact` splits exactly; a dotted-only spelling can
+            // only fall back to the final segment heuristically.
+            let artifact = match raw.split_once(':') {
+                Some((_, a)) => a,
+                None => raw.rsplit('.').next().unwrap_or(raw),
+            };
+            Some(artifact.to_ascii_lowercase())
+        }
+        Ecosystem::Swift => Some(raw.split('/').next().unwrap_or(raw).to_string()),
+        _ => None,
+    }
+}
+
+/// Normalized version: a leading `v`/`V` immediately followed by a digit is
+/// stripped (Go modules keep it, Trivy/GitHub strip it — §V-E); everything
+/// else, including GitHub DG's verbatim ranges, passes through.
+pub fn normalize_version(raw: &str) -> String {
+    raw.strip_prefix(['v', 'V'])
+        .filter(|rest| rest.starts_with(|c: char| c.is_ascii_digit()))
+        .unwrap_or(raw)
+        .to_string()
+}
+
+/// Strips a Go module `/vN` (N ≥ 2) major-version suffix:
+/// `github.com/a/b/v2` and `github.com/a/b` are the same module line.
+fn strip_go_major_suffix(path: &str) -> &str {
+    if let Some((head, tail)) = path.rsplit_once('/') {
+        if let Some(digits) = tail.strip_prefix('v') {
+            if !digits.is_empty()
+                && digits.bytes().all(|b| b.is_ascii_digit())
+                && digits != "0"
+                && digits != "1"
+            {
+                return head;
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn python_folds_pep503() {
+        for spelling in ["Flask_Login", "flask-login", "flask.login", "FLASK__LOGIN"] {
+            assert_eq!(
+                normalize_name(Ecosystem::Python, spelling),
+                "flask-login",
+                "{spelling}"
+            );
+        }
+    }
+
+    #[test]
+    fn java_colon_folds_to_dot() {
+        assert_eq!(
+            normalize_name(Ecosystem::Java, "com.google.guava:guava"),
+            "com.google.guava.guava"
+        );
+        assert_eq!(
+            normalize_name(Ecosystem::Java, "com.google.guava.guava"),
+            "com.google.guava.guava"
+        );
+    }
+
+    #[test]
+    fn java_base_name_recovers_artifact() {
+        assert_eq!(
+            base_name(Ecosystem::Java, "org.apache.commons:commons-lang3"),
+            Some("commons-lang3".to_string())
+        );
+        assert_eq!(
+            base_name(Ecosystem::Java, "org.apache.commons.commons-lang3"),
+            Some("commons-lang3".to_string())
+        );
+        assert_eq!(
+            base_name(Ecosystem::Java, "commons-lang3"),
+            Some("commons-lang3".to_string())
+        );
+    }
+
+    #[test]
+    fn npm_scope_marker_folds() {
+        assert_eq!(
+            normalize_name(Ecosystem::JavaScript, "@babel/core"),
+            "babel/core"
+        );
+        assert_eq!(
+            normalize_name(Ecosystem::JavaScript, "babel/core"),
+            "babel/core"
+        );
+        assert_eq!(normalize_name(Ecosystem::JavaScript, "lodash"), "lodash");
+        assert_eq!(base_name(Ecosystem::JavaScript, "@babel/core"), None);
+    }
+
+    #[test]
+    fn go_major_suffix_folds() {
+        assert_eq!(
+            normalize_name(Ecosystem::Go, "github.com/a/b/v2"),
+            "github.com/a/b"
+        );
+        assert_eq!(
+            normalize_name(Ecosystem::Go, "github.com/a/b"),
+            "github.com/a/b"
+        );
+        // v0/v1 are never written as suffixes; a literal `/v1` path element
+        // is part of the module path, not a major marker.
+        assert_eq!(
+            normalize_name(Ecosystem::Go, "github.com/a/v1"),
+            "github.com/a/v1"
+        );
+        assert_eq!(normalize_name(Ecosystem::Go, "v2"), "v2");
+    }
+
+    #[test]
+    fn swift_base_name_is_main_pod() {
+        assert_eq!(
+            base_name(Ecosystem::Swift, "Firebase/Auth"),
+            Some("Firebase".to_string())
+        );
+        assert_eq!(
+            base_name(Ecosystem::Swift, "Firebase"),
+            Some("Firebase".to_string())
+        );
+    }
+
+    #[test]
+    fn version_v_prefix_strips_only_before_digits() {
+        assert_eq!(normalize_version("v1.2.3"), "1.2.3");
+        assert_eq!(normalize_version("V1.2.3"), "1.2.3");
+        assert_eq!(normalize_version("1.2.3"), "1.2.3");
+        assert_eq!(normalize_version("vendored"), "vendored");
+        assert_eq!(normalize_version(""), "");
+        assert_eq!(normalize_version(">= 1.0, < 2.0"), ">= 1.0, < 2.0");
+    }
+
+    #[test]
+    fn case_sensitive_ecosystems_pass_through() {
+        assert_eq!(normalize_name(Ecosystem::Rust, "serde_json"), "serde_json");
+        assert_eq!(normalize_name(Ecosystem::Ruby, "Rails"), "Rails");
+        assert_eq!(
+            normalize_name(Ecosystem::DotNet, "Newtonsoft.Json"),
+            "newtonsoft.json"
+        );
+    }
+}

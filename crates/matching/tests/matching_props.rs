@@ -1,0 +1,242 @@
+//! Property tests for the tiered matcher's three contractual guarantees:
+//!
+//! 1. **Symmetry** — `match_sboms(a, b)` equals `match_sboms(b, a)` with
+//!    the side labels swapped, pair for pair, tier for tier.
+//! 2. **Determinism across jobs** — the report is byte-identical for any
+//!    `jobs` value (the acceptance criterion behind the service's
+//!    jobs=1-vs-jobs=N guarantee).
+//! 3. **Tier monotonicity** — raising `max_tier` never loses or reclassifies
+//!    a match an earlier tier made; it can only add later-tier pairs.
+//!
+//! SBOM pairs are synthesized from a seeded RNG: a shared package pool with
+//! per-side cosmetic mutations (PEP 503 respellings, `v` prefixes, Maven
+//! form changes, typos, drops) — the §V-E divergence classes the matcher
+//! exists to absorb.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sbomdiff_matching::{match_sboms, MatchConfig, MatchReport, MatchTier};
+use sbomdiff_types::{Component, Ecosystem, Sbom};
+
+const ECOSYSTEMS: [Ecosystem; 5] = [
+    Ecosystem::Python,
+    Ecosystem::Java,
+    Ecosystem::Go,
+    Ecosystem::JavaScript,
+    Ecosystem::Swift,
+];
+
+/// One side's cosmetic respelling of pool package `i`.
+fn spell(rng: &mut StdRng, eco: Ecosystem, i: usize) -> (String, Option<String>) {
+    let version = format!("{}.{}.{}", i % 7, i % 11, i % 5);
+    let (name, version) = match eco {
+        Ecosystem::Python => {
+            let base = format!("pkg-{i:03}-lib");
+            let name = match rng.gen_range(0..4) {
+                0 => base,
+                1 => base.replace('-', "_"),
+                2 => base.replace('-', "."),
+                _ => base.to_uppercase(),
+            };
+            (name, version)
+        }
+        Ecosystem::Java => {
+            let group = format!("org.example.g{}", i % 13);
+            let artifact = format!("artifact-{i:03}");
+            let name = match rng.gen_range(0..3) {
+                0 => format!("{group}:{artifact}"),
+                1 => format!("{group}.{artifact}"),
+                _ => artifact,
+            };
+            (name, version)
+        }
+        Ecosystem::Go => {
+            let name = format!("github.com/org{}/mod-{i:03}", i % 17);
+            let version = if rng.gen_bool(0.5) {
+                format!("v{version}")
+            } else {
+                version
+            };
+            (name, version)
+        }
+        Ecosystem::JavaScript => {
+            let name = if rng.gen_bool(0.3) {
+                format!("@scope{}/dep-{i:03}", i % 5)
+            } else {
+                format!("dep-{i:03}")
+            };
+            (name, version)
+        }
+        _ => {
+            let name = if rng.gen_bool(0.4) {
+                format!("PodKit{i:03}/Sub")
+            } else {
+                format!("PodKit{i:03}")
+            };
+            (name, version)
+        }
+    };
+    // Occasional typo (drop one inner char) and occasional missing version.
+    let name = if rng.gen_bool(0.1) && name.len() > 8 {
+        let cut = 4 + (i % (name.len() - 6));
+        format!("{}{}", &name[..cut], &name[cut + 1..])
+    } else {
+        name
+    };
+    let version = if rng.gen_bool(0.05) {
+        None
+    } else {
+        Some(version)
+    };
+    (name, version)
+}
+
+/// A seeded cross-tool SBOM pair over a shared pool.
+fn sbom_pair(seed: u64) -> (Sbom, Sbom) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = rng.gen_range(5..40usize);
+    let mut a = Sbom::new("tool-a", "1");
+    let mut b = Sbom::new("tool-b", "1");
+    for i in 0..pool {
+        let eco = ECOSYSTEMS[rng.gen_range(0..ECOSYSTEMS.len())];
+        for (side, keep) in [(&mut a, rng.gen_bool(0.9)), (&mut b, rng.gen_bool(0.9))] {
+            if keep {
+                let (name, version) = spell(&mut rng, eco, i);
+                side.push(Component::new(eco, name, version));
+            }
+        }
+    }
+    (a, b)
+}
+
+/// Projects a report into a comparable, side-agnostic form.
+fn pair_set(r: &MatchReport) -> Vec<(MatchTier, String, String)> {
+    let mut v: Vec<_> = r
+        .pairs
+        .iter()
+        .map(|p| {
+            let (x, y) = (p.a.to_string(), p.b.to_string());
+            (p.tier, x, y)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn matching_is_symmetric_modulo_side_labels() {
+    for seed in 0..40u64 {
+        let (a, b) = sbom_pair(seed);
+        let cfg = MatchConfig::default();
+        let ab = match_sboms(&a, &b, &cfg);
+        let ba = match_sboms(&b, &a, &cfg);
+        let mut ba_swapped: Vec<_> = ba
+            .pairs
+            .iter()
+            .map(|p| (p.tier, p.b.to_string(), p.a.to_string()))
+            .collect();
+        ba_swapped.sort();
+        assert_eq!(pair_set(&ab), ba_swapped, "seed {seed}");
+        assert_eq!(ab.only_a, ba.only_b, "seed {seed}");
+        assert_eq!(ab.only_b, ba.only_a, "seed {seed}");
+        assert_eq!(ab.jaccard_matched(), ba.jaccard_matched(), "seed {seed}");
+    }
+}
+
+#[test]
+fn matching_is_deterministic_across_jobs_counts() {
+    for seed in 0..25u64 {
+        let (a, b) = sbom_pair(seed);
+        let baseline = match_sboms(
+            &a,
+            &b,
+            &MatchConfig {
+                jobs: 1,
+                ..MatchConfig::default()
+            },
+        );
+        for jobs in [2usize, 4, 8] {
+            let r = match_sboms(
+                &a,
+                &b,
+                &MatchConfig {
+                    jobs,
+                    ..MatchConfig::default()
+                },
+            );
+            assert_eq!(baseline, r, "seed {seed} jobs {jobs}");
+            assert_eq!(baseline.explain(), r.explain(), "seed {seed} jobs {jobs}");
+        }
+    }
+}
+
+#[test]
+fn tiers_are_monotone() {
+    for seed in 0..25u64 {
+        let (a, b) = sbom_pair(seed);
+        let mut prev: Option<MatchReport> = None;
+        for max_tier in MatchTier::ALL {
+            let cfg = MatchConfig {
+                max_tier,
+                ..MatchConfig::default()
+            };
+            let r = match_sboms(&a, &b, &cfg);
+            if let Some(p) = &prev {
+                // Every pair matched with tiers ≤ k must persist unchanged
+                // when tier k+1 is enabled.
+                let now = pair_set(&r);
+                for entry in pair_set(p) {
+                    assert!(
+                        now.contains(&entry),
+                        "seed {seed}: pair {entry:?} lost when enabling {max_tier}"
+                    );
+                }
+                assert!(r.matched() >= p.matched(), "seed {seed}");
+            }
+            prev = Some(r);
+        }
+    }
+}
+
+#[test]
+fn jaccard_matched_dominates_exact_and_stays_in_range() {
+    for seed in 0..40u64 {
+        let (a, b) = sbom_pair(seed);
+        let r = match_sboms(&a, &b, &MatchConfig::default());
+        match (r.jaccard_exact(), r.jaccard_matched()) {
+            (Some(je), Some(jm)) => {
+                assert!(jm >= je, "seed {seed}: {jm} < {je}");
+                assert!((0.0..=1.0).contains(&je) && (0.0..=1.0).contains(&jm));
+            }
+            (None, None) => {}
+            other => panic!("seed {seed}: inconsistent jaccards {other:?}"),
+        }
+        // Accounting: matched + leftovers reconstruct both sides.
+        assert_eq!(r.matched() + r.only_a.len(), r.a_distinct, "seed {seed}");
+        assert_eq!(r.matched() + r.only_b.len(), r.b_distinct, "seed {seed}");
+    }
+}
+
+#[test]
+fn lsh_loses_no_match_brute_force_finds_on_typo_corpora() {
+    // The LSH index is an *optimization* of the brute-force candidate
+    // enumeration: on corpora of single-typo divergences (trigram
+    // similarity well above the banding knee) both paths must converge to
+    // the same match count.
+    for seed in 100..115u64 {
+        let (a, b) = sbom_pair(seed);
+        let lsh = match_sboms(&a, &b, &MatchConfig::default());
+        let brute = match_sboms(
+            &a,
+            &b,
+            &MatchConfig {
+                brute_force: true,
+                ..MatchConfig::default()
+            },
+        );
+        assert_eq!(
+            pair_set(&lsh),
+            pair_set(&brute),
+            "seed {seed}: LSH and brute-force disagree"
+        );
+    }
+}

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use sbomdiff_diff::{jaccard, key_set};
 use sbomdiff_faultline as fault;
 use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, ToolId};
+use sbomdiff_matching::{match_sboms, MatchConfig, MatchTier};
 use sbomdiff_metadata::RepoFs;
 use sbomdiff_registry::Registries;
 use sbomdiff_sbomfmt::{ingest, SbomFormat};
@@ -348,12 +349,26 @@ fn failed_tool_sbom(id: ToolId, subject: &str, message: String) -> Sbom {
 /// an injected ingestion fault degrades into a 200, mirroring
 /// `/v1/analyze`, so chaos soaks see availability rather than client
 /// errors.
+///
+/// With `"match": "tiered"` the response additionally carries the
+/// multi-tier matcher's view (`jaccard_exact` vs `jaccard_matched`, the
+/// per-tier pair counts, and a capped sample of non-exact matches). The
+/// optional `"jobs"` knob only changes how tier-3 scoring fans out —
+/// responses stay byte-identical for every value.
 fn diff(state: &AppState, doc: &Value) -> Response {
     let (Some(a_text), Some(b_text)) = (
         doc.get("a").and_then(Value::as_str),
         doc.get("b").and_then(Value::as_str),
     ) else {
         return Response::error(400, "missing \"a\" and \"b\" SBOM document strings");
+    };
+    let tiered = match doc.get("match") {
+        None => false,
+        Some(mode) => match mode.as_str() {
+            Some("exact") => false,
+            Some("tiered") => true,
+            _ => return Response::error(400, "\"match\" must be \"exact\" or \"tiered\""),
+        },
     };
     let mut outcomes = Vec::with_capacity(2);
     for (label, text) in [("a", a_text), ("b", b_text)] {
@@ -445,6 +460,56 @@ fn diff(state: &AppState, doc: &Value) -> Response {
                 only.iter()
                     .take(KEY_SAMPLE)
                     .map(|k| Value::from(k.to_string()))
+                    .collect(),
+            ),
+        );
+    }
+    if tiered {
+        let jobs = opt_u64(doc, "jobs").unwrap_or(1).clamp(1, 16) as usize;
+        let cfg = MatchConfig {
+            jobs,
+            ..MatchConfig::default()
+        };
+        let report = match_sboms(&outcomes[0].1.sbom, &outcomes[1].1.sbom, &cfg);
+        let counts = report.tier_counts();
+        for tier in MatchTier::ALL {
+            state
+                .metrics
+                .record_matches(tier, counts[tier.index()] as u64);
+        }
+        out.set(
+            "jaccard_exact",
+            report.jaccard_exact().map_or(Value::Null, Value::from),
+        );
+        out.set(
+            "jaccard_matched",
+            report.jaccard_matched().map_or(Value::Null, Value::from),
+        );
+        let mut tiers = Value::object();
+        for tier in MatchTier::ALL {
+            tiers.set(tier.label(), Value::from(counts[tier.index()] as i64));
+        }
+        out.set("match_tiers", tiers);
+        let recovered: Vec<_> = report
+            .pairs
+            .iter()
+            .filter(|p| p.tier != MatchTier::Exact)
+            .collect();
+        out.set("matches_total", Value::from(recovered.len() as i64));
+        out.set(
+            "matches",
+            Value::Array(
+                recovered
+                    .iter()
+                    .take(KEY_SAMPLE)
+                    .map(|p| {
+                        let mut row = Value::object();
+                        row.set("a", Value::from(p.a.to_string()));
+                        row.set("b", Value::from(p.b.to_string()));
+                        row.set("tier", Value::from(p.tier.label()));
+                        row.set("score", Value::from(p.score));
+                        row
+                    })
                     .collect(),
             ),
         );
@@ -912,6 +977,151 @@ mod tests {
                     .is_some_and(fault::is_injected)
         }));
         assert!(state.metrics.degraded() >= 1);
+    }
+
+    // Two CycloneDX documents naming the same three Python packages with
+    // divergent spellings: one PEP 503 case/separator variant, one `v`
+    // version prefix, one exact agreement.
+    fn divergent_pair() -> (String, String) {
+        let mk = |tool: &str, comps: &str| {
+            format!(
+                concat!(
+                    "{{\"bomFormat\":\"CycloneDX\",\"specVersion\":\"1.5\",",
+                    "\"metadata\":{{\"tools\":[{{\"name\":\"{}\",\"version\":\"1.0\"}}],",
+                    "\"component\":{{\"name\":\"demo\"}}}},",
+                    "\"components\":[{}]}}"
+                ),
+                tool, comps
+            )
+        };
+        let comp = |name: &str, version: &str| {
+            format!(
+                concat!(
+                    "{{\"type\":\"library\",\"name\":\"{}\",\"version\":\"{}\",",
+                    "\"properties\":[{{\"name\":\"sbomdiff:ecosystem\",\"value\":\"pypi\"}}]}}"
+                ),
+                name, version
+            )
+        };
+        let a = mk(
+            "syft",
+            &[
+                comp("Flask_Login", "0.6.2"),
+                comp("werkzeug", "3.0.1"),
+                comp("requests", "2.31.0"),
+            ]
+            .join(","),
+        );
+        let b = mk(
+            "dependency-graph",
+            &[
+                comp("flask-login", "0.6.2"),
+                comp("werkzeug", "v3.0.1"),
+                comp("requests", "2.31.0"),
+            ]
+            .join(","),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn diff_tiered_mode_reports_matched_jaccard_and_tiers() {
+        let state = state();
+        let (a, b) = divergent_pair();
+        let mut req = Value::object();
+        req.set("a", Value::from(a));
+        req.set("b", Value::from(b));
+        req.set("match", Value::from("tiered"));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let out = body_json(&resp);
+        // Exact identity only sees the one agreeing spelling...
+        let exact = out.get("jaccard_exact").and_then(Value::as_f64).unwrap();
+        assert!((exact - 0.2).abs() < 1e-9, "{exact}");
+        // ...the tiers recover the PEP 503 and v-prefix divergences.
+        assert_eq!(
+            out.get("jaccard_matched").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            out.pointer("match_tiers/exact").and_then(Value::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            out.pointer("match_tiers/normalized")
+                .and_then(Value::as_i64),
+            Some(2)
+        );
+        assert_eq!(out.get("matches_total").and_then(Value::as_i64), Some(2));
+        let matches = out.get("matches").and_then(Value::as_array).unwrap();
+        assert!(matches
+            .iter()
+            .all(|m| m.get("tier").and_then(Value::as_str) == Some("normalized")));
+        // The legacy exact-diff fields are still present and agree.
+        assert_eq!(out.get("jaccard").and_then(Value::as_f64), Some(exact));
+        // Every matched pair also incremented its /metrics tier counter.
+        assert_eq!(state.metrics.matches(MatchTier::Exact), 1);
+        assert_eq!(state.metrics.matches(MatchTier::Normalized), 2);
+        let text = state.metrics.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_match_total{tier=\"normalized\"} 2"));
+    }
+
+    #[test]
+    fn diff_without_match_field_keeps_exact_response_shape() {
+        let state = state();
+        let (a, b) = divergent_pair();
+        let mut req = Value::object();
+        req.set("a", Value::from(a));
+        req.set("b", Value::from(b));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 200);
+        let out = body_json(&resp);
+        assert!(out.get("jaccard").is_some());
+        assert!(out.get("jaccard_matched").is_none());
+        assert!(out.get("match_tiers").is_none());
+        assert_eq!(state.metrics.matches(MatchTier::Exact), 0);
+    }
+
+    #[test]
+    fn diff_tiered_is_byte_identical_across_jobs_counts() {
+        let state = state();
+        let (a, b) = divergent_pair();
+        let bodies: Vec<Vec<u8>> = [1i64, 4]
+            .iter()
+            .map(|&jobs| {
+                let mut req = Value::object();
+                req.set("a", Value::from(a.as_str()));
+                req.set("b", Value::from(b.as_str()));
+                req.set("match", Value::from("tiered"));
+                req.set("jobs", Value::from(jobs));
+                let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+                assert_eq!(resp.status, 200);
+                resp.body
+            })
+            .collect();
+        assert_eq!(bodies[0], bodies[1], "jobs=1 vs jobs=4");
+    }
+
+    #[test]
+    fn diff_rejects_unknown_match_mode() {
+        let state = state();
+        let mut req = Value::object();
+        req.set("a", Value::from("SPDXVersion: SPDX-2.3\n"));
+        req.set("b", Value::from("SPDXVersion: SPDX-2.3\n"));
+        req.set("match", Value::from("approximate"));
+        let resp = handle(&state, &post("/v1/diff", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 400);
+        let msg = body_json(&resp)
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("\"match\""), "{msg}");
     }
 
     #[test]

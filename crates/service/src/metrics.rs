@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use sbomdiff_matching::MatchTier;
 use sbomdiff_sbomfmt::ingest::DocFormat;
 use sbomdiff_types::DiagClass;
 
@@ -107,6 +108,9 @@ pub struct Metrics {
     // detected format (trailing slot: unrecognizable documents).
     ingest_bytes: AtomicU64,
     ingest_documents: [AtomicU64; DocFormat::ALL.len() + 1],
+    // Component pairs matched by tiered `/v1/diff` requests, per tier,
+    // indexed by MatchTier::index().
+    match_pairs: [AtomicU64; MatchTier::COUNT],
 }
 
 /// Counter slot for an ingest format (`None`: the unknown slot).
@@ -198,6 +202,17 @@ impl Metrics {
     pub fn record_ingest(&self, format: Option<DocFormat>, bytes: u64) {
         self.ingest_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.ingest_documents[ingest_index(format)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `pairs` component pairs matched at `tier` by a tiered
+    /// `/v1/diff` request.
+    pub fn record_matches(&self, tier: MatchTier, pairs: u64) {
+        self.match_pairs[tier.index()].fetch_add(pairs, Ordering::Relaxed);
+    }
+
+    /// Component pairs matched at `tier` so far.
+    pub fn matches(&self, tier: MatchTier) -> u64 {
+        self.match_pairs[tier.index()].load(Ordering::Relaxed)
     }
 
     /// Bytes ingested from external SBOM documents so far.
@@ -300,6 +315,14 @@ impl Metrics {
             out.push_str(&format!(
                 "sbomdiff_ingest_documents_total{{format=\"{label}\"}} {}\n",
                 self.ingest_documents[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE sbomdiff_match_total counter\n");
+        for tier in MatchTier::ALL {
+            out.push_str(&format!(
+                "sbomdiff_match_total{{tier=\"{}\"}} {}\n",
+                tier.label(),
+                self.match_pairs[tier.index()].load(Ordering::Relaxed)
             ));
         }
         out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
@@ -447,6 +470,21 @@ mod tests {
         assert!(text.contains("sbomdiff_ingest_documents_total{format=\"spdx-json\"} 0"));
         assert!(text.contains("sbomdiff_ingest_documents_total{format=\"spdx-tag-value\"} 1"));
         assert!(text.contains("sbomdiff_ingest_documents_total{format=\"unknown\"} 1"));
+    }
+
+    #[test]
+    fn match_counters_render_per_tier() {
+        let m = Metrics::new();
+        m.record_matches(MatchTier::Exact, 12);
+        m.record_matches(MatchTier::Normalized, 3);
+        m.record_matches(MatchTier::Normalized, 1);
+        assert_eq!(m.matches(MatchTier::Exact), 12);
+        assert_eq!(m.matches(MatchTier::Normalized), 4);
+        assert_eq!(m.matches(MatchTier::Fuzzy), 0);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_match_total{tier=\"exact\"} 12"));
+        assert!(text.contains("sbomdiff_match_total{tier=\"normalized\"} 4"));
+        assert!(text.contains("sbomdiff_match_total{tier=\"fuzzy\"} 0"));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   paper's population statistics.
 //! * [`diff`] — the differential engine: Jaccard similarity, package
 //!   counts, duplicate rates, precision/recall.
+//! * [`matching`] — the multi-tier component matcher for cross-tool diffs:
+//!   exact PURL → alias table → ecosystem normalization → LSH-gated fuzzy,
+//!   reporting matched-vs-exact Jaccard side by side (§V-E).
 //! * [`attack`] — the parser-confusion attack catalog and evaluator
 //!   (Table IV reproduces cell-exact).
 //! * [`benchx`] — the crafted-metadata benchmark with a scoring harness.
@@ -64,6 +67,7 @@ pub use sbomdiff_benchx as benchx;
 pub use sbomdiff_corpus as corpus;
 pub use sbomdiff_diff as diff;
 pub use sbomdiff_generators as generators;
+pub use sbomdiff_matching as matching;
 pub use sbomdiff_metadata as metadata;
 pub use sbomdiff_parallel as parallel;
 pub use sbomdiff_registry as registry;

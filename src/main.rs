@@ -5,8 +5,8 @@
 //! ```text
 //! sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
 //!                     [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
-//! sbomdiff diff <dir> [--seed N] [--jobs N]
-//! sbomdiff diff <a.sbom> <b.sbom>
+//! sbomdiff diff <dir> [--seed N] [--jobs N] [--match exact|tiered] [--explain]
+//! sbomdiff diff <a.sbom> <b.sbom> [--match exact|tiered] [--explain]
 //! ```
 //!
 //! `diff <dir>` scans the tree with all four studied tools in parallel
@@ -27,8 +27,8 @@ sbomdiff - differential SBOM analysis over a directory tree
 USAGE:
     sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
                         [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
-    sbomdiff diff <dir> [--seed N] [--jobs N]
-    sbomdiff diff <a.sbom> <b.sbom>
+    sbomdiff diff <dir> [--seed N] [--jobs N] [--match exact|tiered] [--explain]
+    sbomdiff diff <a.sbom> <b.sbom> [--match exact|tiered] [--explain]
     sbomdiff --help | --version
 
 COMMANDS:
@@ -44,6 +44,12 @@ OPTIONS:
                        or spdx-tag-value
     --seed <N>         package-registry world seed (default 42)
     --jobs <N>         worker threads for `diff` (default: SBOMDIFF_JOBS or cores)
+    --match <MODE>     component identity for `diff`: exact (default), or
+                       tiered — multi-tier matching (PURL, alias table,
+                       ecosystem normalization, LSH-gated fuzzy) reporting
+                       jaccard_exact vs jaccard_matched side by side
+    --explain          with --match=tiered, dump every non-exact match with
+                       its tier and score
 ";
 
 fn main() {
@@ -61,6 +67,13 @@ fn main() {
     let mut format = SbomFormat::CycloneDx;
     let mut seed = 42u64;
     let mut jobs = 0usize;
+    let mut tiered = false;
+    let mut explain = false;
+    let set_match = |mode: &str| match mode {
+        "exact" => Ok(false),
+        "tiered" => Ok(true),
+        other => Err(other.to_string()),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +81,25 @@ fn main() {
                 i += 1;
                 jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
             }
+            "--explain" => explain = true,
+            "--match" => {
+                i += 1;
+                let mode = args.get(i).cloned().unwrap_or_default();
+                match set_match(&mode) {
+                    Ok(t) => tiered = t,
+                    Err(bad) => {
+                        eprintln!("unknown match mode: {bad} (exact|tiered)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if other.starts_with("--match=") => match set_match(&other["--match=".len()..]) {
+                Ok(t) => tiered = t,
+                Err(bad) => {
+                    eprintln!("unknown match mode: {bad} (exact|tiered)");
+                    std::process::exit(2);
+                }
+            },
             "--tool" => {
                 i += 1;
                 tool = args.get(i).cloned().unwrap_or_default();
@@ -96,7 +128,7 @@ fn main() {
     }
     // `diff a.sbom b.sbom`: two external documents, no directory scan.
     if positionals.len() == 3 && positionals[0] == "diff" {
-        diff_files(&positionals[1], &positionals[2]);
+        diff_files(&positionals[1], &positionals[2], tiered, explain, jobs);
         return;
     }
     let [command, dir] = positionals.as_slice() else {
@@ -169,17 +201,49 @@ fn main() {
                     println!("{}: {diag}", t.id().label());
                 }
             }
-            let mut pairs = TextTable::new(["Pair", "Jaccard"]);
-            for a in 0..sboms.len() {
-                for b in (a + 1)..sboms.len() {
-                    let j = jaccard(&key_set(&sboms[a]), &key_set(&sboms[b]));
-                    pairs.row([
-                        format!("{} vs {}", tools[a].id().label(), tools[b].id().label()),
-                        j.map(|j| format!("{j:.3}")).unwrap_or_else(|| "-".into()),
-                    ]);
+            let fmt_j = |j: Option<f64>| j.map(|j| format!("{j:.3}")).unwrap_or_else(|| "-".into());
+            if tiered {
+                // Exact and tiered similarity side by side, per tool pair
+                // (§V-E: the gap is the naming-convention share of drift).
+                use sbomdiff::diff::MatchedDiff;
+                let cfg = sbomdiff::matching::MatchConfig {
+                    jobs,
+                    ..sbomdiff::matching::MatchConfig::default()
+                };
+                let mut pairs =
+                    TextTable::new(["Pair", "Jaccard(exact)", "Jaccard(matched)", "recovered"]);
+                let mut explains = String::new();
+                for a in 0..sboms.len() {
+                    for b in (a + 1)..sboms.len() {
+                        let label =
+                            format!("{} vs {}", tools[a].id().label(), tools[b].id().label());
+                        let d = MatchedDiff::compute(&sboms[a], &sboms[b], &cfg);
+                        pairs.row([
+                            label.clone(),
+                            fmt_j(d.jaccard_exact()),
+                            fmt_j(d.jaccard_matched()),
+                            d.recovered().to_string(),
+                        ]);
+                        if explain {
+                            explains.push_str(&format!("=== {label}\n{}", d.report.explain()));
+                        }
+                    }
                 }
+                println!("{pairs}");
+                print!("{explains}");
+            } else {
+                let mut pairs = TextTable::new(["Pair", "Jaccard"]);
+                for a in 0..sboms.len() {
+                    for b in (a + 1)..sboms.len() {
+                        let j = jaccard(&key_set(&sboms[a]), &key_set(&sboms[b]));
+                        pairs.row([
+                            format!("{} vs {}", tools[a].id().label(), tools[b].id().label()),
+                            fmt_j(j),
+                        ]);
+                    }
+                }
+                println!("{pairs}");
             }
-            println!("{pairs}");
             // Show the disagreements concretely: keys reported by exactly
             // one tool.
             for (t, s) in tools.iter().zip(&sboms) {
@@ -209,7 +273,9 @@ fn main() {
 /// Diffs two externally generated SBOM documents by streaming each from
 /// disk through the bounded-memory ingester. Exits 1 on a fatal
 /// ingestion diagnostic; corrupt input is reported, never a panic.
-fn diff_files(a_path: &str, b_path: &str) {
+/// With `tiered`, the multi-tier matcher's report is appended to the
+/// exact diff (and `explain` dumps every non-exact match).
+fn diff_files(a_path: &str, b_path: &str, tiered: bool, explain: bool, jobs: usize) {
     use sbomdiff::diff::{jaccard, key_set, TextTable};
 
     let mut outcomes = Vec::with_capacity(2);
@@ -292,6 +358,26 @@ fn diff_files(a_path: &str, b_path: &str) {
         }
         if only.len() > KEY_SAMPLE {
             println!("  … and {} more", only.len() - KEY_SAMPLE);
+        }
+    }
+    if tiered {
+        let cfg = sbomdiff::matching::MatchConfig {
+            jobs: sbomdiff::parallel::Jobs::new(jobs).get(),
+            ..sbomdiff::matching::MatchConfig::default()
+        };
+        let d = sbomdiff::diff::MatchedDiff::compute(&outcomes[0].sbom, &outcomes[1].sbom, &cfg);
+        let fmt_j = |j: Option<f64>| j.map(|j| format!("{j:.3}")).unwrap_or_else(|| "-".into());
+        println!("jaccard_exact: {}", fmt_j(d.jaccard_exact()));
+        println!("jaccard_matched: {}", fmt_j(d.jaccard_matched()));
+        let breakdown = d
+            .tier_breakdown()
+            .iter()
+            .map(|(label, n)| format!("{label}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("tiers: {breakdown}");
+        if explain {
+            print!("{}", d.report.explain());
         }
     }
 }

@@ -1,0 +1,132 @@
+//! Golden fixtures for the tiered matcher: real-tool-style documents whose
+//! spellings diverge exactly the way §V-E describes (PEP 503 case, `v`
+//! version prefixes, display-name vs PURL-name, a typo'd name) produce
+//! blessed `--explain` reports, proving cross-tool pairs *gain* matches
+//! over exact identity.
+//!
+//! The syft/trivy/sbom-tool fixtures are the PR-6 ingest set; the
+//! GitHub-dependency-graph-style document adds the divergent spellings.
+//!
+//! To regenerate after an intentional matcher change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test matching_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use sbomdiff::diff::{jaccard, key_set, MatchedDiff};
+use sbomdiff::matching::MatchConfig;
+use sbomdiff::sbomfmt::ingest::{ingest_bytes, IngestOutcome};
+
+const PAIRS: [(&str, &str); 3] = [
+    ("syft-cdx-1.4.json", "github-dg-cdx-1.5.json"),
+    ("trivy-spdx-2.2.json", "github-dg-cdx-1.5.json"),
+    ("syft-cdx-1.4.json", "trivy-spdx-2.2.json"),
+];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ingest")
+}
+
+fn ingest_fixture(name: &str) -> IngestOutcome {
+    let bytes =
+        std::fs::read(fixture_dir().join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let outcome = ingest_bytes(&bytes);
+    assert!(
+        outcome.fatal.is_none(),
+        "fixture {name} must ingest cleanly: {:?}",
+        outcome.fatal
+    );
+    outcome
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_dir().join("golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; bless intentional changes with UPDATE_GOLDEN=1"
+    );
+}
+
+fn golden_name(a: &str, b: &str) -> String {
+    format!(
+        "{}_vs_{}.match.txt",
+        a.split('.').next().unwrap(),
+        b.split('.').next().unwrap()
+    )
+}
+
+#[test]
+fn tiered_explain_reports_match_blessed_goldens() {
+    for (a, b) in PAIRS {
+        let (oa, ob) = (ingest_fixture(a), ingest_fixture(b));
+        let d = MatchedDiff::compute(&oa.sbom, &ob.sbom, &MatchConfig::default());
+        check_golden(&golden_name(a, b), &d.report.explain());
+    }
+}
+
+#[test]
+fn cross_tool_pairs_gain_matches_over_exact_identity() {
+    // The divergent GitHub-style document agrees with syft/trivy on almost
+    // every package, just not on the spelling — exact identity misses
+    // those, the tiers must recover them.
+    for (a, b) in &PAIRS[..2] {
+        let (oa, ob) = (ingest_fixture(a), ingest_fixture(b));
+        let d = MatchedDiff::compute(&oa.sbom, &ob.sbom, &MatchConfig::default());
+        assert!(
+            d.recovered() >= 3,
+            "{a} vs {b}: expected ≥ 3 recovered matches, got {}",
+            d.recovered()
+        );
+        assert!(d.jaccard_matched() > d.jaccard_exact(), "{a} vs {b}");
+        // The matcher's exact tier must agree with the baseline diff.
+        assert_eq!(
+            d.jaccard_exact(),
+            jaccard(&key_set(&oa.sbom), &key_set(&ob.sbom)),
+            "{a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn syft_vs_github_recovers_every_component() {
+    // 7 components on each side, 4 divergent spellings: purl identity
+    // (Flask), v-prefix (werkzeug), PEP 503 case (Jinja2), typo (urlib3).
+    let oa = ingest_fixture("syft-cdx-1.4.json");
+    let ob = ingest_fixture("github-dg-cdx-1.5.json");
+    let d = MatchedDiff::compute(&oa.sbom, &ob.sbom, &MatchConfig::default());
+    assert_eq!(d.jaccard_matched(), Some(1.0), "all 7 pairs must match");
+    let tiers = d.tier_breakdown();
+    assert_eq!(tiers[0], ("exact", 3));
+    assert_eq!(tiers[1], ("purl", 1));
+    assert_eq!(tiers[3], ("normalized", 2));
+    assert_eq!(tiers[4], ("fuzzy", 1));
+}
+
+#[test]
+fn explain_reports_are_identical_across_jobs_counts() {
+    for (a, b) in PAIRS {
+        let (oa, ob) = (ingest_fixture(a), ingest_fixture(b));
+        let reports: Vec<String> = [1usize, 4]
+            .iter()
+            .map(|&jobs| {
+                let cfg = MatchConfig {
+                    jobs,
+                    ..MatchConfig::default()
+                };
+                MatchedDiff::compute(&oa.sbom, &ob.sbom, &cfg)
+                    .report
+                    .explain()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "{a} vs {b}: jobs=1 vs jobs=4");
+    }
+}
