@@ -23,10 +23,13 @@ use sbomdiff_vuln::AdvisoryDb;
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
-use crate::respcache::ResponseCache;
+use crate::respcache::{CacheEntry, ResponseCache};
 
 /// Maximum number of files accepted by `/v1/analyze`.
 pub const MAX_ANALYZE_FILES: usize = 512;
+
+/// Maximum sub-requests accepted by `POST /v1/batch`.
+pub const MAX_BATCH_REQUESTS: usize = 256;
 
 /// Shared service state: memoized seeded worlds, response cache, metrics.
 pub struct AppState {
@@ -125,11 +128,143 @@ pub fn handle(state: &AppState, request: &Request, queue_depth: usize) -> Respon
         ("POST", "/v1/analyze") => with_json_body(request, |doc| analyze(state, doc)),
         ("POST", "/v1/diff") => with_json_body(request, |doc| diff(state, doc)),
         ("POST", "/v1/impact") => with_json_body(request, |doc| impact(state, doc)),
-        (_, "/healthz" | "/metrics") | (_, "/v1/analyze" | "/v1/diff" | "/v1/impact") => {
+        ("POST", "/v1/batch") => with_json_body(request, |doc| batch(state, doc, queue_depth)),
+        (_, "/healthz" | "/metrics")
+        | (_, "/v1/analyze" | "/v1/diff" | "/v1/impact" | "/v1/batch") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "unknown endpoint"),
     }
+}
+
+/// Outcome of a cached execution.
+pub enum Executed {
+    /// Backed by a shared cache entry — a lookup hit, or a fresh success
+    /// that was just inserted. Keep-alive responses write the entry's
+    /// preserialized wire bytes zero-copy.
+    Hit(Arc<CacheEntry>),
+    /// Not cacheable (GET, error, or degraded): an owned response.
+    Miss(Response),
+}
+
+impl Executed {
+    /// The response status.
+    pub fn status(&self) -> u16 {
+        match self {
+            Executed::Hit(entry) => entry.response.status,
+            Executed::Miss(response) => response.status,
+        }
+    }
+}
+
+/// Looks up / fills the response cache around the pure [`handle`] call.
+/// Only successful POST analysis responses are cached: GETs are trivially
+/// cheap and error responses must keep carrying their specific messages.
+/// Degraded responses are partial by construction and must not outlive the
+/// fault that shaped them, so they never enter the cache.
+pub fn execute_cached(state: &AppState, request: &Request, queue_depth: usize) -> Executed {
+    let cacheable = request.method == "POST" && request.path.starts_with("/v1/");
+    if !cacheable {
+        return Executed::Miss(handle(state, request, queue_depth));
+    }
+    let key = ResponseCache::key(&request.path, &request.body);
+    if let Some(cached) = state.cache.get(key) {
+        return Executed::Hit(cached);
+    }
+    let response = handle(state, request, queue_depth);
+    if response.is_success() && !response.degraded {
+        let entry = Arc::new(CacheEntry::new(response));
+        state.cache.put(key, Arc::clone(&entry));
+        return Executed::Hit(entry);
+    }
+    Executed::Miss(response)
+}
+
+/// `POST /v1/batch`: many analysis sub-requests in one HTTP request,
+/// amortizing connection, framing, and envelope-parse cost.
+///
+/// Payload: `{"requests": [{"path": "/v1/analyze", "body": {...}}, ...]}`
+/// (at most [`MAX_BATCH_REQUESTS`] entries). Each entry routes through the
+/// same cached execution path as a standalone POST — repeated payloads
+/// across batches (or within one) are answered from the response cache, and
+/// `/v1/analyze` entries share the PR-4 `ScanContext`/interner machinery
+/// through the process-wide parse cache. An invalid entry yields a per-entry
+/// 400 row rather than failing the whole batch; only a malformed envelope
+/// is a top-level 400.
+///
+/// Response: `{"count": N, "degraded": bool, "responses": [{"path", "status",
+/// "degraded", "body": "<sub-response JSON, as a string>"}, ...]}`. The
+/// batch response is itself cacheable unless any sub-response was degraded.
+fn batch(state: &AppState, doc: &Value, queue_depth: usize) -> Response {
+    let Some(entries) = doc.get("requests").and_then(Value::as_array) else {
+        return Response::error(400, "missing \"requests\" array");
+    };
+    if entries.is_empty() {
+        return Response::error(400, "\"requests\" must contain at least one entry");
+    }
+    if entries.len() > MAX_BATCH_REQUESTS {
+        return Response::error(400, "too many batch entries (limit 256)");
+    }
+    let mut degraded = false;
+    let mut rows = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let sub = match batch_entry_request(entry) {
+            Ok(sub) => sub,
+            Err(msg) => {
+                rows.push(batch_row("", &Response::error(400, msg)));
+                continue;
+            }
+        };
+        let path = sub.path.clone();
+        match execute_cached(state, &sub, queue_depth) {
+            Executed::Hit(hit) => {
+                rows.push(batch_row(&path, &hit.response));
+                degraded |= hit.response.degraded;
+            }
+            Executed::Miss(response) => {
+                rows.push(batch_row(&path, &response));
+                degraded |= response.degraded;
+            }
+        }
+    }
+    let mut out = Value::object();
+    out.set("count", Value::from(rows.len() as i64));
+    out.set("degraded", Value::from(degraded));
+    out.set("responses", Value::Array(rows));
+    finish(out).with_degraded(degraded)
+}
+
+/// Validates one batch entry into a sub-[`Request`].
+fn batch_entry_request(entry: &Value) -> Result<Request, &'static str> {
+    let Some(path) = entry.get("path").and_then(Value::as_str) else {
+        return Err("batch entry needs a string \"path\"");
+    };
+    if !matches!(path, "/v1/analyze" | "/v1/diff" | "/v1/impact") {
+        return Err("batch entry path must be /v1/analyze, /v1/diff, or /v1/impact");
+    }
+    let Some(body) = entry.get("body").filter(|b| b.as_object().is_some()) else {
+        return Err("batch entry needs an object \"body\"");
+    };
+    Ok(Request {
+        method: "POST".into(),
+        path: path.to_string(),
+        body: json::to_string(body).into_bytes(),
+    })
+}
+
+/// One row of the batch response. The sub-response body is embedded as a
+/// string, not re-parsed: the bytes are already deterministic JSON, and
+/// skipping the parse/re-serialize round-trip is the point of batching.
+fn batch_row(path: &str, response: &Response) -> Value {
+    let mut row = Value::object();
+    row.set("path", Value::from(path));
+    row.set("status", Value::from(i64::from(response.status)));
+    row.set("degraded", Value::from(response.degraded));
+    row.set(
+        "body",
+        Value::from(String::from_utf8_lossy(&response.body).into_owned()),
+    );
+    row
 }
 
 fn healthz() -> Response {
@@ -1183,6 +1318,139 @@ mod tests {
         req.set("vulnerable_share", Value::from(3.5));
         let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn batch_routes_entries_and_embeds_sub_responses() {
+        let state = state();
+        let mut req = Value::object();
+        let mut a = Value::object();
+        a.set("path", Value::from("/v1/analyze"));
+        a.set("body", json::parse(&analyze_payload()).unwrap());
+        let mut b = Value::object();
+        b.set("path", Value::from("/v1/impact"));
+        let mut impact_body = Value::object();
+        impact_body.set(
+            "sbom",
+            Value::from(SbomFormat::CycloneDx.serialize(&Sbom::new("t", "1"))),
+        );
+        b.set("body", impact_body);
+        req.set("requests", Value::Array(vec![a, b]));
+        let resp = handle(&state, &post("/v1/batch", &json::to_string(&req)), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let out = body_json(&resp);
+        assert_eq!(out.get("count").and_then(Value::as_i64), Some(2));
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(false));
+        let rows = out.get("responses").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("status").and_then(Value::as_i64),
+            Some(200),
+            "{rows:?}"
+        );
+        // The embedded body string is the sub-handler's exact JSON output.
+        let embedded = rows[0].get("body").and_then(Value::as_str).unwrap();
+        let standalone = handle(&state, &post("/v1/analyze", &analyze_payload()), 0);
+        assert_eq!(embedded.as_bytes(), standalone.body.as_slice());
+        assert_eq!(rows[1].get("status").and_then(Value::as_i64), Some(200));
+    }
+
+    #[test]
+    fn batch_rejects_bad_envelopes() {
+        let state = state();
+        for body in ["{}", "{\"requests\": []}", "{\"requests\": 3}"] {
+            let resp = handle(&state, &post("/v1/batch", body), 0);
+            assert_eq!(resp.status, 400, "{body}");
+        }
+        // Over the entry cap.
+        let entry = r#"{"path":"/v1/impact","body":{}}"#;
+        let body = format!("{{\"requests\":[{}]}}", vec![entry; 257].join(","));
+        assert_eq!(handle(&state, &post("/v1/batch", &body), 0).status, 400);
+        // GET on the endpoint is a 405 like its siblings.
+        let get = Request {
+            method: "GET".into(),
+            path: "/v1/batch".into(),
+            body: vec![],
+        };
+        assert_eq!(handle(&state, &get, 0).status, 405);
+    }
+
+    #[test]
+    fn batch_invalid_entries_fail_per_row_not_whole_batch() {
+        let state = state();
+        let body = concat!(
+            "{\"requests\":[",
+            "{\"path\":\"/v1/batch\",\"body\":{}},", // recursion refused
+            "{\"path\":\"/v1/diff\"},",              // missing body
+            "{\"path\":\"/v1/diff\",\"body\":{}}",   // routed: handler 400s
+            "]}"
+        );
+        let resp = handle(&state, &post("/v1/batch", body), 0);
+        assert_eq!(resp.status, 200);
+        let out = body_json(&resp);
+        let rows = out.get("responses").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert_eq!(row.get("status").and_then(Value::as_i64), Some(400));
+        }
+    }
+
+    #[test]
+    fn batch_sub_requests_share_the_response_cache() {
+        let state = state();
+        let entry = format!(
+            "{{\"path\":\"/v1/analyze\",\"body\":{}}}",
+            analyze_payload()
+        );
+        // The same payload twice in one batch: second entry is a hit.
+        let body = format!("{{\"requests\":[{entry},{entry}]}}");
+        let first = handle(&state, &post("/v1/batch", &body), 0);
+        assert_eq!(first.status, 200);
+        assert!(state.cache.hits() >= 1, "hits={}", state.cache.hits());
+        // A standalone POST of the same payload is also a hit now.
+        let hits_before = state.cache.hits();
+        match execute_cached(&state, &post("/v1/analyze", &analyze_payload()), 0) {
+            Executed::Hit(hit) => {
+                assert_eq!(hit.response.status, 200);
+                assert_eq!(&*hit.wire, hit.response.serialize(false).as_slice());
+            }
+            Executed::Miss(_) => panic!("expected a cache hit"),
+        }
+        assert_eq!(state.cache.hits(), hits_before + 1);
+    }
+
+    #[test]
+    fn execute_cached_skips_errors_and_non_v1_paths() {
+        let state = state();
+        // An error response is never cached: same request, still a miss.
+        let bad = post("/v1/diff", "not json");
+        assert!(matches!(
+            execute_cached(&state, &bad, 0),
+            Executed::Miss(ref r) if r.status == 400
+        ));
+        let misses = state.cache.misses();
+        assert!(matches!(
+            execute_cached(&state, &bad, 0),
+            Executed::Miss(ref r) if r.status == 400
+        ));
+        assert_eq!(state.cache.misses(), misses + 1);
+        // GETs bypass the cache entirely (no lookup, no insertion).
+        let get = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: vec![],
+        };
+        let lookups = state.cache.hits() + state.cache.misses();
+        assert!(matches!(
+            execute_cached(&state, &get, 0),
+            Executed::Miss(ref r) if r.status == 200
+        ));
+        assert_eq!(state.cache.hits() + state.cache.misses(), lookups);
     }
 
     #[test]

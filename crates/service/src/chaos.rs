@@ -175,6 +175,7 @@ pub fn run(config: &ChaosConfig) -> std::io::Result<ChaosReport> {
             clients: config.clients,
             payloads: config.payloads,
             seed: config.seed,
+            keep_alive: true,
             out: None,
             jobs: 1,
         };

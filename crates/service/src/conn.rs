@@ -1,0 +1,573 @@
+//! Per-connection state machine for the reactor (DESIGN.md §18).
+//!
+//! Each accepted socket owns a [`Conn`]: a growable read buffer the event
+//! loop drains edge-triggered reads into, an incremental parse cursor over
+//! that buffer, and a write queue of response buffers that are flushed in
+//! *request order* even when worker completions arrive out of order
+//! (pipelining). Responses can be owned byte vectors or shared `Arc`
+//! slices — the preserialized cache-hit path writes straight from the
+//! cache entry's wire bytes without copying.
+//!
+//! The state machine never blocks: reads and writes stop at `WouldBlock`
+//! and resume on the next readiness event. Timeout decisions (idle,
+//! slow-header, slow-body) are made by the event loop from the facts
+//! [`Conn`] exposes: what phase the buffer ends in and when it last made
+//! progress.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::http::{parse_request, ParseStatus, ReadPhase, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+
+/// Read granularity per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A queued outgoing buffer: owned bytes, or a shared slice written
+/// zero-copy (the preserialized cache-hit body).
+#[derive(Debug, Clone)]
+pub enum WriteBuf {
+    /// Response bytes owned by this connection.
+    Owned(Vec<u8>),
+    /// Response bytes shared with the response cache.
+    Shared(Arc<[u8]>),
+}
+
+impl WriteBuf {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            WriteBuf::Owned(v) => v,
+            WriteBuf::Shared(s) => s,
+        }
+    }
+}
+
+/// What [`Conn::fill`] observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Read some bytes (and stopped at `WouldBlock` or the chunk budget).
+    Progress,
+    /// The peer half-closed its write side (EOF). Responses still owed can
+    /// and must be delivered before teardown.
+    Eof,
+    /// The socket errored; tear the connection down.
+    Broken,
+}
+
+/// One parsed request handed to the dispatcher, tagged with its pipeline
+/// sequence number.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// Position in the connection's pipeline; responses are written in
+    /// ascending `seq` order.
+    pub seq: u64,
+    /// The request itself.
+    pub request: Request,
+    /// Whether the connection survives this request (RFC 9112 §9.3).
+    pub keep_alive: bool,
+}
+
+/// Why parsing stopped (see [`Conn::extract_requests`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseHalt {
+    /// Buffer exhausted cleanly: waiting for more bytes (or idle).
+    NeedMore,
+    /// The pipeline cap was reached; parsing resumes after completions.
+    Backpressure,
+    /// A framing error was answered; the connection is closing.
+    Errored,
+}
+
+/// The per-connection state machine.
+pub struct Conn {
+    /// The nonblocking accepted socket.
+    pub stream: TcpStream,
+    /// Slot-reuse guard: completions carry (token, generation) and are
+    /// dropped when the slot was recycled in the meantime.
+    pub generation: u64,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wqueue: VecDeque<WriteBuf>,
+    wpos: usize,
+    /// Next sequence number to assign to a parsed request.
+    next_seq: u64,
+    /// Sequence number whose response is next on the wire.
+    next_write_seq: u64,
+    /// Out-of-order completions parked until their turn.
+    pending: BTreeMap<u64, (WriteBuf, bool)>,
+    /// Requests dispatched to workers and not yet completed.
+    pub inflight: usize,
+    /// Once set, no further requests are parsed and the connection closes
+    /// after the response for the last assigned seq is written.
+    closing: bool,
+    /// Peer sent EOF (half-close): deliver owed responses, then close.
+    pub read_closed: bool,
+    /// Last time the socket made read progress or went idle.
+    pub last_activity: Instant,
+    /// When the current partial request started pending, and its phase.
+    pub partial_since: Option<(Instant, ReadPhase)>,
+}
+
+impl Conn {
+    /// Wraps an accepted nonblocking stream.
+    pub fn new(stream: TcpStream, generation: u64, now: Instant) -> Conn {
+        Conn {
+            stream,
+            generation,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wqueue: VecDeque::new(),
+            wpos: 0,
+            next_seq: 0,
+            next_write_seq: 0,
+            pending: BTreeMap::new(),
+            inflight: 0,
+            closing: false,
+            read_closed: false,
+            last_activity: now,
+            partial_since: None,
+        }
+    }
+
+    /// Drains the socket into the read buffer until `WouldBlock`, EOF, or
+    /// a bounded number of chunks (so one greedy peer cannot starve the
+    /// event loop under edge-triggered readiness).
+    pub fn fill(&mut self, now: Instant) -> FillOutcome {
+        if self.read_closed || self.closing {
+            // Closing connections ignore further input (but must still
+            // consume the EOF event to notice a vanished peer).
+            return self.drain_discard();
+        }
+        let mut chunks = 0;
+        loop {
+            let old_len = self.rbuf.len();
+            // Cap buffered-but-unparsed bytes: a complete request can need
+            // at most head+body; pipelined completes are consumed eagerly
+            // by `extract_requests`, so sustained growth past the cap means
+            // a peer is flooding us and parse backpressure has kicked in.
+            if old_len - self.rpos > MAX_HEAD_BYTES + MAX_BODY_BYTES + READ_CHUNK {
+                return FillOutcome::Progress;
+            }
+            self.rbuf.resize(old_len + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[old_len..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old_len);
+                    self.read_closed = true;
+                    self.last_activity = now;
+                    return FillOutcome::Eof;
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old_len + n);
+                    self.last_activity = now;
+                    chunks += 1;
+                    if chunks >= 16 {
+                        return FillOutcome::Progress;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old_len);
+                    return FillOutcome::Progress;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old_len);
+                }
+                Err(_) => {
+                    self.rbuf.truncate(old_len);
+                    return FillOutcome::Broken;
+                }
+            }
+        }
+    }
+
+    /// Discards pending socket input on a closing connection.
+    fn drain_discard(&mut self) -> FillOutcome {
+        let mut sink = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return FillOutcome::Eof;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return FillOutcome::Progress
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return FillOutcome::Broken,
+            }
+        }
+    }
+
+    /// Parses as many complete pipelined requests as the buffer holds,
+    /// assigning each its sequence number. Stops at `max_pipeline`
+    /// unanswered requests (backpressure) or on a framing error — the
+    /// error is *not* answered here; the caller converts it via
+    /// [`Conn::begin_close_with_seq`] so it slots into the pipeline order.
+    pub fn extract_requests(
+        &mut self,
+        max_pipeline: usize,
+        now: Instant,
+        out: &mut Vec<ParsedRequest>,
+    ) -> (ParseHalt, Option<crate::http::HttpError>) {
+        if self.closing {
+            return (ParseHalt::Errored, None);
+        }
+        loop {
+            if self.unanswered() >= max_pipeline {
+                return (ParseHalt::Backpressure, None);
+            }
+            match parse_request(&self.rbuf[self.rpos..]) {
+                ParseStatus::Complete {
+                    request,
+                    consumed,
+                    keep_alive,
+                } => {
+                    self.rpos += consumed;
+                    self.partial_since = None;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if !keep_alive {
+                        // Last request on this connection: stop parsing,
+                        // close once its response (and its predecessors')
+                        // are on the wire.
+                        self.closing = true;
+                        self.compact();
+                        out.push(ParsedRequest {
+                            seq,
+                            request,
+                            keep_alive,
+                        });
+                        return (ParseHalt::Errored, None);
+                    }
+                    out.push(ParsedRequest {
+                        seq,
+                        request,
+                        keep_alive,
+                    });
+                }
+                ParseStatus::Partial(phase) => {
+                    self.compact();
+                    if self.rpos == self.rbuf.len() {
+                        // Nothing buffered: idle, not partial.
+                        self.partial_since = None;
+                    } else if self.partial_since.is_none_or(|(_, prev)| prev != phase) {
+                        // Entered (or advanced within) a partial request:
+                        // the timeout clock restarts per phase, so a slow
+                        // peer gets header_timeout for the head and again
+                        // for the body, never an accumulated total.
+                        self.partial_since = Some((now, phase));
+                    }
+                    return (ParseHalt::NeedMore, None);
+                }
+                ParseStatus::Error(err) => {
+                    self.partial_since = None;
+                    return (ParseHalt::Errored, Some(err));
+                }
+            }
+        }
+    }
+
+    /// Requests parsed but not yet answered on the wire.
+    fn unanswered(&self) -> usize {
+        (self.next_seq - self.next_write_seq) as usize
+    }
+
+    /// Reclaims consumed buffer space once the cursor has moved far enough
+    /// to make the memmove worthwhile.
+    fn compact(&mut self) {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos > 64 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+
+    /// Assigns a sequence number for a reactor-generated response (a 400,
+    /// 408, 413 …) and marks the connection closing: nothing further is
+    /// parsed, and the connection tears down once everything through this
+    /// seq is written.
+    pub fn begin_close_with_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.closing = true;
+        self.partial_since = None;
+        seq
+    }
+
+    /// Parks a completed response until its pipeline turn, then moves every
+    /// now-in-order response into the write queue. `close` closes the
+    /// connection after this response reaches the wire.
+    pub fn complete(&mut self, seq: u64, buf: WriteBuf, close: bool) {
+        self.pending.insert(seq, (buf, close));
+        while let Some((buf, close)) = self.pending.remove(&self.next_write_seq) {
+            self.next_write_seq += 1;
+            self.wqueue.push_back(buf);
+            if close {
+                self.closing = true;
+                // Later completions (there should be none: parsing stopped)
+                // are dropped on teardown.
+                break;
+            }
+        }
+    }
+
+    /// Flushes the write queue until empty or `WouldBlock`.
+    ///
+    /// Returns `Ok(true)` when bytes remain queued (the event loop keeps
+    /// waiting for writability), `Ok(false)` when the queue drained.
+    ///
+    /// # Errors
+    ///
+    /// A broken socket: the caller tears the connection down.
+    pub fn flush(&mut self) -> std::io::Result<bool> {
+        while let Some(front) = self.wqueue.front() {
+            let bytes = front.as_bytes();
+            while self.wpos < bytes.len() {
+                match self.stream.write(&bytes[self.wpos..]) {
+                    Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                    Ok(n) => self.wpos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(true),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            self.wqueue.pop_front();
+            self.wpos = 0;
+        }
+        Ok(false)
+    }
+
+    /// True when the connection has nothing left to do and should close:
+    /// it is closing (error/Connection: close) or half-closed, with no
+    /// in-flight work and an empty write queue.
+    pub fn finished(&self) -> bool {
+        (self.closing || self.read_closed)
+            && self.inflight == 0
+            && self.wqueue.is_empty()
+            && (self.closing || self.rpos == self.rbuf.len())
+            && self.pending.is_empty()
+    }
+
+    /// True when the connection is mid-request (the timeout scan uses the
+    /// phase to label the 408) — closing connections never time out this
+    /// way, they are already on their way down.
+    pub fn partial_phase(&self) -> Option<(Instant, ReadPhase)> {
+        if self.closing {
+            None
+        } else {
+            self.partial_since
+        }
+    }
+
+    /// True when the connection is idle: keep-alive, between requests,
+    /// nothing buffered, nothing owed.
+    pub fn is_idle(&self) -> bool {
+        !self.closing
+            && !self.read_closed
+            && self.inflight == 0
+            && self.wqueue.is_empty()
+            && self.pending.is_empty()
+            && self.rpos == self.rbuf.len()
+            && self.partial_since.is_none()
+    }
+
+    /// True when the write queue holds bytes (event loop: wait for
+    /// writability).
+    pub fn wants_write(&self) -> bool {
+        !self.wqueue.is_empty()
+    }
+
+    /// True when the connection owes the peer nothing: no dispatched work,
+    /// no parked completions, no unflushed bytes. Graceful shutdown closes
+    /// these immediately and waits (briefly) for the rest.
+    pub fn owes_nothing(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && self.wqueue.is_empty()
+    }
+
+    /// True once parsing has stopped for good.
+    pub fn is_closing(&self) -> bool {
+        self.closing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    fn conn(server: TcpStream) -> Conn {
+        Conn::new(server, 1, Instant::now())
+    }
+
+    #[test]
+    fn parses_pipelined_requests_in_order() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(c.fill(Instant::now()), FillOutcome::Progress);
+        let mut out = Vec::new();
+        let (halt, err) = c.extract_requests(64, Instant::now(), &mut out);
+        assert_eq!(halt, ParseHalt::NeedMore);
+        assert!(err.is_none());
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].seq, out[0].request.path.as_str()), (0, "/a"));
+        assert_eq!((out[1].seq, out[1].request.path.as_str()), (1, "/b"));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn out_of_order_completions_write_in_request_order() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        let mut out = Vec::new();
+        c.extract_requests(64, Instant::now(), &mut out);
+        // Second response completes first: nothing may reach the wire yet.
+        c.complete(1, WriteBuf::Owned(b"B".to_vec()), false);
+        assert!(!c.wants_write());
+        c.complete(0, WriteBuf::Owned(b"A".to_vec()), false);
+        assert!(c.wants_write());
+        assert!(!c.flush().unwrap());
+        let mut got = [0u8; 2];
+        use std::io::Read as _;
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"AB");
+    }
+
+    #[test]
+    fn pipeline_cap_applies_backpressure() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        for _ in 0..4 {
+            client.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        let mut out = Vec::new();
+        let (halt, _) = c.extract_requests(2, Instant::now(), &mut out);
+        assert_eq!(halt, ParseHalt::Backpressure);
+        assert_eq!(out.len(), 2);
+        // Answering frees pipeline slots and parsing resumes.
+        c.complete(0, WriteBuf::Owned(b"A".to_vec()), false);
+        let (halt, _) = c.extract_requests(2, Instant::now(), &mut out);
+        assert_eq!(halt, ParseHalt::Backpressure);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn partial_request_reports_phase_for_timeouts() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        client.write_all(b"POST /v1/diff HTTP/1").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        let mut out = Vec::new();
+        c.extract_requests(64, Instant::now(), &mut out);
+        assert!(out.is_empty());
+        assert!(matches!(c.partial_phase(), Some((_, ReadPhase::Head))));
+        assert!(!c.is_idle());
+        // Completing the head moves the phase to Body.
+        client
+            .write_all(b".1\r\nContent-Length: 5\r\n\r\nab")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        c.extract_requests(64, Instant::now(), &mut out);
+        assert!(matches!(c.partial_phase(), Some((_, ReadPhase::Body))));
+        // And the body completing clears it.
+        client.write_all(b"cde").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        c.extract_requests(64, Instant::now(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].request.body, b"abcde");
+        assert!(c.partial_phase().is_none());
+    }
+
+    #[test]
+    fn connection_close_stops_parsing_and_finishes_after_flush() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        client
+            .write_all(b"GET /a HTTP/1.1\r\nConnection: close\r\n\r\nGET /zombie HTTP/1.1\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c.fill(Instant::now());
+        let mut out = Vec::new();
+        let (halt, err) = c.extract_requests(64, Instant::now(), &mut out);
+        assert_eq!(halt, ParseHalt::Errored);
+        assert!(err.is_none());
+        assert_eq!(out.len(), 1, "the pipelined zombie is never parsed");
+        assert!(!out[0].keep_alive);
+        assert!(c.is_closing());
+        c.inflight += 1;
+        assert!(!c.finished(), "response still owed");
+        c.inflight -= 1;
+        c.complete(0, WriteBuf::Owned(b"R".to_vec()), true);
+        assert!(!c.flush().unwrap());
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn eof_with_inflight_work_is_half_close_not_teardown() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        client.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // One fill sees the data (and possibly the EOF as well).
+        let mut saw_eof = c.fill(Instant::now()) == FillOutcome::Eof;
+        let mut out = Vec::new();
+        c.extract_requests(64, Instant::now(), &mut out);
+        assert_eq!(out.len(), 1);
+        c.inflight += 1;
+        if !saw_eof {
+            saw_eof = c.fill(Instant::now()) == FillOutcome::Eof;
+        }
+        assert!(saw_eof);
+        assert!(!c.finished(), "owed response blocks teardown");
+        c.inflight -= 1;
+        c.complete(0, WriteBuf::Owned(b"R".to_vec()), false);
+        assert!(!c.flush().unwrap());
+        assert!(c.finished());
+        drop(c); // teardown closes the socket so the client sees EOF
+        let mut text = String::new();
+        use std::io::Read as _;
+        client.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "R");
+    }
+
+    #[test]
+    fn shared_buffers_write_without_copying() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        let shared: Arc<[u8]> = Arc::from(b"SHARED".to_vec().into_boxed_slice());
+        c.complete(0, WriteBuf::Shared(Arc::clone(&shared)), false);
+        assert!(!c.flush().unwrap());
+        let mut got = [0u8; 6];
+        use std::io::Read as _;
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"SHARED");
+        assert_eq!(Arc::strong_count(&shared), 1, "queue released its clone");
+    }
+}

@@ -8,6 +8,13 @@
 //! `sbomdiff_parallel::par_map`, the same worker-pool primitive the batch
 //! pipeline uses.
 //!
+//! Clients speak HTTP/1.1 keep-alive by default (one connection per client
+//! for the whole run, responses framed by `Content-Length`, headers matched
+//! case-insensitively per RFC 9112); `--no-keep-alive` falls back to a
+//! fresh connection per request, which is also the sweep's worst-case
+//! column. [`run_sweep`] drives a clients × payloads × keep-alive grid and
+//! records the latency-histogram trajectory in `BENCH_service.json`.
+//!
 //! The summary checks the service-level guarantees: zero 5xx, per-payload
 //! byte-identical responses (the response digest is independent of
 //! `--jobs`), and a nonzero cache hit ratio.
@@ -24,6 +31,17 @@ use sbomdiff_textformats::{json, Value};
 
 use crate::server::{ServeConfig, Server};
 
+/// Throughput of the pre-reactor thread-per-request server on the same
+/// bench cell (requests=1000, clients=4, payloads=12, seed=42); the
+/// reactor's speedup in `BENCH_service.json` is measured against this.
+pub const BASELINE_RPS: f64 = 1463.1;
+
+/// Latency histogram bucket upper bounds, in microseconds; one overflow
+/// bucket follows.
+pub const HIST_BOUNDS_US: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
 /// Load-generation configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -37,6 +55,9 @@ pub struct LoadgenConfig {
     pub jobs: usize,
     /// Seed for corpus payload synthesis and the server default seed.
     pub seed: u64,
+    /// Reuse one connection per client (HTTP/1.1 keep-alive); `false`
+    /// reconnects per request.
+    pub keep_alive: bool,
     /// Where to write the benchmark JSON (None → don't write).
     pub out: Option<String>,
 }
@@ -49,6 +70,7 @@ impl Default for LoadgenConfig {
             payloads: 12,
             jobs: 0,
             seed: 42,
+            keep_alive: true,
             out: None,
         }
     }
@@ -69,6 +91,8 @@ pub struct LoadgenSummary {
     pub requests: usize,
     /// Concurrent clients used.
     pub clients: usize,
+    /// Whether clients reused connections.
+    pub keep_alive: bool,
     /// Responses by status code.
     pub status_counts: BTreeMap<u16, usize>,
     /// Wall-clock duration of the whole run, in milliseconds.
@@ -77,6 +101,9 @@ pub struct LoadgenSummary {
     pub throughput_rps: f64,
     /// Latency percentiles in microseconds (p50, p90, p99, max).
     pub latency_us: (u64, u64, u64, u64),
+    /// Latency histogram: per-bucket counts for [`HIST_BOUNDS_US`] plus a
+    /// final overflow bucket.
+    pub histogram: Vec<usize>,
     /// Server-side response-cache hits / misses scraped from `/metrics`.
     pub cache_hits: u64,
     /// See [`LoadgenSummary::cache_hits`].
@@ -123,12 +150,13 @@ impl LoadgenSummary {
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "loadgen: {} requests, {} clients, {:.1} ms wall\n",
-            self.requests, self.clients, self.wall_ms
+            "loadgen: {} requests, {} clients, keep-alive={}, {:.1} ms wall\n",
+            self.requests, self.clients, self.keep_alive, self.wall_ms
         ));
         out.push_str(&format!(
-            "  throughput   {:.0} req/s\n",
-            self.throughput_rps
+            "  throughput   {:.0} req/s ({:.1}x the pre-reactor baseline)\n",
+            self.throughput_rps,
+            self.throughput_rps / BASELINE_RPS
         ));
         let (p50, p90, p99, max) = self.latency_us;
         out.push_str(&format!(
@@ -156,16 +184,23 @@ impl LoadgenSummary {
         out
     }
 
-    /// Serializes the benchmark artifact (`BENCH_service.json`).
-    pub fn to_json(&self, jobs: usize, payloads: usize) -> String {
+    /// The summary as a JSON object (shared by the single-run and sweep
+    /// benchmark artifacts).
+    fn json_doc(&self, jobs: usize, payloads: usize) -> Value {
         let mut doc = Value::object();
         doc.set("bench", Value::from("sbomdiff-serve loadgen"));
         doc.set("requests", Value::from(self.requests as i64));
         doc.set("clients", Value::from(self.clients as i64));
         doc.set("jobs", Value::from(jobs as i64));
         doc.set("payloads", Value::from(payloads as i64));
+        doc.set("keep_alive", Value::from(self.keep_alive));
         doc.set("wall_ms", Value::from(self.wall_ms));
         doc.set("throughput_rps", Value::from(self.throughput_rps));
+        doc.set("baseline_rps", Value::from(BASELINE_RPS));
+        doc.set(
+            "speedup_vs_baseline",
+            Value::from(self.throughput_rps / BASELINE_RPS),
+        );
         let (p50, p90, p99, max) = self.latency_us;
         let mut latency = Value::object();
         latency.set("p50_us", Value::from(p50 as i64));
@@ -173,6 +208,20 @@ impl LoadgenSummary {
         latency.set("p99_us", Value::from(p99 as i64));
         latency.set("max_us", Value::from(max as i64));
         doc.set("latency", latency);
+        let mut histogram = Vec::with_capacity(self.histogram.len());
+        let mut cumulative = 0usize;
+        for (i, &count) in self.histogram.iter().enumerate() {
+            cumulative += count;
+            let mut bucket = Value::object();
+            let le = HIST_BOUNDS_US
+                .get(i)
+                .map_or_else(|| "+inf".to_string(), u64::to_string);
+            bucket.set("le_us", Value::from(le));
+            bucket.set("count", Value::from(count as i64));
+            bucket.set("cumulative", Value::from(cumulative as i64));
+            histogram.push(bucket);
+        }
+        doc.set("latency_histogram", Value::Array(histogram));
         let mut statuses = Value::object();
         for (status, count) in &self.status_counts {
             statuses.set(status.to_string(), Value::from(*count as i64));
@@ -185,9 +234,51 @@ impl LoadgenSummary {
             "response_digest",
             Value::from(format!("{:016x}", self.response_digest)),
         );
-        let mut body = json::to_string_pretty(&doc);
+        doc
+    }
+
+    /// Serializes the benchmark artifact (`BENCH_service.json`).
+    pub fn to_json(&self, jobs: usize, payloads: usize) -> String {
+        let mut body = json::to_string_pretty(&self.json_doc(jobs, payloads));
         body.push('\n');
         body
+    }
+}
+
+/// One cell of the clients × payloads × keep-alive sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Concurrent clients in this cell.
+    pub clients: usize,
+    /// Distinct payloads rotated through.
+    pub payloads: usize,
+    /// Whether connections were reused.
+    pub keep_alive: bool,
+    /// Requests sent in this cell.
+    pub requests: usize,
+    /// Cell throughput.
+    pub throughput_rps: f64,
+    /// Cell latency percentiles in microseconds.
+    pub latency_us: (u64, u64, u64, u64),
+    /// Non-2xx responses (must be 0 under clean load).
+    pub non_2xx: usize,
+}
+
+impl SweepCell {
+    fn json_doc(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("clients", Value::from(self.clients as i64));
+        doc.set("payloads", Value::from(self.payloads as i64));
+        doc.set("keep_alive", Value::from(self.keep_alive));
+        doc.set("requests", Value::from(self.requests as i64));
+        doc.set("throughput_rps", Value::from(self.throughput_rps));
+        let (p50, p90, p99, max) = self.latency_us;
+        doc.set("p50_us", Value::from(p50 as i64));
+        doc.set("p90_us", Value::from(p90 as i64));
+        doc.set("p99_us", Value::from(p99 as i64));
+        doc.set("max_us", Value::from(max as i64));
+        doc.set("non_2xx", Value::from(self.non_2xx as i64));
+        doc
     }
 }
 
@@ -199,6 +290,57 @@ impl LoadgenSummary {
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
     let payloads = build_payloads(config.seed, config.payloads.max(1));
     run_with_payloads(config, &payloads)
+}
+
+/// Runs the primary bench cell plus a clients × payloads × keep-alive
+/// sweep, writing a combined artifact to `config.out` when set. The
+/// primary cell uses `config` exactly; sweep cells shrink the request
+/// count so the grid stays CI-affordable.
+///
+/// # Errors
+///
+/// Propagates server-start and benchmark-file I/O errors.
+pub fn run_sweep(config: &LoadgenConfig) -> std::io::Result<(LoadgenSummary, Vec<SweepCell>)> {
+    let primary = run(&LoadgenConfig {
+        out: None,
+        ..config.clone()
+    })?;
+    let cell_requests = (config.requests / 4).clamp(1, config.requests.max(1));
+    let mut cells = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        for &payloads in &[4usize, 12] {
+            for &keep_alive in &[true, false] {
+                let cell = run(&LoadgenConfig {
+                    requests: cell_requests,
+                    clients,
+                    payloads,
+                    keep_alive,
+                    out: None,
+                    ..config.clone()
+                })?;
+                cells.push(SweepCell {
+                    clients,
+                    payloads,
+                    keep_alive,
+                    requests: cell.requests,
+                    throughput_rps: cell.throughput_rps,
+                    latency_us: cell.latency_us,
+                    non_2xx: cell.non_2xx(),
+                });
+            }
+        }
+    }
+    if let Some(path) = &config.out {
+        let mut doc = primary.json_doc(config.jobs, config.payloads);
+        doc.set(
+            "sweep",
+            Value::Array(cells.iter().map(SweepCell::json_doc).collect()),
+        );
+        let mut body = json::to_string_pretty(&doc);
+        body.push('\n');
+        std::fs::write(path, body)?;
+    }
+    Ok((primary, cells))
 }
 
 /// Runs the load generator with a caller-supplied payload set against a
@@ -221,8 +363,16 @@ pub fn run_with_payloads(
 
     let started = Instant::now();
     let clients: Vec<usize> = (0..config.clients.max(1)).collect();
+    let keep_alive = config.keep_alive;
     let samples: Vec<Vec<Sample>> = sbomdiff_parallel::par_map(clients.len(), &clients, |_, &c| {
-        run_client(addr, c, clients.len(), config.requests, payloads)
+        run_client(
+            addr,
+            c,
+            clients.len(),
+            config.requests,
+            payloads,
+            keep_alive,
+        )
     });
     let wall = started.elapsed();
 
@@ -260,6 +410,14 @@ pub fn run_with_payloads(
         let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
         latencies[idx.min(latencies.len() - 1)]
     };
+    let mut histogram = vec![0usize; HIST_BOUNDS_US.len() + 1];
+    for &latency in &latencies {
+        let bucket = HIST_BOUNDS_US
+            .iter()
+            .position(|&bound| latency <= bound)
+            .unwrap_or(HIST_BOUNDS_US.len());
+        histogram[bucket] += 1;
+    }
     // Order-independent digest: XOR of per-payload (index, body hash)
     // mixes — identical for any client/worker interleaving.
     let response_digest = per_payload.iter().fold(0u64, |acc, (&idx, &hash)| {
@@ -272,6 +430,7 @@ pub fn run_with_payloads(
     let summary = LoadgenSummary {
         requests: total,
         clients: clients.len(),
+        keep_alive,
         status_counts,
         wall_ms: wall.as_secs_f64() * 1e3,
         throughput_rps: if wall.as_secs_f64() > 0.0 {
@@ -285,6 +444,7 @@ pub fn run_with_payloads(
             pct(0.99),
             *latencies.last().unwrap_or(&0),
         ),
+        histogram,
         cache_hits,
         cache_misses,
         response_digest,
@@ -352,21 +512,126 @@ pub fn build_payloads(seed: u64, count: usize) -> Vec<(String, String)> {
     payloads
 }
 
+/// A keep-alive client connection: one socket plus a response read buffer
+/// (responses are `Content-Length`-framed; leftovers stay buffered for the
+/// next response).
+struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ClientConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Sends one request and reads its framed response; returns
+    /// `(status, body, server_will_close)`.
+    fn round_trip(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String, bool)> {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String, bool)> {
+        let head_end = loop {
+            if let Some(at) = find_subslice(&self.buf[self.pos..], b"\r\n\r\n") {
+                break self.pos + at + 4;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[self.pos..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or(std::io::ErrorKind::InvalidData)?;
+        // Header names are case-insensitive (RFC 9112): match accordingly.
+        let mut length: Option<usize> = None;
+        let mut close = false;
+        for line in head.lines().skip(1) {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                length = value.trim().parse().ok();
+            } else if name.trim().eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+        let length = length.ok_or(std::io::ErrorKind::InvalidData)?;
+        while self.buf.len() - head_end < length {
+            self.fill()?;
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end..head_end + length]).into_owned();
+        self.pos = head_end + length;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok((status, body, close))
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + 16 * 1024, 0);
+        match self.stream.read(&mut self.buf[old_len..]) {
+            Ok(0) => {
+                self.buf.truncate(old_len);
+                Err(std::io::ErrorKind::UnexpectedEof.into())
+            }
+            Ok(n) => {
+                self.buf.truncate(old_len + n);
+                Ok(())
+            }
+            Err(e) => {
+                self.buf.truncate(old_len);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
 fn run_client(
     addr: SocketAddr,
     client: usize,
     clients: usize,
     total_requests: usize,
     payloads: &[(String, String)],
+    keep_alive: bool,
 ) -> Vec<Sample> {
     let mut samples = Vec::new();
+    let mut conn: Option<ClientConn> = None;
     let mut request_no = client;
     while request_no < total_requests {
         let payload_idx = request_no % payloads.len();
         let (path, body) = &payloads[payload_idx];
         let started = Instant::now();
         // A transport failure is counted as status 0.
-        let (status, response_body) = http_request(addr, "POST", path, body).unwrap_or_default();
+        let (status, response_body) = if keep_alive {
+            keep_alive_request(&mut conn, addr, path, body)
+        } else {
+            http_request(addr, "POST", path, body).unwrap_or_default()
+        };
         samples.push(Sample {
             payload_idx,
             status,
@@ -376,6 +641,40 @@ fn run_client(
         request_no += clients;
     }
     samples
+}
+
+/// One request over the client's persistent connection, reconnecting once
+/// on failure (the server may have idle-closed between requests).
+fn keep_alive_request(
+    conn: &mut Option<ClientConn>,
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    for attempt in 0..2 {
+        if conn.is_none() {
+            match ClientConn::connect(addr) {
+                Ok(fresh) => *conn = Some(fresh),
+                Err(_) => return (0, String::new()),
+            }
+        }
+        let established = conn.as_mut().expect("connection just ensured");
+        match established.round_trip(path, body) {
+            Ok((status, response_body, close)) => {
+                if close {
+                    *conn = None;
+                }
+                return (status, response_body);
+            }
+            Err(_) => {
+                *conn = None;
+                if attempt == 1 {
+                    return (0, String::new());
+                }
+            }
+        }
+    }
+    (0, String::new())
 }
 
 /// One HTTP request over a fresh connection; returns (status, body).
@@ -459,6 +758,7 @@ mod tests {
             payloads: 6,
             jobs: 2,
             seed: 11,
+            keep_alive: true,
             out: None,
         })
         .expect("loadgen runs");
@@ -467,6 +767,7 @@ mod tests {
         assert_eq!(summary.inconsistent_payloads, 0);
         assert!(summary.cache_hits > 0);
         assert!(summary.ok(), "{}", summary.report());
+        assert_eq!(summary.histogram.iter().sum::<usize>(), 36);
     }
 
     #[test]
@@ -476,6 +777,7 @@ mod tests {
             clients: 3,
             payloads: 6,
             seed: 13,
+            keep_alive: true,
             out: None,
             jobs: 1,
         };
@@ -483,5 +785,28 @@ mod tests {
         let b = run(&LoadgenConfig { jobs: 4, ..base }).unwrap();
         assert_eq!(a.response_digest, b.response_digest);
         assert_eq!(a.inconsistent_payloads + b.inconsistent_payloads, 0);
+    }
+
+    #[test]
+    fn digest_is_independent_of_keep_alive() {
+        // The digest covers bodies only, so reconnect-per-request and
+        // keep-alive runs of the same cell must agree byte-for-byte.
+        let base = LoadgenConfig {
+            requests: 18,
+            clients: 3,
+            payloads: 6,
+            seed: 13,
+            keep_alive: true,
+            out: None,
+            jobs: 2,
+        };
+        let a = run(&base).unwrap();
+        let b = run(&LoadgenConfig {
+            keep_alive: false,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(a.response_digest, b.response_digest);
+        assert_eq!(a.non_2xx() + b.non_2xx(), 0);
     }
 }

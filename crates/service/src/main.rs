@@ -24,12 +24,15 @@ USAGE:
     sbomdiff-serve --help | --version
 
 SERVE OPTIONS:
-    --port <N>         TCP port to bind on 127.0.0.1 (default 8043; 0 = ephemeral)
-    --jobs <N>         worker threads (default: SBOMDIFF_JOBS or available cores)
-    --queue <N>        bounded queue capacity; overflow answers 429 (default 128)
-    --deadline-ms <N>  per-request queueing deadline; expiry answers 503 (default 10000)
-    --cache <N>        response cache capacity in entries (default 256)
-    --seed <N>         default world seed for /v1/analyze and /v1/impact (default 42)
+    --port <N>             TCP port to bind on 127.0.0.1 (default 8043; 0 = ephemeral)
+    --jobs <N>             worker threads (default: SBOMDIFF_JOBS or available cores)
+    --queue <N>            bounded queue capacity; overflow answers 429 (default 128)
+    --deadline-ms <N>      per-request queueing deadline; expiry answers 503 (default 10000)
+    --header-timeout-ms <N> stalled partial-request timeout; expiry answers 408 (default 5000)
+    --idle-timeout-ms <N>  idle keep-alive connection timeout (default 10000)
+    --backlog <N>          listen(2) backlog (default 1024)
+    --cache <N>            response cache capacity in entries (default 256)
+    --seed <N>             default world seed for /v1/analyze and /v1/impact (default 42)
 
 LOADGEN OPTIONS:
     --requests <N>     total requests to send (default 1000)
@@ -37,12 +40,15 @@ LOADGEN OPTIONS:
     --payloads <N>     distinct payloads to rotate through (default 12)
     --jobs <N>         server worker threads (default: policy)
     --seed <N>         corpus/payload seed (default 42)
+    --no-keep-alive    reconnect per request instead of HTTP/1.1 keep-alive
+    --sweep            also run the clients x payloads x keep-alive grid
     --out <PATH>       write benchmark JSON to PATH
 
 ENDPOINTS:
     POST /v1/analyze   {\"files\": {path: text, ...}, \"seed\"?, \"include_sboms\"?, ...}
     POST /v1/diff      {\"a\": <sbom doc>, \"b\": <sbom doc>}
     POST /v1/impact    {\"sbom\": <sbom doc>, \"vulnerable_share\"?, \"truth\"?, ...}
+    POST /v1/batch     {\"requests\": [{\"path\": \"/v1/...\", \"body\": {...}}, ...]}
     GET  /healthz      liveness probe
     GET  /metrics      Prometheus text exposition
 ";
@@ -129,6 +135,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Ok(v) => config.deadline = Duration::from_millis(v),
                 Err(code) => return code,
             },
+            "--header-timeout-ms" => match parse_num(it.next(), flag) {
+                Ok(v) => config.header_timeout = Duration::from_millis(v.max(1)),
+                Err(code) => return code,
+            },
+            "--idle-timeout-ms" => match parse_num(it.next(), flag) {
+                Ok(v) => config.idle_timeout = Duration::from_millis(v.max(1)),
+                Err(code) => return code,
+            },
+            "--backlog" => match parse_num(it.next(), flag) {
+                Ok(v) => config.backlog = (v as i32).max(1),
+                Err(code) => return code,
+            },
             "--cache" => match parse_num(it.next(), flag) {
                 Ok(v) => config.cache_capacity = (v as usize).max(1),
                 Err(code) => return code,
@@ -166,6 +184,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 fn cmd_loadgen(args: &[String]) -> ExitCode {
     let mut config = LoadgenConfig::default();
+    let mut sweep = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -193,6 +212,9 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 Ok(v) => config.seed = v,
                 Err(code) => return code,
             },
+            "--keep-alive" => config.keep_alive = true,
+            "--no-keep-alive" => config.keep_alive = false,
+            "--sweep" => sweep = true,
             "--out" => match it.next() {
                 Some(path) => config.out = Some(path.clone()),
                 None => {
@@ -207,7 +229,21 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
         }
     }
 
-    match loadgen::run(&config) {
+    let result = if sweep {
+        loadgen::run_sweep(&config).map(|(summary, cells)| {
+            for cell in &cells {
+                let (p50, _, p99, max) = cell.latency_us;
+                println!(
+                    "sweep: clients={:<2} payloads={:<2} keep_alive={:<5} rps={:<8.0} p50={p50}us p99={p99}us max={max}us non_2xx={}",
+                    cell.clients, cell.payloads, cell.keep_alive, cell.throughput_rps, cell.non_2xx
+                );
+            }
+            summary
+        })
+    } else {
+        loadgen::run(&config)
+    };
+    match result {
         Ok(summary) => {
             print!("{}", summary.report());
             if let Some(path) = &config.out {

@@ -21,6 +21,8 @@ pub enum Endpoint {
     Diff,
     /// `POST /v1/impact`.
     Impact,
+    /// `POST /v1/batch`.
+    Batch,
     /// `GET /healthz`.
     Healthz,
     /// `GET /metrics`.
@@ -31,10 +33,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Analyze,
         Endpoint::Diff,
         Endpoint::Impact,
+        Endpoint::Batch,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -46,6 +49,7 @@ impl Endpoint {
             "/v1/analyze" => Endpoint::Analyze,
             "/v1/diff" => Endpoint::Diff,
             "/v1/impact" => Endpoint::Impact,
+            "/v1/batch" => Endpoint::Batch,
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
             _ => Endpoint::Other,
@@ -58,6 +62,7 @@ impl Endpoint {
             Endpoint::Analyze => "analyze",
             Endpoint::Diff => "diff",
             Endpoint::Impact => "impact",
+            Endpoint::Batch => "batch",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -69,9 +74,46 @@ impl Endpoint {
             Endpoint::Analyze => 0,
             Endpoint::Diff => 1,
             Endpoint::Impact => 2,
-            Endpoint::Healthz => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Batch => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
+        }
+    }
+}
+
+/// The phase a connection was in when it timed out — the label set of
+/// `sbomdiff_timeouts_total{phase}` (DESIGN.md §18 timeout taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutPhase {
+    /// Mid request line / headers → answered `408`.
+    Header,
+    /// Head complete, body bytes overdue → answered `408`.
+    Body,
+    /// Idle keep-alive connection between requests → closed silently
+    /// (nothing was owed, so no response is written).
+    Idle,
+}
+
+impl TimeoutPhase {
+    /// All phases, in rendering order.
+    pub const ALL: [TimeoutPhase; 3] =
+        [TimeoutPhase::Header, TimeoutPhase::Body, TimeoutPhase::Idle];
+
+    /// The `phase` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeoutPhase::Header => "header",
+            TimeoutPhase::Body => "body",
+            TimeoutPhase::Idle => "idle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TimeoutPhase::Header => 0,
+            TimeoutPhase::Body => 1,
+            TimeoutPhase::Idle => 2,
         }
     }
 }
@@ -98,6 +140,9 @@ pub struct Metrics {
     endpoints: [EndpointStats; Endpoint::ALL.len()],
     queue_rejected: AtomicU64,
     deadline_timeouts: AtomicU64,
+    // Connection-level timeouts by phase (slow header/body → 408, idle
+    // keep-alive → silent close), indexed by TimeoutPhase::index().
+    phase_timeouts: [AtomicU64; TimeoutPhase::ALL.len()],
     // Analyses that completed in degraded mode (partial SBOM after a
     // caught fault) and panics caught at the worker-pool boundary.
     degraded: AtomicU64,
@@ -156,6 +201,17 @@ impl Metrics {
     /// Counts one request that exceeded its deadline in the queue (503).
     pub fn record_timeout(&self) {
         self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection-level timeout in `phase` (slow-header and
+    /// slow-body timeouts are answered 408; idle closes are silent).
+    pub fn record_timeout_phase(&self, phase: TimeoutPhase) {
+        self.phase_timeouts[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connection-level timeouts in `phase` so far.
+    pub fn timeouts_phase(&self, phase: TimeoutPhase) -> u64 {
+        self.phase_timeouts[phase.index()].load(Ordering::Relaxed)
     }
 
     /// Counts one analysis that completed in degraded mode.
@@ -335,6 +391,14 @@ impl Metrics {
             "sbomdiff_deadline_timeouts_total {}\n",
             self.deadline_timeouts.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE sbomdiff_timeouts_total counter\n");
+        for phase in TimeoutPhase::ALL {
+            out.push_str(&format!(
+                "sbomdiff_timeouts_total{{phase=\"{}\"}} {}\n",
+                phase.label(),
+                self.phase_timeouts[phase.index()].load(Ordering::Relaxed)
+            ));
+        }
         out.push_str("# TYPE sbomdiff_degraded_total counter\n");
         out.push_str(&format!(
             "sbomdiff_degraded_total {}\n",
@@ -398,9 +462,25 @@ mod tests {
         assert_eq!(Endpoint::classify("/v1/analyze"), Endpoint::Analyze);
         assert_eq!(Endpoint::classify("/v1/diff"), Endpoint::Diff);
         assert_eq!(Endpoint::classify("/v1/impact"), Endpoint::Impact);
+        assert_eq!(Endpoint::classify("/v1/batch"), Endpoint::Batch);
         assert_eq!(Endpoint::classify("/healthz"), Endpoint::Healthz);
         assert_eq!(Endpoint::classify("/metrics"), Endpoint::Metrics);
         assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn timeout_phases_counted_and_rendered() {
+        let m = Metrics::new();
+        m.record_timeout_phase(TimeoutPhase::Header);
+        m.record_timeout_phase(TimeoutPhase::Header);
+        m.record_timeout_phase(TimeoutPhase::Idle);
+        assert_eq!(m.timeouts_phase(TimeoutPhase::Header), 2);
+        assert_eq!(m.timeouts_phase(TimeoutPhase::Body), 0);
+        assert_eq!(m.timeouts_phase(TimeoutPhase::Idle), 1);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_timeouts_total{phase=\"header\"} 2"));
+        assert!(text.contains("sbomdiff_timeouts_total{phase=\"body\"} 0"));
+        assert!(text.contains("sbomdiff_timeouts_total{phase=\"idle\"} 1"));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Bounded job queue with admission control.
 //!
-//! The acceptor thread pushes accepted connections; worker threads block on
+//! The reactor thread pushes parsed requests (cache misses only — hits
+//! are answered inline, see DESIGN.md §18); worker threads block on
 //! [`BoundedQueue::pop`]. When the queue is full, [`BoundedQueue::push`]
-//! fails immediately and the caller answers 429 — load is shed at the door
-//! instead of growing an unbounded backlog (the paper-scale corpus runs
-//! showed the analysis endpoints are CPU-bound, so queued work behind a
-//! slow request would only add latency, never throughput).
+//! fails immediately and the reactor answers 429 in pipeline order on the
+//! surviving connection — load is shed at the door instead of growing an
+//! unbounded backlog (the paper-scale corpus runs showed the analysis
+//! endpoints are CPU-bound, so queued work behind a slow request would
+//! only add latency, never throughput).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

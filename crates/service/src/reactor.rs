@@ -1,0 +1,418 @@
+//! Minimal epoll wrapper — the event-notification core of the serving tier.
+//!
+//! The build environment is fully offline (no mio/tokio), so this module
+//! speaks to the kernel directly through a hand-rolled `extern "C"` syscall
+//! shim, the same convention the repo already uses for `signal(2)` in
+//! `sbomdiff-serve` (the symbols live in the libc every Rust binary links
+//! anyway). Three safe types are exposed:
+//!
+//! * [`Poller`] — an `epoll(7)` instance with edge-triggered registration
+//!   ([`Poller::add`]) keyed by a caller-chosen `u64` token;
+//! * [`Waker`] — an `eventfd(2)` registered under [`WAKER_TOKEN`], used by
+//!   worker threads to interrupt a blocked [`Poller::wait`];
+//! * [`bind_listener`] — a `socket`/`bind`/`listen` sequence with an
+//!   *explicit* listen backlog (std's `TcpListener::bind` hardcodes 128,
+//!   which overflows under loadgen connection bursts) handed back as a
+//!   regular nonblocking [`std::net::TcpListener`].
+//!
+//! Everything here is Linux-specific; the crate targets the repo's Linux
+//! CI/bench environment (see DESIGN.md §18).
+
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::{FromRawFd, RawFd};
+use std::time::Duration;
+
+/// Token reserved for the [`Waker`] eventfd.
+pub const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Token reserved for the listening socket.
+pub const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+mod sys {
+    //! Raw syscall surface. Constants match the Linux x86-64/aarch64 ABI.
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    pub const AF_INET: i32 = 2;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOCK_NONBLOCK: i32 = 0o4000;
+    pub const SOCK_CLOEXEC: i32 = 0o2000000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_REUSEADDR: i32 = 2;
+    pub const IPPROTO_TCP: i32 = 6;
+    pub const TCP_NODELAY: i32 = 1;
+
+    // The x86-64 ABI packs epoll_event to 12 bytes; `repr(C, packed)`
+    // matches it on every Linux target Rust supports.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SockAddrIn {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        pub fn listen(fd: i32, backlog: i32) -> i32;
+        pub fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// Readable (or a pending accept on the listener).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Peer hung up or the descriptor errored; the owner should tear the
+    /// connection down after draining what is still readable.
+    pub hangup: bool,
+}
+
+/// A safe wrapper over one `epoll(7)` instance.
+pub struct Poller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates the epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    /// Registers `fd` for edge-triggered read+write readiness under
+    /// `token`. Edge-triggered is deliberate: the connection state machine
+    /// always drains until `WouldBlock`, so level-triggered re-delivery
+    /// would only burn wakeups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for edge-triggered *read* readiness only (used for
+    /// the listener and the waker, which are never written to).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn add_readable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN | sys::EPOLLET,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) {
+        // A fd being closed concurrently is fine; deregistration is
+        // best-effort (close() drops the epoll membership anyway).
+        unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+    }
+
+    /// Blocks until readiness or `timeout`, appending events to `out`.
+    /// `None` blocks indefinitely (until a [`Waker`] fires).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure (`EINTR` is retried internally).
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0.4ms deadline does not spin at timeout 0.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + i32::from(t.subsec_nanos() % 1_000_000 != 0)
+            }
+        };
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                // `packed` struct: copy fields out before touching them.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: events & sys::EPOLLOUT != 0,
+                    hangup: events & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`], backed by a
+/// nonblocking `eventfd(2)`. Clone-free: share it behind an `Arc`.
+pub struct Waker {
+    fd: RawFd,
+}
+
+// The fd is only ever read/written through atomic 8-byte eventfd ops.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poller` under
+    /// [`WAKER_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd` / registration failure.
+    pub fn new(poller: &Poller) -> io::Result<Waker> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker { fd };
+        poller.add_readable(fd, WAKER_TOKEN)?;
+        Ok(waker)
+    }
+
+    /// Interrupts the event loop. Safe to call from any thread, any number
+    /// of times; wakeups coalesce in the eventfd counter.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.fd, std::ptr::addr_of!(one).cast(), 8) };
+    }
+
+    /// Drains coalesced wakeups; called by the event loop on
+    /// [`WAKER_TOKEN`] readiness.
+    pub fn drain(&self) {
+        let mut counter = [0u8; 8];
+        unsafe { sys::read(self.fd, counter.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Disables Nagle's algorithm on an accepted socket. The service writes
+/// whole responses in single buffers, so delayed-ACK interaction with
+/// Nagle only adds tail latency (the 105ms `max_us` outlier in the
+/// pre-reactor BENCH_service.json was exactly this stall).
+pub fn set_nodelay(fd: RawFd) {
+    let one: i32 = 1;
+    unsafe { sys::setsockopt(fd, sys::IPPROTO_TCP, sys::TCP_NODELAY, &one, 4) };
+}
+
+/// Binds `127.0.0.1:port` with `SO_REUSEADDR` and an explicit listen
+/// `backlog`, returning a nonblocking [`TcpListener`]. `port` 0 asks the
+/// kernel for an ephemeral port (read it back via `local_addr`).
+///
+/// # Errors
+///
+/// Propagates socket/bind/listen failures.
+pub fn bind_listener(port: u16, backlog: i32) -> io::Result<TcpListener> {
+    let fd = unsafe {
+        sys::socket(
+            sys::AF_INET,
+            sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // From here on the fd is owned by a guard so error paths close it.
+    struct FdGuard(RawFd);
+    impl Drop for FdGuard {
+        fn drop(&mut self) {
+            if self.0 >= 0 {
+                unsafe { sys::close(self.0) };
+            }
+        }
+    }
+    let mut guard = FdGuard(fd);
+
+    let one: i32 = 1;
+    unsafe { sys::setsockopt(fd, sys::SOL_SOCKET, sys::SO_REUSEADDR, &one, 4) };
+    let addr = sys::SockAddrIn {
+        sin_family: sys::AF_INET as u16,
+        sin_port: port.to_be(),
+        // 127.0.0.1 in network byte order.
+        sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+        sin_zero: [0; 8],
+    };
+    if unsafe { sys::bind(fd, &addr, std::mem::size_of::<sys::SockAddrIn>() as u32) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { sys::listen(fd, backlog) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    guard.0 = -1; // success: ownership moves to the TcpListener
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+
+    #[test]
+    fn waker_interrupts_blocking_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new(&poller).unwrap());
+        let w2 = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.wake();
+            w2.wake(); // coalesces
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        handle.join().unwrap();
+        assert!(events.iter().any(|e| e.token == WAKER_TOKEN && e.readable));
+        waker.drain();
+        // After draining, a short wait times out with no events.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != WAKER_TOKEN));
+    }
+
+    #[test]
+    fn listener_binds_with_backlog_and_reports_readable() {
+        let listener = bind_listener(0, 64).unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(addr.port() > 0);
+        let mut poller = Poller::new().unwrap();
+        poller
+            .add_readable(listener.as_raw_fd(), LISTENER_TOKEN)
+            .unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token == LISTENER_TOKEN && e.readable));
+        // The pending connection accepts nonblocking.
+        let (stream, _) = listener.accept().unwrap();
+        set_nodelay(stream.as_raw_fd());
+    }
+
+    #[test]
+    fn edge_triggered_socket_readiness_roundtrip() {
+        let listener = bind_listener(0, 8).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .add_readable(listener.as_raw_fd(), LISTENER_TOKEN)
+            .unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        poller.add(stream.as_raw_fd(), 7).unwrap();
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        // Writable fires immediately on registration (ET reports the
+        // current state once); readable arrives with the payload.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_readable = false;
+        while !saw_readable && std::time::Instant::now() < deadline {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            saw_readable = events.iter().any(|e| e.token == 7 && e.readable);
+        }
+        assert!(saw_readable);
+        poller.delete(stream.as_raw_fd());
+    }
+}

@@ -21,8 +21,32 @@ use crate::http::Response;
 
 const SHARDS: usize = 16;
 
+/// A cached response plus its preserialized wire bytes.
+///
+/// The wire form is serialized once, at insertion, in the *persistent*
+/// framing (no `Connection` header — the HTTP/1.1 default; see
+/// [`Response::serialize`]). A keep-alive cache hit is then answered by
+/// queueing a clone of the shared slice: the hot path allocates nothing and
+/// copies nothing. Only a hit on a closing connection (explicit
+/// `Connection: close`) pays for an owned re-serialization.
+pub struct CacheEntry {
+    /// The structured response (batch sub-requests and closing connections
+    /// read status/body from here).
+    pub response: Response,
+    /// The persistent-form wire bytes written zero-copy on keep-alive hits.
+    pub wire: Arc<[u8]>,
+}
+
+impl CacheEntry {
+    /// Builds the entry, preserializing the wire bytes.
+    pub fn new(response: Response) -> CacheEntry {
+        let wire = response.serialize_shared();
+        CacheEntry { response, wire }
+    }
+}
+
 struct Entry {
-    response: Arc<Response>,
+    entry: Arc<CacheEntry>,
     last_used: u64,
 }
 
@@ -66,17 +90,17 @@ impl ResponseCache {
     }
 
     /// Looks up a cached response, bumping its recency.
-    pub fn get(&self, key: u128) -> Option<Arc<Response>> {
+    pub fn get(&self, key: u128) -> Option<Arc<CacheEntry>> {
         let mut shard = self.shard(key).lock().expect("response cache shard");
         shard.tick += 1;
         let tick = shard.tick;
         match shard.entries.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = tick;
-                let resp = Arc::clone(&entry.response);
+                let found = Arc::clone(&entry.entry);
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(resp)
+                Some(found)
             }
             None => {
                 drop(shard);
@@ -88,7 +112,7 @@ impl ResponseCache {
 
     /// Stores a response, evicting the least-recently-used entry of the
     /// shard when it is full.
-    pub fn put(&self, key: u128, response: Arc<Response>) {
+    pub fn put(&self, key: u128, entry: Arc<CacheEntry>) {
         let mut shard = self.shard(key).lock().expect("response cache shard");
         shard.tick += 1;
         let tick = shard.tick;
@@ -105,7 +129,7 @@ impl ResponseCache {
         shard.entries.insert(
             key,
             Entry {
-                response,
+                entry,
                 last_used: tick,
             },
         );
@@ -162,8 +186,11 @@ fn fnv1a(offset: u64, a: &[u8], b: &[u8]) -> u64 {
 mod tests {
     use super::*;
 
-    fn resp(tag: &str) -> Arc<Response> {
-        Arc::new(Response::json(200, format!("{{\"tag\":\"{tag}\"}}")))
+    fn resp(tag: &str) -> Arc<CacheEntry> {
+        Arc::new(CacheEntry::new(Response::json(
+            200,
+            format!("{{\"tag\":\"{tag}\"}}"),
+        )))
     }
 
     #[test]
@@ -183,7 +210,9 @@ mod tests {
         assert!(cache.get(key).is_none());
         cache.put(key, resp("one"));
         let found = cache.get(key).expect("hit");
-        assert_eq!(found.body, resp("one").body);
+        assert_eq!(found.response.body, resp("one").response.body);
+        // The preserialized wire bytes match the persistent serialization.
+        assert_eq!(&*found.wire, found.response.serialize(false).as_slice());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert!((cache.hit_ratio() - 0.5).abs() < 1e-9);
     }
@@ -226,10 +255,10 @@ mod tests {
         let key = ResponseCache::key("/healthz", b"");
         cache.put(key, resp("ok"));
         let results = sbomdiff_parallel::par_map(4, &[0u8; 16], |_, _| {
-            cache.get(key).map(|r| r.body.clone())
+            cache.get(key).map(|r| r.response.body.clone())
         });
         for r in results {
-            assert_eq!(r, Some(resp("ok").body.clone()));
+            assert_eq!(r, Some(resp("ok").response.body.clone()));
         }
         assert_eq!(cache.hits(), 16);
     }
