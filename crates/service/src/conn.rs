@@ -25,6 +25,16 @@ use crate::http::{parse_request, ParseStatus, ReadPhase, Request, MAX_BODY_BYTES
 /// Read granularity per `read(2)` call.
 const READ_CHUNK: usize = 16 * 1024;
 
+/// Chunk budget per [`Conn::fill`] call: one greedy peer yields the event
+/// loop after this many reads. Budget-exhausted connections set
+/// [`Conn::wants_fill`] so the loop re-fills them itself — edge-triggered
+/// epoll never re-announces bytes already in the kernel buffer.
+const MAX_FILL_CHUNKS: usize = 16;
+
+/// Cap on buffered-but-unparsed bytes: a complete request needs at most
+/// head + body (plus one read's slack).
+const MAX_UNPARSED_BYTES: usize = MAX_HEAD_BYTES + MAX_BODY_BYTES + READ_CHUNK;
+
 /// A queued outgoing buffer: owned bytes, or a shared slice written
 /// zero-copy (the preserialized cache-hit body).
 #[derive(Debug, Clone)]
@@ -108,6 +118,10 @@ pub struct Conn {
     pub last_activity: Instant,
     /// When the current partial request started pending, and its phase.
     pub partial_since: Option<(Instant, ReadPhase)>,
+    /// The last fill stopped at a budget (chunk cap or unparsed-byte cap)
+    /// rather than `WouldBlock`/EOF: kernel data may still be pending and
+    /// edge-triggered epoll will never re-announce it.
+    read_pending: bool,
 }
 
 impl Conn {
@@ -128,26 +142,32 @@ impl Conn {
             read_closed: false,
             last_activity: now,
             partial_since: None,
+            read_pending: false,
         }
     }
 
     /// Drains the socket into the read buffer until `WouldBlock`, EOF, or
     /// a bounded number of chunks (so one greedy peer cannot starve the
-    /// event loop under edge-triggered readiness).
+    /// event loop under edge-triggered readiness). A budget-limited stop
+    /// sets [`Conn::wants_fill`]: the event loop must come back and fill
+    /// again, because the bytes left in the kernel buffer will never
+    /// generate another edge-triggered event.
     pub fn fill(&mut self, now: Instant) -> FillOutcome {
         if self.read_closed || self.closing {
             // Closing connections ignore further input (but must still
             // consume the EOF event to notice a vanished peer).
             return self.drain_discard();
         }
+        self.read_pending = false;
         let mut chunks = 0;
         loop {
             let old_len = self.rbuf.len();
-            // Cap buffered-but-unparsed bytes: a complete request can need
-            // at most head+body; pipelined completes are consumed eagerly
-            // by `extract_requests`, so sustained growth past the cap means
-            // a peer is flooding us and parse backpressure has kicked in.
-            if old_len - self.rpos > MAX_HEAD_BYTES + MAX_BODY_BYTES + READ_CHUNK {
+            // Cap buffered-but-unparsed bytes: pipelined completes are
+            // consumed eagerly by `extract_requests`, so growth past the
+            // cap means parse backpressure has kicked in. Stop reading;
+            // `wants_fill` turns true again once the parser catches up.
+            if old_len - self.rpos > MAX_UNPARSED_BYTES {
+                self.read_pending = true;
                 return FillOutcome::Progress;
             }
             self.rbuf.resize(old_len + READ_CHUNK, 0);
@@ -162,7 +182,8 @@ impl Conn {
                     self.rbuf.truncate(old_len + n);
                     self.last_activity = now;
                     chunks += 1;
-                    if chunks >= 16 {
+                    if chunks >= MAX_FILL_CHUNKS {
+                        self.read_pending = true;
                         return FillOutcome::Progress;
                     }
                 }
@@ -181,16 +202,26 @@ impl Conn {
         }
     }
 
-    /// Discards pending socket input on a closing connection.
+    /// Discards pending socket input on a closing connection, with the
+    /// same chunk budget as [`Conn::fill`] so a fast peer flooding a
+    /// closing connection cannot pin the reactor thread.
     fn drain_discard(&mut self) -> FillOutcome {
+        self.read_pending = false;
         let mut sink = [0u8; 4096];
+        let mut chunks = 0;
         loop {
             match self.stream.read(&mut sink) {
                 Ok(0) => {
                     self.read_closed = true;
                     return FillOutcome::Eof;
                 }
-                Ok(_) => {}
+                Ok(_) => {
+                    chunks += 1;
+                    if chunks >= MAX_FILL_CHUNKS {
+                        self.read_pending = true;
+                        return FillOutcome::Progress;
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     return FillOutcome::Progress
                 }
@@ -198,6 +229,20 @@ impl Conn {
                 Err(_) => return FillOutcome::Broken,
             }
         }
+    }
+
+    /// True when the event loop should call [`Conn::fill`] again without
+    /// waiting for a readiness event: the last fill stopped at a budget
+    /// (so kernel-buffered bytes may be stranded — under `EPOLLET` they
+    /// will never be re-announced) and the unparsed-byte cap leaves room
+    /// to ingest them. While parse backpressure holds the buffer at the
+    /// cap this is false; the completion that frees a pipeline slot
+    /// re-parses, making room, and it turns true again.
+    pub fn wants_fill(&self) -> bool {
+        self.read_pending
+            && (self.closing
+                || self.read_closed
+                || self.rbuf.len() - self.rpos <= MAX_UNPARSED_BYTES)
     }
 
     /// Parses as many complete pipelined requests as the buffer holds,
@@ -555,6 +600,63 @@ mod tests {
         use std::io::Read as _;
         client.read_to_string(&mut text).unwrap();
         assert_eq!(text, "R");
+    }
+
+    #[test]
+    fn read_budget_yields_without_stranding_kernel_bytes() {
+        // A body burst larger than fill's chunk budget must still be fully
+        // ingested by wants_fill-driven re-fills: under EPOLLET the kernel
+        // never re-announces bytes a budget-limited fill left behind.
+        let (client, server) = pair();
+        let mut c = conn(server);
+        let body = vec![b'x'; 400 * 1024];
+        let mut raw = format!(
+            "POST /v1/diff HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let writer = std::thread::spawn(move || {
+            let mut client = client;
+            client.write_all(&raw).unwrap();
+            client // keep the socket open: no EOF rescues a stalled read
+        });
+        let mut out = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while out.is_empty() && Instant::now() < deadline {
+            let now = Instant::now();
+            assert_ne!(c.fill(now), FillOutcome::Broken);
+            c.extract_requests(64, now, &mut out);
+            if !c.wants_fill() {
+                // Drained to WouldBlock: the event loop would wait for
+                // a readiness event here; give the writer time to land
+                // more bytes.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let _client = writer.join().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].request.body.len(), 400 * 1024);
+        assert!(!c.wants_fill());
+    }
+
+    #[test]
+    fn closing_connection_drain_is_bounded() {
+        let (mut client, server) = pair();
+        let mut c = conn(server);
+        c.begin_close_with_seq(); // closing: further input is discarded
+        client.write_all(&vec![b'j'; 128 * 1024]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // One fill visit discards at most its chunk budget, then yields
+        // with wants_fill set so the event loop comes back instead of
+        // spinning here while other connections starve.
+        assert_eq!(c.fill(Instant::now()), FillOutcome::Progress);
+        assert!(c.wants_fill());
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while c.wants_fill() && Instant::now() < deadline {
+            c.fill(Instant::now());
+        }
+        assert!(!c.wants_fill());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!
 //! * header names are case-insensitive (`content-length`, `CONTENT-LENGTH`
 //!   and `Content-Length` are the same header);
+//! * empty-line padding before a request line (RFC 9112 §2.2 — e.g. a
+//!   CRLF a client sends between pipelined requests) is ignored, bounded
+//!   by the head cap;
 //! * duplicate, non-numeric, signed, or overflowing `Content-Length`
 //!   values are a 400, never a silent misframe;
 //! * `Transfer-Encoding` is not supported and answers 400 rather than
@@ -97,6 +100,25 @@ pub enum ParseStatus {
 
 /// Attempts to parse one request from the front of `buf`.
 pub fn parse_request(buf: &[u8]) -> ParseStatus {
+    // RFC 9112 §2.2: ignore empty line(s) received where a request-line
+    // is expected (e.g. CRLF padding a client sends between pipelined
+    // requests). The skipped bytes are charged to this request's
+    // `consumed`; a peer streaming nothing but padding hits the head cap.
+    let mut skip = 0;
+    while skip <= MAX_HEAD_BYTES {
+        if buf[skip..].starts_with(b"\r\n") {
+            skip += 2;
+        } else if buf[skip..].starts_with(b"\n") {
+            skip += 1;
+        } else {
+            break;
+        }
+    }
+    if skip > MAX_HEAD_BYTES {
+        return ParseStatus::Error(HttpError::TooLarge);
+    }
+    let buf = &buf[skip..];
+
     // Locate the end of the head: the first empty line. Lines may be
     // CRLF- or bare-LF-terminated (the pre-reactor parser tolerated both).
     let Some(head_end) = find_head_end(buf) else {
@@ -192,13 +214,15 @@ pub fn parse_request(buf: &[u8]) -> ParseStatus {
             path,
             body: buf[head_end..total].to_vec(),
         },
-        consumed: total,
+        consumed: skip + total,
         keep_alive,
     }
 }
 
 /// Index just past the head terminator (the first empty line), or `None`
-/// when the buffer does not contain a full head yet.
+/// when the buffer does not contain a full head yet. The caller
+/// ([`parse_request`]) has already stripped leading empty lines, so the
+/// buffer never *starts* with the terminator.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     let mut i = 0;
     while i < buf.len() {
@@ -213,17 +237,8 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
                 }
                 _ => {}
             }
-            // Head starting with an immediate empty line has no request
-            // line; the parser will reject it, but framing-wise the first
-            // `\r\n\r\n`/`\n\n` decides.
         }
         i += 1;
-    }
-    // A buffer that *starts* with the terminator ("\r\n\r\n") has its
-    // empty line at position 0 — handled by the scan above only when a
-    // prior `\n` exists, so special-case the front.
-    if buf.starts_with(b"\r\n") || buf.starts_with(b"\n") {
-        return Some(if buf[0] == b'\r' { 2 } else { 1 });
     }
     None
 }
@@ -427,7 +442,6 @@ mod tests {
     #[test]
     fn rejects_malformed_request_lines() {
         for raw in [
-            "\r\n\r\n",
             "GET\r\n\r\n",
             "GET noslash HTTP/1.1\r\n\r\n",
             "GET / SPDY/3\r\n\r\n",
@@ -525,6 +539,40 @@ mod tests {
             consumed,
             b"POST /v1/diff HTTP/1.1\r\nContent-Length: 0\r\n\r\n".len()
         );
+    }
+
+    #[test]
+    fn leading_empty_lines_are_ignored() {
+        // RFC 9112 §2.2: empty-line padding before the request line is
+        // ignored, not a 400 that kills the keep-alive connection.
+        let raw = b"\r\nGET / HTTP/1.1\r\n\r\n";
+        let (req, consumed, _) = parse_ok(raw);
+        assert_eq!(req.path, "/");
+        assert_eq!(consumed, raw.len(), "padding is charged to the request");
+        // Several empty lines, CRLF and bare LF mixed.
+        let raw = b"\r\n\n\r\nGET /a HTTP/1.1\r\n\r\n";
+        let (req, consumed, _) = parse_ok(raw);
+        assert_eq!(req.path, "/a");
+        assert_eq!(consumed, raw.len());
+        // Padding between pipelined requests frames onto the follower.
+        let raw = b"GET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (_, c1, _) = parse_ok(raw);
+        let (req2, c2, _) = parse_ok(&raw[c1..]);
+        assert_eq!(req2.path, "/b");
+        assert_eq!(c1 + c2, raw.len());
+        // Only padding so far: a partial head, not an error.
+        assert!(matches!(
+            parse_request(b"\r\n\r\n"),
+            ParseStatus::Partial(ReadPhase::Head)
+        ));
+        // A lone CR could be half of a CRLF: still partial.
+        assert!(matches!(
+            parse_request(b"\r\n\r"),
+            ParseStatus::Partial(ReadPhase::Head)
+        ));
+        // A flood of nothing but padding is cut off at the head cap.
+        let raw = "\r\n".repeat(MAX_HEAD_BYTES);
+        assert_eq!(parse_err(raw.as_bytes()), HttpError::TooLarge);
     }
 
     #[test]

@@ -55,9 +55,12 @@ mod sys {
     pub const IPPROTO_TCP: i32 = 6;
     pub const TCP_NODELAY: i32 = 1;
 
-    // The x86-64 ABI packs epoll_event to 12 bytes; `repr(C, packed)`
-    // matches it on every Linux target Rust supports.
-    #[repr(C, packed)]
+    // The kernel packs epoll_event to 12 bytes on x86-64 *only* (glibc's
+    // EPOLL_PACKED); every other architecture (aarch64 included) uses the
+    // natural 16-byte layout. Mirror that split exactly: a wrong stride
+    // here means epoll_wait writes past our event-slot boundaries.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
@@ -177,14 +180,7 @@ impl Poller {
     ///
     /// Propagates `epoll_wait` failure (`EINTR` is retried internally).
     pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
-        let timeout_ms: i32 = match timeout {
-            None => -1,
-            // Round up so a 0.4ms deadline does not spin at timeout 0.
-            Some(t) => {
-                t.as_millis().min(i32::MAX as u128) as i32
-                    + i32::from(t.subsec_nanos() % 1_000_000 != 0)
-            }
-        };
+        let timeout_ms = timeout_ms(timeout);
         loop {
             let n = unsafe {
                 sys::epoll_wait(
@@ -220,6 +216,20 @@ impl Poller {
 impl Drop for Poller {
     fn drop(&mut self) {
         unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Millisecond timeout for `epoll_wait`: `None` blocks (-1); sub-millisecond
+/// remainders round *up* so a 0.4ms deadline does not spin at timeout 0.
+/// Clamped to `i32::MAX` after the round-up — the increment must not
+/// overflow into a negative (block-forever) timeout.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis() + u128::from(t.subsec_nanos() % 1_000_000 != 0);
+            ms.min(i32::MAX as u128) as i32
+        }
     }
 }
 
@@ -335,6 +345,31 @@ mod tests {
     use std::net::TcpStream;
     use std::os::fd::AsRawFd;
     use std::sync::Arc;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        let size = std::mem::size_of::<sys::EpollEvent>();
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(size, 12, "x86-64 packs epoll_event");
+        } else {
+            assert_eq!(size, 16, "everywhere else uses the natural layout");
+        }
+    }
+
+    #[test]
+    fn timeout_round_up_clamps_instead_of_overflowing() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(400))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(5))), 5);
+        // Exactly i32::MAX ms plus a sub-millisecond remainder: the +1
+        // round-up must clamp, not wrap to a negative (infinite) timeout.
+        assert_eq!(
+            timeout_ms(Some(Duration::new(2_147_483, 647_500_000))),
+            i32::MAX
+        );
+        assert_eq!(timeout_ms(Some(Duration::MAX)), i32::MAX);
+    }
 
     #[test]
     fn waker_interrupts_blocking_wait() {

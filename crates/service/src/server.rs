@@ -35,6 +35,7 @@
 //! graceful: close the listener, flush connections that are owed nothing,
 //! give the rest a short grace period, join every thread.
 
+use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -180,6 +181,7 @@ impl Server {
                 idle_timeout: config.idle_timeout,
                 max_pipeline: config.max_pipeline.max(1),
                 scratch: Vec::new(),
+                repump: HashSet::new(),
             };
             std::thread::Builder::new()
                 .name("sbomdiff-reactor".into())
@@ -274,6 +276,11 @@ struct EventLoop {
     max_pipeline: usize,
     /// Reused parse-output buffer.
     scratch: Vec<ParsedRequest>,
+    /// Connections whose last fill stopped at its read budget: kernel
+    /// bytes may be stranded, and edge-triggered epoll will never
+    /// re-announce them — the loop re-fills these itself each iteration
+    /// (with a zero poll timeout while any remain).
+    repump: HashSet<usize>,
 }
 
 impl EventLoop {
@@ -287,7 +294,12 @@ impl EventLoop {
         let mut draining_since: Option<Instant> = None;
         loop {
             events.clear();
-            let wait = if draining_since.is_some() {
+            let wait = if !self.repump.is_empty() {
+                // Budget-exhausted reads are pending: poll without
+                // blocking so stranded kernel bytes are consumed now,
+                // while still interleaving other sockets' events.
+                Duration::ZERO
+            } else if draining_since.is_some() {
                 tick.min(Duration::from_millis(10))
             } else {
                 tick
@@ -318,6 +330,15 @@ impl EventLoop {
             self.apply_completions();
             if accept_ready && !stopping {
                 self.accept_ready();
+            }
+            // Re-fill connections whose read budget ran out before the
+            // socket was drained — after the event batch, so one greedy
+            // peer's backlog interleaves with everyone else's traffic.
+            if !self.repump.is_empty() {
+                let tokens: Vec<usize> = self.repump.drain().collect();
+                for token in tokens {
+                    self.service_read(token);
+                }
             }
             let now = Instant::now();
             if now.duration_since(last_scan) >= tick {
@@ -373,9 +394,17 @@ impl EventLoop {
                     self.conns[token] = Some(conn);
                     // Registration reports current readiness once (ET), so
                     // data that raced ahead of the add is not lost — but
-                    // only in the *next* wait. Pump now for the common case
+                    // only in the *next* wait. Read now for the common case
                     // of a request arriving with the connection.
-                    self.pump(token);
+                    self.conn_event(
+                        token,
+                        Event {
+                            token: token as u64,
+                            readable: true,
+                            writable: false,
+                            hangup: false,
+                        },
+                    );
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -478,11 +507,38 @@ impl EventLoop {
                 conn.complete(seq, WriteBuf::Owned(response.serialize(true)), true);
             }
             dead = conn.flush().is_err() || conn.finished();
+            if !dead && conn.wants_fill() {
+                // Parsing made room (or a budget stopped the last fill):
+                // schedule a re-fill — EPOLLET will not announce the
+                // bytes already sitting in the kernel buffer.
+                self.repump.insert(token);
+            }
         }
         self.scratch = out;
         if dead {
             self.teardown(token);
         }
+    }
+
+    /// Re-fills a connection whose previous fill stopped at its read
+    /// budget, then pumps it. Invoked outside epoll dispatch: these bytes
+    /// will never produce another edge-triggered event.
+    fn service_read(&mut self, token: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            if !conn.wants_fill() {
+                return;
+            }
+            dead = conn.fill(Instant::now()) == FillOutcome::Broken;
+        }
+        if dead {
+            self.teardown(token);
+            return;
+        }
+        self.pump(token);
     }
 
     /// Applies worker completions: slot each response into its pipeline
@@ -550,6 +606,8 @@ impl EventLoop {
         if let Some(conn) = self.conns.get_mut(token).and_then(Option::take) {
             self.poller.delete(conn.stream.as_raw_fd());
             self.free.push(token);
+            // A recycled slot must not inherit the old conn's re-fill.
+            self.repump.remove(&token);
             // Dropping the Conn closes the socket.
         }
     }
@@ -672,6 +730,50 @@ mod tests {
             assert_eq!(status, 200);
             assert!(body.contains("\"ok\""));
         }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn crlf_padding_between_pipelined_requests_is_ignored() {
+        // RFC 9112 §2.2: empty-line padding before a request line must not
+        // 400 the connection.
+        let mut handle = Server::start(ServeConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\r\nGET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            )
+            .unwrap();
+        for _ in 0..2 {
+            let (status, body) = read_framed(&mut stream);
+            assert_eq!(status, 200);
+            assert!(body.contains("\"ok\""));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn large_single_burst_body_is_served_not_timed_out() {
+        // A legal body arriving in one burst larger than fill's read
+        // budget must be served: stranded kernel-buffer bytes generate no
+        // further edge-triggered event, so the reactor re-fills on its
+        // own instead of stalling into a 408.
+        let mut handle = Server::start(ServeConfig {
+            header_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let body = format!(
+            "{{\"files\":{{\"requirements.txt\":\"# {}\\nnumpy==1.19.2\\n\"}}}}",
+            "x".repeat(400 * 1024)
+        );
+        let (status, _) = http_request(handle.addr(), "POST", "/v1/analyze", &body);
+        assert_eq!(status, 200);
+        assert_eq!(
+            handle.state().metrics.timeouts_phase(TimeoutPhase::Body),
+            0,
+            "a fully-delivered body must never be counted as a body stall"
+        );
         handle.shutdown();
     }
 
