@@ -5,7 +5,7 @@
 //! repositories and parsed manifests are all pure functions of the master
 //! seed, so the CSV artifacts are byte-identical for every `--jobs` value.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use sbomdiff_attack as attack;
@@ -22,7 +22,7 @@ use sbomdiff_matching::{match_sboms, MatchConfig, MatchTier};
 use sbomdiff_parallel::{par_map, Profiler};
 use sbomdiff_registry::Registries;
 use sbomdiff_resolver::{dry_run, Platform};
-use sbomdiff_types::{DiagClass, Ecosystem, Sbom, Version};
+use sbomdiff_types::{DiagClass, Ecosystem, ResolvedPackage, Sbom, Version};
 
 /// sbom-tool registry failure rate used across experiments (§V-C:
 /// resolution "often fails").
@@ -1134,6 +1134,157 @@ pub fn vulnimpact(ctx: &Context) {
     println!("(SBOM entries without a parseable concrete version cannot match advisories,");
     println!(" so §V-D's dropped and verbatim-range versions surface here as missed CVEs)");
     ctx.write("vulnimpact.csv", &table.to_csv());
+}
+
+/// Jaccard over advisory-id sets; two empty sets agree perfectly.
+fn set_jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Generator divergence in vulnerability space (Benedetti et al., arXiv
+/// 2409.06390): per language × tool profile, the advisory set an
+/// SBOM-driven scan raises is diffed against ground truth (a best-practice
+/// SBOM's install set) and against the other profiles' sets. Advisory
+/// lookups route through the [`sbomdiff_vuln::EnrichCache`], the same path
+/// batched `/v1/impact` uses.
+pub fn vuln(ctx: &Context) {
+    println!("\n================ Generator divergence in vulnerability space ================");
+    let db = sbomdiff_vuln::AdvisoryDb::generate(&ctx.registries, ctx.config.seed, 0.25);
+    println!(
+        "synthetic advisory universe: {} advisories (OSV-shaped ranges)",
+        db.len()
+    );
+    let cache = sbomdiff_vuln::EnrichCache::new();
+    let best = BestPracticeGenerator::new(&ctx.registries);
+    let mut table = TextTable::new([
+        "Language",
+        "Tool",
+        "repos",
+        "actual",
+        "detected",
+        "missed",
+        "false alarms",
+        "miss rate",
+        "fa rate",
+        "J(truth)",
+        "J(Trivy)",
+        "J(Syft)",
+        "J(sbom-tool)",
+        "J(GitHub DG)",
+    ]);
+    for eco in Ecosystem::ALL {
+        let repos = ctx.corpus.language(eco);
+        let sboms = ctx.sboms(eco);
+        // Per repo: per-tool [actual, detected, missed, fa] counts, the
+        // per-tool Jaccard vs truth, and the 4×4 pairwise raised-set
+        // Jaccard matrix.
+        let rows = ctx.phase(
+            &format!("vuln divergence {eco}"),
+            repos.len() as u64,
+            || {
+                par_map(ctx.jobs(), repos, |idx, repo| {
+                    let truth: Vec<ResolvedPackage> = best
+                        .generate(repo)
+                        .components()
+                        .iter()
+                        .filter_map(|c| {
+                            let version = Version::parse(c.version.as_deref()?).ok()?;
+                            Some(ResolvedPackage::direct(c.name.clone(), version))
+                        })
+                        .collect();
+                    let mut counts = [[0usize; 4]; 4];
+                    let mut jaccard_truth = [0.0f64; 4];
+                    let mut raised: [BTreeSet<String>; 4] = Default::default();
+                    for (i, sbom) in sboms[idx].iter().enumerate() {
+                        // Experiments run fault-free, so the cached path cannot
+                        // surface an injected error; the fallback keeps a
+                        // SBOMDIFF_FAULTS run alive on the uncached path.
+                        let r = sbomdiff_vuln::assess_cached(&cache, &db, eco, sbom, &truth)
+                            .unwrap_or_else(|_| sbomdiff_vuln::assess_in(&db, eco, sbom, &truth));
+                        counts[i] = [
+                            r.actual.len(),
+                            r.detected.len(),
+                            r.missed.len(),
+                            r.false_alarms.len(),
+                        ];
+                        let mut set = r.detected.clone();
+                        set.extend(r.false_alarms.iter().cloned());
+                        jaccard_truth[i] = set_jaccard(&set, &r.actual);
+                        raised[i] = set;
+                    }
+                    let mut pairwise = [[0.0f64; 4]; 4];
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            pairwise[i][j] = set_jaccard(&raised[i], &raised[j]);
+                        }
+                    }
+                    (counts, jaccard_truth, pairwise)
+                })
+            },
+        );
+        let n = rows.len().max(1) as f64;
+        let mut totals = [[0usize; 4]; 4];
+        let mut jt_sums = [0.0f64; 4];
+        let mut pw_sums = [[0.0f64; 4]; 4];
+        for (counts, jaccard_truth, pairwise) in &rows {
+            for i in 0..4 {
+                for (acc, v) in totals[i].iter_mut().zip(counts[i]) {
+                    *acc += v;
+                }
+                jt_sums[i] += jaccard_truth[i];
+                for j in 0..4 {
+                    pw_sums[i][j] += pairwise[i][j];
+                }
+            }
+        }
+        for (i, tool) in TOOL_ORDER.iter().enumerate() {
+            let [actual, detected, missed, fa] = totals[i];
+            let miss_rate = if actual == 0 {
+                0.0
+            } else {
+                missed as f64 / actual as f64
+            };
+            let raised_total = detected + fa;
+            let fa_rate = if raised_total == 0 {
+                0.0
+            } else {
+                fa as f64 / raised_total as f64
+            };
+            let mut row = vec![
+                eco.label().to_string(),
+                tool.label().to_string(),
+                rows.len().to_string(),
+                actual.to_string(),
+                detected.to_string(),
+                missed.to_string(),
+                fa.to_string(),
+                format!("{:.4}", miss_rate),
+                format!("{:.4}", fa_rate),
+                format!("{:.4}", jt_sums[i] / n),
+            ];
+            for sum in &pw_sums[i] {
+                row.push(format!("{:.4}", sum / n));
+            }
+            table.row(row);
+        }
+    }
+    println!("{table}");
+    println!("(raised = detected + false alarms; J columns are mean per-repo Jaccard of");
+    println!(" raised advisory sets — diagonal 1, off-diagonal the profile divergence)");
+    ctx.write("vuln_divergence.csv", &table.to_csv());
+    let stats = cache.stats();
+    eprintln!(
+        "enrich cache: {} entries, {} hits, {} misses, {} expired",
+        cache.len(),
+        stats.hits,
+        stats.misses,
+        stats.expired
+    );
 }
 
 /// Seed-stability sweep: re-derives the headline findings across several

@@ -23,7 +23,7 @@ USAGE:
 
 COMMANDS:
     fig1 fig2 table1 table2 table3 table4 stats benchscore
-    diagnostics ablate ranking vulnimpact stability matching all (default)
+    diagnostics ablate ranking vulnimpact vuln stability matching all (default)
 
 OPTIONS:
     --repos <N>        synthetic repositories per language
@@ -116,6 +116,7 @@ fn main() {
         "ablate" => experiments::ablate(&ctx),
         "ranking" => experiments::ranking(&ctx),
         "vulnimpact" => experiments::vulnimpact(&ctx),
+        "vuln" => experiments::vuln(&ctx),
         "stability" => experiments::stability(&ctx),
         "matching" => experiments::matching(&ctx),
         "all" => {
@@ -131,11 +132,12 @@ fn main() {
             experiments::ablate(&ctx);
             experiments::ranking(&ctx);
             experiments::vulnimpact(&ctx);
+            experiments::vuln(&ctx);
             experiments::matching(&ctx);
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact stability matching all");
+            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact vuln stability matching all");
             std::process::exit(2);
         }
     }

@@ -15,7 +15,9 @@ fn out_dir(tag: &str) -> PathBuf {
 }
 
 /// Runs fig1 + fig2 + table1 (all three consume the parallel
-/// `(repository × tool)` SBOM matrix) and returns every CSV artifact.
+/// `(repository × tool)` SBOM matrix) plus the vuln divergence experiment
+/// (which adds the advisory/enrichment path) and returns every CSV
+/// artifact.
 fn run(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     let out = out_dir(tag);
     let _ = std::fs::remove_dir_all(&out);
@@ -30,6 +32,7 @@ fn run(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     experiments::fig1(&ctx);
     experiments::fig2(&ctx);
     experiments::table1(&ctx);
+    experiments::vuln(&ctx);
     let mut artifacts = BTreeMap::new();
     for entry in std::fs::read_dir(&out).expect("output dir") {
         let entry = entry.expect("dir entry");

@@ -71,3 +71,8 @@ fn table2_support_matches_golden() {
 fn fig1_summary_matches_golden() {
     check_against_golden("fig1_summary.csv", experiments::fig1);
 }
+
+#[test]
+fn vuln_divergence_matches_golden() {
+    check_against_golden("vuln_divergence.csv", experiments::vuln);
+}

@@ -59,6 +59,11 @@ pub mod sites {
     /// Streaming ingestion of one externally supplied SBOM document
     /// (`sbomdiff diff <a> <b>`, `POST /v1/diff`).
     pub const INGEST_DOC: &str = "ingest.doc";
+    /// Per-package advisory lookup in the vulnerability-impact path
+    /// (`POST /v1/impact`, `experiments vuln`).
+    pub const VULN_LOOKUP: &str = "vuln.lookup";
+    /// Enrichment-cache fill for one `(ecosystem, package)` key.
+    pub const VULN_ENRICH: &str = "vuln.enrich";
 
     /// Every site the workspace instruments.
     pub const ALL: &[&str] = &[
@@ -71,6 +76,8 @@ pub mod sites {
         PARSE_REFERENCE,
         SERVICE_ANALYZE,
         INGEST_DOC,
+        VULN_LOOKUP,
+        VULN_ENRICH,
     ];
 
     /// Sites where an injected panic is guaranteed to land under a

@@ -100,6 +100,16 @@ impl PackageUniverse {
         self.packages.values().map(|p| p.name.as_str())
     }
 
+    /// Iterates over `(display name, published versions ascending)` pairs
+    /// in canonical-name order — one pass for consumers that visit every
+    /// package (advisory generation), instead of a `package_names` walk
+    /// with a normalized re-`lookup` per name.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[VersionEntry])> {
+        self.packages
+            .values()
+            .map(|p| (p.name.as_str(), p.versions.as_slice()))
+    }
+
     /// Inserts (or replaces) a package entry.
     pub fn insert(&mut self, entry: PackageEntry) {
         let key = sbomdiff_types::name::normalize(self.ecosystem, &entry.name);

@@ -18,8 +18,8 @@ use sbomdiff_metadata::RepoFs;
 use sbomdiff_registry::Registries;
 use sbomdiff_sbomfmt::{ingest, SbomFormat};
 use sbomdiff_textformats::{json, Value};
-use sbomdiff_types::{DiagClass, Diagnostic, ResolvedPackage, Sbom, Version};
-use sbomdiff_vuln::AdvisoryDb;
+use sbomdiff_types::{DiagClass, Diagnostic, Ecosystem, ResolvedPackage, Sbom, Version};
+use sbomdiff_vuln::{assess_cached, AdvisoryDb, EnrichCache, ImpactReport};
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
@@ -30,6 +30,9 @@ pub const MAX_ANALYZE_FILES: usize = 512;
 
 /// Maximum sub-requests accepted by `POST /v1/batch`.
 pub const MAX_BATCH_REQUESTS: usize = 256;
+
+/// Maximum SBOM documents accepted by one batched `POST /v1/impact`.
+pub const MAX_IMPACT_SBOMS: usize = 64;
 
 /// Shared service state: memoized seeded worlds, response cache, metrics.
 pub struct AppState {
@@ -43,6 +46,10 @@ pub struct AppState {
     /// *content*, so two requests reusing a repository name can never see
     /// each other's stale parses — a rewritten manifest re-parses.
     pub parse_cache: ParseCache,
+    /// TTL'd per-`(ecosystem, package)` advisory cache shared across
+    /// `/v1/impact` requests (keyed on database fingerprints, so seeds
+    /// never alias).
+    pub enrich: EnrichCache,
     registries: Mutex<HashMap<u64, Arc<Registries>>>,
     advisories: Mutex<HashMap<(u64, u64, u64), Arc<AdvisoryDb>>>,
 }
@@ -55,6 +62,7 @@ impl AppState {
             cache: ResponseCache::new(cache_capacity),
             metrics: Metrics::new(),
             parse_cache: ParseCache::new(),
+            enrich: EnrichCache::new(),
             registries: Mutex::new(HashMap::new()),
             advisories: Mutex::new(HashMap::new()),
         }
@@ -122,6 +130,12 @@ pub fn handle(state: &AppState, request: &Request, queue_depth: usize) -> Respon
             text.push_str(&Metrics::render_parse_cache(
                 state.parse_cache.hits(),
                 state.parse_cache.misses(),
+            ));
+            let enrich = state.enrich.stats();
+            text.push_str(&Metrics::render_enrich_cache(
+                enrich.hits,
+                enrich.misses,
+                enrich.expired,
             ));
             Response::text(200, text)
         }
@@ -652,16 +666,66 @@ fn diff(state: &AppState, doc: &Value) -> Response {
     finish(out).with_degraded(degraded)
 }
 
-/// `POST /v1/impact`: an SBOM document + advisory-db seed → missed /
-/// false-alarm vulnerability report via `sbomdiff_vuln::assess`.
+/// `POST /v1/impact`: SBOM document(s) + advisory-db seed → missed /
+/// false-alarm vulnerability reports via the enrichment cache
+/// ([`sbomdiff_vuln::assess_cached`]).
+///
+/// Two payload shapes:
+///
+/// * `{"sbom": "<doc>", ...}` — the legacy single-document form; the
+///   response carries the report fields at the top level.
+/// * `{"sboms": ["<doc>", ...], ...}` — batched (at most
+///   [`MAX_IMPACT_SBOMS`] documents) against one shared truth; the
+///   response is `{"count", "advisories", "truth_packages", "degraded",
+///   "reports": [...]}` with one report row per document.
+///
+/// Without an explicit `"truth"` array, the first document's pinned
+/// components are the ground truth — so a batch of one tool profile per
+/// document diffs every profile against the first (e.g. a best-practice
+/// SBOM). An optional `"ecosystem"` string pins the truth's language;
+/// otherwise it is inferred per document from its first component.
+///
+/// A fault surfaced at an enrichment site degrades that document's row
+/// (never a 5xx); degraded responses are never cached by
+/// [`execute_cached`], so a later fault-free request recomputes.
 fn impact(state: &AppState, doc: &Value) -> Response {
-    let Some(sbom_text) = doc.get("sbom").and_then(Value::as_str) else {
-        return Response::error(400, "missing \"sbom\" document string");
-    };
-    let sbom = match parse_sbom_doc(sbom_text) {
-        Ok(s) => s,
-        Err(msg) => return Response::error(400, &format!("document \"sbom\": {msg}")),
-    };
+    if doc.get("sbom").is_some() && doc.get("sboms").is_some() {
+        return Response::error(400, "provide \"sbom\" or \"sboms\", not both");
+    }
+    let batched = doc.get("sboms").is_some();
+    let mut texts: Vec<String> = Vec::new();
+    if batched {
+        let Some(entries) = doc.get("sboms").and_then(Value::as_array) else {
+            return Response::error(400, "\"sboms\" must be an array of document strings");
+        };
+        if entries.is_empty() {
+            return Response::error(400, "\"sboms\" must contain at least one document");
+        }
+        if entries.len() > MAX_IMPACT_SBOMS {
+            return Response::error(400, "too many impact documents (limit 64)");
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let Some(text) = entry.as_str() else {
+                return Response::error(400, &format!("\"sboms\"[{i}] must be a document string"));
+            };
+            texts.push(text.to_string());
+        }
+    } else {
+        let Some(text) = doc.get("sbom").and_then(Value::as_str) else {
+            return Response::error(400, "missing \"sbom\" document string");
+        };
+        texts.push(text.to_string());
+    }
+    let mut sboms = Vec::with_capacity(texts.len());
+    for (i, text) in texts.iter().enumerate() {
+        match parse_sbom_doc(text) {
+            Ok(s) => sboms.push(s),
+            Err(msg) if batched => {
+                return Response::error(400, &format!("document \"sboms\"[{i}]: {msg}"));
+            }
+            Err(msg) => return Response::error(400, &format!("document \"sbom\": {msg}")),
+        }
+    }
     let seed = opt_u64(doc, "seed").unwrap_or(state.default_seed);
     let advisory_seed = opt_u64(doc, "advisory_seed").unwrap_or(1);
     let share = doc
@@ -671,35 +735,83 @@ fn impact(state: &AppState, doc: &Value) -> Response {
     if !(0.0..=1.0).contains(&share) {
         return Response::error(400, "vulnerable_share must be within [0, 1]");
     }
+    let pinned_eco = match doc.get("ecosystem") {
+        None | Some(Value::Null) => None,
+        Some(value) => match value.as_str().and_then(|s| s.parse::<Ecosystem>().ok()) {
+            Some(eco) => Some(eco),
+            None => return Response::error(400, "unknown \"ecosystem\""),
+        },
+    };
     let truth = match doc.get("truth") {
-        None | Some(Value::Null) => sbom_as_truth(&sbom),
+        None | Some(Value::Null) => sbom_as_truth(&sboms[0]),
         Some(value) => match parse_truth(value) {
             Ok(t) => t,
             Err(msg) => return Response::error(400, msg),
         },
     };
     let db = state.advisory_db(seed, advisory_seed, share);
-    let report = sbomdiff_vuln::assess(&db, &sbom, &truth);
-
-    let mut out = Value::object();
-    out.set("tool", Value::from(sbom.meta.tool_name.clone()));
-    out.set("subject", Value::from(sbom.meta.subject.clone()));
+    let mut degraded = false;
+    let mut rows = Vec::with_capacity(sboms.len());
+    for sbom in &sboms {
+        let eco = pinned_eco
+            .or_else(|| sbom.components().first().map(|c| c.ecosystem))
+            .unwrap_or(Ecosystem::Python);
+        let mut row = Value::object();
+        row.set("tool", Value::from(sbom.meta.tool_name.clone()));
+        row.set("subject", Value::from(sbom.meta.subject.clone()));
+        match assess_cached(&state.enrich, &db, eco, sbom, &truth) {
+            Ok(report) => {
+                record_raised_severities(state, &db, &report);
+                impact_report_fields(&mut row, &report);
+            }
+            Err(msg) => {
+                degraded = true;
+                row.set("degraded", Value::from(true));
+                row.set("error", Value::from(msg));
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = if batched {
+        let mut out = Value::object();
+        out.set("count", Value::from(rows.len() as i64));
+        out.set("degraded", Value::from(degraded));
+        out.set("reports", Value::Array(rows));
+        out
+    } else {
+        rows.pop().unwrap_or_else(Value::object)
+    };
     out.set("advisories", Value::from(db.len() as i64));
     out.set("truth_packages", Value::from(truth.len() as i64));
+    finish(out).with_degraded(degraded)
+}
+
+/// Writes an [`ImpactReport`]'s id partitions and rates into a response
+/// row.
+fn impact_report_fields(row: &mut Value, report: &ImpactReport) {
     for (label, ids) in [
         ("actual", &report.actual),
         ("detected", &report.detected),
         ("missed", &report.missed),
         ("false_alarms", &report.false_alarms),
     ] {
-        out.set(
+        row.set(
             label,
             Value::Array(ids.iter().map(|id| Value::from(id.clone())).collect()),
         );
     }
-    out.set("miss_rate", Value::from(report.miss_rate()));
-    out.set("false_alarm_rate", Value::from(report.false_alarm_rate()));
-    finish(out)
+    row.set("miss_rate", Value::from(report.miss_rate()));
+    row.set("false_alarm_rate", Value::from(report.false_alarm_rate()));
+}
+
+/// Counts the raised advisories (detected + false alarms — what an
+/// operator sees) per severity for `/metrics`.
+fn record_raised_severities(state: &AppState, db: &AdvisoryDb, report: &ImpactReport) {
+    for id in report.detected.iter().chain(report.false_alarms.iter()) {
+        if let Some(adv) = db.by_id(id) {
+            state.metrics.record_advisories(adv.severity, 1);
+        }
+    }
 }
 
 fn sbom_as_truth(sbom: &Sbom) -> Vec<ResolvedPackage> {
@@ -1318,6 +1430,126 @@ mod tests {
         req.set("vulnerable_share", Value::from(3.5));
         let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn impact_batched_scores_documents_against_shared_truth() {
+        use sbomdiff_types::{Component, Ecosystem};
+        use sbomdiff_vuln::Severity;
+        let state = state();
+        let mut full = Sbom::new("best-practice", "1");
+        full.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.19.2".into()),
+        ));
+        let full = SbomFormat::CycloneDx.serialize(&full);
+        let empty = SbomFormat::CycloneDx.serialize(&Sbom::new("dropper", "1"));
+        let mut req = Value::object();
+        req.set(
+            "sboms",
+            Value::Array(vec![
+                Value::from(full.as_str()),
+                Value::from(empty.as_str()),
+            ]),
+        );
+        req.set("ecosystem", Value::from("python"));
+        req.set("vulnerable_share", Value::from(1.0));
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let out = body_json(&resp);
+        assert_eq!(out.get("count").and_then(Value::as_i64), Some(2));
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(false));
+        assert_eq!(out.get("truth_packages").and_then(Value::as_i64), Some(1));
+        let reports = out.get("reports").and_then(Value::as_array).unwrap();
+        assert_eq!(reports.len(), 2);
+        // The truth document detects its own vulnerability; the empty
+        // profile misses the same advisory against the shared truth.
+        let detected = reports[0]
+            .get("detected")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert!(!detected.is_empty(), "{out:?}");
+        let missed = reports[1].get("missed").and_then(Value::as_array).unwrap();
+        assert_eq!(missed.len(), detected.len(), "{out:?}");
+        assert_eq!(
+            reports[1].get("miss_rate").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        // Raised advisories landed on the per-severity /metrics counters
+        // and the enrichment cache served the repeated package lookups.
+        let raised: u64 = Severity::ALL
+            .iter()
+            .map(|s| state.metrics.advisories_matched(*s))
+            .sum();
+        assert_eq!(raised, detected.len() as u64);
+        let text = state.metrics.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_advisories_matched_total{severity=\""));
+        let stats = state.enrich.stats();
+        assert!(stats.hits > 0, "{stats:?}");
+        // Both payload shapes at once are ambiguous.
+        req.set("sbom", Value::from(empty.as_str()));
+        let resp = handle(&state, &post("/v1/impact", &json::to_string(&req)), 0);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn impact_degrades_under_injected_enrich_fault_and_is_never_cached() {
+        let state = state();
+        // Key the rule to a package name no other test looks up, so the
+        // process-global plan cannot leak into concurrent tests.
+        let empty = SbomFormat::CycloneDx.serialize(&Sbom::new("t", "1"));
+        let mut req = Value::object();
+        req.set("sbom", Value::from(empty));
+        req.set("vulnerable_share", Value::from(1.0));
+        req.set(
+            "truth",
+            json::parse(r#"[{"name":"impact-fault-probe","version":"1.0.0"}]"#).unwrap(),
+        );
+        let body = json::to_string(&req);
+        let plan = fault::FaultPlan {
+            seed: 13,
+            rules: vec![fault::FaultRule::new(
+                fault::sites::VULN_LOOKUP,
+                1_000_000,
+                fault::FaultAction::Error,
+            )
+            .for_key("impact-fault-probe")],
+        };
+        let guard = fault::install(plan);
+        let first = match execute_cached(&state, &post("/v1/impact", &body), 0) {
+            Executed::Miss(resp) => resp,
+            Executed::Hit(_) => panic!("degraded response must not enter the cache"),
+        };
+        assert_eq!(
+            first.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&first.body)
+        );
+        assert!(first.degraded);
+        let out = body_json(&first);
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(true));
+        assert!(out
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(fault::is_injected));
+        // Deterministic while the plan is live, and still not a cache hit.
+        let second = match execute_cached(&state, &post("/v1/impact", &body), 0) {
+            Executed::Miss(resp) => resp,
+            Executed::Hit(_) => panic!("degraded response served from cache"),
+        };
+        assert_eq!(first.body, second.body);
+        drop(guard);
+        // Fault-free recomputation succeeds and becomes cacheable.
+        let healthy = execute_cached(&state, &post("/v1/impact", &body), 0);
+        assert!(matches!(healthy, Executed::Hit(_)));
+        assert_eq!(healthy.status(), 200);
     }
 
     #[test]

@@ -176,6 +176,7 @@ pub fn run(config: &ChaosConfig) -> std::io::Result<ChaosReport> {
             payloads: config.payloads,
             seed: config.seed,
             keep_alive: true,
+            impact_only: false,
             out: None,
             jobs: 1,
         };

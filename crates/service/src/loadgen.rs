@@ -58,6 +58,9 @@ pub struct LoadgenConfig {
     /// Reuse one connection per client (HTTP/1.1 keep-alive); `false`
     /// reconnects per request.
     pub keep_alive: bool,
+    /// Drive batched `POST /v1/impact` payloads only (one tool-profile
+    /// batch per payload) instead of the mixed analyze/diff/impact set.
+    pub impact_only: bool,
     /// Where to write the benchmark JSON (None → don't write).
     pub out: Option<String>,
 }
@@ -71,6 +74,7 @@ impl Default for LoadgenConfig {
             jobs: 0,
             seed: 42,
             keep_alive: true,
+            impact_only: false,
             out: None,
         }
     }
@@ -119,6 +123,9 @@ pub struct LoadgenSummary {
     /// `sbomdiff_degraded_total` scraped from `/metrics` — analyses that
     /// completed in degraded mode.
     pub degraded: u64,
+    /// Sum of `sbomdiff_advisories_matched_total{severity}` scraped from
+    /// `/metrics` — advisories raised by `/v1/impact` scans.
+    pub advisories_matched: u64,
 }
 
 impl LoadgenSummary {
@@ -181,6 +188,10 @@ impl LoadgenSummary {
             "  responses    digest={:016x} inconsistent_payloads={}\n",
             self.response_digest, self.inconsistent_payloads
         ));
+        out.push_str(&format!(
+            "  advisories   {} raised (per-severity breakdown on /metrics)\n",
+            self.advisories_matched
+        ));
         out
     }
 
@@ -230,6 +241,14 @@ impl LoadgenSummary {
         doc.set("non_2xx", Value::from(self.non_2xx() as i64));
         doc.set("cache_hits", Value::from(self.cache_hits as i64));
         doc.set("cache_misses", Value::from(self.cache_misses as i64));
+        doc.set(
+            "advisories_matched",
+            Value::from(self.advisories_matched as i64),
+        );
+        doc.set(
+            "inconsistent_payloads",
+            Value::from(self.inconsistent_payloads as i64),
+        );
         doc.set(
             "response_digest",
             Value::from(format!("{:016x}", self.response_digest)),
@@ -288,7 +307,11 @@ impl SweepCell {
 ///
 /// Propagates server-start and benchmark-file I/O errors.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
-    let payloads = build_payloads(config.seed, config.payloads.max(1));
+    let payloads = if config.impact_only {
+        build_impact_payloads(config.seed, config.payloads.max(1))
+    } else {
+        build_payloads(config.seed, config.payloads.max(1))
+    };
     run_with_payloads(config, &payloads)
 }
 
@@ -383,6 +406,7 @@ pub fn run_with_payloads(
     let cache_misses = scrape(&metrics_text, "sbomdiff_cache_misses_total");
     let worker_panics = scrape(&metrics_text, "sbomdiff_worker_panics_total");
     let degraded = scrape(&metrics_text, "sbomdiff_degraded_total");
+    let advisories_matched = scrape_sum(&metrics_text, "sbomdiff_advisories_matched_total{");
     server.shutdown();
 
     let mut status_counts: BTreeMap<u16, usize> = BTreeMap::new();
@@ -451,6 +475,7 @@ pub fn run_with_payloads(
         inconsistent_payloads: inconsistent.len(),
         worker_panics,
         degraded,
+        advisories_matched,
     };
     if let Some(path) = &config.out {
         std::fs::write(path, summary.to_json(config.jobs, config.payloads))?;
@@ -508,6 +533,48 @@ pub fn build_payloads(seed: u64, count: usize) -> Vec<(String, String)> {
                 payloads.push(("/v1/impact".to_string(), json::to_string(&doc)));
             }
         }
+    }
+    payloads
+}
+
+/// Builds batched `POST /v1/impact` payloads: per repository, one batch of
+/// the best-practice SBOM (document 0, hence the shared ground truth)
+/// followed by all four studied tool profiles — the service-side version of
+/// the `experiments vuln` divergence run. Repeated payloads across clients
+/// hit the response cache, and repeated packages within a batch hit the
+/// enrichment cache.
+pub fn build_impact_payloads(seed: u64, count: usize) -> Vec<(String, String)> {
+    use sbomdiff_generators::{BestPracticeGenerator, SbomGenerator};
+    let registries = Registries::generate(seed);
+    let corpus = Corpus::build_with_jobs(
+        &registries,
+        &CorpusConfig {
+            repos_per_language: count.div_ceil(9).max(1),
+            seed,
+        },
+        1,
+    );
+    let repos: Vec<_> = corpus.iter().flat_map(|(_, repos)| repos).collect();
+    let tools = sbomdiff_generators::studied_tools(&registries, 0.0);
+    let best = BestPracticeGenerator::new(&registries);
+    let mut payloads = Vec::with_capacity(count);
+    for i in 0..count {
+        let repo = repos[i % repos.len()];
+        let mut docs = Vec::with_capacity(tools.len() + 1);
+        docs.push(Value::from(
+            SbomFormat::CycloneDx.serialize(&best.generate(repo)),
+        ));
+        for tool in &tools {
+            docs.push(Value::from(
+                SbomFormat::CycloneDx.serialize(&tool.generate(repo)),
+            ));
+        }
+        let mut doc = Value::object();
+        doc.set("sboms", Value::Array(docs));
+        doc.set("seed", Value::from(seed as i64));
+        doc.set("advisory_seed", Value::from(1i64));
+        doc.set("vulnerable_share", Value::from(0.3));
+        payloads.push(("/v1/impact".to_string(), json::to_string(&doc)));
     }
     payloads
 }
@@ -714,6 +781,17 @@ fn scrape(metrics_text: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Sums every sample of a labeled counter family (`prefix` includes the
+/// opening `{`, so bare counters sharing the name prefix don't match).
+fn scrape_sum(metrics_text: &str, prefix: &str) -> u64 {
+    metrics_text
+        .lines()
+        .filter(|line| line.starts_with(prefix))
+        .filter_map(|line| line.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -759,6 +837,7 @@ mod tests {
             jobs: 2,
             seed: 11,
             keep_alive: true,
+            impact_only: false,
             out: None,
         })
         .expect("loadgen runs");
@@ -771,6 +850,49 @@ mod tests {
     }
 
     #[test]
+    fn impact_payloads_are_batched_and_deterministic() {
+        let a = build_impact_payloads(7, 4);
+        let b = build_impact_payloads(7, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for (path, body) in &a {
+            assert_eq!(path, "/v1/impact");
+            let doc = json::parse(body).unwrap();
+            let sboms = doc.get("sboms").and_then(Value::as_array).unwrap();
+            assert_eq!(sboms.len(), 5, "best-practice truth + four profiles");
+        }
+    }
+
+    #[test]
+    fn impact_smoke_run_is_clean() {
+        let summary = run(&LoadgenConfig {
+            requests: 24,
+            clients: 3,
+            payloads: 4,
+            jobs: 2,
+            seed: 11,
+            keep_alive: true,
+            impact_only: true,
+            out: None,
+        })
+        .expect("impact loadgen runs");
+        assert_eq!(summary.non_2xx(), 0, "{:?}", summary.status_counts);
+        assert_eq!(summary.inconsistent_payloads, 0);
+        assert!(summary.cache_hits > 0, "repeated batches hit the cache");
+        assert!(
+            summary.advisories_matched > 0,
+            "per-severity counters populated: {}",
+            summary.report()
+        );
+    }
+
+    #[test]
+    fn scrape_sum_totals_labeled_family() {
+        let text = "x_total{severity=\"low\"} 2\nx_total{severity=\"high\"} 3\nx_other 9\n";
+        assert_eq!(scrape_sum(text, "x_total{"), 5);
+    }
+
+    #[test]
     fn digest_is_stable_across_jobs() {
         let base = LoadgenConfig {
             requests: 24,
@@ -778,6 +900,7 @@ mod tests {
             payloads: 6,
             seed: 13,
             keep_alive: true,
+            impact_only: false,
             out: None,
             jobs: 1,
         };
@@ -797,6 +920,7 @@ mod tests {
             payloads: 6,
             seed: 13,
             keep_alive: true,
+            impact_only: false,
             out: None,
             jobs: 2,
         };

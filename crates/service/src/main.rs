@@ -41,13 +41,14 @@ LOADGEN OPTIONS:
     --jobs <N>         server worker threads (default: policy)
     --seed <N>         corpus/payload seed (default 42)
     --no-keep-alive    reconnect per request instead of HTTP/1.1 keep-alive
+    --impact           drive batched /v1/impact payloads only (enrichment path)
     --sweep            also run the clients x payloads x keep-alive grid
     --out <PATH>       write benchmark JSON to PATH
 
 ENDPOINTS:
     POST /v1/analyze   {\"files\": {path: text, ...}, \"seed\"?, \"include_sboms\"?, ...}
     POST /v1/diff      {\"a\": <sbom doc>, \"b\": <sbom doc>}
-    POST /v1/impact    {\"sbom\": <sbom doc>, \"vulnerable_share\"?, \"truth\"?, ...}
+    POST /v1/impact    {\"sbom\": <doc>} or {\"sboms\": [<doc>, ...]}, \"vulnerable_share\"?, \"truth\"?, ...
     POST /v1/batch     {\"requests\": [{\"path\": \"/v1/...\", \"body\": {...}}, ...]}
     GET  /healthz      liveness probe
     GET  /metrics      Prometheus text exposition
@@ -214,6 +215,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             },
             "--keep-alive" => config.keep_alive = true,
             "--no-keep-alive" => config.keep_alive = false,
+            "--impact" => config.impact_only = true,
             "--sweep" => sweep = true,
             "--out" => match it.next() {
                 Some(path) => config.out = Some(path.clone()),

@@ -11,6 +11,7 @@ use std::time::Duration;
 use sbomdiff_matching::MatchTier;
 use sbomdiff_sbomfmt::ingest::DocFormat;
 use sbomdiff_types::DiagClass;
+use sbomdiff_vuln::Severity;
 
 /// The endpoints the service distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +157,9 @@ pub struct Metrics {
     // Component pairs matched by tiered `/v1/diff` requests, per tier,
     // indexed by MatchTier::index().
     match_pairs: [AtomicU64; MatchTier::COUNT],
+    // Advisories raised by `/v1/impact` scans (detected + false alarms),
+    // per severity, indexed by Severity::index().
+    advisories_matched: [AtomicU64; Severity::ALL.len()],
 }
 
 /// Counter slot for an ingest format (`None`: the unknown slot).
@@ -271,6 +275,18 @@ impl Metrics {
         self.match_pairs[tier.index()].load(Ordering::Relaxed)
     }
 
+    /// Records `n` advisories of `severity` raised by an `/v1/impact`
+    /// scan (detected and false alarms both count — they are what an
+    /// operator sees).
+    pub fn record_advisories(&self, severity: Severity, n: u64) {
+        self.advisories_matched[severity.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Advisories of `severity` raised so far.
+    pub fn advisories_matched(&self, severity: Severity) -> u64 {
+        self.advisories_matched[severity.index()].load(Ordering::Relaxed)
+    }
+
     /// Bytes ingested from external SBOM documents so far.
     pub fn ingest_bytes(&self) -> u64 {
         self.ingest_bytes.load(Ordering::Relaxed)
@@ -317,6 +333,20 @@ impl Metrics {
         out.push_str(&format!("sbomdiff_parse_cache_hits_total {hits}\n"));
         out.push_str("# TYPE sbomdiff_parse_cache_misses_total counter\n");
         out.push_str(&format!("sbomdiff_parse_cache_misses_total {misses}\n"));
+        out
+    }
+
+    /// Renders the shared enrichment-cache counters (advisory lookups by
+    /// `(ecosystem, package)`), for appending after [`Metrics::render`]
+    /// like [`Metrics::render_parse_cache`].
+    pub fn render_enrich_cache(hits: u64, misses: u64, expired: u64) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str("# TYPE sbomdiff_enrich_cache_hits_total counter\n");
+        out.push_str(&format!("sbomdiff_enrich_cache_hits_total {hits}\n"));
+        out.push_str("# TYPE sbomdiff_enrich_cache_misses_total counter\n");
+        out.push_str(&format!("sbomdiff_enrich_cache_misses_total {misses}\n"));
+        out.push_str("# TYPE sbomdiff_enrich_cache_expired_total counter\n");
+        out.push_str(&format!("sbomdiff_enrich_cache_expired_total {expired}\n"));
         out
     }
 
@@ -379,6 +409,14 @@ impl Metrics {
                 "sbomdiff_match_total{{tier=\"{}\"}} {}\n",
                 tier.label(),
                 self.match_pairs[tier.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE sbomdiff_advisories_matched_total counter\n");
+        for severity in Severity::ALL {
+            out.push_str(&format!(
+                "sbomdiff_advisories_matched_total{{severity=\"{}\"}} {}\n",
+                severity.metric_label(),
+                self.advisories_matched[severity.index()].load(Ordering::Relaxed)
             ));
         }
         out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
@@ -565,6 +603,30 @@ mod tests {
         assert!(text.contains("sbomdiff_match_total{tier=\"exact\"} 12"));
         assert!(text.contains("sbomdiff_match_total{tier=\"normalized\"} 4"));
         assert!(text.contains("sbomdiff_match_total{tier=\"fuzzy\"} 0"));
+    }
+
+    #[test]
+    fn advisory_counters_render_per_severity() {
+        let m = Metrics::new();
+        m.record_advisories(Severity::Critical, 2);
+        m.record_advisories(Severity::Medium, 1);
+        m.record_advisories(Severity::Medium, 4);
+        assert_eq!(m.advisories_matched(Severity::Critical), 2);
+        assert_eq!(m.advisories_matched(Severity::Medium), 5);
+        assert_eq!(m.advisories_matched(Severity::Low), 0);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_advisories_matched_total{severity=\"critical\"} 2"));
+        assert!(text.contains("sbomdiff_advisories_matched_total{severity=\"medium\"} 5"));
+        assert!(text.contains("sbomdiff_advisories_matched_total{severity=\"low\"} 0"));
+        assert!(text.contains("sbomdiff_advisories_matched_total{severity=\"high\"} 0"));
+    }
+
+    #[test]
+    fn enrich_cache_exposition_renders_counters() {
+        let text = Metrics::render_enrich_cache(11, 4, 2);
+        assert!(text.contains("sbomdiff_enrich_cache_hits_total 11"));
+        assert!(text.contains("sbomdiff_enrich_cache_misses_total 4"));
+        assert!(text.contains("sbomdiff_enrich_cache_expired_total 2"));
     }
 
     #[test]

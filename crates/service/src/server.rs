@@ -524,16 +524,15 @@ impl EventLoop {
     /// budget, then pumps it. Invoked outside epoll dispatch: these bytes
     /// will never produce another edge-triggered event.
     fn service_read(&mut self, token: usize) {
-        let mut dead = false;
-        {
+        let dead = {
             let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
                 return;
             };
             if !conn.wants_fill() {
                 return;
             }
-            dead = conn.fill(Instant::now()) == FillOutcome::Broken;
-        }
+            conn.fill(Instant::now()) == FillOutcome::Broken
+        };
         if dead {
             self.teardown(token);
             return;

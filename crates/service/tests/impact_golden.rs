@@ -1,0 +1,79 @@
+//! Golden-fixture and determinism tests for batched `POST /v1/impact`.
+//!
+//! The handler is a pure function of its payload, so the response for a
+//! pinned payload (the first `build_impact_payloads` batch at seed 77) is
+//! pinned byte-for-byte against `tests/golden/impact_batched.json`. To
+//! regenerate after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sbomdiff-service --test impact_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use sbomdiff_service::api::{handle, AppState};
+use sbomdiff_service::http::Request;
+use sbomdiff_service::loadgen::{self, build_impact_payloads, LoadgenConfig};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+#[test]
+fn batched_impact_response_matches_golden() {
+    let payloads = build_impact_payloads(77, 1);
+    let (path, body) = &payloads[0];
+    let state = AppState::new(77, 64);
+    let request = Request {
+        method: "POST".into(),
+        path: path.clone(),
+        body: body.clone().into_bytes(),
+    };
+    let resp = handle(&state, &request, 0);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert!(!resp.degraded, "no fault plan is installed");
+    let actual = String::from_utf8(resp.body.clone()).expect("JSON response");
+
+    let fixture = fixture_path("impact_batched.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(fixture.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&fixture, &actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test -p \
+             sbomdiff-service --test impact_golden",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "batched /v1/impact drifted from tests/golden/impact_batched.json; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn batched_impact_digest_is_stable_across_jobs() {
+    let base = LoadgenConfig {
+        requests: 16,
+        clients: 2,
+        payloads: 3,
+        jobs: 1,
+        seed: 77,
+        keep_alive: true,
+        impact_only: true,
+        out: None,
+    };
+    let a = loadgen::run(&base).expect("jobs=1 run");
+    let b = loadgen::run(&LoadgenConfig { jobs: 4, ..base }).expect("jobs=4 run");
+    assert_eq!(a.non_2xx() + b.non_2xx(), 0);
+    assert_eq!(
+        a.response_digest, b.response_digest,
+        "batched impact responses must be byte-identical across worker counts"
+    );
+    assert_eq!(a.inconsistent_payloads + b.inconsistent_payloads, 0);
+}

@@ -26,6 +26,32 @@ pub fn parse(input: &str) -> Result<Value, TextError> {
     Ok(v)
 }
 
+/// Parses a JSON document from raw bytes, rejecting invalid UTF-8 with a
+/// positioned error instead of panicking or lossily replacing (RFC 8259
+/// §8.1 requires UTF-8). Callers that read documents straight from disk
+/// (OSV advisory files, corrupted uploads) use this to turn encoding
+/// damage into a classified diagnostic.
+///
+/// # Errors
+///
+/// Returns a [`TextError`] naming the line of the first invalid byte or,
+/// once decoded, the first syntax error.
+pub fn parse_bytes(input: &[u8]) -> Result<Value, TextError> {
+    match std::str::from_utf8(input) {
+        Ok(text) => parse(text),
+        Err(e) => {
+            let line = 1 + input[..e.valid_up_to()]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count();
+            Err(TextError::new(
+                line,
+                format!("invalid UTF-8 at byte {}", e.valid_up_to()),
+            ))
+        }
+    }
+}
+
 /// Serializes a value as compact JSON.
 pub fn to_string(v: &Value) -> String {
     let mut out = String::new();

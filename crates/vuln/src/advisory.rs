@@ -1,10 +1,14 @@
-//! The synthetic advisory database.
+//! The synthetic OSV-shaped advisory database.
+
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sbomdiff_registry::{PackageUniverse, Registries};
+use sbomdiff_registry::Registries;
 use sbomdiff_types::{Ecosystem, Version, VersionReq};
+
+use crate::osv::{OsvEvent, OsvRange, RangeKind};
 
 /// Advisory severity, CVSS-band style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -20,7 +24,16 @@ pub enum Severity {
 }
 
 impl Severity {
-    /// Label used in reports.
+    /// Every severity, lowest first (metrics and CSV columns iterate
+    /// this; keep the order stable).
+    pub const ALL: [Severity; 4] = [
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ];
+
+    /// Label used in reports and OSV `database_specific.severity`.
     pub fn label(self) -> &'static str {
         match self {
             Severity::Low => "LOW",
@@ -28,6 +41,32 @@ impl Severity {
             Severity::High => "HIGH",
             Severity::Critical => "CRITICAL",
         }
+    }
+
+    /// Lowercase label for Prometheus `{severity=...}` values.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses a report/OSV label (case-insensitive).
+    pub fn from_label(label: &str) -> Option<Severity> {
+        match label.to_ascii_uppercase().as_str() {
+            "LOW" => Some(Severity::Low),
+            "MEDIUM" | "MODERATE" => Some(Severity::Medium),
+            "HIGH" => Some(Severity::High),
+            "CRITICAL" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+
+    /// Position in [`Severity::ALL`] (counter-array index).
+    pub fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -37,7 +76,7 @@ impl std::fmt::Display for Severity {
     }
 }
 
-/// One synthetic advisory: a package and the version range it affects.
+/// One synthetic advisory: a package and the OSV ranges it is affected in.
 #[derive(Debug, Clone)]
 pub struct Advisory {
     /// Synthetic identifier (`SYN-2023-0042`).
@@ -46,8 +85,10 @@ pub struct Advisory {
     pub ecosystem: Ecosystem,
     /// Canonical (registry-normalized) package name.
     pub package: String,
-    /// Affected version range.
-    pub affected: VersionReq,
+    /// One-line human summary.
+    pub summary: String,
+    /// OSV affected ranges; a version is affected when any range matches.
+    pub ranges: Vec<OsvRange>,
     /// First fixed version, when one exists.
     pub fixed_in: Option<Version>,
     /// Severity band.
@@ -57,11 +98,30 @@ pub struct Advisory {
 impl Advisory {
     /// Whether a concrete installed version is affected.
     pub fn affects(&self, version: &Version) -> bool {
-        self.affected.matches(version)
+        self.ranges.iter().any(|r| r.affects(version))
+    }
+
+    /// The legacy `VersionReq` equivalent (`<fixed`), for advisories with
+    /// the single half-open-from-zero shape the pre-OSV generator emitted.
+    /// The OSV event walk and this requirement must agree on every
+    /// version (asserted by the `osv_props` property suite).
+    pub fn legacy_req(&self) -> Option<VersionReq> {
+        let [range] = self.ranges.as_slice() else {
+            return None;
+        };
+        let [OsvEvent::Introduced(None), OsvEvent::Fixed(fixed)] = range.events.as_slice() else {
+            return None;
+        };
+        VersionReq::parse(
+            &format!("<{}", fixed.to_unprefixed()),
+            sbomdiff_types::ConstraintFlavor::Pep440,
+        )
+        .ok()
     }
 }
 
-/// A seeded advisory database over the synthetic registries.
+/// A seeded advisory database over the synthetic registries, indexed by
+/// `(ecosystem, canonical package)` for per-package lookup.
 ///
 /// # Examples
 ///
@@ -74,83 +134,126 @@ impl Advisory {
 /// assert!(!db.is_empty());
 /// for advisory in db.advisories().iter().take(3) {
 ///     assert!(advisory.id.starts_with("SYN-"));
+///     assert!(!advisory.ranges.is_empty());
 /// }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AdvisoryDb {
     advisories: Vec<Advisory>,
+    index: BTreeMap<(Ecosystem, String), Vec<u32>>,
+    by_id: BTreeMap<String, u32>,
+    fingerprint: u64,
 }
 
 impl AdvisoryDb {
-    /// Builds a database from explicit advisories (tests, custom feeds).
+    /// Builds a database from explicit advisories (tests, OSV ingestion,
+    /// custom feeds).
     pub fn from_advisories(advisories: Vec<Advisory>) -> Self {
-        AdvisoryDb { advisories }
+        let mut index: BTreeMap<(Ecosystem, String), Vec<u32>> = BTreeMap::new();
+        let mut by_id = BTreeMap::new();
+        let mut fp = 0xcbf29ce484222325u64; // FNV-1a
+        for (i, a) in advisories.iter().enumerate() {
+            index
+                .entry((a.ecosystem, a.package.clone()))
+                .or_default()
+                .push(i as u32);
+            by_id.insert(a.id.clone(), i as u32);
+            for byte in a.id.bytes().chain(a.package.bytes()) {
+                fp = (fp ^ byte as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+        AdvisoryDb {
+            advisories,
+            index,
+            by_id,
+            fingerprint: fp,
+        }
     }
 
     /// Generates advisories for roughly `vulnerable_share` of each
-    /// ecosystem's packages. Each advisory affects all versions strictly
-    /// below a randomly chosen published "fix" version (the dominant
-    /// real-world shape).
+    /// ecosystem's packages, with the OSV shape mix real feeds show:
+    /// mostly affected-from-the-beginning half-open ranges, some with a
+    /// later `introduced` floor, some unfixed (`last_affected`) and a few
+    /// patched-then-reintroduced two-range advisories.
     pub fn generate(registries: &Registries, seed: u64, vulnerable_share: f64) -> Self {
         let mut advisories = Vec::new();
         let mut counter = 0usize;
         for (eco, universe) in registries.iter() {
             let mut rng = StdRng::seed_from_u64(seed ^ ((eco as u64) << 40) ^ 0xadd1);
-            advisories.extend(Self::for_universe(
-                eco,
-                universe,
-                &mut rng,
-                vulnerable_share,
-                &mut counter,
-            ));
-        }
-        AdvisoryDb { advisories }
-    }
-
-    fn for_universe(
-        eco: Ecosystem,
-        universe: &PackageUniverse,
-        rng: &mut StdRng,
-        share: f64,
-        counter: &mut usize,
-    ) -> Vec<Advisory> {
-        let mut out = Vec::new();
-        let names: Vec<String> = universe.package_names().map(str::to_string).collect();
-        for name in names {
-            if !rng.gen_bool(share.clamp(0.0, 1.0)) {
-                continue;
+            let kind = RangeKind::for_ecosystem(eco);
+            let entries: Vec<(String, Vec<Version>)> = universe
+                .entries()
+                .map(|(name, versions)| {
+                    (
+                        name.to_string(),
+                        versions.iter().map(|v| v.version.clone()).collect(),
+                    )
+                })
+                .collect();
+            for (name, versions) in entries {
+                if !rng.gen_bool(vulnerable_share.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                if versions.len() < 2 {
+                    continue;
+                }
+                // The fix lands at some mid/late published version.
+                let fix_idx = rng.gen_range(1..versions.len());
+                let fixed = versions[fix_idx].clone();
+                let shape = rng.gen_range(0..20u32);
+                let (ranges, fixed_in) = match shape {
+                    // 15%: the flaw was introduced at a later version.
+                    14..=16 if fix_idx >= 2 => {
+                        let intro = versions[rng.gen_range(1..fix_idx)].clone();
+                        (
+                            vec![OsvRange::half_open(kind, Some(intro), fixed.clone())],
+                            Some(fixed),
+                        )
+                    }
+                    // 10%: no published fix — a closed last_affected range.
+                    17..=18 => {
+                        let last = versions[fix_idx - 1].clone();
+                        (vec![OsvRange::closed(kind, None, last)], None)
+                    }
+                    // 5%: patched early, reintroduced before the real fix.
+                    19 if fix_idx >= 3 => {
+                        let patched = versions[1].clone();
+                        let reintroduced = versions[fix_idx - 1].clone();
+                        (
+                            vec![
+                                OsvRange::half_open(kind, None, patched),
+                                OsvRange::half_open(kind, Some(reintroduced), fixed.clone()),
+                            ],
+                            Some(fixed),
+                        )
+                    }
+                    // 70% (plus the fallbacks above on short histories):
+                    // affected from the beginning until the fix.
+                    _ => (
+                        vec![OsvRange::half_open(kind, None, fixed.clone())],
+                        Some(fixed),
+                    ),
+                };
+                let severity = match rng.gen_range(0..10) {
+                    0 => Severity::Critical,
+                    1..=3 => Severity::High,
+                    4..=7 => Severity::Medium,
+                    _ => Severity::Low,
+                };
+                counter += 1;
+                let package = sbomdiff_types::name::normalize(eco, &name);
+                advisories.push(Advisory {
+                    id: format!("SYN-2023-{counter:04}"),
+                    ecosystem: eco,
+                    summary: format!("synthetic vulnerability in {package} ({})", eco.label()),
+                    package,
+                    ranges,
+                    fixed_in,
+                    severity,
+                });
             }
-            let versions = universe.versions(&name);
-            if versions.len() < 2 {
-                continue;
-            }
-            // The fix lands at some mid/late published version; everything
-            // below is affected.
-            let fix_idx = rng.gen_range(1..versions.len());
-            let fixed = versions[fix_idx].clone();
-            let Ok(affected) = VersionReq::parse(
-                &format!("<{}", fixed.to_unprefixed()),
-                sbomdiff_types::ConstraintFlavor::Pep440,
-            ) else {
-                continue;
-            };
-            *counter += 1;
-            let severity = match rng.gen_range(0..10) {
-                0 => Severity::Critical,
-                1..=3 => Severity::High,
-                4..=7 => Severity::Medium,
-                _ => Severity::Low,
-            };
-            out.push(Advisory {
-                id: format!("SYN-2023-{:04}", *counter),
-                ecosystem: eco,
-                package: sbomdiff_types::name::normalize(eco, &name),
-                affected,
-                fixed_in: Some(fixed),
-                severity,
-            });
         }
-        out
+        Self::from_advisories(advisories)
     }
 
     /// Number of advisories.
@@ -168,15 +271,40 @@ impl AdvisoryDb {
         &self.advisories
     }
 
+    /// Content fingerprint (stable across clones and round-trips through
+    /// OSV JSON); enrichment caches shared between databases key on it.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The advisory with the given id.
+    pub fn by_id(&self, id: &str) -> Option<&Advisory> {
+        self.by_id
+            .get(id)
+            .and_then(|&i| self.advisories.get(i as usize))
+    }
+
+    /// Every advisory for a `(ecosystem, name)` pair, version-independent;
+    /// the name is normalized before the index lookup.
+    pub fn for_package(&self, eco: Ecosystem, name: &str) -> Vec<&Advisory> {
+        let canonical = sbomdiff_types::name::normalize(eco, name);
+        self.index
+            .get(&(eco, canonical))
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|&i| self.advisories.get(i as usize))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Advisories affecting a concrete `(ecosystem, name, version)` triple;
     /// the name is normalized before lookup (how a *correct* scanner
     /// matches — spelling variations in SBOMs therefore cause misses).
     pub fn matching(&self, eco: Ecosystem, name: &str, version: &Version) -> Vec<&Advisory> {
-        let canonical = sbomdiff_types::name::normalize(eco, name);
-        self.advisories
-            .iter()
-            .filter(|a| a.ecosystem == eco && a.package == canonical && a.affects(version))
-            .collect()
+        let mut out = self.for_package(eco, name);
+        out.retain(|a| a.affects(version));
+        out
     }
 }
 
@@ -190,11 +318,24 @@ mod tests {
         let regs = Registries::generate(55);
         let db = AdvisoryDb::generate(&regs, 9, 0.2);
         assert!(db.len() > 200, "db size {}", db.len());
-        for a in db.advisories().iter().take(50) {
+        let mut fixed_shapes = 0;
+        let mut unfixed_shapes = 0;
+        for a in db.advisories() {
             assert!(a.id.starts_with("SYN-2023-"));
-            let fixed = a.fixed_in.as_ref().unwrap();
-            assert!(!a.affects(fixed), "fix version must not be affected");
+            assert!(!a.ranges.is_empty());
+            for r in &a.ranges {
+                assert!(r.validate().is_empty(), "{}: {:?}", a.id, r.validate());
+            }
+            match &a.fixed_in {
+                Some(fixed) => {
+                    fixed_shapes += 1;
+                    assert!(!a.affects(fixed), "fix version must not be affected");
+                }
+                None => unfixed_shapes += 1,
+            }
         }
+        assert!(fixed_shapes > unfixed_shapes, "fixed shapes dominate");
+        assert!(unfixed_shapes > 0, "some advisories have no fix");
     }
 
     #[test]
@@ -205,6 +346,11 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.advisories()[0].id, b.advisories()[0].id);
         assert_eq!(a.advisories()[0].package, b.advisories()[0].package);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            AdvisoryDb::generate(&regs, 10, 0.2).fingerprint()
+        );
     }
 
     #[test]
@@ -225,5 +371,41 @@ mod tests {
         assert!(db
             .matching(Ecosystem::Python, "definitely-not-here", &old)
             .is_empty());
+    }
+
+    #[test]
+    fn index_matches_linear_scan() {
+        let regs = Registries::generate(55);
+        let db = AdvisoryDb::generate(&regs, 9, 0.3);
+        for a in db.advisories().iter().take(100) {
+            let via_index = db.for_package(a.ecosystem, &a.package);
+            assert!(via_index.iter().any(|hit| hit.id == a.id));
+            let linear = db
+                .advisories()
+                .iter()
+                .filter(|x| x.ecosystem == a.ecosystem && x.package == a.package)
+                .count();
+            assert_eq!(via_index.len(), linear);
+        }
+        assert_eq!(
+            db.by_id(&db.advisories()[0].id).map(|a| a.id.as_str()),
+            Some(db.advisories()[0].id.as_str())
+        );
+    }
+
+    #[test]
+    fn legacy_req_agrees_on_half_open_shape() {
+        let regs = Registries::generate(55);
+        let db = AdvisoryDb::generate(&regs, 9, 0.2);
+        let mut checked = 0;
+        for a in db.advisories() {
+            let Some(req) = a.legacy_req() else { continue };
+            for v in ["0.1.0", "1.0.0", "1.19.2", "2.5.0", "9.9.9"] {
+                let v = Version::parse(v).unwrap();
+                assert_eq!(a.affects(&v), req.matches(&v), "{} at {}", a.id, v);
+            }
+            checked += 1;
+        }
+        assert!(checked > 50, "enough half-open advisories: {checked}");
     }
 }

@@ -1,0 +1,356 @@
+//! TTL'd sharded enrichment cache for per-package advisory lookups.
+//!
+//! `/v1/impact` batches, the divergence experiment and repeated profile
+//! scans all ask the same `(ecosystem, package)` advisory question many
+//! times; this cache shares that work. Entries expire on a TTL (stale
+//! advisory data must not outlive a feed refresh) and the cache keys on
+//! the database [fingerprint](crate::AdvisoryDb::fingerprint) so lookups
+//! against different seeded universes never alias.
+//!
+//! Two fault sites instrument the path (DESIGN.md §15 contract):
+//! [`VULN_LOOKUP`](sbomdiff_faultline::sites::VULN_LOOKUP) fires on every
+//! lookup, [`VULN_ENRICH`](sbomdiff_faultline::sites::VULN_ENRICH) on a
+//! cache fill. A surfaced fault returns a marker-carrying error and is
+//! **never cached** — degraded answers must not poison later requests.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use sbomdiff_faultline as fault;
+use sbomdiff_types::{Ecosystem, ResolvedPackage, Sbom, Version};
+
+use crate::advisory::{Advisory, AdvisoryDb};
+use crate::impact::ImpactReport;
+
+/// Counter snapshot for the `/metrics` exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnrichStats {
+    /// Lookups answered from a live cache entry.
+    pub hits: u64,
+    /// Lookups that filled a missing entry.
+    pub misses: u64,
+    /// Lookups that found an entry past its TTL (refilled; also counted
+    /// as a miss).
+    pub expired: u64,
+}
+
+type Key = (u64, Ecosystem, String);
+
+struct Entry {
+    advisories: Arc<Vec<Advisory>>,
+    expires: Instant,
+}
+
+/// The sharded TTL cache. Keys are `(db fingerprint, ecosystem,
+/// canonical package)`; values are the package's full advisory slice
+/// (version-independent — the caller evaluates ranges per version, so
+/// one fill serves every version and every profile).
+pub struct EnrichCache {
+    shards: Vec<Mutex<HashMap<Key, Entry>>>,
+    ttl: Duration,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl EnrichCache {
+    /// Default shape: 8 shards, 5-minute TTL (matches a feed-refresh
+    /// cadence; entries are tiny so expiry is about staleness, not
+    /// memory).
+    pub fn new() -> Self {
+        Self::with(8, Duration::from_secs(300))
+    }
+
+    /// Custom shard count and TTL.
+    pub fn with(shards: usize, ttl: Duration) -> Self {
+        EnrichCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EnrichStats {
+        EnrichStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The advisory slice for `(ecosystem, name)`, from cache or filled
+    /// from `db`.
+    ///
+    /// # Errors
+    ///
+    /// A marker-carrying message when an injected fault surfaces at the
+    /// lookup or fill site; the caller must degrade (and nothing is
+    /// cached).
+    pub fn advisories_for(
+        &self,
+        db: &AdvisoryDb,
+        eco: Ecosystem,
+        name: &str,
+    ) -> Result<Arc<Vec<Advisory>>, String> {
+        self.advisories_for_at(db, eco, name, Instant::now())
+    }
+
+    /// [`advisories_for`](Self::advisories_for) with an explicit clock,
+    /// so TTL expiry is testable without sleeping.
+    pub fn advisories_for_at(
+        &self,
+        db: &AdvisoryDb,
+        eco: Ecosystem,
+        name: &str,
+        now: Instant,
+    ) -> Result<Arc<Vec<Advisory>>, String> {
+        let canonical = sbomdiff_types::name::normalize(eco, name);
+        if let Some(surfaced) = fault::point!(fault::sites::VULN_LOOKUP, &canonical) {
+            return Err(surfaced.message(fault::sites::VULN_LOOKUP));
+        }
+        let key = (db.fingerprint(), eco, canonical);
+        let shard = &self.shards[self.shard_of(&key)];
+        {
+            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            match guard.get(&key) {
+                Some(entry) if entry.expires > now => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.advisories));
+                }
+                Some(_) => {
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    guard.remove(&key);
+                }
+                None => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(surfaced) = fault::point!(fault::sites::VULN_ENRICH, &key.2) {
+            return Err(surfaced.message(fault::sites::VULN_ENRICH));
+        }
+        let advisories: Arc<Vec<Advisory>> =
+            Arc::new(db.for_package(eco, &key.2).into_iter().cloned().collect());
+        shard.lock().unwrap_or_else(PoisonError::into_inner).insert(
+            key,
+            Entry {
+                advisories: Arc::clone(&advisories),
+                expires: now + self.ttl,
+            },
+        );
+        Ok(advisories)
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        // FNV-1a over the canonical name + fingerprint: cheap, stable.
+        let mut h = 0xcbf29ce484222325u64 ^ key.0;
+        for b in key.2.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        (h as usize) % self.shards.len()
+    }
+}
+
+impl Default for EnrichCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`assess`](crate::impact::assess) routed through the enrichment cache:
+/// both the ground-truth side and the SBOM-driven side pull per-package
+/// advisory slices from the cache and evaluate ranges locally, so a batch
+/// of profiles over the same packages fills each key once.
+///
+/// # Errors
+///
+/// The first surfaced fault message; the caller must answer degraded and
+/// the partial result is discarded.
+pub fn assess_cached(
+    cache: &EnrichCache,
+    db: &AdvisoryDb,
+    eco: Ecosystem,
+    sbom: &Sbom,
+    truth: &[ResolvedPackage],
+) -> Result<ImpactReport, String> {
+    let mut report = ImpactReport::default();
+    for pkg in truth {
+        for adv in cache.advisories_for(db, eco, &pkg.name)?.iter() {
+            if adv.affects(&pkg.version) {
+                report.actual.insert(adv.id.clone());
+            }
+        }
+    }
+    let mut raised: BTreeSet<String> = BTreeSet::new();
+    for c in sbom.components() {
+        let Some(version) = c.version.as_deref().and_then(|v| Version::parse(v).ok()) else {
+            continue; // no concrete version → unmatchable entry
+        };
+        for adv in cache.advisories_for(db, c.ecosystem, &c.name)?.iter() {
+            if adv.ecosystem == c.ecosystem && adv.affects(&version) {
+                raised.insert(adv.id.clone());
+            }
+        }
+    }
+    for id in &raised {
+        if report.actual.contains(id) {
+            report.detected.insert(id.clone());
+        } else {
+            report.false_alarms.insert(id.clone());
+        }
+    }
+    for id in &report.actual {
+        if !raised.contains(id) {
+            report.missed.insert(id.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbomdiff_registry::Registries;
+    use sbomdiff_types::Component;
+
+    fn db() -> AdvisoryDb {
+        AdvisoryDb::generate(&Registries::generate(55), 9, 0.5)
+    }
+
+    #[test]
+    fn caches_and_counts_hits() {
+        let db = db();
+        let cache = EnrichCache::new();
+        let a = cache
+            .advisories_for(&db, Ecosystem::Python, "numpy")
+            .unwrap();
+        let b = cache
+            .advisories_for(&db, Ecosystem::Python, "NumPy")
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "normalized names share the entry");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.expired), (1, 1, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expiry_refills() {
+        let db = db();
+        let cache = EnrichCache::with(4, Duration::from_secs(60));
+        let t0 = Instant::now();
+        cache
+            .advisories_for_at(&db, Ecosystem::Python, "numpy", t0)
+            .unwrap();
+        // Within the TTL: a hit.
+        cache
+            .advisories_for_at(
+                &db,
+                Ecosystem::Python,
+                "numpy",
+                t0 + Duration::from_secs(30),
+            )
+            .unwrap();
+        // Past the TTL: expired + refilled.
+        cache
+            .advisories_for_at(
+                &db,
+                Ecosystem::Python,
+                "numpy",
+                t0 + Duration::from_secs(61),
+            )
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.expired), (1, 2, 1));
+    }
+
+    #[test]
+    fn different_databases_never_alias() {
+        let regs = Registries::generate(55);
+        let a = AdvisoryDb::generate(&regs, 9, 0.5);
+        let b = AdvisoryDb::generate(&regs, 10, 0.5);
+        let cache = EnrichCache::new();
+        let from_a = cache
+            .advisories_for(&a, Ecosystem::Python, "numpy")
+            .unwrap();
+        let from_b = cache
+            .advisories_for(&b, Ecosystem::Python, "numpy")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2, "distinct fingerprints fill twice");
+        let ids_a: Vec<&str> = from_a.iter().map(|x| x.id.as_str()).collect();
+        let ids_b: Vec<&str> = from_b.iter().map(|x| x.id.as_str()).collect();
+        // Same package, different universes: entries are independent.
+        assert_eq!(cache.len(), 2, "{ids_a:?} vs {ids_b:?}");
+    }
+
+    #[test]
+    fn assess_cached_matches_uncached_assess() {
+        let db = db();
+        let cache = EnrichCache::new();
+        let truth = vec![
+            ResolvedPackage::direct("numpy", Version::parse("1.19.2").unwrap()),
+            ResolvedPackage::direct("requests", Version::parse("2.8.1").unwrap()),
+        ];
+        let mut sbom = Sbom::new("t", "1");
+        sbom.push(Component::new(
+            Ecosystem::Python,
+            "numpy",
+            Some("1.19.2".into()),
+        ));
+        let cached = assess_cached(&cache, &db, Ecosystem::Python, &sbom, &truth).unwrap();
+        let direct = crate::impact::assess_in(&db, Ecosystem::Python, &sbom, &truth);
+        assert_eq!(cached.actual, direct.actual);
+        assert_eq!(cached.detected, direct.detected);
+        assert_eq!(cached.missed, direct.missed);
+        assert_eq!(cached.false_alarms, direct.false_alarms);
+        assert!(cache.stats().misses > 0);
+    }
+
+    #[test]
+    fn surfaced_faults_are_not_cached() {
+        let db = db();
+        let cache = EnrichCache::new();
+        // Key the rule to one package so concurrent tests in this binary
+        // are unaffected by the process-global plan.
+        let plan = fault::FaultPlan {
+            seed: 7,
+            rules: vec![fault::FaultRule::new(
+                fault::sites::VULN_ENRICH,
+                1_000_000,
+                fault::FaultAction::Error,
+            )
+            .for_key("enrich-fault-probe")],
+        };
+        let guard = fault::install(plan);
+        let err = cache
+            .advisories_for(&db, Ecosystem::Python, "enrich-fault-probe")
+            .unwrap_err();
+        assert!(fault::is_injected(&err));
+        assert_eq!(cache.len(), 0, "failed fills must not be cached");
+        drop(guard);
+        // Fault-free retry fills normally.
+        assert!(cache
+            .advisories_for(&db, Ecosystem::Python, "enrich-fault-probe")
+            .is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -42,14 +42,26 @@ impl ImpactReport {
     /// Renders the assessment as VEX statements: detected and missed
     /// advisories are `affected`; false alarms are `not_affected` (the SBOM
     /// names a component/version that is not actually installed).
+    ///
+    /// Statements are deduplicated and emitted in id order. After a
+    /// [`merge`](Self::merge) the sets can overlap (one repository detects
+    /// what another misses, or raises as a false alarm what a third really
+    /// has); each id yields exactly one statement, and a real
+    /// vulnerability anywhere (`affected`) outranks a false alarm
+    /// elsewhere.
     pub fn to_vex_statements(&self) -> Vec<(String, &'static str)> {
-        let mut out = Vec::new();
-        for id in self.detected.iter().chain(self.missed.iter()) {
-            out.push((id.clone(), "affected"));
-        }
-        for id in &self.false_alarms {
-            out.push((id.clone(), "not_affected"));
-        }
+        let affected: BTreeSet<&String> = self.detected.union(&self.missed).collect();
+        let mut out: Vec<(String, &'static str)> = affected
+            .iter()
+            .map(|id| ((*id).clone(), "affected"))
+            .collect();
+        out.extend(
+            self.false_alarms
+                .iter()
+                .filter(|id| !affected.contains(id))
+                .map(|id| (id.clone(), "not_affected")),
+        );
+        out.sort();
         out
     }
 
@@ -69,14 +81,24 @@ impl ImpactReport {
 /// (range text and missing versions cannot match — which is exactly how
 /// §V-D's dropped/verbatim versions turn into missed vulnerabilities).
 pub fn assess(db: &AdvisoryDb, sbom: &Sbom, truth: &[ResolvedPackage]) -> ImpactReport {
+    let eco = sbom_ecosystem(sbom).unwrap_or(sbomdiff_types::Ecosystem::Python);
+    assess_in(db, eco, sbom, truth)
+}
+
+/// [`assess`] with the ground-truth ecosystem stated explicitly instead of
+/// inferred from the SBOM's first component — required when the SBOM may
+/// be empty (a tool that dropped everything still has to be scored against
+/// the right language's install set).
+pub fn assess_in(
+    db: &AdvisoryDb,
+    eco: sbomdiff_types::Ecosystem,
+    sbom: &Sbom,
+    truth: &[ResolvedPackage],
+) -> ImpactReport {
     let mut report = ImpactReport::default();
     // What is really vulnerable: advisories over the installed set.
     for pkg in truth {
-        for adv in db.matching(
-            sbom_ecosystem(sbom).unwrap_or(sbomdiff_types::Ecosystem::Python),
-            &pkg.name,
-            &pkg.version,
-        ) {
+        for adv in db.matching(eco, &pkg.name, &pkg.version) {
             report.actual.insert(adv.id.clone());
         }
     }
@@ -113,18 +135,28 @@ fn sbom_ecosystem(sbom: &Sbom) -> Option<sbomdiff_types::Ecosystem> {
 mod tests {
     use super::*;
     use crate::advisory::{Advisory, Severity};
-    use sbomdiff_types::{Component, ConstraintFlavor, Ecosystem, ResolvedPackage, VersionReq};
+    use crate::osv::{OsvRange, RangeKind};
+    use sbomdiff_types::{Component, Ecosystem, ResolvedPackage};
+
+    fn advisory(id: &str, package: &str, fixed: &str) -> Advisory {
+        let fixed = Version::parse(fixed).unwrap();
+        Advisory {
+            id: id.into(),
+            ecosystem: Ecosystem::Python,
+            package: package.into(),
+            summary: format!("test advisory for {package}"),
+            ranges: vec![OsvRange::half_open(
+                RangeKind::Ecosystem,
+                None,
+                fixed.clone(),
+            )],
+            fixed_in: Some(fixed),
+            severity: Severity::High,
+        }
+    }
 
     fn db() -> AdvisoryDb {
-        let advisory = Advisory {
-            id: "SYN-2023-0001".into(),
-            ecosystem: Ecosystem::Python,
-            package: "numpy".into(),
-            affected: VersionReq::parse("<1.22.0", ConstraintFlavor::Pep440).unwrap(),
-            fixed_in: Some(Version::parse("1.22.0").unwrap()),
-            severity: Severity::High,
-        };
-        AdvisoryDb::from_advisories(vec![advisory])
+        AdvisoryDb::from_advisories(vec![advisory("SYN-2023-0001", "numpy", "1.22.0")])
     }
 
     #[test]
@@ -197,5 +229,88 @@ mod tests {
         assert!(report.actual.is_empty());
         assert_eq!(report.false_alarms.len(), 1);
         assert!(report.false_alarm_rate() > 0.99);
+    }
+
+    #[test]
+    fn assess_in_scores_empty_sboms_in_the_right_ecosystem() {
+        let mut go_adv = advisory("SYN-2023-0009", "github.com/stretchr/testify", "1.8.0");
+        go_adv.ecosystem = Ecosystem::Go;
+        let db = AdvisoryDb::from_advisories(vec![go_adv]);
+        let truth = vec![ResolvedPackage::direct(
+            "github.com/stretchr/testify",
+            Version::parse("1.7.0").unwrap(),
+        )];
+        let empty = Sbom::new("t", "1");
+        // Inference falls back to Python and sees nothing...
+        assert!(assess(&db, &empty, &truth).actual.is_empty());
+        // ...but the explicit ecosystem scores the miss.
+        let report = assess_in(&db, Ecosystem::Go, &empty, &truth);
+        assert_eq!(report.missed.len(), 1);
+    }
+
+    #[test]
+    fn vex_statements_deduplicate_merged_reports() {
+        // Repo A detects 0001; repo B misses it and falsely raises 0002;
+        // repo C really has 0002. Merged, the id sets overlap.
+        let mut merged = ImpactReport::default();
+        merged.detected.insert("SYN-2023-0001".into());
+        let mut b = ImpactReport::default();
+        b.missed.insert("SYN-2023-0001".into());
+        b.false_alarms.insert("SYN-2023-0002".into());
+        let mut c = ImpactReport::default();
+        c.detected.insert("SYN-2023-0002".into());
+        merged.merge(&b);
+        merged.merge(&c);
+        let statements = merged.to_vex_statements();
+        assert_eq!(
+            statements,
+            vec![
+                ("SYN-2023-0001".to_string(), "affected"),
+                ("SYN-2023-0002".to_string(), "affected"),
+            ],
+            "one statement per id; affected outranks not_affected"
+        );
+    }
+
+    #[test]
+    fn vex_statements_partition_single_assessments() {
+        let mut report = ImpactReport::default();
+        report.detected.insert("SYN-2023-0001".into());
+        report.missed.insert("SYN-2023-0002".into());
+        report.false_alarms.insert("SYN-2023-0003".into());
+        assert_eq!(
+            report.to_vex_statements(),
+            vec![
+                ("SYN-2023-0001".to_string(), "affected"),
+                ("SYN-2023-0002".to_string(), "affected"),
+                ("SYN-2023-0003".to_string(), "not_affected"),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = ImpactReport::default();
+        a.actual.insert("SYN-2023-0001".into());
+        a.detected.insert("SYN-2023-0001".into());
+        let mut b = ImpactReport::default();
+        b.actual.insert("SYN-2023-0002".into());
+        b.missed.insert("SYN-2023-0002".into());
+        b.false_alarms.insert("SYN-2023-0003".into());
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_again = ab.clone();
+        ab_again.merge(&b);
+        ab_again.merge(&ab);
+        assert_eq!(ab.actual, ab_again.actual, "merge is idempotent");
+        assert_eq!(ab.detected, ab_again.detected);
+        assert_eq!(ab.missed, ab_again.missed);
+        assert_eq!(ab.false_alarms, ab_again.false_alarms);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.actual, ba.actual, "merge is commutative");
+        assert_eq!(ab.to_vex_statements(), ba.to_vex_statements());
     }
 }

@@ -17,8 +17,14 @@
 //! * sbom-tool's marker-blind, latest-pinned entries produce **false
 //!   alarms** and version-shifted matches.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod advisory;
+pub mod enrich;
 pub mod impact;
+pub mod osv;
 
 pub use advisory::{Advisory, AdvisoryDb, Severity};
-pub use impact::{assess, ImpactReport};
+pub use enrich::{assess_cached, EnrichCache, EnrichStats};
+pub use impact::{assess, assess_in, ImpactReport};
+pub use osv::{db_to_osv_json, ingest_osv, OsvEvent, OsvRange, RangeKind};

@@ -1,0 +1,243 @@
+//! Corruption/fuzz suite for OSV advisory-feed ingestion.
+//!
+//! The feed loader takes arbitrary external bytes, so it must never
+//! panic and must classify every failure — envelope-level damage as one
+//! fatal [`Diagnostic`], per-advisory damage as skip diagnostics while
+//! the rest of the feed survives. This suite serializes generated
+//! databases via `db_to_osv_json` and mangles them: exhaustive-stride
+//! truncation, deterministic bit flips, invalid UTF-8 splices, plus the
+//! OSV-specific structural damage of duplicate and out-of-order range
+//! events.
+//!
+//! Deterministic by construction: fixed seeds, fixed iteration counts.
+//! `INGEST_FUZZ_BUDGET` scales the mutation count (CI smoke uses a
+//! reduced budget; the default exercises the full matrix).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sbomdiff_registry::Registries;
+use sbomdiff_types::{DiagClass, Version};
+use sbomdiff_vuln::{db_to_osv_json, ingest_osv, AdvisoryDb};
+
+/// Mutations per (document, corruption family). Override with
+/// `INGEST_FUZZ_BUDGET` for CI smoke runs.
+fn budget() -> usize {
+    std::env::var("INGEST_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// A feed worth corrupting: non-trivial, covers every range shape the
+/// generator emits (half-open, introduced-later, last_affected, multi-
+/// range reintroduction) across all nine ecosystems.
+fn valid_feed() -> (AdvisoryDb, String) {
+    let registries = Registries::generate(6);
+    let db = AdvisoryDb::generate(&registries, 42, 0.3);
+    assert!(
+        db.len() > 50,
+        "feed too small to be interesting: {}",
+        db.len()
+    );
+    let json = db_to_osv_json(&db);
+    (db, json)
+}
+
+/// Envelope-fatal classes `ingest_osv` is allowed to return.
+const FATAL_CLASSES: [DiagClass; 3] = [
+    DiagClass::EncodingError,
+    DiagClass::TruncatedInput,
+    DiagClass::MalformedFile,
+];
+
+/// Per-advisory skip classes.
+const SKIP_CLASSES: [DiagClass; 3] = [
+    DiagClass::MissingField,
+    DiagClass::InvalidVersion,
+    DiagClass::UnsupportedSyntax,
+];
+
+/// Ingests a mutant under a panic boundary and asserts the universal
+/// invariants: no panic, and every diagnostic — fatal or per-advisory —
+/// carries a known class and a non-empty message.
+fn probe(bytes: &[u8]) -> Result<(AdvisoryDb, usize), DiagClass> {
+    let result = catch_unwind(AssertUnwindSafe(|| ingest_osv(bytes)))
+        .unwrap_or_else(|_| panic!("ingest_osv panicked on {} mutated bytes", bytes.len()));
+    match result {
+        Ok((db, diagnostics)) => {
+            for diag in &diagnostics {
+                assert!(
+                    SKIP_CLASSES.contains(&diag.class),
+                    "unclassified skip diagnostic: {diag}"
+                );
+                assert!(!diag.message.is_empty());
+            }
+            Ok((db, diagnostics.len()))
+        }
+        Err(fatal) => {
+            assert!(
+                FATAL_CLASSES.contains(&fatal.class),
+                "unclassified fatal: {fatal}"
+            );
+            assert!(!fatal.message.is_empty());
+            Err(fatal.class)
+        }
+    }
+}
+
+#[test]
+fn clean_feed_round_trips_without_diagnostics() {
+    let (db, json) = valid_feed();
+    let (back, skipped) = probe(json.as_bytes()).expect("clean feed ingests");
+    assert_eq!(skipped, 0);
+    assert_eq!(back.len(), db.len());
+    assert_eq!(back.fingerprint(), db.fingerprint());
+}
+
+#[test]
+fn truncation_at_every_offset_never_panics() {
+    let (_, json) = valid_feed();
+    let bytes = json.as_bytes();
+    // Exhaustive for small feeds; stride keeps big ones bounded.
+    let stride = (bytes.len() / budget().max(1)).max(1);
+    for cut in (0..bytes.len()).step_by(stride) {
+        let _ = probe(&bytes[..cut]);
+    }
+    // The empty prefix is its own class: a truncated nothing.
+    assert_eq!(probe(b"").unwrap_err(), DiagClass::TruncatedInput);
+}
+
+#[test]
+fn bit_flips_are_classified_not_panics() {
+    let (_, json) = valid_feed();
+    let mut rng = StdRng::seed_from_u64(0x51FB17F5);
+    let mut survived = 0usize;
+    for _ in 0..budget() {
+        let mut bytes = json.clone().into_bytes();
+        let pos = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0..8u32);
+        bytes[pos] ^= 1 << bit;
+        if probe(&bytes).is_ok() {
+            survived += 1;
+        }
+    }
+    // Most single-bit flips land inside string payloads and the feed
+    // still ingests (possibly with skips) — the suite must exercise
+    // both the fatal and the survive path.
+    assert!(survived > 0, "no flipped feed survived ingestion");
+}
+
+#[test]
+fn invalid_utf8_yields_encoding_diagnostics() {
+    let (_, json) = valid_feed();
+    let mut rng = StdRng::seed_from_u64(0x0FF_BEEF);
+    let mut saw_encoding_error = false;
+    for _ in 0..budget() {
+        let mut bytes = json.clone().into_bytes();
+        let pos = rng.gen_range(0..bytes.len());
+        // Lone continuation bytes, overlong starts, and 0xFF are all
+        // invalid in UTF-8.
+        bytes[pos] = [0x80, 0xC0, 0xF8, 0xFFu8][rng.gen_range(0..4)];
+        if probe(&bytes).err() == Some(DiagClass::EncodingError) {
+            saw_encoding_error = true;
+        }
+    }
+    assert!(
+        saw_encoding_error,
+        "no mutant was classified as an encoding error"
+    );
+}
+
+/// Duplicating an event inside one advisory's range must skip exactly
+/// that advisory — with a classified diagnostic naming the damage — and
+/// leave the rest of the feed intact.
+#[test]
+fn duplicate_events_skip_only_the_damaged_advisory() {
+    let (db, _) = valid_feed();
+    let victims = [0usize, db.len() / 2, db.len() - 1];
+    for victim in victims {
+        let mut advisories = db.advisories().to_vec();
+        let first = advisories[victim].ranges[0].events[0].clone();
+        advisories[victim].ranges[0].events.push(first);
+        let damaged_id = advisories[victim].id.clone();
+        let json = db_to_osv_json(&AdvisoryDb::from_advisories(advisories));
+
+        let result = catch_unwind(AssertUnwindSafe(|| ingest_osv(json.as_bytes())))
+            .expect("no panic on duplicate events");
+        let (back, diagnostics) = result.expect("envelope is still well-formed");
+        assert_eq!(back.len(), db.len() - 1, "only the victim is dropped");
+        assert!(back.by_id(&damaged_id).is_none());
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].class, DiagClass::UnsupportedSyntax);
+        assert!(
+            diagnostics[0].message.contains("duplicate"),
+            "diagnostic names the damage: {}",
+            diagnostics[0].message
+        );
+    }
+}
+
+/// Out-of-order events are *legal* OSV: evaluation sorts, so a feed with
+/// every event list reversed must ingest cleanly and match identically.
+#[test]
+fn out_of_order_events_ingest_and_match_identically() {
+    let (db, _) = valid_feed();
+    let mut advisories = db.advisories().to_vec();
+    for advisory in &mut advisories {
+        for range in &mut advisory.ranges {
+            range.events.reverse();
+        }
+    }
+    let json = db_to_osv_json(&AdvisoryDb::from_advisories(advisories));
+    let (back, skipped) = probe(json.as_bytes()).expect("reversed events ingest");
+    assert_eq!(skipped, 0);
+    assert_eq!(back.len(), db.len());
+    for probe_text in ["0.1.0", "1.4.0", "2.0.0", "3.9.9"] {
+        let v = Version::parse(probe_text).unwrap();
+        for original in db.advisories() {
+            let reversed = back.by_id(&original.id).expect("advisory survived");
+            assert_eq!(
+                original.affects(&v),
+                reversed.affects(&v),
+                "{} diverges at {probe_text} after event reversal",
+                original.id
+            );
+        }
+    }
+}
+
+/// Random segment deletion/splice/duplication at the byte level: the
+/// catch-all family for structural JSON damage.
+#[test]
+fn splice_and_delete_mutations_keep_all_invariants() {
+    let (_, json) = valid_feed();
+    let mut rng = StdRng::seed_from_u64(0x5EED05F0);
+    for _ in 0..budget() {
+        let mut bytes = json.clone().into_bytes();
+        match rng.gen_range(0..3u32) {
+            // Delete a random segment.
+            0 => {
+                let start = rng.gen_range(0..bytes.len());
+                let len = rng.gen_range(0..=(bytes.len() - start).min(48));
+                bytes.drain(start..start + len);
+            }
+            // Splice random bytes in.
+            1 => {
+                let at = rng.gen_range(0..=bytes.len());
+                let insert: Vec<u8> = (0..rng.gen_range(1..16usize))
+                    .map(|_| rng.gen_range(0..=255u8))
+                    .collect();
+                bytes.splice(at..at, insert);
+            }
+            // Duplicate a segment (duplicate keys, repeated clauses).
+            _ => {
+                let start = rng.gen_range(0..bytes.len());
+                let len = (bytes.len() - start).min(32);
+                let segment: Vec<u8> = bytes[start..start + len].to_vec();
+                bytes.splice(start..start, segment);
+            }
+        }
+        let _ = probe(&bytes);
+    }
+}
