@@ -1,0 +1,86 @@
+//! Benchmarks of the NTIA-minimum quality scorer (DESIGN.md §20) over the
+//! synthetic corpus: per-document `evaluate` on emulator output (sparse
+//! fields, fast failure paths) and on best-practice output (every check
+//! passes, the full-walk worst case), plus the checklist over a single
+//! large document.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sbomdiff_corpus::{Corpus, CorpusConfig};
+use sbomdiff_generators::{BestPracticeGenerator, SbomGenerator, ToolEmulator};
+use sbomdiff_quality::evaluate;
+use sbomdiff_registry::Registries;
+use sbomdiff_types::{Component, Ecosystem, Sbom};
+
+/// Emulator and best-practice documents for every repo of a small
+/// multi-language corpus — the same population `experiments quality`
+/// scores.
+fn corpus_documents() -> (Vec<Sbom>, Vec<Sbom>) {
+    let regs = Registries::generate(99);
+    let config = CorpusConfig {
+        repos_per_language: 4,
+        seed: 99,
+    };
+    let syft = ToolEmulator::syft();
+    let best = BestPracticeGenerator::new(&regs);
+    let mut sparse = Vec::new();
+    let mut full = Vec::new();
+    for eco in [
+        Ecosystem::Python,
+        Ecosystem::JavaScript,
+        Ecosystem::Go,
+        Ecosystem::Rust,
+    ] {
+        for repo in Corpus::build_language(&regs, &config, eco) {
+            sparse.push(syft.generate(&repo));
+            full.push(best.generate(&repo));
+        }
+    }
+    (sparse, full)
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let (sparse, full) = corpus_documents();
+    let components: u64 = full.iter().map(|s| s.len() as u64).sum();
+    let mut group = c.benchmark_group("quality_corpus");
+    group.throughput(Throughput::Elements(components));
+    group.bench_function("evaluate_emulator_docs", |b| {
+        b.iter(|| {
+            sparse
+                .iter()
+                .map(|s| evaluate(black_box(s)).score())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("evaluate_best_practice_docs", |b| {
+        b.iter(|| {
+            full.iter()
+                .map(|s| evaluate(black_box(s)).score())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_large_document(c: &mut Criterion) {
+    // One wide document: the per-component loop dominates, so this is the
+    // /v1/analyze marginal cost of `"quality": true` on a big scan.
+    const N: usize = 10_000;
+    let mut sbom = Sbom::new("bench-tool", "1.0")
+        .with_subject("bench-repo")
+        .with_timestamp("2024-06-24T00:00:00Z");
+    for i in 0..N {
+        let mut comp = Component::new(Ecosystem::Python, format!("pkg-{i}"), Some("1.0.0".into()));
+        comp.supplier = Some(format!("pypi:pkg-{i}").into());
+        sbom.push(comp);
+    }
+    let mut group = c.benchmark_group("quality_large_doc");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("evaluate_10k_components", |b| {
+        b.iter(|| evaluate(black_box(&sbom)).score())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_large_document);
+criterion_main!(benches);

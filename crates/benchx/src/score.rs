@@ -1,5 +1,6 @@
 //! Scoring harness: grades a generator's output against a case's ground
-//! truth — name-level completeness and version-level accuracy.
+//! truth — name-level completeness, version-level accuracy, and the
+//! NTIA-minimum field-checklist quality of the produced document.
 
 use sbomdiff_generators::SbomGenerator;
 use sbomdiff_types::name::normalize;
@@ -19,6 +20,10 @@ pub struct CaseScore {
     pub versions_correct: usize,
     /// Total pinned ground-truth entries.
     pub versions_total: usize,
+    /// Weighted NTIA-minimum checklist score (0–100) of the document the
+    /// generator produced for this case — completeness of *fields*, not of
+    /// packages, so a tool can find everything and still score low here.
+    pub quality: f64,
 }
 
 impl CaseScore {
@@ -59,6 +64,14 @@ impl BenchmarkScore {
     /// Number of cases fully passed.
     pub fn perfect_cases(&self) -> usize {
         self.cases.iter().filter(|c| c.is_perfect()).count()
+    }
+
+    /// Mean weighted checklist quality (0–100) across all cases.
+    pub fn mean_quality(&self) -> f64 {
+        if self.cases.is_empty() {
+            return 0.0;
+        }
+        self.cases.iter().map(|c| c.quality).sum::<f64>() / self.cases.len() as f64
     }
 }
 
@@ -112,6 +125,7 @@ pub fn score_case<G: SbomGenerator + ?Sized>(generator: &G, case: &BenchmarkCase
         names_total: case.ground_truth.len(),
         versions_correct,
         versions_total,
+        quality: sbomdiff_quality::evaluate(&sbom).score(),
     }
 }
 
@@ -171,5 +185,34 @@ mod tests {
         let score = score_generator(&ToolEmulator::trivy(), &[]);
         assert_eq!(score.name_recall(), 0.0);
         assert_eq!(score.version_accuracy(), 0.0);
+        assert_eq!(score.mean_quality(), 0.0);
+    }
+
+    #[test]
+    fn best_practice_beats_emulators_on_quality() {
+        use sbomdiff_generators::BestPracticeGenerator;
+        use sbomdiff_registry::Registries;
+        let cases = cases::all_cases();
+        let registries = Registries::generate(42);
+        let best = score_generator(&BestPracticeGenerator::new(&registries), &cases);
+        assert!(
+            (0.0..=100.0).contains(&best.mean_quality()),
+            "{}",
+            best.mean_quality()
+        );
+        for emulator in [
+            ToolEmulator::trivy(),
+            ToolEmulator::syft(),
+            ToolEmulator::github_dg(),
+        ] {
+            let score = score_generator(&emulator, &cases);
+            assert!(
+                best.mean_quality() > score.mean_quality(),
+                "best-practice ({}) must beat {:?} ({})",
+                best.mean_quality(),
+                emulator.id(),
+                score.mean_quality()
+            );
+        }
     }
 }

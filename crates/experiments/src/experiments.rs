@@ -1136,6 +1136,131 @@ pub fn vulnimpact(ctx: &Context) {
     ctx.write("vulnimpact.csv", &table.to_csv());
 }
 
+/// Profile labels of the quality scorecard, in scoring order: the four
+/// studied tools (matching [`TOOL_ORDER`]) plus the best-practice design.
+pub const QUALITY_PROFILES: [&str; 5] = ["trivy", "syft", "sbom-tool", "github-dg", "best-practice"];
+
+/// SBOM quality/completeness scorecard (ROADMAP item 5): every document of
+/// every emulator profile plus the best-practice generator is scored
+/// against the NTIA-minimum field checklist ([`sbomdiff_quality`]), and
+/// the per-check means roll up per `(language, profile)` into
+/// `quality_completeness.csv`. Metadata-based emulators cannot populate
+/// supplier or timestamp at all and frequently miss concrete versions, so
+/// the best-practice profile scores strictly highest on the weighted total
+/// — the property the quality integration test pins.
+pub fn quality(ctx: &Context) {
+    use sbomdiff_quality::{evaluate, QualityCheck};
+    println!(
+        "\n================ SBOM quality/completeness (NTIA-minimum checklist) ================"
+    );
+    let best = BestPracticeGenerator::new(&ctx.registries);
+    let check_cols = QualityCheck::ALL
+        .map(|c| c.label().replace('-', "_"))
+        .join(",");
+    let mut csv = format!("language,profile,documents,components,{check_cols},total\n");
+    let mut table = TextTable::new([
+        "Language",
+        "Profile",
+        "supplier",
+        "version",
+        "unique-id",
+        "timestamp",
+        "total",
+    ]);
+    // [check 0..7, weighted total] per profile, summed over languages.
+    let mut grand = [[0.0f64; 8]; 5];
+    let mut grand_n = 0usize;
+    for eco in Ecosystem::ALL {
+        let repos = ctx.corpus.language(eco);
+        let sboms = ctx.sboms(eco);
+        // Per repository: every profile's per-check scores + weighted
+        // total, plus its component count. One work item per repo keeps
+        // the fan-out deterministic for any worker count.
+        let rows = ctx.phase(
+            &format!("quality {eco}"),
+            repos.len() as u64 * QUALITY_PROFILES.len() as u64,
+            || {
+                par_map(ctx.jobs(), repos, |idx, repo| {
+                    let mut cells = [[0.0f64; 8]; 5];
+                    let mut comps = [0usize; 5];
+                    for (i, cell) in cells.iter_mut().enumerate() {
+                        let report = if i < 4 {
+                            evaluate(&sboms[idx][i])
+                        } else {
+                            evaluate(&best.generate(repo))
+                        };
+                        for (j, check) in QualityCheck::ALL.iter().enumerate() {
+                            cell[j] = report.check(*check).score();
+                        }
+                        cell[7] = report.score();
+                        comps[i] = report.components as usize;
+                    }
+                    (cells, comps)
+                })
+            },
+        );
+        let n = rows.len().max(1) as f64;
+        grand_n += rows.len();
+        for (p, profile) in QUALITY_PROFILES.iter().enumerate() {
+            let mut means = [0.0f64; 8];
+            let mut comps = 0usize;
+            for (cells, c) in &rows {
+                for (acc, v) in means.iter_mut().zip(cells[p]) {
+                    *acc += v;
+                }
+                comps += c[p];
+            }
+            for m in &mut means {
+                *m /= n;
+            }
+            for (acc, m) in grand[p].iter_mut().zip(means) {
+                *acc += m * rows.len() as f64;
+            }
+            let mean_cols: Vec<String> = means.iter().map(|m| format!("{m:.2}")).collect();
+            csv.push_str(&format!(
+                "{},{profile},{},{comps},{}\n",
+                eco.label(),
+                rows.len(),
+                mean_cols.join(",")
+            ));
+            table.row([
+                eco.label().to_string(),
+                profile.to_string(),
+                format!("{:.1}", means[0]),
+                format!("{:.1}", means[2]),
+                format!("{:.1}", means[3]),
+                format!("{:.1}", means[6]),
+                format!("{:.1}", means[7]),
+            ]);
+        }
+    }
+    println!("{table}");
+    let n = grand_n.max(1) as f64;
+    for row in &mut grand {
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    let best_total = grand[4][7];
+    let runner_up = grand[..4].iter().map(|r| r[7]).fold(f64::MIN, f64::max);
+    println!(
+        "corpus-wide weighted totals: {}",
+        QUALITY_PROFILES
+            .iter()
+            .zip(&grand)
+            .map(|(p, r)| format!("{p} {:.1}", r[7]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "best-practice strictly highest: {} ({best_total:.1} vs runner-up {runner_up:.1})",
+        if best_total > runner_up { "yes" } else { "NO" }
+    );
+    println!("(per-component checks score passed/total×100 per document; supplier and");
+    println!(" timestamp are the NTIA fields metadata-based generators cannot populate)");
+    ctx.write("quality_completeness.csv", &csv);
+}
+
 /// Jaccard over advisory-id sets; two empty sets agree perfectly.
 fn set_jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {

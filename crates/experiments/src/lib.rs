@@ -9,6 +9,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    ablate, benchscore, fig1, fig2, matching, ranking, stability, stats, table1, table2, table3,
-    table4, vulnimpact, Config, Context, PAPER_LANGUAGE_COUNTS, SBOM_TOOL_FAILURE_RATE,
+    ablate, benchscore, fig1, fig2, matching, quality, ranking, stability, stats, table1, table2,
+    table3, table4, vulnimpact, Config, Context, PAPER_LANGUAGE_COUNTS, SBOM_TOOL_FAILURE_RATE,
 };

@@ -23,7 +23,8 @@ USAGE:
 
 COMMANDS:
     fig1 fig2 table1 table2 table3 table4 stats benchscore
-    diagnostics ablate ranking vulnimpact vuln stability matching all (default)
+    diagnostics ablate ranking vulnimpact vuln quality stability matching
+    all (default)
 
 OPTIONS:
     --repos <N>        synthetic repositories per language
@@ -117,6 +118,7 @@ fn main() {
         "ranking" => experiments::ranking(&ctx),
         "vulnimpact" => experiments::vulnimpact(&ctx),
         "vuln" => experiments::vuln(&ctx),
+        "quality" => experiments::quality(&ctx),
         "stability" => experiments::stability(&ctx),
         "matching" => experiments::matching(&ctx),
         "all" => {
@@ -133,11 +135,12 @@ fn main() {
             experiments::ranking(&ctx);
             experiments::vulnimpact(&ctx);
             experiments::vuln(&ctx);
+            experiments::quality(&ctx);
             experiments::matching(&ctx);
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact vuln stability matching all");
+            eprintln!("commands: fig1 fig2 table1 table2 table3 table4 stats benchscore diagnostics ablate ranking vulnimpact vuln quality stability matching all");
             std::process::exit(2);
         }
     }

@@ -16,7 +16,8 @@ fn out_dir(tag: &str) -> PathBuf {
 
 /// Runs fig1 + fig2 + table1 (all three consume the parallel
 /// `(repository × tool)` SBOM matrix) plus the vuln divergence experiment
-/// (which adds the advisory/enrichment path) and returns every CSV
+/// (which adds the advisory/enrichment path) and the quality scorecard
+/// (which adds the checklist-scoring path), and returns every CSV
 /// artifact.
 fn run(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     let out = out_dir(tag);
@@ -33,6 +34,7 @@ fn run(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     experiments::fig2(&ctx);
     experiments::table1(&ctx);
     experiments::vuln(&ctx);
+    experiments::quality(&ctx);
     let mut artifacts = BTreeMap::new();
     for entry in std::fs::read_dir(&out).expect("output dir") {
         let entry = entry.expect("dir entry");

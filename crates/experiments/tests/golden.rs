@@ -76,3 +76,8 @@ fn fig1_summary_matches_golden() {
 fn vuln_divergence_matches_golden() {
     check_against_golden("vuln_divergence.csv", experiments::vuln);
 }
+
+#[test]
+fn quality_completeness_matches_golden() {
+    check_against_golden("quality_completeness.csv", experiments::quality);
+}

@@ -1,0 +1,77 @@
+//! Integration test for the quality scorecard: on a small corpus the
+//! best-practice generator must score strictly highest on the weighted
+//! total in *every* language — the emulator profiles cannot populate
+//! supplier or timestamp at all, so the gap is structural, not a property
+//! of one lucky seed.
+
+use std::path::PathBuf;
+
+use sbomdiff_experiments::{experiments, Config, Context};
+
+fn out_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("sbomdiff-quality-scores-{}", std::process::id()))
+}
+
+#[test]
+fn best_practice_scores_strictly_highest_everywhere() {
+    let out = out_dir();
+    let _ = std::fs::remove_dir_all(&out);
+    let config = Config {
+        repos_per_language: 5,
+        paper_weights: false,
+        seed: 77,
+        out_dir: out.to_string_lossy().into_owned(),
+        jobs: 0,
+    };
+    let ctx = Context::prepare(&config);
+    experiments::quality(&ctx);
+    let csv = std::fs::read_to_string(out.join("quality_completeness.csv"))
+        .expect("quality experiment wrote quality_completeness.csv");
+    let _ = std::fs::remove_dir_all(&out);
+
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header row");
+    assert!(
+        header.starts_with("language,profile,documents,components,"),
+        "unexpected header {header:?}"
+    );
+    assert!(header.ends_with(",total"), "unexpected header {header:?}");
+
+    // language -> (profile -> weighted total)
+    let mut per_language: std::collections::BTreeMap<String, Vec<(String, f64)>> =
+        std::collections::BTreeMap::new();
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        let total: f64 = cells
+            .last()
+            .expect("total column")
+            .parse()
+            .expect("total parses");
+        per_language
+            .entry(cells[0].to_string())
+            .or_default()
+            .push((cells[1].to_string(), total));
+    }
+    assert_eq!(per_language.len(), 9, "one block per corpus language");
+    for (language, rows) in &per_language {
+        let profiles: Vec<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            profiles,
+            experiments::QUALITY_PROFILES.to_vec(),
+            "{language}: profile rows in scoring order"
+        );
+        let best = rows
+            .iter()
+            .find(|(p, _)| p == "best-practice")
+            .expect("best-practice row")
+            .1;
+        for (profile, total) in rows {
+            if profile != "best-practice" {
+                assert!(
+                    best > *total,
+                    "{language}: best-practice ({best}) must beat {profile} ({total})"
+                );
+            }
+        }
+    }
+}

@@ -64,6 +64,8 @@ pub mod sites {
     pub const VULN_LOOKUP: &str = "vuln.lookup";
     /// Enrichment-cache fill for one `(ecosystem, package)` key.
     pub const VULN_ENRICH: &str = "vuln.enrich";
+    /// Per-document quality scoring in opt-in `/v1/analyze` requests.
+    pub const QUALITY_SCORE: &str = "quality.score";
 
     /// Every site the workspace instruments.
     pub const ALL: &[&str] = &[
@@ -78,6 +80,7 @@ pub mod sites {
         INGEST_DOC,
         VULN_LOOKUP,
         VULN_ENRICH,
+        QUALITY_SCORE,
     ];
 
     /// Sites where an injected panic is guaranteed to land under a

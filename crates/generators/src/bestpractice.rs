@@ -10,6 +10,9 @@
 //!   vulnerability-database compatibility.
 //! * **Duplicate merging** within a project, and a dependency-scope
 //!   annotation (the field §V-F finds missing from SBOM formats).
+//! * **NTIA minimum elements on every component and the document**:
+//!   supplier, unique IDs, and a creation timestamp (deterministic, so
+//!   identical inputs still produce byte-identical documents).
 
 use std::collections::BTreeMap;
 
@@ -23,6 +26,12 @@ use sbomdiff_resolver::{dry_run, engine, Platform};
 use sbomdiff_types::{Component, Cpe, DepScope, DiagClass, Diagnostic, Ecosystem, Purl, Sbom};
 
 use crate::{SbomGenerator, ToolId};
+
+/// Fixed document-creation timestamp of the reference generator. Real
+/// tools stamp the wall clock; the reference design derives document
+/// identity from its inputs alone, so the timestamp is a constant —
+/// present for NTIA completeness, harmless for reproducibility.
+pub const REFERENCE_TIMESTAMP: &str = "2024-06-24T00:00:00Z";
 
 /// The best-practice reference generator.
 pub struct BestPracticeGenerator<'r> {
@@ -72,7 +81,8 @@ impl BestPracticeGenerator<'_> {
         parse: &dyn Fn(&str, MetadataKind) -> std::sync::Arc<Parsed>,
     ) -> Sbom {
         let mut sbom = Sbom::new(ToolId::BestPractice.label(), ToolId::BestPractice.version())
-            .with_subject(repo.name());
+            .with_subject(repo.name())
+            .with_timestamp(REFERENCE_TIMESTAMP);
         // Group metadata files by (directory, ecosystem): one "project".
         let mut projects: BTreeMap<(String, Ecosystem), Vec<(String, MetadataKind)>> =
             BTreeMap::new();
@@ -195,12 +205,17 @@ fn push_component(
     }
     let purl = Purl::for_package(eco, name, version.as_deref());
     let cpe = Cpe::for_package(eco, name, version.as_deref().unwrap_or("*"));
+    // Supplier per NTIA: the publishing party. Registry metadata in this
+    // synthetic setting only knows the project itself, so the supplier is
+    // derived from the PURL type + name — deterministic and non-empty.
+    let supplier = format!("{}:{}", purl.ptype(), name);
     sbom.push(
         Component::new(eco, name, version)
             .with_found_in(path)
             .with_scope(scope)
             .with_purl(purl)
-            .with_cpe(cpe),
+            .with_cpe(cpe)
+            .with_supplier(supplier),
     );
 }
 
@@ -297,7 +312,12 @@ mod tests {
             assert!(c.cpe.is_some(), "every component carries a CPE");
             assert!(c.version.is_some(), "every component is pinned");
             assert!(c.scope.is_some(), "scope annotation present");
+            assert!(
+                c.supplier.as_deref().is_some_and(|s| !s.is_empty()),
+                "supplier present (NTIA minimum)"
+            );
         }
+        assert_eq!(sbom.meta.timestamp.as_deref(), Some(REFERENCE_TIMESTAMP));
     }
 
     #[test]

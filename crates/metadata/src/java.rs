@@ -220,16 +220,32 @@ pub fn parse_manifest_mf(text: &str) -> Parsed {
 }
 
 /// Parses `pom.properties` (groupId/artifactId/version triple).
+///
+/// Broken `\uXXXX` escapes (lone surrogates, short hex runs) degrade to
+/// U+FFFD in the parsed values and surface here as classified
+/// `EncodingError` diagnostics rather than corrupting the component name.
 pub fn parse_pom_properties(text: &str) -> Parsed {
-    let pairs = properties::parse_properties(text);
+    let parse = properties::parse_properties_full(text);
+    let pairs = parse.pairs;
+    let mut diags = Vec::new();
+    for issue in &parse.issues {
+        diags.push(Diagnostic::new(
+            DiagClass::EncodingError,
+            format!("pom.properties line {}: {}", issue.line, issue.message),
+        ));
+    }
     let (Some(g), Some(a)) = (
         properties::get(&pairs, "groupId"),
         properties::get(&pairs, "artifactId"),
     ) else {
-        return Parsed::fail(Diagnostic::new(
+        let mut out = Parsed::fail(Diagnostic::new(
             DiagClass::MissingField,
             "pom.properties without groupId/artifactId",
         ));
+        for d in diags {
+            out.push_diag(d);
+        }
+        return out;
     };
     let version = properties::get(&pairs, "version");
     let req = version
@@ -237,7 +253,11 @@ pub fn parse_pom_properties(text: &str) -> Parsed {
         .map(VersionReq::exact);
     let mut dep = DeclaredDependency::new(Ecosystem::Java, format!("{g}:{a}"), req);
     dep.req_text = version.unwrap_or_default().to_string();
-    Parsed::ok(vec![dep])
+    let mut out = Parsed::ok(vec![dep]);
+    for d in diags {
+        out.push_diag(d);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -370,5 +390,30 @@ mod tests {
         assert_eq!(p.diags[0].class, DiagClass::MissingField);
         let p = parse_pom_properties("flavor=vanilla");
         assert_eq!(p.diags[0].class, DiagClass::MissingField);
+    }
+
+    #[test]
+    fn pom_properties_lone_surrogate_degrades_with_encoding_diagnostic() {
+        // A lone high surrogate in the artifactId becomes U+FFFD and the
+        // component is still reported, alongside an EncodingError diagnostic.
+        let p = parse_pom_properties(
+            "groupId=org.example\nartifactId=lib\\ud83d\nversion=1.0.0\n",
+        );
+        assert_eq!(p.deps.len(), 1);
+        assert_eq!(p.deps[0].name.raw(), "org.example:lib\u{FFFD}");
+        assert_eq!(p.diags.len(), 1);
+        assert_eq!(p.diags[0].class, DiagClass::EncodingError);
+        assert!(p.diags[0].message.contains("line 2"), "{}", p.diags[0].message);
+        // A valid surrogate pair decodes cleanly: no diagnostic.
+        let p = parse_pom_properties(
+            "groupId=org.example\nartifactId=lib\\ud83d\\ude00\nversion=1.0.0\n",
+        );
+        assert_eq!(p.deps[0].name.raw(), "org.example:lib\u{1F600}");
+        assert!(p.diags.is_empty());
+        // The diagnostic also survives the missing-field failure path.
+        let p = parse_pom_properties("flavor=\\ude00\n");
+        assert!(p.deps.is_empty());
+        assert_eq!(p.diags[0].class, DiagClass::MissingField);
+        assert_eq!(p.diags[1].class, DiagClass::EncodingError);
     }
 }

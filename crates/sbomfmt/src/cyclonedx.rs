@@ -18,6 +18,7 @@ pub(crate) struct RawCdxComponent {
     pub(crate) version: Option<String>,
     pub(crate) purl: Option<String>,
     pub(crate) cpe: Option<String>,
+    pub(crate) publisher: Option<String>,
     /// `properties` entries with string name *and* value, document order.
     pub(crate) properties: Vec<(String, String)>,
 }
@@ -49,6 +50,7 @@ impl RawCdxComponent {
         c.purl = purl;
         c.cpe = cpe;
         c.scope = scope;
+        c.supplier = self.publisher.filter(|p| !p.is_empty()).map(Into::into);
         Some(c)
     }
 }
@@ -73,6 +75,9 @@ pub fn to_value(sbom: &Sbom) -> Value {
     tool.set("name", Value::from(sbom.meta.tool_name.clone()));
     tool.set("version", Value::from(sbom.meta.tool_version.clone()));
     metadata.set("tools", Value::Array(vec![tool]));
+    if let Some(ts) = &sbom.meta.timestamp {
+        metadata.set("timestamp", Value::from(ts.clone()));
+    }
     if !sbom.meta.subject.is_empty() {
         let mut subject = Value::object();
         subject.set("type", Value::from("application"));
@@ -122,6 +127,9 @@ fn component_to_value(c: &Component) -> Value {
     }
     if let Some(cpe) = &c.cpe {
         out.set("cpe", Value::from(cpe.to_string()));
+    }
+    if let Some(s) = &c.supplier {
+        out.set("publisher", Value::from(s.as_str()));
     }
     let mut props = vec![prop(PROP_ECOSYSTEM, c.ecosystem.label())];
     if !c.found_in.is_empty() {
@@ -176,6 +184,10 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
         .unwrap_or("")
         .to_string();
     let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+    sbom.meta.timestamp = doc
+        .pointer("metadata/timestamp")
+        .and_then(Value::as_str)
+        .map(str::to_string);
     if let Some(components) = doc.get("components").and_then(Value::as_array) {
         for comp in components {
             let mut raw = RawCdxComponent {
@@ -186,6 +198,10 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                     .map(str::to_string),
                 purl: comp.get("purl").and_then(Value::as_str).map(str::to_string),
                 cpe: comp.get("cpe").and_then(Value::as_str).map(str::to_string),
+                publisher: comp
+                    .get("publisher")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
                 properties: Vec::new(),
             };
             if let Some(props) = comp.get("properties").and_then(Value::as_array) {
@@ -231,7 +247,9 @@ mod tests {
     use sbomdiff_types::DepScope;
 
     fn sample() -> Sbom {
-        let mut sbom = Sbom::new("syft", "0.84.1").with_subject("demo-repo");
+        let mut sbom = Sbom::new("syft", "0.84.1")
+            .with_subject("demo-repo")
+            .with_timestamp("2024-06-24T00:00:00Z");
         sbom.push(
             Component::new(Ecosystem::Python, "requests", Some("2.31.0".into()))
                 .with_found_in("requirements.txt")
@@ -241,7 +259,8 @@ mod tests {
                     "requests",
                     Some("2.31.0"),
                 ))
-                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0")),
+                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0"))
+                .with_supplier("pypi:requests"),
         );
         sbom.push(Component::new(Ecosystem::Go, "github.com/a/b", None));
         sbom
@@ -260,8 +279,14 @@ mod tests {
         assert_eq!(back.components()[0].scope, Some(DepScope::Runtime));
         assert!(back.components()[0].purl.is_some());
         assert!(back.components()[0].cpe.is_some());
+        assert_eq!(
+            back.components()[0].supplier.as_deref(),
+            Some("pypi:requests")
+        );
         assert_eq!(back.components()[1].ecosystem, Ecosystem::Go);
         assert_eq!(back.components()[1].version, None);
+        assert_eq!(back.components()[1].supplier, None);
+        assert_eq!(back.meta.timestamp.as_deref(), Some("2024-06-24T00:00:00Z"));
     }
 
     #[test]

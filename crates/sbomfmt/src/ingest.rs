@@ -232,6 +232,8 @@ struct DocFields {
     tool_name: Option<String>,
     tool_version: Option<String>,
     subject: Option<String>,
+    /// CycloneDX `metadata.timestamp` or SPDX `creationInfo.created`.
+    timestamp: Option<String>,
     components: Vec<Component>,
     dependency_edges: u64,
 }
@@ -259,6 +261,7 @@ fn ingest_json<R: Read>(
             fields.tool_version.unwrap_or_default(),
         )
         .with_subject(fields.subject.unwrap_or_default());
+        sbom.meta.timestamp = fields.timestamp;
         if let Some(v) = &fields.spec_version {
             if !SUPPORTED_CDX.contains(&v.as_str()) {
                 sbom.push_diagnostic(spec_warning("CycloneDX specVersion", v));
@@ -278,6 +281,7 @@ fn ingest_json<R: Read>(
         let (tool_name, tool_version) = creator_tool(fields.creator.as_deref().unwrap_or(""));
         let subject = subject_from_doc_name(fields.doc_name.as_deref().unwrap_or(""), &tool_name);
         let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+        sbom.meta.timestamp = fields.timestamp;
         if let Some(v) = &fields.spdx_version {
             if !SUPPORTED_SPDX.contains(&v.as_str()) {
                 sbom.push_diagnostic(spec_warning("spdxVersion", v));
@@ -430,6 +434,7 @@ fn parse_metadata<R: Read>(
                 match k.as_str() {
                     "tools" => parse_tools(js, fields)?,
                     "component" => parse_subject(js, fields)?,
+                    "timestamp" => fields.timestamp = str_value(js)?,
                     _ => skip_value(js)?,
                 }
             }
@@ -558,7 +563,9 @@ fn parse_creation_info<R: Read>(
                     skip_value(js)?;
                     continue;
                 }
-                if k == "creators" {
+                if k == "created" {
+                    fields.timestamp = str_value(js)?;
+                } else if k == "creators" {
                     match must_event(js)? {
                         JsonEvent::ArrayStart => {
                             let mut idx = 0usize;
@@ -618,6 +625,7 @@ fn parse_cdx_components<R: Read>(
                                 "version" => raw.version = str_value(js)?,
                                 "purl" => raw.purl = str_value(js)?,
                                 "cpe" => raw.cpe = str_value(js)?,
+                                "publisher" => raw.publisher = str_value(js)?,
                                 "properties" => parse_cdx_properties(js, &mut raw)?,
                                 _ => skip_value(js)?,
                             }
@@ -706,6 +714,7 @@ fn parse_spdx_packages<R: Read>(
                                 "name" => raw.name = str_value(js)?,
                                 "versionInfo" => raw.version = str_value(js)?,
                                 "sourceInfo" => raw.source_info = str_value(js)?,
+                                "supplier" => raw.supplier = str_value(js)?,
                                 "externalRefs" => parse_spdx_refs(js, &mut raw)?,
                                 _ => skip_value(js)?,
                             }
@@ -918,7 +927,9 @@ mod tests {
     use sbomdiff_types::{Cpe, DepScope, Ecosystem, Purl};
 
     fn sample(tool: &str) -> Sbom {
-        let mut sbom = Sbom::new(tool, "9.9.1").with_subject("demo-repo");
+        let mut sbom = Sbom::new(tool, "9.9.1")
+            .with_subject("demo-repo")
+            .with_timestamp("2024-06-24T00:00:00Z");
         sbom.push(
             Component::new(Ecosystem::Python, "requests", Some("2.31.0".into()))
                 .with_found_in("requirements.txt")
@@ -928,7 +939,8 @@ mod tests {
                     "requests",
                     Some("2.31.0"),
                 ))
-                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0")),
+                .with_cpe(Cpe::for_package(Ecosystem::Python, "requests", "2.31.0"))
+                .with_supplier("pypi:requests"),
         );
         sbom.push(Component::new(Ecosystem::Go, "github.com/a/b", None));
         sbom
@@ -950,6 +962,11 @@ mod tests {
             assert_eq!(out.sbom.meta.tool_name, "syft");
             assert_eq!(out.sbom.meta.tool_version, "9.9.1");
             assert_eq!(out.sbom.meta.subject, "demo-repo");
+            assert_eq!(
+                out.sbom.meta.timestamp.as_deref(),
+                Some("2024-06-24T00:00:00Z"),
+                "{format:?}"
+            );
             assert_eq!(out.stats.components, 2);
             assert_eq!(out.stats.bytes_read, text.len() as u64);
         }
@@ -971,6 +988,7 @@ mod tests {
                 assert_eq!(out.sbom.components(), in_memory.components(), "{chunk}");
                 assert_eq!(out.sbom.meta.tool_name, in_memory.meta.tool_name);
                 assert_eq!(out.sbom.meta.subject, in_memory.meta.subject);
+                assert_eq!(out.sbom.meta.timestamp, in_memory.meta.timestamp);
             }
         }
     }

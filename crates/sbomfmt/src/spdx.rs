@@ -12,9 +12,24 @@ pub(crate) struct RawSpdxPackage {
     pub(crate) name: Option<String>,
     pub(crate) version: Option<String>,
     pub(crate) source_info: Option<String>,
+    /// Raw SPDX `supplier` value, e.g. `"Organization: pypi"`.
+    pub(crate) supplier: Option<String>,
     /// `(referenceType, referenceLocator)` of each `externalRefs` entry
     /// with a string type, in document order (locator may be absent).
     pub(crate) refs: Vec<(String, Option<String>)>,
+}
+
+/// Normalizes an SPDX `supplier` value to the bare supplier name:
+/// strips the `Organization:` / `Person:` prefix and treats empty or
+/// `NOASSERTION` values as absent.
+pub(crate) fn supplier_name(raw: &str) -> Option<String> {
+    let v = raw.trim();
+    let v = v
+        .strip_prefix("Organization:")
+        .or_else(|| v.strip_prefix("Person:"))
+        .unwrap_or(v)
+        .trim();
+    (!v.is_empty() && v != "NOASSERTION").then(|| v.to_string())
 }
 
 impl RawSpdxPackage {
@@ -55,6 +70,11 @@ impl RawSpdxPackage {
         c.purl = purl;
         c.cpe = cpe;
         c.scope = scope;
+        c.supplier = self
+            .supplier
+            .as_deref()
+            .and_then(supplier_name)
+            .map(Into::into);
         Some(c)
     }
 }
@@ -102,6 +122,9 @@ pub fn to_value(sbom: &Sbom) -> Value {
             sbom.meta.tool_name, sbom.meta.tool_version
         ))]),
     );
+    if let Some(ts) = &sbom.meta.timestamp {
+        creation.set("created", Value::from(ts.clone()));
+    }
     doc.set("creationInfo", creation);
 
     let mut packages = Vec::new();
@@ -128,6 +151,9 @@ fn component_to_value(c: &Component, spdx_id: &str) -> Value {
         pkg.set("versionInfo", Value::from(v.as_str()));
     }
     pkg.set("downloadLocation", Value::from("NOASSERTION"));
+    if let Some(s) = &c.supplier {
+        pkg.set("supplier", Value::from(format!("Organization: {s}")));
+    }
     // SPDX has no dependency-scope field (§V-F); sourceInfo carries our
     // structured annotation.
     let mut source_info = format!("ecosystem: {}", c.ecosystem.label());
@@ -185,6 +211,10 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
         &tool_name,
     );
     let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+    sbom.meta.timestamp = doc
+        .pointer("creationInfo/created")
+        .and_then(Value::as_str)
+        .map(str::to_string);
     if let Some(packages) = doc.get("packages").and_then(Value::as_array) {
         for pkg in packages {
             let mut raw = RawSpdxPackage {
@@ -195,6 +225,10 @@ pub fn from_str(text: &str) -> Result<Sbom, TextError> {
                     .map(str::to_string),
                 source_info: pkg
                     .get("sourceInfo")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                supplier: pkg
+                    .get("supplier")
                     .and_then(Value::as_str)
                     .map(str::to_string),
                 refs: Vec::new(),
@@ -224,13 +258,16 @@ mod tests {
     use sbomdiff_types::DepScope;
 
     fn sample() -> Sbom {
-        let mut sbom = Sbom::new("trivy", "0.43.0").with_subject("demo-repo");
+        let mut sbom = Sbom::new("trivy", "0.43.0")
+            .with_subject("demo-repo")
+            .with_timestamp("2024-06-24T00:00:00Z");
         sbom.push(
             Component::new(Ecosystem::Rust, "serde", Some("1.0.188".into()))
                 .with_found_in("Cargo.lock")
                 .with_scope(DepScope::Runtime)
                 .with_purl(Purl::for_package(Ecosystem::Rust, "serde", Some("1.0.188")))
-                .with_cpe(Cpe::for_package(Ecosystem::Rust, "serde", "1.0.188")),
+                .with_cpe(Cpe::for_package(Ecosystem::Rust, "serde", "1.0.188"))
+                .with_supplier("crates.io:serde"),
         );
         sbom.push(Component::new(
             Ecosystem::Java,
@@ -252,7 +289,23 @@ mod tests {
         assert_eq!(back.components()[0].name, "serde");
         assert_eq!(back.components()[0].found_in, "Cargo.lock");
         assert_eq!(back.components()[0].scope, Some(DepScope::Runtime));
+        assert_eq!(
+            back.components()[0].supplier.as_deref(),
+            Some("crates.io:serde")
+        );
         assert_eq!(back.components()[1].ecosystem, Ecosystem::Java);
+        assert_eq!(back.components()[1].supplier, None);
+        assert_eq!(back.meta.timestamp.as_deref(), Some("2024-06-24T00:00:00Z"));
+    }
+
+    #[test]
+    fn supplier_value_normalization() {
+        assert_eq!(supplier_name("Organization: pypi"), Some("pypi".into()));
+        assert_eq!(supplier_name("Person: Jane Doe"), Some("Jane Doe".into()));
+        assert_eq!(supplier_name("bare-name"), Some("bare-name".into()));
+        assert_eq!(supplier_name("NOASSERTION"), None);
+        assert_eq!(supplier_name("Organization: NOASSERTION"), None);
+        assert_eq!(supplier_name("   "), None);
     }
 
     #[test]

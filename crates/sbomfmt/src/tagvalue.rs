@@ -18,9 +18,10 @@ use crate::spdx::{creator_tool, subject_from_doc_name, RawSpdxPackage};
 use sbomdiff_textformats::TextError;
 use sbomdiff_types::Sbom;
 
-/// Serializes an SBOM as SPDX 2.3 tag-value text (deterministic: no
-/// timestamps, document identity derives from tool + subject, matching the
-/// JSON serializer).
+/// Serializes an SBOM as SPDX 2.3 tag-value text (deterministic: the
+/// `Created` timestamp is emitted only when the SBOM carries one — never
+/// sampled from the wall clock — and document identity derives from tool +
+/// subject, matching the JSON serializer).
 pub fn to_string(sbom: &Sbom) -> String {
     let mut out = String::new();
     let tool = &sbom.meta.tool_name;
@@ -34,6 +35,9 @@ pub fn to_string(sbom: &Sbom) -> String {
         "DocumentNamespace: https://sbomdiff.example/spdx/{tool}/{subject}\n"
     ));
     out.push_str(&format!("Creator: Tool: {tool}-{version}\n"));
+    if let Some(ts) = &sbom.meta.timestamp {
+        out.push_str(&format!("Created: {ts}\n"));
+    }
     for (i, c) in sbom.components().iter().enumerate() {
         out.push('\n');
         out.push_str(&format!("PackageName: {}\n", c.name));
@@ -42,6 +46,9 @@ pub fn to_string(sbom: &Sbom) -> String {
             out.push_str(&format!("PackageVersion: {v}\n"));
         }
         out.push_str("PackageDownloadLocation: NOASSERTION\n");
+        if let Some(s) = &c.supplier {
+            out.push_str(&format!("PackageSupplier: Organization: {s}\n"));
+        }
         let mut source_info = format!("ecosystem: {}", c.ecosystem.label());
         if !c.found_in.is_empty() {
             source_info.push_str(&format!("; found_in: {}", c.found_in));
@@ -74,6 +81,7 @@ pub(crate) struct Builder {
     lineno: usize,
     spdx_version: Option<String>,
     doc_name: String,
+    created: Option<String>,
     creators: Vec<String>,
     packages: Vec<RawSpdxPackage>,
     current: Option<RawSpdxPackage>,
@@ -158,6 +166,9 @@ impl Builder {
             "DocumentName" if self.doc_name.is_empty() => {
                 self.doc_name = value.to_string();
             }
+            "Created" if self.created.is_none() => {
+                self.created = Some(value.to_string());
+            }
             "Creator" => self.creators.push(value.to_string()),
             "PackageName" => {
                 let prev = self.current.replace(RawSpdxPackage {
@@ -174,6 +185,11 @@ impl Builder {
             "PackageSourceInfo" => {
                 if let Some(pkg) = &mut self.current {
                     pkg.source_info = Some(value.to_string());
+                }
+            }
+            "PackageSupplier" => {
+                if let Some(pkg) = &mut self.current {
+                    pkg.supplier = Some(value.to_string());
                 }
             }
             "ExternalRef" => {
@@ -228,6 +244,7 @@ impl Builder {
         let (tool_name, tool_version) = creator_tool(creator);
         let subject = subject_from_doc_name(&self.doc_name, &tool_name);
         let mut sbom = Sbom::new(tool_name, tool_version).with_subject(subject);
+        sbom.meta.timestamp = self.created.take();
         self.packages.extend(self.current.take());
         for raw in self.packages {
             if let Some(c) = raw.into_component() {
@@ -257,13 +274,16 @@ mod tests {
     use sbomdiff_types::{Component, Cpe, DepScope, Ecosystem, Purl};
 
     fn sample() -> Sbom {
-        let mut sbom = Sbom::new("trivy", "0.43.0").with_subject("demo-repo");
+        let mut sbom = Sbom::new("trivy", "0.43.0")
+            .with_subject("demo-repo")
+            .with_timestamp("2024-06-24T00:00:00Z");
         sbom.push(
             Component::new(Ecosystem::Rust, "serde", Some("1.0.188".into()))
                 .with_found_in("Cargo.lock")
                 .with_scope(DepScope::Runtime)
                 .with_purl(Purl::for_package(Ecosystem::Rust, "serde", Some("1.0.188")))
-                .with_cpe(Cpe::for_package(Ecosystem::Rust, "serde", "1.0.188")),
+                .with_cpe(Cpe::for_package(Ecosystem::Rust, "serde", "1.0.188"))
+                .with_supplier("crates.io:serde"),
         );
         sbom.push(Component::new(
             Ecosystem::Java,
@@ -286,7 +306,13 @@ mod tests {
         assert_eq!(back.components()[0].scope, Some(DepScope::Runtime));
         assert!(back.components()[0].purl.is_some());
         assert!(back.components()[0].cpe.is_some());
+        assert_eq!(
+            back.components()[0].supplier.as_deref(),
+            Some("crates.io:serde")
+        );
         assert_eq!(back.components()[1].ecosystem, Ecosystem::Java);
+        assert_eq!(back.components()[1].supplier, None);
+        assert_eq!(back.meta.timestamp.as_deref(), Some("2024-06-24T00:00:00Z"));
     }
 
     #[test]
@@ -299,6 +325,7 @@ mod tests {
         assert_eq!(via_tv.components(), via_json.components());
         assert_eq!(via_tv.meta.tool_name, via_json.meta.tool_name);
         assert_eq!(via_tv.meta.subject, via_json.meta.subject);
+        assert_eq!(via_tv.meta.timestamp, via_json.meta.timestamp);
     }
 
     #[test]

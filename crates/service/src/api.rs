@@ -15,6 +15,7 @@ use sbomdiff_faultline as fault;
 use sbomdiff_generators::{BestPracticeGenerator, ParseCache, SbomGenerator, ScanContext, ToolId};
 use sbomdiff_matching::{match_sboms, MatchConfig, MatchTier};
 use sbomdiff_metadata::RepoFs;
+use sbomdiff_quality::QualityCheck;
 use sbomdiff_registry::Registries;
 use sbomdiff_sbomfmt::{ingest, SbomFormat};
 use sbomdiff_textformats::{json, Value};
@@ -322,6 +323,7 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         .get("best_practice")
         .and_then(Value::as_bool)
         .unwrap_or(false);
+    let quality = doc.get("quality").and_then(Value::as_bool).unwrap_or(false);
     let format = match doc.get("format").and_then(Value::as_str) {
         None | Some("cyclonedx") => SbomFormat::CycloneDx,
         Some("spdx") => SbomFormat::Spdx,
@@ -368,12 +370,60 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         caught_fault |= faulted;
         sboms.push(sbom);
     }
+    // Opt-in NTIA-minimum quality scoring. Evaluated before the degraded
+    // verdict so an injected `quality.score` fault marks the response
+    // degraded (and thereby keeps it out of the response cache).
+    let quality_rows = quality.then(|| {
+        let mut rows = Vec::new();
+        let mut faulted = false;
+        for (id, sbom) in ids.iter().zip(&sboms) {
+            let mut row = Value::object();
+            row.set("tool", Value::from(id.label()));
+            if let Some(surfaced) = fault::point!(fault::sites::QUALITY_SCORE, id.label()) {
+                faulted = true;
+                row.set(
+                    "error",
+                    Value::from(surfaced.message(fault::sites::QUALITY_SCORE)),
+                );
+                rows.push(row);
+                continue;
+            }
+            let report = sbomdiff_quality::evaluate(sbom);
+            let profile = quality_profile(*id);
+            for check in QualityCheck::ALL {
+                state
+                    .metrics
+                    .record_quality_score(profile, check.label(), report.check(check).score());
+            }
+            state
+                .metrics
+                .record_quality_score(profile, "total", report.score());
+            row.set("score", Value::from(report.score()));
+            row.set("components", Value::from(report.components as i64));
+            let mut checks = Value::object();
+            for check in QualityCheck::ALL {
+                let r = report.check(check);
+                let mut cell = Value::object();
+                cell.set("score", Value::from(r.score()));
+                cell.set("weight", Value::from(i64::from(check.weight())));
+                cell.set("passed", Value::from(r.passed as i64));
+                cell.set("missing", Value::from(r.missing as i64));
+                cell.set("malformed", Value::from(r.malformed as i64));
+                checks.set(check.label(), cell);
+            }
+            row.set("checks", checks);
+            rows.push(row);
+        }
+        (rows, faulted)
+    });
+    let quality_fault = quality_rows.as_ref().is_some_and(|(_, f)| *f);
     // Degraded := some tool's generation step was lost to a caught fault,
     // or a fault plan is installed and fault evidence (injected-marker
     // messages, registry failures under the otherwise-reliable service
     // registry) reached the diagnostics. A pure function of (payload,
     // installed plan), so responses stay deterministic per plan.
     let degraded = caught_fault
+        || quality_fault
         || sboms.iter().any(|s| {
             s.diagnostics().iter().any(|d| {
                 fault::is_injected(&d.message)
@@ -399,6 +449,9 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         tool_rows.push(row);
     }
     out.set("tools", Value::Array(tool_rows));
+    if let Some((rows, _)) = quality_rows {
+        out.set("quality", Value::Array(rows));
+    }
     // Classified diagnostics: what each tool could not parse or silently
     // dropped. Corrupted input degrades into evidence, never a 5xx.
     let mut diag_rows = Vec::new();
@@ -449,6 +502,19 @@ fn analyze(state: &AppState, doc: &Value) -> Response {
         out.set("sboms", docs);
     }
     finish(out).with_degraded(degraded)
+}
+
+/// Stable lowercase profile slug used as the `profile` label of the
+/// `sbomdiff_quality_score` gauge (matching the experiment CSV's profile
+/// column).
+fn quality_profile(id: ToolId) -> &'static str {
+    match id {
+        ToolId::Trivy => "trivy",
+        ToolId::Syft => "syft",
+        ToolId::SbomTool => "sbom-tool",
+        ToolId::GithubDg => "github-dg",
+        ToolId::BestPractice => "best-practice",
+    }
 }
 
 /// Runs one tool's generation step under the `service.analyze` fault point
@@ -1550,6 +1616,130 @@ mod tests {
         let healthy = execute_cached(&state, &post("/v1/impact", &body), 0);
         assert!(matches!(healthy, Executed::Hit(_)));
         assert_eq!(healthy.status(), 200);
+    }
+
+    #[test]
+    fn analyze_quality_scores_every_tool_and_feeds_gauges() {
+        let state = state();
+        let payload = analyze_payload().replace(
+            "\"name\":\"demo\"",
+            "\"name\":\"demo\",\"quality\":true,\"best_practice\":true",
+        );
+        let resp = handle(&state, &post("/v1/analyze", &payload), 0);
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        let rows = doc.get("quality").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 5, "one quality row per tool incl best-practice");
+        let mut best = None;
+        let mut emulators = Vec::new();
+        for row in rows {
+            let tool = row.get("tool").and_then(Value::as_str).unwrap();
+            let score = row.get("score").and_then(Value::as_f64).unwrap();
+            assert!((0.0..=100.0).contains(&score), "{tool}: {score}");
+            let checks = row.get("checks").unwrap();
+            for check in QualityCheck::ALL {
+                let cell = checks.get(check.label()).unwrap_or_else(|| {
+                    panic!("{tool}: missing check cell {:?}", check.label())
+                });
+                assert!(cell.get("score").and_then(Value::as_f64).is_some());
+                assert!(cell.get("passed").and_then(Value::as_i64).is_some());
+            }
+            if tool == "best-practice" {
+                best = Some(score);
+            } else {
+                emulators.push((tool.to_string(), score));
+            }
+        }
+        let best = best.expect("best-practice quality row");
+        for (tool, score) in emulators {
+            assert!(
+                best > score,
+                "best-practice ({best}) must beat {tool} ({score})"
+            );
+        }
+        // Scores also landed on the /metrics gauges under profile slugs.
+        assert_eq!(state.metrics.quality_score("best-practice", "total"), Some(best));
+        assert!(state.metrics.quality_score("github-dg", "total").is_some());
+        let text = state.metrics.render(0, 0, 0);
+        assert!(text.contains("sbomdiff_quality_score{profile=\"trivy\",check=\"supplier\"}"));
+        // Without the opt-in flag, no quality key appears in the response.
+        let plain = handle(&state, &post("/v1/analyze", &analyze_payload()), 0);
+        assert!(body_json(&plain).get("quality").is_none());
+    }
+
+    #[test]
+    fn analyze_quality_degrades_under_injected_fault_and_is_never_cached() {
+        let state = state();
+        // Key the rule to one tool label so only the quality step trips.
+        let payload = analyze_payload().replace(
+            "\"name\":\"demo\"",
+            "\"name\":\"quality-fault-probe\",\"quality\":true",
+        );
+        let plan = fault::FaultPlan {
+            seed: 29,
+            rules: vec![fault::FaultRule::new(
+                fault::sites::QUALITY_SCORE,
+                1_000_000,
+                fault::FaultAction::Error,
+            )
+            .for_key("Syft")],
+        };
+        let guard = fault::install(plan);
+        let first = match execute_cached(&state, &post("/v1/analyze", &payload), 0) {
+            Executed::Miss(resp) => resp,
+            Executed::Hit(_) => panic!("degraded response must not enter the cache"),
+        };
+        assert_eq!(
+            first.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&first.body)
+        );
+        assert!(first.degraded);
+        let out = body_json(&first);
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(true));
+        let rows = out.get("quality").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 4);
+        let syft = rows
+            .iter()
+            .find(|r| r.get("tool").and_then(Value::as_str) == Some("Syft"))
+            .unwrap();
+        assert!(syft
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(fault::is_injected));
+        assert!(syft.get("score").is_none(), "faulted row carries no score");
+        // The other tools still scored normally in the same response.
+        let scored = rows
+            .iter()
+            .filter(|r| r.get("score").and_then(Value::as_f64).is_some())
+            .count();
+        assert_eq!(scored, 3, "{rows:?}");
+        // Deterministic while the plan is live, and still not a cache hit.
+        let second = match execute_cached(&state, &post("/v1/analyze", &payload), 0) {
+            Executed::Miss(resp) => resp,
+            Executed::Hit(_) => panic!("degraded response served from cache"),
+        };
+        assert_eq!(first.body, second.body);
+        drop(guard);
+        // Fault-free recomputation succeeds and becomes cacheable.
+        let healthy = execute_cached(&state, &post("/v1/analyze", &payload), 0);
+        assert!(matches!(healthy, Executed::Hit(_)));
+        assert_eq!(healthy.status(), 200);
+        let out = body_json(match &healthy {
+            Executed::Hit(entry) => &entry.response,
+            Executed::Miss(resp) => resp,
+        });
+        assert_eq!(out.get("degraded").and_then(Value::as_bool), Some(false));
+        let rows = out.get("quality").and_then(Value::as_array).unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| r.get("score").and_then(Value::as_f64).is_some()));
     }
 
     #[test]

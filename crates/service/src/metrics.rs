@@ -5,7 +5,9 @@
 //! point where a response is written, so the numbers include cache hits,
 //! rejected (429) and timed-out (503) requests.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use sbomdiff_matching::MatchTier;
@@ -160,6 +162,48 @@ pub struct Metrics {
     // Advisories raised by `/v1/impact` scans (detected + false alarms),
     // per severity, indexed by Severity::index().
     advisories_matched: [AtomicU64; Severity::ALL.len()],
+    // Latest quality score per (profile, check) observed by opt-in
+    // `/v1/analyze` quality scoring, stored as f64 bits. A BTreeMap keeps
+    // the rendering order deterministic.
+    quality_scores: Mutex<BTreeMap<(String, String), u64>>,
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// inside the double-quoted value, backslash, double-quote and newline
+/// must be written as `\\`, `\"` and `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslash and newline must be written as
+/// `\\` and `\n` (quotes are not escaped in help text).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the `# HELP` / `# TYPE` header pair for a metric family.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} {kind}\n",
+        escape_help(help)
+    ));
 }
 
 /// Counter slot for an ingest format (`None`: the unknown slot).
@@ -287,6 +331,25 @@ impl Metrics {
         self.advisories_matched[severity.index()].load(Ordering::Relaxed)
     }
 
+    /// Records the latest quality `score` observed for `(profile, check)`
+    /// — rendered as the `sbomdiff_quality_score` gauge. Use check
+    /// `"total"` for the weighted document total.
+    pub fn record_quality_score(&self, profile: &str, check: &str, score: f64) {
+        self.quality_scores
+            .lock()
+            .unwrap()
+            .insert((profile.to_string(), check.to_string()), score.to_bits());
+    }
+
+    /// The latest quality score recorded for `(profile, check)`, if any.
+    pub fn quality_score(&self, profile: &str, check: &str) -> Option<f64> {
+        self.quality_scores
+            .lock()
+            .unwrap()
+            .get(&(profile.to_string(), check.to_string()))
+            .map(|&bits| f64::from_bits(bits))
+    }
+
     /// Bytes ingested from external SBOM documents so far.
     pub fn ingest_bytes(&self) -> u64 {
         self.ingest_bytes.load(Ordering::Relaxed)
@@ -328,10 +391,20 @@ impl Metrics {
     /// `/v1/analyze` responses: the counters depend on request history, and
     /// analyze responses must stay byte-identical for identical payloads.
     pub fn render_parse_cache(hits: u64, misses: u64) -> String {
-        let mut out = String::with_capacity(128);
-        out.push_str("# TYPE sbomdiff_parse_cache_hits_total counter\n");
+        let mut out = String::with_capacity(256);
+        family(
+            &mut out,
+            "sbomdiff_parse_cache_hits_total",
+            "counter",
+            "Shared parse-cache hits.",
+        );
         out.push_str(&format!("sbomdiff_parse_cache_hits_total {hits}\n"));
-        out.push_str("# TYPE sbomdiff_parse_cache_misses_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_parse_cache_misses_total",
+            "counter",
+            "Shared parse-cache misses.",
+        );
         out.push_str(&format!("sbomdiff_parse_cache_misses_total {misses}\n"));
         out
     }
@@ -340,12 +413,27 @@ impl Metrics {
     /// `(ecosystem, package)`), for appending after [`Metrics::render`]
     /// like [`Metrics::render_parse_cache`].
     pub fn render_enrich_cache(hits: u64, misses: u64, expired: u64) -> String {
-        let mut out = String::with_capacity(192);
-        out.push_str("# TYPE sbomdiff_enrich_cache_hits_total counter\n");
+        let mut out = String::with_capacity(384);
+        family(
+            &mut out,
+            "sbomdiff_enrich_cache_hits_total",
+            "counter",
+            "Shared enrichment-cache hits.",
+        );
         out.push_str(&format!("sbomdiff_enrich_cache_hits_total {hits}\n"));
-        out.push_str("# TYPE sbomdiff_enrich_cache_misses_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_enrich_cache_misses_total",
+            "counter",
+            "Shared enrichment-cache misses.",
+        );
         out.push_str(&format!("sbomdiff_enrich_cache_misses_total {misses}\n"));
-        out.push_str("# TYPE sbomdiff_enrich_cache_expired_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_enrich_cache_expired_total",
+            "counter",
+            "Shared enrichment-cache entries evicted after expiry.",
+        );
         out.push_str(&format!("sbomdiff_enrich_cache_expired_total {expired}\n"));
         out
     }
@@ -353,17 +441,27 @@ impl Metrics {
     /// Renders the Prometheus text exposition, including the cache and
     /// queue gauges supplied by the caller.
     pub fn render(&self, cache_hits: u64, cache_misses: u64, queue_depth: usize) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("# TYPE sbomdiff_requests_total counter\n");
+        let mut out = String::with_capacity(8192);
+        family(
+            &mut out,
+            "sbomdiff_requests_total",
+            "counter",
+            "Requests received, by endpoint.",
+        );
         for ep in Endpoint::ALL {
             let stats = &self.endpoints[ep.index()];
             out.push_str(&format!(
                 "sbomdiff_requests_total{{endpoint=\"{}\"}} {}\n",
-                ep.label(),
+                escape_label_value(ep.label()),
                 stats.requests.load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_responses_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_responses_total",
+            "counter",
+            "Responses written, by endpoint and status class.",
+        );
         for ep in Endpoint::ALL {
             let stats = &self.endpoints[ep.index()];
             for (class, counter) in [
@@ -373,25 +471,40 @@ impl Metrics {
             ] {
                 out.push_str(&format!(
                     "sbomdiff_responses_total{{endpoint=\"{}\",class=\"{class}\"}} {}\n",
-                    ep.label(),
+                    escape_label_value(ep.label()),
                     counter.load(Ordering::Relaxed)
                 ));
             }
         }
-        out.push_str("# TYPE sbomdiff_diagnostics_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_diagnostics_total",
+            "counter",
+            "Classified diagnostics surfaced in responses, by class.",
+        );
         for class in DiagClass::ALL {
             out.push_str(&format!(
                 "sbomdiff_diagnostics_total{{class=\"{}\"}} {}\n",
-                class.label(),
+                escape_label_value(class.label()),
                 self.diagnostics[class.index()].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_ingest_bytes_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_ingest_bytes_total",
+            "counter",
+            "Bytes of external SBOM documents ingested.",
+        );
         out.push_str(&format!(
             "sbomdiff_ingest_bytes_total {}\n",
             self.ingest_bytes.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE sbomdiff_ingest_documents_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_ingest_documents_total",
+            "counter",
+            "External SBOM documents ingested, by detected format.",
+        );
         for (i, label) in DocFormat::ALL
             .iter()
             .map(|f| f.label())
@@ -399,61 +512,131 @@ impl Metrics {
             .enumerate()
         {
             out.push_str(&format!(
-                "sbomdiff_ingest_documents_total{{format=\"{label}\"}} {}\n",
+                "sbomdiff_ingest_documents_total{{format=\"{}\"}} {}\n",
+                escape_label_value(label),
                 self.ingest_documents[i].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_match_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_match_total",
+            "counter",
+            "Component pairs matched by tiered diffs, by tier.",
+        );
         for tier in MatchTier::ALL {
             out.push_str(&format!(
                 "sbomdiff_match_total{{tier=\"{}\"}} {}\n",
-                tier.label(),
+                escape_label_value(tier.label()),
                 self.match_pairs[tier.index()].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_advisories_matched_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_advisories_matched_total",
+            "counter",
+            "Advisories raised by impact scans, by severity.",
+        );
         for severity in Severity::ALL {
             out.push_str(&format!(
                 "sbomdiff_advisories_matched_total{{severity=\"{}\"}} {}\n",
-                severity.metric_label(),
+                escape_label_value(severity.metric_label()),
                 self.advisories_matched[severity.index()].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_queue_rejected_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_quality_score",
+            "gauge",
+            "Latest SBOM quality score observed, by profile and check.",
+        );
+        for ((profile, check), bits) in self.quality_scores.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "sbomdiff_quality_score{{profile=\"{}\",check=\"{}\"}} {:.6}\n",
+                escape_label_value(profile),
+                escape_label_value(check),
+                f64::from_bits(*bits)
+            ));
+        }
+        family(
+            &mut out,
+            "sbomdiff_queue_rejected_total",
+            "counter",
+            "Requests shed by admission control (429).",
+        );
         out.push_str(&format!(
             "sbomdiff_queue_rejected_total {}\n",
             self.queue_rejected.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE sbomdiff_deadline_timeouts_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_deadline_timeouts_total",
+            "counter",
+            "Requests that exceeded their queue deadline (503).",
+        );
         out.push_str(&format!(
             "sbomdiff_deadline_timeouts_total {}\n",
             self.deadline_timeouts.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE sbomdiff_timeouts_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_timeouts_total",
+            "counter",
+            "Connection-level timeouts, by phase.",
+        );
         for phase in TimeoutPhase::ALL {
             out.push_str(&format!(
                 "sbomdiff_timeouts_total{{phase=\"{}\"}} {}\n",
-                phase.label(),
+                escape_label_value(phase.label()),
                 self.phase_timeouts[phase.index()].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE sbomdiff_degraded_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_degraded_total",
+            "counter",
+            "Analyses that completed in degraded mode.",
+        );
         out.push_str(&format!(
             "sbomdiff_degraded_total {}\n",
             self.degraded.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE sbomdiff_worker_panics_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_worker_panics_total",
+            "counter",
+            "Panics caught at the worker-pool boundary.",
+        );
         out.push_str(&format!(
             "sbomdiff_worker_panics_total {}\n",
             self.worker_panics.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE sbomdiff_queue_depth gauge\n");
+        family(
+            &mut out,
+            "sbomdiff_queue_depth",
+            "gauge",
+            "Requests currently queued.",
+        );
         out.push_str(&format!("sbomdiff_queue_depth {queue_depth}\n"));
-        out.push_str("# TYPE sbomdiff_cache_hits_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_cache_hits_total",
+            "counter",
+            "Analysis cache hits.",
+        );
         out.push_str(&format!("sbomdiff_cache_hits_total {cache_hits}\n"));
-        out.push_str("# TYPE sbomdiff_cache_misses_total counter\n");
+        family(
+            &mut out,
+            "sbomdiff_cache_misses_total",
+            "counter",
+            "Analysis cache misses.",
+        );
         out.push_str(&format!("sbomdiff_cache_misses_total {cache_misses}\n"));
-        out.push_str("# TYPE sbomdiff_cache_hit_ratio gauge\n");
+        family(
+            &mut out,
+            "sbomdiff_cache_hit_ratio",
+            "gauge",
+            "Analysis cache hit ratio.",
+        );
         let lookups = cache_hits + cache_misses;
         let ratio = if lookups == 0 {
             0.0
@@ -461,7 +644,12 @@ impl Metrics {
             cache_hits as f64 / lookups as f64
         };
         out.push_str(&format!("sbomdiff_cache_hit_ratio {ratio:.6}\n"));
-        out.push_str("# TYPE sbomdiff_latency_seconds histogram\n");
+        family(
+            &mut out,
+            "sbomdiff_latency_seconds",
+            "histogram",
+            "Request latency from accept to response written, by endpoint.",
+        );
         for ep in Endpoint::ALL {
             let stats = &self.endpoints[ep.index()];
             let mut cumulative = 0u64;
@@ -627,6 +815,116 @@ mod tests {
         assert!(text.contains("sbomdiff_enrich_cache_hits_total 11"));
         assert!(text.contains("sbomdiff_enrich_cache_misses_total 4"));
         assert!(text.contains("sbomdiff_enrich_cache_expired_total 2"));
+    }
+
+    #[test]
+    fn label_values_escape_per_text_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // Backslash escapes first, so an already-escaped quote survives.
+        assert_eq!(escape_label_value("\\\""), "\\\\\\\"");
+    }
+
+    #[test]
+    fn quality_scores_render_as_gauges() {
+        let m = Metrics::new();
+        m.record_quality_score("trivy-like", "supplier", 62.5);
+        m.record_quality_score("trivy-like", "total", 71.25);
+        m.record_quality_score("best-practice", "total", 100.0);
+        assert_eq!(m.quality_score("trivy-like", "supplier"), Some(62.5));
+        assert_eq!(m.quality_score("trivy-like", "nope"), None);
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("# TYPE sbomdiff_quality_score gauge"));
+        assert!(text
+            .contains("sbomdiff_quality_score{profile=\"best-practice\",check=\"total\"} 100.000000"));
+        assert!(text
+            .contains("sbomdiff_quality_score{profile=\"trivy-like\",check=\"supplier\"} 62.500000"));
+        // Re-recording overwrites: it is a gauge, not a counter.
+        m.record_quality_score("trivy-like", "supplier", 50.0);
+        assert_eq!(m.quality_score("trivy-like", "supplier"), Some(50.0));
+    }
+
+    /// Scrape-format conformance for the full exposition: every family
+    /// has `# HELP` immediately before `# TYPE`, no family is declared
+    /// twice, every sample belongs to a declared family, and label
+    /// sections carry balanced, escaped quoting.
+    #[test]
+    fn exposition_format_conformance() {
+        let m = Metrics::new();
+        m.record(Endpoint::Analyze, 200, Duration::from_micros(300));
+        m.record_diagnostic(DiagClass::MalformedFile);
+        m.record_ingest(Some(DocFormat::CycloneDxJson), 10);
+        m.record_quality_score("trivy-like", "supplier", 62.5);
+        m.record_quality_score("weird\"\\\n", "total", 10.0);
+        let mut text = m.render(1, 2, 0);
+        text.push_str(&Metrics::render_parse_cache(3, 4));
+        text.push_str(&Metrics::render_enrich_cache(5, 6, 7));
+
+        let mut declared: Vec<String> = Vec::new();
+        let mut last_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(rest.len() > name.len() + 1, "HELP without text: {line}");
+                last_help = Some(name);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad TYPE: {line}"
+                );
+                assert_eq!(
+                    last_help.as_deref(),
+                    Some(name.as_str()),
+                    "TYPE without matching HELP directly before it: {line}"
+                );
+                assert!(!declared.contains(&name), "family declared twice: {name}");
+                declared.push(name);
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            let name = line.split(['{', ' ']).next().unwrap();
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                declared.iter().any(|d| d == name || d == base),
+                "sample without a declared family: {line}"
+            );
+            // The sample must end in a space-separated value.
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample value: {line}");
+            // Label sections: every quote inside must be paired or escaped.
+            if let Some(open) = line.find('{') {
+                let close = line.rfind('}').expect("unterminated label set");
+                let labels = &line[open + 1..close];
+                let mut quotes = 0u32;
+                let mut chars = labels.chars();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => quotes += 1,
+                        _ => {}
+                    }
+                }
+                assert_eq!(quotes % 2, 0, "unbalanced quotes: {line}");
+            }
+        }
+        // The hostile profile label rendered escaped, on a single line.
+        assert!(
+            text.contains("profile=\"weird\\\"\\\\\\n\",check=\"total\""),
+            "escaped hostile label missing"
+        );
     }
 
     #[test]

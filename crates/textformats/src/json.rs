@@ -285,26 +285,30 @@ impl<'a> Parser<'a> {
         let n = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos += 4;
         if (0xD800..0xDC00).contains(&n) {
-            // High surrogate — expect a following low surrogate.
+            // High surrogate — pairs with an immediately following low
+            // surrogate. Anything else (another high surrogate, a BMP
+            // escape, a truncated escape) is left *unconsumed*: the lone
+            // high surrogate degrades to U+FFFD and the following escape
+            // decodes on its own instead of being swallowed.
             if self.bytes.get(self.pos) == Some(&b'\\')
                 && self.bytes.get(self.pos + 1) == Some(&b'u')
             {
-                self.pos += 2;
-                let hex2 = self
+                let n2 = self
                     .bytes
-                    .get(self.pos..self.pos + 4)
-                    .ok_or_else(|| self.err("truncated surrogate pair"))?;
-                let hex2 = std::str::from_utf8(hex2).map_err(|_| self.err("invalid surrogate"))?;
-                let n2 =
-                    u32::from_str_radix(hex2, 16).map_err(|_| self.err("invalid surrogate"))?;
-                self.pos += 4;
-                if (0xDC00..0xE000).contains(&n2) {
-                    let cp = 0x10000 + ((n - 0xD800) << 10) + (n2 - 0xDC00);
-                    return char::from_u32(cp).ok_or_else(|| self.err("invalid code point"));
+                    .get(self.pos + 2..self.pos + 6)
+                    .and_then(|hex2| std::str::from_utf8(hex2).ok())
+                    .and_then(|hex2| u32::from_str_radix(hex2, 16).ok());
+                if let Some(n2) = n2 {
+                    if (0xDC00..0xE000).contains(&n2) {
+                        self.pos += 6;
+                        let cp = 0x10000 + ((n - 0xD800) << 10) + (n2 - 0xDC00);
+                        return char::from_u32(cp).ok_or_else(|| self.err("invalid code point"));
+                    }
                 }
             }
             return Ok('\u{FFFD}');
         }
+        // Unpaired low surrogates also degrade to U+FFFD.
         Ok(char::from_u32(n).unwrap_or('\u{FFFD}'))
     }
 

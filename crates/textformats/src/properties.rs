@@ -4,20 +4,53 @@
 //! `MANIFEST.MF` uses RFC-822-style headers with 72-byte line folding
 //! (continuation lines start with a single space).
 
+/// One malformed `\uXXXX` escape found while parsing a properties file:
+/// a lone or unpaired surrogate, or a truncated/non-hex escape. The text
+/// still parses — the offending escape decodes to U+FFFD — and the caller
+/// can surface the issue as a classified diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeIssue {
+    /// 1-based line number of the logical line the escape started on.
+    pub line: usize,
+    /// Human-readable description of the malformed escape.
+    pub message: String,
+}
+
+/// A properties parse carrying both the pairs and any escape issues.
+#[derive(Debug, Clone, Default)]
+pub struct PropertiesParse {
+    /// Ordered key/value pairs, escapes decoded.
+    pub pairs: Vec<(String, String)>,
+    /// Malformed `\uXXXX` escapes encountered (each decoded as U+FFFD).
+    pub issues: Vec<EscapeIssue>,
+}
+
 /// Parses a Java properties file into ordered key/value pairs.
 ///
 /// Supports `=` and `:` separators, `#`/`!` comments, backslash line
 /// continuations and the common escapes (`\n`, `\t`, `\\`, `\uXXXX`).
+/// Surrogate pairs spelled as two consecutive `\uXXXX` escapes decode to
+/// the astral code point; malformed escapes decode to U+FFFD (use
+/// [`parse_properties_full`] to observe them).
 pub fn parse_properties(input: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
+    parse_properties_full(input).pairs
+}
+
+/// Like [`parse_properties`], also reporting malformed `\uXXXX` escapes.
+pub fn parse_properties_full(input: &str) -> PropertiesParse {
+    let mut out = PropertiesParse::default();
     let mut logical = String::new();
-    for raw in input.lines() {
+    let mut logical_start = 0usize;
+    for (idx, raw) in input.lines().enumerate() {
         let line = raw.trim_start();
         if logical.is_empty() && (line.starts_with('#') || line.starts_with('!')) {
             continue;
         }
         if line.is_empty() && logical.is_empty() {
             continue;
+        }
+        if logical.is_empty() {
+            logical_start = idx + 1;
         }
         // Continuation: odd number of trailing backslashes.
         let trailing = raw.chars().rev().take_while(|&c| c == '\\').count();
@@ -27,13 +60,17 @@ pub fn parse_properties(input: &str) -> Vec<(String, String)> {
         }
         logical.push_str(line);
         if let Some((k, v)) = split_kv(&logical) {
-            out.push((unescape(&k), unescape(&v)));
+            let key = unescape(&k, logical_start, &mut out.issues);
+            let value = unescape(&v, logical_start, &mut out.issues);
+            out.pairs.push((key, value));
         }
         logical.clear();
     }
     if !logical.is_empty() {
         if let Some((k, v)) = split_kv(&logical) {
-            out.push((unescape(&k), unescape(&v)));
+            let key = unescape(&k, logical_start, &mut out.issues);
+            let value = unescape(&v, logical_start, &mut out.issues);
+            out.pairs.push((key, value));
         }
     }
     out
@@ -65,9 +102,27 @@ fn split_kv(line: &str) -> Option<(String, String)> {
     }
 }
 
-fn unescape(s: &str) -> String {
+/// Reads exactly four hex digits from the iterator; `None` when the
+/// escape is truncated or contains a non-hex character (the offending
+/// characters are consumed either way, like `java.util.Properties`).
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut n = Some(0u32);
+    for _ in 0..4 {
+        let c = chars.next()?;
+        n = match (n, c.to_digit(16)) {
+            (Some(n), Some(d)) => Some(n * 16 + d),
+            _ => None,
+        };
+    }
+    n
+}
+
+fn unescape(s: &str, line: usize, issues: &mut Vec<EscapeIssue>) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
+    let mut issue = |message: String| {
+        issues.push(EscapeIssue { line, message });
+    };
     while let Some(c) = chars.next() {
         if c != '\\' {
             out.push(c);
@@ -78,8 +133,32 @@ fn unescape(s: &str) -> String {
             Some('t') => out.push('\t'),
             Some('r') => out.push('\r'),
             Some('u') => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if let Ok(n) = u32::from_str_radix(&hex, 16) {
+                let Some(n) = hex4(&mut chars) else {
+                    issue("malformed \\uXXXX escape (expected 4 hex digits)".to_string());
+                    out.push('\u{FFFD}');
+                    continue;
+                };
+                if (0xD800..0xDC00).contains(&n) {
+                    // High surrogate: pairs with an immediately following
+                    // `\uXXXX` low surrogate (the UTF-16 spelling Java's
+                    // native2ascii emits for astral code points).
+                    let mut probe = chars.clone();
+                    if probe.next() == Some('\\') && probe.next() == Some('u') {
+                        if let Some(n2) = hex4(&mut probe) {
+                            if (0xDC00..0xE000).contains(&n2) {
+                                chars = probe;
+                                let cp = 0x10000 + ((n - 0xD800) << 10) + (n2 - 0xDC00);
+                                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                                continue;
+                            }
+                        }
+                    }
+                    issue(format!("lone high surrogate \\u{n:04X} in escape"));
+                    out.push('\u{FFFD}');
+                } else if (0xDC00..0xE000).contains(&n) {
+                    issue(format!("unpaired low surrogate \\u{n:04X} in escape"));
+                    out.push('\u{FFFD}');
+                } else {
                     out.push(char::from_u32(n).unwrap_or('\u{FFFD}'));
                 }
             }
@@ -202,5 +281,61 @@ mod tests {
     fn bare_key_without_value() {
         let pairs = parse_properties("standalone\nk=v");
         assert_eq!(get(&pairs, "standalone"), Some(""));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_astral_code_points() {
+        // native2ascii spells 😀 (U+1F600) as a UTF-16 escape pair.
+        let parsed = parse_properties_full("emoji=\\uD83D\\uDE00 ok");
+        assert_eq!(get(&parsed.pairs, "emoji"), Some("\u{1F600} ok"));
+        assert!(parsed.issues.is_empty(), "{:?}", parsed.issues);
+        // A pair split across a line continuation still decodes.
+        let folded = parse_properties_full("emoji=\\uD83D\\\n\\uDE00");
+        assert_eq!(get(&folded.pairs, "emoji"), Some("\u{1F600}"));
+        assert!(folded.issues.is_empty());
+    }
+
+    #[test]
+    fn lone_surrogates_degrade_to_replacement_with_an_issue() {
+        // High surrogate followed by a non-surrogate escape: U+FFFD, and
+        // the following escape decodes on its own instead of vanishing.
+        let parsed = parse_properties_full("k=\\uD83D\\u0041");
+        assert_eq!(get(&parsed.pairs, "k"), Some("\u{FFFD}A"));
+        assert_eq!(parsed.issues.len(), 1);
+        assert!(parsed.issues[0].message.contains("lone high surrogate"));
+        assert_eq!(parsed.issues[0].line, 1);
+        // Unpaired low surrogate.
+        let low = parse_properties_full("a=1\nk=x\\uDE00y");
+        assert_eq!(get(&low.pairs, "k"), Some("x\u{FFFD}y"));
+        assert_eq!(low.issues.len(), 1);
+        assert!(low.issues[0].message.contains("unpaired low surrogate"));
+        assert_eq!(low.issues[0].line, 2);
+        // High surrogate at end of value.
+        let tail = parse_properties_full("k=\\uD83D");
+        assert_eq!(get(&tail.pairs, "k"), Some("\u{FFFD}"));
+        assert_eq!(tail.issues.len(), 1);
+    }
+
+    #[test]
+    fn two_high_surrogates_then_low_pair_from_the_second() {
+        // The first high surrogate is lone; the second pairs with the low.
+        let parsed = parse_properties_full("k=\\uD83D\\uD83D\\uDE00");
+        assert_eq!(get(&parsed.pairs, "k"), Some("\u{FFFD}\u{1F600}"));
+        assert_eq!(parsed.issues.len(), 1);
+    }
+
+    #[test]
+    fn malformed_hex_escapes_are_replacement_not_dropped() {
+        let parsed = parse_properties_full("k=a\\uZZ99b");
+        // The four characters after \u are consumed like java.util.Properties.
+        assert_eq!(get(&parsed.pairs, "k"), Some("a\u{FFFD}b"));
+        assert_eq!(parsed.issues.len(), 1);
+        assert!(parsed.issues[0].message.contains("4 hex digits"));
+        // Truncated escape at end of input.
+        let short = parse_properties_full("k=\\u12");
+        assert_eq!(get(&short.pairs, "k"), Some("\u{FFFD}"));
+        assert_eq!(short.issues.len(), 1);
+        // The plain API still parses, silently.
+        assert_eq!(get(&parse_properties("k=\\u12"), "k"), Some("\u{FFFD}"));
     }
 }

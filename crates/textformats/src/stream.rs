@@ -636,35 +636,43 @@ impl<R: Read> JsonStream<R> {
 
     /// Handles `\uXXXX` (the `\u` is already consumed), mirroring the
     /// in-memory parser exactly: a high surrogate pairs with a following
-    /// `\uXXXX` low surrogate; a following `\u` escape that is *not* a low
-    /// surrogate is consumed and discarded with a single U+FFFD emitted; a
-    /// lone high surrogate degrades to U+FFFD.
+    /// `\uXXXX` low surrogate; a following `\u` escape that is *not* a
+    /// low surrogate leaves a single U+FFFD for the lone high surrogate
+    /// and then decodes on its own (it may itself open a new pair); lone
+    /// high and unpaired low surrogates degrade to U+FFFD. The stream
+    /// cannot rewind, so the "reprocess the second escape" step of the
+    /// in-memory parser becomes the loop here.
     fn unicode_escape(&mut self) -> Result<(), StreamError> {
-        let n = self.hex4()?;
-        if !(0xD800..0xDC00).contains(&n) {
-            self.push_char(char::from_u32(n).unwrap_or('\u{FFFD}'));
-            return Ok(());
-        }
-        if self.src.peek()? != Some(b'\\') {
+        let mut n = self.hex4()?;
+        loop {
+            if !(0xD800..0xDC00).contains(&n) {
+                // BMP character, or an unpaired low surrogate (U+FFFD).
+                self.push_char(char::from_u32(n).unwrap_or('\u{FFFD}'));
+                return Ok(());
+            }
+            if self.src.peek()? != Some(b'\\') {
+                self.push_char('\u{FFFD}');
+                return Ok(());
+            }
+            self.src.next_byte()?; // '\\'
+            if self.src.peek()? != Some(b'u') {
+                // A pending non-\u escape after the lone surrogate: emit the
+                // replacement first, then process the escape normally.
+                self.push_char('\u{FFFD}');
+                return self.escape();
+            }
+            self.src.next_byte()?; // 'u'
+            let n2 = self.hex4()?;
+            if (0xDC00..0xE000).contains(&n2) {
+                let cp = 0x10000 + ((n - 0xD800) << 10) + (n2 - 0xDC00);
+                self.push_char(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                return Ok(());
+            }
+            // Not a low surrogate: the first escape was a lone high
+            // surrogate; the second becomes the new candidate.
             self.push_char('\u{FFFD}');
-            return Ok(());
+            n = n2;
         }
-        self.src.next_byte()?; // '\\'
-        if self.src.peek()? != Some(b'u') {
-            // A pending non-\u escape after the lone surrogate: emit the
-            // replacement first, then process the escape normally.
-            self.push_char('\u{FFFD}');
-            return self.escape();
-        }
-        self.src.next_byte()?; // 'u'
-        let n2 = self.hex4()?;
-        if (0xDC00..0xE000).contains(&n2) {
-            let cp = 0x10000 + ((n - 0xD800) << 10) + (n2 - 0xDC00);
-            self.push_char(char::from_u32(cp).unwrap_or('\u{FFFD}'));
-        } else {
-            self.push_char('\u{FFFD}');
-        }
-        Ok(())
     }
 
     fn hex4(&mut self) -> Result<u32, StreamError> {
@@ -855,6 +863,16 @@ mod tests {
             (r#""\ud83dx""#, "\u{FFFD}x"),
             (r#""\ud83dA""#, "\u{FFFD}A"),
             (r#""\ud83d\n""#, "\u{FFFD}\n"),
+            // Valid escaped surrogate pair.
+            ("\"\\ud83d\\ude00\"", "\u{1F600}"),
+            // A high surrogate followed by a BMP escape: the escape
+            // survives instead of being swallowed with the surrogate.
+            ("\"\\ud83d\\u0041\"", "\u{FFFD}A"),
+            // A second high surrogate restarts pair matching.
+            ("\"\\ud83d\\ud83d\\ude00\"", "\u{FFFD}\u{1F600}"),
+            // Unpaired low surrogate.
+            ("\"\\ude00\"", "\u{FFFD}"),
+            ("\"a\\ude00\\ud83db\"", "a\u{FFFD}\u{FFFD}b"),
         ];
         for (doc, want) in cases {
             let evs = events(doc).unwrap();
@@ -862,6 +880,12 @@ mod tests {
             // Cross-check against the in-memory parser.
             let v = crate::json::parse(doc).unwrap();
             assert_eq!(v.as_str(), Some(want), "{doc}");
+            // And against the tiny-chunk streaming path, where the pair
+            // can straddle a refill boundary.
+            let pad = "x".repeat(700);
+            let padded = format!(r#"{{"pad": "{pad}", "s": {doc}}}"#);
+            let evs = events_chunked(&padded, 512).unwrap();
+            assert_eq!(evs[4], JsonEvent::Str(want.into()), "{doc} (chunked)");
         }
     }
 

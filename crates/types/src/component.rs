@@ -38,6 +38,10 @@ pub struct Component {
     /// Dependency scope, when the tool models one (most SBOM formats lack
     /// the field, §V-F).
     pub scope: Option<DepScope>,
+    /// Supplier / publisher of the component, when the tool emits one —
+    /// an NTIA minimum-elements field most metadata-based generators
+    /// cannot populate from lockfiles alone.
+    pub supplier: Option<Symbol>,
     /// Path of the metadata file the component was extracted from.
     pub found_in: Symbol,
 }
@@ -52,6 +56,7 @@ impl Component {
             purl: None,
             cpe: None,
             scope: None,
+            supplier: None,
             found_in: Symbol::default(),
         }
     }
@@ -67,6 +72,7 @@ impl Component {
             purl: None,
             cpe: None,
             scope: None,
+            supplier: None,
             found_in: Symbol::default(),
         }
     }
@@ -92,6 +98,12 @@ impl Component {
     /// Builder-style CPE.
     pub fn with_cpe(mut self, cpe: Cpe) -> Self {
         self.cpe = Some(cpe);
+        self
+    }
+
+    /// Builder-style supplier.
+    pub fn with_supplier(mut self, supplier: impl Into<Symbol>) -> Self {
+        self.supplier = Some(supplier.into());
         self
     }
 
@@ -161,6 +173,10 @@ pub struct SbomMeta {
     pub tool_version: String,
     /// The analyzed subject (repository name/path).
     pub subject: String,
+    /// Document creation timestamp (RFC 3339), when the tool records one.
+    /// Deterministic tools derive it from the subject rather than the
+    /// wall clock so identical inputs stay byte-identical.
+    pub timestamp: Option<String>,
 }
 
 /// An in-memory SBOM: document metadata plus components, plus any
@@ -185,6 +201,7 @@ impl Sbom {
                 tool_name: tool_name.into(),
                 tool_version: tool_version.into(),
                 subject: String::new(),
+                timestamp: None,
             },
             components: Vec::new(),
             diagnostics: Vec::new(),
@@ -194,6 +211,12 @@ impl Sbom {
     /// Builder-style subject.
     pub fn with_subject(mut self, subject: impl Into<String>) -> Self {
         self.meta.subject = subject.into();
+        self
+    }
+
+    /// Builder-style creation timestamp.
+    pub fn with_timestamp(mut self, timestamp: impl Into<String>) -> Self {
+        self.meta.timestamp = Some(timestamp.into());
         self
     }
 

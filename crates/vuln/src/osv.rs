@@ -83,9 +83,9 @@ impl OsvEvent {
         }
     }
 
-    /// Sort rank at equal versions: `introduced` opens before the limit
-    /// events close, so a `fixed` at its own `introduced` version yields
-    /// an empty range rather than a match.
+    /// Sort rank at equal versions, used as a deterministic tie-breaker;
+    /// the walk itself decides whether a tied `introduced` is applied
+    /// before or after the tied limit events (see [`OsvRange::affects`]).
     fn rank(&self) -> u8 {
         match self {
             OsvEvent::Introduced(_) => 0,
@@ -153,10 +153,18 @@ impl OsvRange {
     }
 
     /// Evaluates the range against a concrete version: the OSV sorted-walk
-    /// algorithm. Events are visited in version order (`introduced`
-    /// before limit events at equal versions); each `introduced` at or
-    /// below `v` opens the affected state, each `fixed` at or below `v`
-    /// closes it, each `last_affected` strictly below `v` closes it.
+    /// algorithm. Events are visited in version order; each `introduced`
+    /// at or below `v` opens the affected state, each `fixed` at or below
+    /// `v` closes it, each `last_affected` strictly below `v` closes it.
+    ///
+    /// Events tied on the same version are processed as one group, and
+    /// the order inside the group depends on the incoming state: an open
+    /// interval is closed by its limit event before a co-located
+    /// `introduced` opens the next one (adjacent intervals touching at a
+    /// shared boundary, e.g. `last_affected 2.0.0-rc.1` followed by
+    /// `introduced 2.0.0-rc.1`), while from a closed state `introduced`
+    /// applies first so a `fixed` at its own `introduced` version stays
+    /// an empty range rather than opening one.
     pub fn affects(&self, v: &Version) -> bool {
         if v.is_prerelease() && !self.mentions_prerelease() {
             return false;
@@ -172,25 +180,46 @@ impl OsvRange {
             }
         });
         let mut affected = false;
-        for event in sorted {
-            match event {
-                OsvEvent::Introduced(None) => affected = true,
-                OsvEvent::Introduced(Some(x)) => {
-                    if v >= x {
-                        affected = true;
-                    }
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i + 1;
+            while j < sorted.len()
+                && match (sorted[i].version(), sorted[j].version()) {
+                    (Some(x), Some(y)) => x == y,
+                    (None, None) => true,
+                    _ => false,
                 }
-                OsvEvent::Fixed(x) => {
-                    if v >= x {
-                        affected = false;
-                    }
-                }
-                OsvEvent::LastAffected(x) => {
-                    if v > x {
-                        affected = false;
+            {
+                j += 1;
+            }
+            let group = &sorted[i..j];
+            // Closed state: opens first. Open state: closes first.
+            let limits_first = affected;
+            for pass in 0..2 {
+                let do_limits = (pass == 0) == limits_first;
+                for event in group {
+                    match event {
+                        OsvEvent::Introduced(None) if !do_limits => affected = true,
+                        OsvEvent::Introduced(Some(x)) if !do_limits => {
+                            if v >= x {
+                                affected = true;
+                            }
+                        }
+                        OsvEvent::Fixed(x) if do_limits => {
+                            if v >= x {
+                                affected = false;
+                            }
+                        }
+                        OsvEvent::LastAffected(x) if do_limits => {
+                            if v > x {
+                                affected = false;
+                            }
+                        }
+                        _ => {}
                     }
                 }
             }
+            i = j;
         }
         affected
     }
@@ -563,6 +592,41 @@ mod tests {
         );
         let pre = OsvRange::half_open(RangeKind::Semver, None, v("1.22.0-rc.1"));
         assert!(pre.affects(&v("1.21.0-beta.2")));
+    }
+
+    #[test]
+    fn adjacent_intervals_survive_a_shared_boundary_version() {
+        // `last_affected 2.0.0-rc.1` then `introduced 2.0.0-rc.1`: the
+        // inclusive close and the open touch at one version; probes
+        // inside the second interval must stay affected, and a `fixed`
+        // at its own `introduced` must still be an empty window.
+        let r = OsvRange {
+            kind: RangeKind::Ecosystem,
+            events: vec![
+                OsvEvent::Introduced(None),
+                OsvEvent::LastAffected(v("2.0.0-rc.1")),
+                OsvEvent::Introduced(Some(v("2.0.0-rc.1"))),
+                OsvEvent::LastAffected(v("3.0.0")),
+            ],
+        };
+        assert!(r.validate().is_empty());
+        assert!(r.affects(&v("2.0.0-rc.1")), "shared boundary is affected");
+        assert!(r.affects(&v("2.0.0-rc.2")), "second interval survives");
+        assert!(r.affects(&v("2.5.0")));
+        assert!(r.affects(&v("3.0.0")), "last_affected stays inclusive");
+        assert!(!r.affects(&v("3.0.1")));
+        let fixed_pair = OsvRange {
+            kind: RangeKind::Ecosystem,
+            events: vec![
+                OsvEvent::Introduced(Some(v("1.0.0"))),
+                OsvEvent::Fixed(v("2.0.0")),
+                OsvEvent::Introduced(Some(v("2.0.0"))),
+                OsvEvent::Fixed(v("3.0.0")),
+            ],
+        };
+        assert!(fixed_pair.affects(&v("2.0.0")), "reintroduced at the fix");
+        assert!(fixed_pair.affects(&v("2.5.0")));
+        assert!(!fixed_pair.affects(&v("3.0.0")));
     }
 
     #[test]

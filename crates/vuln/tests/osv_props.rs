@@ -20,7 +20,7 @@
 
 use proptest::prelude::*;
 use sbomdiff_registry::Registries;
-use sbomdiff_types::Version;
+use sbomdiff_types::{ConstraintFlavor, Version, VersionReq};
 use sbomdiff_vuln::{AdvisoryDb, OsvEvent, OsvRange, RangeKind};
 
 /// Release-only versions: 1–3 numeric segments, small enough that
@@ -185,6 +185,92 @@ proptest! {
         let range = OsvRange::half_open(kind, None, fixed.clone());
         prop_assert!(range.mentions_prerelease());
         prop_assert_eq!(range.affects(&probe), probe < fixed);
+    }
+
+    /// A closed range whose `last_affected` carries a pre-release suffix,
+    /// probed at exactly that version under ECOSYSTEM ordering: the
+    /// boundary is inclusive, and the walk agrees with the equivalent
+    /// `<=last` constraint on the boundary and on every nearby probe.
+    #[test]
+    fn prerelease_last_affected_boundary_agrees_with_legacy_constraint(
+        release in release_strategy(),
+        tag in 0u64..4,
+        probe_tag in 0u64..4,
+    ) {
+        let base = release.to_unprefixed();
+        let last = Version::parse(&format!("{base}-rc.{tag}")).unwrap();
+        let range = OsvRange::closed(RangeKind::Ecosystem, None, last.clone());
+        let req = VersionReq::parse(
+            &format!("<={}", last.to_unprefixed()),
+            ConstraintFlavor::Pep440,
+        )
+        .unwrap();
+        // Inclusive boundary, both paths.
+        prop_assert!(range.affects(&last), "last_affected version is affected");
+        prop_assert!(req.matches(&last));
+        // PEP 440 compact respelling of the same version still matches.
+        let respelled = Version::parse(&format!("{base}rc{tag}")).unwrap();
+        prop_assert!(range.affects(&respelled));
+        // Probes around the boundary agree with the constraint path.
+        for probe in [
+            Version::parse(&format!("{base}-rc.{probe_tag}")).unwrap(),
+            Version::parse(&format!("{base}-alpha.{probe_tag}")).unwrap(),
+            release.clone(),
+            release.bump_patch(),
+        ] {
+            prop_assert_eq!(
+                range.affects(&probe),
+                req.matches(&probe),
+                "walk vs constraint at {}",
+                probe.canonical()
+            );
+        }
+    }
+
+    /// Two intervals touching at one shared pre-release boundary —
+    /// `last_affected x` immediately followed by `introduced x` — cover
+    /// the union of both: the walk must agree with the pair of legacy
+    /// constraints (`<=x` OR `>=x,<=y`) on every probe. The pre-fix walk
+    /// let the inclusive close at `x` erase the co-located open, dropping
+    /// the entire second interval.
+    #[test]
+    fn adjacent_intervals_keep_their_shared_prerelease_boundary(
+        release in release_strategy(),
+        tag in 0u64..4,
+        chain in prop::collection::btree_set(version_strategy(), 2..16),
+    ) {
+        let x = Version::parse(&format!("{}-rc.{tag}", release.to_unprefixed())).unwrap();
+        let y = Version::parse(&format!("{}.9", release.bump_major().to_unprefixed())).unwrap();
+        let range = OsvRange {
+            kind: RangeKind::Ecosystem,
+            events: vec![
+                OsvEvent::Introduced(None),
+                OsvEvent::LastAffected(x.clone()),
+                OsvEvent::Introduced(Some(x.clone())),
+                OsvEvent::LastAffected(y.clone()),
+            ],
+        };
+        prop_assert!(range.validate().is_empty());
+        let first = VersionReq::parse(
+            &format!("<={}", x.to_unprefixed()),
+            ConstraintFlavor::Pep440,
+        )
+        .unwrap();
+        let second = VersionReq::parse(
+            &format!(">={},<={}", x.to_unprefixed(), y.to_unprefixed()),
+            ConstraintFlavor::Pep440,
+        )
+        .unwrap();
+        prop_assert!(range.affects(&x), "shared boundary is affected");
+        for probe in chain {
+            let legacy = first.matches(&probe) || second.matches(&probe);
+            prop_assert_eq!(
+                range.affects(&probe),
+                legacy,
+                "walk vs constraint pair at {}",
+                probe.canonical()
+            );
+        }
     }
 
     // ---- 4. affects monotonicity -------------------------------------

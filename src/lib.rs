@@ -35,6 +35,9 @@
 //! * [`vuln`] — a synthetic advisory database and vulnerability-impact
 //!   assessment, quantifying the paper's §I motivation (missed
 //!   vulnerabilities and false alarms caused by wrong SBOMs).
+//! * [`quality`] — NTIA-minimum / CRA-style field-checklist scoring of
+//!   emitted and ingested documents: per-check pass/miss/malformed
+//!   counts and a weighted 0–100 score per document.
 //!
 //! # Quickstart
 //!
@@ -70,6 +73,7 @@ pub use sbomdiff_generators as generators;
 pub use sbomdiff_matching as matching;
 pub use sbomdiff_metadata as metadata;
 pub use sbomdiff_parallel as parallel;
+pub use sbomdiff_quality as quality;
 pub use sbomdiff_registry as registry;
 pub use sbomdiff_resolver as resolver;
 pub use sbomdiff_sbomfmt as sbomfmt;

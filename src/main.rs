@@ -5,6 +5,7 @@
 //! ```text
 //! sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
 //!                     [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
+//!                     [--quality]
 //! sbomdiff diff <dir> [--seed N] [--jobs N] [--match exact|tiered] [--explain]
 //! sbomdiff diff <a.sbom> <b.sbom> [--match exact|tiered] [--explain]
 //! ```
@@ -27,6 +28,7 @@ sbomdiff - differential SBOM analysis over a directory tree
 USAGE:
     sbomdiff scan <dir> [--tool trivy|syft|sbom-tool|github-dg|best-practice]
                         [--format cyclonedx|spdx|spdx-tag-value] [--seed N]
+                        [--quality]
     sbomdiff diff <dir> [--seed N] [--jobs N] [--match exact|tiered] [--explain]
     sbomdiff diff <a.sbom> <b.sbom> [--match exact|tiered] [--explain]
     sbomdiff --help | --version
@@ -43,6 +45,9 @@ OPTIONS:
     --format <FMT>     output format for `scan`: cyclonedx (default), spdx,
                        or spdx-tag-value
     --seed <N>         package-registry world seed (default 42)
+    --quality          with `scan`, print an NTIA-minimum quality scorecard
+                       for the generated document on stderr (per-check
+                       pass/miss counts and the weighted 0-100 total)
     --jobs <N>         worker threads for `diff` (default: SBOMDIFF_JOBS or cores)
     --match <MODE>     component identity for `diff`: exact (default), or
                        tiered — multi-tier matching (PURL, alias table,
@@ -69,6 +74,7 @@ fn main() {
     let mut jobs = 0usize;
     let mut tiered = false;
     let mut explain = false;
+    let mut quality = false;
     let set_match = |mode: &str| match mode {
         "exact" => Ok(false),
         "tiered" => Ok(true),
@@ -82,6 +88,7 @@ fn main() {
                 jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
             }
             "--explain" => explain = true,
+            "--quality" => quality = true,
             "--match" => {
                 i += 1;
                 let mode = args.get(i).cloned().unwrap_or_default();
@@ -174,6 +181,35 @@ fn main() {
             // clean SBOM (taxonomy: DESIGN.md §13).
             for diag in sbom.diagnostics() {
                 eprintln!("[diag] {diag}");
+            }
+            if quality {
+                // The scorecard joins the diagnostics on stderr so stdout
+                // stays a clean, pipeable SBOM document.
+                use sbomdiff::diff::TextTable;
+                use sbomdiff::quality::{evaluate, QualityCheck};
+                let report = evaluate(&sbom);
+                let mut table =
+                    TextTable::new(["Check", "weight", "passed", "missing", "malformed", "score"]);
+                for check in QualityCheck::ALL {
+                    let r = report.check(check);
+                    table.row([
+                        check.label().to_string(),
+                        check.weight().to_string(),
+                        r.passed.to_string(),
+                        r.missing.to_string(),
+                        r.malformed.to_string(),
+                        format!("{:.1}", r.score()),
+                    ]);
+                }
+                eprint!("{table}");
+                eprintln!(
+                    "[sbomdiff] quality: {:.1}/100 weighted total over {} component(s)",
+                    report.score(),
+                    report.components
+                );
+                for diag in &report.diagnostics {
+                    eprintln!("[quality] {diag}");
+                }
             }
             println!("{}", format.serialize(&sbom));
         }
